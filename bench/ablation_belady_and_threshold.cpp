@@ -1,0 +1,79 @@
+// Ablations beyond the paper's figures:
+//   1. Belady-MIN bound — MRD should land between LRU and the clairvoyant
+//      oracle on JCT at matched cache sizes;
+//   2. prefetch-threshold sweep — the paper fixes 25% "experimentally" and
+//      lists dynamic tuning as future work;
+//   3. guarded prefetch — the §4.4 future-work pre-check, off by default in
+//      MRD, measured here.
+#include "bench_common.h"
+
+using namespace mrd;
+
+int main() {
+  const ClusterConfig cluster = main_cluster();
+  std::cout << "Ablation 1: Belady-MIN bound (JCT normalized to LRU, "
+               "fraction 0.5)\n\n";
+  {
+    AsciiTable table({"Workload", "LRU", "LRC", "MRD", "Belady-MIN"});
+    for (const char* key : {"pr", "cc", "svdpp", "km", "po"}) {
+      const WorkloadRun run =
+          plan_workload(*find_workload(key), bench::bench_params());
+      const double lru =
+          run_with_policy(run, cluster, 0.5, bench::policy("lru")).jct_ms;
+      std::vector<std::string> row{run.name, "100%"};
+      for (const char* pol : {"lrc", "mrd", "belady"}) {
+        const double jct =
+            run_with_policy(run, cluster, 0.5, bench::policy(pol)).jct_ms;
+        row.push_back(bench::norm_jct(jct, lru));
+      }
+      table.add_row(row);
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nAblation 2: prefetch-threshold sweep (SVD++, JCT "
+               "normalized to LRU at fraction 0.5)\n\n";
+  {
+    AsciiTable table({"Threshold", "MRD JCT vs LRU", "hit ratio",
+                      "prefetches completed"});
+    const WorkloadRun run =
+        plan_workload(*find_workload("svdpp"), bench::bench_params());
+    const double lru =
+        run_with_policy(run, cluster, 0.5, bench::policy("lru")).jct_ms;
+    for (double threshold : {0.0, 0.10, 0.25, 0.50, 0.90}) {
+      PolicyConfig mrd = bench::policy("mrd");
+      mrd.prefetch_threshold = threshold;
+      const RunMetrics m = run_with_policy(run, cluster, 0.5, mrd);
+      table.add_row({format_percent(threshold, 0),
+                     bench::norm_jct(m.jct_ms, lru),
+                     format_percent(m.hit_ratio(), 0),
+                     std::to_string(m.prefetches_completed)});
+    }
+    table.print(std::cout);
+    std::cout << "(The paper fixes 25%; dynamic thresholds are its stated "
+                 "future work.)\n";
+  }
+
+  std::cout << "\nAblation 3: guarded prefetch — the paper's future-work "
+               "pre-check (fraction 0.4)\n\n";
+  {
+    AsciiTable table({"Workload", "MRD aggressive", "MRD guarded",
+                      "wasted (aggr)", "wasted (guard)"});
+    for (const char* key : {"pr", "svdpp", "po"}) {
+      const WorkloadRun run =
+          plan_workload(*find_workload(key), bench::bench_params());
+      const double lru =
+          run_with_policy(run, cluster, 0.4, bench::policy("lru")).jct_ms;
+      const RunMetrics aggressive =
+          run_with_policy(run, cluster, 0.4, bench::policy("mrd"));
+      const RunMetrics guarded =
+          run_with_policy(run, cluster, 0.4, bench::policy("mrd-guarded"));
+      table.add_row({run.name, bench::norm_jct(aggressive.jct_ms, lru),
+                     bench::norm_jct(guarded.jct_ms, lru),
+                     std::to_string(aggressive.prefetches_wasted),
+                     std::to_string(guarded.prefetches_wasted)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

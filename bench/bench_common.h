@@ -1,0 +1,48 @@
+// Shared plumbing for the table/figure bench binaries: workload planning,
+// best-of-cache-size comparisons, and output to stdout (paper-style ASCII
+// tables) plus CSV files under bench_out/ for re-plotting.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "util/csv.h"
+#include "util/format.h"
+#include "util/table.h"
+
+namespace mrd {
+namespace bench {
+
+/// Benches run the workloads at the repo's default sizes (1/8 of the
+/// paper's inputs — see DESIGN.md); pass a smaller scale for quick checks.
+inline WorkloadParams bench_params(double scale = 1.0) {
+  WorkloadParams params;
+  params.scale = scale;
+  return params;
+}
+
+inline std::string out_dir() {
+  const std::string dir = "bench_out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+inline PolicyConfig policy(const std::string& name) {
+  PolicyConfig config;
+  config.name = name;
+  return config;
+}
+
+/// Percentage of LRU's JCT (the paper's normalized JCT axis).
+inline std::string norm_jct(double candidate_ms, double baseline_ms) {
+  return format_percent(baseline_ms == 0 ? 1.0 : candidate_ms / baseline_ms,
+                        0);
+}
+
+}  // namespace bench
+}  // namespace mrd

@@ -1,0 +1,43 @@
+// Regenerates Figure 11: JCT reduction vs average stage distance across the
+// 14 SparkBench workloads, with the OLS trendline (paper reports R² = 0.46).
+#include "bench_common.h"
+
+#include "dag/dag_analysis.h"
+#include "util/math.h"
+
+using namespace mrd;
+
+int main() {
+  const ClusterConfig cluster = main_cluster();
+  const std::vector<double>& fractions = default_cache_fractions();
+
+  AsciiTable table({"Workload", "Avg stage distance", "JCT reduction"});
+  CsvWriter csv(bench::out_dir() + "/fig11_stage_distance_correlation.csv");
+  csv.write_row({"workload", "avg_stage_distance", "jct_reduction"});
+
+  std::cout << "Figure 11: relationship of performance and stage distance\n\n";
+  std::vector<double> xs, ys;
+  const PolicyConfig lru = bench::policy("lru");
+  const PolicyConfig mrd = bench::policy("mrd");
+  for (const WorkloadSpec& spec : sparkbench_workloads()) {
+    const WorkloadRun run = plan_workload(spec, bench::bench_params());
+    const ReferenceDistanceStats stats = reference_distance_stats(run.plan);
+    const BestComparison best =
+        best_improvement(run, cluster, fractions, lru, mrd);
+    const double reduction = 1.0 - best.jct_ratio();
+    xs.push_back(stats.avg_stage_distance);
+    ys.push_back(reduction);
+    table.add_row({spec.name, format_double(stats.avg_stage_distance, 2),
+                   format_percent(reduction, 1)});
+    csv.write_row({spec.key, format_double(stats.avg_stage_distance, 4),
+                   format_double(reduction, 4)});
+  }
+  table.print(std::cout);
+
+  const LinearFit fit = linear_regression(xs, ys);
+  std::cout << "\nTrendline: reduction = " << format_double(fit.slope, 4)
+            << " x distance + " << format_double(fit.intercept, 4)
+            << "   R^2 = " << format_double(fit.r_squared, 2)
+            << "  (paper: R^2 = 0.46, positive slope)\n";
+  return 0;
+}

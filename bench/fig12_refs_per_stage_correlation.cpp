@@ -1,0 +1,45 @@
+// Regenerates Figure 12: JCT reduction vs average references per stage
+// across the 14 SparkBench workloads, with the OLS trendline (paper reports
+// R² = 0.71).
+#include "bench_common.h"
+
+#include "dag/dag_analysis.h"
+#include "util/math.h"
+
+using namespace mrd;
+
+int main() {
+  const ClusterConfig cluster = main_cluster();
+  const std::vector<double>& fractions = default_cache_fractions();
+
+  AsciiTable table({"Workload", "Refs per stage", "JCT reduction"});
+  CsvWriter csv(bench::out_dir() + "/fig12_refs_per_stage_correlation.csv");
+  csv.write_row({"workload", "refs_per_stage", "jct_reduction"});
+
+  std::cout << "Figure 12: relationship of performance and references per "
+               "stage\n\n";
+  std::vector<double> xs, ys;
+  const PolicyConfig lru = bench::policy("lru");
+  const PolicyConfig mrd = bench::policy("mrd");
+  for (const WorkloadSpec& spec : sparkbench_workloads()) {
+    const WorkloadRun run = plan_workload(spec, bench::bench_params());
+    const WorkloadCharacteristics chars = workload_characteristics(run.plan);
+    const BestComparison best =
+        best_improvement(run, cluster, fractions, lru, mrd);
+    const double reduction = 1.0 - best.jct_ratio();
+    xs.push_back(chars.refs_per_stage);
+    ys.push_back(reduction);
+    table.add_row({spec.name, format_double(chars.refs_per_stage, 2),
+                   format_percent(reduction, 1)});
+    csv.write_row({spec.key, format_double(chars.refs_per_stage, 4),
+                   format_double(reduction, 4)});
+  }
+  table.print(std::cout);
+
+  const LinearFit fit = linear_regression(xs, ys);
+  std::cout << "\nTrendline: reduction = " << format_double(fit.slope, 4)
+            << " x refs/stage + " << format_double(fit.intercept, 4)
+            << "   R^2 = " << format_double(fit.r_squared, 2)
+            << "  (paper: R^2 = 0.71, positive slope)\n";
+  return 0;
+}

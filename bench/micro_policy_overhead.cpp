@@ -1,0 +1,125 @@
+// §4.4 overhead claims, measured with google-benchmark:
+//   * MRD's victim-selection cost is the same order as LRU's;
+//   * the MRD_Table stays small (the paper: < 300 references, a few KB) and
+//     updates are a cheap sorted-insert;
+//   * the per-stage decrement (consume) is linear in table size.
+#include <benchmark/benchmark.h>
+
+#include "api/spark_context.h"
+#include "cache/lru.h"
+#include "core/cache_monitor.h"
+#include "core/policy_registry.h"
+#include "core/ref_distance_table.h"
+#include "dag/dag_scheduler.h"
+#include "workloads/workloads.h"
+
+namespace mrd {
+namespace {
+
+ExecutionPlan benchmark_plan() {
+  return DagScheduler::plan(find_workload("pr")->make({}));
+}
+
+void BM_LruChooseVictim(benchmark::State& state) {
+  LruPolicy lru;
+  const auto blocks = static_cast<PartitionIndex>(state.range(0));
+  for (PartitionIndex p = 0; p < blocks; ++p) {
+    lru.on_block_cached(BlockId{1, p}, 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lru.choose_victim());
+  }
+}
+BENCHMARK(BM_LruChooseVictim)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_MrdChooseVictim(benchmark::State& state) {
+  static const ExecutionPlan plan = benchmark_plan();
+  auto manager = std::make_shared<MrdManager>(std::make_shared<AppProfiler>(),
+                                              DistanceMetric::kStage, 1);
+  CacheMonitor monitor(manager, 0, 1);
+  monitor.on_application_start(plan);
+  monitor.on_stage_start(plan, 0, 0);
+  const auto blocks = static_cast<PartitionIndex>(state.range(0));
+  for (PartitionIndex p = 0; p < blocks; ++p) {
+    monitor.on_block_cached(BlockId{1, p}, 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor.choose_victim());
+  }
+}
+BENCHMARK(BM_MrdChooseVictim)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_MrdTableUpdate(benchmark::State& state) {
+  const auto refs = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    RefDistanceTable table;
+    for (std::uint32_t i = 0; i < refs; ++i) {
+      table.add_reference(i % 37, i, i / 4);
+    }
+    benchmark::DoNotOptimize(table.num_entries());
+  }
+  state.SetItemsProcessed(state.iterations() * refs);
+}
+BENCHMARK(BM_MrdTableUpdate)->Arg(300)->Arg(3000);
+
+void BM_MrdTableConsume(benchmark::State& state) {
+  const auto refs = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    RefDistanceTable table;
+    for (std::uint32_t i = 0; i < refs; ++i) {
+      table.add_reference(i % 37, i, i / 4);
+    }
+    state.ResumeTiming();
+    table.consume_up_to(refs / 2);
+    benchmark::DoNotOptimize(table.num_entries());
+  }
+}
+BENCHMARK(BM_MrdTableConsume)->Arg(300)->Arg(3000);
+
+void BM_AppProfilerParseJob(benchmark::State& state) {
+  static const ExecutionPlan plan = benchmark_plan();
+  for (auto _ : state) {
+    AppProfiler profiler;
+    for (JobId j = 0; j < plan.jobs().size(); ++j) {
+      benchmark::DoNotOptimize(profiler.parse_job(plan, j));
+    }
+  }
+}
+BENCHMARK(BM_AppProfilerParseJob);
+
+void BM_PrefetchOrder(benchmark::State& state) {
+  static const ExecutionPlan plan = benchmark_plan();
+  auto manager = std::make_shared<MrdManager>(std::make_shared<AppProfiler>(),
+                                              DistanceMetric::kStage, 25);
+  manager->on_application_start(plan);
+  manager->on_stage_start(plan, 0, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(manager->prefetch_order());
+  }
+}
+BENCHMARK(BM_PrefetchOrder);
+
+}  // namespace
+}  // namespace mrd
+
+// Also print the §4.4 table-size claim once, before the timing output.
+int main(int argc, char** argv) {
+  {
+    using namespace mrd;
+    const ExecutionPlan plan =
+        DagScheduler::plan(find_workload("scc")->make({}));
+    auto manager = std::make_shared<MrdManager>(
+        std::make_shared<AppProfiler>(), DistanceMetric::kStage, 25);
+    manager->on_application_start(plan);
+    const std::size_t entries = manager->table().num_entries();
+    // One entry = (RddId, StageId, JobId) = 12 bytes of payload.
+    std::printf(
+        "MRD_Table footprint for SCC (largest workload): %zu references "
+        "(~%zu KB payload; paper: <300 references, a few KB)\n\n",
+        entries, entries * 12 / 1024 + 1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

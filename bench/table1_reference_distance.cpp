@@ -1,0 +1,45 @@
+// Regenerates Table 1: reference-distance characteristics of the SparkBench
+// and HiBench workloads (average/maximum job and stage distances).
+//
+// Shape targets: SparkBench distances dwarf HiBench's; LP and SCC have the
+// suite's largest values; Sort/WordCount are exactly zero.
+#include "bench_common.h"
+
+#include "dag/dag_analysis.h"
+#include "dag/dag_scheduler.h"
+
+using namespace mrd;
+
+int main() {
+  AsciiTable table({"Workload", "Avg Job Dist", "Max Job Dist",
+                    "Avg Stage Dist", "Max Stage Dist"});
+  CsvWriter csv(bench::out_dir() + "/table1_reference_distance.csv");
+  csv.write_row({"suite", "workload", "avg_job", "max_job", "avg_stage",
+                 "max_stage"});
+
+  const auto emit = [&](const char* suite,
+                        const std::vector<WorkloadSpec>& specs) {
+    for (const WorkloadSpec& spec : specs) {
+      const ExecutionPlan plan = DagScheduler::plan(spec.make({}));
+      const ReferenceDistanceStats s = reference_distance_stats(plan);
+      table.add_row({spec.name, format_double(s.avg_job_distance, 2),
+                     std::to_string(s.max_job_distance),
+                     format_double(s.avg_stage_distance, 2),
+                     std::to_string(s.max_stage_distance)});
+      csv.write_row({suite, spec.key, format_double(s.avg_job_distance, 4),
+                     std::to_string(s.max_job_distance),
+                     format_double(s.avg_stage_distance, 4),
+                     std::to_string(s.max_stage_distance)});
+    }
+  };
+
+  std::cout << "Table 1: reference distance characteristics of benchmark "
+               "workloads\n\n";
+  emit("sparkbench", sparkbench_workloads());
+  table.add_separator();
+  emit("hibench", hibench_workloads());
+  table.print(std::cout);
+  std::cout << "\nCSV: " << bench::out_dir()
+            << "/table1_reference_distance.csv\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Regenerates Table 3: SparkBench workload characteristics (input sizes,
+// stage inputs, shuffle volumes, job/stage/RDD counts, references per
+// RDD/stage, job type).
+#include "bench_common.h"
+
+#include "dag/dag_analysis.h"
+#include "dag/dag_scheduler.h"
+
+using namespace mrd;
+
+int main() {
+  AsciiTable table({"Workload", "Category", "Input", "Stage Inputs",
+                    "Shuffle R/W", "Jobs", "Stages", "Active", "RDDs",
+                    "Refs/RDD", "Refs/Stage", "Job Type"});
+  CsvWriter csv(bench::out_dir() + "/table3_workload_characteristics.csv");
+  csv.write_row({"workload", "input_bytes", "stage_input_bytes",
+                 "shuffle_bytes", "jobs", "stages", "active_stages", "rdds",
+                 "refs_per_rdd", "refs_per_stage"});
+
+  std::cout << "Table 3: SparkBench benchmark characteristics (inputs scaled "
+               "to 1/8 of the paper's)\n\n";
+  for (const WorkloadSpec& spec : sparkbench_workloads()) {
+    const ExecutionPlan plan = DagScheduler::plan(spec.make({}));
+    const WorkloadCharacteristics c = workload_characteristics(plan);
+    table.add_row({spec.name, spec.category, human_bytes(c.input_bytes),
+                   human_bytes(c.total_stage_input_bytes),
+                   human_bytes(c.shuffle_bytes), std::to_string(c.jobs),
+                   std::to_string(c.stages), std::to_string(c.active_stages),
+                   std::to_string(c.rdds), format_double(c.refs_per_rdd, 2),
+                   format_double(c.refs_per_stage, 2), spec.job_type});
+    csv.write_row({spec.key, std::to_string(c.input_bytes),
+                   std::to_string(c.total_stage_input_bytes),
+                   std::to_string(c.shuffle_bytes), std::to_string(c.jobs),
+                   std::to_string(c.stages), std::to_string(c.active_stages),
+                   std::to_string(c.rdds), format_double(c.refs_per_rdd, 4),
+                   format_double(c.refs_per_stage, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nCSV: " << bench::out_dir()
+            << "/table3_workload_characteristics.csv\n";
+  return 0;
+}

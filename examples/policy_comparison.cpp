@@ -1,0 +1,71 @@
+// Compares every registered cache policy on one of the paper's benchmark
+// workloads, across a sweep of cache sizes — the experiment you would run to
+// decide whether MRD helps *your* application.
+//
+//   $ ./policy_comparison            # defaults to PageRank
+//   $ ./policy_comparison scc 0.25 0.5 1.0
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/experiment.h"
+#include "util/format.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mrd;
+
+  const char* key = argc > 1 ? argv[1] : "pr";
+  const WorkloadSpec* spec = find_workload(key);
+  if (spec == nullptr) {
+    std::cerr << "unknown workload '" << key << "'. Available:";
+    for (const WorkloadSpec& s : sparkbench_workloads()) {
+      std::cerr << " " << s.key;
+    }
+    for (const WorkloadSpec& s : hibench_workloads()) {
+      std::cerr << " " << s.key;
+    }
+    std::cerr << "\n";
+    return 1;
+  }
+
+  std::vector<double> fractions;
+  for (int i = 2; i < argc; ++i) fractions.push_back(std::atof(argv[i]));
+  if (fractions.empty()) fractions = default_cache_fractions();
+
+  const WorkloadRun run = plan_workload(*spec);
+  const ClusterConfig cluster = main_cluster();
+  std::cout << "Workload: " << run.name << "  (" << run.plan.jobs().size()
+            << " jobs, " << run.plan.active_stages() << " active stages, "
+            << human_bytes(persisted_bytes(*run.app))
+            << " persisted)\nCluster: " << cluster.num_nodes
+            << " nodes; cache sized as a fraction of the peak live working "
+               "set.\n\n";
+
+  for (double fraction : fractions) {
+    ClusterConfig sized = cluster;
+    sized.cache_bytes_per_node = cache_bytes_per_node_for(run, cluster, fraction);
+    std::cout << "Cache fraction " << format_double(fraction, 2) << " ("
+              << human_bytes(sized.cache_bytes_per_node) << "/node):\n";
+    AsciiTable table({"policy", "JCT (s)", "vs LRU", "hit ratio", "evictions",
+                      "purged", "prefetch useful/wasted"});
+    double lru_jct = 0.0;
+    for (const std::string& policy :
+         {"lru", "fifo", "lrc", "memtune", "mrd-evict", "mrd-prefetch", "mrd",
+          "belady"}) {
+      PolicyConfig pc;
+      pc.name = policy;
+      const RunMetrics m = run_with_policy(run, cluster, fraction, pc);
+      if (policy == "lru") lru_jct = m.jct_ms;
+      table.add_row(
+          {policy, format_double(m.jct_ms / 1000.0, 2),
+           format_percent(m.jct_ms / lru_jct, 0),
+           format_percent(m.hit_ratio(), 1), std::to_string(m.evictions),
+           std::to_string(m.purged_blocks),
+           std::to_string(m.prefetches_useful) + "/" +
+               std::to_string(m.prefetches_wasted)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,140 @@
+#include "api/dataset.h"
+
+#include "util/check.h"
+
+namespace mrd {
+
+Dataset Dataset::cache() const {
+  MRD_CHECK(valid());
+  builder_->persist(id_);
+  return *this;
+}
+
+void Dataset::unpersist() const {
+  MRD_CHECK(valid());
+  builder_->unpersist(id_);
+}
+
+Dataset Dataset::map(std::string name, const TransformOpts& opts) const {
+  return derive(TransformKind::kMap, auto_name("map", std::move(name)), opts);
+}
+Dataset Dataset::filter(std::string name, const TransformOpts& opts) const {
+  return derive(TransformKind::kFilter, auto_name("filter", std::move(name)),
+                opts);
+}
+Dataset Dataset::flat_map(std::string name, const TransformOpts& opts) const {
+  return derive(TransformKind::kFlatMap,
+                auto_name("flatMap", std::move(name)), opts);
+}
+Dataset Dataset::map_partitions(std::string name,
+                                const TransformOpts& opts) const {
+  return derive(TransformKind::kMapPartitions,
+                auto_name("mapPartitions", std::move(name)), opts);
+}
+Dataset Dataset::map_values(std::string name,
+                            const TransformOpts& opts) const {
+  return derive(TransformKind::kMapValues,
+                auto_name("mapValues", std::move(name)), opts);
+}
+Dataset Dataset::sample(double fraction, std::string name) const {
+  TransformOpts opts;
+  opts.size_factor = fraction;
+  return derive(TransformKind::kSample, auto_name("sample", std::move(name)),
+                opts);
+}
+Dataset Dataset::union_with(const Dataset& other, std::string name,
+                            const TransformOpts& opts) const {
+  return derive2(TransformKind::kUnion, other,
+                 auto_name("union", std::move(name)), opts);
+}
+Dataset Dataset::zip_partitions(const Dataset& other, std::string name,
+                                const TransformOpts& opts) const {
+  return derive2(TransformKind::kZipPartitions, other,
+                 auto_name("zipPartitions", std::move(name)), opts);
+}
+
+Dataset Dataset::reduce_by_key(std::string name,
+                               const TransformOpts& opts) const {
+  return derive(TransformKind::kReduceByKey,
+                auto_name("reduceByKey", std::move(name)), opts);
+}
+Dataset Dataset::group_by_key(std::string name,
+                              const TransformOpts& opts) const {
+  return derive(TransformKind::kGroupByKey,
+                auto_name("groupByKey", std::move(name)), opts);
+}
+Dataset Dataset::aggregate_by_key(std::string name,
+                                  const TransformOpts& opts) const {
+  return derive(TransformKind::kAggregateByKey,
+                auto_name("aggregateByKey", std::move(name)), opts);
+}
+Dataset Dataset::sort_by_key(std::string name,
+                             const TransformOpts& opts) const {
+  return derive(TransformKind::kSortByKey,
+                auto_name("sortByKey", std::move(name)), opts);
+}
+Dataset Dataset::distinct(std::string name, const TransformOpts& opts) const {
+  return derive(TransformKind::kDistinct,
+                auto_name("distinct", std::move(name)), opts);
+}
+Dataset Dataset::repartition(std::uint32_t partitions,
+                             std::string name) const {
+  TransformOpts opts;
+  opts.partitions = partitions;
+  return derive(TransformKind::kRepartition,
+                auto_name("repartition", std::move(name)), opts);
+}
+Dataset Dataset::join(const Dataset& other, std::string name,
+                      const TransformOpts& opts) const {
+  return derive2(TransformKind::kJoin, other,
+                 auto_name("join", std::move(name)), opts);
+}
+Dataset Dataset::cogroup(const Dataset& other, std::string name,
+                         const TransformOpts& opts) const {
+  return derive2(TransformKind::kCogroup, other,
+                 auto_name("cogroup", std::move(name)), opts);
+}
+
+void Dataset::count(std::string name) const {
+  MRD_CHECK(valid());
+  builder_->action(id_, std::move(name));
+}
+void Dataset::collect(std::string name) const {
+  MRD_CHECK(valid());
+  builder_->action(id_, std::move(name));
+}
+void Dataset::save(std::string name) const {
+  MRD_CHECK(valid());
+  builder_->action(id_, std::move(name));
+}
+void Dataset::foreach_action(std::string name) const {
+  MRD_CHECK(valid());
+  builder_->action(id_, std::move(name));
+}
+
+Dataset Dataset::derive(TransformKind kind, std::string name,
+                        const TransformOpts& opts) const {
+  MRD_CHECK(valid());
+  const RddId child = builder_->apply(kind, std::move(name), {id_}, opts);
+  return Dataset(builder_, child);
+}
+
+Dataset Dataset::derive2(TransformKind kind, const Dataset& other,
+                         std::string name, const TransformOpts& opts) const {
+  MRD_CHECK(valid());
+  MRD_CHECK(other.valid());
+  MRD_CHECK_MSG(builder_ == other.builder_,
+                "datasets belong to different applications");
+  const RddId child =
+      builder_->apply(kind, std::move(name), {id_, other.id_}, opts);
+  return Dataset(builder_, child);
+}
+
+std::string Dataset::auto_name(const char* op, std::string name) const {
+  MRD_CHECK_MSG(valid(), "operation '" << op << "' on a default-constructed "
+                                          "Dataset");
+  if (!name.empty()) return name;
+  return std::string(op) + "@" + std::to_string(builder_->num_rdds());
+}
+
+}  // namespace mrd

@@ -1,0 +1,91 @@
+// A Spark-like, lazily-evaluated dataset API over DagBuilder.
+//
+// User programs (examples/, workload generators) look like Spark driver
+// code: transformations chain Datasets, cache() marks persistence, and
+// actions (count/collect/save) register jobs. Nothing executes here — the
+// SparkContext finalizes everything into an Application whose plan the
+// simulator replays.
+//
+//   SparkContext sc("PageRank");
+//   auto links = sc.text_file("links", 100, 8_MB).cache();
+//   auto ranks = links.map_values("init");
+//   for (int i = 0; i < 10; ++i) {
+//     ranks = links.join(ranks, "contribs").reduce_by_key("ranks").cache();
+//     ranks.count();
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dag/dag_builder.h"
+#include "dag/ids.h"
+
+namespace mrd {
+
+class SparkContext;
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  RddId id() const { return id_; }
+  bool valid() const { return builder_ != nullptr; }
+
+  /// Marks this dataset persisted (returns itself for chaining).
+  Dataset cache() const;
+  Dataset persist() const { return cache(); }
+  void unpersist() const;
+
+  // ---- Narrow transformations ----
+  Dataset map(std::string name = {}, const TransformOpts& opts = {}) const;
+  Dataset filter(std::string name = {}, const TransformOpts& opts = {}) const;
+  Dataset flat_map(std::string name = {},
+                   const TransformOpts& opts = {}) const;
+  Dataset map_partitions(std::string name = {},
+                         const TransformOpts& opts = {}) const;
+  Dataset map_values(std::string name = {},
+                     const TransformOpts& opts = {}) const;
+  Dataset sample(double fraction, std::string name = {}) const;
+  Dataset union_with(const Dataset& other, std::string name = {},
+                     const TransformOpts& opts = {}) const;
+  Dataset zip_partitions(const Dataset& other, std::string name = {},
+                         const TransformOpts& opts = {}) const;
+
+  // ---- Wide transformations ----
+  Dataset reduce_by_key(std::string name = {},
+                        const TransformOpts& opts = {}) const;
+  Dataset group_by_key(std::string name = {},
+                       const TransformOpts& opts = {}) const;
+  Dataset aggregate_by_key(std::string name = {},
+                           const TransformOpts& opts = {}) const;
+  Dataset sort_by_key(std::string name = {},
+                      const TransformOpts& opts = {}) const;
+  Dataset distinct(std::string name = {}, const TransformOpts& opts = {}) const;
+  Dataset repartition(std::uint32_t partitions, std::string name = {}) const;
+  Dataset join(const Dataset& other, std::string name = {},
+               const TransformOpts& opts = {}) const;
+  Dataset cogroup(const Dataset& other, std::string name = {},
+                  const TransformOpts& opts = {}) const;
+
+  // ---- Actions (each submits one job) ----
+  void count(std::string name = "count") const;
+  void collect(std::string name = "collect") const;
+  void save(std::string name = "saveAsTextFile") const;
+  void foreach_action(std::string name = "foreach") const;
+
+ private:
+  friend class SparkContext;
+  Dataset(DagBuilder* builder, RddId id) : builder_(builder), id_(id) {}
+
+  Dataset derive(TransformKind kind, std::string name,
+                 const TransformOpts& opts) const;
+  Dataset derive2(TransformKind kind, const Dataset& other, std::string name,
+                  const TransformOpts& opts) const;
+  std::string auto_name(const char* op, std::string name) const;
+
+  DagBuilder* builder_ = nullptr;
+  RddId id_ = kInvalidRdd;
+};
+
+}  // namespace mrd

@@ -1,0 +1,54 @@
+// A GraphX-style Pregel operator on the Dataset API.
+//
+// Every SparkBench graph workload (PageRank, ConnectedComponents,
+// StronglyConnectedComponents, LabelPropagation, ShortestPaths, SVD++,
+// PregelOperation, TriangleCount's core) is built on GraphX's Pregel loop,
+// whose per-superstep shape is what gives those workloads their large stage
+// counts and long reference distances:
+//
+//   messages   = aggregateMessages(triplets)   // join(V, E) → reduceByKey
+//   newVerts   = V.outerJoin(messages).mapValues(vprog).cache()
+//   messages.count()                           // one job per superstep
+//
+// Old vertex/message generations keep being referenced a few supersteps
+// back (lineage truncation joins), then go inactive — exactly the pattern
+// MRD's purge-and-prefetch exploits.
+#pragma once
+
+#include <cstdint>
+
+#include "api/dataset.h"
+#include "api/spark_context.h"
+
+namespace mrd {
+
+struct PregelConfig {
+  std::uint32_t supersteps = 10;
+  /// Uniform block (partition) size for all datasets the loop creates.
+  /// Spark partitions within an application are roughly uniform (HDFS block
+  /// sized); per-RDD partition *counts* scale with data volume instead.
+  std::uint64_t block_bytes = 1 << 20;
+  /// Message volume relative to the vertex set (per superstep).
+  double message_size_factor = 0.6;
+  /// CPU intensity multiplier of the vertex program.
+  double vprog_cost_factor = 1.0;
+  /// Cache the per-superstep message datasets (GraphX does).
+  bool cache_messages = true;
+  /// Every k-th superstep re-references the vertices from k supersteps ago
+  /// (GraphX's lineage-checkpoint join); 0 disables. This is what creates
+  /// the *long* reference distances of SCC/LP.
+  std::uint32_t long_range_join_every = 0;
+  /// Every k-th superstep re-references the ORIGINAL vertex set (label
+  /// re-seeding in LP, phase restarts in SCC); 0 disables. Produces the
+  /// multi-job reference gaps of the paper's Table 1.
+  std::uint32_t graph_ref_every = 0;
+  /// Reference the original vertex set once more in the final output job.
+  bool final_graph_join = true;
+};
+
+/// Runs the Pregel loop; returns the final vertex Dataset (cached).
+/// `vertices` and `edges` should already be cached sources/derivations.
+Dataset pregel(SparkContext& sc, Dataset vertices, Dataset edges,
+               const PregelConfig& config);
+
+}  // namespace mrd

@@ -1,0 +1,34 @@
+#include "api/spark_context.h"
+
+namespace mrd {
+
+SparkContext::SparkContext(std::string app_name)
+    : builder_(std::move(app_name)) {}
+
+Dataset SparkContext::text_file(std::string name, std::uint32_t partitions,
+                                std::uint64_t bytes_per_partition) {
+  const RddId id =
+      builder_.source(std::move(name), partitions, bytes_per_partition);
+  return Dataset(&builder_, id);
+}
+
+Dataset SparkContext::parallelize(std::string name, std::uint32_t partitions,
+                                  std::uint64_t bytes_per_partition) {
+  // Modelled as a source with negligible read cost (the builder charges
+  // deserialization; partition bytes are typically tiny here).
+  const RddId id =
+      builder_.source(std::move(name), partitions, bytes_per_partition);
+  return Dataset(&builder_, id);
+}
+
+void SparkContext::set_compute_ms_per_mb(double ms_per_mb) {
+  builder_.set_compute_ms_per_mb(ms_per_mb);
+}
+
+Application SparkContext::build() && { return std::move(builder_).build(); }
+
+std::shared_ptr<const Application> SparkContext::build_shared() && {
+  return std::make_shared<const Application>(std::move(builder_).build());
+}
+
+}  // namespace mrd

@@ -1,0 +1,41 @@
+// Driver-side entry point: creates source Datasets and finalizes the
+// recorded program into an Application.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "api/dataset.h"
+#include "dag/application.h"
+#include "dag/dag_builder.h"
+
+namespace mrd {
+
+class SparkContext {
+ public:
+  explicit SparkContext(std::string app_name);
+
+  /// HDFS-backed source.
+  Dataset text_file(std::string name, std::uint32_t partitions,
+                    std::uint64_t bytes_per_partition);
+
+  /// In-memory collection source (tiny; driver-side data).
+  Dataset parallelize(std::string name, std::uint32_t partitions,
+                      std::uint64_t bytes_per_partition);
+
+  /// Baseline CPU cost per MB of produced data (workload knob).
+  void set_compute_ms_per_mb(double ms_per_mb);
+
+  DagBuilder& builder() { return builder_; }
+
+  /// Finalizes into a validated Application; the context may not be used
+  /// afterwards.
+  Application build() &&;
+  std::shared_ptr<const Application> build_shared() &&;
+
+ private:
+  DagBuilder builder_;
+};
+
+}  // namespace mrd

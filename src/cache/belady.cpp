@@ -1,0 +1,112 @@
+#include "cache/belady.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mrd {
+
+void BeladyPolicy::on_application_start(const ExecutionPlan& plan) {
+  build_timeline(plan);
+}
+
+void BeladyPolicy::on_job_start(const ExecutionPlan& plan, JobId job) {
+  (void)job;
+  // Oracle semantics even when the runner is in ad-hoc mode: peek at the
+  // whole plan the first time we hear about it.
+  if (!timeline_built_) build_timeline(plan);
+}
+
+void BeladyPolicy::on_stage_start(const ExecutionPlan& plan, JobId job,
+                                  StageId stage) {
+  (void)plan;
+  const auto it = order_.find({job, stage});
+  if (it != order_.end()) cursor_ = it->second;
+}
+
+void BeladyPolicy::on_stage_end(const ExecutionPlan& plan, JobId job,
+                                StageId stage) {
+  (void)plan;
+  const auto it = order_.find({job, stage});
+  if (it != order_.end()) cursor_ = it->second + 1;
+}
+
+void BeladyPolicy::on_rdd_probed(const ExecutionPlan& plan, RddId rdd,
+                                 StageId stage) {
+  (void)plan;
+  (void)stage;
+  // Advance the RDD's cursor past events at or before the current position.
+  const auto it = events_.find(rdd);
+  if (it == events_.end()) return;
+  std::size_t& idx = consumed_[rdd];
+  while (idx < it->second.size() && it->second[idx] <= cursor_) ++idx;
+}
+
+bool BeladyPolicy::should_promote(const BlockId& block,
+                                  std::uint64_t free_bytes) {
+  (void)free_bytes;
+  // Promote only when the block's next use is no later than the furthest
+  // resident's (otherwise promotion would evict someone more useful).
+  std::size_t furthest = 0;
+  bool any = false;
+  residents_.for_each_lru_first([&](const BlockId& b) {
+    furthest = std::max(furthest, next_reference(b.rdd));
+    any = true;
+  });
+  return !any || next_reference(block.rdd) <= furthest;
+}
+
+void BeladyPolicy::on_block_cached(const BlockId& block, std::uint64_t bytes) {
+  (void)bytes;
+  residents_.insert(block);
+}
+
+void BeladyPolicy::on_block_accessed(const BlockId& block) {
+  residents_.touch(block);
+}
+
+void BeladyPolicy::on_block_evicted(const BlockId& block) {
+  residents_.erase(block);
+}
+
+std::optional<BlockId> BeladyPolicy::choose_victim() {
+  // Furthest next reference evicted first; ties break by stable block order
+  // (see CacheMonitor::choose_victim — stable tie-breaking avoids the LRU
+  // cycle pathology on uniform-distance working sets).
+  std::optional<BlockId> best;
+  std::size_t best_next = 0;
+  residents_.for_each_lru_first([&](const BlockId& b) {
+    const std::size_t next = next_reference(b.rdd);
+    if (!best || next > best_next || (next == best_next && b > *best)) {
+      best = b;
+      best_next = next;
+    }
+  });
+  return best;
+}
+
+std::size_t BeladyPolicy::next_reference(RddId rdd) const {
+  const auto it = events_.find(rdd);
+  if (it == events_.end()) return std::numeric_limits<std::size_t>::max();
+  const auto& v = it->second;
+  const auto consumed_it = consumed_.find(rdd);
+  // Start past consumed probes, then skip any events strictly before the
+  // current position (references consumed implicitly, e.g. via recompute).
+  std::size_t from = consumed_it == consumed_.end() ? 0 : consumed_it->second;
+  while (from < v.size() && v[from] < cursor_) ++from;
+  return from < v.size() ? v[from] : std::numeric_limits<std::size_t>::max();
+}
+
+void BeladyPolicy::build_timeline(const ExecutionPlan& plan) {
+  timeline_built_ = true;
+  std::size_t index = 0;
+  for (const JobInfo& job : plan.jobs()) {
+    for (const StageExecution& rec : job.stages) {
+      if (!rec.executed) continue;
+      order_[{rec.job, rec.stage}] = index;
+      for (RddId r : rec.probes) events_[r].push_back(index);
+      ++index;
+    }
+  }
+}
+
+}  // namespace mrd

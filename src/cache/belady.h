@@ -1,0 +1,61 @@
+// Belady's MIN oracle (1966) — evicts the block whose next reference lies
+// furthest in the future, using the *planned* reference stream.
+//
+// The paper cites MIN as the unreachable optimum that MRD approximates
+// ("we thus only approximate Belady's MIN"). We implement it as a bound for
+// tests and for the ablation bench: no online policy should beat MIN's hit
+// ratio on the planned stream, and MRD should land between LRU and MIN.
+//
+// The oracle sees the static plan's probe sequence; runtime lineage
+// recomputation can add probes MIN did not foresee, so it is an oracle with
+// respect to the plan, not the realized trace — good enough for a bound,
+// and documented in DESIGN.md.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_policy.h"
+#include "cache/resident_set.h"
+
+namespace mrd {
+
+class BeladyPolicy : public CachePolicy {
+ public:
+  std::string_view name() const override { return "Belady-MIN"; }
+
+  void on_application_start(const ExecutionPlan& plan) override;
+  void on_job_start(const ExecutionPlan& plan, JobId job) override;
+  void on_stage_start(const ExecutionPlan& plan, JobId job,
+                      StageId stage) override;
+  void on_stage_end(const ExecutionPlan& plan, JobId job,
+                    StageId stage) override;
+  void on_rdd_probed(const ExecutionPlan& plan, RddId rdd,
+                     StageId stage) override;
+
+  bool should_promote(const BlockId& block, std::uint64_t free_bytes) override;
+  void on_block_cached(const BlockId& block, std::uint64_t bytes) override;
+  void on_block_accessed(const BlockId& block) override;
+  void on_block_evicted(const BlockId& block) override;
+  std::optional<BlockId> choose_victim() override;
+
+  /// Execution-order index of `rdd`'s next planned probe at/after the
+  /// current position; returns SIZE_MAX when none remains.
+  std::size_t next_reference(RddId rdd) const;
+
+ private:
+  void build_timeline(const ExecutionPlan& plan);
+
+  /// Probe positions per RDD, ascending execution-order index.
+  std::unordered_map<RddId, std::vector<std::size_t>> events_;
+  /// Per-RDD consumption cursor into events_ (advanced as probes complete).
+  std::unordered_map<RddId, std::size_t> consumed_;
+  /// (job, stage) -> execution-order index.
+  std::map<std::pair<JobId, StageId>, std::size_t> order_;
+  std::size_t cursor_ = 0;
+  bool timeline_built_ = false;
+  ResidentSet residents_;
+};
+
+}  // namespace mrd

@@ -1,0 +1,18 @@
+#include "cache/cache_policy.h"
+
+namespace mrd {
+
+bool block_on_node(const BlockId& block, NodeId node, NodeId num_nodes) {
+  return num_nodes > 0 && block.partition % num_nodes == node;
+}
+
+const StageExecution* find_execution(const ExecutionPlan& plan, JobId job,
+                                     StageId stage) {
+  if (job >= plan.jobs().size()) return nullptr;
+  for (const StageExecution& rec : plan.job(job).stages) {
+    if (rec.stage == stage && rec.executed) return &rec;
+  }
+  return nullptr;
+}
+
+}  // namespace mrd

@@ -1,0 +1,165 @@
+// The cache-management policy interface.
+//
+// One policy instance runs per worker node (mirroring the paper's per-node
+// CacheMonitor); it observes the blocks cached/accessed/evicted on that node
+// plus cluster-wide DAG events, and answers three questions:
+//
+//   * choose_victim()       — who goes when the store is under pressure;
+//   * purge_candidates()    — who can be dropped proactively (MRD's
+//                             infinite-distance purge);
+//   * prefetch_candidates() — who should be pulled into memory ahead of use.
+//
+// DAG visibility comes in two modes (paper §4.1): recurring applications
+// deliver the whole plan up front via on_application_start; ad-hoc
+// applications deliver one job DAG at a time via on_job_start. Policies that
+// ignore the DAG (LRU, FIFO) simply don't override those hooks.
+//
+// Reference consumption happens at *stage end* (on_stage_end): while a stage
+// runs, the blocks it is reading are the current reference and must not look
+// exhausted to the policy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dag/execution_plan.h"
+#include "dag/ids.h"
+
+namespace mrd {
+
+class CachePolicy {
+ public:
+  virtual ~CachePolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // ---- DAG visibility ----------------------------------------------------
+
+  /// Recurring mode only: the full application plan, before any execution.
+  virtual void on_application_start(const ExecutionPlan& plan) { (void)plan; }
+
+  /// The job DAG fragment, at job submission time. Called in both modes (in
+  /// recurring mode the information is redundant but marks progress).
+  virtual void on_job_start(const ExecutionPlan& plan, JobId job) {
+    (void)plan;
+    (void)job;
+  }
+
+  /// A stage execution begins / completes. Stage IDs only increase over the
+  /// run.
+  virtual void on_stage_start(const ExecutionPlan& plan, JobId job,
+                              StageId stage) {
+    (void)plan;
+    (void)job;
+    (void)stage;
+  }
+  virtual void on_stage_end(const ExecutionPlan& plan, JobId job,
+                            StageId stage) {
+    (void)plan;
+    (void)job;
+    (void)stage;
+  }
+
+  /// The running stage has finished reading all of `rdd`'s blocks: that
+  /// reference is consumed *now*, not at stage end. Without this, every RDD
+  /// the stage touches looks equally urgent (distance 0) for the rest of the
+  /// stage and mid-stage evictions cannot rank them.
+  virtual void on_rdd_probed(const ExecutionPlan& plan, RddId rdd,
+                             StageId stage) {
+    (void)plan;
+    (void)rdd;
+    (void)stage;
+  }
+
+  // ---- Per-node block lifecycle -------------------------------------------
+
+  virtual void on_block_cached(const BlockId& block, std::uint64_t bytes) = 0;
+  virtual void on_block_accessed(const BlockId& block) = 0;
+  virtual void on_block_evicted(const BlockId& block) = 0;
+
+  // ---- Decisions -----------------------------------------------------------
+
+  /// Next eviction victim among this node's resident blocks. nullopt only if
+  /// the policy believes nothing is evictable (the store then falls back to
+  /// evicting its own oldest block so progress is never blocked).
+  virtual std::optional<BlockId> choose_victim() = 0;
+
+  /// Blocks to drop proactively, if any. Queried at stage boundaries.
+  virtual std::vector<BlockId> purge_candidates() { return {}; }
+
+  /// Blocks to pull into memory, best candidate first. Queried at stage
+  /// boundaries with the node's current free space and total capacity.
+  virtual std::vector<BlockId> prefetch_candidates(std::uint64_t free_bytes,
+                                                   std::uint64_t capacity) {
+    (void)free_bytes;
+    (void)capacity;
+    return {};
+  }
+
+  /// Whether a prefetch may evict resident blocks to make room (Algorithm 1,
+  /// line 26: MRD forces the prefetch when free memory exceeds a threshold).
+  /// Policies that only prefetch into genuinely free space return false.
+  virtual bool prefetch_may_evict(std::uint64_t free_bytes,
+                                  std::uint64_t capacity) const {
+    (void)free_bytes;
+    (void)capacity;
+    return false;
+  }
+
+  /// Should a block just served from the node's disk copy be promoted back
+  /// into the memory store (possibly evicting residents)? Spark's default
+  /// path always re-caches — which is exactly how LRU thrashes on cyclic
+  /// working sets — so the default is true; DAG-aware policies can decline
+  /// when the block ranks below every resident.
+  virtual bool should_promote(const BlockId& block, std::uint64_t free_bytes) {
+    (void)block;
+    (void)free_bytes;
+    return true;
+  }
+
+  /// Per-candidate forced-prefetch test: true when inserting `block` (and
+  /// evicting the policy's current worst resident) strictly improves the
+  /// cache — MRD's CacheMonitor answers "is this block nearer than the
+  /// furthest resident?". Complements the coarse threshold test above.
+  virtual bool prefetch_swap_improves(const BlockId& block) const {
+    (void)block;
+    return false;
+  }
+
+  /// Called by the BlockManager around the memory-store insert of a
+  /// *completed prefetch*, so that a policy can pick prefetch-induced
+  /// eviction victims differently from demand-pressure victims (the paper's
+  /// prefetch evicts the largest-reference-distance block even in the
+  /// prefetch-only ablation).
+  virtual void on_prefetch_insert(bool active) { (void)active; }
+
+  /// Final admission check for a completed *forced* prefetch (the paper's
+  /// §4.4 future-work "pre-check" — off by default in MRD). Returning false
+  /// drops the loaded block instead of inserting it.
+  virtual bool admit_prefetch(const BlockId& block) {
+    (void)block;
+    return true;
+  }
+};
+
+/// Creates one policy instance for one node. `node` and `num_nodes` let
+/// policies reason about the partition→node mapping (partition p lives on
+/// node p % num_nodes).
+using PolicyFactory =
+    std::function<std::unique_ptr<CachePolicy>(NodeId node, NodeId num_nodes)>;
+
+/// Returns true if `block`'s partition is placed on `node` under the
+/// round-robin partition placement used by the cluster.
+bool block_on_node(const BlockId& block, NodeId node, NodeId num_nodes);
+
+/// Finds the execution record of `stage` within `job`; nullptr if the stage
+/// does not appear (or was skipped) in that job.
+const StageExecution* find_execution(const ExecutionPlan& plan, JobId job,
+                                     StageId stage);
+
+}  // namespace mrd

@@ -1,0 +1,24 @@
+#include "cache/fifo.h"
+
+namespace mrd {
+
+void FifoPolicy::on_block_cached(const BlockId& block, std::uint64_t bytes) {
+  (void)bytes;
+  if (index_.count(block)) return;  // re-cache keeps original position
+  order_.push_back(block);
+  index_.emplace(block, std::prev(order_.end()));
+}
+
+void FifoPolicy::on_block_evicted(const BlockId& block) {
+  auto it = index_.find(block);
+  if (it == index_.end()) return;
+  order_.erase(it->second);
+  index_.erase(it);
+}
+
+std::optional<BlockId> FifoPolicy::choose_victim() {
+  if (order_.empty()) return std::nullopt;
+  return order_.front();
+}
+
+}  // namespace mrd

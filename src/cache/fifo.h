@@ -1,0 +1,26 @@
+// First-In First-Out — an additional DAG-oblivious baseline used by tests and
+// ablation benches (not part of the paper's comparison set).
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/cache_policy.h"
+
+namespace mrd {
+
+class FifoPolicy : public CachePolicy {
+ public:
+  std::string_view name() const override { return "FIFO"; }
+
+  void on_block_cached(const BlockId& block, std::uint64_t bytes) override;
+  void on_block_accessed(const BlockId& /*block*/) override {}
+  void on_block_evicted(const BlockId& block) override;
+  std::optional<BlockId> choose_victim() override;
+
+ private:
+  std::list<BlockId> order_;  // front = oldest
+  std::unordered_map<BlockId, std::list<BlockId>::iterator> index_;
+};
+
+}  // namespace mrd

@@ -1,0 +1,54 @@
+#include "cache/lrc.h"
+
+#include "dag/reference_profile.h"
+
+namespace mrd {
+
+void LrcPolicy::on_job_start(const ExecutionPlan& plan, JobId job) {
+  const ReferenceProfileMap profile = build_job_reference_profile(plan, job);
+  for (const auto& [rdd, p] : profile) {
+    total_refs_[rdd] += p.references.size();
+  }
+}
+
+void LrcPolicy::on_stage_end(const ExecutionPlan& plan, JobId job,
+                             StageId stage) {
+  const StageExecution* rec = find_execution(plan, job, stage);
+  if (rec == nullptr) return;
+  for (RddId rdd : rec->probes) {
+    ++consumed_refs_[rdd];
+  }
+}
+
+void LrcPolicy::on_block_cached(const BlockId& block, std::uint64_t bytes) {
+  (void)bytes;
+  residents_.insert(block);
+}
+
+void LrcPolicy::on_block_accessed(const BlockId& block) {
+  residents_.touch(block);
+}
+
+void LrcPolicy::on_block_evicted(const BlockId& block) {
+  residents_.erase(block);
+}
+
+std::optional<BlockId> LrcPolicy::choose_victim() {
+  // Lowest remaining reference count goes first; worst() picks the maximum
+  // score, so score = -count.
+  return residents_.worst([this](const BlockId& b) {
+    return -static_cast<double>(remaining_references(b.rdd));
+  });
+}
+
+std::uint64_t LrcPolicy::remaining_references(RddId rdd) const {
+  const auto total_it = total_refs_.find(rdd);
+  const std::uint64_t total =
+      total_it == total_refs_.end() ? 0 : total_it->second;
+  const auto used_it = consumed_refs_.find(rdd);
+  const std::uint64_t used =
+      used_it == consumed_refs_.end() ? 0 : used_it->second;
+  return total > used ? total - used : 0;
+}
+
+}  // namespace mrd

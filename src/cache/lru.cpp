@@ -1,0 +1,36 @@
+#include "cache/lru.h"
+
+#include "util/check.h"
+
+namespace mrd {
+
+void LruPolicy::on_block_cached(const BlockId& block, std::uint64_t bytes) {
+  (void)bytes;
+  touch(block);
+}
+
+void LruPolicy::on_block_accessed(const BlockId& block) { touch(block); }
+
+void LruPolicy::on_block_evicted(const BlockId& block) {
+  auto it = index_.find(block);
+  if (it == index_.end()) return;
+  order_.erase(it->second);
+  index_.erase(it);
+}
+
+std::optional<BlockId> LruPolicy::choose_victim() {
+  if (order_.empty()) return std::nullopt;
+  return order_.back();
+}
+
+void LruPolicy::touch(const BlockId& block) {
+  auto it = index_.find(block);
+  if (it != index_.end()) {
+    order_.erase(it->second);
+    index_.erase(it);
+  }
+  order_.push_front(block);
+  index_.emplace(block, order_.begin());
+}
+
+}  // namespace mrd

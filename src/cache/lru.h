@@ -1,0 +1,31 @@
+// Least Recently Used — Spark's default MemoryStore policy and the paper's
+// primary baseline. DAG-oblivious: evicts the resident block idle longest.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/cache_policy.h"
+
+namespace mrd {
+
+class LruPolicy : public CachePolicy {
+ public:
+  std::string_view name() const override { return "LRU"; }
+
+  void on_block_cached(const BlockId& block, std::uint64_t bytes) override;
+  void on_block_accessed(const BlockId& block) override;
+  void on_block_evicted(const BlockId& block) override;
+  std::optional<BlockId> choose_victim() override;
+
+  std::size_t resident_count() const { return index_.size(); }
+
+ private:
+  void touch(const BlockId& block);
+
+  // Front = most recently used, back = LRU victim.
+  std::list<BlockId> order_;
+  std::unordered_map<BlockId, std::list<BlockId>::iterator> index_;
+};
+
+}  // namespace mrd

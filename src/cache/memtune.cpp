@@ -1,0 +1,93 @@
+#include "cache/memtune.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mrd {
+
+MemTunePolicy::MemTunePolicy(NodeId node, NodeId num_nodes, std::size_t window)
+    : node_(node), num_nodes_(num_nodes), window_(window) {
+  MRD_CHECK(window_ >= 1);
+}
+
+void MemTunePolicy::on_job_start(const ExecutionPlan& plan, JobId job) {
+  (void)job;
+  plan_ = &plan;
+}
+
+void MemTunePolicy::on_stage_start(const ExecutionPlan& plan, JobId job,
+                                   StageId stage) {
+  plan_ = &plan;
+  needed_.clear();
+  if (job >= plan.jobs().size()) return;
+
+  // Collect the executed stage sequence of the current job and locate the
+  // current stage within it; the needed list covers `window_` executions
+  // from there.
+  const JobInfo& info = plan.job(job);
+  std::size_t pos = info.stages.size();
+  std::vector<const StageExecution*> executed;
+  for (const StageExecution& rec : info.stages) {
+    if (!rec.executed) continue;
+    if (rec.stage == stage) pos = executed.size();
+    executed.push_back(&rec);
+  }
+  if (pos == info.stages.size()) return;  // stage not found (skipped)
+
+  for (std::size_t i = pos; i < executed.size() && i < pos + window_; ++i) {
+    for (RddId r : executed[i]->probes) needed_.insert(r);
+    // RDDs being materialized by the running stage are also live data for
+    // its tasks.
+    if (i == pos) {
+      for (RddId r : executed[i]->computes) {
+        if (plan.app().rdd(r).persisted) needed_.insert(r);
+      }
+    }
+  }
+}
+
+void MemTunePolicy::on_block_cached(const BlockId& block, std::uint64_t bytes) {
+  (void)bytes;
+  residents_.insert(block);
+}
+
+void MemTunePolicy::on_block_accessed(const BlockId& block) {
+  residents_.touch(block);
+}
+
+void MemTunePolicy::on_block_evicted(const BlockId& block) {
+  residents_.erase(block);
+}
+
+std::optional<BlockId> MemTunePolicy::choose_victim() {
+  // Blocks outside the needed lists are evicted first (score 1), LRU within
+  // each class.
+  return residents_.worst(
+      [this](const BlockId& b) { return is_needed(b.rdd) ? 0.0 : 1.0; });
+}
+
+std::vector<BlockId> MemTunePolicy::prefetch_candidates(
+    std::uint64_t free_bytes, std::uint64_t capacity) {
+  (void)free_bytes;
+  (void)capacity;
+  std::vector<BlockId> out;
+  if (plan_ == nullptr) return out;
+  // Unordered (list) semantics: RDD-id order for determinism, no distance
+  // ranking — MemTune has none.
+  std::vector<RddId> sorted(needed_.begin(), needed_.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (RddId rdd : sorted) {
+    const RddInfo& info = plan_->app().rdd(rdd);
+    for (PartitionIndex p = 0; p < info.num_partitions; ++p) {
+      const BlockId block{rdd, p};
+      if (!block_on_node(block, node_, num_nodes_)) continue;
+      if (residents_.contains(block)) continue;
+      out.push_back(block);
+    }
+  }
+  return out;
+}
+
+}  // namespace mrd

@@ -1,0 +1,53 @@
+// MemTune-like eviction/prefetch (Xu et al., IPDPS 2016), restricted — as the
+// MRD paper does — to its cache-management component.
+//
+// MemTune uses DAG dependency information, but only for *runnable tasks*: it
+// keeps the RDDs needed by the currently running and next runnable stage in
+// unordered lists, evicting blocks outside those lists first (LRU among
+// equals) and prefetching blocks inside them when memory is free. It has no
+// notion of how far in the future a reference lies — the coarseness MRD's
+// motivation section calls out. MemTune's other half (dynamically resizing
+// the execution/storage memory fractions) is orthogonal to the eviction
+// comparison and is modelled by the harness simply via the cache-capacity
+// knob.
+#pragma once
+
+#include <unordered_set>
+
+#include "cache/cache_policy.h"
+#include "cache/resident_set.h"
+
+namespace mrd {
+
+class MemTunePolicy : public CachePolicy {
+ public:
+  /// `window` = how many upcoming stage executions (including the current
+  /// one) contribute to the "needed" list. MemTune's runnable-task horizon
+  /// corresponds to 2: the running stage and the next runnable one.
+  MemTunePolicy(NodeId node, NodeId num_nodes, std::size_t window = 2);
+
+  std::string_view name() const override { return "MemTune"; }
+
+  void on_job_start(const ExecutionPlan& plan, JobId job) override;
+  void on_stage_start(const ExecutionPlan& plan, JobId job,
+                      StageId stage) override;
+
+  void on_block_cached(const BlockId& block, std::uint64_t bytes) override;
+  void on_block_accessed(const BlockId& block) override;
+  void on_block_evicted(const BlockId& block) override;
+  std::optional<BlockId> choose_victim() override;
+  std::vector<BlockId> prefetch_candidates(std::uint64_t free_bytes,
+                                           std::uint64_t capacity) override;
+
+  bool is_needed(RddId rdd) const { return needed_.count(rdd) > 0; }
+
+ private:
+  NodeId node_;
+  NodeId num_nodes_;
+  std::size_t window_;
+  const ExecutionPlan* plan_ = nullptr;  // set at job start; plan outlives run
+  std::unordered_set<RddId> needed_;
+  ResidentSet residents_;
+};
+
+}  // namespace mrd

@@ -1,0 +1,64 @@
+// Shared bookkeeping for score-based policies (LRC, MemTune, Belady, MRD):
+// tracks the node's resident blocks in recency order and selects the
+// worst-scored block, breaking score ties toward the least recently used.
+#pragma once
+
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "dag/ids.h"
+
+namespace mrd {
+
+class ResidentSet {
+ public:
+  void insert(const BlockId& block) { touch(block); }
+
+  void erase(const BlockId& block) {
+    auto it = index_.find(block);
+    if (it == index_.end()) return;
+    order_.erase(it->second);
+    index_.erase(it);
+  }
+
+  /// Moves `block` to the most-recently-used position (inserting if absent).
+  void touch(const BlockId& block) {
+    erase(block);
+    order_.push_front(block);
+    index_.emplace(block, order_.begin());
+  }
+
+  bool contains(const BlockId& block) const { return index_.count(block) > 0; }
+  bool empty() const { return order_.empty(); }
+  std::size_t size() const { return order_.size(); }
+
+  /// Resident blocks from least- to most-recently used.
+  template <typename Fn>
+  void for_each_lru_first(Fn&& fn) const {
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) fn(*it);
+  }
+
+  /// Returns the resident block with the *maximum* score; among equal scores
+  /// the least recently used wins (it is visited first). `score` maps a
+  /// BlockId to an ordered value (double).
+  template <typename ScoreFn>
+  std::optional<BlockId> worst(ScoreFn&& score) const {
+    std::optional<BlockId> best;
+    double best_score = 0.0;
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+      const double s = score(*it);
+      if (!best || s > best_score) {
+        best = *it;
+        best_score = s;
+      }
+    }
+    return best;
+  }
+
+ private:
+  std::list<BlockId> order_;  // front = most recent
+  std::unordered_map<BlockId, std::list<BlockId>::iterator> index_;
+};
+
+}  // namespace mrd

@@ -1,0 +1,154 @@
+#include "cluster/block_manager.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mrd {
+
+BlockManager::BlockManager(NodeId node, const ClusterConfig& config,
+                           std::unique_ptr<CachePolicy> policy)
+    : node_(node),
+      config_(config),
+      policy_(std::move(policy)),
+      store_(config.cache_bytes_per_node, policy_.get()) {
+  MRD_CHECK(policy_ != nullptr);
+}
+
+ProbeOutcome BlockManager::probe(const BlockId& block, std::uint64_t bytes,
+                                 IoCharge* charge) {
+  ++stats_.probes;
+  auto& rdd_counts = stats_.per_rdd[block.rdd];
+  ++rdd_counts.first;
+  if (store_.access(block)) {
+    ++stats_.hits;
+    ++rdd_counts.second;
+    if (prefetched_unused_.erase(block) > 0) ++stats_.prefetches_useful;
+    return ProbeOutcome::kHit;
+  }
+  // A queued-but-unserved prefetch is superseded by this demand read.
+  cancel_pending_prefetch(block);
+
+  if (on_disk_.count(block)) {
+    ++stats_.disk_hits;
+    charge->disk_read_bytes += bytes;
+    // Promotion back into memory is a policy decision: Spark's default path
+    // always re-caches (evicting LRU victims), while a DAG-aware policy can
+    // leave a far-referenced block on disk instead of displacing residents.
+    if (policy_->should_promote(block, store_.free_bytes())) {
+      insert_with_spill(block, bytes, charge);
+    }
+    return ProbeOutcome::kDiskHit;
+  }
+  ++stats_.cold_misses;
+  return ProbeOutcome::kCold;
+}
+
+void BlockManager::cache_block(const BlockId& block, std::uint64_t bytes,
+                               IoCharge* charge) {
+  insert_with_spill(block, bytes, charge);
+}
+
+void BlockManager::purge_block(const BlockId& block) {
+  if (prefetched_unused_.erase(block) > 0) ++stats_.prefetches_wasted;
+  if (store_.remove(block)) ++stats_.purged;
+}
+
+bool BlockManager::issue_prefetch(const BlockId& block, std::uint64_t bytes,
+                                  bool forced) {
+  if (store_.contains(block)) return false;
+  if (prefetch_queued_.count(block)) return false;
+  if (!on_disk_.count(block)) return false;
+  const double load_ms = static_cast<double>(bytes) * config_.disk_ms_per_byte();
+  prefetch_queue_.push_back(PendingPrefetch{block, bytes, load_ms, forced});
+  prefetch_queued_.insert(block);
+  queued_bytes_ += bytes;
+  ++stats_.prefetches_issued;
+  return true;
+}
+
+double BlockManager::serve_prefetch(double available_ms, IoCharge* charge) {
+  double used_ms = 0.0;
+  while (!prefetch_queue_.empty() && available_ms > 0.0) {
+    PendingPrefetch& head = prefetch_queue_.front();
+    const double spend = std::min(available_ms, head.remaining_ms);
+    head.remaining_ms -= spend;
+    available_ms -= spend;
+    used_ms += spend;
+    if (head.remaining_ms > 1e-9) break;  // partially loaded; resume later
+
+    // Load complete.
+    charge->disk_read_bytes += head.bytes;
+    const BlockId block = head.block;
+    const std::uint64_t bytes = head.bytes;
+    const bool forced = head.forced;
+    prefetch_queue_.pop_front();
+    prefetch_queued_.erase(block);
+    queued_bytes_ -= bytes;
+
+    const bool fits = bytes <= store_.free_bytes();
+    if ((fits || forced) && (fits || policy_->admit_prefetch(block))) {
+      policy_->on_prefetch_insert(true);
+      const bool stored = insert_with_spill(block, bytes, charge);
+      policy_->on_prefetch_insert(false);
+      if (stored) {
+        ++stats_.prefetches_completed;
+        prefetched_unused_.insert(block);
+      } else {
+        ++stats_.prefetches_dropped;
+      }
+    } else {
+      ++stats_.prefetches_dropped;
+    }
+  }
+  return used_ms;
+}
+
+bool BlockManager::prefetch_pending(const BlockId& block) const {
+  return prefetch_queued_.count(block) > 0;
+}
+
+void BlockManager::flush_unstarted_prefetches() {
+  while (!prefetch_queue_.empty()) {
+    const PendingPrefetch& tail = prefetch_queue_.back();
+    const double full_ms =
+        static_cast<double>(tail.bytes) * config_.disk_ms_per_byte();
+    const bool started = tail.remaining_ms < full_ms - 1e-9;
+    if (started) break;  // only the head can be partially served; keep it
+    prefetch_queued_.erase(tail.block);
+    queued_bytes_ -= tail.bytes;
+    prefetch_queue_.pop_back();
+  }
+}
+
+bool BlockManager::insert_with_spill(const BlockId& block, std::uint64_t bytes,
+                                     IoCharge* charge) {
+  const InsertResult result = store_.insert(block, bytes);
+  for (const auto& [victim, victim_bytes] : result.evicted) {
+    ++stats_.evictions;
+    if (prefetched_unused_.erase(victim) > 0) ++stats_.prefetches_wasted;
+    if (config_.spill_on_evict && !on_disk_.count(victim)) {
+      on_disk_.insert(victim);
+      ++stats_.spills;
+      charge->disk_write_bytes += victim_bytes;
+    }
+  }
+  if (!result.stored) {
+    ++stats_.uncacheable;
+    return false;
+  }
+  ++stats_.blocks_cached;
+  return true;
+}
+
+void BlockManager::cancel_pending_prefetch(const BlockId& block) {
+  if (prefetch_queued_.erase(block) == 0) return;
+  const auto it =
+      std::find_if(prefetch_queue_.begin(), prefetch_queue_.end(),
+                   [&](const PendingPrefetch& p) { return p.block == block; });
+  MRD_CHECK(it != prefetch_queue_.end());
+  queued_bytes_ -= it->bytes;
+  prefetch_queue_.erase(it);
+}
+
+}  // namespace mrd

@@ -1,0 +1,144 @@
+// Per-node BlockManager: the component that Spark's BlockManager +
+// MemoryStore + DiskStore triple corresponds to. It owns the node's cache
+// policy instance, its bounded MemoryStore, the set of on-disk block copies
+// (spills), and the node's prefetch queue.
+//
+// I/O cost is *accounted*, not performed: operations return byte counts that
+// the ApplicationRunner converts to time against the cluster's bandwidths.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_set>
+#include <utility>
+
+#include "cache/cache_policy.h"
+#include "cluster/cluster_config.h"
+#include "cluster/memory_store.h"
+#include "dag/ids.h"
+
+namespace mrd {
+
+/// Byte-level costs of one BlockManager operation.
+struct IoCharge {
+  std::uint64_t disk_read_bytes = 0;
+  std::uint64_t disk_write_bytes = 0;
+};
+
+enum class ProbeOutcome {
+  kHit,      // resident in memory
+  kDiskHit,  // not in memory, disk copy read (and promoted back to memory)
+  kCold,     // nowhere local: lineage recomputation required
+};
+
+struct NodeCacheStats {
+  std::uint64_t probes = 0;
+  std::uint64_t hits = 0;
+  /// Per-RDD probe/hit counts — lets benches and tests see *which* data a
+  /// policy serves from memory (e.g. a hot input thrashing under LRU).
+  std::map<RddId, std::pair<std::uint64_t, std::uint64_t>> per_rdd;  // probes, hits
+  std::uint64_t disk_hits = 0;
+  std::uint64_t cold_misses = 0;
+  std::uint64_t blocks_cached = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t spills = 0;
+  std::uint64_t purged = 0;
+  std::uint64_t uncacheable = 0;
+  std::uint64_t prefetches_issued = 0;
+  std::uint64_t prefetches_completed = 0;
+  std::uint64_t prefetches_useful = 0;
+  std::uint64_t prefetches_wasted = 0;
+  std::uint64_t prefetches_dropped = 0;  // completed load but no room
+};
+
+class BlockManager {
+ public:
+  BlockManager(NodeId node, const ClusterConfig& config,
+               std::unique_ptr<CachePolicy> policy);
+
+  NodeId node() const { return node_; }
+  CachePolicy& policy() { return *policy_; }
+  const MemoryStore& store() const { return store_; }
+  const NodeCacheStats& stats() const { return stats_; }
+
+  // ---- Demand path ----
+
+  /// Looks up `block` for a reading task. kDiskHit re-inserts the block into
+  /// memory (Spark promotes MEMORY_AND_DISK reads back to the memory store),
+  /// which may spill victims — all charged to `charge`.
+  ProbeOutcome probe(const BlockId& block, std::uint64_t bytes,
+                     IoCharge* charge);
+
+  /// Caches a newly computed block (first materialization or post-recompute
+  /// re-cache). Evictions it causes may spill to disk (charged).
+  void cache_block(const BlockId& block, std::uint64_t bytes,
+                   IoCharge* charge);
+
+  /// Drops the memory copy (MRD purge). The disk copy, if any, remains.
+  void purge_block(const BlockId& block);
+
+  bool in_memory(const BlockId& block) const { return store_.contains(block); }
+  bool has_disk_copy(const BlockId& block) const {
+    return on_disk_.count(block) > 0;
+  }
+
+  // ---- Prefetch path ----
+
+  /// Queues a prefetch of an on-disk block. `forced` records whether, at
+  /// completion, the insert may evict residents (Algorithm 1 line 26).
+  /// Returns false (and does nothing) if the block is resident, already
+  /// queued, or has no disk copy.
+  bool issue_prefetch(const BlockId& block, std::uint64_t bytes, bool forced);
+
+  /// Serves the prefetch queue with `available_ms` of idle disk time.
+  /// Completed blocks are inserted into memory (forced inserts may evict and
+  /// spill — charged). Returns the disk-read milliseconds actually used.
+  double serve_prefetch(double available_ms, IoCharge* charge);
+
+  /// True if the block sits in the prefetch queue, not yet loaded. A demand
+  /// probe for such a block cancels the queue entry (the demand read
+  /// supersedes it).
+  bool prefetch_pending(const BlockId& block) const;
+
+  /// Drops queued prefetches whose disk read has not started yet (the head
+  /// entry keeps its partial progress). Called before each re-issuance so
+  /// stale orders from earlier stages don't pin the queue; the fresh orders
+  /// reflect current reference distances.
+  void flush_unstarted_prefetches();
+
+  std::size_t prefetch_queue_length() const { return prefetch_queue_.size(); }
+
+  /// Bytes committed to queued (unserved) prefetches — used to project
+  /// remaining free space when issuing further prefetch orders.
+  std::uint64_t queued_prefetch_bytes() const { return queued_bytes_; }
+
+ private:
+  /// Insert + spill accounting shared by cache_block / disk promotion /
+  /// prefetch completion.
+  bool insert_with_spill(const BlockId& block, std::uint64_t bytes,
+                         IoCharge* charge);
+  void cancel_pending_prefetch(const BlockId& block);
+
+  struct PendingPrefetch {
+    BlockId block;
+    std::uint64_t bytes;
+    double remaining_ms;  // load time still owed
+    bool forced;
+  };
+
+  NodeId node_;
+  const ClusterConfig& config_;
+  std::unique_ptr<CachePolicy> policy_;
+  MemoryStore store_;
+  std::unordered_set<BlockId> on_disk_;
+  std::deque<PendingPrefetch> prefetch_queue_;
+  std::unordered_set<BlockId> prefetch_queued_;
+  std::uint64_t queued_bytes_ = 0;
+  /// Prefetched blocks not yet accessed (to classify useful vs. wasted).
+  std::unordered_set<BlockId> prefetched_unused_;
+  NodeCacheStats stats_;
+};
+
+}  // namespace mrd

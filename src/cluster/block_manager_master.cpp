@@ -1,0 +1,93 @@
+#include "cluster/block_manager_master.h"
+
+#include "util/check.h"
+
+namespace mrd {
+
+BlockManagerMaster::BlockManagerMaster(const ClusterConfig& config,
+                                       const PolicyFactory& factory)
+    : config_(config) {
+  MRD_CHECK(config_.num_nodes > 0);
+  nodes_.reserve(config_.num_nodes);
+  for (NodeId n = 0; n < config_.num_nodes; ++n) {
+    nodes_.push_back(std::make_unique<BlockManager>(
+        n, config_, factory(n, config_.num_nodes)));
+  }
+}
+
+BlockManager& BlockManagerMaster::node(NodeId id) {
+  MRD_CHECK(id < nodes_.size());
+  return *nodes_[id];
+}
+
+const BlockManager& BlockManagerMaster::node(NodeId id) const {
+  MRD_CHECK(id < nodes_.size());
+  return *nodes_[id];
+}
+
+void BlockManagerMaster::broadcast_application_start(
+    const ExecutionPlan& plan) {
+  for (auto& node : nodes_) node->policy().on_application_start(plan);
+}
+
+void BlockManagerMaster::broadcast_job_start(const ExecutionPlan& plan,
+                                             JobId job) {
+  for (auto& node : nodes_) node->policy().on_job_start(plan, job);
+}
+
+void BlockManagerMaster::broadcast_stage_start(const ExecutionPlan& plan,
+                                               JobId job, StageId stage) {
+  for (auto& node : nodes_) node->policy().on_stage_start(plan, job, stage);
+}
+
+void BlockManagerMaster::broadcast_stage_end(const ExecutionPlan& plan,
+                                             JobId job, StageId stage) {
+  for (auto& node : nodes_) node->policy().on_stage_end(plan, job, stage);
+}
+
+void BlockManagerMaster::broadcast_rdd_probed(const ExecutionPlan& plan,
+                                              RddId rdd, StageId stage) {
+  for (auto& node : nodes_) node->policy().on_rdd_probed(plan, rdd, stage);
+}
+
+std::size_t BlockManagerMaster::execute_purge() {
+  std::size_t purged = 0;
+  for (auto& node : nodes_) {
+    for (const BlockId& block : node->policy().purge_candidates()) {
+      if (node->in_memory(block)) {
+        node->purge_block(block);
+        ++purged;
+      }
+    }
+  }
+  return purged;
+}
+
+NodeCacheStats BlockManagerMaster::aggregate_stats() const {
+  NodeCacheStats total;
+  for (const auto& node : nodes_) {
+    const NodeCacheStats& s = node->stats();
+    total.probes += s.probes;
+    total.hits += s.hits;
+    for (const auto& [rdd, counts] : s.per_rdd) {
+      auto& agg = total.per_rdd[rdd];
+      agg.first += counts.first;
+      agg.second += counts.second;
+    }
+    total.disk_hits += s.disk_hits;
+    total.cold_misses += s.cold_misses;
+    total.blocks_cached += s.blocks_cached;
+    total.evictions += s.evictions;
+    total.spills += s.spills;
+    total.purged += s.purged;
+    total.uncacheable += s.uncacheable;
+    total.prefetches_issued += s.prefetches_issued;
+    total.prefetches_completed += s.prefetches_completed;
+    total.prefetches_useful += s.prefetches_useful;
+    total.prefetches_wasted += s.prefetches_wasted;
+    total.prefetches_dropped += s.prefetches_dropped;
+  }
+  return total;
+}
+
+}  // namespace mrd

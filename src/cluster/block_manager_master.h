@@ -1,0 +1,54 @@
+// BlockManagerMaster: the driver-side directory of per-node BlockManagers.
+// Broadcasts DAG events to every node's policy (the paper's
+// BlockManagerMasterEndpoint → BlockManagerSlaveEndpoint path) and carries
+// out cluster-wide purge orders.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache_policy.h"
+#include "cluster/block_manager.h"
+#include "cluster/cluster_config.h"
+
+namespace mrd {
+
+class BlockManagerMaster {
+ public:
+  BlockManagerMaster(const ClusterConfig& config, const PolicyFactory& factory);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(nodes_.size()); }
+  BlockManager& node(NodeId id);
+  const BlockManager& node(NodeId id) const;
+
+  /// Owner node of a block under round-robin partition placement.
+  NodeId owner(const BlockId& block) const {
+    return block.partition % num_nodes();
+  }
+
+  const ClusterConfig& config() const { return config_; }
+
+  // ---- Event broadcast to every node's policy ----
+  void broadcast_application_start(const ExecutionPlan& plan);
+  void broadcast_job_start(const ExecutionPlan& plan, JobId job);
+  void broadcast_stage_start(const ExecutionPlan& plan, JobId job,
+                             StageId stage);
+  void broadcast_stage_end(const ExecutionPlan& plan, JobId job,
+                           StageId stage);
+  void broadcast_rdd_probed(const ExecutionPlan& plan, RddId rdd,
+                            StageId stage);
+
+  /// Executes the all-out purge (Algorithm 1 lines 13–17): asks every node's
+  /// policy for purge candidates and drops their memory copies. Returns the
+  /// number of blocks purged.
+  std::size_t execute_purge();
+
+  /// Sums per-node cache statistics.
+  NodeCacheStats aggregate_stats() const;
+
+ private:
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<BlockManager>> nodes_;
+};
+
+}  // namespace mrd

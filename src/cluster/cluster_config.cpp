@@ -1,0 +1,38 @@
+#include "cluster/cluster_config.h"
+
+namespace mrd {
+
+ClusterConfig main_cluster() {
+  ClusterConfig c;
+  c.name = "main";
+  c.num_nodes = 25;
+  c.cpu_slots_per_node = 4;
+  c.cache_bytes_per_node = 512ull << 20;
+  c.disk_mb_per_s = 150.0;
+  c.network_mb_per_s = 62.5;  // 500 Mbps
+  return c;
+}
+
+ClusterConfig lrc_cluster() {
+  ClusterConfig c;
+  c.name = "lrc";
+  c.num_nodes = 20;
+  c.cpu_slots_per_node = 2;
+  c.cache_bytes_per_node = 512ull << 20;
+  c.disk_mb_per_s = 120.0;
+  c.network_mb_per_s = 56.25;  // 450 Mbps
+  return c;
+}
+
+ClusterConfig memtune_cluster() {
+  ClusterConfig c;
+  c.name = "memtune";
+  c.num_nodes = 6;
+  c.cpu_slots_per_node = 8;
+  c.cache_bytes_per_node = 512ull << 20;
+  c.disk_mb_per_s = 180.0;
+  c.network_mb_per_s = 125.0;  // 1 Gbps
+  return c;
+}
+
+}  // namespace mrd

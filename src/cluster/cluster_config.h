@@ -1,0 +1,56 @@
+// Cluster descriptions, including presets mirroring the paper's Table 4.
+//
+// Bandwidths and per-node cache sizes are simulation parameters, not claims
+// about the original testbed; the presets keep the *relative* shape of the
+// three environments (node count, network speed ratios, RAM class) so the
+// Fig 5/6 comparisons run in comparable settings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mrd {
+
+struct ClusterConfig {
+  std::string name = "main";
+  std::uint32_t num_nodes = 25;
+  std::uint32_t cpu_slots_per_node = 4;  // vCPUs (executor task slots)
+
+  /// Storage-memory per node available for RDD caching (the knob the paper
+  /// turns via spark.memory.fraction / spark.executor.memory).
+  std::uint64_t cache_bytes_per_node = 512ull << 20;
+
+  double disk_mb_per_s = 150.0;     // sequential local-disk bandwidth
+  double network_mb_per_s = 62.5;   // per-node NIC (500 Mbps)
+
+  /// Fixed scheduling overheads.
+  double stage_overhead_ms = 10.0;
+  double job_overhead_ms = 40.0;
+
+  /// Evicted memory blocks spill to local disk (MEMORY_AND_DISK); if false,
+  /// eviction drops the block and a later miss recomputes from lineage
+  /// (MEMORY_ONLY).
+  bool spill_on_evict = true;
+
+  double disk_ms_per_byte() const {
+    return 1.0 / (disk_mb_per_s * 1024.0 * 1024.0 / 1000.0);
+  }
+  double network_ms_per_byte() const {
+    return 1.0 / (network_mb_per_s * 1024.0 * 1024.0 / 1000.0);
+  }
+  std::uint64_t total_cache_bytes() const {
+    return static_cast<std::uint64_t>(num_nodes) * cache_bytes_per_node;
+  }
+};
+
+/// Table 4 "Main cluster": 25 VMs, 4 vCPU, 8 GB, 500 Mbps.
+ClusterConfig main_cluster();
+
+/// Table 4 "LRC cluster" (Amazon EC2 m4.large-like): 20 VMs, 2 vCPU, 8 GB,
+/// 450 Mbps.
+ClusterConfig lrc_cluster();
+
+/// Table 4 "MemTune cluster" (System G-like): 6 VMs, 8 vCPU, 8 GB, 1 Gbps.
+ClusterConfig memtune_cluster();
+
+}  // namespace mrd

@@ -1,0 +1,103 @@
+#include "cluster/memory_store.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace mrd {
+
+MemoryStore::MemoryStore(std::uint64_t capacity_bytes, CachePolicy* policy)
+    : capacity_(capacity_bytes), policy_(policy) {
+  MRD_CHECK(policy_ != nullptr);
+}
+
+InsertResult MemoryStore::insert(const BlockId& block, std::uint64_t bytes,
+                                 bool notify_policy) {
+  InsertResult result;
+  if (bytes > capacity_) return result;  // can never fit
+  if (auto it = blocks_.find(block); it != blocks_.end()) {
+    // Re-insert of a resident block: treat as an access/refresh.
+    MRD_CHECK_MSG(it->second == bytes, "block " << block
+                                                << " re-inserted with size "
+                                                << bytes << " != "
+                                                << it->second);
+    policy_->on_block_accessed(block);
+    result.stored = true;
+    return result;
+  }
+  while (used_ + bytes > capacity_) {
+    if (!evict_one(&result.evicted)) {
+      // Store empty yet still no room — bytes > capacity, handled above.
+      return result;
+    }
+  }
+  blocks_.emplace(block, bytes);
+  insertion_order_.push_back(block);
+  used_ += bytes;
+  result.stored = true;
+  if (notify_policy) policy_->on_block_cached(block, bytes);
+  return result;
+}
+
+bool MemoryStore::remove(const BlockId& block) {
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) return false;
+  used_ -= it->second;
+  blocks_.erase(it);
+  std::erase(insertion_order_, block);
+  policy_->on_block_evicted(block);
+  return true;
+}
+
+bool MemoryStore::access(const BlockId& block) {
+  if (!blocks_.count(block)) return false;
+  policy_->on_block_accessed(block);
+  return true;
+}
+
+std::uint64_t MemoryStore::block_bytes(const BlockId& block) const {
+  const auto it = blocks_.find(block);
+  return it == blocks_.end() ? 0 : it->second;
+}
+
+std::vector<BlockId> MemoryStore::resident_blocks() const {
+  std::vector<BlockId> out;
+  out.reserve(blocks_.size());
+  for (const auto& [block, bytes] : blocks_) {
+    (void)bytes;
+    out.push_back(block);
+  }
+  return out;
+}
+
+bool MemoryStore::evict_one(
+    std::vector<std::pair<BlockId, std::uint64_t>>* evicted) {
+  if (blocks_.empty()) return false;
+
+  BlockId victim;
+  const auto choice = policy_->choose_victim();
+  if (choice && blocks_.count(*choice)) {
+    victim = *choice;
+  } else {
+    // Fallback: oldest insertion still resident. A policy that nominates a
+    // non-resident block (bug) or nothing must not stall the store.
+    MRD_CHECK(!insertion_order_.empty());
+    victim = insertion_order_.front();
+    if (choice) {
+      MRD_LOG_WARN << "policy nominated non-resident victim "
+                   << to_string(*choice) << "; falling back to FIFO";
+    }
+  }
+  const auto it = blocks_.find(victim);
+  MRD_CHECK(it != blocks_.end());
+  const std::uint64_t victim_bytes = it->second;
+  used_ -= victim_bytes;
+  blocks_.erase(it);
+  std::erase(insertion_order_, victim);
+  policy_->on_block_evicted(victim);
+  evicted->emplace_back(victim, victim_bytes);
+  return true;
+}
+
+}  // namespace mrd

@@ -1,0 +1,70 @@
+// Per-node MemoryStore: bounded block storage whose eviction order is
+// delegated to a CachePolicy (the component Spark's MemoryStore plus
+// BlockManager eviction logic correspond to).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_policy.h"
+#include "dag/ids.h"
+
+namespace mrd {
+
+/// Outcome of an insert attempt.
+struct InsertResult {
+  bool stored = false;
+  /// Blocks evicted to make room (with their sizes), in eviction order.
+  std::vector<std::pair<BlockId, std::uint64_t>> evicted;
+};
+
+class MemoryStore {
+ public:
+  /// `policy` must outlive the store.
+  MemoryStore(std::uint64_t capacity_bytes, CachePolicy* policy);
+
+  /// Inserts `block`. Evicts policy-chosen victims until it fits; a block
+  /// larger than the whole capacity is rejected (stored == false). If the
+  /// policy runs out of victims (or keeps nominating non-residents), the
+  /// store falls back to evicting its own insertion-ordered blocks so
+  /// progress is guaranteed.
+  InsertResult insert(const BlockId& block, std::uint64_t bytes,
+                      bool notify_policy = true);
+
+  /// Removes `block` (purge or external eviction). Notifies the policy.
+  /// Returns false if not resident.
+  bool remove(const BlockId& block);
+
+  bool contains(const BlockId& block) const { return blocks_.count(block) > 0; }
+
+  /// Records a read of a resident block with the policy. Returns false if
+  /// the block is not resident (caller counts a miss).
+  bool access(const BlockId& block);
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used() const { return used_; }
+  std::uint64_t free_bytes() const { return capacity_ - used_; }
+  std::size_t num_blocks() const { return blocks_.size(); }
+
+  std::uint64_t block_bytes(const BlockId& block) const;
+
+  /// Resident blocks in unspecified order (testing/inspection).
+  std::vector<BlockId> resident_blocks() const;
+
+  CachePolicy& policy() { return *policy_; }
+
+ private:
+  /// Evicts one block chosen by the policy (with fallback). Returns false
+  /// only when the store is empty.
+  bool evict_one(std::vector<std::pair<BlockId, std::uint64_t>>* evicted);
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  CachePolicy* policy_;
+  std::unordered_map<BlockId, std::uint64_t> blocks_;  // block -> bytes
+  /// Insertion order for the progress-guarantee fallback.
+  std::vector<BlockId> insertion_order_;
+};
+
+}  // namespace mrd

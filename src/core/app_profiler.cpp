@@ -1,0 +1,50 @@
+#include "core/app_profiler.h"
+
+namespace mrd {
+
+ReferenceProfileMap AppProfiler::parse_job(const ExecutionPlan& plan,
+                                           JobId job) {
+  ReferenceProfileMap fragment = build_job_reference_profile(plan, job);
+  // Fold into the accumulated application profile (creation wins first-seen;
+  // references append in job order, which is execution order).
+  for (const auto& [rdd, p] : fragment) {
+    auto [it, inserted] = accumulated_.try_emplace(rdd, p);
+    if (!inserted) {
+      auto& acc = it->second;
+      if (acc.creation.stage == kInvalidStage &&
+          p.creation.stage != kInvalidStage) {
+        acc.creation = p.creation;
+      }
+      acc.references.insert(acc.references.end(), p.references.begin(),
+                            p.references.end());
+    }
+  }
+  return fragment;
+}
+
+ReferenceProfileMap AppProfiler::application_profile(
+    const ExecutionPlan& plan) {
+  if (store_ != nullptr) {
+    if (const StoredProfile* stored = store_->find(plan.app().name())) {
+      return stored->references;
+    }
+  }
+  return build_reference_profile(plan);
+}
+
+bool AppProfiler::is_recurring(const ExecutionPlan& plan) const {
+  return store_ != nullptr && store_->has_profile(plan.app().name());
+}
+
+void AppProfiler::on_application_end(const ExecutionPlan& plan) {
+  if (store_ == nullptr) return;
+  // Prefer the accumulated (observed) profile; fall back to a full parse if
+  // the run used recurring mode and never called parse_job.
+  if (accumulated_.empty()) {
+    store_->record(plan.app().name(), build_reference_profile(plan));
+  } else {
+    store_->record(plan.app().name(), accumulated_);
+  }
+}
+
+}  // namespace mrd

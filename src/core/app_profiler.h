@@ -1,0 +1,50 @@
+// AppProfiler (paper §4.2): parses DAGs received from the DAGScheduler into
+// reference-distance profiles for the MRDManager.
+//
+// Two operating modes (§4.1):
+//  * ad-hoc / first run — parseDAG is called once per job submission with
+//    that job's DAG fragment; references in future jobs are invisible until
+//    those jobs arrive;
+//  * recurring — the stored whole-application profile (from the
+//    ProfileStore, or the current plan if this is the profiling run) is
+//    handed to the MRDManager up front.
+//
+// The profiler also accumulates the application profile across the run and
+// records it into the ProfileStore at completion, so the next run of the
+// same application is recognized as recurring.
+#pragma once
+
+#include <string>
+
+#include "core/profile_store.h"
+#include "dag/execution_plan.h"
+#include "dag/reference_profile.h"
+
+namespace mrd {
+
+class AppProfiler {
+ public:
+  /// `store` may be nullptr (no recurring-application persistence).
+  explicit AppProfiler(ProfileStore* store = nullptr) : store_(store) {}
+
+  /// parseDAG for one submitted job: the references visible in that job's
+  /// fragment. Also folds them into the accumulating application profile.
+  ReferenceProfileMap parse_job(const ExecutionPlan& plan, JobId job);
+
+  /// Whole-application profile for a recurring run: the stored profile if
+  /// one exists, otherwise parsed from the plan directly.
+  ReferenceProfileMap application_profile(const ExecutionPlan& plan);
+
+  /// True if the store recognizes this application from a previous run.
+  bool is_recurring(const ExecutionPlan& plan) const;
+
+  /// Run finished: persist the accumulated profile (discrepancy-checked by
+  /// the store).
+  void on_application_end(const ExecutionPlan& plan);
+
+ private:
+  ProfileStore* store_;
+  ReferenceProfileMap accumulated_;
+};
+
+}  // namespace mrd

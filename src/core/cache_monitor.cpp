@@ -1,0 +1,185 @@
+#include "core/cache_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mrd {
+
+CacheMonitor::CacheMonitor(std::shared_ptr<MrdManager> manager, NodeId node,
+                           NodeId num_nodes, const MrdPolicyOptions& options)
+    : manager_(std::move(manager)),
+      node_(node),
+      num_nodes_(num_nodes),
+      options_(options) {
+  MRD_CHECK(manager_ != nullptr);
+  MRD_CHECK(num_nodes_ > 0);
+}
+
+std::string_view CacheMonitor::name() const {
+  if (options_.mrd_eviction && options_.mrd_prefetch) return "MRD";
+  if (options_.mrd_eviction) return "MRD-evict";
+  if (options_.mrd_prefetch) return "MRD-prefetch";
+  return "MRD-disabled";  // degenerate configuration: plain LRU behaviour
+}
+
+void CacheMonitor::on_application_start(const ExecutionPlan& plan) {
+  plan_ = &plan;
+  manager_->on_application_start(plan);
+}
+
+void CacheMonitor::on_job_start(const ExecutionPlan& plan, JobId job) {
+  plan_ = &plan;
+  manager_->on_job_start(plan, job);
+}
+
+void CacheMonitor::on_stage_start(const ExecutionPlan& plan, JobId job,
+                                  StageId stage) {
+  plan_ = &plan;
+  manager_->on_stage_start(plan, job, stage);
+}
+
+void CacheMonitor::on_stage_end(const ExecutionPlan& plan, JobId job,
+                                StageId stage) {
+  manager_->on_stage_end(plan, job, stage);
+}
+
+void CacheMonitor::on_rdd_probed(const ExecutionPlan& plan, RddId rdd,
+                                 StageId stage) {
+  (void)plan;
+  manager_->on_rdd_probed(rdd, stage);
+}
+
+void CacheMonitor::on_block_cached(const BlockId& block, std::uint64_t bytes) {
+  residents_.insert(block);
+  block_bytes_[block] = bytes;
+}
+
+void CacheMonitor::on_block_accessed(const BlockId& block) {
+  residents_.touch(block);
+}
+
+void CacheMonitor::on_block_evicted(const BlockId& block) {
+  residents_.erase(block);
+  block_bytes_.erase(block);
+}
+
+std::optional<BlockId> CacheMonitor::choose_victim() {
+  if (!options_.mrd_eviction && !prefetch_insert_active_) {
+    // Ablation: Spark's default LRU victim (constant score → LRU order).
+    return residents_.worst([](const BlockId&) { return 0.0; });
+  }
+  // Largest distance evicted first (+inf = inactive). Ties break by a
+  // *stable* block order rather than recency: for equal-distance blocks
+  // (e.g. all partitions of one hot RDD under a cache smaller than it) a
+  // stable order keeps a fixed subset resident, where LRU tie-breaking
+  // would cycle and hit nothing.
+  std::optional<BlockId> best;
+  double best_distance = 0.0;
+  residents_.for_each_lru_first([&](const BlockId& b) {
+    const double d = manager_->distance(b.rdd);
+    if (!best || d > best_distance ||
+        (d == best_distance && b > *best)) {
+      best = b;
+      best_distance = d;
+    }
+  });
+  return best;
+}
+
+std::vector<BlockId> CacheMonitor::purge_candidates() {
+  // The all-out purge is driven by the MRD_Table and runs in every MRD
+  // variant: it is what frees memory below the prefetch threshold, so even
+  // the prefetch-only ablation keeps it.
+  std::vector<BlockId> out;
+  for (RddId rdd : manager_->purge_rdds()) {
+    residents_.for_each_lru_first([&](const BlockId& b) {
+      if (b.rdd == rdd) out.push_back(b);
+    });
+  }
+  return out;
+}
+
+std::vector<BlockId> CacheMonitor::prefetch_candidates(
+    std::uint64_t free_bytes, std::uint64_t capacity) {
+  (void)free_bytes;
+  (void)capacity;
+  if (!options_.mrd_prefetch || plan_ == nullptr) return {};
+  std::vector<BlockId> out;
+  for (RddId rdd : manager_->prefetch_order()) {
+    const RddInfo& info = plan_->app().rdd(rdd);
+    for (PartitionIndex p = 0; p < info.num_partitions; ++p) {
+      const BlockId block{rdd, p};
+      if (!block_on_node(block, node_, num_nodes_)) continue;
+      if (residents_.contains(block)) continue;
+      out.push_back(block);
+    }
+  }
+  return out;
+}
+
+bool CacheMonitor::prefetch_may_evict(std::uint64_t free_bytes,
+                                      std::uint64_t capacity) const {
+  if (!options_.mrd_prefetch) return false;
+  // Resident blocks with infinite distance are reclaimable at zero cost (the
+  // eviction phase takes them first), so the threshold test counts them as
+  // free: otherwise demand eviction consumes inactive data one block at a
+  // time and the prefetcher never sees the memory the purge would have
+  // released in bulk.
+  std::uint64_t reclaimable = free_bytes;
+  residents_.for_each_lru_first([&](const BlockId& b) {
+    if (std::isinf(manager_->distance(b.rdd))) {
+      const auto it = block_bytes_.find(b);
+      if (it != block_bytes_.end()) reclaimable += it->second;
+    }
+  });
+  return static_cast<double>(reclaimable) >
+         options_.prefetch_threshold * static_cast<double>(capacity);
+}
+
+bool CacheMonitor::prefetch_swap_improves(const BlockId& block) const {
+  if (!options_.mrd_prefetch) return false;
+  double furthest = -1.0;
+  residents_.for_each_lru_first([&](const BlockId& b) {
+    furthest = std::max(furthest, manager_->distance(b.rdd));
+  });
+  // Equal distance still qualifies: swapping a frontier block in via idle
+  // disk time converts a demand read on the next stage's critical path into
+  // a background read — the "overlap I/O with computation" effect. Strictly
+  // nearer swaps additionally improve the hit ratio.
+  return manager_->distance(block.rdd) <= furthest;
+}
+
+bool CacheMonitor::should_promote(const BlockId& block,
+                                  std::uint64_t free_bytes) {
+  if (!options_.mrd_eviction) return true;  // Spark default path
+  const std::uint64_t bytes =
+      plan_ == nullptr ? 0 : plan_->app().rdd(block.rdd).bytes_per_partition;
+  if (bytes <= free_bytes) return true;  // fits without displacing anyone
+  // Promote only if this block is at least as near as the furthest resident
+  // (the victim the promotion would evict).
+  double furthest = -1.0;
+  residents_.for_each_lru_first([&](const BlockId& b) {
+    furthest = std::max(furthest, manager_->distance(b.rdd));
+  });
+  return manager_->distance(block.rdd) <= furthest;
+}
+
+void CacheMonitor::on_prefetch_insert(bool active) {
+  prefetch_insert_active_ = active;
+}
+
+bool CacheMonitor::admit_prefetch(const BlockId& block) {
+  if (!options_.guarded_prefetch) return true;  // published MRD: aggressive
+  // Future-work pre-check: drop the loaded block if every resident is
+  // strictly nearer (an equal-distance swap is still admissible — it moves
+  // a read off the critical path).
+  double furthest = -1.0;
+  residents_.for_each_lru_first([&](const BlockId& b) {
+    furthest = std::max(furthest, manager_->distance(b.rdd));
+  });
+  return manager_->distance(block.rdd) <= furthest;
+}
+
+}  // namespace mrd

@@ -1,0 +1,85 @@
+#include "core/mrd_manager.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace mrd {
+
+MrdManager::MrdManager(std::shared_ptr<AppProfiler> profiler,
+                       DistanceMetric metric, NodeId num_nodes)
+    : profiler_(std::move(profiler)), metric_(metric), num_nodes_(num_nodes) {
+  MRD_CHECK(profiler_ != nullptr);
+}
+
+void MrdManager::on_application_start(const ExecutionPlan& plan) {
+  if (application_started_) return;
+  application_started_ = true;
+  load_profile(profiler_->application_profile(plan));
+}
+
+void MrdManager::on_job_start(const ExecutionPlan& plan, JobId job) {
+  if (last_job_started_ != kInvalidJob && job <= last_job_started_) return;
+  last_job_started_ = job;
+  if (application_started_) {
+    // Recurring mode already holds the full profile; the job DAG is only a
+    // discrepancy check (profiles are deterministic here, so a no-op).
+    return;
+  }
+  load_profile(profiler_->parse_job(plan, job));
+}
+
+void MrdManager::on_stage_start(const ExecutionPlan& plan, JobId job,
+                                StageId stage) {
+  (void)plan;
+  if (last_stage_started_ != kInvalidStage && stage <= last_stage_started_) {
+    return;
+  }
+  last_stage_started_ = stage;
+  current_stage_ = stage;
+  current_job_ = job;
+}
+
+void MrdManager::on_stage_end(const ExecutionPlan& plan, JobId job,
+                              StageId stage) {
+  (void)plan;
+  (void)job;
+  if (last_stage_ended_ != kInvalidStage && stage <= last_stage_ended_) return;
+  last_stage_ended_ = stage;
+  table_.consume_up_to(stage);
+}
+
+void MrdManager::on_rdd_probed(RddId rdd, StageId stage) {
+  table_.consume_rdd_up_to(rdd, stage);
+}
+
+double MrdManager::distance(RddId rdd) const {
+  return table_.distance(rdd, current_stage_, current_job_, metric_);
+}
+
+std::vector<RddId> MrdManager::purge_rdds() const {
+  return table_.inactive_rdds();
+}
+
+std::vector<RddId> MrdManager::prefetch_order() const {
+  return table_.by_ascending_distance(current_stage_, current_job_, metric_);
+}
+
+void MrdManager::load_profile(const ReferenceProfileMap& profile) {
+  for (const auto& [rdd, p] : profile) {
+    for (const ReferenceEvent& ref : p.references) {
+      table_.add_reference(rdd, ref.stage, ref.job);
+    }
+  }
+  note_table_broadcast();
+}
+
+void MrdManager::note_table_broadcast() {
+  // One sendReferenceDistance message per worker node.
+  stats_.table_update_messages += num_nodes_;
+  stats_.max_table_entries =
+      std::max(stats_.max_table_entries, table_.num_entries());
+}
+
+}  // namespace mrd

@@ -1,0 +1,98 @@
+// MRDManager (paper §4.2): the centralized component owning the MRD_Table.
+//
+// It receives reference-distance profiles from the AppProfiler
+// (updateReferenceDistance), advances the table as stages execute
+// (newReferenceDistance), and computes the eviction ordering, purge orders
+// and prefetch orders that the per-node CacheMonitors act on
+// (sendReferenceDistance / evictBlock / prefetchBlock in Table 2).
+//
+// In the real system every CacheMonitor holds a replica of the table and the
+// manager pushes deltas; here the CacheMonitors share the manager object and
+// we *count* the synchronization messages that would have been sent, so the
+// §4.4 communication-overhead claim can be measured by the overhead bench.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/app_profiler.h"
+#include "core/ref_distance_table.h"
+#include "dag/execution_plan.h"
+#include "dag/ids.h"
+
+namespace mrd {
+
+struct MrdManagerStats {
+  std::size_t table_update_messages = 0;  // sendReferenceDistance broadcasts
+  std::size_t purge_orders = 0;           // cluster-wide all-out purges
+  std::size_t max_table_entries = 0;      // peak MRD_Table size
+};
+
+class MrdManager {
+ public:
+  /// `num_nodes` is used only for the message-count accounting.
+  MrdManager(std::shared_ptr<AppProfiler> profiler, DistanceMetric metric,
+             NodeId num_nodes);
+
+  // ---- DAG event entry points (idempotent per event, so that every node's
+  // CacheMonitor can forward them without double-application) ----
+
+  /// Recurring mode: load the whole application profile.
+  void on_application_start(const ExecutionPlan& plan);
+
+  /// Ad-hoc mode: parse this job's DAG fragment and merge its references.
+  void on_job_start(const ExecutionPlan& plan, JobId job);
+
+  /// Execution advanced to `stage` of `job`.
+  void on_stage_start(const ExecutionPlan& plan, JobId job, StageId stage);
+
+  /// `stage` completed: its references are consumed; distances re-derived.
+  void on_stage_end(const ExecutionPlan& plan, JobId job, StageId stage);
+
+  /// `stage` finished reading `rdd` — consume that reference immediately
+  /// (idempotent; every CacheMonitor forwards the same event).
+  void on_rdd_probed(RddId rdd, StageId stage);
+
+  // ---- Queries used by the CacheMonitors ----
+
+  /// Reference distance of `rdd` at the current execution position
+  /// (+infinity = inactive or unknown).
+  double distance(RddId rdd) const;
+
+  /// RDDs whose reference lists ran empty — cluster-wide purge candidates.
+  std::vector<RddId> purge_rdds() const;
+
+  /// RDDs by ascending distance — prefetch priority (nearest first).
+  std::vector<RddId> prefetch_order() const;
+
+  DistanceMetric metric() const { return metric_; }
+  StageId current_stage() const { return current_stage_; }
+  JobId current_job() const { return current_job_; }
+  const RefDistanceTable& table() const { return table_; }
+  const MrdManagerStats& stats() const { return stats_; }
+  AppProfiler& profiler() { return *profiler_; }
+
+ private:
+  void load_profile(const ReferenceProfileMap& profile);
+  void note_table_broadcast();
+
+  std::shared_ptr<AppProfiler> profiler_;
+  DistanceMetric metric_;
+  NodeId num_nodes_;
+
+  RefDistanceTable table_;
+  StageId current_stage_ = 0;
+  JobId current_job_ = 0;
+
+  // Idempotency guards (shared CacheMonitors all forward events).
+  bool application_started_ = false;
+  JobId last_job_started_ = kInvalidJob;
+  StageId last_stage_started_ = kInvalidStage;
+  StageId last_stage_ended_ = kInvalidStage;
+
+  MrdManagerStats stats_;
+};
+
+}  // namespace mrd

@@ -1,0 +1,72 @@
+#include "core/policy_registry.h"
+
+#include "cache/belady.h"
+#include "cache/fifo.h"
+#include "cache/lrc.h"
+#include "cache/lru.h"
+#include "cache/memtune.h"
+#include "util/check.h"
+
+namespace mrd {
+
+namespace {
+
+PolicySetup make_mrd(const PolicyConfig& config, NodeId num_nodes,
+                     const MrdPolicyOptions& options, DistanceMetric metric) {
+  auto profiler = std::make_shared<AppProfiler>(config.profile_store);
+  auto manager =
+      std::make_shared<MrdManager>(std::move(profiler), metric, num_nodes);
+  PolicySetup setup;
+  setup.manager = manager;
+  setup.factory = [manager, options](NodeId node, NodeId nodes) {
+    return std::make_unique<CacheMonitor>(manager, node, nodes, options);
+  };
+  return setup;
+}
+
+}  // namespace
+
+PolicySetup make_policy(const PolicyConfig& config, NodeId num_nodes) {
+  const std::string& name = config.name;
+  PolicySetup setup;
+
+  if (name == "lru") {
+    setup.factory = [](NodeId, NodeId) { return std::make_unique<LruPolicy>(); };
+  } else if (name == "fifo") {
+    setup.factory = [](NodeId, NodeId) {
+      return std::make_unique<FifoPolicy>();
+    };
+  } else if (name == "lrc") {
+    setup.factory = [](NodeId, NodeId) { return std::make_unique<LrcPolicy>(); };
+  } else if (name == "memtune") {
+    const std::size_t window = config.memtune_window;
+    setup.factory = [window](NodeId node, NodeId nodes) {
+      return std::make_unique<MemTunePolicy>(node, nodes, window);
+    };
+  } else if (name == "belady") {
+    setup.factory = [](NodeId, NodeId) {
+      return std::make_unique<BeladyPolicy>();
+    };
+  } else if (name == "mrd" || name == "mrd-evict" || name == "mrd-prefetch" ||
+             name == "mrd-job" || name == "mrd-guarded") {
+    MrdPolicyOptions options;
+    options.prefetch_threshold = config.prefetch_threshold;
+    options.mrd_eviction = (name != "mrd-prefetch");
+    options.mrd_prefetch = (name != "mrd-evict");
+    options.guarded_prefetch = (name == "mrd-guarded");
+    const DistanceMetric metric =
+        (name == "mrd-job") ? DistanceMetric::kJob : config.metric;
+    return make_mrd(config, num_nodes, options, metric);
+  } else {
+    MRD_CHECK_MSG(false, "unknown cache policy: " << name);
+  }
+  return setup;
+}
+
+std::vector<std::string> known_policies() {
+  return {"lru",       "fifo",      "lrc",          "memtune",
+          "belady",    "mrd",       "mrd-evict",    "mrd-prefetch",
+          "mrd-job",   "mrd-guarded"};
+}
+
+}  // namespace mrd

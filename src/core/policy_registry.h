@@ -1,0 +1,43 @@
+// Central place where policy names map to per-node policy factories.
+//
+// Names (as printed by benches): "lru", "fifo", "lrc", "memtune", "belady",
+// "mrd", "mrd-evict" (eviction-only ablation), "mrd-prefetch" (prefetch-only
+// ablation), "mrd-job" (job-distance metric, Fig 8).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_policy.h"
+#include "core/cache_monitor.h"
+#include "core/mrd_manager.h"
+#include "core/profile_store.h"
+
+namespace mrd {
+
+struct PolicyConfig {
+  std::string name = "lru";
+  /// MRD distance metric (Fig 8). Overridden to kJob by the "mrd-job" name.
+  DistanceMetric metric = DistanceMetric::kStage;
+  /// MRD forced-prefetch threshold as a fraction of cache capacity (§4.3).
+  double prefetch_threshold = 0.25;
+  /// MemTune runnable-stage window.
+  std::size_t memtune_window = 2;
+  /// Recurring-application profile store for MRD; nullptr = none.
+  ProfileStore* profile_store = nullptr;
+};
+
+/// A configured policy for one run: the per-node factory plus, for MRD
+/// variants, the shared manager (for stats inspection).
+struct PolicySetup {
+  PolicyFactory factory;
+  std::shared_ptr<MrdManager> manager;  // null for non-MRD policies
+};
+
+/// Throws CheckFailure for unknown names.
+PolicySetup make_policy(const PolicyConfig& config, NodeId num_nodes);
+
+std::vector<std::string> known_policies();
+
+}  // namespace mrd

@@ -1,0 +1,45 @@
+#include "core/profile_store.h"
+
+namespace mrd {
+
+void ProfileStore::record(const std::string& app_name,
+                          ReferenceProfileMap profile) {
+  auto it = profiles_.find(app_name);
+  if (it == profiles_.end()) {
+    StoredProfile stored;
+    stored.references = std::move(profile);
+    stored.runs = 1;
+    profiles_.emplace(app_name, std::move(stored));
+    return;
+  }
+  StoredProfile& stored = it->second;
+  if (!profiles_equal(stored.references, profile)) {
+    stored.references = std::move(profile);
+    ++stored.discrepancies;
+  }
+  ++stored.runs;
+}
+
+bool ProfileStore::profiles_equal(const ReferenceProfileMap& a,
+                                  const ReferenceProfileMap& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& [rdd, pa] : a) {
+    const auto it = b.find(rdd);
+    if (it == b.end()) return false;
+    const RddReferenceProfile& pb = it->second;
+    if (pa.creation.stage != pb.creation.stage ||
+        pa.creation.job != pb.creation.job ||
+        pa.references.size() != pb.references.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < pa.references.size(); ++i) {
+      if (pa.references[i].stage != pb.references[i].stage ||
+          pa.references[i].job != pb.references[i].job) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace mrd

@@ -1,0 +1,52 @@
+// Persistent (per-process) store of application reference-distance profiles.
+//
+// The paper (§4.1): "a high percentage of workloads running in a cluster are
+// recurring applications ... we save the DAG profile of the application from
+// previous runs, in essence storing the reference distance information for
+// each RDD." The AppProfiler records a profile on every run and checks
+// subsequent runs for discrepancies (§4.4 fault tolerance: profile creation
+// resumes/repairs across runs).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "dag/reference_profile.h"
+
+namespace mrd {
+
+struct StoredProfile {
+  ReferenceProfileMap references;
+  /// How many completed runs contributed to this profile.
+  std::size_t runs = 0;
+  /// Incremented whenever a later run's DAG disagreed with the stored
+  /// profile and the profile was replaced.
+  std::size_t discrepancies = 0;
+};
+
+class ProfileStore {
+ public:
+  bool has_profile(const std::string& app_name) const {
+    return profiles_.count(app_name) > 0;
+  }
+
+  const StoredProfile* find(const std::string& app_name) const {
+    const auto it = profiles_.find(app_name);
+    return it == profiles_.end() ? nullptr : &it->second;
+  }
+
+  /// Records a completed run's profile. If a stored profile exists and
+  /// differs, it is replaced and the discrepancy counter bumped.
+  void record(const std::string& app_name, ReferenceProfileMap profile);
+
+  std::size_t size() const { return profiles_.size(); }
+  void clear() { profiles_.clear(); }
+
+ private:
+  static bool profiles_equal(const ReferenceProfileMap& a,
+                             const ReferenceProfileMap& b);
+  std::map<std::string, StoredProfile> profiles_;
+};
+
+}  // namespace mrd

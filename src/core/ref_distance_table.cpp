@@ -1,0 +1,106 @@
+#include "core/ref_distance_table.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace mrd {
+
+namespace {
+constexpr double kInfiniteDistance = std::numeric_limits<double>::infinity();
+}
+
+void RefDistanceTable::add_reference(RddId rdd, StageId stage, JobId job) {
+  auto& q = refs_[rdd];
+  const Ref ref{stage, job};
+  const auto pos = std::lower_bound(q.begin(), q.end(), ref);
+  if (pos != q.end() && *pos == ref) return;  // duplicate announcement
+  q.insert(pos, ref);
+}
+
+void RefDistanceTable::consume_up_to(StageId stage) {
+  for (auto& [rdd, q] : refs_) {
+    (void)rdd;
+    while (!q.empty() && q.front().stage <= stage) q.pop_front();
+  }
+}
+
+void RefDistanceTable::consume_rdd_up_to(RddId rdd, StageId stage) {
+  const auto it = refs_.find(rdd);
+  if (it == refs_.end()) return;
+  auto& q = it->second;
+  while (!q.empty() && q.front().stage <= stage) q.pop_front();
+}
+
+std::optional<StageId> RefDistanceTable::next_reference_stage(RddId rdd) const {
+  const auto it = refs_.find(rdd);
+  if (it == refs_.end() || it->second.empty()) return std::nullopt;
+  return it->second.front().stage;
+}
+
+std::optional<JobId> RefDistanceTable::next_reference_job(RddId rdd) const {
+  const auto it = refs_.find(rdd);
+  if (it == refs_.end() || it->second.empty()) return std::nullopt;
+  return it->second.front().job;
+}
+
+double RefDistanceTable::distance(RddId rdd, StageId current_stage,
+                                  JobId current_job,
+                                  DistanceMetric metric) const {
+  const auto it = refs_.find(rdd);
+  if (it == refs_.end() || it->second.empty()) return kInfiniteDistance;
+  const Ref& next = it->second.front();
+  if (metric == DistanceMetric::kStage) {
+    return next.stage >= current_stage
+               ? static_cast<double>(next.stage - current_stage)
+               : 0.0;
+  }
+  return next.job >= current_job
+             ? static_cast<double>(next.job - current_job)
+             : 0.0;
+}
+
+bool RefDistanceTable::is_inactive(RddId rdd) const {
+  const auto it = refs_.find(rdd);
+  return it != refs_.end() && it->second.empty();
+}
+
+std::vector<RddId> RefDistanceTable::by_ascending_distance(
+    StageId current_stage, JobId current_job, DistanceMetric metric) const {
+  std::vector<std::pair<double, RddId>> scored;
+  for (const auto& [rdd, q] : refs_) {
+    if (q.empty()) continue;
+    scored.emplace_back(distance(rdd, current_stage, current_job, metric),
+                        rdd);
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<RddId> out;
+  out.reserve(scored.size());
+  for (const auto& [d, rdd] : scored) {
+    (void)d;
+    out.push_back(rdd);
+  }
+  return out;
+}
+
+std::vector<RddId> RefDistanceTable::inactive_rdds() const {
+  std::vector<RddId> out;
+  for (const auto& [rdd, q] : refs_) {
+    if (q.empty()) out.push_back(rdd);
+  }
+  return out;
+}
+
+std::size_t RefDistanceTable::num_entries() const {
+  std::size_t n = 0;
+  for (const auto& [rdd, q] : refs_) {
+    (void)rdd;
+    n += q.size();
+  }
+  return n;
+}
+
+void RefDistanceTable::clear() { refs_.clear(); }
+
+}  // namespace mrd

@@ -1,0 +1,80 @@
+// The MRD_Table (Algorithm 1 of the paper): for every tracked RDD, the
+// ascending list of future reference positions, in both stage-ID and job-ID
+// coordinates. The reference distance of an RDD at execution position
+// (stage, job) is the gap to its *nearest* remaining reference (Definition 1
+// + §4.1: "for comparison it will only use the lowest one"); once the last
+// reference is consumed the distance is infinite and the RDD is inactive.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dag/ids.h"
+
+namespace mrd {
+
+/// Which workflow subdivision measures distance (paper §3.2, Fig 8).
+enum class DistanceMetric { kStage, kJob };
+
+class RefDistanceTable {
+ public:
+  /// Registers a future reference of `rdd` at (stage, job). References may
+  /// arrive out of order across jobs (ad-hoc profiling); the table keeps
+  /// them sorted. Duplicate (stage, job) entries for the same RDD collapse.
+  void add_reference(RddId rdd, StageId stage, JobId job);
+
+  /// Drops all references at or before (stage, job) — called when that stage
+  /// execution completes. The reference being serviced by the running stage
+  /// stays visible (distance 0) until this is called.
+  void consume_up_to(StageId stage);
+
+  /// Drops `rdd`'s references at or before `stage` — called the moment the
+  /// running stage finishes reading the RDD, so its distance advances to the
+  /// *next* reference for the remainder of the stage.
+  void consume_rdd_up_to(RddId rdd, StageId stage);
+
+  /// Nearest remaining reference of `rdd`, or nullopt when inactive.
+  std::optional<StageId> next_reference_stage(RddId rdd) const;
+  std::optional<JobId> next_reference_job(RddId rdd) const;
+
+  /// Reference distance from the current position under `metric`;
+  /// +infinity when the RDD has no remaining references (the paper encodes
+  /// this as a negative sentinel; we use +inf so that "largest distance
+  /// evicted first" needs no special case).
+  double distance(RddId rdd, StageId current_stage, JobId current_job,
+                  DistanceMetric metric) const;
+
+  /// True if `rdd` was ever tracked but has no remaining references — the
+  /// trigger for the cluster-wide purge order.
+  bool is_inactive(RddId rdd) const;
+
+  /// RDDs ordered by ascending distance (finite distances only) — the
+  /// prefetch priority order.
+  std::vector<RddId> by_ascending_distance(StageId current_stage,
+                                           JobId current_job,
+                                           DistanceMetric metric) const;
+
+  /// All RDDs currently inactive (purge candidates).
+  std::vector<RddId> inactive_rdds() const;
+
+  /// Number of (rdd, reference) entries — the paper's §4.4 footprint claim
+  /// ("largest MRD_Table contained < 300 references").
+  std::size_t num_entries() const;
+  std::size_t num_rdds() const { return refs_.size(); }
+
+  void clear();
+
+ private:
+  struct Ref {
+    StageId stage;
+    JobId job;
+    friend auto operator<=>(const Ref&, const Ref&) = default;
+  };
+  // deque: consumed from the front as execution advances.
+  std::map<RddId, std::deque<Ref>> refs_;
+};
+
+}  // namespace mrd

@@ -1,0 +1,64 @@
+#include "dag/application.h"
+
+#include "util/check.h"
+
+namespace mrd {
+
+Application::Application(std::string name, std::vector<RddInfo> rdds,
+                         std::vector<ActionInfo> actions)
+    : name_(std::move(name)),
+      rdds_(std::move(rdds)),
+      actions_(std::move(actions)) {
+  validate();
+}
+
+const RddInfo& Application::rdd(RddId id) const {
+  MRD_CHECK_MSG(id < rdds_.size(), "RDD id " << id << " out of range");
+  return rdds_[id];
+}
+
+std::uint64_t Application::input_bytes() const {
+  std::uint64_t total = 0;
+  for (const RddInfo& r : rdds_) {
+    if (is_source(r.kind)) total += r.total_bytes();
+  }
+  return total;
+}
+
+std::size_t Application::num_persisted() const {
+  std::size_t n = 0;
+  for (const RddInfo& r : rdds_) {
+    if (r.persisted) ++n;
+  }
+  return n;
+}
+
+void Application::validate() const {
+  MRD_CHECK_MSG(!rdds_.empty(), "application " << name_ << " has no RDDs");
+  MRD_CHECK_MSG(!actions_.empty(),
+                "application " << name_ << " has no actions");
+  for (std::size_t i = 0; i < rdds_.size(); ++i) {
+    const RddInfo& r = rdds_[i];
+    MRD_CHECK_MSG(r.id == i, "RDD at index " << i << " has id " << r.id);
+    MRD_CHECK_MSG(r.num_partitions > 0,
+                  "RDD " << r.name << " has zero partitions");
+    if (is_source(r.kind)) {
+      MRD_CHECK_MSG(r.parents.empty(),
+                    "source RDD " << r.name << " has parents");
+    } else {
+      MRD_CHECK_MSG(!r.parents.empty(),
+                    "non-source RDD " << r.name << " has no parents");
+    }
+    for (RddId p : r.parents) {
+      MRD_CHECK_MSG(p < r.id, "RDD " << r.name << " has parent " << p
+                                     << " >= own id " << r.id
+                                     << " (graph must be built in topo order)");
+    }
+  }
+  for (const ActionInfo& a : actions_) {
+    MRD_CHECK_MSG(a.target < rdds_.size(),
+                  "action " << a.name << " targets unknown RDD " << a.target);
+  }
+}
+
+}  // namespace mrd

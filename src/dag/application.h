@@ -1,0 +1,54 @@
+// A complete user program: the RDD lineage graph plus the ordered list of
+// actions, each of which triggers one job.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/ids.h"
+#include "dag/rdd.h"
+
+namespace mrd {
+
+/// An action (count/collect/saveAsFile/...) on a target RDD. Each action
+/// submission becomes one job, in program order.
+struct ActionInfo {
+  RddId target = kInvalidRdd;
+  std::string name;
+};
+
+/// Immutable description of an application. Built via DagBuilder; validated
+/// on construction (see Application::Validate).
+class Application {
+ public:
+  Application(std::string name, std::vector<RddInfo> rdds,
+              std::vector<ActionInfo> actions);
+
+  const std::string& name() const { return name_; }
+  const std::vector<RddInfo>& rdds() const { return rdds_; }
+  const std::vector<ActionInfo>& actions() const { return actions_; }
+
+  const RddInfo& rdd(RddId id) const;
+  std::size_t num_rdds() const { return rdds_.size(); }
+  std::size_t num_actions() const { return actions_.size(); }
+
+  /// Sum of source RDD bytes — the paper's "Data Input Size" column.
+  std::uint64_t input_bytes() const;
+
+  /// Number of persisted RDDs.
+  std::size_t num_persisted() const;
+
+ private:
+  /// Throws CheckFailure if the graph is malformed: parent IDs must be lower
+  /// than the child's (topological construction order), partition counts must
+  /// be positive, sources have no parents, non-sources have parents, and
+  /// action targets must exist.
+  void validate() const;
+
+  std::string name_;
+  std::vector<RddInfo> rdds_;      // index == RddId
+  std::vector<ActionInfo> actions_;
+};
+
+}  // namespace mrd

@@ -1,0 +1,124 @@
+#include "dag/dag_analysis.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mrd {
+
+namespace {
+
+/// Invokes fn(prev_event, next_event) for every consecutive event pair of
+/// every profiled RDD (creation included when visible).
+template <typename Fn>
+void for_each_gap(const ReferenceProfileMap& profiles, Fn&& fn) {
+  for (const auto& [rdd, profile] : profiles) {
+    (void)rdd;
+    ReferenceEvent prev = profile.creation;
+    for (const ReferenceEvent& next : profile.references) {
+      if (prev.stage != kInvalidStage) fn(prev, next);
+      prev = next;
+    }
+  }
+}
+
+}  // namespace
+
+ReferenceDistanceStats reference_distance_stats(const ExecutionPlan& plan) {
+  const ReferenceProfileMap profiles = build_reference_profile(plan);
+  ReferenceDistanceStats stats;
+  double stage_sum = 0.0;
+  double job_sum = 0.0;
+  for_each_gap(profiles, [&](const ReferenceEvent& a, const ReferenceEvent& b) {
+    MRD_CHECK_MSG(b.stage >= a.stage,
+                  "references out of order: stage " << b.stage << " after "
+                                                    << a.stage);
+    const std::uint32_t sd = b.stage - a.stage;
+    const std::uint32_t jd = b.job - a.job;
+    stage_sum += sd;
+    job_sum += jd;
+    stats.max_stage_distance = std::max(stats.max_stage_distance, sd);
+    stats.max_job_distance = std::max(stats.max_job_distance, jd);
+    ++stats.num_gaps;
+  });
+  if (stats.num_gaps > 0) {
+    stats.avg_stage_distance = stage_sum / static_cast<double>(stats.num_gaps);
+    stats.avg_job_distance = job_sum / static_cast<double>(stats.num_gaps);
+  }
+  return stats;
+}
+
+WorkloadCharacteristics workload_characteristics(const ExecutionPlan& plan) {
+  WorkloadCharacteristics c;
+  c.input_bytes = plan.app().input_bytes();
+  c.total_stage_input_bytes = plan.total_stage_input_bytes();
+  c.shuffle_bytes = plan.shuffle_bytes();
+  c.jobs = plan.jobs().size();
+  c.stages = plan.stage_appearances();
+  c.active_stages = plan.active_stages();
+  c.rdds = plan.app().num_rdds();
+  c.persisted_rdds = plan.app().num_persisted();
+
+  for (const JobInfo& job : plan.jobs()) {
+    for (const StageExecution& rec : job.stages) {
+      if (!rec.executed) continue;
+      c.total_references += rec.probes.size();
+    }
+  }
+  if (c.persisted_rdds > 0) {
+    c.refs_per_rdd = static_cast<double>(c.total_references) /
+                     static_cast<double>(c.persisted_rdds);
+  }
+  if (c.active_stages > 0) {
+    c.refs_per_stage = static_cast<double>(c.total_references) /
+                       static_cast<double>(c.active_stages);
+  }
+  return c;
+}
+
+std::uint64_t peak_live_persisted_bytes(const ExecutionPlan& plan) {
+  const ReferenceProfileMap profiles = build_reference_profile(plan);
+  // Interval [creation, last reference] per RDD, then a sweep over stage IDs.
+  struct Interval {
+    StageId begin;
+    StageId end;
+    std::uint64_t bytes;
+  };
+  std::vector<Interval> intervals;
+  StageId max_stage = 0;
+  for (const auto& [rdd, p] : profiles) {
+    Interval iv;
+    iv.begin = p.creation.stage != kInvalidStage
+                   ? p.creation.stage
+                   : (p.references.empty() ? 0 : p.references.front().stage);
+    iv.end = p.references.empty() ? iv.begin : p.references.back().stage;
+    iv.bytes = plan.app().rdd(rdd).total_bytes();
+    max_stage = std::max(max_stage, iv.end);
+    intervals.push_back(iv);
+  }
+  if (intervals.empty()) return 0;
+
+  std::vector<std::int64_t> delta(static_cast<std::size_t>(max_stage) + 2, 0);
+  for (const Interval& iv : intervals) {
+    delta[iv.begin] += static_cast<std::int64_t>(iv.bytes);
+    delta[iv.end + 1] -= static_cast<std::int64_t>(iv.bytes);
+  }
+  std::int64_t live = 0;
+  std::int64_t peak = 0;
+  for (std::int64_t d : delta) {
+    live += d;
+    peak = std::max(peak, live);
+  }
+  return static_cast<std::uint64_t>(peak);
+}
+
+std::vector<std::uint32_t> stage_distance_gaps(const ExecutionPlan& plan) {
+  const ReferenceProfileMap profiles = build_reference_profile(plan);
+  std::vector<std::uint32_t> gaps;
+  for_each_gap(profiles, [&](const ReferenceEvent& a, const ReferenceEvent& b) {
+    gaps.push_back(b.stage - a.stage);
+  });
+  return gaps;
+}
+
+}  // namespace mrd

@@ -1,0 +1,54 @@
+// Workload characterization over execution plans — produces the paper's
+// Table 1 (reference-distance statistics) and Table 3 (workload
+// characteristics) columns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dag/execution_plan.h"
+#include "dag/reference_profile.h"
+
+namespace mrd {
+
+/// Table 1 row. A "gap" is the distance between consecutive events
+/// (creation→first reference, reference→next reference) of one persisted
+/// RDD; distances are measured in stage IDs and job IDs respectively.
+struct ReferenceDistanceStats {
+  double avg_job_distance = 0.0;
+  std::uint32_t max_job_distance = 0;
+  double avg_stage_distance = 0.0;
+  std::uint32_t max_stage_distance = 0;
+  std::size_t num_gaps = 0;
+};
+
+ReferenceDistanceStats reference_distance_stats(const ExecutionPlan& plan);
+
+/// Table 3 row (structural columns).
+struct WorkloadCharacteristics {
+  std::uint64_t input_bytes = 0;
+  std::uint64_t total_stage_input_bytes = 0;
+  std::uint64_t shuffle_bytes = 0;  // R == W in our model
+  std::size_t jobs = 0;
+  std::size_t stages = 0;         // unique stages created
+  std::size_t active_stages = 0;  // stages executed at least once
+  std::size_t rdds = 0;
+  std::size_t persisted_rdds = 0;
+  std::size_t total_references = 0;   // cache probes across the plan
+  double refs_per_rdd = 0.0;    // total_references / persisted_rdds
+  double refs_per_stage = 0.0;  // total_references / active_stages
+};
+
+WorkloadCharacteristics workload_characteristics(const ExecutionPlan& plan);
+
+/// All gap distances (stage metric) in plan order — used by tests and by the
+/// motivation example.
+std::vector<std::uint32_t> stage_distance_gaps(const ExecutionPlan& plan);
+
+/// Peak simultaneous footprint of *live* persisted data: an RDD is live from
+/// its creation stage to its last reference stage. This is the working-set
+/// scale the harness sizes caches against — total persisted bytes would
+/// overcount long-dead generations in iterative workloads.
+std::uint64_t peak_live_persisted_bytes(const ExecutionPlan& plan);
+
+}  // namespace mrd

@@ -1,0 +1,178 @@
+#include "dag/dag_builder.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mrd {
+
+namespace {
+constexpr double kBytesPerMb = 1024.0 * 1024.0;
+}
+
+DagBuilder::DagBuilder(std::string app_name) : name_(std::move(app_name)) {}
+
+void DagBuilder::set_compute_ms_per_mb(double ms_per_mb) {
+  MRD_CHECK(ms_per_mb >= 0.0);
+  compute_ms_per_mb_ = ms_per_mb;
+}
+
+RddId DagBuilder::source(std::string name, std::uint32_t partitions,
+                         std::uint64_t bytes_per_partition) {
+  MRD_CHECK(partitions > 0);
+  RddInfo info;
+  info.name = std::move(name);
+  info.kind = TransformKind::kSource;
+  info.num_partitions = partitions;
+  info.bytes_per_partition = bytes_per_partition;
+  // Source "compute" is deserialization; the HDFS read itself is charged by
+  // the simulator as disk I/O.
+  info.compute_ms_per_partition =
+      0.5 * compute_ms_per_mb_ *
+      (static_cast<double>(bytes_per_partition) / kBytesPerMb);
+  return add(std::move(info));
+}
+
+RddId DagBuilder::apply(TransformKind kind, std::string name,
+                        std::vector<RddId> parents,
+                        const TransformOpts& opts) {
+  MRD_CHECK_MSG(!is_source(kind), "use source() for source RDDs");
+  MRD_CHECK_MSG(!parents.empty(), "transformation " << name << " needs parents");
+  for (RddId p : parents) {
+    MRD_CHECK_MSG(p < rdds_.size(), "unknown parent RDD " << p);
+  }
+
+  RddInfo info;
+  info.name = std::move(name);
+  info.kind = kind;
+  info.parents = std::move(parents);
+
+  if (opts.partitions) {
+    info.num_partitions = *opts.partitions;
+  } else if (kind == TransformKind::kUnion) {
+    std::uint32_t total = 0;
+    for (RddId p : info.parents) total += rdds_[p].num_partitions;
+    info.num_partitions = total;
+  } else {
+    std::uint32_t best = 0;
+    for (RddId p : info.parents) {
+      best = std::max(best, rdds_[p].num_partitions);
+    }
+    info.num_partitions = best;
+  }
+  MRD_CHECK(info.num_partitions > 0);
+
+  if (opts.bytes_per_partition) {
+    info.bytes_per_partition = *opts.bytes_per_partition;
+  } else {
+    // Mean of parent partition sizes, scaled. For union the per-partition
+    // size stays parent-like (partition count already grew).
+    double sum = 0.0;
+    for (RddId p : info.parents) {
+      sum += static_cast<double>(rdds_[p].bytes_per_partition);
+    }
+    const double mean = sum / static_cast<double>(info.parents.size());
+    info.bytes_per_partition =
+        static_cast<std::uint64_t>(opts.size_factor * mean);
+  }
+
+  if (opts.compute_ms) {
+    info.compute_ms_per_partition = *opts.compute_ms;
+  } else {
+    info.compute_ms_per_partition =
+        opts.cost_factor * compute_ms_per_mb_ *
+        (static_cast<double>(info.bytes_per_partition) / kBytesPerMb);
+  }
+  return add(std::move(info));
+}
+
+RddId DagBuilder::map(RddId parent, std::string name,
+                      const TransformOpts& opts) {
+  return apply(TransformKind::kMap, std::move(name), {parent}, opts);
+}
+RddId DagBuilder::filter(RddId parent, std::string name,
+                         const TransformOpts& opts) {
+  return apply(TransformKind::kFilter, std::move(name), {parent}, opts);
+}
+RddId DagBuilder::flat_map(RddId parent, std::string name,
+                           const TransformOpts& opts) {
+  return apply(TransformKind::kFlatMap, std::move(name), {parent}, opts);
+}
+RddId DagBuilder::map_partitions(RddId parent, std::string name,
+                                 const TransformOpts& opts) {
+  return apply(TransformKind::kMapPartitions, std::move(name), {parent}, opts);
+}
+RddId DagBuilder::reduce_by_key(RddId parent, std::string name,
+                                const TransformOpts& opts) {
+  return apply(TransformKind::kReduceByKey, std::move(name), {parent}, opts);
+}
+RddId DagBuilder::group_by_key(RddId parent, std::string name,
+                               const TransformOpts& opts) {
+  return apply(TransformKind::kGroupByKey, std::move(name), {parent}, opts);
+}
+RddId DagBuilder::sort_by_key(RddId parent, std::string name,
+                              const TransformOpts& opts) {
+  return apply(TransformKind::kSortByKey, std::move(name), {parent}, opts);
+}
+RddId DagBuilder::distinct(RddId parent, std::string name,
+                           const TransformOpts& opts) {
+  return apply(TransformKind::kDistinct, std::move(name), {parent}, opts);
+}
+RddId DagBuilder::join(RddId left, RddId right, std::string name,
+                       const TransformOpts& opts) {
+  return apply(TransformKind::kJoin, std::move(name), {left, right}, opts);
+}
+RddId DagBuilder::cogroup(RddId left, RddId right, std::string name,
+                          const TransformOpts& opts) {
+  return apply(TransformKind::kCogroup, std::move(name), {left, right}, opts);
+}
+RddId DagBuilder::union_of(std::vector<RddId> parents, std::string name,
+                           const TransformOpts& opts) {
+  return apply(TransformKind::kUnion, std::move(name), std::move(parents),
+               opts);
+}
+RddId DagBuilder::zip_partitions(RddId left, RddId right, std::string name,
+                                 const TransformOpts& opts) {
+  return apply(TransformKind::kZipPartitions, std::move(name), {left, right},
+               opts);
+}
+
+void DagBuilder::persist(RddId id) {
+  MRD_CHECK(id < rdds_.size());
+  rdds_[id].persisted = true;
+}
+
+void DagBuilder::unpersist(RddId id) {
+  MRD_CHECK(id < rdds_.size());
+  rdds_[id].persisted = false;
+}
+
+bool DagBuilder::is_persisted(RddId id) const {
+  MRD_CHECK(id < rdds_.size());
+  return rdds_[id].persisted;
+}
+
+void DagBuilder::action(RddId target, std::string name) {
+  MRD_CHECK(target < rdds_.size());
+  actions_.push_back(ActionInfo{target, std::move(name)});
+}
+
+const RddInfo& DagBuilder::rdd(RddId id) const {
+  MRD_CHECK(id < rdds_.size());
+  return rdds_[id];
+}
+
+Application DagBuilder::build() && {
+  MRD_CHECK_MSG(!built_, "DagBuilder::build called twice");
+  built_ = true;
+  return Application(std::move(name_), std::move(rdds_), std::move(actions_));
+}
+
+RddId DagBuilder::add(RddInfo info) {
+  MRD_CHECK_MSG(!built_, "DagBuilder used after build()");
+  info.id = static_cast<RddId>(rdds_.size());
+  rdds_.push_back(std::move(info));
+  return rdds_.back().id;
+}
+
+}  // namespace mrd

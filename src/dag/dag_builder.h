@@ -1,0 +1,102 @@
+// Fluent builder for Application lineage graphs.
+//
+// The workload generators and the higher-level Dataset API both funnel into
+// this builder. Sizing defaults: a transformation inherits its parents'
+// partition count (max over parents; sum for union) and scales its
+// bytes-per-partition from the parents via `size_factor`; compute cost
+// defaults to `compute_ms_per_mb` × partition size, scaled by `cost_factor`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dag/application.h"
+#include "dag/ids.h"
+#include "dag/transform.h"
+
+namespace mrd {
+
+/// Optional overrides for one transformation; anything unset is derived from
+/// the parents (see class comment).
+struct TransformOpts {
+  std::optional<std::uint32_t> partitions;
+  std::optional<std::uint64_t> bytes_per_partition;
+  std::optional<double> compute_ms;
+  /// Child bytes/partition = size_factor × (mean parent bytes/partition),
+  /// unless bytes_per_partition is set.
+  double size_factor = 1.0;
+  /// Child compute = cost_factor × compute_ms_per_mb × MB-per-partition,
+  /// unless compute_ms is set.
+  double cost_factor = 1.0;
+};
+
+class DagBuilder {
+ public:
+  explicit DagBuilder(std::string app_name);
+
+  /// Baseline CPU cost per MB of produced partition data (default 2.0 ms/MB).
+  void set_compute_ms_per_mb(double ms_per_mb);
+  double compute_ms_per_mb() const { return compute_ms_per_mb_; }
+
+  /// Adds a source RDD read from simulated HDFS.
+  RddId source(std::string name, std::uint32_t partitions,
+               std::uint64_t bytes_per_partition);
+
+  /// Adds any transformation. Parents must already exist.
+  RddId apply(TransformKind kind, std::string name,
+              std::vector<RddId> parents, const TransformOpts& opts = {});
+
+  // Convenience wrappers for common single-parent transformations.
+  RddId map(RddId parent, std::string name, const TransformOpts& opts = {});
+  RddId filter(RddId parent, std::string name,
+               const TransformOpts& opts = {});
+  RddId flat_map(RddId parent, std::string name,
+                 const TransformOpts& opts = {});
+  RddId map_partitions(RddId parent, std::string name,
+                       const TransformOpts& opts = {});
+  RddId reduce_by_key(RddId parent, std::string name,
+                      const TransformOpts& opts = {});
+  RddId group_by_key(RddId parent, std::string name,
+                     const TransformOpts& opts = {});
+  RddId sort_by_key(RddId parent, std::string name,
+                    const TransformOpts& opts = {});
+  RddId distinct(RddId parent, std::string name,
+                 const TransformOpts& opts = {});
+  RddId join(RddId left, RddId right, std::string name,
+             const TransformOpts& opts = {});
+  RddId cogroup(RddId left, RddId right, std::string name,
+                const TransformOpts& opts = {});
+  RddId union_of(std::vector<RddId> parents, std::string name,
+                 const TransformOpts& opts = {});
+  RddId zip_partitions(RddId left, RddId right, std::string name,
+                       const TransformOpts& opts = {});
+
+  /// Marks an RDD persisted (cache()-ed by the user program).
+  void persist(RddId id);
+  void unpersist(RddId id);
+  bool is_persisted(RddId id) const;
+
+  /// Records an action on `target`; becomes one job at plan time.
+  void action(RddId target, std::string name);
+
+  const RddInfo& rdd(RddId id) const;
+  std::size_t num_rdds() const { return rdds_.size(); }
+  std::size_t num_actions() const { return actions_.size(); }
+
+  /// Finalizes into a validated Application. The builder may not be used
+  /// afterwards.
+  Application build() &&;
+
+ private:
+  RddId add(RddInfo info);
+
+  std::string name_;
+  double compute_ms_per_mb_ = 2.0;
+  std::vector<RddInfo> rdds_;
+  std::vector<ActionInfo> actions_;
+  bool built_ = false;
+};
+
+}  // namespace mrd

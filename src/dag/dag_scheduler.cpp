@@ -1,0 +1,243 @@
+#include "dag/dag_scheduler.h"
+
+#include <algorithm>
+#include <utility>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace mrd {
+
+namespace {
+
+/// Mutable scheduler state threaded through plan construction.
+class Planner {
+ public:
+  explicit Planner(std::shared_ptr<const Application> app)
+      : app_(std::move(app)) {}
+
+  ExecutionPlan run() {
+    for (std::size_t i = 0; i < app_->actions().size(); ++i) {
+      submit_job(static_cast<JobId>(i), app_->actions()[i]);
+    }
+    return ExecutionPlan(app_, std::move(stages_), std::move(jobs_),
+                         std::move(shuffles_));
+  }
+
+ private:
+  // ---- Stage/shuffle creation (cache-oblivious, as in Spark) ----
+
+  /// Creates a fresh stage materializing `terminal`, creating any missing
+  /// parent shuffle-map stages first (so parents get lower IDs).
+  StageId create_stage(JobId job, RddId terminal, bool is_result) {
+    StageInfo info;
+    info.first_job = job;
+    info.terminal = terminal;
+    info.is_result = is_result;
+    info.num_tasks = app_->rdd(terminal).num_partitions;
+    collect_pipeline(terminal, &info.pipeline);
+
+    // Wide edges out of the pipeline become shuffle reads; their map stages
+    // are created (or reused) before this stage's ID is allocated.
+    std::set<StageId> parent_set;
+    for (RddId r : info.pipeline) {
+      const RddInfo& rdd = app_->rdd(r);
+      if (!is_wide(rdd.kind)) continue;
+      for (RddId p : rdd.parents) {
+        const ShuffleId s = get_or_create_shuffle(job, r, p);
+        info.shuffle_reads.push_back(s);
+        parent_set.insert(shuffles_[s].map_stage);
+      }
+    }
+    info.parents.assign(parent_set.begin(), parent_set.end());
+
+    info.id = static_cast<StageId>(stages_.size());
+    stages_.push_back(std::move(info));
+    return stages_.back().id;
+  }
+
+  /// Narrow-reachable set from `terminal`, ascending RddId (parents before
+  /// children, terminal last).
+  void collect_pipeline(RddId terminal, std::vector<RddId>* out) const {
+    std::set<RddId> visited;
+    std::vector<RddId> stack{terminal};
+    while (!stack.empty()) {
+      const RddId r = stack.back();
+      stack.pop_back();
+      if (!visited.insert(r).second) continue;
+      const RddInfo& rdd = app_->rdd(r);
+      if (is_wide(rdd.kind) || is_source(rdd.kind)) continue;
+      for (RddId p : rdd.parents) stack.push_back(p);
+    }
+    out->assign(visited.begin(), visited.end());
+  }
+
+  ShuffleId get_or_create_shuffle(JobId job, RddId child, RddId parent) {
+    const auto key = std::make_pair(child, parent);
+    if (auto it = shuffle_by_edge_.find(key); it != shuffle_by_edge_.end()) {
+      return it->second;
+    }
+    // Map stage must exist before the shuffle record points at it.
+    const StageId map_stage = create_stage(job, parent, /*is_result=*/false);
+    ShuffleInfo info;
+    info.id = static_cast<ShuffleId>(shuffles_.size());
+    info.map_rdd = parent;
+    info.reduce_rdd = child;
+    info.map_stage = map_stage;
+    // Combining shuffles (reduceByKey etc.) move only the aggregated output;
+    // repartitioning shuffles (join/groupByKey/sort) move the parent data.
+    info.bytes = map_side_combine(app_->rdd(child).kind)
+                     ? std::min(app_->rdd(parent).total_bytes(),
+                                app_->rdd(child).total_bytes())
+                     : app_->rdd(parent).total_bytes();
+    stages_[map_stage].shuffle_write = info.id;
+    shuffles_.push_back(info);
+    shuffle_by_edge_.emplace(key, info.id);
+    return info.id;
+  }
+
+  // ---- Job submission (cache-aware skipping) ----
+
+  void submit_job(JobId job_id, const ActionInfo& action) {
+    JobInfo job;
+    job.id = job_id;
+    job.target = action.target;
+    job.action = action.name;
+    job.result_stage = create_stage(job_id, action.target, /*is_result=*/true);
+
+    // Full static stage set of the job (what the Spark UI lists, including
+    // skipped stages).
+    std::set<StageId> all;
+    std::vector<StageId> stack{job.result_stage};
+    while (!stack.empty()) {
+      const StageId s = stack.back();
+      stack.pop_back();
+      if (!all.insert(s).second) continue;
+      for (StageId p : stages_[s].parents) stack.push_back(p);
+    }
+
+    // Recursive submission: execute missing parents first, then the stage.
+    std::map<StageId, StageExecution> records;
+    std::vector<StageId> exec_order;
+    submit_stage(job_id, job.result_stage, &records, &exec_order);
+
+    // Assemble appearances: executed stages in execution order is a
+    // topological order; skipped stages are interleaved by ascending ID
+    // (parents were created before children, so this is also topological).
+    for (StageId s : all) {  // std::set iterates ascending
+      if (auto it = records.find(s); it != records.end()) continue;
+      StageExecution skipped;
+      skipped.stage = s;
+      skipped.job = job_id;
+      skipped.executed = false;
+      records.emplace(s, std::move(skipped));
+    }
+    for (const auto& [sid, rec] : records) {
+      (void)sid;
+      job.stages.push_back(rec);
+    }
+    jobs_.push_back(std::move(job));
+  }
+
+  /// Executes `stage` for `job`, recursively executing missing parents first.
+  void submit_stage(JobId job, StageId stage,
+                    std::map<StageId, StageExecution>* records,
+                    std::vector<StageId>* exec_order) {
+    if (records->count(stage)) return;  // already executed this job
+
+    // Discovery walk: find which shuffles this execution would consume given
+    // the *current* cache state, and run missing producers first.
+    StageExecution probe_rec = walk_stage(job, stage);
+    for (ShuffleId s : probe_rec.shuffle_reads) {
+      if (computed_shuffles_.count(s)) continue;
+      submit_stage(job, shuffles_[s].map_stage, records, exec_order);
+    }
+
+    // Final walk: parents may have cached persisted RDDs that now cut this
+    // stage's pipeline (shared lineage between sibling stages).
+    StageExecution rec = walk_stage(job, stage);
+    rec.executed = true;
+
+    for (RddId r : rec.computes) {
+      if (app_->rdd(r).persisted) computed_persisted_.insert(r);
+    }
+    if (stages_[stage].shuffle_write) {
+      computed_shuffles_.insert(*stages_[stage].shuffle_write);
+    }
+    exec_order->push_back(stage);
+    records->emplace(stage, std::move(rec));
+  }
+
+  /// Cache-aware pipeline walk: splits the stage's static pipeline into
+  /// computed RDDs and cache probes given the current computed_persisted_
+  /// state.
+  StageExecution walk_stage(JobId job, StageId stage_id) const {
+    const StageInfo& stage = stages_[stage_id];
+    StageExecution rec;
+    rec.stage = stage_id;
+    rec.job = job;
+
+    const RddId terminal = stage.terminal;
+    std::set<RddId> computes;
+    std::set<RddId> probes;
+
+    if (app_->rdd(terminal).persisted && computed_persisted_.count(terminal)) {
+      // The whole stage output is (nominally) cached: tasks only read it.
+      probes.insert(terminal);
+    } else {
+      std::vector<RddId> stack{terminal};
+      std::set<RddId> visited;
+      while (!stack.empty()) {
+        const RddId r = stack.back();
+        stack.pop_back();
+        if (!visited.insert(r).second) continue;
+        const RddInfo& rdd = app_->rdd(r);
+        if (r != terminal && rdd.persisted && computed_persisted_.count(r)) {
+          probes.insert(r);  // cut: read from cache
+          continue;
+        }
+        computes.insert(r);
+        if (is_wide(rdd.kind) || is_source(rdd.kind)) continue;
+        for (RddId p : rdd.parents) stack.push_back(p);
+      }
+    }
+
+    rec.computes.assign(computes.begin(), computes.end());
+    rec.probes.assign(probes.begin(), probes.end());
+    for (RddId r : rec.computes) {
+      const RddInfo& rdd = app_->rdd(r);
+      if (is_source(rdd.kind)) {
+        rec.source_reads.push_back(r);
+      } else if (is_wide(rdd.kind)) {
+        for (RddId p : rdd.parents) {
+          auto it = shuffle_by_edge_.find(std::make_pair(r, p));
+          MRD_CHECK_MSG(it != shuffle_by_edge_.end(),
+                        "shuffle for edge " << p << "->" << r
+                                            << " missing at walk time");
+          rec.shuffle_reads.push_back(it->second);
+        }
+      }
+    }
+    return rec;
+  }
+
+  std::shared_ptr<const Application> app_;
+  std::vector<StageInfo> stages_;
+  std::vector<JobInfo> jobs_;
+  std::vector<ShuffleInfo> shuffles_;
+  std::map<std::pair<RddId, RddId>, ShuffleId> shuffle_by_edge_;
+  std::set<ShuffleId> computed_shuffles_;
+  std::set<RddId> computed_persisted_;
+};
+
+}  // namespace
+
+ExecutionPlan DagScheduler::plan(std::shared_ptr<const Application> app) {
+  MRD_CHECK(app != nullptr);
+  return Planner(std::move(app)).run();
+}
+
+}  // namespace mrd

@@ -1,0 +1,35 @@
+// Stage decomposition, faithful to Spark's DAGScheduler:
+//
+//  * each action submits one job;
+//  * walking back from the job's target RDD, narrow dependencies are
+//    pipelined into a stage, wide dependencies cut stage boundaries;
+//  * shuffle-map stages are keyed by shuffle and *reused* across jobs
+//    (shuffleIdToMapStage), result stages are always fresh;
+//  * stage IDs are globally sequential in creation order, parents created
+//    before children;
+//  * at submission, a stage is skipped when its shuffle output already
+//    exists, or when every path from it to the result crosses a persisted
+//    RDD that has already been computed (getMissingParentStages' cache cut).
+//
+// The skip logic assumes persisted RDDs stay cached between the execution
+// that produced them and later references ("nominal" skipping). The runtime
+// simulator re-validates each probe against the actual cache and charges
+// lineage recomputation on a miss, so an optimistic skip never loses work —
+// it just converts it into recompute cost, exactly as Spark does when a
+// cached partition was evicted.
+#pragma once
+
+#include <memory>
+
+#include "dag/application.h"
+#include "dag/execution_plan.h"
+
+namespace mrd {
+
+class DagScheduler {
+ public:
+  /// Builds the full plan for `app`. Deterministic.
+  static ExecutionPlan plan(std::shared_ptr<const Application> app);
+};
+
+}  // namespace mrd

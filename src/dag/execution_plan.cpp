@@ -1,0 +1,49 @@
+#include "dag/execution_plan.h"
+
+#include <set>
+
+namespace mrd {
+
+std::size_t ExecutionPlan::stage_appearances() const {
+  std::size_t n = 0;
+  for (const JobInfo& job : jobs_) n += job.stages.size();
+  return n;
+}
+
+std::size_t ExecutionPlan::active_stages() const {
+  std::set<StageId> active;
+  for (const JobInfo& job : jobs_) {
+    for (const StageExecution& rec : job.stages) {
+      if (rec.executed) active.insert(rec.stage);
+    }
+  }
+  return active.size();
+}
+
+std::uint64_t ExecutionPlan::shuffle_bytes() const {
+  std::uint64_t total = 0;
+  for (const JobInfo& job : jobs_) {
+    for (const StageExecution& rec : job.stages) {
+      if (!rec.executed) continue;
+      if (stages_[rec.stage].shuffle_write) {
+        total += shuffles_[*stages_[rec.stage].shuffle_write].bytes;
+      }
+    }
+  }
+  return total;
+}
+
+std::uint64_t ExecutionPlan::total_stage_input_bytes() const {
+  std::uint64_t total = 0;
+  for (const JobInfo& job : jobs_) {
+    for (const StageExecution& rec : job.stages) {
+      if (!rec.executed) continue;
+      for (RddId r : rec.probes) total += app_->rdd(r).total_bytes();
+      for (RddId r : rec.source_reads) total += app_->rdd(r).total_bytes();
+      for (ShuffleId s : rec.shuffle_reads) total += shuffles_[s].bytes;
+    }
+  }
+  return total;
+}
+
+}  // namespace mrd

@@ -1,0 +1,127 @@
+// The static execution plan produced by the DagScheduler: jobs, stages,
+// shuffles, and — crucially for cache simulation — the per-stage list of
+// persisted-RDD probes. The cluster simulator replays this plan; the MRD
+// AppProfiler parses it (job by job, or whole for recurring applications).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dag/application.h"
+#include "dag/ids.h"
+
+namespace mrd {
+
+/// One shuffle dependency: a wide edge parent→child in the lineage graph.
+struct ShuffleInfo {
+  ShuffleId id = 0;
+  RddId map_rdd = kInvalidRdd;     // parent (map side)
+  RddId reduce_rdd = kInvalidRdd;  // child (reduce side)
+  StageId map_stage = kInvalidStage;
+  /// Bytes written by the map side == bytes read by the reduce side. We use
+  /// the map RDD's total size, matching how SparkBench's shuffle volumes are
+  /// reported.
+  std::uint64_t bytes = 0;
+};
+
+/// A stage object. Created once; shuffle-map stages are shared across jobs
+/// (Spark's shuffleIdToMapStage behaviour), result stages are per-job.
+struct StageInfo {
+  StageId id = kInvalidStage;
+  JobId first_job = kInvalidJob;  // job whose submission created this stage
+  RddId terminal = kInvalidRdd;   // RDD the stage materializes
+  bool is_result = false;
+  /// All RDDs reachable from `terminal` through narrow dependencies (the
+  /// pipelined set), in topological order, terminal last. What actually gets
+  /// computed at a given execution is a subset (see StageExecution).
+  std::vector<RddId> pipeline;
+  /// Shuffles whose reduce side lies in `pipeline` (stage inputs).
+  std::vector<ShuffleId> shuffle_reads;
+  /// For map stages: the shuffle this stage writes.
+  std::optional<ShuffleId> shuffle_write;
+  /// Direct parent stages (producers of shuffle_reads), deduplicated.
+  std::vector<StageId> parents;
+  std::uint32_t num_tasks = 0;  // == partitions of terminal
+};
+
+/// One appearance of a stage in one job's DAG, in submission (topological)
+/// order. `executed == false` means the stage is listed in the job but
+/// skipped — either its shuffle output already exists, or a cached persisted
+/// RDD cuts it off from the result (Spark's getMissingParentStages).
+struct StageExecution {
+  StageId stage = kInvalidStage;
+  JobId job = kInvalidJob;
+  bool executed = false;
+  /// RDDs the stage computes at this execution, topo order, terminal last.
+  /// Cut at persisted RDDs that were computed earlier (those appear in
+  /// `probes` instead). Empty when skipped.
+  std::vector<RddId> computes;
+  /// Persisted RDDs whose blocks this execution reads from the cache — the
+  /// block-reference events that cache policies see.
+  std::vector<RddId> probes;
+  /// Shuffles consumed by `computes` (reduce-side reads).
+  std::vector<ShuffleId> shuffle_reads;
+  /// Source RDDs inside `computes` — each costs an HDFS read.
+  std::vector<RddId> source_reads;
+};
+
+struct JobInfo {
+  JobId id = kInvalidJob;
+  RddId target = kInvalidRdd;
+  std::string action;
+  /// All stage appearances in this job, topological order (parents first,
+  /// result stage last). Includes skipped appearances.
+  std::vector<StageExecution> stages;
+  StageId result_stage = kInvalidStage;
+};
+
+class ExecutionPlan {
+ public:
+  ExecutionPlan(std::shared_ptr<const Application> app,
+                std::vector<StageInfo> stages, std::vector<JobInfo> jobs,
+                std::vector<ShuffleInfo> shuffles)
+      : app_(std::move(app)),
+        stages_(std::move(stages)),
+        jobs_(std::move(jobs)),
+        shuffles_(std::move(shuffles)) {}
+
+  const Application& app() const { return *app_; }
+  std::shared_ptr<const Application> app_ptr() const { return app_; }
+  const std::vector<StageInfo>& stages() const { return stages_; }
+  const std::vector<JobInfo>& jobs() const { return jobs_; }
+  const std::vector<ShuffleInfo>& shuffles() const { return shuffles_; }
+
+  const StageInfo& stage(StageId id) const { return stages_.at(id); }
+  const JobInfo& job(JobId id) const { return jobs_.at(id); }
+  const ShuffleInfo& shuffle(ShuffleId id) const { return shuffles_.at(id); }
+
+  /// Unique stage objects created.
+  std::size_t total_stages() const { return stages_.size(); }
+
+  /// Per-job stage appearances summed over all jobs (what the Spark UI — and
+  /// the paper's Table 3 "Stages" column — counts: lineage growth makes this
+  /// balloon for iterative GraphX workloads, e.g. LP's 858 vs 87 active).
+  std::size_t stage_appearances() const;
+
+  /// Stages that execute at least once ("Active Stages" column).
+  std::size_t active_stages() const;
+
+  /// Total bytes shuffled across all executed map stages (R == W).
+  std::uint64_t shuffle_bytes() const;
+
+  /// Sum over executed stage appearances of the bytes they take as input
+  /// (cached probes + shuffle reads + source reads) — the paper's "Total
+  /// Stage Inputs" column.
+  std::uint64_t total_stage_input_bytes() const;
+
+ private:
+  std::shared_ptr<const Application> app_;
+  std::vector<StageInfo> stages_;   // index == StageId
+  std::vector<JobInfo> jobs_;       // index == JobId
+  std::vector<ShuffleInfo> shuffles_;  // index == ShuffleId
+};
+
+}  // namespace mrd

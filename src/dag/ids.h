@@ -1,0 +1,60 @@
+// Strongly-named identifier types for the DAG and cluster substrates.
+//
+// All IDs are dense indices assigned in creation order. Stage IDs in
+// particular are *globally sequential across jobs* in submission order — the
+// same convention Spark's DAGScheduler uses — because MRD's per-stage
+// distance arithmetic (Definition 1 of the paper) subtracts stage IDs
+// directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace mrd {
+
+using RddId = std::uint32_t;
+using JobId = std::uint32_t;
+using StageId = std::uint32_t;
+using ShuffleId = std::uint32_t;
+using NodeId = std::uint32_t;
+using PartitionIndex = std::uint32_t;
+
+inline constexpr RddId kInvalidRdd = std::numeric_limits<RddId>::max();
+inline constexpr StageId kInvalidStage = std::numeric_limits<StageId>::max();
+inline constexpr JobId kInvalidJob = std::numeric_limits<JobId>::max();
+
+/// Identifies one cached partition of a persisted RDD — the unit of cache
+/// management, mirroring Spark's RDDBlockId ("rdd_<rddId>_<partition>").
+struct BlockId {
+  RddId rdd = kInvalidRdd;
+  PartitionIndex partition = 0;
+
+  friend bool operator==(const BlockId&, const BlockId&) = default;
+  friend auto operator<=>(const BlockId&, const BlockId&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const BlockId& b) {
+  return os << "rdd_" << b.rdd << "_" << b.partition;
+}
+
+inline std::string to_string(const BlockId& b) {
+  return "rdd_" + std::to_string(b.rdd) + "_" + std::to_string(b.partition);
+}
+
+}  // namespace mrd
+
+template <>
+struct std::hash<mrd::BlockId> {
+  std::size_t operator()(const mrd::BlockId& b) const noexcept {
+    // rdd and partition each fit comfortably in 32 bits; pack then mix.
+    std::uint64_t v =
+        (static_cast<std::uint64_t>(b.rdd) << 32) | b.partition;
+    v ^= v >> 33;
+    v *= 0xFF51AFD7ED558CCDULL;
+    v ^= v >> 33;
+    return static_cast<std::size_t>(v);
+  }
+};

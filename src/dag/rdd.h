@@ -1,0 +1,41 @@
+// Static description of one RDD in an application's lineage graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/ids.h"
+#include "dag/transform.h"
+
+namespace mrd {
+
+/// One RDD: its lineage (parents + transformation) plus the cost model inputs
+/// the simulator needs (size and compute cost per partition).
+///
+/// `parents` are ordered; for kJoin/kCogroup/kUnion/kZipPartitions the order
+/// matters to the workload generators but not to the scheduler.
+struct RddInfo {
+  RddId id = kInvalidRdd;
+  std::string name;
+  TransformKind kind = TransformKind::kSource;
+  std::vector<RddId> parents;
+
+  std::uint32_t num_partitions = 0;
+  /// Serialized size of one partition, bytes. Drives cache occupancy, spill
+  /// and shuffle volume.
+  std::uint64_t bytes_per_partition = 0;
+  /// CPU time to produce one partition from ready inputs, milliseconds.
+  double compute_ms_per_partition = 0.0;
+
+  /// True if the user program called persist()/cache() on this RDD. Only
+  /// persisted RDDs participate in cache management (Spark stores only those
+  /// in the BlockManager).
+  bool persisted = false;
+
+  std::uint64_t total_bytes() const {
+    return static_cast<std::uint64_t>(num_partitions) * bytes_per_partition;
+  }
+};
+
+}  // namespace mrd

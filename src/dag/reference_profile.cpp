@@ -1,0 +1,56 @@
+#include "dag/reference_profile.h"
+
+#include "util/check.h"
+
+namespace mrd {
+
+namespace {
+
+void accumulate_job(const ExecutionPlan& plan, const JobInfo& job,
+                    ReferenceProfileMap* out) {
+  for (const StageExecution& rec : job.stages) {
+    if (!rec.executed) continue;
+    // Creations: persisted RDDs computed by this execution.
+    for (RddId r : rec.computes) {
+      if (!plan.app().rdd(r).persisted) continue;
+      auto [it, inserted] = out->try_emplace(r);
+      if (inserted) {
+        it->second.rdd = r;
+        it->second.creation = ReferenceEvent{rec.stage, rec.job};
+      }
+      // Re-computation after eviction is a runtime event, not a plan event;
+      // statically each persisted RDD is created once.
+    }
+    // References: cache probes.
+    for (RddId r : rec.probes) {
+      auto [it, inserted] = out->try_emplace(r);
+      if (inserted) {
+        // Probed without a visible creation (ad-hoc view of a later job, or
+        // a stage reading an RDD cached by an earlier job).
+        it->second.rdd = r;
+        it->second.creation = ReferenceEvent{kInvalidStage, kInvalidJob};
+      }
+      it->second.references.push_back(ReferenceEvent{rec.stage, rec.job});
+    }
+  }
+}
+
+}  // namespace
+
+ReferenceProfileMap build_reference_profile(const ExecutionPlan& plan) {
+  ReferenceProfileMap out;
+  for (const JobInfo& job : plan.jobs()) {
+    accumulate_job(plan, job, &out);
+  }
+  return out;
+}
+
+ReferenceProfileMap build_job_reference_profile(const ExecutionPlan& plan,
+                                                JobId job) {
+  MRD_CHECK(job < plan.jobs().size());
+  ReferenceProfileMap out;
+  accumulate_job(plan, plan.job(job), &out);
+  return out;
+}
+
+}  // namespace mrd

@@ -1,0 +1,46 @@
+// Reference profiles: for each persisted RDD, the ordered list of stages (and
+// jobs) at which its blocks are read from the cache. This is exactly the
+// information the paper's AppProfiler extracts by parsing the DAG — the input
+// to MRD's reference-distance table, to LRC's reference counts, and to the
+// Belady-MIN oracle.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "dag/execution_plan.h"
+#include "dag/ids.h"
+
+namespace mrd {
+
+/// One cache-read event of a persisted RDD, in plan order.
+struct ReferenceEvent {
+  StageId stage = kInvalidStage;
+  JobId job = kInvalidJob;
+};
+
+struct RddReferenceProfile {
+  RddId rdd = kInvalidRdd;
+  /// Stage/job at which the RDD is first computed (and cached).
+  ReferenceEvent creation;
+  /// Subsequent cache reads, in execution order.
+  std::vector<ReferenceEvent> references;
+};
+
+/// Profiles for every persisted RDD that is computed at least once in the
+/// plan. Keyed by RddId.
+using ReferenceProfileMap = std::map<RddId, RddReferenceProfile>;
+
+/// Builds profiles from the whole plan (the "recurring application" view —
+/// the AppProfiler has seen the full DAG).
+ReferenceProfileMap build_reference_profile(const ExecutionPlan& plan);
+
+/// Builds profiles restricted to one job's stage executions (the "ad-hoc"
+/// view — only the submitted job's DAG fragment is known). Creation events
+/// from earlier jobs are not visible; an RDD first referenced in this job
+/// gets its first in-job event as `creation` if it is computed here, else
+/// only `references`.
+ReferenceProfileMap build_job_reference_profile(const ExecutionPlan& plan,
+                                                JobId job);
+
+}  // namespace mrd

@@ -1,0 +1,81 @@
+#include "dag/transform.h"
+
+namespace mrd {
+
+bool is_wide(TransformKind kind) {
+  switch (kind) {
+    case TransformKind::kGroupByKey:
+    case TransformKind::kReduceByKey:
+    case TransformKind::kAggregateByKey:
+    case TransformKind::kSortByKey:
+    case TransformKind::kJoin:
+    case TransformKind::kCogroup:
+    case TransformKind::kDistinct:
+    case TransformKind::kRepartition:
+    case TransformKind::kPartitionBy:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_source(TransformKind kind) {
+  return kind == TransformKind::kSource || kind == TransformKind::kParallelize;
+}
+
+bool map_side_combine(TransformKind kind) {
+  switch (kind) {
+    case TransformKind::kReduceByKey:
+    case TransformKind::kAggregateByKey:
+    case TransformKind::kDistinct:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view transform_name(TransformKind kind) {
+  switch (kind) {
+    case TransformKind::kSource:
+      return "source";
+    case TransformKind::kParallelize:
+      return "parallelize";
+    case TransformKind::kMap:
+      return "map";
+    case TransformKind::kFilter:
+      return "filter";
+    case TransformKind::kFlatMap:
+      return "flatMap";
+    case TransformKind::kMapPartitions:
+      return "mapPartitions";
+    case TransformKind::kMapValues:
+      return "mapValues";
+    case TransformKind::kSample:
+      return "sample";
+    case TransformKind::kUnion:
+      return "union";
+    case TransformKind::kZipPartitions:
+      return "zipPartitions";
+    case TransformKind::kGroupByKey:
+      return "groupByKey";
+    case TransformKind::kReduceByKey:
+      return "reduceByKey";
+    case TransformKind::kAggregateByKey:
+      return "aggregateByKey";
+    case TransformKind::kSortByKey:
+      return "sortByKey";
+    case TransformKind::kJoin:
+      return "join";
+    case TransformKind::kCogroup:
+      return "cogroup";
+    case TransformKind::kDistinct:
+      return "distinct";
+    case TransformKind::kRepartition:
+      return "repartition";
+    case TransformKind::kPartitionBy:
+      return "partitionBy";
+  }
+  return "unknown";
+}
+
+}  // namespace mrd

@@ -1,0 +1,55 @@
+// Transformation kinds and dependency classification.
+//
+// Spark distinguishes narrow dependencies (each parent partition feeds at most
+// one child partition; pipelined inside a stage) from wide/shuffle
+// dependencies (child partitions depend on all parent partitions; force a
+// stage boundary). We follow Spark's classification; co-partitioned joins are
+// not modelled — joins are always wide here, which matches the SparkBench
+// workloads the paper runs.
+#pragma once
+
+#include <string_view>
+
+namespace mrd {
+
+enum class TransformKind {
+  // Sources
+  kSource,          // textFile / HDFS read
+  kParallelize,     // in-memory collection
+  // Narrow transformations
+  kMap,
+  kFilter,
+  kFlatMap,
+  kMapPartitions,
+  kMapValues,
+  kSample,
+  kUnion,
+  kZipPartitions,
+  // Wide transformations (shuffle producers)
+  kGroupByKey,
+  kReduceByKey,
+  kAggregateByKey,
+  kSortByKey,
+  kJoin,
+  kCogroup,
+  kDistinct,
+  kRepartition,
+  kPartitionBy,
+};
+
+/// True for transformations whose parent dependencies are shuffle
+/// dependencies (stage boundaries).
+bool is_wide(TransformKind kind);
+
+/// True for kSource / kParallelize (no parents; data comes from storage).
+bool is_source(TransformKind kind);
+
+/// True for wide transformations with map-side combining (reduceByKey,
+/// aggregateByKey, distinct): their shuffle volume is bounded by the
+/// *output* size, which is why SparkBench aggregation shuffles are orders of
+/// magnitude smaller than stage inputs (paper Table 3).
+bool map_side_combine(TransformKind kind);
+
+std::string_view transform_name(TransformKind kind);
+
+}  // namespace mrd

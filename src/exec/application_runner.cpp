@@ -1,0 +1,234 @@
+#include "exec/application_runner.h"
+
+#include <algorithm>
+
+#include "cluster/block_manager_master.h"
+#include "dag/dag_scheduler.h"
+#include "exec/lineage_resolver.h"
+#include "sim/node_accounting.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace mrd {
+
+namespace {
+
+/// Issues new prefetch orders on every node (Algorithm 1 lines 24–29).
+void issue_prefetch_orders(const ExecutionPlan& plan, BlockManagerMaster* master,
+                           std::size_t max_queue) {
+  for (NodeId n = 0; n < master->num_nodes(); ++n) {
+    BlockManager& bm = master->node(n);
+    bm.flush_unstarted_prefetches();
+    const std::uint64_t capacity = bm.store().capacity();
+    const std::uint64_t free_bytes = bm.store().free_bytes();
+    CachePolicy& policy = bm.policy();
+    const std::vector<BlockId> candidates =
+        policy.prefetch_candidates(free_bytes, capacity);
+    if (candidates.empty()) continue;
+
+    // Free space net of already-queued prefetches.
+    std::uint64_t projected_free =
+        free_bytes > bm.queued_prefetch_bytes()
+            ? free_bytes - bm.queued_prefetch_bytes()
+            : 0;
+    const bool may_force = policy.prefetch_may_evict(free_bytes, capacity);
+
+    for (const BlockId& block : candidates) {
+      if (bm.prefetch_queue_length() >= max_queue) break;
+      if (!bm.has_disk_copy(block)) continue;  // nothing to read it from
+      const std::uint64_t bytes =
+          plan.app().rdd(block.rdd).bytes_per_partition;
+      if (bytes <= projected_free) {
+        if (bm.issue_prefetch(block, bytes, /*forced=*/false)) {
+          projected_free -= bytes;
+        }
+      } else if (may_force || policy.prefetch_swap_improves(block)) {
+        bm.issue_prefetch(block, bytes, /*forced=*/true);
+      } else {
+        break;  // nearest candidates first: once one doesn't fit, stop
+      }
+    }
+  }
+}
+
+}  // namespace
+
+RunMetrics run_application(std::shared_ptr<const Application> app,
+                           const RunConfig& config) {
+  const ExecutionPlan plan = DagScheduler::plan(std::move(app));
+  return run_plan(plan, config);
+}
+
+RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
+  const NodeId num_nodes = config.cluster.num_nodes;
+  PolicySetup setup = make_policy(config.policy, num_nodes);
+  BlockManagerMaster master(config.cluster, setup.factory);
+  LineageResolver resolver(plan, &master);
+
+  RunMetrics metrics;
+  metrics.workload = plan.app().name();
+  metrics.policy = config.policy.name;
+
+  // Background (prefetch) I/O accumulates here; it rides inside stage
+  // windows and never extends them, but the bytes are real.
+  IoCharge background;
+
+  if (config.visibility == DagVisibility::kRecurring) {
+    master.broadcast_application_start(plan);
+  }
+
+  for (const JobInfo& job : plan.jobs()) {
+    master.broadcast_job_start(plan, job.id);
+    metrics.jct_ms += config.cluster.job_overhead_ms;
+
+    for (const StageExecution& rec : job.stages) {
+      if (!rec.executed) continue;
+      master.broadcast_stage_start(plan, job.id, rec.stage);
+
+      // Refresh prefetch orders against the distances as of this stage; the
+      // queue is served with this stage's idle disk time, so a block needed
+      // next stage can still arrive in time.
+      issue_prefetch_orders(plan, &master, config.max_prefetch_queue);
+
+      std::vector<NodeAccounting> acct(num_nodes);
+
+      // -- Cached-RDD probes (the block references cache policies compete
+      //    on).
+      for (RddId p : rec.probes) {
+        const RddInfo& info = plan.app().rdd(p);
+        // Tasks are scheduled in waves, not in partition order: probe the
+        // blocks in a per-(stage, rdd) pseudo-random permutation. Without
+        // this, a strictly cyclic order drives recency-based policies off a
+        // 0%-hit cliff that real executors do not exhibit. Seeded, so runs
+        // stay deterministic.
+        std::vector<PartitionIndex> order(info.num_partitions);
+        for (PartitionIndex j = 0; j < info.num_partitions; ++j) order[j] = j;
+        Rng rng((static_cast<std::uint64_t>(rec.stage) << 32) ^ p);
+        for (std::size_t j = order.size(); j > 1; --j) {
+          std::swap(order[j - 1], order[rng.next_below(j)]);
+        }
+        for (PartitionIndex j : order) {
+          resolver.demand_block(BlockId{p, j}, &acct);
+        }
+        // This stage is done reading p: its reference is consumed, so
+        // mid-stage eviction decisions rank p by its *next* use.
+        master.broadcast_rdd_probed(plan, p, rec.stage);
+      }
+
+      // -- Source (HDFS) reads: data-local disk.
+      for (RddId s : rec.source_reads) {
+        const RddInfo& info = plan.app().rdd(s);
+        for (PartitionIndex j = 0; j < info.num_partitions; ++j) {
+          acct[j % num_nodes].disk_read_bytes += info.bytes_per_partition;
+        }
+      }
+
+      // -- Shuffle reads: every node pulls its share, mostly remote.
+      for (ShuffleId sid : rec.shuffle_reads) {
+        const ShuffleInfo& shuffle = plan.shuffle(sid);
+        const std::uint64_t share = shuffle.bytes / num_nodes;
+        for (NodeId n = 0; n < num_nodes; ++n) {
+          acct[n].network_bytes += share * (num_nodes - 1) / num_nodes;
+          acct[n].disk_read_bytes += share / num_nodes;
+        }
+      }
+
+      // -- Task computation.
+      const StageInfo& stage = plan.stage(rec.stage);
+      double per_task_ms = 0.0;
+      for (RddId r : rec.computes) {
+        const RddInfo& info = plan.app().rdd(r);
+        per_task_ms += info.compute_ms_per_partition *
+                       static_cast<double>(info.num_partitions) /
+                       static_cast<double>(stage.num_tasks);
+      }
+      for (PartitionIndex i = 0; i < stage.num_tasks; ++i) {
+        acct[i % num_nodes].add_task(per_task_ms);
+      }
+
+      // -- Shuffle write of map stages.
+      if (stage.shuffle_write) {
+        const ShuffleInfo& shuffle = plan.shuffle(*stage.shuffle_write);
+        const std::uint64_t share = shuffle.bytes / num_nodes;
+        for (NodeId n = 0; n < num_nodes; ++n) {
+          acct[n].disk_write_bytes += share;
+        }
+      }
+
+      // -- Cache newly materialized persisted RDDs.
+      for (RddId r : rec.computes) {
+        const RddInfo& info = plan.app().rdd(r);
+        if (!info.persisted) continue;
+        for (PartitionIndex j = 0; j < info.num_partitions; ++j) {
+          const NodeId owner = j % num_nodes;
+          IoCharge charge;
+          master.node(owner).cache_block(BlockId{r, j},
+                                         info.bytes_per_partition, &charge);
+          acct[owner].disk_read_bytes += charge.disk_read_bytes;
+          acct[owner].disk_write_bytes += charge.disk_write_bytes;
+        }
+      }
+
+      // -- Stage wall time (barrier), then let prefetch I/O soak up the
+      //    disk idle time inside the window.
+      const double wall = stage_wall_ms(acct, config.cluster);
+      const double inner_wall = wall - config.cluster.stage_overhead_ms;
+      for (NodeId n = 0; n < num_nodes; ++n) {
+        // The disk is idle whenever it is not serving demand reads/writes;
+        // network-bound or compute-bound intervals are prefetch opportunity.
+        const double slack = inner_wall - acct[n].disk_ms(config.cluster);
+        if (slack > 0.0) {
+          master.node(n).serve_prefetch(slack, &background);
+        }
+      }
+
+      metrics.jct_ms += wall;
+      if (config.record_stage_timings) {
+        metrics.stage_timings.push_back(
+            StageTiming{rec.stage, rec.job, wall,
+                        max_cpu_ms(acct, config.cluster),
+                        max_io_ms(acct, config.cluster)});
+      }
+      for (const NodeAccounting& a : acct) {
+        metrics.disk_bytes_read += a.disk_read_bytes;
+        metrics.disk_bytes_written += a.disk_write_bytes;
+        metrics.network_bytes += a.network_bytes;
+      }
+
+      // -- Eviction phase of Algorithm 1 at the stage boundary: consume the
+      //    stage's references, then drop newly inactive RDDs cluster-wide.
+      master.broadcast_stage_end(plan, job.id, rec.stage);
+      master.execute_purge();
+    }
+  }
+
+  // Application end: persist the profile for recurring-run detection.
+  if (setup.manager != nullptr) {
+    setup.manager->profiler().on_application_end(plan);
+    metrics.mrd_table_peak_entries = setup.manager->stats().max_table_entries;
+    metrics.mrd_update_messages = setup.manager->stats().table_update_messages;
+  }
+
+  const NodeCacheStats stats = master.aggregate_stats();
+  metrics.probes = stats.probes;
+  metrics.hits = stats.hits;
+  metrics.per_rdd_probes = stats.per_rdd;
+  metrics.misses_from_disk = stats.disk_hits;
+  metrics.misses_recompute = stats.cold_misses;
+  metrics.blocks_cached = stats.blocks_cached;
+  metrics.evictions = stats.evictions;
+  metrics.spills = stats.spills;
+  metrics.purged_blocks = stats.purged;
+  metrics.uncacheable_blocks = stats.uncacheable;
+  metrics.prefetches_issued = stats.prefetches_issued;
+  metrics.prefetches_completed = stats.prefetches_completed;
+  metrics.prefetches_useful = stats.prefetches_useful;
+  metrics.prefetches_wasted = stats.prefetches_wasted;
+  metrics.disk_bytes_read += background.disk_read_bytes;
+  metrics.disk_bytes_written += background.disk_write_bytes;
+  metrics.recompute_cpu_ms = resolver.recompute_cpu_ms();
+  return metrics;
+}
+
+}  // namespace mrd

@@ -1,0 +1,50 @@
+// The top of the simulation stack: replays an ExecutionPlan on the cluster,
+// driving cache policies through the full event protocol and accounting
+// stage wall-times — producing the RunMetrics every bench reports from.
+//
+// Per executed stage the runner:
+//   1. broadcasts stage start;
+//   2. resolves every cached-RDD probe (hit / disk read / lineage
+//      recompute);
+//   3. charges source reads, shuffle reads/writes and task computation;
+//   4. caches the stage's persisted outputs (evictions may spill);
+//   5. derives the stage wall time (barrier over nodes; compute overlaps
+//      demand I/O);
+//   6. lets each node's prefetch queue consume the disk idle time inside
+//      the stage window;
+//   7. broadcasts stage end, executes proactive purges, and collects fresh
+//      prefetch orders (Algorithm 1's eviction and prefetching phases).
+#pragma once
+
+#include <memory>
+
+#include "cluster/cluster_config.h"
+#include "core/policy_registry.h"
+#include "dag/application.h"
+#include "dag/execution_plan.h"
+#include "metrics/run_metrics.h"
+
+namespace mrd {
+
+/// Whether the policies see the whole application DAG up front (recurring
+/// application with a stored profile) or job fragments as they submit
+/// (ad-hoc / first run). Paper §4.1 / Fig 9.
+enum class DagVisibility { kAdHoc, kRecurring };
+
+struct RunConfig {
+  ClusterConfig cluster = main_cluster();
+  PolicyConfig policy;
+  DagVisibility visibility = DagVisibility::kRecurring;
+  /// Per-node cap on outstanding prefetch orders.
+  std::size_t max_prefetch_queue = 64;
+  bool record_stage_timings = false;
+};
+
+/// Plans and runs `app`. Deterministic for a given (app, config).
+RunMetrics run_application(std::shared_ptr<const Application> app,
+                           const RunConfig& config);
+
+/// Runs an already-planned application (lets sweeps share one plan).
+RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config);
+
+}  // namespace mrd

@@ -1,0 +1,104 @@
+#include "exec/lineage_resolver.h"
+
+#include "util/check.h"
+
+namespace mrd {
+
+namespace {
+// A lineage chain deeper than this indicates a malformed graph (RDD ids are
+// dense, so chains are bounded by the RDD count; workloads stay << this).
+constexpr int kMaxRecomputeDepth = 100000;
+}  // namespace
+
+LineageResolver::LineageResolver(const ExecutionPlan& plan,
+                                 BlockManagerMaster* master)
+    : plan_(plan), master_(master) {
+  MRD_CHECK(master_ != nullptr);
+  for (const ShuffleInfo& s : plan.shuffles()) {
+    shuffle_by_edge_[{s.reduce_rdd, s.map_rdd}] = s.id;
+  }
+}
+
+ProbeOutcome LineageResolver::demand_block(const BlockId& block,
+                                           std::vector<NodeAccounting>* acct) {
+  return demand_block_impl(block, acct, /*depth=*/0);
+}
+
+ProbeOutcome LineageResolver::demand_block_impl(
+    const BlockId& block, std::vector<NodeAccounting>* acct, int depth) {
+  const RddInfo& info = plan_.app().rdd(block.rdd);
+  MRD_CHECK_MSG(info.persisted,
+                "demand_block on non-persisted RDD " << info.name);
+  const NodeId owner = master_->owner(block);
+  BlockManager& bm = master_->node(owner);
+
+  IoCharge charge;
+  const ProbeOutcome outcome =
+      bm.probe(block, info.bytes_per_partition, &charge);
+  apply_charge(owner, charge, acct);
+  if (outcome != ProbeOutcome::kCold) return outcome;
+
+  // Recompute from lineage and re-cache (Spark's getOrCompute path).
+  recompute_cost(block.rdd, block.partition, owner, acct, depth);
+  IoCharge cache_charge;
+  bm.cache_block(block, info.bytes_per_partition, &cache_charge);
+  apply_charge(owner, cache_charge, acct);
+  return outcome;
+}
+
+void LineageResolver::recompute_cost(RddId rdd, PartitionIndex partition,
+                                     NodeId charge_node,
+                                     std::vector<NodeAccounting>* acct,
+                                     int depth) {
+  MRD_CHECK_MSG(depth < kMaxRecomputeDepth, "lineage recursion runaway");
+  const RddInfo& info = plan_.app().rdd(rdd);
+
+  (*acct)[charge_node].cpu_task_ms += info.compute_ms_per_partition;
+  recompute_cpu_ms_ += info.compute_ms_per_partition;
+
+  if (is_source(info.kind)) {
+    // Re-read the source partition from (data-local) HDFS.
+    (*acct)[charge_node].disk_read_bytes += info.bytes_per_partition;
+    return;
+  }
+
+  if (is_wide(info.kind)) {
+    // Shuffle files are retained for the application lifetime, so a wide
+    // RDD's partition is rebuilt from the shuffle, not from parent RDDs.
+    const NodeId n = master_->num_nodes();
+    for (RddId p : info.parents) {
+      const auto it = shuffle_by_edge_.find({rdd, p});
+      MRD_CHECK(it != shuffle_by_edge_.end());
+      const ShuffleInfo& shuffle = plan_.shuffle(it->second);
+      const std::uint64_t share =
+          shuffle.bytes / std::max<std::uint64_t>(1, info.num_partitions);
+      (*acct)[charge_node].network_bytes += share * (n - 1) / n;
+      (*acct)[charge_node].disk_read_bytes += share / n;
+    }
+    return;
+  }
+
+  for (RddId p : info.parents) {
+    const RddInfo& parent = plan_.app().rdd(p);
+    const PartitionIndex pj = partition % parent.num_partitions;
+    if (parent.persisted) {
+      const BlockId parent_block{p, pj};
+      demand_block_impl(parent_block, acct, depth + 1);
+      const NodeId parent_owner = master_->owner(parent_block);
+      if (parent_owner != charge_node) {
+        // Pulling the parent partition across the network.
+        (*acct)[charge_node].network_bytes += parent.bytes_per_partition;
+      }
+    } else {
+      recompute_cost(p, pj, charge_node, acct, depth + 1);
+    }
+  }
+}
+
+void LineageResolver::apply_charge(NodeId node, const IoCharge& charge,
+                                   std::vector<NodeAccounting>* acct) const {
+  (*acct)[node].disk_read_bytes += charge.disk_read_bytes;
+  (*acct)[node].disk_write_bytes += charge.disk_write_bytes;
+}
+
+}  // namespace mrd

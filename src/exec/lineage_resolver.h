@@ -1,0 +1,51 @@
+// Demand-path resolution of persisted blocks, with Spark's lineage
+// semantics: a cache miss on a persisted block is satisfied by the node's
+// disk copy if one exists, otherwise by recomputing the block from its
+// lineage — recursively probing persisted ancestors (each a real cache
+// access), re-reading shuffle files and HDFS sources, and re-caching the
+// recomputed block.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "cluster/block_manager_master.h"
+#include "dag/execution_plan.h"
+#include "sim/node_accounting.h"
+
+namespace mrd {
+
+class LineageResolver {
+ public:
+  LineageResolver(const ExecutionPlan& plan, BlockManagerMaster* master);
+
+  /// Resolves a demand read of `block` (whose RDD must be persisted):
+  /// probe → disk read → lineage recomputation, charging all costs into
+  /// `acct` (indexed by node). Returns the probe outcome for metrics.
+  ProbeOutcome demand_block(const BlockId& block,
+                            std::vector<NodeAccounting>* acct);
+
+  /// CPU milliseconds spent in lineage recomputation so far.
+  double recompute_cpu_ms() const { return recompute_cpu_ms_; }
+
+ private:
+  /// Charges the cost of recomputing partition `partition` of `rdd` to
+  /// `charge_node` (the node whose task performs it).
+  void recompute_cost(RddId rdd, PartitionIndex partition, NodeId charge_node,
+                      std::vector<NodeAccounting>* acct, int depth);
+
+  ProbeOutcome demand_block_impl(const BlockId& block,
+                                 std::vector<NodeAccounting>* acct, int depth);
+
+  void apply_charge(NodeId node, const IoCharge& charge,
+                    std::vector<NodeAccounting>* acct) const;
+
+  const ExecutionPlan& plan_;
+  BlockManagerMaster* master_;
+  /// (child, parent) -> shuffle, for wide-edge lookup during recomputation.
+  std::map<std::pair<RddId, RddId>, ShuffleId> shuffle_by_edge_;
+  double recompute_cpu_ms_ = 0.0;
+};
+
+}  // namespace mrd

@@ -1,0 +1,95 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+
+#include "dag/dag_analysis.h"
+#include "dag/dag_scheduler.h"
+#include "util/check.h"
+
+namespace mrd {
+
+WorkloadRun plan_workload(const WorkloadSpec& spec,
+                          const WorkloadParams& params) {
+  WorkloadRun run{nullptr,
+                  ExecutionPlan(nullptr, {}, {}, {}),
+                  spec.name,
+                  spec.key};
+  run.app = spec.make(params);
+  MRD_CHECK(run.app != nullptr);
+  run.plan = DagScheduler::plan(run.app);
+  return run;
+}
+
+const std::vector<double>& default_cache_fractions() {
+  static const std::vector<double> kFractions = {0.30, 0.50, 0.75, 1.00};
+  return kFractions;
+}
+
+std::uint64_t cache_bytes_per_node_for(const WorkloadRun& run,
+                                       const ClusterConfig& cluster,
+                                       double fraction) {
+  MRD_CHECK(fraction > 0.0);
+  const std::uint64_t working_set = peak_live_persisted_bytes(run.plan);
+  std::uint64_t per_node = static_cast<std::uint64_t>(
+      fraction * static_cast<double>(working_set) / cluster.num_nodes);
+  // Floor: at least the largest single block must fit, or nothing caches.
+  std::uint64_t largest_block = 0;
+  for (const RddInfo& rdd : run.app->rdds()) {
+    if (rdd.persisted) {
+      largest_block = std::max(largest_block, rdd.bytes_per_partition);
+    }
+  }
+  return std::max(per_node, largest_block * 2);
+}
+
+RunMetrics run_with_policy(const WorkloadRun& run, ClusterConfig cluster,
+                           double cache_fraction, const PolicyConfig& policy,
+                           DagVisibility visibility) {
+  cluster.cache_bytes_per_node =
+      cache_bytes_per_node_for(run, cluster, cache_fraction);
+  RunConfig config;
+  config.cluster = cluster;
+  config.policy = policy;
+  config.visibility = visibility;
+  return run_plan(run.plan, config);
+}
+
+std::vector<SweepPoint> sweep_cache(const WorkloadRun& run,
+                                    const ClusterConfig& cluster,
+                                    const std::vector<double>& fractions,
+                                    const PolicyConfig& policy,
+                                    DagVisibility visibility) {
+  std::vector<SweepPoint> points;
+  points.reserve(fractions.size());
+  for (double f : fractions) {
+    points.push_back(
+        SweepPoint{f, run_with_policy(run, cluster, f, policy, visibility)});
+  }
+  return points;
+}
+
+BestComparison best_improvement(const WorkloadRun& run,
+                                const ClusterConfig& cluster,
+                                const std::vector<double>& fractions,
+                                const PolicyConfig& baseline,
+                                const PolicyConfig& candidate,
+                                DagVisibility visibility) {
+  MRD_CHECK(!fractions.empty());
+  BestComparison best;
+  bool first = true;
+  for (double f : fractions) {
+    RunMetrics base = run_with_policy(run, cluster, f, baseline, visibility);
+    RunMetrics cand = run_with_policy(run, cluster, f, candidate, visibility);
+    const double ratio =
+        base.jct_ms == 0.0 ? 1.0 : cand.jct_ms / base.jct_ms;
+    if (first || ratio < best.jct_ratio()) {
+      best.fraction = f;
+      best.baseline = std::move(base);
+      best.candidate = std::move(cand);
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace mrd

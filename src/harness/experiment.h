@@ -1,0 +1,79 @@
+// Experiment harness: plans workloads once, sizes cluster caches relative to
+// each workload's persisted working set, and sweeps policies × cache sizes —
+// the methodology of the paper's §5.3 ("executed each workload with several
+// cache sizes ... best overall performance gain for each workload-cache
+// combination", normalized against LRU at the same cache size).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "dag/execution_plan.h"
+#include "exec/application_runner.h"
+#include "metrics/run_metrics.h"
+#include "workloads/workloads.h"
+
+namespace mrd {
+
+/// A workload planned and ready to execute any number of times.
+struct WorkloadRun {
+  std::shared_ptr<const Application> app;
+  ExecutionPlan plan;
+  std::string name;  // paper name
+  std::string key;
+};
+
+WorkloadRun plan_workload(const WorkloadSpec& spec,
+                          const WorkloadParams& params = {});
+
+/// Cache fractions swept by default: total cluster cache as a fraction of
+/// the workload's persisted working set.
+const std::vector<double>& default_cache_fractions();
+
+/// Per-node cache bytes so that total cluster cache = fraction × the
+/// workload's *peak live* persisted working set (floored at two of the
+/// largest persisted blocks per node).
+std::uint64_t cache_bytes_per_node_for(const WorkloadRun& run,
+                                       const ClusterConfig& cluster,
+                                       double fraction);
+
+/// Runs `run` under `policy` with the cluster cache sized by `fraction`.
+RunMetrics run_with_policy(const WorkloadRun& run, ClusterConfig cluster,
+                           double cache_fraction, const PolicyConfig& policy,
+                           DagVisibility visibility = DagVisibility::kRecurring);
+
+struct SweepPoint {
+  double fraction = 0.0;
+  RunMetrics metrics;
+};
+
+std::vector<SweepPoint> sweep_cache(const WorkloadRun& run,
+                                    const ClusterConfig& cluster,
+                                    const std::vector<double>& fractions,
+                                    const PolicyConfig& policy,
+                                    DagVisibility visibility =
+                                        DagVisibility::kRecurring);
+
+/// Fig-4-style selection: runs baseline and candidate at every fraction and
+/// returns the pair at the fraction where candidate JCT / baseline JCT is
+/// smallest.
+struct BestComparison {
+  double fraction = 0.0;
+  RunMetrics baseline;
+  RunMetrics candidate;
+  double jct_ratio() const {
+    return baseline.jct_ms == 0.0 ? 1.0 : candidate.jct_ms / baseline.jct_ms;
+  }
+};
+
+BestComparison best_improvement(const WorkloadRun& run,
+                                const ClusterConfig& cluster,
+                                const std::vector<double>& fractions,
+                                const PolicyConfig& baseline,
+                                const PolicyConfig& candidate,
+                                DagVisibility visibility =
+                                    DagVisibility::kRecurring);
+
+}  // namespace mrd

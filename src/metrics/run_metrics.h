@@ -1,0 +1,74 @@
+// Metrics collected over one simulated application run. The benches derive
+// every paper series from these: normalized JCT (Figs 4–10), cache hit ratio
+// (Figs 4, 7–10), and the §4.4 overhead counters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mrd {
+
+struct StageTiming {
+  std::uint32_t stage = 0;
+  std::uint32_t job = 0;
+  double duration_ms = 0.0;
+  double compute_ms = 0.0;  // max over nodes
+  double io_ms = 0.0;       // max over nodes (demand I/O)
+};
+
+struct RunMetrics {
+  std::string workload;
+  std::string policy;
+
+  /// Job completion time for the whole application (all jobs), ms.
+  double jct_ms = 0.0;
+
+  // Cache probe outcomes (block granularity, recompute-triggered probes
+  // included — they are real BlockManager accesses).
+  std::uint64_t probes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses_from_disk = 0;   // satisfied by the node's disk copy
+  std::uint64_t misses_recompute = 0;   // lineage recomputation
+
+  // Store activity.
+  std::uint64_t blocks_cached = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t spills = 0;          // evictions that wrote a new disk copy
+  std::uint64_t purged_blocks = 0;   // MRD all-out purge victims
+  std::uint64_t uncacheable_blocks = 0;  // larger than a node's whole cache
+
+  // Prefetching.
+  std::uint64_t prefetches_issued = 0;
+  std::uint64_t prefetches_completed = 0;
+  std::uint64_t prefetches_useful = 0;  // completed and later hit
+  std::uint64_t prefetches_wasted = 0;  // completed but evicted unused
+
+  // Data movement.
+  std::uint64_t disk_bytes_read = 0;
+  std::uint64_t disk_bytes_written = 0;
+  std::uint64_t network_bytes = 0;
+  double recompute_cpu_ms = 0.0;
+
+  std::vector<StageTiming> stage_timings;
+
+  /// Per-RDD (probes, hits) across the cluster — which data each policy
+  /// actually served from memory.
+  std::map<std::uint32_t, std::pair<std::uint64_t, std::uint64_t>>
+      per_rdd_probes;
+
+  // MRD bookkeeping (zero for non-MRD policies) — §4.4 overhead claims.
+  std::size_t mrd_table_peak_entries = 0;
+  std::size_t mrd_update_messages = 0;
+
+  double hit_ratio() const {
+    return probes == 0 ? 0.0
+                       : static_cast<double>(hits) / static_cast<double>(probes);
+  }
+
+  std::uint64_t misses() const { return probes - hits; }
+};
+
+}  // namespace mrd

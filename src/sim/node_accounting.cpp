@@ -1,0 +1,30 @@
+#include "sim/node_accounting.h"
+
+namespace mrd {
+
+double stage_wall_ms(const std::vector<NodeAccounting>& nodes,
+                     const ClusterConfig& config) {
+  double wall = 0.0;
+  for (const NodeAccounting& n : nodes) {
+    wall = std::max(wall, n.wall_ms(config));
+  }
+  return wall + config.stage_overhead_ms;
+}
+
+double max_io_ms(const std::vector<NodeAccounting>& nodes,
+                 const ClusterConfig& config) {
+  double ms = 0.0;
+  for (const NodeAccounting& n : nodes) ms = std::max(ms, n.io_ms(config));
+  return ms;
+}
+
+double max_cpu_ms(const std::vector<NodeAccounting>& nodes,
+                  const ClusterConfig& config) {
+  double ms = 0.0;
+  for (const NodeAccounting& n : nodes) {
+    ms = std::max(ms, n.cpu_wall_ms(config));
+  }
+  return ms;
+}
+
+}  // namespace mrd

@@ -1,0 +1,64 @@
+// Per-node, per-stage resource accounting and the stage timing model.
+//
+// Tasks on a node pipeline their I/O against other tasks' computation, so a
+// stage's wall time on a node is max(cpu_wall, demand_io) rather than their
+// sum; the stage (a Spark barrier) ends when the slowest node finishes.
+// Disk idle time inside the stage window (wall − demand_io) is what the
+// prefetcher can steal — the paper's "overlapping the stalling time of I/O
+// with computation".
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+
+namespace mrd {
+
+struct NodeAccounting {
+  double cpu_task_ms = 0.0;        // total task CPU demand (not wall time)
+  double max_task_ms = 0.0;        // longest single task (wall floor)
+  std::uint64_t disk_read_bytes = 0;
+  std::uint64_t disk_write_bytes = 0;
+  std::uint64_t network_bytes = 0;
+
+  void add_task(double ms) {
+    cpu_task_ms += ms;
+    max_task_ms = std::max(max_task_ms, ms);
+  }
+
+  double disk_ms(const ClusterConfig& config) const {
+    return static_cast<double>(disk_read_bytes + disk_write_bytes) *
+           config.disk_ms_per_byte();
+  }
+
+  double io_ms(const ClusterConfig& config) const {
+    return disk_ms(config) +
+           static_cast<double>(network_bytes) * config.network_ms_per_byte();
+  }
+
+  /// Wall-clock CPU time: tasks run on cpu_slots_per_node slots; a node can
+  /// never finish faster than its longest task.
+  double cpu_wall_ms(const ClusterConfig& config) const {
+    const double parallel =
+        cpu_task_ms / static_cast<double>(config.cpu_slots_per_node);
+    return std::max(parallel, max_task_ms);
+  }
+
+  double wall_ms(const ClusterConfig& config) const {
+    return std::max(cpu_wall_ms(config), io_ms(config));
+  }
+};
+
+/// Stage wall time: barrier across all nodes plus fixed scheduling overhead.
+double stage_wall_ms(const std::vector<NodeAccounting>& nodes,
+                     const ClusterConfig& config);
+
+/// Max demand-I/O and compute across nodes (for StageTiming reporting).
+double max_io_ms(const std::vector<NodeAccounting>& nodes,
+                 const ClusterConfig& config);
+double max_cpu_ms(const std::vector<NodeAccounting>& nodes,
+                  const ClusterConfig& config);
+
+}  // namespace mrd

@@ -1,0 +1,53 @@
+// Lightweight invariant checking for the simulator.
+//
+// MRD_CHECK is always on (simulation correctness depends on it and the cost is
+// negligible next to event processing); MRD_DCHECK compiles out in NDEBUG
+// builds and is meant for hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mrd {
+
+/// Thrown when an internal invariant is violated. Tests assert on this type.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace mrd
+
+#define MRD_CHECK(expr)                                               \
+  do {                                                                \
+    if (!(expr)) ::mrd::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MRD_CHECK_MSG(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream mrd_check_os_;                               \
+      mrd_check_os_ << msg;                                           \
+      ::mrd::detail::check_failed(#expr, __FILE__, __LINE__,          \
+                                  mrd_check_os_.str());               \
+    }                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define MRD_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define MRD_DCHECK(expr) MRD_CHECK(expr)
+#endif

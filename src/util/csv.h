@@ -1,0 +1,31 @@
+// CSV writer used by the bench harness so figure data can be re-plotted.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mrd {
+
+/// Streams rows to a CSV file. Fields containing commas/quotes/newlines are
+/// quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Throws CheckFailure if the file can't be opened.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Flushes and closes. Safe to call more than once.
+  void close();
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  static std::string escape(const std::string& field);
+  std::ofstream out_;
+};
+
+}  // namespace mrd

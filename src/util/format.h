@@ -1,0 +1,26 @@
+// Small string-formatting helpers shared by the reporters and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mrd {
+
+/// "1.5 GB", "934 MB", "268 KB" — matches the paper's table style.
+std::string human_bytes(std::uint64_t bytes);
+
+/// Fixed-precision double, e.g. format_double(5.345, 2) == "5.35".
+std::string format_double(double value, int precision);
+
+/// Percent with one decimal: format_percent(0.534) == "53.4%".
+std::string format_percent(double fraction, int precision = 1);
+
+/// Joins parts with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Left/right padding to a fixed width (spaces).
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace mrd

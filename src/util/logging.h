@@ -1,0 +1,66 @@
+// Minimal leveled logger. The simulator is single-threaded per run, but
+// experiment sweeps may run several simulations on worker threads, so the sink
+// is protected by a mutex and messages are emitted as whole lines.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace mrd {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global log configuration. Defaults to kWarn so tests and benches stay quiet;
+/// examples raise it to kInfo.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Writes one formatted line to stderr. Thread-safe.
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+const char* log_level_name(LogLevel level);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace mrd
+
+#define MRD_LOG(level)                                   \
+  if (!::mrd::Logger::instance().enabled(level)) {       \
+  } else                                                 \
+    ::mrd::detail::LogLine(level)
+
+#define MRD_LOG_TRACE MRD_LOG(::mrd::LogLevel::kTrace)
+#define MRD_LOG_DEBUG MRD_LOG(::mrd::LogLevel::kDebug)
+#define MRD_LOG_INFO MRD_LOG(::mrd::LogLevel::kInfo)
+#define MRD_LOG_WARN MRD_LOG(::mrd::LogLevel::kWarn)
+#define MRD_LOG_ERROR MRD_LOG(::mrd::LogLevel::kError)

@@ -1,0 +1,62 @@
+#include "util/math.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mrd {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  const double m = mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double max_value(const std::vector<double>& xs) {
+  MRD_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double min_value(const std::vector<double>& xs) {
+  MRD_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+LinearFit linear_regression(const std::vector<double>& xs,
+                            const std::vector<double>& ys) {
+  MRD_CHECK(xs.size() == ys.size());
+  LinearFit fit;
+  fit.n = xs.size();
+  if (xs.size() < 2) return fit;
+
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) return fit;  // all x identical: no defined slope
+
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+}  // namespace mrd

@@ -1,0 +1,29 @@
+// Statistics helpers: summary stats for Table 1 and ordinary least squares for
+// the Fig 11/12 trendlines (the paper reports R² values there).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mrd {
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);  // population variance
+double stddev(const std::vector<double>& xs);
+double max_value(const std::vector<double>& xs);
+double min_value(const std::vector<double>& xs);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  std::size_t n = 0;
+};
+
+/// Ordinary least squares y = slope*x + intercept. Requires xs.size() ==
+/// ys.size() and at least two distinct x values; otherwise returns a fit with
+/// n == xs.size() and zero slope/R².
+LinearFit linear_regression(const std::vector<double>& xs,
+                            const std::vector<double>& ys);
+
+}  // namespace mrd

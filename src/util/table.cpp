@@ -1,0 +1,65 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/check.h"
+#include "util/format.h"
+
+namespace mrd {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  MRD_CHECK(!header_.empty());
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  MRD_CHECK_MSG(row.size() == header_.size(),
+                "row has " << row.size() << " cells, header has "
+                           << header_.size());
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void AsciiTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+void AsciiTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto print_rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string padded = (c == 0) ? pad_right(cells[c], widths[c])
+                                          : pad_left(cells[c], widths[c]);
+      os << ' ' << padded << " |";
+    }
+    os << '\n';
+  };
+
+  print_rule();
+  print_cells(header_);
+  print_rule();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      print_rule();
+    } else {
+      print_cells(row.cells);
+    }
+  }
+  print_rule();
+}
+
+}  // namespace mrd

@@ -1,0 +1,34 @@
+// ASCII table printer — the bench binaries print paper-style tables with it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mrd {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Adds a horizontal separator row (rendered as dashes).
+  void add_separator();
+
+  /// Renders with column alignment: first column left-aligned, the rest
+  /// right-aligned (numeric convention).
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace mrd

@@ -1,0 +1,125 @@
+// HiBench workloads (Table 1 only): Sort, WordCount, TeraSort, PageRank,
+// Bayes, K-Means.
+//
+// The paper measured near-zero reference distances for most of HiBench —
+// single-job pipelines with little or no RDD caching — and dropped the
+// suite from the main experiments for that reason. We reproduce the suite
+// so Table 1 regenerates in full and so tests can assert the "HiBench
+// offers MRD little to exploit" claim.
+#include "workloads/workloads_internal.h"
+
+namespace mrd {
+namespace workloads {
+
+namespace {
+constexpr std::uint64_t kMB = 1024ull * 1024ull;
+}
+
+// Single job, nothing cached: every distance is exactly zero.
+std::shared_ptr<const Application> make_hibench_sort(const WorkloadParams& p) {
+  const std::uint32_t parts = p.partitions ? p.partitions : 120;
+  const auto input_bytes = scaled_bytes(400 * kMB, p.scale);
+
+  SparkContext sc("HiBench Sort");
+  sc.set_compute_ms_per_mb(1.5);
+  auto data = sc.text_file("hdfs-records", parts, input_bytes / parts);
+  data.map("kv").sort_by_key("sorted").save();
+  return std::move(sc).build_shared();
+}
+
+// Single job, nothing cached.
+std::shared_ptr<const Application> make_hibench_wordcount(
+    const WorkloadParams& p) {
+  const std::uint32_t parts = p.partitions ? p.partitions : 120;
+  const auto input_bytes = scaled_bytes(400 * kMB, p.scale);
+
+  SparkContext sc("HiBench WordCount");
+  sc.set_compute_ms_per_mb(2.0);
+  auto data = sc.text_file("hdfs-text", parts, input_bytes / parts);
+  TransformOpts count_opts;
+  count_opts.size_factor = 0.05;
+  data.flat_map("words").reduce_by_key("wordCounts", count_opts).save();
+  return std::move(sc).build_shared();
+}
+
+// Two jobs: range sampling, then the sort. The cached input is created in
+// job 0 and referenced once in job 1 — max job distance 1, tiny averages.
+std::shared_ptr<const Application> make_hibench_terasort(
+    const WorkloadParams& p) {
+  const std::uint32_t parts = p.partitions ? p.partitions : 120;
+  const auto input_bytes = scaled_bytes(400 * kMB, p.scale);
+
+  SparkContext sc("HiBench TeraSort");
+  sc.set_compute_ms_per_mb(1.5);
+  auto data =
+      sc.text_file("hdfs-tera", parts, input_bytes / parts).map("kv").cache();
+  data.sample(0.01, "rangeSample").collect("sampleRanges");  // job 0
+  auto partitioned = data.repartition(parts, "rangePartitioned");
+  partitioned.sort_by_key("sorted").save();  // job 1: references `data`
+  return std::move(sc).build_shared();
+}
+
+// HiBench PageRank runs its iterations inside one lineage with a single
+// final action, so all references fall within one job (job distance 0) and
+// consecutive stages (stage distances ≈ 1).
+std::shared_ptr<const Application> make_hibench_pagerank(
+    const WorkloadParams& p) {
+  const std::uint32_t iters = p.iterations ? p.iterations : 3;
+  const std::uint32_t parts = p.partitions ? p.partitions : 80;
+  const auto input_bytes = scaled_bytes(120 * kMB, p.scale);
+
+  SparkContext sc("HiBench PageRank");
+  sc.set_compute_ms_per_mb(1.0);
+  auto links = sc.text_file("hdfs-links", parts, input_bytes / parts)
+                   .map("adjacency")
+                   .cache();
+  TransformOpts rank_opts;
+  rank_opts.size_factor = 0.3;
+  Dataset ranks = links.map_values("initRanks", rank_opts);
+  for (std::uint32_t i = 0; i < iters; ++i) {
+    auto contribs = links.join(ranks, tag("contribs", i));
+    ranks = contribs.reduce_by_key(tag("ranks", i), rank_opts);
+  }
+  ranks.save("saveRanks");  // the only action
+  return std::move(sc).build_shared();
+}
+
+// Naive Bayes: tokenize/tf-idf jobs over a cached corpus, then model
+// aggregation — a few jobs with moderate gaps (paper: ~2 job / ~3 stage).
+std::shared_ptr<const Application> make_hibench_bayes(const WorkloadParams& p) {
+  const std::uint32_t parts = p.partitions ? p.partitions : 80;
+  const auto input_bytes = scaled_bytes(240 * kMB, p.scale);
+
+  SparkContext sc("HiBench Bayes");
+  sc.set_compute_ms_per_mb(3.0);
+  auto corpus = sc.text_file("hdfs-docs", parts, input_bytes / parts)
+                    .map("tokenized")
+                    .cache();
+  corpus.count("materialize");  // job 0
+
+  TransformOpts tf_opts;
+  tf_opts.size_factor = 0.4;
+  auto tf = corpus.flat_map("terms").reduce_by_key("termFreq", tf_opts).cache();
+  tf.count("materializeTf");  // job 1 (references corpus)
+
+  auto idf = tf.map_values("idf", tf_opts);
+  idf.collect("computeIdf");  // job 2 (references tf)
+
+  // Model aggregation re-references the corpus two jobs after job 1.
+  auto model = corpus.zip_partitions(tf, "weightedTerms")
+                   .reduce_by_key("classModel", tf_opts);
+  model.collect("trainModel");  // job 3
+  return std::move(sc).build_shared();
+}
+
+// HiBench K-Means: the same Lloyd loop as SparkBench's but with more
+// iterations (paper Table 1: 19 max job distance ⇒ ~19 iterations).
+std::shared_ptr<const Application> make_hibench_kmeans(
+    const WorkloadParams& p) {
+  WorkloadParams q = p;
+  if (q.iterations == 0) q.iterations = 19;
+  return make_kmeans_named("HiBench K-Means", q);
+}
+
+}  // namespace workloads
+}  // namespace mrd

@@ -1,0 +1,76 @@
+#include "workloads/workloads.h"
+
+#include "workloads/workloads_internal.h"
+
+namespace mrd {
+
+const std::vector<WorkloadSpec>& sparkbench_workloads() {
+  using namespace workloads;
+  static const std::vector<WorkloadSpec> kSpecs = {
+      {"km", "K-Means (KM)", "Machine Learning", "Mixed", 15, make_kmeans},
+      {"linr", "Linear Regression (LinR)", "Other Workloads", "CPU intensive",
+       5, make_linear_regression},
+      {"logr", "Logistic Regression (LogR)", "Machine Learning",
+       "CPU intensive", 6, make_logistic_regression},
+      {"svm", "SVM", "Machine Learning", "CPU intensive", 8, make_svm},
+      {"dt", "Decision Tree (DT)", "Other Workloads", "CPU intensive", 0,
+       make_decision_tree},
+      {"mf", "Matrix Factorization (MF)", "Machine Learning", "Mixed", 6,
+       make_matrix_factorization},
+      {"pr", "Page Rank (PR)", "Web Search", "I/O intensive", 5,
+       make_page_rank},
+      {"tc", "Triangle Count (TC)", "Graph Computation", "Mixed", 0,
+       make_triangle_count},
+      {"sp", "Shortest Paths (SP)", "Other Workloads", "Mixed", 1,
+       make_shortest_paths},
+      {"lp", "Label Propagation (LP)", "Other Workloads", "I/O intensive", 21,
+       make_label_propagation},
+      {"svdpp", "SVD++", "Graph Computation", "I/O intensive", 12, make_svdpp},
+      {"cc", "Connected Components (CC)", "Other Workloads", "I/O intensive",
+       4, make_connected_components},
+      {"scc", "Strongly Connected Components (SCC)", "Other Workloads",
+       "I/O intensive", 11, make_strongly_connected_components},
+      {"po", "Pregel Operation (PO)", "Other Workloads", "I/O intensive", 15,
+       make_pregel_operation},
+  };
+  return kSpecs;
+}
+
+const std::vector<WorkloadSpec>& hibench_workloads() {
+  using namespace workloads;
+  static const std::vector<WorkloadSpec> kSpecs = {
+      {"hb-sort", "HiBench Sort", "Micro Benchmark", "I/O intensive", 0,
+       make_hibench_sort},
+      {"hb-wordcount", "HiBench WordCount", "Micro Benchmark", "CPU intensive",
+       0, make_hibench_wordcount},
+      {"hb-terasort", "HiBench TeraSort", "Micro Benchmark", "I/O intensive",
+       0, make_hibench_terasort},
+      {"hb-pagerank", "HiBench PageRank", "Web Search", "I/O intensive", 3,
+       make_hibench_pagerank},
+      {"hb-bayes", "HiBench Bayes", "Machine Learning", "Mixed", 0,
+       make_hibench_bayes},
+      {"hb-kmeans", "HiBench K-Means", "Machine Learning", "Mixed", 19,
+       make_hibench_kmeans},
+  };
+  return kSpecs;
+}
+
+const WorkloadSpec* find_workload(std::string_view key) {
+  for (const WorkloadSpec& spec : sparkbench_workloads()) {
+    if (spec.key == key) return &spec;
+  }
+  for (const WorkloadSpec& spec : hibench_workloads()) {
+    if (spec.key == key) return &spec;
+  }
+  return nullptr;
+}
+
+std::uint64_t persisted_bytes(const Application& app) {
+  std::uint64_t total = 0;
+  for (const RddInfo& rdd : app.rdds()) {
+    if (rdd.persisted) total += rdd.total_bytes();
+  }
+  return total;
+}
+
+}  // namespace mrd

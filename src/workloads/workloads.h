@@ -1,0 +1,60 @@
+// The benchmark workload generators: the 14 SparkBench and 6 HiBench
+// applications of the paper's Tables 1 and 3, built from scratch on the
+// Dataset API.
+//
+// Substitution note (see DESIGN.md): we cannot run SparkBench's actual Scala
+// code or GB-scale inputs, so each generator reproduces the workload's DAG
+// *structure* — job/stage topology, which RDDs are cached, where they are
+// re-referenced — scaled down in bytes (~1/32 of the paper's inputs) with
+// the compute/IO balance of the paper's "Job Type" column. The structural
+// statistics land in the paper's order of magnitude and preserve its
+// orderings (LP/SCC have far larger reference distances than TC/SP; HiBench
+// distances are ≈0), which is what drives policy behaviour.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dag/application.h"
+
+namespace mrd {
+
+struct WorkloadParams {
+  /// Input-size multiplier (1.0 = this repo's default scaled size).
+  double scale = 1.0;
+  /// Iteration override; 0 = the workload's default. Fig 10 triples this.
+  std::uint32_t iterations = 0;
+  /// Partitions-per-RDD override; 0 = default.
+  std::uint32_t partitions = 0;
+};
+
+using WorkloadFactory =
+    std::function<std::shared_ptr<const Application>(const WorkloadParams&)>;
+
+struct WorkloadSpec {
+  std::string key;       // short id used on the command line ("km", "scc"...)
+  std::string name;      // paper name, e.g. "K-Means (KM)"
+  std::string category;  // Table 3 Category column
+  std::string job_type;  // Table 3 Job Type column
+  std::uint32_t default_iterations = 0;  // 0 = not iterable (Fig 10 skips)
+  WorkloadFactory make;
+};
+
+/// The 14 SparkBench workloads, in Table 3 order.
+const std::vector<WorkloadSpec>& sparkbench_workloads();
+
+/// The 6 HiBench workloads of Table 1.
+const std::vector<WorkloadSpec>& hibench_workloads();
+
+/// Lookup across both suites; nullptr if unknown.
+const WorkloadSpec* find_workload(std::string_view key);
+
+/// Sum of persisted RDD bytes — the cache "working set" reference scale the
+/// harness sizes cluster caches against.
+std::uint64_t persisted_bytes(const Application& app);
+
+}  // namespace mrd

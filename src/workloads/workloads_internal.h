@@ -1,0 +1,79 @@
+// Shared helpers for the workload generator translation units.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "api/pregel.h"
+#include "api/spark_context.h"
+#include "workloads/workloads.h"
+
+namespace mrd {
+namespace workloads {
+
+inline std::uint64_t scaled_bytes(std::uint64_t base, double scale) {
+  const auto scaled = static_cast<std::uint64_t>(
+      static_cast<double>(base) * (scale <= 0.0 ? 1.0 : scale));
+  return scaled == 0 ? 1 : scaled;
+}
+
+inline std::string tag(const char* base, std::uint32_t i) {
+  return std::string(base) + "#" + std::to_string(i);
+}
+
+/// Uniform-block sizing: Spark partitions within an application are roughly
+/// uniform; data volume differences show up as partition *counts*. Returns
+/// TransformOpts pinning (partitions, bytes_per_partition) for a dataset of
+/// `total_bytes` at block size `block_bytes`.
+inline TransformOpts uniform_blocks(std::uint64_t total_bytes,
+                                    std::uint64_t block_bytes) {
+  TransformOpts opts;
+  const std::uint64_t parts =
+      std::max<std::uint64_t>(1, (total_bytes + block_bytes - 1) / block_bytes);
+  opts.partitions = static_cast<std::uint32_t>(parts);
+  opts.bytes_per_partition = block_bytes;
+  return opts;
+}
+
+// sparkbench_ml.cpp
+std::shared_ptr<const Application> make_kmeans(const WorkloadParams& p);
+std::shared_ptr<const Application> make_kmeans_named(const char* app_name,
+                                                     const WorkloadParams& p);
+std::shared_ptr<const Application> make_linear_regression(
+    const WorkloadParams& p);
+std::shared_ptr<const Application> make_logistic_regression(
+    const WorkloadParams& p);
+std::shared_ptr<const Application> make_svm(const WorkloadParams& p);
+std::shared_ptr<const Application> make_decision_tree(const WorkloadParams& p);
+std::shared_ptr<const Application> make_matrix_factorization(
+    const WorkloadParams& p);
+
+// sparkbench_graph.cpp
+std::shared_ptr<const Application> make_page_rank(const WorkloadParams& p);
+std::shared_ptr<const Application> make_triangle_count(const WorkloadParams& p);
+std::shared_ptr<const Application> make_shortest_paths(const WorkloadParams& p);
+std::shared_ptr<const Application> make_label_propagation(
+    const WorkloadParams& p);
+std::shared_ptr<const Application> make_svdpp(const WorkloadParams& p);
+std::shared_ptr<const Application> make_connected_components(
+    const WorkloadParams& p);
+std::shared_ptr<const Application> make_strongly_connected_components(
+    const WorkloadParams& p);
+std::shared_ptr<const Application> make_pregel_operation(
+    const WorkloadParams& p);
+
+// hibench.cpp
+std::shared_ptr<const Application> make_hibench_sort(const WorkloadParams& p);
+std::shared_ptr<const Application> make_hibench_wordcount(
+    const WorkloadParams& p);
+std::shared_ptr<const Application> make_hibench_terasort(
+    const WorkloadParams& p);
+std::shared_ptr<const Application> make_hibench_pagerank(
+    const WorkloadParams& p);
+std::shared_ptr<const Application> make_hibench_bayes(const WorkloadParams& p);
+std::shared_ptr<const Application> make_hibench_kmeans(const WorkloadParams& p);
+
+}  // namespace workloads
+}  // namespace mrd

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "api/spark_context.h"
+#include "cache/belady.h"
+#include "dag/dag_scheduler.h"
+
+namespace mrd {
+namespace {
+
+BlockId block(RddId r, PartitionIndex p) { return BlockId{r, p}; }
+
+/// `soon` referenced in job 1, `late` in job 3.
+ExecutionPlan oracle_plan(RddId* soon_out, RddId* late_out) {
+  SparkContext sc("app");
+  auto soon = sc.text_file("a", 2, 100).map("soon").cache();
+  auto late = sc.text_file("b", 2, 100).map("late").cache();
+  soon.zip_partitions(late, "z").count("job0");
+  soon.map("m1").count("job1");
+  soon.map("m2").count("job2");
+  late.map("m3").count("job3");
+  *soon_out = soon.id();
+  *late_out = late.id();
+  return DagScheduler::plan(std::move(sc).build_shared());
+}
+
+TEST(Belady, EvictsFurthestNextReference) {
+  RddId soon, late;
+  const ExecutionPlan plan = oracle_plan(&soon, &late);
+  BeladyPolicy min;
+  min.on_application_start(plan);
+  min.on_stage_start(plan, 0, plan.job(0).result_stage);
+
+  min.on_block_cached(block(soon, 0), 10);
+  min.on_block_cached(block(late, 0), 10);
+  EXPECT_EQ(min.choose_victim(), block(late, 0));
+}
+
+TEST(Belady, NextReferenceAdvancesWithCursor) {
+  RddId soon, late;
+  const ExecutionPlan plan = oracle_plan(&soon, &late);
+  BeladyPolicy min;
+  min.on_application_start(plan);
+
+  const std::size_t at_start = min.next_reference(soon);
+  min.on_stage_start(plan, 1, plan.job(1).result_stage);
+  min.on_stage_end(plan, 1, plan.job(1).result_stage);
+  const std::size_t after_job1 = min.next_reference(soon);
+  EXPECT_GT(after_job1, at_start);
+}
+
+TEST(Belady, ExhaustedRddIsInfinitelyFar) {
+  RddId soon, late;
+  const ExecutionPlan plan = oracle_plan(&soon, &late);
+  BeladyPolicy min;
+  min.on_application_start(plan);
+  // Consume everything.
+  for (const JobInfo& job : plan.jobs()) {
+    for (const StageExecution& rec : job.stages) {
+      if (!rec.executed) continue;
+      min.on_stage_start(plan, rec.job, rec.stage);
+      min.on_stage_end(plan, rec.job, rec.stage);
+    }
+  }
+  EXPECT_EQ(min.next_reference(soon), std::numeric_limits<std::size_t>::max());
+  EXPECT_EQ(min.next_reference(late), std::numeric_limits<std::size_t>::max());
+}
+
+TEST(Belady, TimelineBuiltLazilyFromJobStart) {
+  RddId soon, late;
+  const ExecutionPlan plan = oracle_plan(&soon, &late);
+  BeladyPolicy min;
+  // No on_application_start — ad-hoc runner still gives the oracle its view.
+  min.on_job_start(plan, 0);
+  EXPECT_NE(min.next_reference(soon), std::numeric_limits<std::size_t>::max());
+}
+
+TEST(Belady, ProbeConsumptionAdvancesPerRdd) {
+  RddId soon, late;
+  const ExecutionPlan plan = oracle_plan(&soon, &late);
+  BeladyPolicy min;
+  min.on_application_start(plan);
+
+  // Position at job1's result stage (which probes `soon`).
+  const StageId s1 = plan.job(1).result_stage;
+  min.on_stage_start(plan, 1, s1);
+  const std::size_t before = min.next_reference(soon);
+  min.on_rdd_probed(plan, soon, s1);
+  const std::size_t after = min.next_reference(soon);
+  EXPECT_GT(after, before);
+  // `late` is untouched.
+  EXPECT_NE(min.next_reference(late), std::numeric_limits<std::size_t>::max());
+}
+
+TEST(Belady, PromotionDeclinedForFartherBlock) {
+  RddId soon, late;
+  const ExecutionPlan plan = oracle_plan(&soon, &late);
+  BeladyPolicy min;
+  min.on_application_start(plan);
+  min.on_stage_start(plan, 0, plan.job(0).result_stage);
+  min.on_block_cached(block(soon, 0), 10);
+  // Promoting `late` would evict `soon`, whose next use is earlier.
+  EXPECT_FALSE(min.should_promote(block(late, 0), /*free_bytes=*/0));
+  EXPECT_TRUE(min.should_promote(block(soon, 1), /*free_bytes=*/0));
+}
+
+TEST(Belady, PromotionAcceptedWhenEmpty) {
+  BeladyPolicy min;
+  EXPECT_TRUE(min.should_promote(block(1, 0), 0));
+}
+
+}  // namespace
+}  // namespace mrd

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/lru.h"
+#include "cluster/block_manager.h"
+
+namespace mrd {
+namespace {
+
+BlockId block(RddId r, PartitionIndex p) { return BlockId{r, p}; }
+
+ClusterConfig small_cluster(std::uint64_t cache_bytes, bool spill = true) {
+  ClusterConfig c;
+  c.num_nodes = 1;
+  c.cache_bytes_per_node = cache_bytes;
+  c.spill_on_evict = spill;
+  c.disk_mb_per_s = 1.0;  // 1 MB/s: easy arithmetic on load times
+  return c;
+}
+
+std::unique_ptr<BlockManager> make_bm(const ClusterConfig& config) {
+  return std::make_unique<BlockManager>(0, config, std::make_unique<LruPolicy>());
+}
+
+TEST(BlockManager, ColdProbeThenCacheThenHit) {
+  const auto config = small_cluster(100);
+  auto bm = make_bm(config);
+  IoCharge charge;
+  EXPECT_EQ(bm->probe(block(1, 0), 40, &charge), ProbeOutcome::kCold);
+  bm->cache_block(block(1, 0), 40, &charge);
+  EXPECT_EQ(bm->probe(block(1, 0), 40, &charge), ProbeOutcome::kHit);
+  EXPECT_EQ(bm->stats().probes, 2u);
+  EXPECT_EQ(bm->stats().hits, 1u);
+  EXPECT_EQ(bm->stats().cold_misses, 1u);
+}
+
+TEST(BlockManager, EvictionSpillsOnceAndDiskHitReads) {
+  const auto config = small_cluster(100);
+  auto bm = make_bm(config);
+  IoCharge charge;
+  bm->cache_block(block(1, 0), 60, &charge);
+  bm->cache_block(block(1, 1), 60, &charge);  // evicts 1,0 -> spill write
+  EXPECT_EQ(charge.disk_write_bytes, 60u);
+  EXPECT_EQ(bm->stats().spills, 1u);
+  EXPECT_TRUE(bm->has_disk_copy(block(1, 0)));
+
+  IoCharge read_charge;
+  EXPECT_EQ(bm->probe(block(1, 0), 60, &read_charge), ProbeOutcome::kDiskHit);
+  EXPECT_EQ(read_charge.disk_read_bytes, 60u);
+}
+
+TEST(BlockManager, MemoryOnlyModeDropsOnEviction) {
+  const auto config = small_cluster(100, /*spill=*/false);
+  auto bm = make_bm(config);
+  IoCharge charge;
+  bm->cache_block(block(1, 0), 60, &charge);
+  bm->cache_block(block(1, 1), 60, &charge);
+  EXPECT_EQ(charge.disk_write_bytes, 0u);
+  EXPECT_FALSE(bm->has_disk_copy(block(1, 0)));
+  IoCharge probe_charge;
+  EXPECT_EQ(bm->probe(block(1, 0), 60, &probe_charge), ProbeOutcome::kCold);
+}
+
+TEST(BlockManager, DiskHitPromotesWhenPolicyAgrees) {
+  const auto config = small_cluster(200);
+  auto bm = make_bm(config);
+  IoCharge charge;
+  bm->cache_block(block(1, 0), 60, &charge);
+  bm->purge_block(block(1, 0));  // drop memory copy... no disk copy yet
+  EXPECT_FALSE(bm->in_memory(block(1, 0)));
+
+  // Evict to create a disk copy, then probe: LRU always promotes.
+  bm->cache_block(block(1, 0), 60, &charge);
+  bm->cache_block(block(1, 1), 80, &charge);
+  bm->cache_block(block(1, 2), 80, &charge);  // evicts 1,0 -> disk
+  ASSERT_TRUE(bm->has_disk_copy(block(1, 0)));
+  IoCharge probe_charge;
+  EXPECT_EQ(bm->probe(block(1, 0), 60, &probe_charge), ProbeOutcome::kDiskHit);
+  EXPECT_TRUE(bm->in_memory(block(1, 0)));
+}
+
+TEST(BlockManager, PurgeKeepsDiskCopy) {
+  const auto config = small_cluster(100);
+  auto bm = make_bm(config);
+  IoCharge charge;
+  bm->cache_block(block(1, 0), 60, &charge);
+  bm->cache_block(block(1, 1), 60, &charge);  // spill 1,0
+  IoCharge c2;
+  bm->probe(block(1, 0), 60, &c2);  // promote back (evicts 1,1)
+  bm->purge_block(block(1, 0));
+  EXPECT_FALSE(bm->in_memory(block(1, 0)));
+  EXPECT_TRUE(bm->has_disk_copy(block(1, 0)));
+  EXPECT_EQ(bm->stats().purged, 1u);
+}
+
+// ---- Prefetch queue mechanics ----
+
+TEST(BlockManager, PrefetchRequiresDiskCopy) {
+  const auto config = small_cluster(100);
+  auto bm = make_bm(config);
+  EXPECT_FALSE(bm->issue_prefetch(block(1, 0), 40, false));
+  EXPECT_EQ(bm->stats().prefetches_issued, 0u);
+}
+
+TEST(BlockManager, PrefetchPartialServiceResumes) {
+  ClusterConfig config = small_cluster(2 << 20);  // 2 MB cache, 1 MB/s disk
+  auto bm = make_bm(config);
+  IoCharge charge;
+  bm->cache_block(block(1, 0), 1 << 20, &charge);
+  bm->cache_block(block(1, 1), 1 << 20, &charge);
+  bm->cache_block(block(1, 2), 1 << 20, &charge);  // evicts 1,0 -> disk
+
+  ASSERT_TRUE(bm->issue_prefetch(block(1, 0), 1 << 20, /*forced=*/true));
+  EXPECT_TRUE(bm->prefetch_pending(block(1, 0)));
+  EXPECT_EQ(bm->queued_prefetch_bytes(), 1u << 20);
+
+  // 1 MB at 1 MB/s = 1000 ms load time. Serve 400 ms: not done yet.
+  IoCharge serve_charge;
+  const double used = bm->serve_prefetch(400.0, &serve_charge);
+  EXPECT_DOUBLE_EQ(used, 400.0);
+  EXPECT_FALSE(bm->in_memory(block(1, 0)));
+  // Serve the remainder: completes and (forced) inserts, evicting LRU.
+  bm->serve_prefetch(700.0, &serve_charge);
+  EXPECT_TRUE(bm->in_memory(block(1, 0)));
+  EXPECT_EQ(bm->stats().prefetches_completed, 1u);
+  EXPECT_EQ(serve_charge.disk_read_bytes, 1u << 20);
+}
+
+TEST(BlockManager, DemandProbeCancelsQueuedPrefetch) {
+  ClusterConfig config = small_cluster(2 << 20);
+  auto bm = make_bm(config);
+  IoCharge charge;
+  bm->cache_block(block(1, 0), 1 << 20, &charge);
+  bm->cache_block(block(1, 1), 1 << 20, &charge);
+  bm->cache_block(block(1, 2), 1 << 20, &charge);  // 1,0 to disk
+  ASSERT_TRUE(bm->issue_prefetch(block(1, 0), 1 << 20, true));
+
+  IoCharge probe_charge;
+  EXPECT_EQ(bm->probe(block(1, 0), 1 << 20, &probe_charge),
+            ProbeOutcome::kDiskHit);
+  EXPECT_FALSE(bm->prefetch_pending(block(1, 0)));
+  EXPECT_EQ(bm->queued_prefetch_bytes(), 0u);
+}
+
+TEST(BlockManager, DuplicateAndResidentPrefetchesRejected) {
+  ClusterConfig config = small_cluster(2 << 20);
+  auto bm = make_bm(config);
+  IoCharge charge;
+  bm->cache_block(block(1, 0), 1 << 20, &charge);
+  bm->cache_block(block(1, 1), 1 << 20, &charge);
+  bm->cache_block(block(1, 2), 1 << 20, &charge);
+  ASSERT_TRUE(bm->issue_prefetch(block(1, 0), 1 << 20, true));
+  EXPECT_FALSE(bm->issue_prefetch(block(1, 0), 1 << 20, true));  // duplicate
+  EXPECT_FALSE(bm->issue_prefetch(block(1, 1), 1 << 20, true));  // resident
+}
+
+TEST(BlockManager, UnforcedPrefetchDroppedWhenNoRoom) {
+  ClusterConfig config = small_cluster(2 << 20);
+  auto bm = make_bm(config);
+  IoCharge charge;
+  bm->cache_block(block(1, 0), 1 << 20, &charge);
+  bm->cache_block(block(1, 1), 1 << 20, &charge);
+  bm->cache_block(block(1, 2), 1 << 20, &charge);  // full; 1,0 on disk
+  ASSERT_TRUE(bm->issue_prefetch(block(1, 0), 1 << 20, /*forced=*/false));
+  IoCharge serve_charge;
+  bm->serve_prefetch(5000.0, &serve_charge);
+  EXPECT_FALSE(bm->in_memory(block(1, 0)));
+  EXPECT_EQ(bm->stats().prefetches_dropped, 1u);
+}
+
+TEST(BlockManager, FlushDropsUnstartedKeepsPartial) {
+  ClusterConfig config = small_cluster(4 << 20);
+  auto bm = make_bm(config);
+  IoCharge charge;
+  for (PartitionIndex p = 0; p < 4; ++p) {
+    bm->cache_block(block(1, p), 1 << 20, &charge);
+  }
+  bm->cache_block(block(2, 0), 1 << 20, &charge);
+  bm->cache_block(block(2, 1), 1 << 20, &charge);  // spills 1,0 and 1,1
+  ASSERT_TRUE(bm->issue_prefetch(block(1, 0), 1 << 20, true));
+  ASSERT_TRUE(bm->issue_prefetch(block(1, 1), 1 << 20, true));
+
+  IoCharge serve_charge;
+  bm->serve_prefetch(300.0, &serve_charge);  // head partially loaded
+  bm->flush_unstarted_prefetches();
+  EXPECT_TRUE(bm->prefetch_pending(block(1, 0)));   // partial head kept
+  EXPECT_FALSE(bm->prefetch_pending(block(1, 1)));  // unstarted dropped
+}
+
+TEST(BlockManager, UsefulAndWastedPrefetchClassification) {
+  ClusterConfig config = small_cluster(2 << 20);
+  auto bm = make_bm(config);
+  IoCharge charge;
+  bm->cache_block(block(1, 0), 1 << 20, &charge);
+  bm->cache_block(block(1, 1), 1 << 20, &charge);
+  bm->cache_block(block(1, 2), 1 << 20, &charge);  // 1,0 on disk
+  ASSERT_TRUE(bm->issue_prefetch(block(1, 0), 1 << 20, true));
+  IoCharge serve_charge;
+  bm->serve_prefetch(2000.0, &serve_charge);
+  ASSERT_TRUE(bm->in_memory(block(1, 0)));
+
+  IoCharge probe_charge;
+  EXPECT_EQ(bm->probe(block(1, 0), 1 << 20, &probe_charge),
+            ProbeOutcome::kHit);
+  EXPECT_EQ(bm->stats().prefetches_useful, 1u);
+  EXPECT_EQ(bm->stats().prefetches_wasted, 0u);
+}
+
+}  // namespace
+}  // namespace mrd

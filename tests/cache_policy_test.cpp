@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "cache/fifo.h"
+#include "cache/lru.h"
+#include "cache/resident_set.h"
+
+namespace mrd {
+namespace {
+
+BlockId block(RddId r, PartitionIndex p) { return BlockId{r, p}; }
+
+// ---- LRU ----
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  LruPolicy lru;
+  lru.on_block_cached(block(1, 0), 10);
+  lru.on_block_cached(block(1, 1), 10);
+  lru.on_block_cached(block(1, 2), 10);
+  EXPECT_EQ(lru.choose_victim(), block(1, 0));
+}
+
+TEST(Lru, AccessRefreshesRecency) {
+  LruPolicy lru;
+  lru.on_block_cached(block(1, 0), 10);
+  lru.on_block_cached(block(1, 1), 10);
+  lru.on_block_accessed(block(1, 0));
+  EXPECT_EQ(lru.choose_victim(), block(1, 1));
+}
+
+TEST(Lru, EvictionRemovesFromOrder) {
+  LruPolicy lru;
+  lru.on_block_cached(block(1, 0), 10);
+  lru.on_block_cached(block(1, 1), 10);
+  lru.on_block_evicted(block(1, 0));
+  EXPECT_EQ(lru.choose_victim(), block(1, 1));
+  EXPECT_EQ(lru.resident_count(), 1u);
+}
+
+TEST(Lru, EmptyHasNoVictim) {
+  LruPolicy lru;
+  EXPECT_EQ(lru.choose_victim(), std::nullopt);
+}
+
+TEST(Lru, ReCachingActsAsTouch) {
+  LruPolicy lru;
+  lru.on_block_cached(block(1, 0), 10);
+  lru.on_block_cached(block(1, 1), 10);
+  lru.on_block_cached(block(1, 0), 10);  // refresh
+  EXPECT_EQ(lru.choose_victim(), block(1, 1));
+  EXPECT_EQ(lru.resident_count(), 2u);
+}
+
+TEST(Lru, EvictingUnknownBlockIsHarmless) {
+  LruPolicy lru;
+  lru.on_block_cached(block(1, 0), 10);
+  lru.on_block_evicted(block(9, 9));
+  EXPECT_EQ(lru.choose_victim(), block(1, 0));
+}
+
+// ---- FIFO ----
+
+TEST(Fifo, EvictsOldestInsert) {
+  FifoPolicy fifo;
+  fifo.on_block_cached(block(1, 0), 10);
+  fifo.on_block_cached(block(1, 1), 10);
+  fifo.on_block_accessed(block(1, 0));  // access does NOT refresh FIFO
+  EXPECT_EQ(fifo.choose_victim(), block(1, 0));
+}
+
+TEST(Fifo, ReinsertKeepsOriginalPosition) {
+  FifoPolicy fifo;
+  fifo.on_block_cached(block(1, 0), 10);
+  fifo.on_block_cached(block(1, 1), 10);
+  fifo.on_block_cached(block(1, 0), 10);
+  EXPECT_EQ(fifo.choose_victim(), block(1, 0));
+}
+
+TEST(Fifo, EmptyHasNoVictim) {
+  FifoPolicy fifo;
+  EXPECT_EQ(fifo.choose_victim(), std::nullopt);
+}
+
+// ---- block placement ----
+
+TEST(Placement, RoundRobinByPartition) {
+  EXPECT_TRUE(block_on_node(block(1, 0), 0, 4));
+  EXPECT_TRUE(block_on_node(block(1, 5), 1, 4));
+  EXPECT_FALSE(block_on_node(block(1, 5), 0, 4));
+  EXPECT_FALSE(block_on_node(block(1, 0), 0, 0));  // zero nodes: nowhere
+}
+
+// ---- ResidentSet ----
+
+TEST(ResidentSet, WorstPicksMaxScore) {
+  ResidentSet set;
+  set.insert(block(1, 0));
+  set.insert(block(2, 0));
+  set.insert(block(3, 0));
+  const auto victim = set.worst([](const BlockId& b) {
+    return static_cast<double>(b.rdd);
+  });
+  EXPECT_EQ(victim, block(3, 0));
+}
+
+TEST(ResidentSet, TiesGoToLeastRecentlyUsed) {
+  ResidentSet set;
+  set.insert(block(1, 0));
+  set.insert(block(2, 0));
+  set.touch(block(1, 0));  // 2,0 is now LRU
+  const auto victim = set.worst([](const BlockId&) { return 0.0; });
+  EXPECT_EQ(victim, block(2, 0));
+}
+
+TEST(ResidentSet, EraseAndContains) {
+  ResidentSet set;
+  set.insert(block(1, 0));
+  EXPECT_TRUE(set.contains(block(1, 0)));
+  set.erase(block(1, 0));
+  EXPECT_FALSE(set.contains(block(1, 0)));
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.worst([](const BlockId&) { return 1.0; }), std::nullopt);
+}
+
+TEST(ResidentSet, IterationIsLruFirst) {
+  ResidentSet set;
+  set.insert(block(1, 0));
+  set.insert(block(2, 0));
+  set.insert(block(3, 0));
+  set.touch(block(1, 0));
+  std::vector<BlockId> order;
+  set.for_each_lru_first([&](const BlockId& b) { order.push_back(b); });
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], block(2, 0));
+  EXPECT_EQ(order[2], block(1, 0));
+}
+
+// ---- BlockId basics ----
+
+TEST(BlockId, OrderingAndHashing) {
+  EXPECT_LT(block(1, 0), block(1, 1));
+  EXPECT_LT(block(1, 5), block(2, 0));
+  EXPECT_EQ(block(3, 4), block(3, 4));
+  std::hash<BlockId> h;
+  EXPECT_NE(h(block(1, 0)), h(block(0, 1)));
+  EXPECT_EQ(to_string(block(3, 4)), "rdd_3_4");
+}
+
+}  // namespace
+}  // namespace mrd

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "api/spark_context.h"
+#include "dag/dag_builder.h"
+#include "util/check.h"
+
+namespace mrd {
+namespace {
+
+TEST(DagBuilder, SourceHasExpectedShape) {
+  DagBuilder b("app");
+  const RddId src = b.source("in", 4, 1 << 20);
+  const RddInfo& info = b.rdd(src);
+  EXPECT_EQ(info.kind, TransformKind::kSource);
+  EXPECT_EQ(info.num_partitions, 4u);
+  EXPECT_EQ(info.bytes_per_partition, 1u << 20);
+  EXPECT_TRUE(info.parents.empty());
+  EXPECT_FALSE(info.persisted);
+}
+
+TEST(DagBuilder, NarrowChildInheritsPartitionsAndSize) {
+  DagBuilder b("app");
+  const RddId src = b.source("in", 8, 2 << 20);
+  const RddId child = b.map(src, "m");
+  EXPECT_EQ(b.rdd(child).num_partitions, 8u);
+  EXPECT_EQ(b.rdd(child).bytes_per_partition, 2u << 20);
+}
+
+TEST(DagBuilder, SizeFactorScalesChild) {
+  DagBuilder b("app");
+  const RddId src = b.source("in", 4, 1000);
+  TransformOpts opts;
+  opts.size_factor = 0.5;
+  const RddId child = b.map(src, "m", opts);
+  EXPECT_EQ(b.rdd(child).bytes_per_partition, 500u);
+}
+
+TEST(DagBuilder, ExplicitOverridesWin) {
+  DagBuilder b("app");
+  const RddId src = b.source("in", 4, 1000);
+  TransformOpts opts;
+  opts.partitions = 16;
+  opts.bytes_per_partition = 77;
+  opts.compute_ms = 3.5;
+  const RddId child = b.reduce_by_key(src, "r", opts);
+  EXPECT_EQ(b.rdd(child).num_partitions, 16u);
+  EXPECT_EQ(b.rdd(child).bytes_per_partition, 77u);
+  EXPECT_DOUBLE_EQ(b.rdd(child).compute_ms_per_partition, 3.5);
+}
+
+TEST(DagBuilder, UnionSumsPartitions) {
+  DagBuilder b("app");
+  const RddId a = b.source("a", 3, 100);
+  const RddId c = b.source("c", 5, 100);
+  const RddId u = b.union_of({a, c}, "u");
+  EXPECT_EQ(b.rdd(u).num_partitions, 8u);
+}
+
+TEST(DagBuilder, JoinTakesMaxPartitions) {
+  DagBuilder b("app");
+  const RddId a = b.source("a", 3, 100);
+  const RddId c = b.source("c", 5, 100);
+  const RddId j = b.join(a, c, "j");
+  EXPECT_EQ(b.rdd(j).num_partitions, 5u);
+  EXPECT_EQ(b.rdd(j).parents.size(), 2u);
+}
+
+TEST(DagBuilder, ComputeCostScalesWithBytesAndFactor) {
+  DagBuilder b("app");
+  b.set_compute_ms_per_mb(4.0);
+  const RddId src = b.source("in", 1, 1 << 20);  // 1 MB
+  TransformOpts opts;
+  opts.cost_factor = 2.0;
+  const RddId child = b.map(src, "m", opts);
+  EXPECT_DOUBLE_EQ(b.rdd(child).compute_ms_per_partition, 8.0);
+}
+
+TEST(DagBuilder, PersistAndUnpersist) {
+  DagBuilder b("app");
+  const RddId src = b.source("in", 1, 1);
+  EXPECT_FALSE(b.is_persisted(src));
+  b.persist(src);
+  EXPECT_TRUE(b.is_persisted(src));
+  b.unpersist(src);
+  EXPECT_FALSE(b.is_persisted(src));
+}
+
+TEST(DagBuilder, UnknownParentThrows) {
+  DagBuilder b("app");
+  EXPECT_THROW(b.apply(TransformKind::kMap, "m", {99}), CheckFailure);
+}
+
+TEST(DagBuilder, TransformWithoutParentsThrows) {
+  DagBuilder b("app");
+  EXPECT_THROW(b.apply(TransformKind::kMap, "m", {}), CheckFailure);
+}
+
+TEST(DagBuilder, BuildProducesValidApplication) {
+  DagBuilder b("app");
+  const RddId src = b.source("in", 2, 100);
+  b.persist(src);
+  b.action(src, "count");
+  const Application app = std::move(b).build();
+  EXPECT_EQ(app.name(), "app");
+  EXPECT_EQ(app.num_rdds(), 1u);
+  EXPECT_EQ(app.num_actions(), 1u);
+  EXPECT_EQ(app.num_persisted(), 1u);
+  EXPECT_EQ(app.input_bytes(), 200u);
+}
+
+TEST(DagBuilder, BuildWithoutActionsThrows) {
+  DagBuilder b("app");
+  b.source("in", 1, 1);
+  EXPECT_THROW(std::move(b).build(), CheckFailure);
+}
+
+TEST(DagBuilder, EmptyApplicationThrows) {
+  DagBuilder b("app");
+  EXPECT_THROW(std::move(b).build(), CheckFailure);
+}
+
+TEST(Application, RddAccessorChecksRange) {
+  DagBuilder b("app");
+  const RddId src = b.source("in", 1, 1);
+  b.action(src, "count");
+  const Application app = std::move(b).build();
+  EXPECT_NO_THROW(app.rdd(0));
+  EXPECT_THROW(app.rdd(5), CheckFailure);
+}
+
+// ---- Dataset / SparkContext fluent API ----
+
+TEST(DatasetApi, ChainsRecordIntoBuilder) {
+  SparkContext sc("api-app");
+  auto data = sc.text_file("in", 4, 1000).map("parsed").cache();
+  auto out = data.flat_map().reduce_by_key("agg");
+  out.count();
+  const Application app = std::move(sc).build();
+  EXPECT_EQ(app.num_rdds(), 4u);
+  EXPECT_EQ(app.num_actions(), 1u);
+  EXPECT_EQ(app.num_persisted(), 1u);
+}
+
+TEST(DatasetApi, AutoNamesAreUnique) {
+  SparkContext sc("app");
+  auto a = sc.text_file("in", 1, 1);
+  auto m1 = a.map();
+  auto m2 = a.map();
+  const Application app = [&] {
+    m2.count();
+    return std::move(sc).build();
+  }();
+  EXPECT_NE(app.rdd(m1.id()).name, app.rdd(m2.id()).name);
+}
+
+TEST(DatasetApi, CrossContextCombinationThrows) {
+  SparkContext sc1("a"), sc2("b");
+  auto d1 = sc1.text_file("x", 1, 1);
+  auto d2 = sc2.text_file("y", 1, 1);
+  EXPECT_THROW(d1.join(d2), CheckFailure);
+}
+
+TEST(DatasetApi, InvalidDatasetThrows) {
+  Dataset empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_THROW(empty.map(), CheckFailure);
+}
+
+TEST(DatasetApi, SampleShrinksBytes) {
+  SparkContext sc("app");
+  auto data = sc.text_file("in", 4, 1000);
+  auto s = data.sample(0.1);
+  s.count();
+  const Application app = std::move(sc).build();
+  EXPECT_EQ(app.rdd(s.id()).bytes_per_partition, 100u);
+}
+
+TEST(DatasetApi, RepartitionSetsPartitionCount) {
+  SparkContext sc("app");
+  auto data = sc.text_file("in", 4, 1000);
+  auto r = data.repartition(32);
+  r.count();
+  const Application app = std::move(sc).build();
+  EXPECT_EQ(app.rdd(r.id()).num_partitions, 32u);
+  EXPECT_TRUE(is_wide(app.rdd(r.id()).kind));
+}
+
+// ---- transform classification ----
+
+TEST(Transform, WideAndNarrowClassification) {
+  EXPECT_TRUE(is_wide(TransformKind::kReduceByKey));
+  EXPECT_TRUE(is_wide(TransformKind::kJoin));
+  EXPECT_TRUE(is_wide(TransformKind::kSortByKey));
+  EXPECT_FALSE(is_wide(TransformKind::kMap));
+  EXPECT_FALSE(is_wide(TransformKind::kUnion));
+  EXPECT_FALSE(is_wide(TransformKind::kZipPartitions));
+}
+
+TEST(Transform, SourceClassification) {
+  EXPECT_TRUE(is_source(TransformKind::kSource));
+  EXPECT_TRUE(is_source(TransformKind::kParallelize));
+  EXPECT_FALSE(is_source(TransformKind::kMap));
+}
+
+TEST(Transform, MapSideCombineOnlyForAggregations) {
+  EXPECT_TRUE(map_side_combine(TransformKind::kReduceByKey));
+  EXPECT_TRUE(map_side_combine(TransformKind::kAggregateByKey));
+  EXPECT_TRUE(map_side_combine(TransformKind::kDistinct));
+  EXPECT_FALSE(map_side_combine(TransformKind::kJoin));
+  EXPECT_FALSE(map_side_combine(TransformKind::kGroupByKey));
+}
+
+TEST(Transform, NamesAreNonEmpty) {
+  EXPECT_EQ(transform_name(TransformKind::kMap), "map");
+  EXPECT_EQ(transform_name(TransformKind::kReduceByKey), "reduceByKey");
+  EXPECT_EQ(transform_name(TransformKind::kSource), "source");
+}
+
+}  // namespace
+}  // namespace mrd

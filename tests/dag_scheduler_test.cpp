@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "api/spark_context.h"
+#include "dag/dag_scheduler.h"
+
+namespace mrd {
+namespace {
+
+ExecutionPlan plan_of(SparkContext&& sc) {
+  return DagScheduler::plan(std::move(sc).build_shared());
+}
+
+/// One job: source -> map -> count. Single stage, no shuffles.
+TEST(DagScheduler, NarrowPipelineIsOneStage) {
+  SparkContext sc("app");
+  sc.text_file("in", 4, 100).map("m").count();
+  const ExecutionPlan plan = plan_of(std::move(sc));
+
+  ASSERT_EQ(plan.jobs().size(), 1u);
+  EXPECT_EQ(plan.total_stages(), 1u);
+  const JobInfo& job = plan.job(0);
+  ASSERT_EQ(job.stages.size(), 1u);
+  EXPECT_TRUE(job.stages[0].executed);
+  EXPECT_EQ(job.stages[0].computes.size(), 2u);  // source + map
+  EXPECT_TRUE(job.stages[0].probes.empty());
+  EXPECT_EQ(plan.stage(job.result_stage).num_tasks, 4u);
+}
+
+/// Wide transformation splits into map stage + result stage.
+TEST(DagScheduler, WideDependencySplitsStages) {
+  SparkContext sc("app");
+  sc.text_file("in", 4, 100).map("m").reduce_by_key("r").count();
+  const ExecutionPlan plan = plan_of(std::move(sc));
+
+  EXPECT_EQ(plan.total_stages(), 2u);
+  EXPECT_EQ(plan.shuffles().size(), 1u);
+  const StageInfo& map_stage = plan.stage(0);
+  const StageInfo& result = plan.stage(1);
+  EXPECT_FALSE(map_stage.is_result);
+  EXPECT_TRUE(map_stage.shuffle_write.has_value());
+  EXPECT_TRUE(result.is_result);
+  EXPECT_EQ(result.parents, std::vector<StageId>{0});
+  EXPECT_EQ(result.shuffle_reads.size(), 1u);
+}
+
+/// Stage IDs are globally sequential with parents before children.
+TEST(DagScheduler, ParentStagesHaveLowerIds) {
+  SparkContext sc("app");
+  auto a = sc.text_file("a", 4, 100).reduce_by_key("ra");
+  auto b = sc.text_file("b", 4, 100).reduce_by_key("rb");
+  a.join(b, "j").count();
+  const ExecutionPlan plan = plan_of(std::move(sc));
+  for (const StageInfo& stage : plan.stages()) {
+    for (StageId p : stage.parents) EXPECT_LT(p, stage.id);
+  }
+}
+
+/// A join has two shuffles and two parent map stages.
+TEST(DagScheduler, JoinHasTwoShuffles) {
+  SparkContext sc("app");
+  auto a = sc.text_file("a", 4, 100);
+  auto b = sc.text_file("b", 4, 100);
+  a.join(b, "j").count();
+  const ExecutionPlan plan = plan_of(std::move(sc));
+  EXPECT_EQ(plan.shuffles().size(), 2u);
+  const StageInfo& result = plan.stage(plan.job(0).result_stage);
+  EXPECT_EQ(result.parents.size(), 2u);
+}
+
+/// Shuffle-map stages are reused across jobs; the second job lists the map
+/// stage but skips it (its shuffle output already exists).
+TEST(DagScheduler, ShuffleStageSkippedInSecondJob) {
+  SparkContext sc("app");
+  auto agg = sc.text_file("in", 4, 100).reduce_by_key("agg");
+  agg.count("job0");
+  agg.map("m").count("job1");
+  const ExecutionPlan plan = plan_of(std::move(sc));
+
+  ASSERT_EQ(plan.jobs().size(), 2u);
+  // Unique map stage created once.
+  std::size_t map_stages = 0;
+  for (const StageInfo& s : plan.stages()) {
+    if (s.shuffle_write) ++map_stages;
+  }
+  EXPECT_EQ(map_stages, 1u);
+
+  const JobInfo& job1 = plan.job(1);
+  bool found_skipped = false;
+  for (const StageExecution& rec : job1.stages) {
+    if (!rec.executed) found_skipped = true;
+  }
+  EXPECT_TRUE(found_skipped);
+  EXPECT_GT(plan.stage_appearances(), plan.total_stages() - 1);
+}
+
+/// A cached RDD cuts the second job's pipeline: the later job probes it
+/// instead of recomputing, and ancestor stages are skipped.
+TEST(DagScheduler, CachedRddCutsLineage) {
+  SparkContext sc("app");
+  auto cached = sc.text_file("in", 4, 100).reduce_by_key("agg").cache();
+  cached.count("job0");
+  cached.map("m").count("job1");
+  const ExecutionPlan plan = plan_of(std::move(sc));
+
+  const JobInfo& job1 = plan.job(1);
+  const StageExecution* result = nullptr;
+  for (const StageExecution& rec : job1.stages) {
+    if (rec.executed && rec.stage == job1.result_stage) result = &rec;
+  }
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->probes.size(), 1u);
+  EXPECT_EQ(result->probes[0], cached.id());
+  // The map RDD is computed, the cached parent is not.
+  EXPECT_EQ(std::count(result->computes.begin(), result->computes.end(),
+                       cached.id()),
+            0);
+}
+
+/// Re-running an action on a cached RDD executes only the (cheap) result
+/// stage; parents are listed but skipped.
+TEST(DagScheduler, ResultStageOnCachedRddProbesTerminal) {
+  SparkContext sc("app");
+  auto cached = sc.text_file("in", 4, 100).map("m").cache();
+  cached.count("job0");
+  cached.count("job1");
+  const ExecutionPlan plan = plan_of(std::move(sc));
+
+  const JobInfo& job1 = plan.job(1);
+  const StageExecution* result = nullptr;
+  for (const StageExecution& rec : job1.stages) {
+    if (rec.stage == job1.result_stage) result = &rec;
+  }
+  ASSERT_NE(result, nullptr);
+  EXPECT_TRUE(result->executed);
+  EXPECT_TRUE(result->computes.empty());
+  EXPECT_EQ(result->probes, std::vector<RddId>{cached.id()});
+}
+
+/// Diamond narrow dependencies are deduplicated within a pipeline.
+TEST(DagScheduler, DiamondPipelineDeduplicates) {
+  SparkContext sc("app");
+  auto base = sc.text_file("in", 4, 100);
+  auto l = base.map("l");
+  auto r = base.filter("r");
+  l.zip_partitions(r, "z").count();
+  const ExecutionPlan plan = plan_of(std::move(sc));
+  EXPECT_EQ(plan.total_stages(), 1u);
+  const StageExecution& rec = plan.job(0).stages[0];
+  // base appears exactly once in computes.
+  EXPECT_EQ(std::count(rec.computes.begin(), rec.computes.end(), base.id()),
+            1);
+}
+
+/// Sibling stages sharing a cached RDD: the map stage computes (and caches)
+/// it first, the result stage then probes it.
+TEST(DagScheduler, SiblingStagesShareCachedRdd) {
+  SparkContext sc("app");
+  auto shared = sc.text_file("in", 4, 100).map("shared").cache();
+  auto agg = shared.reduce_by_key("agg");
+  agg.zip_partitions(shared, "z").count();
+  const ExecutionPlan plan = plan_of(std::move(sc));
+
+  const JobInfo& job = plan.job(0);
+  ASSERT_EQ(job.stages.size(), 2u);
+  const StageExecution& map_rec = job.stages[0];
+  const StageExecution& result_rec = job.stages[1];
+  EXPECT_TRUE(std::count(map_rec.computes.begin(), map_rec.computes.end(),
+                         shared.id()) == 1);
+  EXPECT_EQ(result_rec.probes, std::vector<RddId>{shared.id()});
+}
+
+/// Shuffle volume: combining shuffles are output-sized, repartitioning
+/// shuffles parent-sized.
+TEST(DagScheduler, ShuffleBytesDependOnCombining) {
+  SparkContext sc("app");
+  auto big = sc.text_file("in", 4, 1000);
+  TransformOpts small;
+  small.bytes_per_partition = 10;
+  auto agg = big.reduce_by_key("agg", small);
+  agg.count();
+  auto grouped = big.group_by_key("g");
+  grouped.count();
+  const ExecutionPlan plan = plan_of(std::move(sc));
+
+  ASSERT_EQ(plan.shuffles().size(), 2u);
+  const ShuffleInfo& combine = plan.shuffle(0);
+  const ShuffleInfo& repartition = plan.shuffle(1);
+  EXPECT_EQ(combine.bytes, 40u);         // child-sized (4 partitions × 10)
+  EXPECT_EQ(repartition.bytes, 4000u);   // parent-sized
+}
+
+/// Source reads are recorded for every stage that computes a source.
+TEST(DagScheduler, SourceReadsRecorded) {
+  SparkContext sc("app");
+  sc.text_file("in", 4, 100).map("m").count();
+  const ExecutionPlan plan = plan_of(std::move(sc));
+  EXPECT_EQ(plan.job(0).stages[0].source_reads.size(), 1u);
+}
+
+/// Skipped appearances carry no computes/probes.
+TEST(DagScheduler, SkippedAppearancesAreEmpty) {
+  SparkContext sc("app");
+  auto agg = sc.text_file("in", 4, 100).reduce_by_key("agg");
+  agg.count("job0");
+  agg.count("job1");
+  const ExecutionPlan plan = plan_of(std::move(sc));
+  for (const JobInfo& job : plan.jobs()) {
+    for (const StageExecution& rec : job.stages) {
+      if (!rec.executed) {
+        EXPECT_TRUE(rec.computes.empty());
+        EXPECT_TRUE(rec.probes.empty());
+      }
+    }
+  }
+}
+
+/// active_stages counts unique executed stages; stage_appearances counts
+/// per-job listings.
+TEST(DagScheduler, StageCountingSemantics) {
+  SparkContext sc("app");
+  auto agg = sc.text_file("in", 4, 100).reduce_by_key("agg").cache();
+  agg.count("job0");
+  agg.count("job1");
+  agg.count("job2");
+  const ExecutionPlan plan = plan_of(std::move(sc));
+  // Unique: 1 map stage + 3 result stages = 4.
+  EXPECT_EQ(plan.total_stages(), 4u);
+  EXPECT_EQ(plan.active_stages(), 4u);
+  // Appearances: job0 lists 2; jobs 1-2 list result + skipped map = 2 each.
+  EXPECT_EQ(plan.stage_appearances(), 6u);
+}
+
+/// Iterative program with caching: lineage (and appearances) grow per job,
+/// executed stages stay bounded.
+TEST(DagScheduler, IterativeLineageGrowth) {
+  SparkContext sc("app");
+  auto links = sc.text_file("in", 4, 100).map("links").cache();
+  Dataset ranks = links.map_values("init");
+  for (int i = 0; i < 5; ++i) {
+    ranks = links.join(ranks, "c" + std::to_string(i))
+                .reduce_by_key("r" + std::to_string(i))
+                .cache();
+    ranks.count("iter" + std::to_string(i));
+  }
+  const ExecutionPlan plan = plan_of(std::move(sc));
+  EXPECT_EQ(plan.jobs().size(), 5u);
+  // Later jobs list more stages than early ones (growing lineage).
+  EXPECT_GT(plan.job(4).stages.size(), plan.job(0).stages.size());
+  // But executed stages per job stay bounded thanks to caching.
+  std::size_t executed_last = 0;
+  for (const StageExecution& rec : plan.job(4).stages) {
+    if (rec.executed) ++executed_last;
+  }
+  EXPECT_LE(executed_last, 4u);
+}
+
+/// Every executed appearance's computes are topologically ordered with the
+/// terminal last.
+TEST(DagScheduler, ComputesAreTopoOrderedTerminalLast) {
+  SparkContext sc("app");
+  auto d = sc.text_file("in", 4, 100).map("a").filter("b").map("c");
+  d.count();
+  const ExecutionPlan plan = plan_of(std::move(sc));
+  const StageExecution& rec = plan.job(0).stages[0];
+  ASSERT_FALSE(rec.computes.empty());
+  EXPECT_EQ(rec.computes.back(), d.id());
+  EXPECT_TRUE(std::is_sorted(rec.computes.begin(), rec.computes.end()));
+}
+
+TEST(DagScheduler, NullApplicationThrows) {
+  EXPECT_ANY_THROW(DagScheduler::plan(nullptr));
+}
+
+}  // namespace
+}  // namespace mrd

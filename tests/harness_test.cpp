@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace mrd {
+namespace {
+
+TEST(Harness, PlanWorkloadCarriesMetadata) {
+  const WorkloadSpec* spec = find_workload("tc");
+  ASSERT_NE(spec, nullptr);
+  const WorkloadRun run = plan_workload(*spec);
+  EXPECT_EQ(run.key, "tc");
+  EXPECT_EQ(run.name, spec->name);
+  EXPECT_EQ(run.plan.app().name(), spec->name);
+}
+
+TEST(Harness, CacheSizingScalesWithFraction) {
+  const WorkloadRun run = plan_workload(*find_workload("pr"));
+  const ClusterConfig cluster = main_cluster();
+  const auto half = cache_bytes_per_node_for(run, cluster, 0.5);
+  const auto full = cache_bytes_per_node_for(run, cluster, 1.0);
+  EXPECT_LT(half, full);
+  EXPECT_NEAR(static_cast<double>(full) / half, 2.0, 0.2);
+}
+
+TEST(Harness, CacheSizingHasBlockFloor) {
+  const WorkloadRun run = plan_workload(*find_workload("pr"));
+  const ClusterConfig cluster = main_cluster();
+  // A microscopic fraction still yields room for two largest blocks.
+  const auto tiny = cache_bytes_per_node_for(run, cluster, 1e-9);
+  std::uint64_t largest = 0;
+  for (const RddInfo& r : run.app->rdds()) {
+    if (r.persisted) largest = std::max(largest, r.bytes_per_partition);
+  }
+  EXPECT_EQ(tiny, largest * 2);
+}
+
+TEST(Harness, SweepProducesOnePointPerFraction) {
+  WorkloadParams params;
+  params.scale = 0.25;
+  const WorkloadRun run = plan_workload(*find_workload("tc"), params);
+  ClusterConfig cluster = main_cluster();
+  cluster.num_nodes = 4;
+  PolicyConfig pc;
+  pc.name = "lru";
+  const auto points = sweep_cache(run, cluster, {0.5, 1.0}, pc);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].fraction, 0.5);
+  EXPECT_DOUBLE_EQ(points[1].fraction, 1.0);
+  EXPECT_GE(points[1].metrics.hit_ratio(), points[0].metrics.hit_ratio());
+}
+
+TEST(Harness, BestImprovementPicksMinimalRatio) {
+  WorkloadParams params;
+  params.scale = 0.25;
+  const WorkloadRun run = plan_workload(*find_workload("pr"), params);
+  ClusterConfig cluster = main_cluster();
+  cluster.num_nodes = 4;
+  PolicyConfig lru, mrd;
+  lru.name = "lru";
+  mrd.name = "mrd";
+  const BestComparison best =
+      best_improvement(run, cluster, {0.4, 0.6, 0.8}, lru, mrd);
+  EXPECT_GT(best.fraction, 0.0);
+  EXPECT_LE(best.jct_ratio(), 1.05);
+  // The chosen ratio really is the minimum over the sweep.
+  for (double f : {0.4, 0.6, 0.8}) {
+    const auto base = run_with_policy(run, cluster, f, lru);
+    const auto cand = run_with_policy(run, cluster, f, mrd);
+    EXPECT_GE(cand.jct_ms / base.jct_ms + 1e-9, best.jct_ratio());
+  }
+}
+
+TEST(Harness, DefaultFractionsAreAscending) {
+  const auto& fractions = default_cache_fractions();
+  ASSERT_GE(fractions.size(), 2u);
+  for (std::size_t i = 1; i < fractions.size(); ++i) {
+    EXPECT_GT(fractions[i], fractions[i - 1]);
+  }
+}
+
+TEST(Harness, ClusterPresetsMatchTable4) {
+  EXPECT_EQ(main_cluster().num_nodes, 25u);
+  EXPECT_EQ(main_cluster().cpu_slots_per_node, 4u);
+  EXPECT_EQ(lrc_cluster().num_nodes, 20u);
+  EXPECT_EQ(lrc_cluster().cpu_slots_per_node, 2u);
+  EXPECT_EQ(memtune_cluster().num_nodes, 6u);
+  EXPECT_EQ(memtune_cluster().cpu_slots_per_node, 8u);
+  // Network ordering: MemTune (1 Gbps) > Main (500) > LRC (450).
+  EXPECT_GT(memtune_cluster().network_mb_per_s, main_cluster().network_mb_per_s);
+  EXPECT_GT(main_cluster().network_mb_per_s, lrc_cluster().network_mb_per_s);
+}
+
+}  // namespace
+}  // namespace mrd

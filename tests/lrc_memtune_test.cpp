@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "api/spark_context.h"
+#include "cache/lrc.h"
+#include "cache/memtune.h"
+#include "dag/dag_scheduler.h"
+
+namespace mrd {
+namespace {
+
+BlockId block(RddId r, PartitionIndex p) { return BlockId{r, p}; }
+
+/// cached `data` referenced by jobs 1..3; cached `once` referenced by job 1
+/// only. Returns ids via out-params.
+ExecutionPlan counting_plan(RddId* data_out, RddId* once_out) {
+  SparkContext sc("app");
+  auto data = sc.text_file("in", 4, 100).map("data").cache();
+  auto once = data.map("once").cache();
+  once.zip_partitions(data, "z0").count("job0");  // creates both
+  data.map("m1").count("job1");
+  data.map("m2").count("job2");
+  data.map("m3").count("job3");
+  *data_out = data.id();
+  *once_out = once.id();
+  return DagScheduler::plan(std::move(sc).build_shared());
+}
+
+TEST(Lrc, CountsAccumulatePerJob) {
+  RddId data, once;
+  const ExecutionPlan plan = counting_plan(&data, &once);
+  LrcPolicy lrc;
+  lrc.on_job_start(plan, 0);
+  // job0 computes both RDDs in one pipeline: no cache reads yet.
+  EXPECT_EQ(lrc.remaining_references(data), 0u);
+  EXPECT_EQ(lrc.remaining_references(once), 0u);
+
+  for (JobId j = 1; j <= 3; ++j) lrc.on_job_start(plan, j);
+  EXPECT_EQ(lrc.remaining_references(data), 3u);
+  EXPECT_EQ(lrc.remaining_references(once), 0u);
+}
+
+TEST(Lrc, StageEndConsumesReferences) {
+  RddId data, once;
+  const ExecutionPlan plan = counting_plan(&data, &once);
+  LrcPolicy lrc;
+  for (JobId j = 0; j < plan.jobs().size(); ++j) lrc.on_job_start(plan, j);
+  const auto total = lrc.remaining_references(data);
+
+  // Finish job1's result stage (which probes data).
+  const JobInfo& job1 = plan.job(1);
+  lrc.on_stage_end(plan, 1, job1.result_stage);
+  EXPECT_EQ(lrc.remaining_references(data), total - 1);
+}
+
+TEST(Lrc, EvictsLowestCount) {
+  RddId data, once;
+  const ExecutionPlan plan = counting_plan(&data, &once);
+  LrcPolicy lrc;
+  for (JobId j = 0; j < plan.jobs().size(); ++j) lrc.on_job_start(plan, j);
+
+  lrc.on_block_cached(block(data, 0), 10);
+  lrc.on_block_cached(block(once, 0), 10);
+  // `once` has zero remaining references -> evicted first.
+  EXPECT_EQ(lrc.choose_victim(), block(once, 0));
+}
+
+TEST(Lrc, TieBreaksTowardLru) {
+  RddId data, once;
+  const ExecutionPlan plan = counting_plan(&data, &once);
+  LrcPolicy lrc;
+  lrc.on_job_start(plan, 1);  // both partitions of `data` share one count
+  lrc.on_block_cached(block(data, 0), 10);
+  lrc.on_block_cached(block(data, 1), 10);
+  lrc.on_block_accessed(block(data, 0));
+  EXPECT_EQ(lrc.choose_victim(), block(data, 1));
+}
+
+TEST(Lrc, UnknownRddHasZeroCount) {
+  LrcPolicy lrc;
+  EXPECT_EQ(lrc.remaining_references(42), 0u);
+}
+
+TEST(Lrc, EmptyResidentSetHasNoVictim) {
+  LrcPolicy lrc;
+  EXPECT_EQ(lrc.choose_victim(), std::nullopt);
+}
+
+// ---- MemTune ----
+
+/// Plan where a stage probes `hot` while `cold` is only needed much later.
+ExecutionPlan window_plan(RddId* hot_out, RddId* cold_out) {
+  SparkContext sc("app");
+  auto hot = sc.text_file("a", 4, 100).map("hot").cache();
+  auto cold = sc.text_file("b", 4, 100).map("cold").cache();
+  hot.zip_partitions(cold, "warm").count("job0");  // creates both
+  hot.map("m1").count("job1");
+  hot.map("m2").count("job2");
+  cold.map("m3").count("job3");
+  *hot_out = hot.id();
+  *cold_out = cold.id();
+  return DagScheduler::plan(std::move(sc).build_shared());
+}
+
+TEST(MemTune, NeededSetTracksCurrentStage) {
+  RddId hot, cold;
+  const ExecutionPlan plan = window_plan(&hot, &cold);
+  MemTunePolicy mt(/*node=*/0, /*num_nodes=*/1);
+  mt.on_job_start(plan, 1);
+  mt.on_stage_start(plan, 1, plan.job(1).result_stage);
+  EXPECT_TRUE(mt.is_needed(hot));
+  EXPECT_FALSE(mt.is_needed(cold));
+}
+
+TEST(MemTune, EvictsOutsideNeededListFirst) {
+  RddId hot, cold;
+  const ExecutionPlan plan = window_plan(&hot, &cold);
+  MemTunePolicy mt(0, 1);
+  mt.on_job_start(plan, 1);
+  mt.on_stage_start(plan, 1, plan.job(1).result_stage);
+
+  mt.on_block_cached(block(cold, 0), 10);
+  mt.on_block_cached(block(hot, 0), 10);
+  EXPECT_EQ(mt.choose_victim(), block(cold, 0));
+}
+
+TEST(MemTune, FallsBackToLruWhenAllNeeded) {
+  RddId hot, cold;
+  const ExecutionPlan plan = window_plan(&hot, &cold);
+  MemTunePolicy mt(0, 1);
+  mt.on_job_start(plan, 1);
+  mt.on_stage_start(plan, 1, plan.job(1).result_stage);
+  mt.on_block_cached(block(hot, 0), 10);
+  mt.on_block_cached(block(hot, 1), 10);
+  mt.on_block_accessed(block(hot, 0));
+  EXPECT_EQ(mt.choose_victim(), block(hot, 1));
+}
+
+TEST(MemTune, PrefetchProposesNeededNonResidentLocalBlocks) {
+  RddId hot, cold;
+  const ExecutionPlan plan = window_plan(&hot, &cold);
+  MemTunePolicy mt(/*node=*/0, /*num_nodes=*/2);
+  mt.on_job_start(plan, 1);
+  mt.on_stage_start(plan, 1, plan.job(1).result_stage);
+  mt.on_block_cached(block(hot, 0), 10);  // partition 0 lives on node 0
+
+  const auto candidates = mt.prefetch_candidates(100, 1000);
+  // hot has 4 partitions; node 0 owns 0 and 2; 0 is resident -> only 2.
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], block(hot, 2));
+}
+
+TEST(MemTune, NoPrefetchBeforeAnyJob) {
+  MemTunePolicy mt(0, 1);
+  EXPECT_TRUE(mt.prefetch_candidates(100, 1000).empty());
+}
+
+TEST(MemTune, WindowMustBePositive) {
+  EXPECT_ANY_THROW(MemTunePolicy(0, 1, 0));
+}
+
+}  // namespace
+}  // namespace mrd

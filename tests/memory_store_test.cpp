@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "cache/lru.h"
+#include "cluster/memory_store.h"
+
+namespace mrd {
+namespace {
+
+BlockId block(RddId r, PartitionIndex p) { return BlockId{r, p}; }
+
+/// Test policy that nominates a fixed (possibly bogus) victim.
+class FixedVictimPolicy : public CachePolicy {
+ public:
+  std::string_view name() const override { return "fixed"; }
+  void on_block_cached(const BlockId&, std::uint64_t) override {}
+  void on_block_accessed(const BlockId&) override {}
+  void on_block_evicted(const BlockId&) override {}
+  std::optional<BlockId> choose_victim() override { return victim; }
+  std::optional<BlockId> victim;
+};
+
+TEST(MemoryStore, InsertWithinCapacityStores) {
+  LruPolicy lru;
+  MemoryStore store(100, &lru);
+  const InsertResult r = store.insert(block(1, 0), 40);
+  EXPECT_TRUE(r.stored);
+  EXPECT_TRUE(r.evicted.empty());
+  EXPECT_EQ(store.used(), 40u);
+  EXPECT_EQ(store.free_bytes(), 60u);
+  EXPECT_TRUE(store.contains(block(1, 0)));
+  EXPECT_EQ(store.block_bytes(block(1, 0)), 40u);
+}
+
+TEST(MemoryStore, EvictsUntilFits) {
+  LruPolicy lru;
+  MemoryStore store(100, &lru);
+  store.insert(block(1, 0), 40);
+  store.insert(block(1, 1), 40);
+  const InsertResult r = store.insert(block(1, 2), 60);
+  EXPECT_TRUE(r.stored);
+  // Evicting the single LRU block (40) is enough: 40 + 60 = 100 fits.
+  ASSERT_EQ(r.evicted.size(), 1u);
+  EXPECT_EQ(r.evicted[0].first, block(1, 0));
+  EXPECT_EQ(r.evicted[0].second, 40u);
+  EXPECT_EQ(store.num_blocks(), 2u);
+  EXPECT_EQ(store.used(), 100u);
+}
+
+TEST(MemoryStore, OversizedBlockRejected) {
+  LruPolicy lru;
+  MemoryStore store(100, &lru);
+  store.insert(block(1, 0), 40);
+  const InsertResult r = store.insert(block(2, 0), 200);
+  EXPECT_FALSE(r.stored);
+  EXPECT_TRUE(r.evicted.empty());      // nothing sacrificed for a lost cause
+  EXPECT_TRUE(store.contains(block(1, 0)));
+}
+
+TEST(MemoryStore, ReinsertResidentBlockIsAccess) {
+  LruPolicy lru;
+  MemoryStore store(100, &lru);
+  store.insert(block(1, 0), 40);
+  store.insert(block(1, 1), 40);
+  store.insert(block(1, 0), 40);  // refresh
+  // Now 1,1 is LRU.
+  const InsertResult r = store.insert(block(1, 2), 40);
+  ASSERT_EQ(r.evicted.size(), 1u);
+  EXPECT_EQ(r.evicted[0].first, block(1, 1));
+}
+
+TEST(MemoryStore, ReinsertWithDifferentSizeIsABug) {
+  LruPolicy lru;
+  MemoryStore store(100, &lru);
+  store.insert(block(1, 0), 40);
+  EXPECT_ANY_THROW(store.insert(block(1, 0), 41));
+}
+
+TEST(MemoryStore, RemoveNotifiesPolicy) {
+  LruPolicy lru;
+  MemoryStore store(100, &lru);
+  store.insert(block(1, 0), 40);
+  EXPECT_TRUE(store.remove(block(1, 0)));
+  EXPECT_FALSE(store.remove(block(1, 0)));
+  EXPECT_EQ(store.used(), 0u);
+  EXPECT_EQ(lru.resident_count(), 0u);
+}
+
+TEST(MemoryStore, AccessReportsResidency) {
+  LruPolicy lru;
+  MemoryStore store(100, &lru);
+  store.insert(block(1, 0), 40);
+  EXPECT_TRUE(store.access(block(1, 0)));
+  EXPECT_FALSE(store.access(block(9, 9)));
+}
+
+TEST(MemoryStore, FallsBackWhenPolicyNominatesNonResident) {
+  FixedVictimPolicy policy;
+  policy.victim = block(42, 42);  // not resident: store must not stall
+  MemoryStore store(100, &policy);
+  store.insert(block(1, 0), 60);
+  const InsertResult r = store.insert(block(1, 1), 60);
+  EXPECT_TRUE(r.stored);
+  ASSERT_EQ(r.evicted.size(), 1u);
+  EXPECT_EQ(r.evicted[0].first, block(1, 0));  // insertion-order fallback
+}
+
+TEST(MemoryStore, FallsBackWhenPolicyHasNoVictim) {
+  FixedVictimPolicy policy;  // victim = nullopt
+  MemoryStore store(100, &policy);
+  store.insert(block(1, 0), 60);
+  const InsertResult r = store.insert(block(1, 1), 60);
+  EXPECT_TRUE(r.stored);
+  EXPECT_EQ(r.evicted.size(), 1u);
+}
+
+TEST(MemoryStore, ResidentBlocksListsAll) {
+  LruPolicy lru;
+  MemoryStore store(100, &lru);
+  store.insert(block(1, 0), 30);
+  store.insert(block(1, 1), 30);
+  const auto blocks = store.resident_blocks();
+  EXPECT_EQ(blocks.size(), 2u);
+}
+
+TEST(MemoryStore, ExactCapacityFits) {
+  LruPolicy lru;
+  MemoryStore store(100, &lru);
+  const InsertResult r = store.insert(block(1, 0), 100);
+  EXPECT_TRUE(r.stored);
+  EXPECT_EQ(store.free_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace mrd

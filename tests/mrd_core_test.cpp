@@ -1,0 +1,222 @@
+// AppProfiler + MrdManager + ProfileStore behaviour (paper §4.1/§4.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "api/spark_context.h"
+#include "core/app_profiler.h"
+#include "core/mrd_manager.h"
+#include "core/profile_store.h"
+#include "dag/dag_scheduler.h"
+
+namespace mrd {
+namespace {
+
+/// data cached in job0, referenced in jobs 1 and 2.
+ExecutionPlan simple_plan(RddId* cached_out) {
+  SparkContext sc("recurring-app");
+  auto data = sc.text_file("in", 4, 100).map("data").cache();
+  data.count("job0");
+  data.map("m1").count("job1");
+  data.map("m2").count("job2");
+  *cached_out = data.id();
+  return DagScheduler::plan(std::move(sc).build_shared());
+}
+
+std::shared_ptr<MrdManager> make_manager(
+    DistanceMetric metric = DistanceMetric::kStage,
+    ProfileStore* store = nullptr) {
+  return std::make_shared<MrdManager>(std::make_shared<AppProfiler>(store),
+                                      metric, /*num_nodes=*/4);
+}
+
+// ---- AppProfiler ----
+
+TEST(AppProfiler, JobFragmentsAccumulate) {
+  RddId cached;
+  const ExecutionPlan plan = simple_plan(&cached);
+  AppProfiler profiler;
+  const auto frag0 = profiler.parse_job(plan, 0);
+  EXPECT_TRUE(frag0.at(cached).references.empty());
+  profiler.parse_job(plan, 1);
+  profiler.parse_job(plan, 2);
+  // Recording at end persists the accumulated (complete) profile.
+  ProfileStore store;
+  AppProfiler recording(&store);
+  for (JobId j = 0; j < 3; ++j) recording.parse_job(plan, j);
+  recording.on_application_end(plan);
+  ASSERT_TRUE(store.has_profile("recurring-app"));
+  EXPECT_EQ(store.find("recurring-app")->references.at(cached).references.size(),
+            2u);
+}
+
+TEST(AppProfiler, RecurringDetection) {
+  RddId cached;
+  const ExecutionPlan plan = simple_plan(&cached);
+  ProfileStore store;
+  AppProfiler first_run(&store);
+  EXPECT_FALSE(first_run.is_recurring(plan));
+  first_run.on_application_end(plan);
+
+  AppProfiler second_run(&store);
+  EXPECT_TRUE(second_run.is_recurring(plan));
+  // Recurring profile equals a full parse (deterministic plans).
+  const auto stored = second_run.application_profile(plan);
+  EXPECT_EQ(stored.at(cached).references.size(), 2u);
+}
+
+TEST(AppProfiler, WorksWithoutStore) {
+  RddId cached;
+  const ExecutionPlan plan = simple_plan(&cached);
+  AppProfiler profiler(nullptr);
+  EXPECT_FALSE(profiler.is_recurring(plan));
+  EXPECT_EQ(profiler.application_profile(plan).at(cached).references.size(),
+            2u);
+  profiler.on_application_end(plan);  // no-op, no crash
+}
+
+// ---- ProfileStore ----
+
+TEST(ProfileStore, RecordsRunsAndDiscrepancies) {
+  RddId cached;
+  const ExecutionPlan plan = simple_plan(&cached);
+  const auto profile = build_reference_profile(plan);
+
+  ProfileStore store;
+  store.record("app", profile);
+  store.record("app", profile);
+  EXPECT_EQ(store.find("app")->runs, 2u);
+  EXPECT_EQ(store.find("app")->discrepancies, 0u);
+
+  // A run with a different profile is a discrepancy; the profile refreshes.
+  ReferenceProfileMap changed = profile;
+  changed.at(cached).references.pop_back();
+  store.record("app", changed);
+  EXPECT_EQ(store.find("app")->discrepancies, 1u);
+  EXPECT_EQ(store.find("app")->references.at(cached).references.size(), 1u);
+}
+
+TEST(ProfileStore, SeparateApplications) {
+  ProfileStore store;
+  store.record("a", {});
+  EXPECT_TRUE(store.has_profile("a"));
+  EXPECT_FALSE(store.has_profile("b"));
+  EXPECT_EQ(store.find("b"), nullptr);
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+}
+
+// ---- MrdManager ----
+
+TEST(MrdManager, RecurringModeSeesAllReferencesUpFront) {
+  RddId cached;
+  const ExecutionPlan plan = simple_plan(&cached);
+  auto mgr = make_manager();
+  mgr->on_application_start(plan);
+  EXPECT_FALSE(std::isinf(mgr->distance(cached)));
+  EXPECT_EQ(mgr->table().num_entries(), 2u);
+}
+
+TEST(MrdManager, AdHocModeSeesReferencesPerJob) {
+  RddId cached;
+  const ExecutionPlan plan = simple_plan(&cached);
+  auto mgr = make_manager();
+  mgr->on_job_start(plan, 0);
+  // job0 only creates the RDD; its references live in later jobs.
+  EXPECT_TRUE(std::isinf(mgr->distance(cached)));
+  mgr->on_job_start(plan, 1);
+  EXPECT_FALSE(std::isinf(mgr->distance(cached)));
+}
+
+TEST(MrdManager, DistanceDecreasesAsStagesAdvance) {
+  RddId cached;
+  const ExecutionPlan plan = simple_plan(&cached);
+  auto mgr = make_manager();
+  mgr->on_application_start(plan);
+  mgr->on_stage_start(plan, 0, 0);
+  const double d0 = mgr->distance(cached);
+  mgr->on_stage_end(plan, 0, 0);
+  mgr->on_stage_start(plan, 1, 1);
+  const double d1 = mgr->distance(cached);
+  EXPECT_LT(d1, d0);
+}
+
+TEST(MrdManager, ConsumingAllReferencesTriggersPurgeList) {
+  RddId cached;
+  const ExecutionPlan plan = simple_plan(&cached);
+  auto mgr = make_manager();
+  mgr->on_application_start(plan);
+  EXPECT_TRUE(mgr->purge_rdds().empty());
+
+  // Walk every executed stage to completion.
+  for (const JobInfo& job : plan.jobs()) {
+    for (const StageExecution& rec : job.stages) {
+      if (!rec.executed) continue;
+      mgr->on_stage_start(plan, rec.job, rec.stage);
+      mgr->on_stage_end(plan, rec.job, rec.stage);
+    }
+  }
+  const auto purge = mgr->purge_rdds();
+  ASSERT_EQ(purge.size(), 1u);
+  EXPECT_EQ(purge[0], cached);
+  EXPECT_TRUE(std::isinf(mgr->distance(cached)));
+}
+
+TEST(MrdManager, EventsAreIdempotent) {
+  RddId cached;
+  const ExecutionPlan plan = simple_plan(&cached);
+  auto mgr = make_manager();
+  // Simulate four CacheMonitors all forwarding the same events.
+  for (int i = 0; i < 4; ++i) mgr->on_application_start(plan);
+  for (int i = 0; i < 4; ++i) mgr->on_job_start(plan, 0);
+  EXPECT_EQ(mgr->table().num_entries(), 2u);
+  for (int i = 0; i < 4; ++i) mgr->on_stage_start(plan, 0, 0);
+  EXPECT_EQ(mgr->current_stage(), 0u);
+}
+
+TEST(MrdManager, JobMetricUsesJobIds) {
+  RddId cached;
+  const ExecutionPlan plan = simple_plan(&cached);
+  auto stage_mgr = make_manager(DistanceMetric::kStage);
+  auto job_mgr = make_manager(DistanceMetric::kJob);
+  stage_mgr->on_application_start(plan);
+  job_mgr->on_application_start(plan);
+  stage_mgr->on_stage_start(plan, 0, 0);
+  job_mgr->on_stage_start(plan, 0, 0);
+  // Reference in job 1 at stage 1: stage distance 1, job distance 1 — equal
+  // here; advance one more job so they diverge.
+  EXPECT_EQ(stage_mgr->metric(), DistanceMetric::kStage);
+  EXPECT_EQ(job_mgr->metric(), DistanceMetric::kJob);
+  EXPECT_GE(stage_mgr->distance(cached), job_mgr->distance(cached));
+}
+
+TEST(MrdManager, PrefetchOrderIsAscendingDistance) {
+  SparkContext sc("app");
+  auto near = sc.text_file("a", 2, 100).map("near").cache();
+  auto far = sc.text_file("b", 2, 100).map("far").cache();
+  near.zip_partitions(far, "z").count("job0");
+  near.map("m").count("job1");
+  far.map("m2").count("job2");
+  const ExecutionPlan plan = DagScheduler::plan(std::move(sc).build_shared());
+
+  auto mgr = make_manager();
+  mgr->on_application_start(plan);
+  mgr->on_stage_start(plan, 0, 0);
+  const auto order = mgr->prefetch_order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], near.id());
+  EXPECT_EQ(order[1], far.id());
+}
+
+TEST(MrdManager, StatsCountBroadcasts) {
+  RddId cached;
+  const ExecutionPlan plan = simple_plan(&cached);
+  auto mgr = make_manager();
+  mgr->on_application_start(plan);
+  // One sendReferenceDistance per node.
+  EXPECT_EQ(mgr->stats().table_update_messages, 4u);
+  EXPECT_EQ(mgr->stats().max_table_entries, 2u);
+}
+
+}  // namespace
+}  // namespace mrd

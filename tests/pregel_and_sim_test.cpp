@@ -1,0 +1,299 @@
+// Pregel operator structure, the stage timing model, cluster presets'
+// bandwidth math, and lineage resolution.
+#include <gtest/gtest.h>
+
+#include "api/pregel.h"
+#include "api/spark_context.h"
+#include "cache/lru.h"
+#include "cluster/block_manager_master.h"
+#include "dag/dag_analysis.h"
+#include "dag/dag_scheduler.h"
+#include "exec/lineage_resolver.h"
+#include "sim/node_accounting.h"
+
+namespace mrd {
+namespace {
+
+// ---- Pregel operator ----
+
+std::shared_ptr<const Application> pregel_app(PregelConfig config) {
+  SparkContext sc("pregel-app");
+  auto edges = sc.text_file("in", 8, 1 << 20).map("edges");
+  auto vertices = edges.map("vertices");
+  vertices.count("setup");
+  pregel(sc, vertices, edges, config);
+  return std::move(sc).build_shared();
+}
+
+TEST(Pregel, OneJobPerSuperstepPlusSetupAndFinal) {
+  PregelConfig config;
+  config.supersteps = 5;
+  const auto plan = DagScheduler::plan(pregel_app(config));
+  // setup + 5 convergence checks + final count.
+  EXPECT_EQ(plan.jobs().size(), 7u);
+}
+
+TEST(Pregel, CachesVertexGenerationsAndMessages) {
+  PregelConfig config;
+  config.supersteps = 3;
+  const auto app = pregel_app(config);
+  std::size_t cached_messages = 0, cached_vprogs = 0;
+  for (const RddInfo& r : app->rdds()) {
+    if (!r.persisted) continue;
+    if (r.name.rfind("messages", 0) == 0) ++cached_messages;
+    if (r.name.rfind("vprog", 0) == 0) ++cached_vprogs;
+  }
+  EXPECT_EQ(cached_messages, 3u);
+  EXPECT_EQ(cached_vprogs, 3u);
+}
+
+TEST(Pregel, MessageCachingCanBeDisabled) {
+  PregelConfig config;
+  config.supersteps = 3;
+  config.cache_messages = false;
+  const auto app = pregel_app(config);
+  for (const RddInfo& r : app->rdds()) {
+    if (r.name.rfind("messages", 0) == 0) EXPECT_FALSE(r.persisted);
+  }
+}
+
+TEST(Pregel, UniformBlockSizesAcrossGenerations) {
+  PregelConfig config;
+  config.supersteps = 4;
+  config.block_bytes = 1 << 20;
+  const auto app = pregel_app(config);
+  for (const RddInfo& r : app->rdds()) {
+    if (r.name.rfind("vprog", 0) == 0 || r.name.rfind("messages", 0) == 0) {
+      EXPECT_EQ(r.bytes_per_partition, config.block_bytes) << r.name;
+    }
+  }
+}
+
+TEST(Pregel, LongRangeJoinExtendsMaxDistance) {
+  PregelConfig plain;
+  plain.supersteps = 9;
+  plain.final_graph_join = false;
+  PregelConfig ranged = plain;
+  ranged.long_range_join_every = 3;
+  const auto d_plain =
+      reference_distance_stats(DagScheduler::plan(pregel_app(plain)));
+  const auto d_ranged =
+      reference_distance_stats(DagScheduler::plan(pregel_app(ranged)));
+  EXPECT_GT(d_ranged.max_stage_distance, d_plain.max_stage_distance);
+}
+
+TEST(Pregel, FinalGraphJoinCreatesWholeRunGap) {
+  PregelConfig with;
+  with.supersteps = 8;
+  with.final_graph_join = true;
+  PregelConfig without = with;
+  without.final_graph_join = false;
+  const auto d_with =
+      reference_distance_stats(DagScheduler::plan(pregel_app(with)));
+  const auto d_without =
+      reference_distance_stats(DagScheduler::plan(pregel_app(without)));
+  EXPECT_GT(d_with.max_job_distance, d_without.max_job_distance);
+  EXPECT_GE(d_with.max_job_distance, with.supersteps - 2);
+}
+
+TEST(Pregel, RequiresAtLeastOneSuperstep) {
+  PregelConfig config;
+  config.supersteps = 0;
+  EXPECT_ANY_THROW(pregel_app(config));
+}
+
+// ---- NodeAccounting / stage timing model ----
+
+ClusterConfig unit_cluster() {
+  ClusterConfig c;
+  c.num_nodes = 2;
+  c.cpu_slots_per_node = 4;
+  c.disk_mb_per_s = 1024.0 / 1.024;  // ≈ 1 byte per microsecond
+  c.network_mb_per_s = 100.0;
+  c.stage_overhead_ms = 10.0;
+  return c;
+}
+
+TEST(NodeAccounting, CpuWallRespectsSlotsAndLongestTask) {
+  const ClusterConfig c = unit_cluster();
+  NodeAccounting acct;
+  for (int i = 0; i < 8; ++i) acct.add_task(10.0);  // 80ms over 4 slots
+  EXPECT_DOUBLE_EQ(acct.cpu_wall_ms(c), 20.0);
+  NodeAccounting one_giant;
+  one_giant.add_task(100.0);
+  one_giant.add_task(1.0);
+  EXPECT_DOUBLE_EQ(one_giant.cpu_wall_ms(c), 100.0);  // floor = longest task
+}
+
+TEST(NodeAccounting, IoSplitsDiskAndNetwork) {
+  const ClusterConfig c = unit_cluster();
+  NodeAccounting acct;
+  acct.disk_read_bytes = 1000;
+  acct.disk_write_bytes = 500;
+  acct.network_bytes = 0;
+  EXPECT_NEAR(acct.disk_ms(c), 1500.0 * c.disk_ms_per_byte(), 1e-9);
+  EXPECT_DOUBLE_EQ(acct.io_ms(c), acct.disk_ms(c));
+  acct.network_bytes = 2000;
+  EXPECT_GT(acct.io_ms(c), acct.disk_ms(c));
+}
+
+TEST(NodeAccounting, WallIsMaxOfCpuAndIo) {
+  const ClusterConfig c = unit_cluster();
+  NodeAccounting acct;
+  acct.add_task(50.0);
+  acct.disk_read_bytes = 1;  // negligible I/O
+  EXPECT_NEAR(acct.wall_ms(c), 50.0, 1.0);
+}
+
+TEST(NodeAccounting, StageWallIsBarrierPlusOverhead) {
+  const ClusterConfig c = unit_cluster();
+  std::vector<NodeAccounting> nodes(2);
+  nodes[0].add_task(30.0);
+  nodes[1].add_task(70.0);
+  // Node 1's single 70 ms task floors its wall at 70; +10 ms stage overhead.
+  EXPECT_DOUBLE_EQ(stage_wall_ms(nodes, c), 80.0);
+  EXPECT_DOUBLE_EQ(max_cpu_ms(nodes, c), 70.0);
+  EXPECT_DOUBLE_EQ(max_io_ms(nodes, c), 0.0);
+}
+
+TEST(ClusterConfig, BandwidthConversionsRoundTrip) {
+  ClusterConfig c;
+  c.disk_mb_per_s = 100.0;
+  // Reading 100 MB should take ~1000 ms.
+  EXPECT_NEAR(100.0 * 1024 * 1024 * c.disk_ms_per_byte(), 1000.0, 1e-6);
+  c.num_nodes = 4;
+  c.cache_bytes_per_node = 10;
+  EXPECT_EQ(c.total_cache_bytes(), 40u);
+}
+
+// ---- LineageResolver ----
+
+struct LineageFixture {
+  std::shared_ptr<const Application> app;
+  ExecutionPlan plan;
+  RddId leaf;
+  RddId parent;
+
+  LineageFixture()
+      : app(make_app()), plan(DagScheduler::plan(app)) {}
+
+  std::shared_ptr<const Application> make_app() {
+    SparkContext sc("lineage-app");
+    auto base = sc.text_file("in", 4, 1 << 20).map("parentCached").cache();
+    auto child = base.map("leafCached").cache();
+    child.count("job0");
+    child.count("job1");
+    parent = base.id();
+    leaf = child.id();
+    return std::move(sc).build_shared();
+  }
+};
+
+TEST(LineageResolver, ColdMissRecomputesAndRecaches) {
+  LineageFixture f;
+  ClusterConfig cluster = unit_cluster();
+  cluster.spill_on_evict = false;
+  PolicyFactory factory = [](NodeId, NodeId) {
+    return std::make_unique<LruPolicy>();
+  };
+  BlockManagerMaster master(cluster, factory);
+  LineageResolver resolver(f.plan, &master);
+  std::vector<NodeAccounting> acct(cluster.num_nodes);
+
+  const BlockId block{f.leaf, 0};
+  EXPECT_EQ(resolver.demand_block(block, &acct), ProbeOutcome::kCold);
+  EXPECT_TRUE(master.node(master.owner(block)).in_memory(block));
+  EXPECT_GT(resolver.recompute_cpu_ms(), 0.0);
+  // Recomputing the leaf walked to the source: HDFS read charged somewhere.
+  std::uint64_t disk = 0;
+  for (const auto& a : acct) disk += a.disk_read_bytes;
+  EXPECT_GT(disk, 0u);
+
+  // Second demand is a hit, with no further recompute cost.
+  const double cpu_before = resolver.recompute_cpu_ms();
+  EXPECT_EQ(resolver.demand_block(block, &acct), ProbeOutcome::kHit);
+  EXPECT_DOUBLE_EQ(resolver.recompute_cpu_ms(), cpu_before);
+}
+
+TEST(LineageResolver, RecursiveProbeHitsCachedAncestor) {
+  LineageFixture f;
+  ClusterConfig cluster = unit_cluster();
+  cluster.spill_on_evict = false;
+  PolicyFactory factory = [](NodeId, NodeId) {
+    return std::make_unique<LruPolicy>();
+  };
+  BlockManagerMaster master(cluster, factory);
+  LineageResolver resolver(f.plan, &master);
+  std::vector<NodeAccounting> acct(cluster.num_nodes);
+
+  // Pre-cache the parent block; the leaf's recompute should hit it instead
+  // of walking to the source.
+  const BlockId parent_block{f.parent, 0};
+  IoCharge charge;
+  master.node(master.owner(parent_block))
+      .cache_block(parent_block, f.app->rdd(f.parent).bytes_per_partition,
+                   &charge);
+
+  const double cpu_before = resolver.recompute_cpu_ms();
+  resolver.demand_block(BlockId{f.leaf, 0}, &acct);
+  const NodeCacheStats stats = master.aggregate_stats();
+  EXPECT_GE(stats.hits, 1u);  // the ancestor probe
+  // Only the leaf's own compute was charged, not the full chain to source.
+  const double leaf_cost = f.app->rdd(f.leaf).compute_ms_per_partition;
+  EXPECT_NEAR(resolver.recompute_cpu_ms() - cpu_before, leaf_cost, 1e-9);
+}
+
+TEST(LineageResolver, NonPersistedDemandIsABug) {
+  SparkContext sc("bad");
+  auto data = sc.text_file("in", 2, 100).map("m");  // not cached
+  data.count();
+  const auto app = std::move(sc).build_shared();
+  const ExecutionPlan plan = DagScheduler::plan(app);
+  ClusterConfig cluster = unit_cluster();
+  PolicyFactory factory = [](NodeId, NodeId) {
+    return std::make_unique<LruPolicy>();
+  };
+  BlockManagerMaster master(cluster, factory);
+  LineageResolver resolver(plan, &master);
+  std::vector<NodeAccounting> acct(cluster.num_nodes);
+  EXPECT_ANY_THROW(resolver.demand_block(BlockId{1, 0}, &acct));
+}
+
+// ---- BlockManagerMaster event fan-out ----
+
+TEST(BlockManagerMaster, BroadcastsReachEveryNode) {
+  LineageFixture f;
+  ClusterConfig cluster = unit_cluster();
+  cluster.num_nodes = 3;
+
+  struct CountingPolicy : LruPolicy {
+    int job_events = 0;
+    void on_job_start(const ExecutionPlan&, JobId) override { ++job_events; }
+  };
+  std::vector<CountingPolicy*> instances;
+  PolicyFactory factory = [&instances](NodeId, NodeId) {
+    auto p = std::make_unique<CountingPolicy>();
+    instances.push_back(p.get());
+    return p;
+  };
+  BlockManagerMaster master(cluster, factory);
+  ASSERT_EQ(instances.size(), 3u);
+  master.broadcast_job_start(f.plan, 0);
+  for (CountingPolicy* p : instances) EXPECT_EQ(p->job_events, 1);
+}
+
+TEST(BlockManagerMaster, OwnerMappingIsRoundRobin) {
+  LineageFixture f;
+  ClusterConfig cluster = unit_cluster();
+  cluster.num_nodes = 4;
+  PolicyFactory factory = [](NodeId, NodeId) {
+    return std::make_unique<LruPolicy>();
+  };
+  BlockManagerMaster master(cluster, factory);
+  EXPECT_EQ(master.owner(BlockId{9, 0}), 0u);
+  EXPECT_EQ(master.owner(BlockId{9, 5}), 1u);
+  EXPECT_EQ(master.owner(BlockId{9, 7}), 3u);
+}
+
+}  // namespace
+}  // namespace mrd

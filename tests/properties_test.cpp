@@ -1,0 +1,140 @@
+// Property-style invariants swept over (workload × policy) combinations with
+// parameterized gtest: every simulated run, whatever the policy, must keep
+// its books consistent.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dag/dag_analysis.h"
+#include "harness/experiment.h"
+
+namespace mrd {
+namespace {
+
+// Keep the sweep quick: a representative sample of workloads (small/medium)
+// crossed with every policy.
+const char* kWorkloads[] = {"pr", "cc", "km", "tc", "sp", "mf"};
+const char* kPolicies[] = {"lru",    "fifo", "lrc",       "memtune",
+                           "belady", "mrd",  "mrd-evict", "mrd-prefetch",
+                           "mrd-job"};
+
+class PolicyWorkloadProperty
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+ protected:
+  RunMetrics run(double fraction = 0.5) {
+    const auto [workload, policy] = GetParam();
+    const WorkloadSpec* spec = find_workload(workload);
+    EXPECT_NE(spec, nullptr);
+    WorkloadParams params;
+    params.scale = 0.25;  // keep the property sweep fast
+    const WorkloadRun wr = plan_workload(*spec, params);
+    ClusterConfig cluster = main_cluster();
+    cluster.num_nodes = 5;
+    PolicyConfig pc;
+    pc.name = policy;
+    return run_with_policy(wr, cluster, fraction, pc);
+  }
+};
+
+TEST_P(PolicyWorkloadProperty, AccountingInvariantsHold) {
+  const RunMetrics m = run();
+  // Probe outcomes partition the probe count.
+  EXPECT_EQ(m.hits + m.misses_from_disk + m.misses_recompute, m.probes);
+  EXPECT_LE(m.hits, m.probes);
+  EXPECT_GE(m.jct_ms, 0.0);
+  // Every eviction evicted something that was cached.
+  EXPECT_LE(m.evictions + m.purged_blocks, m.blocks_cached);
+  // Spills never exceed evictions.
+  EXPECT_LE(m.spills, m.evictions);
+  // Prefetch pipeline is monotone.
+  EXPECT_LE(m.prefetches_completed, m.prefetches_issued);
+  EXPECT_LE(m.prefetches_useful + m.prefetches_wasted,
+            m.prefetches_completed);
+  // Non-prefetching policies never prefetch.
+  const auto [workload, policy] = GetParam();
+  (void)workload;
+  const std::string p = policy;
+  if (p == "lru" || p == "fifo" || p == "lrc" || p == "belady" ||
+      p == "mrd-evict") {
+    EXPECT_EQ(m.prefetches_completed, 0u);
+  }
+}
+
+TEST_P(PolicyWorkloadProperty, DeterministicReplay) {
+  const RunMetrics a = run();
+  const RunMetrics b = run();
+  EXPECT_DOUBLE_EQ(a.jct_ms, b.jct_ms);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses_from_disk, b.misses_from_disk);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.disk_bytes_read, b.disk_bytes_read);
+  EXPECT_EQ(a.network_bytes, b.network_bytes);
+}
+
+TEST_P(PolicyWorkloadProperty, MoreCacheNeverIncreasesColdWork) {
+  const RunMetrics tight = run(0.4);
+  const RunMetrics ample = run(2.0);
+  // With cache far beyond the working set, misses (beyond compulsory cold
+  // ones) vanish for every policy.
+  EXPECT_GE(ample.hit_ratio() + 1e-9, tight.hit_ratio());
+  EXPECT_LE(ample.misses_recompute, tight.misses_recompute);
+}
+
+std::string param_name(
+    const ::testing::TestParamInfo<std::tuple<const char*, const char*>>&
+        info) {
+  std::string s = std::string(std::get<0>(info.param)) + "_" +
+                  std::get<1>(info.param);
+  for (char& c : s) {
+    if (c == '-') c = '_';
+  }
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PolicyWorkloadProperty,
+                         ::testing::Combine(::testing::ValuesIn(kWorkloads),
+                                            ::testing::ValuesIn(kPolicies)),
+                         param_name);
+
+// ---- Cross-policy dominance properties on one workload ----
+
+class DominanceProperty : public ::testing::TestWithParam<const char*> {
+ protected:
+  RunMetrics run(const char* policy, double fraction) {
+    const WorkloadSpec* spec = find_workload(GetParam());
+    WorkloadParams params;
+    params.scale = 0.25;
+    const WorkloadRun wr = plan_workload(*spec, params);
+    ClusterConfig cluster = main_cluster();
+    cluster.num_nodes = 5;
+    PolicyConfig pc;
+    pc.name = policy;
+    return run_with_policy(wr, cluster, fraction, pc);
+  }
+};
+
+TEST_P(DominanceProperty, MrdJctNeverFarWorseThanLru) {
+  // MRD may lose marginally on adversarial fractions but must never blow up.
+  for (double fraction : {0.4, 0.7, 1.0}) {
+    const double lru = run("lru", fraction).jct_ms;
+    const double mrd = run("mrd", fraction).jct_ms;
+    EXPECT_LE(mrd, lru * 1.10) << "fraction " << fraction;
+  }
+}
+
+TEST_P(DominanceProperty, FullMrdAtLeastMatchesEvictionOnly) {
+  for (double fraction : {0.5, 0.75}) {
+    const double evict_only = run("mrd-evict", fraction).jct_ms;
+    const double full = run("mrd", fraction).jct_ms;
+    EXPECT_LE(full, evict_only * 1.05) << "fraction " << fraction;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, DominanceProperty,
+                         ::testing::Values("pr", "cc", "km"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace mrd

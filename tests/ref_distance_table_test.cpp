@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ref_distance_table.h"
+
+namespace mrd {
+namespace {
+
+constexpr auto kStage = DistanceMetric::kStage;
+constexpr auto kJob = DistanceMetric::kJob;
+
+TEST(RefDistanceTable, UnknownRddIsInfinite) {
+  RefDistanceTable table;
+  EXPECT_TRUE(std::isinf(table.distance(7, 0, 0, kStage)));
+  EXPECT_FALSE(table.is_inactive(7));  // never tracked ≠ inactive
+}
+
+TEST(RefDistanceTable, DistanceIsGapToNearestReference) {
+  RefDistanceTable table;
+  table.add_reference(1, /*stage=*/10, /*job=*/3);
+  table.add_reference(1, /*stage=*/4, /*job=*/1);
+  EXPECT_DOUBLE_EQ(table.distance(1, 2, 0, kStage), 2.0);  // nearest = 4
+  EXPECT_DOUBLE_EQ(table.distance(1, 2, 0, kJob), 1.0);
+  EXPECT_EQ(table.next_reference_stage(1), 4u);
+  EXPECT_EQ(table.next_reference_job(1), 1u);
+}
+
+TEST(RefDistanceTable, ReferencesKeptSortedRegardlessOfInsertOrder) {
+  RefDistanceTable table;
+  table.add_reference(1, 9, 2);
+  table.add_reference(1, 3, 1);
+  table.add_reference(1, 6, 1);
+  EXPECT_EQ(table.next_reference_stage(1), 3u);
+  table.consume_up_to(3);
+  EXPECT_EQ(table.next_reference_stage(1), 6u);
+  table.consume_up_to(6);
+  EXPECT_EQ(table.next_reference_stage(1), 9u);
+}
+
+TEST(RefDistanceTable, DuplicateReferencesCollapse) {
+  RefDistanceTable table;
+  table.add_reference(1, 5, 1);
+  table.add_reference(1, 5, 1);
+  EXPECT_EQ(table.num_entries(), 1u);
+}
+
+TEST(RefDistanceTable, ConsumeMakesInactive) {
+  RefDistanceTable table;
+  table.add_reference(1, 2, 0);
+  EXPECT_FALSE(table.is_inactive(1));
+  table.consume_up_to(2);
+  EXPECT_TRUE(table.is_inactive(1));
+  EXPECT_TRUE(std::isinf(table.distance(1, 3, 0, kStage)));
+  EXPECT_EQ(table.inactive_rdds(), std::vector<RddId>{1});
+}
+
+TEST(RefDistanceTable, ConsumeRddUpToTouchesOnlyThatRdd) {
+  RefDistanceTable table;
+  table.add_reference(1, 2, 0);
+  table.add_reference(2, 2, 0);
+  table.consume_rdd_up_to(1, 2);
+  EXPECT_TRUE(table.is_inactive(1));
+  EXPECT_FALSE(table.is_inactive(2));
+}
+
+TEST(RefDistanceTable, PastReferenceClampsToZero) {
+  RefDistanceTable table;
+  table.add_reference(1, 2, 1);
+  // Current position already past the reference (not yet consumed): the
+  // reference is "now", distance 0.
+  EXPECT_DOUBLE_EQ(table.distance(1, 5, 2, kStage), 0.0);
+}
+
+TEST(RefDistanceTable, AscendingDistanceOrder) {
+  RefDistanceTable table;
+  table.add_reference(1, 10, 0);
+  table.add_reference(2, 3, 0);
+  table.add_reference(3, 6, 0);
+  const auto order = table.by_ascending_distance(0, 0, kStage);
+  EXPECT_EQ(order, (std::vector<RddId>{2, 3, 1}));
+}
+
+TEST(RefDistanceTable, AscendingDistanceExcludesInactive) {
+  RefDistanceTable table;
+  table.add_reference(1, 1, 0);
+  table.add_reference(2, 5, 0);
+  table.consume_up_to(1);  // rdd 1 inactive
+  const auto order = table.by_ascending_distance(2, 0, kStage);
+  EXPECT_EQ(order, std::vector<RddId>{2});
+}
+
+TEST(RefDistanceTable, JobMetricIgnoresStageGranularity) {
+  RefDistanceTable table;
+  // Two RDDs in the same job but different stages: indistinguishable under
+  // the job metric (the Fig 8 motivation).
+  table.add_reference(1, 5, 2);
+  table.add_reference(2, 9, 2);
+  EXPECT_NE(table.distance(1, 0, 0, kStage), table.distance(2, 0, 0, kStage));
+  EXPECT_EQ(table.distance(1, 0, 0, kJob), table.distance(2, 0, 0, kJob));
+}
+
+TEST(RefDistanceTable, EntryCountingAndClear) {
+  RefDistanceTable table;
+  table.add_reference(1, 1, 0);
+  table.add_reference(1, 2, 0);
+  table.add_reference(2, 3, 0);
+  EXPECT_EQ(table.num_entries(), 3u);
+  EXPECT_EQ(table.num_rdds(), 2u);
+  table.clear();
+  EXPECT_EQ(table.num_entries(), 0u);
+  EXPECT_EQ(table.num_rdds(), 0u);
+}
+
+}  // namespace
+}  // namespace mrd

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "api/spark_context.h"
+#include "dag/dag_analysis.h"
+#include "dag/dag_scheduler.h"
+#include "dag/reference_profile.h"
+
+namespace mrd {
+namespace {
+
+ExecutionPlan plan_of(SparkContext&& sc) {
+  return DagScheduler::plan(std::move(sc).build_shared());
+}
+
+/// data cached in job0, referenced in jobs 1 and 2.
+ExecutionPlan three_job_plan(RddId* cached_out) {
+  SparkContext sc("app");
+  auto data = sc.text_file("in", 4, 100).map("data").cache();
+  data.count("job0");
+  data.map("m1").count("job1");
+  data.map("m2").count("job2");
+  *cached_out = data.id();
+  return plan_of(std::move(sc));
+}
+
+TEST(ReferenceProfile, CreationAndReferencesRecorded) {
+  RddId cached;
+  const ExecutionPlan plan = three_job_plan(&cached);
+  const ReferenceProfileMap profiles = build_reference_profile(plan);
+
+  ASSERT_EQ(profiles.count(cached), 1u);
+  const RddReferenceProfile& p = profiles.at(cached);
+  EXPECT_EQ(p.creation.job, 0u);
+  ASSERT_EQ(p.references.size(), 2u);
+  EXPECT_EQ(p.references[0].job, 1u);
+  EXPECT_EQ(p.references[1].job, 2u);
+  EXPECT_LT(p.creation.stage, p.references[0].stage);
+  EXPECT_LT(p.references[0].stage, p.references[1].stage);
+}
+
+TEST(ReferenceProfile, NonPersistedRddsAbsent) {
+  SparkContext sc("app");
+  auto data = sc.text_file("in", 4, 100).map("data");  // not cached
+  data.count();
+  const ExecutionPlan plan = plan_of(std::move(sc));
+  EXPECT_TRUE(build_reference_profile(plan).empty());
+}
+
+TEST(ReferenceProfile, JobFragmentSeesOnlyThatJob) {
+  RddId cached;
+  const ExecutionPlan plan = three_job_plan(&cached);
+
+  const ReferenceProfileMap job0 = build_job_reference_profile(plan, 0);
+  ASSERT_EQ(job0.count(cached), 1u);
+  EXPECT_TRUE(job0.at(cached).references.empty());  // created, not read
+
+  const ReferenceProfileMap job1 = build_job_reference_profile(plan, 1);
+  ASSERT_EQ(job1.count(cached), 1u);
+  EXPECT_EQ(job1.at(cached).references.size(), 1u);
+  // Creation happened in an earlier job — invisible from this fragment.
+  EXPECT_EQ(job1.at(cached).creation.stage, kInvalidStage);
+}
+
+TEST(ReferenceProfile, JobOutOfRangeThrows) {
+  RddId cached;
+  const ExecutionPlan plan = three_job_plan(&cached);
+  EXPECT_ANY_THROW(build_job_reference_profile(plan, 99));
+}
+
+// ---- Table 1 statistics ----
+
+TEST(DistanceStats, SingleGapComputedExactly) {
+  SparkContext sc("app");
+  auto data = sc.text_file("in", 4, 100).map("d").cache();
+  data.count("job0");  // stage 0: creation
+  data.count("job1");  // stage 1: reference
+  const ExecutionPlan plan = plan_of(std::move(sc));
+
+  const ReferenceDistanceStats stats = reference_distance_stats(plan);
+  EXPECT_EQ(stats.num_gaps, 1u);
+  EXPECT_DOUBLE_EQ(stats.avg_stage_distance, 1.0);
+  EXPECT_EQ(stats.max_stage_distance, 1u);
+  EXPECT_DOUBLE_EQ(stats.avg_job_distance, 1.0);
+  EXPECT_EQ(stats.max_job_distance, 1u);
+}
+
+TEST(DistanceStats, NoCachingMeansNoGaps) {
+  SparkContext sc("app");
+  sc.text_file("in", 4, 100).map("m").reduce_by_key("r").save();
+  const ExecutionPlan plan = plan_of(std::move(sc));
+  const ReferenceDistanceStats stats = reference_distance_stats(plan);
+  EXPECT_EQ(stats.num_gaps, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_stage_distance, 0.0);
+  EXPECT_EQ(stats.max_stage_distance, 0u);
+}
+
+TEST(DistanceStats, GapsMatchHelperList) {
+  RddId cached;
+  const ExecutionPlan plan = three_job_plan(&cached);
+  const auto gaps = stage_distance_gaps(plan);
+  const ReferenceDistanceStats stats = reference_distance_stats(plan);
+  EXPECT_EQ(gaps.size(), stats.num_gaps);
+  std::uint32_t max_gap = 0;
+  double sum = 0;
+  for (auto g : gaps) {
+    max_gap = std::max(max_gap, g);
+    sum += g;
+  }
+  EXPECT_EQ(max_gap, stats.max_stage_distance);
+  EXPECT_DOUBLE_EQ(sum / gaps.size(), stats.avg_stage_distance);
+}
+
+// ---- Table 3 characteristics ----
+
+TEST(Characteristics, CountsMatchPlan) {
+  RddId cached;
+  const ExecutionPlan plan = three_job_plan(&cached);
+  const WorkloadCharacteristics c = workload_characteristics(plan);
+  EXPECT_EQ(c.jobs, 3u);
+  EXPECT_EQ(c.stages, plan.stage_appearances());
+  EXPECT_EQ(c.active_stages, plan.active_stages());
+  EXPECT_EQ(c.rdds, plan.app().num_rdds());
+  EXPECT_EQ(c.persisted_rdds, 1u);
+  EXPECT_EQ(c.total_references, 2u);  // jobs 1 and 2 probe the cached RDD
+  EXPECT_DOUBLE_EQ(c.refs_per_rdd, 2.0);
+  EXPECT_GT(c.input_bytes, 0u);
+  EXPECT_GT(c.total_stage_input_bytes, 0u);
+}
+
+TEST(Characteristics, ActiveNeverExceedsAppearances) {
+  RddId cached;
+  const ExecutionPlan plan = three_job_plan(&cached);
+  const WorkloadCharacteristics c = workload_characteristics(plan);
+  EXPECT_LE(c.active_stages, c.stages);
+}
+
+// ---- Peak live working set ----
+
+TEST(PeakLive, SequentialGenerationsDoNotStack) {
+  // gen1 dies (last ref) before gen2's last use: the peak is less than the
+  // total persisted footprint.
+  SparkContext sc("app");
+  auto gen1 = sc.text_file("in", 4, 1000).map("gen1").cache();
+  gen1.count("job0");
+  auto gen2 = gen1.map("gen2").cache();  // references gen1, creates gen2
+  gen2.count("job1");
+  gen2.count("job2");  // only gen2 alive here
+  const ExecutionPlan plan = plan_of(std::move(sc));
+
+  const std::uint64_t peak = peak_live_persisted_bytes(plan);
+  const std::uint64_t total = 2u * 4u * 1000u;
+  EXPECT_GT(peak, 0u);
+  EXPECT_LE(peak, total);
+}
+
+TEST(PeakLive, SimultaneouslyLiveRddsSum) {
+  SparkContext sc("app");
+  auto a = sc.text_file("a", 4, 1000).map("ca").cache();
+  auto b = sc.text_file("b", 4, 1000).map("cb").cache();
+  a.zip_partitions(b, "z").count("job0");
+  a.zip_partitions(b, "z2").count("job1");
+  const ExecutionPlan plan = plan_of(std::move(sc));
+  EXPECT_EQ(peak_live_persisted_bytes(plan), 8000u);
+}
+
+TEST(PeakLive, EmptyForUncachedApp) {
+  SparkContext sc("app");
+  sc.text_file("in", 2, 100).count();
+  const ExecutionPlan plan = plan_of(std::move(sc));
+  EXPECT_EQ(peak_live_persisted_bytes(plan), 0u);
+}
+
+}  // namespace
+}  // namespace mrd

@@ -1,0 +1,195 @@
+// End-to-end simulator behaviour on small hand-built applications.
+#include <gtest/gtest.h>
+
+#include "api/spark_context.h"
+#include "dag/dag_scheduler.h"
+#include "exec/application_runner.h"
+
+namespace mrd {
+namespace {
+
+/// PageRank-like iterative app; cached links probed each iteration.
+std::shared_ptr<const Application> iterative_app(int iterations = 5) {
+  SparkContext sc("runner-test-app");
+  auto links = sc.text_file("edges", 40, 1 << 20).map("links").cache();
+  Dataset ranks = links.map_values("init");
+  for (int i = 0; i < iterations; ++i) {
+    const std::string tag = "#" + std::to_string(i);
+    ranks = links.join(ranks, "c" + tag).reduce_by_key("r" + tag).cache();
+    ranks.count("iter" + tag);
+  }
+  return std::move(sc).build_shared();
+}
+
+RunConfig config_with(const char* policy, std::uint64_t cache_per_node,
+                      std::uint32_t nodes = 4) {
+  RunConfig config;
+  config.cluster = main_cluster();
+  config.cluster.num_nodes = nodes;
+  config.cluster.cache_bytes_per_node = cache_per_node;
+  config.policy.name = policy;
+  return config;
+}
+
+TEST(Runner, AmplecacheGivesFullHitRatio) {
+  const auto metrics =
+      run_application(iterative_app(), config_with("lru", 1ull << 30));
+  EXPECT_GT(metrics.probes, 0u);
+  EXPECT_EQ(metrics.hits, metrics.probes);
+  EXPECT_DOUBLE_EQ(metrics.hit_ratio(), 1.0);
+  EXPECT_EQ(metrics.evictions, 0u);
+  EXPECT_EQ(metrics.misses_recompute, 0u);
+}
+
+TEST(Runner, TightCacheForcesMisses) {
+  const auto metrics =
+      run_application(iterative_app(), config_with("lru", 4 << 20));
+  EXPECT_LT(metrics.hits, metrics.probes);
+  EXPECT_GT(metrics.evictions, 0u);
+  // With spill enabled, misses are served from disk, not recomputed.
+  EXPECT_GT(metrics.misses_from_disk, 0u);
+}
+
+TEST(Runner, MemoryOnlyModeRecomputes) {
+  auto config = config_with("lru", 4 << 20);
+  config.cluster.spill_on_evict = false;
+  const auto metrics = run_application(iterative_app(), config);
+  EXPECT_GT(metrics.misses_recompute, 0u);
+  EXPECT_EQ(metrics.misses_from_disk, 0u);
+  EXPECT_GT(metrics.recompute_cpu_ms, 0.0);
+}
+
+TEST(Runner, DeterministicAcrossRuns) {
+  const auto app = iterative_app();
+  const auto a = run_application(app, config_with("mrd", 8 << 20));
+  const auto b = run_application(app, config_with("mrd", 8 << 20));
+  EXPECT_DOUBLE_EQ(a.jct_ms, b.jct_ms);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.prefetches_issued, b.prefetches_issued);
+}
+
+TEST(Runner, MrdBeatsLruUnderPressure) {
+  const auto app = iterative_app(6);
+  const auto lru = run_application(app, config_with("lru", 10 << 20));
+  const auto mrd = run_application(app, config_with("mrd", 10 << 20));
+  EXPECT_GE(lru.jct_ms, mrd.jct_ms);
+  EXPECT_GE(mrd.hit_ratio(), lru.hit_ratio());
+}
+
+TEST(Runner, BiggerCacheNeverHurtsLru) {
+  const auto app = iterative_app();
+  const auto small = run_application(app, config_with("lru", 4 << 20));
+  const auto large = run_application(app, config_with("lru", 64 << 20));
+  EXPECT_LE(large.jct_ms, small.jct_ms * 1.001);
+  EXPECT_GE(large.hit_ratio(), small.hit_ratio());
+}
+
+TEST(Runner, StageTimingsRecordedWhenRequested) {
+  auto config = config_with("lru", 16 << 20);
+  config.record_stage_timings = true;
+  const auto app = iterative_app();
+  const auto plan = DagScheduler::plan(app);
+  const auto metrics = run_plan(plan, config);
+  EXPECT_EQ(metrics.stage_timings.size(), plan.active_stages());
+  double total = 0.0;
+  for (const StageTiming& st : metrics.stage_timings) {
+    EXPECT_GT(st.duration_ms, 0.0);
+    total += st.duration_ms;
+  }
+  // JCT = stage walls + per-job overheads.
+  EXPECT_NEAR(metrics.jct_ms,
+              total + plan.jobs().size() * config.cluster.job_overhead_ms,
+              1e-6);
+}
+
+TEST(Runner, AdHocVisibilityHurtsOrMatchesMrd) {
+  const auto app = iterative_app(6);
+  auto config = config_with("mrd", 10 << 20);
+  config.visibility = DagVisibility::kRecurring;
+  const auto recurring = run_application(app, config);
+  config.visibility = DagVisibility::kAdHoc;
+  const auto adhoc = run_application(app, config);
+  EXPECT_LE(recurring.jct_ms, adhoc.jct_ms * 1.001);
+}
+
+TEST(Runner, VisibilityIrrelevantForLru) {
+  const auto app = iterative_app();
+  auto config = config_with("lru", 10 << 20);
+  config.visibility = DagVisibility::kRecurring;
+  const auto recurring = run_application(app, config);
+  config.visibility = DagVisibility::kAdHoc;
+  const auto adhoc = run_application(app, config);
+  EXPECT_DOUBLE_EQ(recurring.jct_ms, adhoc.jct_ms);
+}
+
+TEST(Runner, MrdStatsPopulatedOnlyForMrd) {
+  const auto app = iterative_app();
+  const auto mrd = run_application(app, config_with("mrd", 16 << 20));
+  EXPECT_GT(mrd.mrd_table_peak_entries, 0u);
+  EXPECT_GT(mrd.mrd_update_messages, 0u);
+  const auto lru = run_application(app, config_with("lru", 16 << 20));
+  EXPECT_EQ(lru.mrd_table_peak_entries, 0u);
+}
+
+TEST(Runner, PerRddProbesSumToTotals) {
+  const auto metrics =
+      run_application(iterative_app(), config_with("mrd", 8 << 20));
+  std::uint64_t probes = 0, hits = 0;
+  for (const auto& [rdd, counts] : metrics.per_rdd_probes) {
+    (void)rdd;
+    probes += counts.first;
+    hits += counts.second;
+    EXPECT_LE(counts.second, counts.first);
+  }
+  EXPECT_EQ(probes, metrics.probes);
+  EXPECT_EQ(hits, metrics.hits);
+}
+
+TEST(Runner, UncacheableBlocksDoNotStallTheRun) {
+  SparkContext sc("big-block-app");
+  // One partition bigger than the whole per-node cache.
+  auto data = sc.text_file("in", 2, 8 << 20).map("big").cache();
+  data.count("job0");
+  data.count("job1");
+  auto app = std::move(sc).build_shared();
+
+  auto config = config_with("lru", 4 << 20, /*nodes=*/2);
+  const auto metrics = run_application(app, config);
+  EXPECT_GT(metrics.uncacheable_blocks, 0u);
+  EXPECT_GT(metrics.jct_ms, 0.0);
+  EXPECT_EQ(metrics.hits, 0u);  // nothing ever fits
+}
+
+TEST(Runner, ProfileStoreMakesSecondRunRecurring) {
+  const auto app = iterative_app();
+  ProfileStore store;
+  auto config = config_with("mrd", 10 << 20);
+  config.visibility = DagVisibility::kAdHoc;
+  config.policy.profile_store = &store;
+  run_application(app, config);
+  EXPECT_TRUE(store.has_profile(app->name()));
+
+  // Second run can use the stored profile from the start.
+  auto recurring = config;
+  recurring.visibility = DagVisibility::kRecurring;
+  const auto second = run_application(app, recurring);
+  EXPECT_GT(second.hits, 0u);
+  EXPECT_EQ(store.find(app->name())->runs, 2u);
+  EXPECT_EQ(store.find(app->name())->discrepancies, 0u);
+}
+
+TEST(Runner, AllPoliciesCompleteOnTheSameApp) {
+  const auto app = iterative_app();
+  for (const char* policy :
+       {"lru", "fifo", "lrc", "memtune", "belady", "mrd", "mrd-evict",
+        "mrd-prefetch", "mrd-job"}) {
+    const auto metrics = run_application(app, config_with(policy, 8 << 20));
+    EXPECT_GT(metrics.jct_ms, 0.0) << policy;
+    EXPECT_GT(metrics.probes, 0u) << policy;
+    EXPECT_EQ(metrics.policy, policy);
+  }
+}
+
+}  // namespace
+}  // namespace mrd

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/format.h"
+#include "util/math.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace mrd {
+namespace {
+
+// ---- check.h ----
+
+TEST(Check, PassingCheckDoesNothing) { MRD_CHECK(1 + 1 == 2); }
+
+TEST(Check, FailingCheckThrowsCheckFailure) {
+  EXPECT_THROW(MRD_CHECK(false), CheckFailure);
+}
+
+TEST(Check, MessageIsIncluded) {
+  try {
+    MRD_CHECK_MSG(false, "value was " << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+  }
+}
+
+// ---- format.h ----
+
+TEST(Format, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(1536), "1.5 KB");
+  EXPECT_EQ(human_bytes(5ull << 20), "5.0 MB");
+  EXPECT_EQ(human_bytes(3ull << 30), "3.0 GB");
+}
+
+TEST(Format, FormatDouble) {
+  EXPECT_EQ(format_double(5.346, 2), "5.35");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+}
+
+TEST(Format, FormatPercent) {
+  EXPECT_EQ(format_percent(0.534), "53.4%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+TEST(Format, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(Format, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcde", 3), "abcde");  // no truncation
+}
+
+// ---- math.h ----
+
+TEST(Math, MeanAndVariance) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({2, 2, 2}), 0.0);
+  EXPECT_NEAR(stddev({1, 3}), 1.0, 1e-12);
+}
+
+TEST(Math, MinMax) {
+  EXPECT_DOUBLE_EQ(max_value({3, 1, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(min_value({3, 1, 2}), 1.0);
+  EXPECT_THROW(max_value({}), CheckFailure);
+}
+
+TEST(Math, PerfectLinearFit) {
+  const LinearFit fit = linear_regression({1, 2, 3}, {2, 4, 6});
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 0.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Math, NoisyFitHasPartialR2) {
+  const LinearFit fit = linear_regression({1, 2, 3, 4}, {1, 3, 2, 4});
+  EXPECT_GT(fit.slope, 0.0);
+  EXPECT_GT(fit.r_squared, 0.0);
+  EXPECT_LT(fit.r_squared, 1.0);
+}
+
+TEST(Math, DegenerateFits) {
+  EXPECT_EQ(linear_regression({}, {}).n, 0u);
+  EXPECT_EQ(linear_regression({1}, {5}).slope, 0.0);
+  // All x equal: slope undefined, returned as 0.
+  EXPECT_EQ(linear_regression({2, 2, 2}, {1, 2, 3}).slope, 0.0);
+}
+
+TEST(Math, MismatchedSizesThrow) {
+  EXPECT_THROW(linear_regression({1, 2}, {1}), CheckFailure);
+}
+
+// ---- random.h ----
+
+TEST(Random, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Random, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(10), 10u);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Random, UniformCoversRange) {
+  Rng rng(9);
+  bool low = false, high = false;
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.uniform(0.0, 10.0);
+    if (d < 2.0) low = true;
+    if (d > 8.0) high = true;
+  }
+  EXPECT_TRUE(low);
+  EXPECT_TRUE(high);
+}
+
+// ---- csv.h ----
+
+TEST(Csv, WritesEscapedRows) {
+  const std::string path = ::testing::TempDir() + "/mrd_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_row({"a", "b,c", "d\"e"});
+    csv.write_row({"1", "2", "3"});
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,\"b,c\",\"d\"\"e\"");
+  EXPECT_EQ(line2, "1,2,3");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, UnopenableFileThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_zzz/file.csv"), CheckFailure);
+}
+
+// ---- table.h ----
+
+TEST(Table, RendersAlignedColumns) {
+  AsciiTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "23"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| alpha |     1 |"), std::string::npos);
+  EXPECT_NE(out.find("| b     |    23 |"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  AsciiTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), CheckFailure);
+}
+
+TEST(Table, SeparatorRendersRule) {
+  AsciiTable table({"h"});
+  table.add_row({"x"});
+  table.add_separator();
+  table.add_row({"y"});
+  std::ostringstream os;
+  table.print(os);
+  // 5 rules: top, under header, separator, bottom... count '+---' lines.
+  std::size_t rules = 0;
+  std::istringstream is(os.str());
+  for (std::string line; std::getline(is, line);) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+}  // namespace
+}  // namespace mrd

@@ -1,0 +1,203 @@
+// Workload generators: registry integrity plus parameterized structural
+// checks over all 20 benchmark applications.
+#include <gtest/gtest.h>
+
+#include "dag/dag_analysis.h"
+#include "dag/dag_scheduler.h"
+#include "workloads/workloads.h"
+
+namespace mrd {
+namespace {
+
+TEST(WorkloadRegistry, SuitesHaveExpectedSizes) {
+  EXPECT_EQ(sparkbench_workloads().size(), 14u);
+  EXPECT_EQ(hibench_workloads().size(), 6u);
+}
+
+TEST(WorkloadRegistry, LookupFindsEveryKey) {
+  for (const WorkloadSpec& spec : sparkbench_workloads()) {
+    EXPECT_EQ(find_workload(spec.key), &spec);
+  }
+  for (const WorkloadSpec& spec : hibench_workloads()) {
+    EXPECT_EQ(find_workload(spec.key), &spec);
+  }
+  EXPECT_EQ(find_workload("no-such-workload"), nullptr);
+}
+
+TEST(WorkloadRegistry, KeysAreUnique) {
+  std::set<std::string> keys;
+  for (const WorkloadSpec& spec : sparkbench_workloads()) {
+    EXPECT_TRUE(keys.insert(spec.key).second) << spec.key;
+  }
+  for (const WorkloadSpec& spec : hibench_workloads()) {
+    EXPECT_TRUE(keys.insert(spec.key).second) << spec.key;
+  }
+}
+
+// ---- Parameterized structural checks over every workload ----
+
+class AllWorkloads : public ::testing::TestWithParam<const WorkloadSpec*> {};
+
+TEST_P(AllWorkloads, BuildsAndPlans) {
+  const WorkloadSpec& spec = *GetParam();
+  const auto app = spec.make({});
+  ASSERT_NE(app, nullptr);
+  EXPECT_EQ(app->name(), spec.name);
+  const ExecutionPlan plan = DagScheduler::plan(app);
+  EXPECT_GE(plan.jobs().size(), 1u);
+  EXPECT_GE(plan.active_stages(), 1u);
+}
+
+TEST_P(AllWorkloads, PlanInvariantsHold) {
+  const WorkloadSpec& spec = *GetParam();
+  const ExecutionPlan plan = DagScheduler::plan(spec.make({}));
+
+  // Stage parents precede children; executed appearances are well-formed.
+  for (const StageInfo& stage : plan.stages()) {
+    for (StageId p : stage.parents) EXPECT_LT(p, stage.id);
+    EXPECT_GT(stage.num_tasks, 0u);
+  }
+  for (const JobInfo& job : plan.jobs()) {
+    for (const StageExecution& rec : job.stages) {
+      if (!rec.executed) {
+        EXPECT_TRUE(rec.computes.empty());
+        EXPECT_TRUE(rec.probes.empty());
+        continue;
+      }
+      for (RddId r : rec.probes) {
+        EXPECT_TRUE(plan.app().rdd(r).persisted) << spec.key;
+      }
+      // computes and probes are disjoint.
+      for (RddId r : rec.computes) {
+        EXPECT_EQ(std::count(rec.probes.begin(), rec.probes.end(), r), 0);
+      }
+    }
+  }
+  EXPECT_LE(plan.active_stages(), plan.stage_appearances());
+}
+
+TEST_P(AllWorkloads, DeterministicConstruction) {
+  const WorkloadSpec& spec = *GetParam();
+  const ExecutionPlan a = DagScheduler::plan(spec.make({}));
+  const ExecutionPlan b = DagScheduler::plan(spec.make({}));
+  EXPECT_EQ(a.total_stages(), b.total_stages());
+  EXPECT_EQ(a.shuffles().size(), b.shuffles().size());
+  EXPECT_EQ(a.app().num_rdds(), b.app().num_rdds());
+  EXPECT_EQ(reference_distance_stats(a).avg_stage_distance,
+            reference_distance_stats(b).avg_stage_distance);
+}
+
+TEST_P(AllWorkloads, ScaleParameterScalesBytes) {
+  const WorkloadSpec& spec = *GetParam();
+  WorkloadParams half;
+  half.scale = 0.5;
+  const auto full_app = spec.make({});
+  const auto half_app = spec.make(half);
+  EXPECT_LT(half_app->input_bytes(), full_app->input_bytes());
+}
+
+std::string workload_name(
+    const ::testing::TestParamInfo<const WorkloadSpec*>& info) {
+  std::string name = info.param->key;
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+std::vector<const WorkloadSpec*> all_specs() {
+  std::vector<const WorkloadSpec*> out;
+  for (const WorkloadSpec& s : sparkbench_workloads()) out.push_back(&s);
+  for (const WorkloadSpec& s : hibench_workloads()) out.push_back(&s);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, AllWorkloads,
+                         ::testing::ValuesIn(all_specs()), workload_name);
+
+// ---- Iterable workloads scale their job counts (Fig 10 precondition) ----
+
+class IterableWorkloads : public ::testing::TestWithParam<const WorkloadSpec*> {
+};
+
+TEST_P(IterableWorkloads, TripledIterationsGrowJobsAndStages) {
+  const WorkloadSpec& spec = *GetParam();
+  const ExecutionPlan base = DagScheduler::plan(spec.make({}));
+  WorkloadParams tripled;
+  tripled.iterations = spec.default_iterations * 3;
+  const ExecutionPlan more = DagScheduler::plan(spec.make(tripled));
+  EXPECT_GT(more.jobs().size(), base.jobs().size()) << spec.key;
+  EXPECT_GT(more.active_stages(), base.active_stages()) << spec.key;
+}
+
+std::vector<const WorkloadSpec*> iterable_specs() {
+  std::vector<const WorkloadSpec*> out;
+  for (const WorkloadSpec& s : sparkbench_workloads()) {
+    if (s.default_iterations > 0) out.push_back(&s);
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, IterableWorkloads,
+                         ::testing::ValuesIn(iterable_specs()), workload_name);
+
+// ---- Paper-shape assertions (Table 1 / Table 3 qualitative claims) ----
+
+ReferenceDistanceStats stats_for(const char* key) {
+  return reference_distance_stats(DagScheduler::plan(find_workload(key)->make({})));
+}
+
+TEST(PaperShape, HiBenchDistancesAreNearZero) {
+  EXPECT_EQ(stats_for("hb-sort").num_gaps, 0u);
+  EXPECT_EQ(stats_for("hb-wordcount").num_gaps, 0u);
+  EXPECT_LE(stats_for("hb-terasort").max_job_distance, 1u);
+  EXPECT_EQ(stats_for("hb-pagerank").avg_job_distance, 0.0);
+}
+
+TEST(PaperShape, LpAndSccHaveTheLargestStageDistances) {
+  const double lp = stats_for("lp").avg_stage_distance;
+  const double scc = stats_for("scc").avg_stage_distance;
+  for (const char* small : {"tc", "sp", "linr", "logr", "svm"}) {
+    EXPECT_GT(lp, stats_for(small).avg_stage_distance) << small;
+    EXPECT_GT(scc, stats_for(small).avg_stage_distance) << small;
+  }
+}
+
+TEST(PaperShape, StageDistanceIsFinerThanJobDistance) {
+  for (const char* key : {"km", "pr", "lp", "scc", "cc", "po"}) {
+    const auto s = stats_for(key);
+    EXPECT_GE(s.avg_stage_distance, s.avg_job_distance) << key;
+    EXPECT_GE(s.max_stage_distance, s.max_job_distance) << key;
+  }
+}
+
+TEST(PaperShape, IterativeWorkloadsSkipStages) {
+  // Lineage growth: appearances far exceed executed stages for Pregel apps.
+  for (const char* key : {"lp", "scc", "po"}) {
+    const ExecutionPlan plan =
+        DagScheduler::plan(find_workload(key)->make({}));
+    EXPECT_GT(plan.stage_appearances(), 3 * plan.active_stages()) << key;
+  }
+}
+
+TEST(PaperShape, DecisionTreeIgnoresIterationParameter) {
+  const auto base = DagScheduler::plan(find_workload("dt")->make({}));
+  WorkloadParams tripled;
+  tripled.iterations = 24;
+  const auto more = DagScheduler::plan(find_workload("dt")->make(tripled));
+  EXPECT_EQ(base.jobs().size(), more.jobs().size());
+  EXPECT_EQ(base.active_stages(), more.active_stages());
+}
+
+TEST(PaperShape, PersistedBytesHelperMatchesManualSum) {
+  const auto app = find_workload("pr")->make({});
+  std::uint64_t manual = 0;
+  for (const RddInfo& r : app->rdds()) {
+    if (r.persisted) manual += r.total_bytes();
+  }
+  EXPECT_EQ(persisted_bytes(*app), manual);
+  EXPECT_GT(manual, 0u);
+}
+
+}  // namespace
+}  // namespace mrd
