@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_belady_and_threshold.dir/ablation_belady_and_threshold.cpp.o"
+  "CMakeFiles/ablation_belady_and_threshold.dir/ablation_belady_and_threshold.cpp.o.d"
+  "ablation_belady_and_threshold"
+  "ablation_belady_and_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_belady_and_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_stage_distance_correlation.dir/fig11_stage_distance_correlation.cpp.o"
+  "CMakeFiles/fig11_stage_distance_correlation.dir/fig11_stage_distance_correlation.cpp.o.d"
+  "fig11_stage_distance_correlation"
+  "fig11_stage_distance_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_stage_distance_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_refs_per_stage_correlation.dir/fig12_refs_per_stage_correlation.cpp.o"
+  "CMakeFiles/fig12_refs_per_stage_correlation.dir/fig12_refs_per_stage_correlation.cpp.o.d"
+  "fig12_refs_per_stage_correlation"
+  "fig12_refs_per_stage_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_refs_per_stage_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

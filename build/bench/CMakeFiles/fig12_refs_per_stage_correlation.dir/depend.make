@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_refs_per_stage_correlation.
+# This may be replaced when dependencies are built.

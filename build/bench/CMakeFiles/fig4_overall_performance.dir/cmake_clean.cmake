@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_overall_performance.dir/fig4_overall_performance.cpp.o"
+  "CMakeFiles/fig4_overall_performance.dir/fig4_overall_performance.cpp.o.d"
+  "fig4_overall_performance"
+  "fig4_overall_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_overall_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_vs_lrc.dir/fig5_vs_lrc.cpp.o"
+  "CMakeFiles/fig5_vs_lrc.dir/fig5_vs_lrc.cpp.o.d"
+  "fig5_vs_lrc"
+  "fig5_vs_lrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_vs_lrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_vs_memtune.dir/fig6_vs_memtune.cpp.o"
+  "CMakeFiles/fig6_vs_memtune.dir/fig6_vs_memtune.cpp.o.d"
+  "fig6_vs_memtune"
+  "fig6_vs_memtune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_vs_memtune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

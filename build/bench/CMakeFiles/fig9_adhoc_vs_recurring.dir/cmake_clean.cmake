@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_adhoc_vs_recurring.dir/fig9_adhoc_vs_recurring.cpp.o"
+  "CMakeFiles/fig9_adhoc_vs_recurring.dir/fig9_adhoc_vs_recurring.cpp.o.d"
+  "fig9_adhoc_vs_recurring"
+  "fig9_adhoc_vs_recurring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_adhoc_vs_recurring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

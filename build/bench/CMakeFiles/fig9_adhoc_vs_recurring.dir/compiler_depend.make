@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_adhoc_vs_recurring.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_adhoc_vs_recurring.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_reference_distance.dir/table1_reference_distance.cpp.o"
+  "CMakeFiles/table1_reference_distance.dir/table1_reference_distance.cpp.o.d"
+  "table1_reference_distance"
+  "table1_reference_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_reference_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

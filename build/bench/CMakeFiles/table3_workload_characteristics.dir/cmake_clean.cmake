@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_workload_characteristics.dir/table3_workload_characteristics.cpp.o"
+  "CMakeFiles/table3_workload_characteristics.dir/table3_workload_characteristics.cpp.o.d"
+  "table3_workload_characteristics"
+  "table3_workload_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_workload_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recurring_application.dir/recurring_application.cpp.o"
+  "CMakeFiles/recurring_application.dir/recurring_application.cpp.o.d"
+  "recurring_application"
+  "recurring_application.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recurring_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/dataset.cpp" "src/api/CMakeFiles/mrd_api.dir/dataset.cpp.o" "gcc" "src/api/CMakeFiles/mrd_api.dir/dataset.cpp.o.d"
+  "/root/repo/src/api/pregel.cpp" "src/api/CMakeFiles/mrd_api.dir/pregel.cpp.o" "gcc" "src/api/CMakeFiles/mrd_api.dir/pregel.cpp.o.d"
+  "/root/repo/src/api/spark_context.cpp" "src/api/CMakeFiles/mrd_api.dir/spark_context.cpp.o" "gcc" "src/api/CMakeFiles/mrd_api.dir/spark_context.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/mrd_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

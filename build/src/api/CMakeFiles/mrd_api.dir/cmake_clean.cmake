@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrd_api.dir/dataset.cpp.o"
+  "CMakeFiles/mrd_api.dir/dataset.cpp.o.d"
+  "CMakeFiles/mrd_api.dir/pregel.cpp.o"
+  "CMakeFiles/mrd_api.dir/pregel.cpp.o.d"
+  "CMakeFiles/mrd_api.dir/spark_context.cpp.o"
+  "CMakeFiles/mrd_api.dir/spark_context.cpp.o.d"
+  "libmrd_api.a"
+  "libmrd_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrd_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/belady.cpp" "src/cache/CMakeFiles/mrd_cache.dir/belady.cpp.o" "gcc" "src/cache/CMakeFiles/mrd_cache.dir/belady.cpp.o.d"
+  "/root/repo/src/cache/cache_policy.cpp" "src/cache/CMakeFiles/mrd_cache.dir/cache_policy.cpp.o" "gcc" "src/cache/CMakeFiles/mrd_cache.dir/cache_policy.cpp.o.d"
+  "/root/repo/src/cache/fifo.cpp" "src/cache/CMakeFiles/mrd_cache.dir/fifo.cpp.o" "gcc" "src/cache/CMakeFiles/mrd_cache.dir/fifo.cpp.o.d"
+  "/root/repo/src/cache/lrc.cpp" "src/cache/CMakeFiles/mrd_cache.dir/lrc.cpp.o" "gcc" "src/cache/CMakeFiles/mrd_cache.dir/lrc.cpp.o.d"
+  "/root/repo/src/cache/lru.cpp" "src/cache/CMakeFiles/mrd_cache.dir/lru.cpp.o" "gcc" "src/cache/CMakeFiles/mrd_cache.dir/lru.cpp.o.d"
+  "/root/repo/src/cache/memtune.cpp" "src/cache/CMakeFiles/mrd_cache.dir/memtune.cpp.o" "gcc" "src/cache/CMakeFiles/mrd_cache.dir/memtune.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/mrd_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrd_cache.dir/belady.cpp.o"
+  "CMakeFiles/mrd_cache.dir/belady.cpp.o.d"
+  "CMakeFiles/mrd_cache.dir/cache_policy.cpp.o"
+  "CMakeFiles/mrd_cache.dir/cache_policy.cpp.o.d"
+  "CMakeFiles/mrd_cache.dir/fifo.cpp.o"
+  "CMakeFiles/mrd_cache.dir/fifo.cpp.o.d"
+  "CMakeFiles/mrd_cache.dir/lrc.cpp.o"
+  "CMakeFiles/mrd_cache.dir/lrc.cpp.o.d"
+  "CMakeFiles/mrd_cache.dir/lru.cpp.o"
+  "CMakeFiles/mrd_cache.dir/lru.cpp.o.d"
+  "CMakeFiles/mrd_cache.dir/memtune.cpp.o"
+  "CMakeFiles/mrd_cache.dir/memtune.cpp.o.d"
+  "libmrd_cache.a"
+  "libmrd_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrd_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

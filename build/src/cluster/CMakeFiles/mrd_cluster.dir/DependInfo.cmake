@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/block_manager.cpp" "src/cluster/CMakeFiles/mrd_cluster.dir/block_manager.cpp.o" "gcc" "src/cluster/CMakeFiles/mrd_cluster.dir/block_manager.cpp.o.d"
+  "/root/repo/src/cluster/block_manager_master.cpp" "src/cluster/CMakeFiles/mrd_cluster.dir/block_manager_master.cpp.o" "gcc" "src/cluster/CMakeFiles/mrd_cluster.dir/block_manager_master.cpp.o.d"
+  "/root/repo/src/cluster/cluster_config.cpp" "src/cluster/CMakeFiles/mrd_cluster.dir/cluster_config.cpp.o" "gcc" "src/cluster/CMakeFiles/mrd_cluster.dir/cluster_config.cpp.o.d"
+  "/root/repo/src/cluster/memory_store.cpp" "src/cluster/CMakeFiles/mrd_cluster.dir/memory_store.cpp.o" "gcc" "src/cluster/CMakeFiles/mrd_cluster.dir/memory_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/mrd_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/mrd_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrd_cluster.dir/block_manager.cpp.o"
+  "CMakeFiles/mrd_cluster.dir/block_manager.cpp.o.d"
+  "CMakeFiles/mrd_cluster.dir/block_manager_master.cpp.o"
+  "CMakeFiles/mrd_cluster.dir/block_manager_master.cpp.o.d"
+  "CMakeFiles/mrd_cluster.dir/cluster_config.cpp.o"
+  "CMakeFiles/mrd_cluster.dir/cluster_config.cpp.o.d"
+  "CMakeFiles/mrd_cluster.dir/memory_store.cpp.o"
+  "CMakeFiles/mrd_cluster.dir/memory_store.cpp.o.d"
+  "libmrd_cluster.a"
+  "libmrd_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrd_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/app_profiler.cpp" "src/core/CMakeFiles/mrd_core.dir/app_profiler.cpp.o" "gcc" "src/core/CMakeFiles/mrd_core.dir/app_profiler.cpp.o.d"
+  "/root/repo/src/core/cache_monitor.cpp" "src/core/CMakeFiles/mrd_core.dir/cache_monitor.cpp.o" "gcc" "src/core/CMakeFiles/mrd_core.dir/cache_monitor.cpp.o.d"
+  "/root/repo/src/core/mrd_manager.cpp" "src/core/CMakeFiles/mrd_core.dir/mrd_manager.cpp.o" "gcc" "src/core/CMakeFiles/mrd_core.dir/mrd_manager.cpp.o.d"
+  "/root/repo/src/core/policy_registry.cpp" "src/core/CMakeFiles/mrd_core.dir/policy_registry.cpp.o" "gcc" "src/core/CMakeFiles/mrd_core.dir/policy_registry.cpp.o.d"
+  "/root/repo/src/core/profile_store.cpp" "src/core/CMakeFiles/mrd_core.dir/profile_store.cpp.o" "gcc" "src/core/CMakeFiles/mrd_core.dir/profile_store.cpp.o.d"
+  "/root/repo/src/core/ref_distance_table.cpp" "src/core/CMakeFiles/mrd_core.dir/ref_distance_table.cpp.o" "gcc" "src/core/CMakeFiles/mrd_core.dir/ref_distance_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/mrd_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/mrd_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrd_core.dir/app_profiler.cpp.o"
+  "CMakeFiles/mrd_core.dir/app_profiler.cpp.o.d"
+  "CMakeFiles/mrd_core.dir/cache_monitor.cpp.o"
+  "CMakeFiles/mrd_core.dir/cache_monitor.cpp.o.d"
+  "CMakeFiles/mrd_core.dir/mrd_manager.cpp.o"
+  "CMakeFiles/mrd_core.dir/mrd_manager.cpp.o.d"
+  "CMakeFiles/mrd_core.dir/policy_registry.cpp.o"
+  "CMakeFiles/mrd_core.dir/policy_registry.cpp.o.d"
+  "CMakeFiles/mrd_core.dir/profile_store.cpp.o"
+  "CMakeFiles/mrd_core.dir/profile_store.cpp.o.d"
+  "CMakeFiles/mrd_core.dir/ref_distance_table.cpp.o"
+  "CMakeFiles/mrd_core.dir/ref_distance_table.cpp.o.d"
+  "libmrd_core.a"
+  "libmrd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/application.cpp" "src/dag/CMakeFiles/mrd_dag.dir/application.cpp.o" "gcc" "src/dag/CMakeFiles/mrd_dag.dir/application.cpp.o.d"
+  "/root/repo/src/dag/dag_analysis.cpp" "src/dag/CMakeFiles/mrd_dag.dir/dag_analysis.cpp.o" "gcc" "src/dag/CMakeFiles/mrd_dag.dir/dag_analysis.cpp.o.d"
+  "/root/repo/src/dag/dag_builder.cpp" "src/dag/CMakeFiles/mrd_dag.dir/dag_builder.cpp.o" "gcc" "src/dag/CMakeFiles/mrd_dag.dir/dag_builder.cpp.o.d"
+  "/root/repo/src/dag/dag_scheduler.cpp" "src/dag/CMakeFiles/mrd_dag.dir/dag_scheduler.cpp.o" "gcc" "src/dag/CMakeFiles/mrd_dag.dir/dag_scheduler.cpp.o.d"
+  "/root/repo/src/dag/execution_plan.cpp" "src/dag/CMakeFiles/mrd_dag.dir/execution_plan.cpp.o" "gcc" "src/dag/CMakeFiles/mrd_dag.dir/execution_plan.cpp.o.d"
+  "/root/repo/src/dag/reference_profile.cpp" "src/dag/CMakeFiles/mrd_dag.dir/reference_profile.cpp.o" "gcc" "src/dag/CMakeFiles/mrd_dag.dir/reference_profile.cpp.o.d"
+  "/root/repo/src/dag/transform.cpp" "src/dag/CMakeFiles/mrd_dag.dir/transform.cpp.o" "gcc" "src/dag/CMakeFiles/mrd_dag.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mrd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrd_dag.dir/application.cpp.o"
+  "CMakeFiles/mrd_dag.dir/application.cpp.o.d"
+  "CMakeFiles/mrd_dag.dir/dag_analysis.cpp.o"
+  "CMakeFiles/mrd_dag.dir/dag_analysis.cpp.o.d"
+  "CMakeFiles/mrd_dag.dir/dag_builder.cpp.o"
+  "CMakeFiles/mrd_dag.dir/dag_builder.cpp.o.d"
+  "CMakeFiles/mrd_dag.dir/dag_scheduler.cpp.o"
+  "CMakeFiles/mrd_dag.dir/dag_scheduler.cpp.o.d"
+  "CMakeFiles/mrd_dag.dir/execution_plan.cpp.o"
+  "CMakeFiles/mrd_dag.dir/execution_plan.cpp.o.d"
+  "CMakeFiles/mrd_dag.dir/reference_profile.cpp.o"
+  "CMakeFiles/mrd_dag.dir/reference_profile.cpp.o.d"
+  "CMakeFiles/mrd_dag.dir/transform.cpp.o"
+  "CMakeFiles/mrd_dag.dir/transform.cpp.o.d"
+  "libmrd_dag.a"
+  "libmrd_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrd_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/application_runner.cpp" "src/exec/CMakeFiles/mrd_exec.dir/application_runner.cpp.o" "gcc" "src/exec/CMakeFiles/mrd_exec.dir/application_runner.cpp.o.d"
+  "/root/repo/src/exec/lineage_resolver.cpp" "src/exec/CMakeFiles/mrd_exec.dir/lineage_resolver.cpp.o" "gcc" "src/exec/CMakeFiles/mrd_exec.dir/lineage_resolver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mrd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mrd_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/mrd_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mrd_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

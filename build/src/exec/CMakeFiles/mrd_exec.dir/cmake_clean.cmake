@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrd_exec.dir/application_runner.cpp.o"
+  "CMakeFiles/mrd_exec.dir/application_runner.cpp.o.d"
+  "CMakeFiles/mrd_exec.dir/lineage_resolver.cpp.o"
+  "CMakeFiles/mrd_exec.dir/lineage_resolver.cpp.o.d"
+  "libmrd_exec.a"
+  "libmrd_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrd_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

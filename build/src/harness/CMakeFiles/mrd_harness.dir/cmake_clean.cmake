@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrd_harness.dir/experiment.cpp.o"
+  "CMakeFiles/mrd_harness.dir/experiment.cpp.o.d"
+  "libmrd_harness.a"
+  "libmrd_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrd_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

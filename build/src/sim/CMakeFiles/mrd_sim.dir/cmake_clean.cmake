@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrd_sim.dir/node_accounting.cpp.o"
+  "CMakeFiles/mrd_sim.dir/node_accounting.cpp.o.d"
+  "libmrd_sim.a"
+  "libmrd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

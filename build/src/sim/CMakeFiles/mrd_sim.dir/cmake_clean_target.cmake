@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmrd_sim.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrd_util.dir/csv.cpp.o"
+  "CMakeFiles/mrd_util.dir/csv.cpp.o.d"
+  "CMakeFiles/mrd_util.dir/format.cpp.o"
+  "CMakeFiles/mrd_util.dir/format.cpp.o.d"
+  "CMakeFiles/mrd_util.dir/logging.cpp.o"
+  "CMakeFiles/mrd_util.dir/logging.cpp.o.d"
+  "CMakeFiles/mrd_util.dir/math.cpp.o"
+  "CMakeFiles/mrd_util.dir/math.cpp.o.d"
+  "CMakeFiles/mrd_util.dir/table.cpp.o"
+  "CMakeFiles/mrd_util.dir/table.cpp.o.d"
+  "libmrd_util.a"
+  "libmrd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

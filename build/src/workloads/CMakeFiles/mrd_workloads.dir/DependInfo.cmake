@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/hibench.cpp" "src/workloads/CMakeFiles/mrd_workloads.dir/hibench.cpp.o" "gcc" "src/workloads/CMakeFiles/mrd_workloads.dir/hibench.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/mrd_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/mrd_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/sparkbench_graph.cpp" "src/workloads/CMakeFiles/mrd_workloads.dir/sparkbench_graph.cpp.o" "gcc" "src/workloads/CMakeFiles/mrd_workloads.dir/sparkbench_graph.cpp.o.d"
+  "/root/repo/src/workloads/sparkbench_ml.cpp" "src/workloads/CMakeFiles/mrd_workloads.dir/sparkbench_ml.cpp.o" "gcc" "src/workloads/CMakeFiles/mrd_workloads.dir/sparkbench_ml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/mrd_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/mrd_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrd_workloads.dir/hibench.cpp.o"
+  "CMakeFiles/mrd_workloads.dir/hibench.cpp.o.d"
+  "CMakeFiles/mrd_workloads.dir/registry.cpp.o"
+  "CMakeFiles/mrd_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/mrd_workloads.dir/sparkbench_graph.cpp.o"
+  "CMakeFiles/mrd_workloads.dir/sparkbench_graph.cpp.o.d"
+  "CMakeFiles/mrd_workloads.dir/sparkbench_ml.cpp.o"
+  "CMakeFiles/mrd_workloads.dir/sparkbench_ml.cpp.o.d"
+  "libmrd_workloads.a"
+  "libmrd_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrd_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

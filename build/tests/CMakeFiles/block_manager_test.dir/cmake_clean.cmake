@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_manager_test.dir/block_manager_test.cpp.o"
+  "CMakeFiles/block_manager_test.dir/block_manager_test.cpp.o.d"
+  "block_manager_test"
+  "block_manager_test.pdb"
+  "block_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

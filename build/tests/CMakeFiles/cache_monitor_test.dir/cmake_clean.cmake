@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_monitor_test.dir/cache_monitor_test.cpp.o"
+  "CMakeFiles/cache_monitor_test.dir/cache_monitor_test.cpp.o.d"
+  "cache_monitor_test"
+  "cache_monitor_test.pdb"
+  "cache_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

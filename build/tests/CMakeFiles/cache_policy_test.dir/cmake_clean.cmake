@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_policy_test.dir/cache_policy_test.cpp.o"
+  "CMakeFiles/cache_policy_test.dir/cache_policy_test.cpp.o.d"
+  "cache_policy_test"
+  "cache_policy_test.pdb"
+  "cache_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

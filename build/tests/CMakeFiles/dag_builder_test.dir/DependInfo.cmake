@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dag_builder_test.cpp" "tests/CMakeFiles/dag_builder_test.dir/dag_builder_test.cpp.o" "gcc" "tests/CMakeFiles/dag_builder_test.dir/dag_builder_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/mrd_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/mrd_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mrd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mrd_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mrd_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mrd_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/mrd_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/mrd_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_builder_test.dir/dag_builder_test.cpp.o"
+  "CMakeFiles/dag_builder_test.dir/dag_builder_test.cpp.o.d"
+  "dag_builder_test"
+  "dag_builder_test.pdb"
+  "dag_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

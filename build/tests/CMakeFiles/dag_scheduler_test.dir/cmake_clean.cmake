@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_scheduler_test.dir/dag_scheduler_test.cpp.o"
+  "CMakeFiles/dag_scheduler_test.dir/dag_scheduler_test.cpp.o.d"
+  "dag_scheduler_test"
+  "dag_scheduler_test.pdb"
+  "dag_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrc_memtune_test.dir/lrc_memtune_test.cpp.o"
+  "CMakeFiles/lrc_memtune_test.dir/lrc_memtune_test.cpp.o.d"
+  "lrc_memtune_test"
+  "lrc_memtune_test.pdb"
+  "lrc_memtune_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrc_memtune_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_store_test.dir/memory_store_test.cpp.o"
+  "CMakeFiles/memory_store_test.dir/memory_store_test.cpp.o.d"
+  "memory_store_test"
+  "memory_store_test.pdb"
+  "memory_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

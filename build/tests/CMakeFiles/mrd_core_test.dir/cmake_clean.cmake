@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrd_core_test.dir/mrd_core_test.cpp.o"
+  "CMakeFiles/mrd_core_test.dir/mrd_core_test.cpp.o.d"
+  "mrd_core_test"
+  "mrd_core_test.pdb"
+  "mrd_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrd_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

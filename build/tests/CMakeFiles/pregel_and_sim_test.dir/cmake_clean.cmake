@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregel_and_sim_test.dir/pregel_and_sim_test.cpp.o"
+  "CMakeFiles/pregel_and_sim_test.dir/pregel_and_sim_test.cpp.o.d"
+  "pregel_and_sim_test"
+  "pregel_and_sim_test.pdb"
+  "pregel_and_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregel_and_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

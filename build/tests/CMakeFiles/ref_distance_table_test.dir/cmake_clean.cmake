@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_distance_table_test.dir/ref_distance_table_test.cpp.o"
+  "CMakeFiles/ref_distance_table_test.dir/ref_distance_table_test.cpp.o.d"
+  "ref_distance_table_test"
+  "ref_distance_table_test.pdb"
+  "ref_distance_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_distance_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

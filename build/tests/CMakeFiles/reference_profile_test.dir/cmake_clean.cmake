@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_profile_test.dir/reference_profile_test.cpp.o"
+  "CMakeFiles/reference_profile_test.dir/reference_profile_test.cpp.o.d"
+  "reference_profile_test"
+  "reference_profile_test.pdb"
+  "reference_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

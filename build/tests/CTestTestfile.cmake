@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/dag_builder_test[1]_include.cmake")
+include("/root/repo/build/tests/dag_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/reference_profile_test[1]_include.cmake")
+include("/root/repo/build/tests/ref_distance_table_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/lrc_memtune_test[1]_include.cmake")
+include("/root/repo/build/tests/belady_test[1]_include.cmake")
+include("/root/repo/build/tests/mrd_core_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/memory_store_test[1]_include.cmake")
+include("/root/repo/build/tests/block_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/runner_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/properties_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/pregel_and_sim_test[1]_include.cmake")
