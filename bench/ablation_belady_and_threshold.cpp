@@ -9,22 +9,34 @@
 
 using namespace mrd;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
   const ClusterConfig cluster = main_cluster();
+  SweepRunner runner(options.jobs);
+
   std::cout << "Ablation 1: Belady-MIN bound (JCT normalized to LRU, "
                "fraction 0.5)\n\n";
   {
     AsciiTable table({"Workload", "LRU", "LRC", "MRD", "Belady-MIN"});
+    struct Row {
+      std::shared_ptr<const WorkloadRun> run;
+      std::vector<std::shared_future<RunMetrics>> futures;  // lru, lrc, mrd, belady
+    };
+    std::vector<Row> rows;
     for (const char* key : {"pr", "cc", "svdpp", "km", "po"}) {
-      const WorkloadRun run =
-          plan_workload(*find_workload(key), bench::bench_params());
-      const double lru =
-          run_with_policy(run, cluster, 0.5, bench::policy("lru")).jct_ms;
-      std::vector<std::string> row{run.name, "100%"};
-      for (const char* pol : {"lrc", "mrd", "belady"}) {
-        const double jct =
-            run_with_policy(run, cluster, 0.5, bench::policy(pol)).jct_ms;
-        row.push_back(bench::norm_jct(jct, lru));
+      Row row;
+      row.run = plan_workload_shared(*find_workload(key), bench::bench_params());
+      for (const char* pol : {"lru", "lrc", "mrd", "belady"}) {
+        row.futures.push_back(runner.submit(
+            SweepJob{row.run, cluster, 0.5, bench::policy(pol)}));
+      }
+      rows.push_back(std::move(row));
+    }
+    for (Row& r : rows) {
+      const double lru = r.futures[0].get().jct_ms;
+      std::vector<std::string> row{r.run->name, "100%"};
+      for (int i = 1; i < 4; ++i) {
+        row.push_back(bench::norm_jct(r.futures[i].get().jct_ms, lru));
       }
       table.add_row(row);
     }
@@ -36,15 +48,21 @@ int main() {
   {
     AsciiTable table({"Threshold", "MRD JCT vs LRU", "hit ratio",
                       "prefetches completed"});
-    const WorkloadRun run =
-        plan_workload(*find_workload("svdpp"), bench::bench_params());
-    const double lru =
-        run_with_policy(run, cluster, 0.5, bench::policy("lru")).jct_ms;
-    for (double threshold : {0.0, 0.10, 0.25, 0.50, 0.90}) {
+    const auto run =
+        plan_workload_shared(*find_workload("svdpp"), bench::bench_params());
+    const auto lru_future =
+        runner.submit(SweepJob{run, cluster, 0.5, bench::policy("lru")});
+    const std::vector<double> thresholds = {0.0, 0.10, 0.25, 0.50, 0.90};
+    std::vector<std::shared_future<RunMetrics>> futures;
+    for (double threshold : thresholds) {
       PolicyConfig mrd = bench::policy("mrd");
       mrd.prefetch_threshold = threshold;
-      const RunMetrics m = run_with_policy(run, cluster, 0.5, mrd);
-      table.add_row({format_percent(threshold, 0),
+      futures.push_back(runner.submit(SweepJob{run, cluster, 0.5, mrd}));
+    }
+    const double lru = lru_future.get().jct_ms;
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+      const RunMetrics m = futures[i].get();
+      table.add_row({format_percent(thresholds[i], 0),
                      bench::norm_jct(m.jct_ms, lru),
                      format_percent(m.hit_ratio(), 0),
                      std::to_string(m.prefetches_completed)});
@@ -59,21 +77,32 @@ int main() {
   {
     AsciiTable table({"Workload", "MRD aggressive", "MRD guarded",
                       "wasted (aggr)", "wasted (guard)"});
+    struct Row {
+      std::shared_ptr<const WorkloadRun> run;
+      std::shared_future<RunMetrics> lru, aggressive, guarded;
+    };
+    std::vector<Row> rows;
     for (const char* key : {"pr", "svdpp", "po"}) {
-      const WorkloadRun run =
-          plan_workload(*find_workload(key), bench::bench_params());
-      const double lru =
-          run_with_policy(run, cluster, 0.4, bench::policy("lru")).jct_ms;
-      const RunMetrics aggressive =
-          run_with_policy(run, cluster, 0.4, bench::policy("mrd"));
-      const RunMetrics guarded =
-          run_with_policy(run, cluster, 0.4, bench::policy("mrd-guarded"));
-      table.add_row({run.name, bench::norm_jct(aggressive.jct_ms, lru),
+      const auto run =
+          plan_workload_shared(*find_workload(key), bench::bench_params());
+      rows.push_back(Row{
+          run,
+          runner.submit(SweepJob{run, cluster, 0.4, bench::policy("lru")}),
+          runner.submit(SweepJob{run, cluster, 0.4, bench::policy("mrd")}),
+          runner.submit(
+              SweepJob{run, cluster, 0.4, bench::policy("mrd-guarded")})});
+    }
+    for (Row& row : rows) {
+      const double lru = row.lru.get().jct_ms;
+      const RunMetrics aggressive = row.aggressive.get();
+      const RunMetrics guarded = row.guarded.get();
+      table.add_row({row.run->name, bench::norm_jct(aggressive.jct_ms, lru),
                      bench::norm_jct(guarded.jct_ms, lru),
                      std::to_string(aggressive.prefetches_wasted),
                      std::to_string(guarded.prefetches_wasted)});
     }
     table.print(std::cout);
   }
+  bench::report_sweep(runner);
   return 0;
 }

@@ -1,18 +1,27 @@
 // Shared plumbing for the table/figure bench binaries: workload planning,
 // best-of-cache-size comparisons, and output to stdout (paper-style ASCII
 // tables) plus CSV files under bench_out/ for re-plotting.
+//
+// Every driver accepts `--jobs N` (default: all hardware threads) and fans
+// its independent simulation runs out through a SweepRunner; results are
+// byte-identical to `--jobs 1`. Each driver ends with a wall-clock speedup
+// line from `report_sweep`.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "harness/experiment.h"
 #include "util/csv.h"
 #include "util/format.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace mrd {
 namespace bench {
@@ -42,6 +51,75 @@ inline PolicyConfig policy(const std::string& name) {
 inline std::string norm_jct(double candidate_ms, double baseline_ms) {
   return format_percent(baseline_ms == 0 ? 1.0 : candidate_ms / baseline_ms,
                         0);
+}
+
+struct Options {
+  /// Worker threads for the sweep (`--jobs N`; 1 = serial).
+  std::size_t jobs = ThreadPool::default_threads();
+};
+
+/// Parses bench flags; exits on malformed or unknown arguments.
+inline Options parse_options(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--jobs" || arg == "-j") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s requires a count\n", argv[0],
+                     argv[i]);
+        std::exit(2);
+      }
+      const long parsed = std::strtol(argv[++i], nullptr, 10);
+      if (parsed < 1) {
+        std::fprintf(stderr, "%s: --jobs must be >= 1\n", argv[0]);
+        std::exit(2);
+      }
+      options.jobs = static_cast<std::size_t>(parsed);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      const long parsed = std::strtol(argv[i] + 7, nullptr, 10);
+      if (parsed < 1) {
+        std::fprintf(stderr, "%s: --jobs must be >= 1\n", argv[0]);
+        std::exit(2);
+      }
+      options.jobs = static_cast<std::size_t>(parsed);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--jobs N]\n  --jobs N  parallel sweep workers "
+                  "(default: hardware threads; results identical for any "
+                  "N)\n",
+                  argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n",
+                   argv[0], argv[i]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+/// The wall-clock speedup line every driver prints after its tables.
+inline void report_sweep(const SweepRunner& runner) {
+  const SweepStats stats = runner.stats();
+  if (stats.runs == 0) return;
+  std::cout << "\n[sweep] " << stats.runs << " runs on " << stats.threads
+            << (stats.threads == 1 ? " thread: " : " threads: ")
+            << format_double(stats.wall_ms / 1000.0, 2) << "s wall, "
+            << format_double(stats.aggregate_ms / 1000.0, 2)
+            << "s aggregate — " << format_double(stats.speedup(), 1)
+            << "x speedup\n";
+}
+
+/// Speedup line for planning-only drivers (table1/table3), which time their
+/// DAG planning fan-out directly instead of going through a SweepRunner.
+inline void report_wall(std::size_t tasks, std::size_t threads,
+                        std::chrono::steady_clock::time_point wall_start) {
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+  std::cout << "\n[sweep] " << tasks << " plans on " << threads
+            << (threads == 1 ? " thread: " : " threads: ")
+            << format_double(wall_ms / 1000.0, 2) << "s wall\n";
 }
 
 }  // namespace bench

@@ -7,7 +7,8 @@
 
 using namespace mrd;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
   const ClusterConfig cluster = main_cluster();
   const std::vector<double>& fractions = default_cache_fractions();
 
@@ -16,20 +17,36 @@ int main() {
   csv.write_row({"workload", "avg_stage_distance", "jct_reduction"});
 
   std::cout << "Figure 11: relationship of performance and stage distance\n\n";
-  std::vector<double> xs, ys;
+  SweepRunner runner(options.jobs);
   const PolicyConfig lru = bench::policy("lru");
   const PolicyConfig mrd = bench::policy("mrd");
+
+  struct Row {
+    const WorkloadSpec* spec;
+    std::shared_ptr<const WorkloadRun> run;
+    PendingBest best;
+  };
+  std::vector<Row> rows;
   for (const WorkloadSpec& spec : sparkbench_workloads()) {
-    const WorkloadRun run = plan_workload(spec, bench::bench_params());
-    const ReferenceDistanceStats stats = reference_distance_stats(run.plan);
-    const BestComparison best =
-        best_improvement(run, cluster, fractions, lru, mrd);
+    const auto run = plan_workload_shared(spec, bench::bench_params());
+    rows.push_back(Row{
+        &spec, run,
+        runner.submit_best(run, cluster, fractions, lru, mrd)});
+  }
+
+  std::vector<double> xs, ys;
+  for (Row& row : rows) {
+    const ReferenceDistanceStats stats =
+        reference_distance_stats(row.run->plan);
+    const BestComparison best = row.best.get();
     const double reduction = 1.0 - best.jct_ratio();
     xs.push_back(stats.avg_stage_distance);
     ys.push_back(reduction);
-    table.add_row({spec.name, format_double(stats.avg_stage_distance, 2),
+    table.add_row({row.spec->name,
+                   format_double(stats.avg_stage_distance, 2),
                    format_percent(reduction, 1)});
-    csv.write_row({spec.key, format_double(stats.avg_stage_distance, 4),
+    csv.write_row({row.spec->key,
+                   format_double(stats.avg_stage_distance, 4),
                    format_double(reduction, 4)});
   }
   table.print(std::cout);
@@ -39,5 +56,6 @@ int main() {
             << " x distance + " << format_double(fit.intercept, 4)
             << "   R^2 = " << format_double(fit.r_squared, 2)
             << "  (paper: R^2 = 0.46, positive slope)\n";
+  bench::report_sweep(runner);
   return 0;
 }

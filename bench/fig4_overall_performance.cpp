@@ -10,7 +10,8 @@
 
 using namespace mrd;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
   const ClusterConfig cluster = main_cluster();
   const std::vector<double>& fractions = default_cache_fractions();
 
@@ -24,27 +25,43 @@ int main() {
   std::cout << "Figure 4: overall performance of MRD (normalized JCT vs LRU, "
                "best cache size per workload)\n\n";
 
-  double sum_evict = 0, sum_prefetch = 0, sum_full = 0;
+  // Queue every (workload × variant × fraction) point, then collect in
+  // workload order — the pool saturates across the whole figure at once.
+  SweepRunner runner(options.jobs);
   const PolicyConfig lru = bench::policy("lru");
+  struct Row {
+    const WorkloadSpec* spec;
+    PendingBest evict, prefetch, full;
+  };
+  std::vector<Row> rows;
   for (const WorkloadSpec& spec : sparkbench_workloads()) {
-    const WorkloadRun run = plan_workload(spec, bench::bench_params());
-    const BestComparison evict = best_improvement(
-        run, cluster, fractions, lru, bench::policy("mrd-evict"));
-    const BestComparison prefetch = best_improvement(
-        run, cluster, fractions, lru, bench::policy("mrd-prefetch"));
-    const BestComparison full =
-        best_improvement(run, cluster, fractions, lru, bench::policy("mrd"));
+    const auto run = plan_workload_shared(spec, bench::bench_params());
+    rows.push_back(Row{
+        &spec,
+        runner.submit_best(run, cluster, fractions, lru,
+                           bench::policy("mrd-evict")),
+        runner.submit_best(run, cluster, fractions, lru,
+                           bench::policy("mrd-prefetch")),
+        runner.submit_best(run, cluster, fractions, lru,
+                           bench::policy("mrd"))});
+  }
+
+  double sum_evict = 0, sum_prefetch = 0, sum_full = 0;
+  for (Row& row : rows) {
+    const BestComparison evict = row.evict.get();
+    const BestComparison prefetch = row.prefetch.get();
+    const BestComparison full = row.full.get();
 
     sum_evict += evict.jct_ratio();
     sum_prefetch += prefetch.jct_ratio();
     sum_full += full.jct_ratio();
 
-    table.add_row({spec.name, format_percent(evict.jct_ratio(), 0),
+    table.add_row({row.spec->name, format_percent(evict.jct_ratio(), 0),
                    format_percent(prefetch.jct_ratio(), 0),
                    format_percent(full.jct_ratio(), 0),
                    format_percent(full.baseline.hit_ratio(), 0),
                    format_percent(full.candidate.hit_ratio(), 0)});
-    csv.write_row({spec.key, format_double(evict.jct_ratio(), 4),
+    csv.write_row({row.spec->key, format_double(evict.jct_ratio(), 4),
                    format_double(prefetch.jct_ratio(), 4),
                    format_double(full.jct_ratio(), 4),
                    format_double(full.baseline.hit_ratio(), 4),
@@ -61,5 +78,6 @@ int main() {
   std::cout << "\n(100% = LRU at the same cache size; lower is better. "
                "Paper: evict 62%, prefetch 67%, full 53% on average.)\n";
   std::cout << "CSV: " << bench::out_dir() << "/fig4_overall_performance.csv\n";
+  bench::report_sweep(runner);
   return 0;
 }

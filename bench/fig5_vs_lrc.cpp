@@ -7,7 +7,8 @@
 
 using namespace mrd;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
   const ClusterConfig cluster = lrc_cluster();
   const std::vector<double>& fractions = default_cache_fractions();
   const char* keys[] = {"cc", "svdpp", "pr", "scc", "po"};
@@ -18,25 +19,39 @@ int main() {
                  "mrd_vs_lrc_ratio"});
 
   std::cout << "Figure 5: comparison to the LRC policy (LRC cluster)\n\n";
-  double sum_ratio = 0;
+  SweepRunner runner(options.jobs);
   const PolicyConfig lru = bench::policy("lru");
+  struct Row {
+    const char* key;
+    std::shared_ptr<const WorkloadRun> run;
+    PendingBest lrc, mrd;
+  };
+  std::vector<Row> rows;
   for (const char* key : keys) {
-    const WorkloadRun run =
-        plan_workload(*find_workload(key), bench::bench_params());
-    const BestComparison lrc =
-        best_improvement(run, cluster, fractions, lru, bench::policy("lrc"));
-    const BestComparison mrd =
-        best_improvement(run, cluster, fractions, lru, bench::policy("mrd"));
+    const auto run =
+        plan_workload_shared(*find_workload(key), bench::bench_params());
+    rows.push_back(Row{
+        key, run,
+        runner.submit_best(run, cluster, fractions, lru,
+                           bench::policy("lrc")),
+        runner.submit_best(run, cluster, fractions, lru,
+                           bench::policy("mrd"))});
+  }
+
+  double sum_ratio = 0;
+  for (Row& row : rows) {
+    const BestComparison lrc = row.lrc.get();
+    const BestComparison mrd = row.mrd.get();
     // Best-vs-best comparison (the paper takes the best values from each
     // system's experiments): ratio of the two normalized-JCT improvements.
     const double vs_lrc = lrc.jct_ratio() == 0
                                  ? 1.0
                                  : mrd.jct_ratio() / lrc.jct_ratio();
     sum_ratio += vs_lrc;
-    table.add_row({run.name, format_percent(lrc.jct_ratio(), 0),
+    table.add_row({row.run->name, format_percent(lrc.jct_ratio(), 0),
                    format_percent(mrd.jct_ratio(), 0),
                    format_percent(vs_lrc, 0)});
-    csv.write_row({key, format_double(lrc.jct_ratio(), 4),
+    csv.write_row({row.key, format_double(lrc.jct_ratio(), 4),
                    format_double(mrd.jct_ratio(), 4),
                    format_double(vs_lrc, 4)});
   }
@@ -46,5 +61,6 @@ int main() {
   table.print(std::cout);
   std::cout << "\n(MRD vs LRC < 100% means MRD is faster. Paper: up to 45% "
                "improvement, ~30% average.)\n";
+  bench::report_sweep(runner);
   return 0;
 }

@@ -8,7 +8,8 @@
 
 using namespace mrd;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
   const ClusterConfig cluster = memtune_cluster();
   const std::vector<double>& fractions = default_cache_fractions();
   const char* keys[] = {"pr", "logr", "km", "cc", "svdpp"};
@@ -21,25 +22,39 @@ int main() {
 
   std::cout << "Figure 6: comparison to the MemTune policy (MemTune "
                "cluster)\n\n";
-  double sum_ratio = 0;
+  SweepRunner runner(options.jobs);
   const PolicyConfig lru = bench::policy("lru");
+  struct Row {
+    const char* key;
+    std::shared_ptr<const WorkloadRun> run;
+    PendingBest memtune, mrd;
+  };
+  std::vector<Row> rows;
   for (const char* key : keys) {
-    const WorkloadRun run =
-        plan_workload(*find_workload(key), bench::bench_params());
-    const BestComparison memtune = best_improvement(
-        run, cluster, fractions, lru, bench::policy("memtune"));
-    const BestComparison mrd =
-        best_improvement(run, cluster, fractions, lru, bench::policy("mrd"));
+    const auto run =
+        plan_workload_shared(*find_workload(key), bench::bench_params());
+    rows.push_back(Row{
+        key, run,
+        runner.submit_best(run, cluster, fractions, lru,
+                           bench::policy("memtune")),
+        runner.submit_best(run, cluster, fractions, lru,
+                           bench::policy("mrd"))});
+  }
+
+  double sum_ratio = 0;
+  for (Row& row : rows) {
+    const BestComparison memtune = row.memtune.get();
+    const BestComparison mrd = row.mrd.get();
     // Best-vs-best comparison (the paper takes the best values from each
     // system's experiments): ratio of the two normalized-JCT improvements.
     const double vs_memtune = memtune.jct_ratio() == 0
                                  ? 1.0
                                  : mrd.jct_ratio() / memtune.jct_ratio();
     sum_ratio += vs_memtune;
-    table.add_row({run.name, format_percent(memtune.jct_ratio(), 0),
+    table.add_row({row.run->name, format_percent(memtune.jct_ratio(), 0),
                    format_percent(mrd.jct_ratio(), 0),
                    format_percent(vs_memtune, 0)});
-    csv.write_row({key, format_double(memtune.jct_ratio(), 4),
+    csv.write_row({row.key, format_double(memtune.jct_ratio(), 4),
                    format_double(mrd.jct_ratio(), 4),
                    format_double(vs_memtune, 4)});
   }
@@ -49,5 +64,6 @@ int main() {
   table.print(std::cout);
   std::cout << "\n(MRD vs MemTune < 100% means MRD is faster. Paper: up to "
                "68% improvement, ~33% average, LogR slightly negative.)\n";
+  bench::report_sweep(runner);
   return 0;
 }

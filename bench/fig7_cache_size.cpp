@@ -6,10 +6,11 @@
 
 using namespace mrd;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
   const ClusterConfig cluster = lrc_cluster();
-  const WorkloadRun run =
-      plan_workload(*find_workload("svdpp"), bench::bench_params());
+  const auto run =
+      plan_workload_shared(*find_workload("svdpp"), bench::bench_params());
   const std::vector<double> fractions = {0.2, 0.35, 0.5, 0.65, 0.8, 1.0};
   const char* policies[] = {"lru", "lrc", "mrd"};
 
@@ -22,25 +23,36 @@ int main() {
   std::cout << "Figure 7: effects of cache size on hit ratio and runtime "
                "(SVD++, LRC cluster)\n\n";
 
+  // All (fraction × policy) points queued before any is collected.
+  SweepRunner runner(options.jobs);
+  std::vector<std::vector<std::shared_future<RunMetrics>>> futures;
+  for (double fraction : fractions) {
+    auto& per_policy = futures.emplace_back();
+    for (const char* pol : policies) {
+      per_policy.push_back(runner.submit(
+          SweepJob{run, cluster, fraction, bench::policy(pol)}));
+    }
+  }
+
   // For the savings computation: smallest fraction at which each policy
   // reaches LRU's hit ratio at the largest size × a target level.
   std::vector<std::vector<double>> hits(3), jcts(3);
-  for (double fraction : fractions) {
+  for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
+    const double fraction = fractions[fi];
     std::vector<std::string> row;
     row.push_back(format_double(fraction, 2));
     row.push_back(
-        human_bytes(cache_bytes_per_node_for(run, cluster, fraction)));
+        human_bytes(cache_bytes_per_node_for(*run, cluster, fraction)));
     std::vector<std::string> hit_cells, jct_cells;
     for (int i = 0; i < 3; ++i) {
-      const RunMetrics m =
-          run_with_policy(run, cluster, fraction, bench::policy(policies[i]));
+      const RunMetrics m = futures[fi][i].get();
       hits[i].push_back(m.hit_ratio());
       jcts[i].push_back(m.jct_ms);
       hit_cells.push_back(format_percent(m.hit_ratio(), 0));
       jct_cells.push_back(format_double(m.jct_ms / 1000.0, 2));
       csv.write_row({format_double(fraction, 2),
                      std::to_string(
-                         cache_bytes_per_node_for(run, cluster, fraction)),
+                         cache_bytes_per_node_for(*run, cluster, fraction)),
                      policies[i], format_double(m.hit_ratio(), 4),
                      format_double(m.jct_ms, 1)});
     }
@@ -66,5 +78,6 @@ int main() {
             << format_percent(1.0 - mrd_needed / 0.5, 0)
             << " cache-space savings (paper: 63% for SVD++).\n";
   std::cout << "CSV: " << bench::out_dir() << "/fig7_cache_size.csv\n";
+  bench::report_sweep(runner);
   return 0;
 }

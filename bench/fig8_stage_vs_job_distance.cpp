@@ -7,7 +7,8 @@
 
 using namespace mrd;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
   const ClusterConfig cluster = main_cluster();
   AsciiTable table({"Workload", "Active/Jobs", "MRD(stage) JCT", "MRD(job) JCT",
                     "job vs stage", "hit(stage)", "hit(job)"});
@@ -17,33 +18,51 @@ int main() {
 
   std::cout << "Figure 8: effects of the reference distance metric (stage vs "
                "job)\n\n";
+  SweepRunner runner(options.jobs);
   const PolicyConfig lru = bench::policy("lru");
+
+  // Fixed cache size (0.5 of the live working set) and ad-hoc DAG
+  // visibility: per the paper's §4.1, within a single submitted job the
+  // job metric is "always either infinite or zero", so this mode is where
+  // the stage metric's extra granularity is operative.
+  const double fraction = 0.5;
+  const auto vis = DagVisibility::kAdHoc;
+
+  struct Row {
+    const char* key;
+    std::shared_ptr<const WorkloadRun> run;
+    std::shared_future<RunMetrics> lru, stage, job;
+  };
+  std::vector<Row> rows;
   for (const char* key : {"lp", "km"}) {
-    const WorkloadRun run =
-        plan_workload(*find_workload(key), bench::bench_params());
-    const WorkloadCharacteristics c = workload_characteristics(run.plan);
+    const auto run =
+        plan_workload_shared(*find_workload(key), bench::bench_params());
+    rows.push_back(Row{
+        key, run,
+        runner.submit(SweepJob{run, cluster, fraction, lru, vis}),
+        runner.submit(
+            SweepJob{run, cluster, fraction, bench::policy("mrd"), vis}),
+        runner.submit(
+            SweepJob{run, cluster, fraction, bench::policy("mrd-job"),
+                     vis})});
+  }
+
+  for (Row& row : rows) {
+    const WorkloadCharacteristics c = workload_characteristics(row.run->plan);
     const double ratio_active_jobs =
         static_cast<double>(c.active_stages) / static_cast<double>(c.jobs);
 
-    // Fixed cache size (0.5 of the live working set) and ad-hoc DAG
-    // visibility: per the paper's §4.1, within a single submitted job the
-    // job metric is "always either infinite or zero", so this mode is where
-    // the stage metric's extra granularity is operative.
-    const double fraction = 0.5;
-    const auto vis = DagVisibility::kAdHoc;
-    const RunMetrics lru_m = run_with_policy(run, cluster, fraction, lru, vis);
-    const RunMetrics stage_m =
-        run_with_policy(run, cluster, fraction, bench::policy("mrd"), vis);
-    const RunMetrics job_m =
-        run_with_policy(run, cluster, fraction, bench::policy("mrd-job"), vis);
+    const RunMetrics lru_m = row.lru.get();
+    const RunMetrics stage_m = row.stage.get();
+    const RunMetrics job_m = row.job.get();
 
-    table.add_row({run.name, format_double(ratio_active_jobs, 2),
+    table.add_row({row.run->name, format_double(ratio_active_jobs, 2),
                    bench::norm_jct(stage_m.jct_ms, lru_m.jct_ms),
                    bench::norm_jct(job_m.jct_ms, lru_m.jct_ms),
                    format_percent(job_m.jct_ms / stage_m.jct_ms, 0),
                    format_percent(stage_m.hit_ratio(), 0),
                    format_percent(job_m.hit_ratio(), 0)});
-    csv.write_row({key, format_double(ratio_active_jobs, 2),
+    csv.write_row({row.key, format_double(ratio_active_jobs, 2),
                    format_double(stage_m.jct_ms / lru_m.jct_ms, 4),
                    format_double(job_m.jct_ms / lru_m.jct_ms, 4),
                    format_double(stage_m.hit_ratio(), 4),
@@ -52,5 +71,6 @@ int main() {
   table.print(std::cout);
   std::cout << "\n(Paper: the job metric significantly degrades LP, which has "
                "a high active-stage-to-job ratio, but barely affects KM.)\n";
+  bench::report_sweep(runner);
   return 0;
 }

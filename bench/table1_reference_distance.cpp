@@ -3,25 +3,45 @@
 //
 // Shape targets: SparkBench distances dwarf HiBench's; LP and SCC have the
 // suite's largest values; Sort/WordCount are exactly zero.
+//
+// Planning-only driver: no cache simulation runs. Each workload's DAG plan
+// and distance stats are computed on the thread pool (--jobs N).
 #include "bench_common.h"
 
 #include "dag/dag_analysis.h"
 #include "dag/dag_scheduler.h"
+#include "util/thread_pool.h"
+
+#include <chrono>
+#include <future>
 
 using namespace mrd;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
   AsciiTable table({"Workload", "Avg Job Dist", "Max Job Dist",
                     "Avg Stage Dist", "Max Stage Dist"});
   CsvWriter csv(bench::out_dir() + "/table1_reference_distance.csv");
   csv.write_row({"suite", "workload", "avg_job", "max_job", "avg_stage",
                  "max_stage"});
 
+  const auto wall_start = std::chrono::steady_clock::now();
+  ThreadPool pool(options.jobs);
+  std::size_t planned = 0;
+
   const auto emit = [&](const char* suite,
                         const std::vector<WorkloadSpec>& specs) {
+    std::vector<std::future<ReferenceDistanceStats>> futures;
     for (const WorkloadSpec& spec : specs) {
-      const ExecutionPlan plan = DagScheduler::plan(spec.make({}));
-      const ReferenceDistanceStats s = reference_distance_stats(plan);
+      futures.push_back(pool.submit([&spec] {
+        const ExecutionPlan plan = DagScheduler::plan(spec.make({}));
+        return reference_distance_stats(plan);
+      }));
+    }
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const WorkloadSpec& spec = specs[i];
+      const ReferenceDistanceStats s = futures[i].get();
+      ++planned;
       table.add_row({spec.name, format_double(s.avg_job_distance, 2),
                      std::to_string(s.max_job_distance),
                      format_double(s.avg_stage_distance, 2),
@@ -41,5 +61,6 @@ int main() {
   table.print(std::cout);
   std::cout << "\nCSV: " << bench::out_dir()
             << "/table1_reference_distance.csv\n";
+  bench::report_wall(planned, options.jobs, wall_start);
   return 0;
 }

@@ -1,14 +1,22 @@
 // Regenerates Table 3: SparkBench workload characteristics (input sizes,
 // stage inputs, shuffle volumes, job/stage/RDD counts, references per
 // RDD/stage, job type).
+//
+// Planning-only driver: no cache simulation runs. Each workload's DAG plan
+// and characteristics are computed on the thread pool (--jobs N).
 #include "bench_common.h"
 
 #include "dag/dag_analysis.h"
 #include "dag/dag_scheduler.h"
+#include "util/thread_pool.h"
+
+#include <chrono>
+#include <future>
 
 using namespace mrd;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
   AsciiTable table({"Workload", "Category", "Input", "Stage Inputs",
                     "Shuffle R/W", "Jobs", "Stages", "Active", "RDDs",
                     "Refs/RDD", "Refs/Stage", "Job Type"});
@@ -19,9 +27,19 @@ int main() {
 
   std::cout << "Table 3: SparkBench benchmark characteristics (inputs scaled "
                "to 1/8 of the paper's)\n\n";
-  for (const WorkloadSpec& spec : sparkbench_workloads()) {
-    const ExecutionPlan plan = DagScheduler::plan(spec.make({}));
-    const WorkloadCharacteristics c = workload_characteristics(plan);
+  const auto wall_start = std::chrono::steady_clock::now();
+  ThreadPool pool(options.jobs);
+  const std::vector<WorkloadSpec>& specs = sparkbench_workloads();
+  std::vector<std::future<WorkloadCharacteristics>> futures;
+  for (const WorkloadSpec& spec : specs) {
+    futures.push_back(pool.submit([&spec] {
+      const ExecutionPlan plan = DagScheduler::plan(spec.make({}));
+      return workload_characteristics(plan);
+    }));
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const WorkloadSpec& spec = specs[i];
+    const WorkloadCharacteristics c = futures[i].get();
     table.add_row({spec.name, spec.category, human_bytes(c.input_bytes),
                    human_bytes(c.total_stage_input_bytes),
                    human_bytes(c.shuffle_bytes), std::to_string(c.jobs),
@@ -38,5 +56,6 @@ int main() {
   table.print(std::cout);
   std::cout << "\nCSV: " << bench::out_dir()
             << "/table3_workload_characteristics.csv\n";
+  bench::report_wall(specs.size(), options.jobs, wall_start);
   return 0;
 }

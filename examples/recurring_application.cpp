@@ -42,7 +42,7 @@ int main() {
   std::cout << "After run 1 the store holds "
             << (store.has_profile(run.name) ? "a profile" : "nothing")
             << " for this application (runs="
-            << store.find(run.name)->runs << ").\n";
+            << store.lookup(run.name)->runs << ").\n";
 
   // Run 2: recognized as recurring; the stored profile is replayed.
   const RunMetrics second =
@@ -63,8 +63,8 @@ int main() {
   table.print(std::cout);
   std::cout << "\nThe recurring run should beat the ad-hoc run (whole-DAG "
                "visibility), and both should beat LRU.\nStore state: runs="
-            << store.find(run.name)->runs
-            << " discrepancies=" << store.find(run.name)->discrepancies
+            << store.lookup(run.name)->runs
+            << " discrepancies=" << store.lookup(run.name)->discrepancies
             << "\n";
   return 0;
 }

@@ -12,8 +12,7 @@ MemoryStore::MemoryStore(std::uint64_t capacity_bytes, CachePolicy* policy)
   MRD_CHECK(policy_ != nullptr);
 }
 
-InsertResult MemoryStore::insert(const BlockId& block, std::uint64_t bytes,
-                                 bool notify_policy) {
+InsertResult MemoryStore::insert(const BlockId& block, std::uint64_t bytes) {
   InsertResult result;
   if (bytes > capacity_) return result;  // can never fit
   if (auto it = blocks_.find(block); it != blocks_.end()) {
@@ -33,10 +32,11 @@ InsertResult MemoryStore::insert(const BlockId& block, std::uint64_t bytes,
     }
   }
   blocks_.emplace(block, bytes);
-  insertion_order_.push_back(block);
+  order_index_.emplace(block,
+                       insertion_order_.insert(insertion_order_.end(), block));
   used_ += bytes;
   result.stored = true;
-  if (notify_policy) policy_->on_block_cached(block, bytes);
+  policy_->on_block_cached(block, bytes);
   return result;
 }
 
@@ -45,7 +45,7 @@ bool MemoryStore::remove(const BlockId& block) {
   if (it == blocks_.end()) return false;
   used_ -= it->second;
   blocks_.erase(it);
-  std::erase(insertion_order_, block);
+  unlink_insertion_order(block);
   policy_->on_block_evicted(block);
   return true;
 }
@@ -80,13 +80,17 @@ bool MemoryStore::evict_one(
   if (choice && blocks_.count(*choice)) {
     victim = *choice;
   } else {
-    // Fallback: oldest insertion still resident. A policy that nominates a
-    // non-resident block (bug) or nothing must not stall the store.
+    // Fallback: oldest insertion still resident. The policy sees every
+    // insert, so a non-resident nomination (or none at all, with blocks
+    // resident) is a policy bug; the store must still make progress.
     MRD_CHECK(!insertion_order_.empty());
     victim = insertion_order_.front();
     if (choice) {
       MRD_LOG_WARN << "policy nominated non-resident victim "
                    << to_string(*choice) << "; falling back to FIFO";
+    } else {
+      MRD_LOG_WARN << "policy offered no victim with " << blocks_.size()
+                   << " blocks resident; falling back to FIFO";
     }
   }
   const auto it = blocks_.find(victim);
@@ -94,10 +98,17 @@ bool MemoryStore::evict_one(
   const std::uint64_t victim_bytes = it->second;
   used_ -= victim_bytes;
   blocks_.erase(it);
-  std::erase(insertion_order_, victim);
+  unlink_insertion_order(victim);
   policy_->on_block_evicted(victim);
   evicted->emplace_back(victim, victim_bytes);
   return true;
+}
+
+void MemoryStore::unlink_insertion_order(const BlockId& block) {
+  const auto it = order_index_.find(block);
+  MRD_CHECK(it != order_index_.end());
+  insertion_order_.erase(it->second);
+  order_index_.erase(it);
 }
 
 }  // namespace mrd

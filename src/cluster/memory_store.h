@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <unordered_map>
 #include <vector>
 
@@ -28,9 +29,10 @@ class MemoryStore {
   /// larger than the whole capacity is rejected (stored == false). If the
   /// policy runs out of victims (or keeps nominating non-residents), the
   /// store falls back to evicting its own insertion-ordered blocks so
-  /// progress is guaranteed.
-  InsertResult insert(const BlockId& block, std::uint64_t bytes,
-                      bool notify_policy = true);
+  /// progress is guaranteed. The policy always observes the insert via
+  /// on_block_cached — a resident block it has never seen could neither be
+  /// nominated for eviction nor ranked for prefetch decisions.
+  InsertResult insert(const BlockId& block, std::uint64_t bytes);
 
   /// Removes `block` (purge or external eviction). Notifies the policy.
   /// Returns false if not resident.
@@ -59,12 +61,17 @@ class MemoryStore {
   /// only when the store is empty.
   bool evict_one(std::vector<std::pair<BlockId, std::uint64_t>>* evicted);
 
+  void unlink_insertion_order(const BlockId& block);
+
   std::uint64_t capacity_;
   std::uint64_t used_ = 0;
   CachePolicy* policy_;
   std::unordered_map<BlockId, std::uint64_t> blocks_;  // block -> bytes
-  /// Insertion order for the progress-guarantee fallback.
-  std::vector<BlockId> insertion_order_;
+  /// Insertion order for the progress-guarantee fallback. List + iterator
+  /// map (as in LruPolicy) so per-eviction unlinking is O(1); a flat vector
+  /// made large-cache sweeps quadratic in resident blocks.
+  std::list<BlockId> insertion_order_;
+  std::unordered_map<BlockId, std::list<BlockId>::iterator> order_index_;
 };
 
 }  // namespace mrd

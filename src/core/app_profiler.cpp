@@ -25,8 +25,9 @@ ReferenceProfileMap AppProfiler::parse_job(const ExecutionPlan& plan,
 ReferenceProfileMap AppProfiler::application_profile(
     const ExecutionPlan& plan) {
   if (store_ != nullptr) {
-    if (const StoredProfile* stored = store_->find(plan.app().name())) {
-      return stored->references;
+    if (std::optional<StoredProfile> stored =
+            store_->lookup(plan.app().name())) {
+      return std::move(stored->references);
     }
   }
   return build_reference_profile(plan);

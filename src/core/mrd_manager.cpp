@@ -39,6 +39,11 @@ void MrdManager::on_stage_start(const ExecutionPlan& plan, JobId job,
   last_stage_started_ = stage;
   current_stage_ = stage;
   current_job_ = job;
+  // References strictly before this stage can no longer be served — they
+  // belong to stages the scheduler skipped (whose end event never fired to
+  // consume them). Dropping them here keeps every mid-stage distance query
+  // free of stale front references.
+  table_.consume_stale_before(stage);
 }
 
 void MrdManager::on_stage_end(const ExecutionPlan& plan, JobId job,

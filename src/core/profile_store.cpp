@@ -2,8 +2,17 @@
 
 namespace mrd {
 
+std::optional<StoredProfile> ProfileStore::lookup(
+    const std::string& app_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = profiles_.find(app_name);
+  if (it == profiles_.end()) return std::nullopt;
+  return it->second;
+}
+
 void ProfileStore::record(const std::string& app_name,
                           ReferenceProfileMap profile) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = profiles_.find(app_name);
   if (it == profiles_.end()) {
     StoredProfile stored;

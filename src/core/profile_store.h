@@ -6,10 +6,16 @@
 // each RDD." The AppProfiler records a profile on every run and checks
 // subsequent runs for discrepancies (§4.4 fault tolerance: profile creation
 // resumes/repairs across runs).
+//
+// The store is shared across simulation runs — including runs executing
+// concurrently on sweep worker threads — so every accessor locks and lookups
+// return copies rather than interior pointers.
 #pragma once
 
 #include <cstddef>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <string>
 
 #include "dag/reference_profile.h"
@@ -28,24 +34,30 @@ struct StoredProfile {
 class ProfileStore {
  public:
   bool has_profile(const std::string& app_name) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return profiles_.count(app_name) > 0;
   }
 
-  const StoredProfile* find(const std::string& app_name) const {
-    const auto it = profiles_.find(app_name);
-    return it == profiles_.end() ? nullptr : &it->second;
-  }
+  /// Copy of the stored profile, or nullopt if this application is unknown.
+  std::optional<StoredProfile> lookup(const std::string& app_name) const;
 
   /// Records a completed run's profile. If a stored profile exists and
   /// differs, it is replaced and the discrepancy counter bumped.
   void record(const std::string& app_name, ReferenceProfileMap profile);
 
-  std::size_t size() const { return profiles_.size(); }
-  void clear() { profiles_.clear(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return profiles_.size();
+  }
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    profiles_.clear();
+  }
 
  private:
   static bool profiles_equal(const ReferenceProfileMap& a,
                              const ReferenceProfileMap& b);
+  mutable std::mutex mu_;
   std::map<std::string, StoredProfile> profiles_;
 };
 

@@ -33,6 +33,13 @@ void RefDistanceTable::consume_rdd_up_to(RddId rdd, StageId stage) {
   while (!q.empty() && q.front().stage <= stage) q.pop_front();
 }
 
+void RefDistanceTable::consume_stale_before(StageId stage) {
+  for (auto& [rdd, q] : refs_) {
+    (void)rdd;
+    while (!q.empty() && q.front().stage < stage) q.pop_front();
+  }
+}
+
 std::optional<StageId> RefDistanceTable::next_reference_stage(RddId rdd) const {
   const auto it = refs_.find(rdd);
   if (it == refs_.end() || it->second.empty()) return std::nullopt;
@@ -49,16 +56,24 @@ double RefDistanceTable::distance(RddId rdd, StageId current_stage,
                                   JobId current_job,
                                   DistanceMetric metric) const {
   const auto it = refs_.find(rdd);
-  if (it == refs_.end() || it->second.empty()) return kInfiniteDistance;
-  const Ref& next = it->second.front();
-  if (metric == DistanceMetric::kStage) {
-    return next.stage >= current_stage
-               ? static_cast<double>(next.stage - current_stage)
+  if (it == refs_.end()) return kInfiniteDistance;
+  // References are sorted, so the first one at or after the current stage is
+  // the nearest servable reference. Anything before it is stale — an entry
+  // whose execution position already passed (normally removed by
+  // consume_stale_before at stage start) — and must not make a dead RDD
+  // look maximally hot under either metric.
+  for (const Ref& ref : it->second) {
+    if (ref.stage < current_stage) continue;
+    if (metric == DistanceMetric::kStage) {
+      return static_cast<double>(ref.stage - current_stage);
+    }
+    // A reference later in this very job reads as distance 0 under the job
+    // metric (§4.1: within one job the metric is "either infinite or zero").
+    return ref.job >= current_job
+               ? static_cast<double>(ref.job - current_job)
                : 0.0;
   }
-  return next.job >= current_job
-             ? static_cast<double>(next.job - current_job)
-             : 0.0;
+  return kInfiniteDistance;
 }
 
 bool RefDistanceTable::is_inactive(RddId rdd) const {
@@ -71,8 +86,11 @@ std::vector<RddId> RefDistanceTable::by_ascending_distance(
   std::vector<std::pair<double, RddId>> scored;
   for (const auto& [rdd, q] : refs_) {
     if (q.empty()) continue;
-    scored.emplace_back(distance(rdd, current_stage, current_job, metric),
-                        rdd);
+    const double d = distance(rdd, current_stage, current_job, metric);
+    // All-stale queues read as infinite: effectively inactive, so they are
+    // no more a prefetch candidate than an empty queue.
+    if (d == kInfiniteDistance) continue;
+    scored.emplace_back(d, rdd);
   }
   std::sort(scored.begin(), scored.end());
   std::vector<RddId> out;

@@ -36,6 +36,13 @@ class RefDistanceTable {
   /// *next* reference for the remainder of the stage.
   void consume_rdd_up_to(RddId rdd, StageId stage);
 
+  /// Drops references *strictly before* `stage`: they belong to execution
+  /// positions already in the past (e.g. stages the scheduler skipped, whose
+  /// end event therefore never consumed them) and can no longer be served.
+  /// Called at stage start so that no query during the stage can observe a
+  /// stale front reference.
+  void consume_stale_before(StageId stage);
+
   /// Nearest remaining reference of `rdd`, or nullopt when inactive.
   std::optional<StageId> next_reference_stage(RddId rdd) const;
   std::optional<JobId> next_reference_job(RddId rdd) const;
@@ -43,7 +50,9 @@ class RefDistanceTable {
   /// Reference distance from the current position under `metric`;
   /// +infinity when the RDD has no remaining references (the paper encodes
   /// this as a negative sentinel; we use +inf so that "largest distance
-  /// evicted first" needs no special case).
+  /// evicted first" needs no special case). References whose stage is
+  /// already in the past are skipped under *both* metrics — a stale entry
+  /// must read as dead (infinite), never as maximally hot (0).
   double distance(RddId rdd, StageId current_stage, JobId current_job,
                   DistanceMetric metric) const;
 

@@ -1,12 +1,30 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "dag/dag_analysis.h"
 #include "dag/dag_scheduler.h"
 #include "util/check.h"
 
 namespace mrd {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Non-owning shared_ptr for the synchronous wrappers, which block until
+/// every queued run finished and therefore outlive their jobs.
+std::shared_ptr<const WorkloadRun> borrow(const WorkloadRun& run) {
+  return std::shared_ptr<const WorkloadRun>(&run,
+                                            [](const WorkloadRun*) {});
+}
+
+}  // namespace
 
 WorkloadRun plan_workload(const WorkloadSpec& spec,
                           const WorkloadParams& params) {
@@ -18,6 +36,11 @@ WorkloadRun plan_workload(const WorkloadSpec& spec,
   MRD_CHECK(run.app != nullptr);
   run.plan = DagScheduler::plan(run.app);
   return run;
+}
+
+std::shared_ptr<const WorkloadRun> plan_workload_shared(
+    const WorkloadSpec& spec, const WorkloadParams& params) {
+  return std::make_shared<const WorkloadRun>(plan_workload(spec, params));
 }
 
 const std::vector<double>& default_cache_fractions() {
@@ -54,16 +77,115 @@ RunMetrics run_with_policy(const WorkloadRun& run, ClusterConfig cluster,
   return run_plan(run.plan, config);
 }
 
+// ---------------------------------------------------------------------------
+// Parallel sweep
+// ---------------------------------------------------------------------------
+
+std::vector<RunMetrics> run_sweep_parallel(const std::vector<SweepJob>& jobs,
+                                           std::size_t threads,
+                                           SweepStats* stats) {
+  SweepRunner runner(threads);
+  std::vector<std::shared_future<RunMetrics>> futures;
+  futures.reserve(jobs.size());
+  for (const SweepJob& job : jobs) futures.push_back(runner.submit(job));
+  std::vector<RunMetrics> results;
+  results.reserve(jobs.size());
+  for (auto& future : futures) results.push_back(future.get());
+  if (stats != nullptr) *stats = runner.stats();
+  return results;
+}
+
+SweepRunner::SweepRunner(std::size_t threads)
+    : threads_(std::max<std::size_t>(1, threads)),
+      pool_(threads_),
+      start_(Clock::now()) {}
+
+std::shared_future<RunMetrics> SweepRunner::submit(SweepJob job) {
+  MRD_CHECK(job.run != nullptr);
+  return pool_
+      .submit([this, job = std::move(job)]() -> RunMetrics {
+        const Clock::time_point t0 = Clock::now();
+        RunMetrics metrics = run_with_policy(*job.run, job.cluster,
+                                             job.fraction, job.policy,
+                                             job.visibility);
+        const double elapsed = ms_between(t0, Clock::now());
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++runs_done_;
+          aggregate_ms_ += elapsed;
+        }
+        return metrics;
+      })
+      .share();
+}
+
+PendingBest SweepRunner::submit_best(std::shared_ptr<const WorkloadRun> run,
+                                     const ClusterConfig& cluster,
+                                     const std::vector<double>& fractions,
+                                     const PolicyConfig& baseline,
+                                     const PolicyConfig& candidate,
+                                     DagVisibility visibility) {
+  MRD_CHECK(!fractions.empty());
+  PendingBest pending;
+  pending.fractions_ = fractions;
+  pending.baseline_.reserve(fractions.size());
+  pending.candidate_.reserve(fractions.size());
+  for (double f : fractions) {
+    pending.baseline_.push_back(
+        submit(SweepJob{run, cluster, f, baseline, visibility}));
+    pending.candidate_.push_back(
+        submit(SweepJob{run, cluster, f, candidate, visibility}));
+  }
+  return pending;
+}
+
+SweepStats SweepRunner::stats() const {
+  SweepStats stats;
+  stats.threads = threads_;
+  stats.wall_ms = ms_between(start_, Clock::now());
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.runs = runs_done_;
+  stats.aggregate_ms = aggregate_ms_;
+  return stats;
+}
+
+BestComparison PendingBest::get() {
+  BestComparison best;
+  bool first = true;
+  for (std::size_t i = 0; i < fractions_.size(); ++i) {
+    RunMetrics base = baseline_[i].get();
+    RunMetrics cand = candidate_[i].get();
+    const double ratio =
+        base.jct_ms == 0.0 ? 1.0 : cand.jct_ms / base.jct_ms;
+    if (first || ratio < best.jct_ratio()) {
+      best.fraction = fractions_[i];
+      best.baseline = std::move(base);
+      best.candidate = std::move(cand);
+      first = false;
+    }
+  }
+  return best;
+}
+
 std::vector<SweepPoint> sweep_cache(const WorkloadRun& run,
                                     const ClusterConfig& cluster,
                                     const std::vector<double>& fractions,
                                     const PolicyConfig& policy,
-                                    DagVisibility visibility) {
+                                    DagVisibility visibility,
+                                    SweepRunner* runner) {
+  SweepRunner serial(1);
+  if (runner == nullptr) runner = &serial;
+  const std::shared_ptr<const WorkloadRun> shared = borrow(run);
+  std::vector<std::shared_future<RunMetrics>> futures;
+  futures.reserve(fractions.size());
+  for (double f : fractions) {
+    futures.push_back(
+        runner->submit(SweepJob{shared, cluster, f, policy, visibility}));
+  }
   std::vector<SweepPoint> points;
   points.reserve(fractions.size());
-  for (double f : fractions) {
-    points.push_back(
-        SweepPoint{f, run_with_policy(run, cluster, f, policy, visibility)});
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    points.push_back(SweepPoint{fractions[i], futures[i].get()});
   }
   return points;
 }
@@ -73,23 +195,15 @@ BestComparison best_improvement(const WorkloadRun& run,
                                 const std::vector<double>& fractions,
                                 const PolicyConfig& baseline,
                                 const PolicyConfig& candidate,
-                                DagVisibility visibility) {
+                                DagVisibility visibility,
+                                SweepRunner* runner) {
   MRD_CHECK(!fractions.empty());
-  BestComparison best;
-  bool first = true;
-  for (double f : fractions) {
-    RunMetrics base = run_with_policy(run, cluster, f, baseline, visibility);
-    RunMetrics cand = run_with_policy(run, cluster, f, candidate, visibility);
-    const double ratio =
-        base.jct_ms == 0.0 ? 1.0 : cand.jct_ms / base.jct_ms;
-    if (first || ratio < best.jct_ratio()) {
-      best.fraction = f;
-      best.baseline = std::move(base);
-      best.candidate = std::move(cand);
-      first = false;
-    }
-  }
-  return best;
+  SweepRunner serial(1);
+  if (runner == nullptr) runner = &serial;
+  return runner
+      ->submit_best(borrow(run), cluster, fractions, baseline, candidate,
+                    visibility)
+      .get();
 }
 
 }  // namespace mrd

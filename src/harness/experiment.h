@@ -3,9 +3,21 @@
 // the methodology of the paper's §5.3 ("executed each workload with several
 // cache sizes ... best overall performance gain for each workload-cache
 // combination", normalized against LRU at the same cache size).
+//
+// Every simulation run is independent and deterministic, so the sweep is
+// embarrassingly parallel: `run_sweep_parallel` (and the deferred
+// `SweepRunner` API the benches use) fans (workload, policy, cache-fraction)
+// points out across a ThreadPool and reassembles results in input order.
+// Results are guaranteed byte-identical to a serial sweep regardless of the
+// thread count — per-run state (policies, block managers, profiler, RNG) is
+// private to the run, and the only cross-run state (the ProfileStore) is
+// internally synchronized.
 #pragma once
 
+#include <chrono>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,6 +25,7 @@
 #include "dag/execution_plan.h"
 #include "exec/application_runner.h"
 #include "metrics/run_metrics.h"
+#include "util/thread_pool.h"
 #include "workloads/workloads.h"
 
 namespace mrd {
@@ -27,6 +40,12 @@ struct WorkloadRun {
 
 WorkloadRun plan_workload(const WorkloadSpec& spec,
                           const WorkloadParams& params = {});
+
+/// plan_workload, shared: the form the deferred sweep API takes, so that
+/// queued runs keep the plan alive however long the pool takes to reach
+/// them.
+std::shared_ptr<const WorkloadRun> plan_workload_shared(
+    const WorkloadSpec& spec, const WorkloadParams& params = {});
 
 /// Cache fractions swept by default: total cluster cache as a fraction of
 /// the workload's persisted working set.
@@ -44,17 +63,44 @@ RunMetrics run_with_policy(const WorkloadRun& run, ClusterConfig cluster,
                            double cache_fraction, const PolicyConfig& policy,
                            DagVisibility visibility = DagVisibility::kRecurring);
 
+// ---------------------------------------------------------------------------
+// Parallel sweep
+// ---------------------------------------------------------------------------
+
+/// One independent experiment point of a sweep.
+struct SweepJob {
+  std::shared_ptr<const WorkloadRun> run;
+  ClusterConfig cluster;
+  double fraction = 0.0;
+  PolicyConfig policy;
+  DagVisibility visibility = DagVisibility::kRecurring;
+};
+
+/// Wall-clock accounting of a sweep — the source of the benches' speedup
+/// line.
+struct SweepStats {
+  std::size_t runs = 0;
+  std::size_t threads = 1;
+  double wall_ms = 0.0;       // elapsed time of the whole sweep
+  double aggregate_ms = 0.0;  // sum of per-run execution times
+  /// Effective parallel speedup: aggregate simulation time per elapsed
+  /// second. 1.0 on a single thread by construction.
+  double speedup() const {
+    return wall_ms > 0.0 ? aggregate_ms / wall_ms : 1.0;
+  }
+};
+
+/// Executes every job across `threads` workers (<=1 = inline on the calling
+/// thread) and returns results **in input order**, regardless of completion
+/// order. Deterministic: output is byte-identical for every thread count.
+std::vector<RunMetrics> run_sweep_parallel(const std::vector<SweepJob>& jobs,
+                                           std::size_t threads,
+                                           SweepStats* stats = nullptr);
+
 struct SweepPoint {
   double fraction = 0.0;
   RunMetrics metrics;
 };
-
-std::vector<SweepPoint> sweep_cache(const WorkloadRun& run,
-                                    const ClusterConfig& cluster,
-                                    const std::vector<double>& fractions,
-                                    const PolicyConfig& policy,
-                                    DagVisibility visibility =
-                                        DagVisibility::kRecurring);
 
 /// Fig-4-style selection: runs baseline and candidate at every fraction and
 /// returns the pair at the fraction where candidate JCT / baseline JCT is
@@ -68,12 +114,72 @@ struct BestComparison {
   }
 };
 
+/// A deferred best-of-fractions comparison: the underlying runs execute on
+/// the SweepRunner's pool; get() blocks for them and reduces on the calling
+/// thread (so pool workers never wait on each other).
+class PendingBest {
+ public:
+  BestComparison get();
+
+ private:
+  friend class SweepRunner;
+  std::vector<double> fractions_;
+  std::vector<std::shared_future<RunMetrics>> baseline_;
+  std::vector<std::shared_future<RunMetrics>> candidate_;
+};
+
+/// Deferred sweep executor: benches queue every experiment point up front
+/// (`submit` / `submit_best`), then collect in presentation order — the pool
+/// saturates across workloads, policies and fractions at once. A SweepRunner
+/// with 1 thread executes submissions inline and is the serial baseline the
+/// parallel results are guaranteed identical to.
+class SweepRunner {
+ public:
+  explicit SweepRunner(std::size_t threads = 1);
+
+  std::size_t threads() const { return threads_; }
+
+  /// Queues one run. The future resolves with its metrics (or rethrows the
+  /// run's exception on get()).
+  std::shared_future<RunMetrics> submit(SweepJob job);
+
+  /// Queues baseline + candidate at every fraction.
+  PendingBest submit_best(std::shared_ptr<const WorkloadRun> run,
+                          const ClusterConfig& cluster,
+                          const std::vector<double>& fractions,
+                          const PolicyConfig& baseline,
+                          const PolicyConfig& candidate,
+                          DagVisibility visibility =
+                              DagVisibility::kRecurring);
+
+  /// Snapshot of runs completed so far; wall_ms is elapsed time since
+  /// construction.
+  SweepStats stats() const;
+
+ private:
+  std::size_t threads_;
+  ThreadPool pool_;
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mu_;
+  std::size_t runs_done_ = 0;
+  double aggregate_ms_ = 0.0;
+};
+
+std::vector<SweepPoint> sweep_cache(const WorkloadRun& run,
+                                    const ClusterConfig& cluster,
+                                    const std::vector<double>& fractions,
+                                    const PolicyConfig& policy,
+                                    DagVisibility visibility =
+                                        DagVisibility::kRecurring,
+                                    SweepRunner* runner = nullptr);
+
 BestComparison best_improvement(const WorkloadRun& run,
                                 const ClusterConfig& cluster,
                                 const std::vector<double>& fractions,
                                 const PolicyConfig& baseline,
                                 const PolicyConfig& candidate,
                                 DagVisibility visibility =
-                                    DagVisibility::kRecurring);
+                                    DagVisibility::kRecurring,
+                                SweepRunner* runner = nullptr);
 
 }  // namespace mrd

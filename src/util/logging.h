@@ -3,6 +3,7 @@
 // is protected by a mutex and messages are emitted as whole lines.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -17,16 +18,20 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
-  bool enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  bool enabled(LogLevel level) const { return level >= this->level(); }
 
   /// Writes one formatted line to stderr. Thread-safe.
   void write(LogLevel level, const std::string& message);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
+  /// Atomic: sweep worker threads consult the level while the main thread
+  /// may reconfigure it.
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
   std::mutex mu_;
 };
 

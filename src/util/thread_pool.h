@@ -1,0 +1,65 @@
+// Fixed-size work-queue thread pool for the experiment harness.
+//
+// Simulation runs are independent and deterministic, so the sweep fans them
+// out across workers and reassembles results in input order; the pool itself
+// is a plain FIFO queue + condition variable, nothing fancier. A pool of
+// size 0 or 1 degenerates to inline execution on the submitting thread,
+// which keeps the serial path free of threading machinery (and of TSan
+// noise) while sharing one code path with the parallel one.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mrd {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers. 0 and 1 both mean "no workers": submit()
+  /// runs the task inline before returning.
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue (every submitted task still runs) and joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 = inline mode).
+  std::size_t size() const { return workers_.size(); }
+
+  /// Submits a callable; the future resolves with its result (or its
+  /// exception). FIFO dispatch: tasks start in submission order.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn&>> {
+    using Result = std::invoke_result_t<Fn&>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    post([task] { (*task)(); });
+    return future;
+  }
+
+  /// Sensible default worker count for CPU-bound sweeps.
+  static std::size_t default_threads();
+
+ private:
+  void post(std::function<void()> task);
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mrd

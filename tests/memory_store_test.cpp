@@ -113,6 +113,71 @@ TEST(MemoryStore, FallsBackWhenPolicyHasNoVictim) {
   EXPECT_EQ(r.evicted.size(), 1u);
 }
 
+/// Test policy that records every notification it receives.
+class CountingPolicy : public CachePolicy {
+ public:
+  std::string_view name() const override { return "counting"; }
+  void on_block_cached(const BlockId& b, std::uint64_t) override {
+    cached.push_back(b);
+  }
+  void on_block_accessed(const BlockId& b) override { accessed.push_back(b); }
+  void on_block_evicted(const BlockId& b) override { evicted.push_back(b); }
+  std::optional<BlockId> choose_victim() override {
+    return cached.empty() ? std::nullopt
+                          : std::optional<BlockId>(cached.front());
+  }
+  std::vector<BlockId> cached, accessed, evicted;
+};
+
+// Regression: insert() used to take a notify_policy flag that could skip
+// on_block_cached, leaving the policy blind to resident blocks (it could
+// then never nominate them, forcing spurious FIFO fallbacks). The policy
+// now observes every store mutation unconditionally.
+TEST(MemoryStore, PolicyObservesEveryInsert) {
+  CountingPolicy policy;
+  MemoryStore store(100, &policy);
+  store.insert(block(1, 0), 40);
+  store.insert(block(1, 1), 40);
+  EXPECT_EQ(policy.cached, (std::vector<BlockId>{block(1, 0), block(1, 1)}));
+  EXPECT_TRUE(policy.accessed.empty());
+
+  // Re-insert of a resident block is an access, not a second cache event.
+  store.insert(block(1, 0), 40);
+  EXPECT_EQ(policy.cached.size(), 2u);
+  EXPECT_EQ(policy.accessed, std::vector<BlockId>{block(1, 0)});
+}
+
+TEST(MemoryStore, PolicyThatTracksInsertsEvictsWithoutFallback) {
+  CountingPolicy policy;  // victim = first block it saw cached
+  MemoryStore store(100, &policy);
+  store.insert(block(1, 0), 60);
+  const InsertResult r = store.insert(block(1, 1), 60);
+  EXPECT_TRUE(r.stored);
+  ASSERT_EQ(r.evicted.size(), 1u);
+  EXPECT_EQ(r.evicted[0].first, block(1, 0));
+  EXPECT_EQ(policy.evicted, std::vector<BlockId>{block(1, 0)});
+}
+
+// Exercises the O(1) insertion-order bookkeeping (list + iterator map):
+// removals from the middle must unlink exactly the right node so the FIFO
+// fallback still walks survivors oldest-first.
+TEST(MemoryStore, FallbackOrderSurvivesInterleavedRemovals) {
+  FixedVictimPolicy policy;  // never nominates anything valid
+  MemoryStore store(90, &policy);
+  store.insert(block(1, 0), 30);
+  store.insert(block(1, 1), 30);
+  store.insert(block(1, 2), 30);
+  EXPECT_TRUE(store.remove(block(1, 1)));  // middle of insertion order
+
+  // Needs 60 free: falls back to FIFO twice — oldest survivors 1,0 then 1,2.
+  const InsertResult r = store.insert(block(2, 0), 90);
+  EXPECT_TRUE(r.stored);
+  ASSERT_EQ(r.evicted.size(), 2u);
+  EXPECT_EQ(r.evicted[0].first, block(1, 0));
+  EXPECT_EQ(r.evicted[1].first, block(1, 2));
+  EXPECT_EQ(store.num_blocks(), 1u);
+}
+
 TEST(MemoryStore, ResidentBlocksListsAll) {
   LruPolicy lru;
   MemoryStore store(100, &lru);

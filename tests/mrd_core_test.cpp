@@ -1,6 +1,7 @@
 // AppProfiler + MrdManager + ProfileStore behaviour (paper §4.1/§4.2).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "api/spark_context.h"
@@ -46,8 +47,9 @@ TEST(AppProfiler, JobFragmentsAccumulate) {
   for (JobId j = 0; j < 3; ++j) recording.parse_job(plan, j);
   recording.on_application_end(plan);
   ASSERT_TRUE(store.has_profile("recurring-app"));
-  EXPECT_EQ(store.find("recurring-app")->references.at(cached).references.size(),
-            2u);
+  EXPECT_EQ(
+      store.lookup("recurring-app")->references.at(cached).references.size(),
+      2u);
 }
 
 TEST(AppProfiler, RecurringDetection) {
@@ -85,15 +87,15 @@ TEST(ProfileStore, RecordsRunsAndDiscrepancies) {
   ProfileStore store;
   store.record("app", profile);
   store.record("app", profile);
-  EXPECT_EQ(store.find("app")->runs, 2u);
-  EXPECT_EQ(store.find("app")->discrepancies, 0u);
+  EXPECT_EQ(store.lookup("app")->runs, 2u);
+  EXPECT_EQ(store.lookup("app")->discrepancies, 0u);
 
   // A run with a different profile is a discrepancy; the profile refreshes.
   ReferenceProfileMap changed = profile;
   changed.at(cached).references.pop_back();
   store.record("app", changed);
-  EXPECT_EQ(store.find("app")->discrepancies, 1u);
-  EXPECT_EQ(store.find("app")->references.at(cached).references.size(), 1u);
+  EXPECT_EQ(store.lookup("app")->discrepancies, 1u);
+  EXPECT_EQ(store.lookup("app")->references.at(cached).references.size(), 1u);
 }
 
 TEST(ProfileStore, SeparateApplications) {
@@ -101,7 +103,7 @@ TEST(ProfileStore, SeparateApplications) {
   store.record("a", {});
   EXPECT_TRUE(store.has_profile("a"));
   EXPECT_FALSE(store.has_profile("b"));
-  EXPECT_EQ(store.find("b"), nullptr);
+  EXPECT_FALSE(store.lookup("b").has_value());
   store.clear();
   EXPECT_EQ(store.size(), 0u);
 }
@@ -206,6 +208,42 @@ TEST(MrdManager, PrefetchOrderIsAscendingDistance) {
   ASSERT_EQ(order.size(), 2u);
   EXPECT_EQ(order[0], near.id());
   EXPECT_EQ(order[1], far.id());
+}
+
+// Regression: a reference left behind by a skipped stage (whose end event
+// never fired to consume it) used to read as distance 0.0, making a dead
+// block look maximally hot. Stage starts now drop stale front references,
+// so the block reads infinite and lands on the purge list.
+TEST(MrdManager, SkippedStageReferencesGoStaleNotHot) {
+  SparkContext sc("stale-app");
+  auto data = sc.text_file("in", 2, 100).map("base").cache();
+  data.map("m1").count("job0");
+  data.map("m2").count("job1");
+  sc.text_file("other", 2, 100).map("m3").count("job2");
+  const ExecutionPlan plan = DagScheduler::plan(std::move(sc).build_shared());
+
+  auto mgr = make_manager();
+  mgr->on_application_start(plan);
+
+  // Drive every executed stage start WITHOUT its end event: the stage-end
+  // consume never runs, as when the scheduler skips stages.
+  StageId last_stage = 0;
+  JobId last_job = 0;
+  for (const JobInfo& job : plan.jobs()) {
+    for (const StageExecution& rec : job.stages) {
+      if (!rec.executed) continue;
+      mgr->on_stage_start(plan, rec.job, rec.stage);
+      last_stage = rec.stage;
+      last_job = rec.job;
+    }
+  }
+  // The final stage belongs to job2, which never references `data`; both of
+  // data's references are now behind us.
+  ASSERT_GT(last_job, 1u);
+  ASSERT_EQ(mgr->current_stage(), last_stage);
+  EXPECT_TRUE(std::isinf(mgr->distance(data.id())));
+  const auto purge = mgr->purge_rdds();
+  EXPECT_NE(std::find(purge.begin(), purge.end(), data.id()), purge.end());
 }
 
 TEST(MrdManager, StatsCountBroadcasts) {

@@ -1,0 +1,147 @@
+// Determinism and accounting of the parallel sweep harness: running the same
+// jobs on any thread count must produce byte-identical metrics to the serial
+// sweep (the guarantee the bench drivers and README promise).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace mrd {
+namespace {
+
+/// Exact equality across every RunMetrics field — doubles included, since
+/// parallel runs re-execute the identical deterministic simulation.
+void expect_identical(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.jct_ms, b.jct_ms);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses_from_disk, b.misses_from_disk);
+  EXPECT_EQ(a.misses_recompute, b.misses_recompute);
+  EXPECT_EQ(a.blocks_cached, b.blocks_cached);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.spills, b.spills);
+  EXPECT_EQ(a.purged_blocks, b.purged_blocks);
+  EXPECT_EQ(a.uncacheable_blocks, b.uncacheable_blocks);
+  EXPECT_EQ(a.prefetches_issued, b.prefetches_issued);
+  EXPECT_EQ(a.prefetches_completed, b.prefetches_completed);
+  EXPECT_EQ(a.prefetches_useful, b.prefetches_useful);
+  EXPECT_EQ(a.prefetches_wasted, b.prefetches_wasted);
+  EXPECT_EQ(a.disk_bytes_read, b.disk_bytes_read);
+  EXPECT_EQ(a.disk_bytes_written, b.disk_bytes_written);
+  EXPECT_EQ(a.network_bytes, b.network_bytes);
+  EXPECT_EQ(a.recompute_cpu_ms, b.recompute_cpu_ms);
+  EXPECT_EQ(a.per_rdd_probes, b.per_rdd_probes);
+  EXPECT_EQ(a.mrd_table_peak_entries, b.mrd_table_peak_entries);
+  EXPECT_EQ(a.mrd_update_messages, b.mrd_update_messages);
+  ASSERT_EQ(a.stage_timings.size(), b.stage_timings.size());
+  for (std::size_t i = 0; i < a.stage_timings.size(); ++i) {
+    EXPECT_EQ(a.stage_timings[i].stage, b.stage_timings[i].stage);
+    EXPECT_EQ(a.stage_timings[i].job, b.stage_timings[i].job);
+    EXPECT_EQ(a.stage_timings[i].duration_ms, b.stage_timings[i].duration_ms);
+    EXPECT_EQ(a.stage_timings[i].compute_ms, b.stage_timings[i].compute_ms);
+    EXPECT_EQ(a.stage_timings[i].io_ms, b.stage_timings[i].io_ms);
+  }
+}
+
+std::vector<SweepJob> small_sweep() {
+  WorkloadParams params;
+  params.scale = 0.25;
+  ClusterConfig cluster = main_cluster();
+  cluster.num_nodes = 4;
+
+  std::vector<SweepJob> jobs;
+  for (const char* key : {"tc", "pr"}) {
+    const auto run = plan_workload_shared(*find_workload(key), params);
+    for (const char* policy : {"lru", "mrd"}) {
+      for (double fraction : {0.5, 1.0}) {
+        PolicyConfig pc;
+        pc.name = policy;
+        jobs.push_back(SweepJob{run, cluster, fraction, pc});
+      }
+    }
+  }
+  return jobs;
+}
+
+TEST(ParallelHarness, ParallelSweepIsByteIdenticalToSerial) {
+  const std::vector<SweepJob> jobs = small_sweep();
+  const std::vector<RunMetrics> serial = run_sweep_parallel(jobs, 1);
+  const std::vector<RunMetrics> parallel = run_sweep_parallel(jobs, 4);
+  ASSERT_EQ(serial.size(), jobs.size());
+  ASSERT_EQ(parallel.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(serial[i], parallel[i]);
+  }
+}
+
+TEST(ParallelHarness, ResultsComeBackInInputOrder) {
+  const std::vector<SweepJob> jobs = small_sweep();
+  const std::vector<RunMetrics> results = run_sweep_parallel(jobs, 4);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(results[i].workload, jobs[i].run->name);
+    EXPECT_EQ(results[i].policy, jobs[i].policy.name);
+  }
+}
+
+TEST(ParallelHarness, SweepStatsAccountForEveryRun) {
+  const std::vector<SweepJob> jobs = small_sweep();
+  SweepStats stats;
+  run_sweep_parallel(jobs, 2, &stats);
+  EXPECT_EQ(stats.runs, jobs.size());
+  EXPECT_EQ(stats.threads, 2u);
+  EXPECT_GT(stats.wall_ms, 0.0);
+  EXPECT_GT(stats.aggregate_ms, 0.0);
+  EXPECT_GT(stats.speedup(), 0.0);
+}
+
+TEST(ParallelHarness, SubmitBestMatchesSerialBestImprovement) {
+  WorkloadParams params;
+  params.scale = 0.25;
+  ClusterConfig cluster = main_cluster();
+  cluster.num_nodes = 4;
+  const auto run = plan_workload_shared(*find_workload("pr"), params);
+  const std::vector<double> fractions = {0.4, 0.6, 0.8};
+  PolicyConfig lru, mrd;
+  lru.name = "lru";
+  mrd.name = "mrd";
+
+  const BestComparison serial =
+      best_improvement(*run, cluster, fractions, lru, mrd);
+
+  SweepRunner runner(4);
+  BestComparison parallel =
+      runner.submit_best(run, cluster, fractions, lru, mrd).get();
+
+  EXPECT_EQ(parallel.fraction, serial.fraction);
+  expect_identical(serial.baseline, parallel.baseline);
+  expect_identical(serial.candidate, parallel.candidate);
+}
+
+TEST(ParallelHarness, SerialWrappersAcceptASharedRunner) {
+  WorkloadParams params;
+  params.scale = 0.25;
+  ClusterConfig cluster = main_cluster();
+  cluster.num_nodes = 4;
+  const WorkloadRun run = plan_workload(*find_workload("tc"), params);
+  PolicyConfig pc;
+  pc.name = "lru";
+
+  const auto plain = sweep_cache(run, cluster, {0.5, 1.0}, pc);
+  SweepRunner runner(2);
+  const auto pooled = sweep_cache(run, cluster, {0.5, 1.0}, pc,
+                                  DagVisibility::kRecurring, &runner);
+  ASSERT_EQ(pooled.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(pooled[i].fraction, plain[i].fraction);
+    expect_identical(plain[i].metrics, pooled[i].metrics);
+  }
+  EXPECT_EQ(runner.stats().runs, 2u);
+}
+
+}  // namespace
+}  // namespace mrd

@@ -64,12 +64,54 @@ TEST(RefDistanceTable, ConsumeRddUpToTouchesOnlyThatRdd) {
   EXPECT_FALSE(table.is_inactive(2));
 }
 
-TEST(RefDistanceTable, PastReferenceClampsToZero) {
+TEST(RefDistanceTable, StaleReferenceIsSkippedNotClampedToZero) {
   RefDistanceTable table;
   table.add_reference(1, 2, 1);
-  // Current position already past the reference (not yet consumed): the
-  // reference is "now", distance 0.
+  // Current position already past the reference and no future references: the
+  // stale entry must not make the block look maximally hot. The block is dead
+  // under the stage metric — its distance is infinite.
+  EXPECT_TRUE(std::isinf(table.distance(1, 5, 2, kStage)));
+  // With a later reference present, distance is measured to that one.
+  table.add_reference(1, 8, 3);
+  EXPECT_DOUBLE_EQ(table.distance(1, 5, 2, kStage), 3.0);
+  // A reference at exactly the current stage is "now", distance 0.
+  table.add_reference(1, 5, 2);
   EXPECT_DOUBLE_EQ(table.distance(1, 5, 2, kStage), 0.0);
+}
+
+TEST(RefDistanceTable, JobMetricClampsSameJobPastStageToZero) {
+  RefDistanceTable table;
+  // Reference in an earlier stage of the *current or later* job: under the
+  // job metric the job gap clamps at zero (still "this job").
+  table.add_reference(1, 7, 2);
+  EXPECT_DOUBLE_EQ(table.distance(1, 7, 2, kJob), 0.0);
+  // But a reference from an earlier *stage* than the current one is stale
+  // under both metrics.
+  RefDistanceTable stale;
+  stale.add_reference(1, 3, 2);
+  EXPECT_TRUE(std::isinf(stale.distance(1, 7, 2, kJob)));
+}
+
+TEST(RefDistanceTable, ConsumeStaleBeforeDropsPastStageRefs) {
+  RefDistanceTable table;
+  table.add_reference(1, 2, 0);
+  table.add_reference(1, 6, 1);
+  table.add_reference(2, 3, 0);
+  table.consume_stale_before(/*stage=*/4);
+  // rdd 1 keeps its future reference; rdd 2's only reference was stale, so
+  // it is retired to the inactive set.
+  EXPECT_EQ(table.next_reference_stage(1), 6u);
+  EXPECT_TRUE(table.is_inactive(2));
+  EXPECT_EQ(table.num_entries(), 1u);
+}
+
+TEST(RefDistanceTable, AscendingDistanceExcludesStaleOnlyRdds) {
+  RefDistanceTable table;
+  table.add_reference(1, 1, 0);  // stale at stage 4, never consumed
+  table.add_reference(2, 5, 0);
+  const auto order = table.by_ascending_distance(4, 0, kStage);
+  // rdd 1's stale reference must not rank it as distance-0 hottest.
+  EXPECT_EQ(order, std::vector<RddId>{2});
 }
 
 TEST(RefDistanceTable, AscendingDistanceOrder) {

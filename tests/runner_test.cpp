@@ -175,8 +175,10 @@ TEST(Runner, ProfileStoreMakesSecondRunRecurring) {
   recurring.visibility = DagVisibility::kRecurring;
   const auto second = run_application(app, recurring);
   EXPECT_GT(second.hits, 0u);
-  EXPECT_EQ(store.find(app->name())->runs, 2u);
-  EXPECT_EQ(store.find(app->name())->discrepancies, 0u);
+  const auto stored = store.lookup(app->name());
+  ASSERT_TRUE(stored.has_value());
+  EXPECT_EQ(stored->runs, 2u);
+  EXPECT_EQ(stored->discrepancies, 0u);
 }
 
 TEST(Runner, AllPoliciesCompleteOnTheSameApp) {

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace mrd {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResultThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ZeroOrOneThreadRunsInline) {
+  for (std::size_t n : {0u, 1u}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.size(), 0u);  // no worker threads spawned
+    const auto caller = std::this_thread::get_id();
+    auto future = pool.submit([] { return std::this_thread::get_id(); });
+    // Inline mode executes during submit, on the calling thread.
+    EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(future.get(), caller);
+  }
+}
+
+TEST(ThreadPool, WorkersRunOffTheCallingThread) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  auto future = pool.submit([] { return std::this_thread::get_id(); });
+  EXPECT_NE(future.get(), std::this_thread::get_id());
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 200; ++i) {
+      futures.push_back(pool.submit([&counter] { ++counter; }));
+    }
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 200);
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  }
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto future = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, TasksCanBeSubmittedFromTasks) {
+  // A task that submits (but does not wait on) further work must not
+  // deadlock; the follow-up also runs.
+  ThreadPool pool(2);
+  std::atomic<bool> nested_ran{false};
+  std::future<void> nested;
+  pool.submit([&] {
+        nested = pool.submit([&nested_ran] { nested_ran = true; });
+      })
+      .get();
+  nested.get();
+  EXPECT_TRUE(nested_ran.load());
+}
+
+TEST(ThreadPool, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace mrd
