@@ -4,8 +4,11 @@
 //
 // Every driver accepts `--jobs N` (default: all hardware threads) and fans
 // its independent simulation runs out through a SweepRunner; results are
-// byte-identical to `--jobs 1`. Each driver ends with a wall-clock speedup
-// line from `report_sweep`.
+// byte-identical to `--jobs 1`. `--node-jobs N` additionally fans the
+// per-node phases *inside* each run — it only engages with `--jobs 1`
+// (cross-run parallelism wins otherwise) and is likewise byte-identical for
+// every value. Each driver ends with a wall-clock speedup line from
+// `report_sweep`.
 #pragma once
 
 #include <chrono>
@@ -56,43 +59,63 @@ inline std::string norm_jct(double candidate_ms, double baseline_ms) {
 struct Options {
   /// Worker threads for the sweep (`--jobs N`; 1 = serial).
   std::size_t jobs = ThreadPool::default_threads();
+  /// Intra-run node workers (`--node-jobs N`); engages only with --jobs 1.
+  std::size_t node_jobs = 1;
 };
+
+/// Parses one `--flag N` / `--flag=N` positive integer; returns false if
+/// `argv[*i]` is not `flag`. Exits on a malformed count.
+inline bool parse_count_flag(int argc, char** argv, int* i,
+                             std::string_view flag, std::string_view alias,
+                             std::size_t* out) {
+  const std::string_view arg = argv[*i];
+  const char* text = nullptr;
+  if (arg == flag || (!alias.empty() && arg == alias)) {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "%s: %s requires a count\n", argv[0], argv[*i]);
+      std::exit(2);
+    }
+    text = argv[++*i];
+  } else if (arg.substr(0, flag.size()) == flag &&
+             arg.size() > flag.size() && arg[flag.size()] == '=') {
+    text = argv[*i] + flag.size() + 1;
+  } else {
+    return false;
+  }
+  const long parsed = std::strtol(text, nullptr, 10);
+  if (parsed < 1) {
+    std::fprintf(stderr, "%s: %.*s must be >= 1\n", argv[0],
+                 static_cast<int>(flag.size()), flag.data());
+    std::exit(2);
+  }
+  *out = static_cast<std::size_t>(parsed);
+  return true;
+}
 
 /// Parses bench flags; exits on malformed or unknown arguments.
 inline Options parse_options(int argc, char** argv) {
   Options options;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg == "--jobs" || arg == "-j") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s: %s requires a count\n", argv[0],
-                     argv[i]);
-        std::exit(2);
-      }
-      const long parsed = std::strtol(argv[++i], nullptr, 10);
-      if (parsed < 1) {
-        std::fprintf(stderr, "%s: --jobs must be >= 1\n", argv[0]);
-        std::exit(2);
-      }
-      options.jobs = static_cast<std::size_t>(parsed);
-    } else if (arg.rfind("--jobs=", 0) == 0) {
-      const long parsed = std::strtol(argv[i] + 7, nullptr, 10);
-      if (parsed < 1) {
-        std::fprintf(stderr, "%s: --jobs must be >= 1\n", argv[0]);
-        std::exit(2);
-      }
-      options.jobs = static_cast<std::size_t>(parsed);
-    } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--jobs N]\n  --jobs N  parallel sweep workers "
-                  "(default: hardware threads; results identical for any "
-                  "N)\n",
-                  argv[0]);
-      std::exit(0);
-    } else {
-      std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n",
-                   argv[0], argv[i]);
-      std::exit(2);
+    if (parse_count_flag(argc, argv, &i, "--jobs", "-j", &options.jobs) ||
+        parse_count_flag(argc, argv, &i, "--node-jobs", "",
+                         &options.node_jobs)) {
+      continue;
     }
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--jobs N] [--node-jobs N]\n"
+          "  --jobs N       parallel sweep workers (default: hardware "
+          "threads;\n"
+          "                 results identical for any N)\n"
+          "  --node-jobs N  per-run node workers, used only when --jobs 1\n"
+          "                 (results identical for any N)\n",
+          argv[0]);
+      std::exit(0);
+    }
+    std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n", argv[0],
+                 argv[i]);
+    std::exit(2);
   }
   return options;
 }
@@ -106,7 +129,14 @@ inline void report_sweep(const SweepRunner& runner) {
             << format_double(stats.wall_ms / 1000.0, 2) << "s wall, "
             << format_double(stats.aggregate_ms / 1000.0, 2)
             << "s aggregate — " << format_double(stats.speedup(), 1)
-            << "x speedup\n";
+            << "x speedup; queue "
+            << format_double(stats.mean_queue_ms(), 1)
+            << "ms mean, run σ "
+            << format_double(stats.run_stddev_ms(), 1) << "ms";
+  if (runner.node_jobs() > 1) {
+    std::cout << "; node-jobs " << runner.node_jobs();
+  }
+  std::cout << "\n";
 }
 
 /// Speedup line for planning-only drivers (table1/table3), which time their

@@ -1,0 +1,190 @@
+// Core-simulator performance microbench: times the heaviest workload ×
+// policy runs (the graph workloads at 8× the default scale, cache fraction
+// 0.5) and reports the speedup over the recorded pre-optimization baselines,
+// with a per-subsystem breakdown from the runner's PhaseTimers.
+//
+// Writes BENCH_core.json (cwd) with the raw samples, medians, speedups and
+// phase profile; the committed copy at the repo root records the numbers on
+// the reference container. Unlike the figure drivers this bench reports wall
+// clock, so its output is machine-dependent by nature.
+//
+//   perf_microbench [--repeat N] [--node-jobs N] [--scale S]
+//
+// Each scenario runs N times (default 5) and reports the median; simulation
+// results are deterministic, so repeats only smooth scheduler noise.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace mrd;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Baseline {
+  const char* workload;
+  const char* policy;
+  /// Median wall ms of the same scenario on the reference container at the
+  /// pre-optimization tree (commit f9d3c62), RelWithDebInfo, single thread.
+  double ms;
+};
+
+// Measured with the same harness (scale 8, fraction 0.5, median of 3)
+// before the dense-ID data-structure work landed.
+constexpr Baseline kSeedBaselines[] = {
+    {"scc", "lru", 58.41}, {"scc", "mrd", 543.94}, {"lp", "lru", 42.09},
+    {"lp", "mrd", 406.02}, {"pr", "lru", 7.15},    {"pr", "mrd", 33.88},
+};
+
+constexpr double kFraction = 0.5;
+
+struct Result {
+  std::string workload;
+  std::string policy;
+  double baseline_ms = 0.0;
+  double median_ms = 0.0;
+  std::vector<double> samples_ms;
+  PhaseTimers phases;  // accumulated over all repeats
+  double speedup() const {
+    return median_ms > 0.0 ? baseline_ms / median_ms : 0.0;
+  }
+};
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+std::string json_number(double value) { return format_double(value, 3); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t repeat = 5;
+  std::size_t node_jobs = 1;
+  double scale = 8.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (bench::parse_count_flag(argc, argv, &i, "--repeat", "-r", &repeat) ||
+        bench::parse_count_flag(argc, argv, &i, "--node-jobs", "",
+                                &node_jobs)) {
+      continue;
+    }
+    if (arg == "--scale" && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--repeat N] [--node-jobs N] [--scale S]\n"
+          "  --repeat N     samples per scenario, median reported "
+          "(default 5)\n"
+          "  --node-jobs N  intra-run node workers (default 1; results "
+          "identical)\n"
+          "  --scale S      workload scale (default 8; baselines assume "
+          "8)\n",
+          argv[0]);
+      return 0;
+    }
+    std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n", argv[0],
+                 argv[i]);
+    return 2;
+  }
+
+  WorkloadParams params = bench::bench_params(scale);
+  const ClusterConfig cluster = main_cluster();
+
+  std::printf("Core simulator microbench: scale %.1f, fraction %.2f, "
+              "median of %zu, node-jobs %zu\n\n",
+              scale, kFraction, repeat, node_jobs);
+  AsciiTable table({"Scenario", "Baseline", "Now", "Speedup", "Top phases"});
+
+  std::vector<Result> results;
+  for (const Baseline& scenario : kSeedBaselines) {
+    const auto run =
+        plan_workload_shared(*find_workload(scenario.workload), params);
+    ClusterConfig sized = cluster;
+    sized.cache_bytes_per_node =
+        cache_bytes_per_node_for(*run, cluster, kFraction);
+
+    Result result;
+    result.workload = scenario.workload;
+    result.policy = scenario.policy;
+    result.baseline_ms = scenario.ms;
+
+    RunConfig config;
+    config.cluster = sized;
+    config.policy = bench::policy(scenario.policy);
+    config.node_jobs = node_jobs;
+    config.phase_timers = &result.phases;
+    for (std::size_t r = 0; r < repeat; ++r) {
+      const Clock::time_point t0 = Clock::now();
+      run_plan(run->plan, config);
+      result.samples_ms.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count());
+    }
+    result.median_ms = median(result.samples_ms);
+
+    // The two heaviest phases, as share of total timed phase ms.
+    std::vector<std::pair<double, std::string_view>> shares;
+    for (std::size_t p = 0; p < kNumSimPhases; ++p) {
+      shares.emplace_back(result.phases.ms[p], kSimPhaseNames[p]);
+    }
+    std::sort(shares.rbegin(), shares.rend());
+    const double phase_total = result.phases.total();
+    std::string top;
+    for (std::size_t p = 0; p < 2 && phase_total > 0.0; ++p) {
+      if (!top.empty()) top += ", ";
+      top += std::string(shares[p].second) + " " +
+             format_percent(shares[p].first / phase_total, 0);
+    }
+
+    table.add_row({result.workload + "/" + result.policy,
+                   format_double(result.baseline_ms, 2) + " ms",
+                   format_double(result.median_ms, 2) + " ms",
+                   format_double(result.speedup(), 2) + "x", top});
+    results.push_back(std::move(result));
+  }
+
+  table.print(std::cout);
+  std::printf("\n(Baselines: commit f9d3c62 on the reference container; "
+              "speedup = baseline / median.)\n");
+
+  std::ofstream json("BENCH_core.json");
+  json << "{\n  \"bench\": \"perf_microbench\",\n"
+       << "  \"baseline_commit\": \"f9d3c62\",\n"
+       << "  \"scale\": " << json_number(scale) << ",\n"
+       << "  \"cache_fraction\": " << json_number(kFraction) << ",\n"
+       << "  \"repeat\": " << repeat << ",\n"
+       << "  \"node_jobs\": " << node_jobs << ",\n"
+       << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    json << "    {\n      \"workload\": \"" << r.workload
+         << "\", \"policy\": \"" << r.policy << "\",\n"
+         << "      \"baseline_ms\": " << json_number(r.baseline_ms)
+         << ", \"median_ms\": " << json_number(r.median_ms)
+         << ", \"speedup\": " << json_number(r.speedup()) << ",\n"
+         << "      \"samples_ms\": [";
+    for (std::size_t s = 0; s < r.samples_ms.size(); ++s) {
+      json << (s ? ", " : "") << json_number(r.samples_ms[s]);
+    }
+    json << "],\n      \"phase_ms\": {";
+    for (std::size_t p = 0; p < kNumSimPhases; ++p) {
+      json << (p ? ", " : "") << "\"" << kSimPhaseNames[p]
+           << "\": " << json_number(r.phases.ms[p]);
+    }
+    json << "}\n    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::printf("JSON: BENCH_core.json\n");
+  return 0;
+}

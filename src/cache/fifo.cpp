@@ -4,16 +4,18 @@ namespace mrd {
 
 void FifoPolicy::on_block_cached(const BlockId& block, std::uint64_t bytes) {
   (void)bytes;
-  if (index_.count(block)) return;  // re-cache keeps original position
+  const std::uint64_t key = pack_block_id(block);
+  if (index_.contains(key)) return;  // re-cache keeps original position
   order_.push_back(block);
-  index_.emplace(block, std::prev(order_.end()));
+  index_.insert(key, std::prev(order_.end()));
 }
 
 void FifoPolicy::on_block_evicted(const BlockId& block) {
-  auto it = index_.find(block);
-  if (it == index_.end()) return;
-  order_.erase(it->second);
-  index_.erase(it);
+  const std::uint64_t key = pack_block_id(block);
+  if (const auto* it = index_.find(key)) {
+    order_.erase(*it);
+    index_.erase(key);
+  }
 }
 
 std::optional<BlockId> FifoPolicy::choose_victim() {

@@ -3,9 +3,9 @@
 #pragma once
 
 #include <list>
-#include <unordered_map>
 
 #include "cache/cache_policy.h"
+#include "util/flat_hash.h"
 
 namespace mrd {
 
@@ -20,7 +20,7 @@ class FifoPolicy : public CachePolicy {
 
  private:
   std::list<BlockId> order_;  // front = oldest
-  std::unordered_map<BlockId, std::list<BlockId>::iterator> index_;
+  FlatMap64<std::list<BlockId>::iterator> index_;
 };
 
 }  // namespace mrd

@@ -12,10 +12,11 @@ void LruPolicy::on_block_cached(const BlockId& block, std::uint64_t bytes) {
 void LruPolicy::on_block_accessed(const BlockId& block) { touch(block); }
 
 void LruPolicy::on_block_evicted(const BlockId& block) {
-  auto it = index_.find(block);
-  if (it == index_.end()) return;
-  order_.erase(it->second);
-  index_.erase(it);
+  const std::uint64_t key = pack_block_id(block);
+  if (const auto* it = index_.find(key)) {
+    order_.erase(*it);
+    index_.erase(key);
+  }
 }
 
 std::optional<BlockId> LruPolicy::choose_victim() {
@@ -24,13 +25,15 @@ std::optional<BlockId> LruPolicy::choose_victim() {
 }
 
 void LruPolicy::touch(const BlockId& block) {
-  auto it = index_.find(block);
-  if (it != index_.end()) {
-    order_.erase(it->second);
-    index_.erase(it);
+  const std::uint64_t key = pack_block_id(block);
+  if (auto* it = index_.find(key)) {
+    // Relink in place — no allocation, iterator stays valid.
+    order_.splice(order_.begin(), order_, *it);
+    *it = order_.begin();
+    return;
   }
   order_.push_front(block);
-  index_.emplace(block, order_.begin());
+  index_.insert(key, order_.begin());
 }
 
 }  // namespace mrd

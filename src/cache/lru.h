@@ -3,9 +3,9 @@
 #pragma once
 
 #include <list>
-#include <unordered_map>
 
 #include "cache/cache_policy.h"
+#include "util/flat_hash.h"
 
 namespace mrd {
 
@@ -25,7 +25,7 @@ class LruPolicy : public CachePolicy {
 
   // Front = most recently used, back = LRU victim.
   std::list<BlockId> order_;
-  std::unordered_map<BlockId, std::list<BlockId>::iterator> index_;
+  FlatMap64<std::list<BlockId>::iterator> index_;
 };
 
 }  // namespace mrd

@@ -5,9 +5,9 @@
 
 #include <list>
 #include <optional>
-#include <unordered_map>
 
 #include "dag/ids.h"
+#include "util/flat_hash.h"
 
 namespace mrd {
 
@@ -16,22 +16,31 @@ class ResidentSet {
   void insert(const BlockId& block) { touch(block); }
 
   void erase(const BlockId& block) {
-    auto it = index_.find(block);
-    if (it == index_.end()) return;
-    order_.erase(it->second);
-    index_.erase(it);
+    const std::uint64_t key = pack_block_id(block);
+    if (const auto* it = index_.find(key)) {
+      order_.erase(*it);
+      index_.erase(key);
+    }
   }
 
   /// Moves `block` to the most-recently-used position (inserting if absent).
   void touch(const BlockId& block) {
-    erase(block);
+    const std::uint64_t key = pack_block_id(block);
+    if (auto* it = index_.find(key)) {
+      // Relink in place — no allocation, iterator stays valid.
+      order_.splice(order_.begin(), order_, *it);
+      *it = order_.begin();
+      return;
+    }
     order_.push_front(block);
-    index_.emplace(block, order_.begin());
+    index_.insert(key, order_.begin());
   }
 
-  bool contains(const BlockId& block) const { return index_.count(block) > 0; }
+  bool contains(const BlockId& block) const {
+    return index_.contains(pack_block_id(block));
+  }
   bool empty() const { return order_.empty(); }
-  std::size_t size() const { return order_.size(); }
+  std::size_t size() const { return index_.size(); }
 
   /// Resident blocks from least- to most-recently used.
   template <typename Fn>
@@ -58,7 +67,7 @@ class ResidentSet {
 
  private:
   std::list<BlockId> order_;  // front = most recent
-  std::unordered_map<BlockId, std::list<BlockId>::iterator> index_;
+  FlatMap64<std::list<BlockId>::iterator> index_;
 };
 
 }  // namespace mrd

@@ -18,18 +18,23 @@ BlockManager::BlockManager(NodeId node, const ClusterConfig& config,
 ProbeOutcome BlockManager::probe(const BlockId& block, std::uint64_t bytes,
                                  IoCharge* charge) {
   ++stats_.probes;
+  if (block.rdd >= stats_.per_rdd.size()) {
+    stats_.per_rdd.resize(block.rdd + 1);
+  }
   auto& rdd_counts = stats_.per_rdd[block.rdd];
   ++rdd_counts.first;
   if (store_.access(block)) {
     ++stats_.hits;
     ++rdd_counts.second;
-    if (prefetched_unused_.erase(block) > 0) ++stats_.prefetches_useful;
+    if (prefetched_unused_.erase(pack_block_id(block))) {
+      ++stats_.prefetches_useful;
+    }
     return ProbeOutcome::kHit;
   }
   // A queued-but-unserved prefetch is superseded by this demand read.
   cancel_pending_prefetch(block);
 
-  if (on_disk_.count(block)) {
+  if (on_disk_.contains(pack_block_id(block))) {
     ++stats_.disk_hits;
     charge->disk_read_bytes += bytes;
     // Promotion back into memory is a policy decision: Spark's default path
@@ -50,18 +55,20 @@ void BlockManager::cache_block(const BlockId& block, std::uint64_t bytes,
 }
 
 void BlockManager::purge_block(const BlockId& block) {
-  if (prefetched_unused_.erase(block) > 0) ++stats_.prefetches_wasted;
+  if (prefetched_unused_.erase(pack_block_id(block))) {
+    ++stats_.prefetches_wasted;
+  }
   if (store_.remove(block)) ++stats_.purged;
 }
 
 bool BlockManager::issue_prefetch(const BlockId& block, std::uint64_t bytes,
                                   bool forced) {
   if (store_.contains(block)) return false;
-  if (prefetch_queued_.count(block)) return false;
-  if (!on_disk_.count(block)) return false;
+  if (prefetch_queued_.contains(pack_block_id(block))) return false;
+  if (!on_disk_.contains(pack_block_id(block))) return false;
   const double load_ms = static_cast<double>(bytes) * config_.disk_ms_per_byte();
   prefetch_queue_.push_back(PendingPrefetch{block, bytes, load_ms, forced});
-  prefetch_queued_.insert(block);
+  prefetch_queued_.insert(pack_block_id(block));
   queued_bytes_ += bytes;
   ++stats_.prefetches_issued;
   return true;
@@ -83,7 +90,7 @@ double BlockManager::serve_prefetch(double available_ms, IoCharge* charge) {
     const std::uint64_t bytes = head.bytes;
     const bool forced = head.forced;
     prefetch_queue_.pop_front();
-    prefetch_queued_.erase(block);
+    prefetch_queued_.erase(pack_block_id(block));
     queued_bytes_ -= bytes;
 
     const bool fits = bytes <= store_.free_bytes();
@@ -93,7 +100,7 @@ double BlockManager::serve_prefetch(double available_ms, IoCharge* charge) {
       policy_->on_prefetch_insert(false);
       if (stored) {
         ++stats_.prefetches_completed;
-        prefetched_unused_.insert(block);
+        prefetched_unused_.insert(pack_block_id(block));
       } else {
         ++stats_.prefetches_dropped;
       }
@@ -105,7 +112,7 @@ double BlockManager::serve_prefetch(double available_ms, IoCharge* charge) {
 }
 
 bool BlockManager::prefetch_pending(const BlockId& block) const {
-  return prefetch_queued_.count(block) > 0;
+  return prefetch_queued_.contains(pack_block_id(block));
 }
 
 void BlockManager::flush_unstarted_prefetches() {
@@ -115,7 +122,7 @@ void BlockManager::flush_unstarted_prefetches() {
         static_cast<double>(tail.bytes) * config_.disk_ms_per_byte();
     const bool started = tail.remaining_ms < full_ms - 1e-9;
     if (started) break;  // only the head can be partially served; keep it
-    prefetch_queued_.erase(tail.block);
+    prefetch_queued_.erase(pack_block_id(tail.block));
     queued_bytes_ -= tail.bytes;
     prefetch_queue_.pop_back();
   }
@@ -126,9 +133,10 @@ bool BlockManager::insert_with_spill(const BlockId& block, std::uint64_t bytes,
   const InsertResult result = store_.insert(block, bytes);
   for (const auto& [victim, victim_bytes] : result.evicted) {
     ++stats_.evictions;
-    if (prefetched_unused_.erase(victim) > 0) ++stats_.prefetches_wasted;
-    if (config_.spill_on_evict && !on_disk_.count(victim)) {
-      on_disk_.insert(victim);
+    if (prefetched_unused_.erase(pack_block_id(victim))) {
+      ++stats_.prefetches_wasted;
+    }
+    if (config_.spill_on_evict && on_disk_.insert(pack_block_id(victim))) {
       ++stats_.spills;
       charge->disk_write_bytes += victim_bytes;
     }
@@ -142,7 +150,7 @@ bool BlockManager::insert_with_spill(const BlockId& block, std::uint64_t bytes,
 }
 
 void BlockManager::cancel_pending_prefetch(const BlockId& block) {
-  if (prefetch_queued_.erase(block) == 0) return;
+  if (!prefetch_queued_.erase(pack_block_id(block))) return;
   const auto it =
       std::find_if(prefetch_queue_.begin(), prefetch_queue_.end(),
                    [&](const PendingPrefetch& p) { return p.block == block; });

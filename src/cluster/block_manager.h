@@ -9,15 +9,15 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
-#include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "cache/cache_policy.h"
 #include "cluster/cluster_config.h"
 #include "cluster/memory_store.h"
 #include "dag/ids.h"
+#include "util/flat_hash.h"
 
 namespace mrd {
 
@@ -38,7 +38,9 @@ struct NodeCacheStats {
   std::uint64_t hits = 0;
   /// Per-RDD probe/hit counts — lets benches and tests see *which* data a
   /// policy serves from memory (e.g. a hot input thrashing under LRU).
-  std::map<RddId, std::pair<std::uint64_t, std::uint64_t>> per_rdd;  // probes, hits
+  /// Indexed by RddId (IDs are dense), grown on demand; RDDs never probed
+  /// hold {0, 0}.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> per_rdd;  // probes, hits
   std::uint64_t disk_hits = 0;
   std::uint64_t cold_misses = 0;
   std::uint64_t blocks_cached = 0;
@@ -81,7 +83,7 @@ class BlockManager {
 
   bool in_memory(const BlockId& block) const { return store_.contains(block); }
   bool has_disk_copy(const BlockId& block) const {
-    return on_disk_.count(block) > 0;
+    return on_disk_.contains(pack_block_id(block));
   }
 
   // ---- Prefetch path ----
@@ -132,12 +134,12 @@ class BlockManager {
   const ClusterConfig& config_;
   std::unique_ptr<CachePolicy> policy_;
   MemoryStore store_;
-  std::unordered_set<BlockId> on_disk_;
+  FlatSet64 on_disk_;
   std::deque<PendingPrefetch> prefetch_queue_;
-  std::unordered_set<BlockId> prefetch_queued_;
+  FlatSet64 prefetch_queued_;
   std::uint64_t queued_bytes_ = 0;
   /// Prefetched blocks not yet accessed (to classify useful vs. wasted).
-  std::unordered_set<BlockId> prefetched_unused_;
+  FlatSet64 prefetched_unused_;
   NodeCacheStats stats_;
 };
 

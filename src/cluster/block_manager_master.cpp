@@ -51,11 +51,17 @@ void BlockManagerMaster::broadcast_rdd_probed(const ExecutionPlan& plan,
 }
 
 std::size_t BlockManagerMaster::execute_purge() {
+  return execute_purge(0, num_nodes());
+}
+
+std::size_t BlockManagerMaster::execute_purge(NodeId begin, NodeId end) {
+  MRD_CHECK(begin <= end && end <= num_nodes());
   std::size_t purged = 0;
-  for (auto& node : nodes_) {
-    for (const BlockId& block : node->policy().purge_candidates()) {
-      if (node->in_memory(block)) {
-        node->purge_block(block);
+  for (NodeId n = begin; n < end; ++n) {
+    BlockManager& node = *nodes_[n];
+    for (const BlockId& block : node.policy().purge_candidates()) {
+      if (node.in_memory(block)) {
+        node.purge_block(block);
         ++purged;
       }
     }
@@ -69,10 +75,12 @@ NodeCacheStats BlockManagerMaster::aggregate_stats() const {
     const NodeCacheStats& s = node->stats();
     total.probes += s.probes;
     total.hits += s.hits;
-    for (const auto& [rdd, counts] : s.per_rdd) {
-      auto& agg = total.per_rdd[rdd];
-      agg.first += counts.first;
-      agg.second += counts.second;
+    if (s.per_rdd.size() > total.per_rdd.size()) {
+      total.per_rdd.resize(s.per_rdd.size());
+    }
+    for (std::size_t rdd = 0; rdd < s.per_rdd.size(); ++rdd) {
+      total.per_rdd[rdd].first += s.per_rdd[rdd].first;
+      total.per_rdd[rdd].second += s.per_rdd[rdd].second;
     }
     total.disk_hits += s.disk_hits;
     total.cold_misses += s.cold_misses;

@@ -43,6 +43,10 @@ class BlockManagerMaster {
   /// number of blocks purged.
   std::size_t execute_purge();
 
+  /// Purge restricted to nodes in [begin, end) — the unit the runner fans
+  /// out across its node workers (each node's purge is independent).
+  std::size_t execute_purge(NodeId begin, NodeId end);
+
   /// Sums per-node cache statistics.
   NodeCacheStats aggregate_stats() const;
 

@@ -15,12 +15,13 @@ MemoryStore::MemoryStore(std::uint64_t capacity_bytes, CachePolicy* policy)
 InsertResult MemoryStore::insert(const BlockId& block, std::uint64_t bytes) {
   InsertResult result;
   if (bytes > capacity_) return result;  // can never fit
-  if (auto it = blocks_.find(block); it != blocks_.end()) {
+  const std::uint64_t key = pack_block_id(block);
+  if (const Resident* rec = blocks_.find(key)) {
     // Re-insert of a resident block: treat as an access/refresh.
-    MRD_CHECK_MSG(it->second == bytes, "block " << block
+    MRD_CHECK_MSG(rec->bytes == bytes, "block " << block
                                                 << " re-inserted with size "
                                                 << bytes << " != "
-                                                << it->second);
+                                                << rec->bytes);
     policy_->on_block_accessed(block);
     result.stored = true;
     return result;
@@ -31,9 +32,8 @@ InsertResult MemoryStore::insert(const BlockId& block, std::uint64_t bytes) {
       return result;
     }
   }
-  blocks_.emplace(block, bytes);
-  order_index_.emplace(block,
-                       insertion_order_.insert(insertion_order_.end(), block));
+  const auto order_it = insertion_order_.insert(insertion_order_.end(), block);
+  blocks_.insert(key, Resident{bytes, order_it});
   used_ += bytes;
   result.stored = true;
   policy_->on_block_cached(block, bytes);
@@ -41,33 +41,34 @@ InsertResult MemoryStore::insert(const BlockId& block, std::uint64_t bytes) {
 }
 
 bool MemoryStore::remove(const BlockId& block) {
-  auto it = blocks_.find(block);
-  if (it == blocks_.end()) return false;
-  used_ -= it->second;
-  blocks_.erase(it);
-  unlink_insertion_order(block);
+  const std::uint64_t key = pack_block_id(block);
+  const Resident* rec = blocks_.find(key);
+  if (rec == nullptr) return false;
+  used_ -= rec->bytes;
+  insertion_order_.erase(rec->order_it);
+  blocks_.erase(key);
   policy_->on_block_evicted(block);
   return true;
 }
 
 bool MemoryStore::access(const BlockId& block) {
-  if (!blocks_.count(block)) return false;
+  if (!blocks_.contains(pack_block_id(block))) return false;
   policy_->on_block_accessed(block);
   return true;
 }
 
 std::uint64_t MemoryStore::block_bytes(const BlockId& block) const {
-  const auto it = blocks_.find(block);
-  return it == blocks_.end() ? 0 : it->second;
+  const Resident* rec = blocks_.find(pack_block_id(block));
+  return rec == nullptr ? 0 : rec->bytes;
 }
 
 std::vector<BlockId> MemoryStore::resident_blocks() const {
   std::vector<BlockId> out;
   out.reserve(blocks_.size());
-  for (const auto& [block, bytes] : blocks_) {
-    (void)bytes;
-    out.push_back(block);
-  }
+  blocks_.for_each([&](std::uint64_t key, const Resident&) {
+    out.push_back(unpack_block_id(key));
+  });
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -77,7 +78,7 @@ bool MemoryStore::evict_one(
 
   BlockId victim;
   const auto choice = policy_->choose_victim();
-  if (choice && blocks_.count(*choice)) {
+  if (choice && blocks_.contains(pack_block_id(*choice))) {
     victim = *choice;
   } else {
     // Fallback: oldest insertion still resident. The policy sees every
@@ -93,22 +94,16 @@ bool MemoryStore::evict_one(
                    << " blocks resident; falling back to FIFO";
     }
   }
-  const auto it = blocks_.find(victim);
-  MRD_CHECK(it != blocks_.end());
-  const std::uint64_t victim_bytes = it->second;
+  const std::uint64_t key = pack_block_id(victim);
+  const Resident* rec = blocks_.find(key);
+  MRD_CHECK(rec != nullptr);
+  const std::uint64_t victim_bytes = rec->bytes;
   used_ -= victim_bytes;
-  blocks_.erase(it);
-  unlink_insertion_order(victim);
+  insertion_order_.erase(rec->order_it);
+  blocks_.erase(key);
   policy_->on_block_evicted(victim);
   evicted->emplace_back(victim, victim_bytes);
   return true;
-}
-
-void MemoryStore::unlink_insertion_order(const BlockId& block) {
-  const auto it = order_index_.find(block);
-  MRD_CHECK(it != order_index_.end());
-  insertion_order_.erase(it->second);
-  order_index_.erase(it);
 }
 
 }  // namespace mrd

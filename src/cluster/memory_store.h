@@ -5,11 +5,11 @@
 
 #include <cstdint>
 #include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/cache_policy.h"
 #include "dag/ids.h"
+#include "util/flat_hash.h"
 
 namespace mrd {
 
@@ -38,7 +38,9 @@ class MemoryStore {
   /// Returns false if not resident.
   bool remove(const BlockId& block);
 
-  bool contains(const BlockId& block) const { return blocks_.count(block) > 0; }
+  bool contains(const BlockId& block) const {
+    return blocks_.contains(pack_block_id(block));
+  }
 
   /// Records a read of a resident block with the policy. Returns false if
   /// the block is not resident (caller counts a miss).
@@ -51,27 +53,33 @@ class MemoryStore {
 
   std::uint64_t block_bytes(const BlockId& block) const;
 
-  /// Resident blocks in unspecified order (testing/inspection).
+  /// Resident blocks sorted by id (testing/inspection).
   std::vector<BlockId> resident_blocks() const;
 
   CachePolicy& policy() { return *policy_; }
 
  private:
+  /// Per-resident bookkeeping: size plus position in the insertion-order
+  /// fallback list.
+  struct Resident {
+    std::uint64_t bytes = 0;
+    std::list<BlockId>::iterator order_it{};
+  };
+
   /// Evicts one block chosen by the policy (with fallback). Returns false
   /// only when the store is empty.
   bool evict_one(std::vector<std::pair<BlockId, std::uint64_t>>* evicted);
 
-  void unlink_insertion_order(const BlockId& block);
-
   std::uint64_t capacity_;
   std::uint64_t used_ = 0;
   CachePolicy* policy_;
-  std::unordered_map<BlockId, std::uint64_t> blocks_;  // block -> bytes
-  /// Insertion order for the progress-guarantee fallback. List + iterator
-  /// map (as in LruPolicy) so per-eviction unlinking is O(1); a flat vector
-  /// made large-cache sweeps quadratic in resident blocks.
+  /// block -> Resident. Flat open-addressing table: the probe/insert/evict
+  /// hot path hits this once per operation.
+  FlatMap64<Resident> blocks_;
+  /// Insertion order for the progress-guarantee fallback. List + in-entry
+  /// iterator so per-eviction unlinking is O(1); a flat vector made
+  /// large-cache sweeps quadratic in resident blocks.
   std::list<BlockId> insertion_order_;
-  std::unordered_map<BlockId, std::list<BlockId>::iterator> order_index_;
 };
 
 }  // namespace mrd

@@ -17,6 +17,32 @@ CacheMonitor::CacheMonitor(std::shared_ptr<MrdManager> manager, NodeId node,
   MRD_CHECK(num_nodes_ > 0);
 }
 
+double CacheMonitor::cached_distance(RddId rdd) const {
+  const std::uint64_t version = manager_->distance_version();
+  if (rdd >= dist_memo_.size()) dist_memo_.resize(rdd + 1, {0, 0.0});
+  auto& [stamp, distance] = dist_memo_[rdd];
+  if (stamp != version) {
+    stamp = version;
+    distance = manager_->distance(rdd);
+  }
+  return distance;
+}
+
+double CacheMonitor::furthest_resident_distance() const {
+  const std::uint64_t version = manager_->distance_version();
+  if (furthest_version_stamp_ != version ||
+      furthest_residents_stamp_ != residents_rev_ + 1) {
+    double furthest = -1.0;
+    residents_.for_each_lru_first([&](const BlockId& b) {
+      furthest = std::max(furthest, cached_distance(b.rdd));
+    });
+    furthest_memo_ = furthest;
+    furthest_version_stamp_ = version;
+    furthest_residents_stamp_ = residents_rev_ + 1;  // +1: 0 reads as unset
+  }
+  return furthest_memo_;
+}
+
 std::string_view CacheMonitor::name() const {
   if (options_.mrd_eviction && options_.mrd_prefetch) return "MRD";
   if (options_.mrd_eviction) return "MRD-evict";
@@ -53,7 +79,8 @@ void CacheMonitor::on_rdd_probed(const ExecutionPlan& plan, RddId rdd,
 
 void CacheMonitor::on_block_cached(const BlockId& block, std::uint64_t bytes) {
   residents_.insert(block);
-  block_bytes_[block] = bytes;
+  block_bytes_[pack_block_id(block)] = bytes;
+  ++residents_rev_;
 }
 
 void CacheMonitor::on_block_accessed(const BlockId& block) {
@@ -62,7 +89,8 @@ void CacheMonitor::on_block_accessed(const BlockId& block) {
 
 void CacheMonitor::on_block_evicted(const BlockId& block) {
   residents_.erase(block);
-  block_bytes_.erase(block);
+  block_bytes_.erase(pack_block_id(block));
+  ++residents_rev_;
 }
 
 std::optional<BlockId> CacheMonitor::choose_victim() {
@@ -78,7 +106,7 @@ std::optional<BlockId> CacheMonitor::choose_victim() {
   std::optional<BlockId> best;
   double best_distance = 0.0;
   residents_.for_each_lru_first([&](const BlockId& b) {
-    const double d = manager_->distance(b.rdd);
+    const double d = cached_distance(b.rdd);
     if (!best || d > best_distance ||
         (d == best_distance && b > *best)) {
       best = b;
@@ -92,12 +120,19 @@ std::vector<BlockId> CacheMonitor::purge_candidates() {
   // The all-out purge is driven by the MRD_Table and runs in every MRD
   // variant: it is what frees memory below the prefetch threshold, so even
   // the prefetch-only ablation keeps it.
+  const std::vector<RddId> purge = manager_->purge_rdds();
+  if (purge.empty()) return {};
+  // One pass over the residents with a dense purge-RDD bitmap, instead of one
+  // full resident scan per purge RDD. The purge set is unordered work — every
+  // candidate is removed independently — so grouping by RDD is not required.
+  RddId max_rdd = 0;
+  for (RddId rdd : purge) max_rdd = std::max(max_rdd, rdd);
+  std::vector<bool> is_purge(max_rdd + 1, false);
+  for (RddId rdd : purge) is_purge[rdd] = true;
   std::vector<BlockId> out;
-  for (RddId rdd : manager_->purge_rdds()) {
-    residents_.for_each_lru_first([&](const BlockId& b) {
-      if (b.rdd == rdd) out.push_back(b);
-    });
-  }
+  residents_.for_each_lru_first([&](const BlockId& b) {
+    if (b.rdd <= max_rdd && is_purge[b.rdd]) out.push_back(b);
+  });
   return out;
 }
 
@@ -129,9 +164,10 @@ bool CacheMonitor::prefetch_may_evict(std::uint64_t free_bytes,
   // released in bulk.
   std::uint64_t reclaimable = free_bytes;
   residents_.for_each_lru_first([&](const BlockId& b) {
-    if (std::isinf(manager_->distance(b.rdd))) {
-      const auto it = block_bytes_.find(b);
-      if (it != block_bytes_.end()) reclaimable += it->second;
+    if (std::isinf(cached_distance(b.rdd))) {
+      if (const auto* bytes = block_bytes_.find(pack_block_id(b))) {
+        reclaimable += *bytes;
+      }
     }
   });
   return static_cast<double>(reclaimable) >
@@ -140,15 +176,11 @@ bool CacheMonitor::prefetch_may_evict(std::uint64_t free_bytes,
 
 bool CacheMonitor::prefetch_swap_improves(const BlockId& block) const {
   if (!options_.mrd_prefetch) return false;
-  double furthest = -1.0;
-  residents_.for_each_lru_first([&](const BlockId& b) {
-    furthest = std::max(furthest, manager_->distance(b.rdd));
-  });
   // Equal distance still qualifies: swapping a frontier block in via idle
   // disk time converts a demand read on the next stage's critical path into
   // a background read — the "overlap I/O with computation" effect. Strictly
   // nearer swaps additionally improve the hit ratio.
-  return manager_->distance(block.rdd) <= furthest;
+  return cached_distance(block.rdd) <= furthest_resident_distance();
 }
 
 bool CacheMonitor::should_promote(const BlockId& block,
@@ -159,11 +191,7 @@ bool CacheMonitor::should_promote(const BlockId& block,
   if (bytes <= free_bytes) return true;  // fits without displacing anyone
   // Promote only if this block is at least as near as the furthest resident
   // (the victim the promotion would evict).
-  double furthest = -1.0;
-  residents_.for_each_lru_first([&](const BlockId& b) {
-    furthest = std::max(furthest, manager_->distance(b.rdd));
-  });
-  return manager_->distance(block.rdd) <= furthest;
+  return cached_distance(block.rdd) <= furthest_resident_distance();
 }
 
 void CacheMonitor::on_prefetch_insert(bool active) {
@@ -175,11 +203,7 @@ bool CacheMonitor::admit_prefetch(const BlockId& block) {
   // Future-work pre-check: drop the loaded block if every resident is
   // strictly nearer (an equal-distance swap is still admissible — it moves
   // a read off the critical path).
-  double furthest = -1.0;
-  residents_.for_each_lru_first([&](const BlockId& b) {
-    furthest = std::max(furthest, manager_->distance(b.rdd));
-  });
-  return manager_->distance(block.rdd) <= furthest;
+  return cached_distance(block.rdd) <= furthest_resident_distance();
 }
 
 }  // namespace mrd

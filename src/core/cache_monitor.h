@@ -16,11 +16,13 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "cache/cache_policy.h"
 #include "cache/resident_set.h"
 #include "core/mrd_manager.h"
+#include "util/flat_hash.h"
 
 namespace mrd {
 
@@ -71,6 +73,17 @@ class CacheMonitor : public CachePolicy {
   const MrdManager& manager() const { return *manager_; }
 
  private:
+  /// manager_->distance(rdd), memoized against the manager's
+  /// distance_version(): eviction scans ask for the same few RDD distances
+  /// once per resident block, thousands of times between table changes.
+  double cached_distance(RddId rdd) const;
+
+  /// Max cached_distance over all residents, memoized until either the
+  /// distance table or the resident *set* changes (recency order is
+  /// irrelevant to a max). The prefetch path asks this once per candidate
+  /// block; uncached it was a full resident scan each time.
+  double furthest_resident_distance() const;
+
   std::shared_ptr<MrdManager> manager_;
   NodeId node_;
   NodeId num_nodes_;
@@ -79,11 +92,18 @@ class CacheMonitor : public CachePolicy {
   ResidentSet residents_;
   /// Sizes of resident blocks — needed to value inactive residents as
   /// reclaimable space in the prefetch-threshold test.
-  std::unordered_map<BlockId, std::uint64_t> block_bytes_;
+  FlatMap64<std::uint64_t> block_bytes_;
   /// True while a completed prefetch is being inserted: even in the
   /// prefetch-only ablation, prefetch-induced evictions pick the
   /// largest-distance victim (§4.3).
   bool prefetch_insert_active_ = false;
+  /// Per-RDD (distance_version stamp, distance) memo; stamp 0 = unset.
+  mutable std::vector<std::pair<std::uint64_t, double>> dist_memo_;
+  /// Bumped whenever the resident set gains or loses a block.
+  std::uint64_t residents_rev_ = 0;
+  mutable std::uint64_t furthest_version_stamp_ = 0;
+  mutable std::uint64_t furthest_residents_stamp_ = 0;
+  mutable double furthest_memo_ = -1.0;
 };
 
 }  // namespace mrd

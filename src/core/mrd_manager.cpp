@@ -39,6 +39,7 @@ void MrdManager::on_stage_start(const ExecutionPlan& plan, JobId job,
   last_stage_started_ = stage;
   current_stage_ = stage;
   current_job_ = job;
+  ++distance_version_;
   // References strictly before this stage can no longer be served — they
   // belong to stages the scheduler skipped (whose end event never fired to
   // consume them). Dropping them here keeps every mid-stage distance query
@@ -53,10 +54,15 @@ void MrdManager::on_stage_end(const ExecutionPlan& plan, JobId job,
   if (last_stage_ended_ != kInvalidStage && stage <= last_stage_ended_) return;
   last_stage_ended_ = stage;
   table_.consume_up_to(stage);
+  ++distance_version_;
 }
 
 void MrdManager::on_rdd_probed(RddId rdd, StageId stage) {
+  // Every CacheMonitor forwards the same event; only the first forward (the
+  // one that actually consumes references) invalidates cached distances.
+  const std::size_t before = table_.num_entries();
   table_.consume_rdd_up_to(rdd, stage);
+  if (table_.num_entries() != before) ++distance_version_;
 }
 
 double MrdManager::distance(RddId rdd) const {
@@ -77,6 +83,7 @@ void MrdManager::load_profile(const ReferenceProfileMap& profile) {
       table_.add_reference(rdd, ref.stage, ref.job);
     }
   }
+  ++distance_version_;
   note_table_broadcast();
 }
 

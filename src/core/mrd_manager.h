@@ -70,6 +70,12 @@ class MrdManager {
   DistanceMetric metric() const { return metric_; }
   StageId current_stage() const { return current_stage_; }
   JobId current_job() const { return current_job_; }
+
+  /// Monotonic counter bumped whenever a distance query could change its
+  /// answer (execution position advanced, references consumed or loaded).
+  /// Lets the CacheMonitors memoize per-RDD distances between events; starts
+  /// at 1 so a zero stamp always reads as stale.
+  std::uint64_t distance_version() const { return distance_version_; }
   const RefDistanceTable& table() const { return table_; }
   const MrdManagerStats& stats() const { return stats_; }
   AppProfiler& profiler() { return *profiler_; }
@@ -85,6 +91,7 @@ class MrdManager {
   RefDistanceTable table_;
   StageId current_stage_ = 0;
   JobId current_job_ = 0;
+  std::uint64_t distance_version_ = 1;
 
   // Idempotency guards (shared CacheMonitors all forward events).
   bool application_started_ = false;

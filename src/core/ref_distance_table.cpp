@@ -9,84 +9,130 @@ namespace mrd {
 
 namespace {
 constexpr double kInfiniteDistance = std::numeric_limits<double>::infinity();
+
+/// Distance of a (non-stale) reference from the current position.
+inline double ref_distance(const StageId ref_stage, const JobId ref_job,
+                           StageId current_stage, JobId current_job,
+                           DistanceMetric metric) {
+  if (metric == DistanceMetric::kStage) {
+    return static_cast<double>(ref_stage - current_stage);
+  }
+  // A reference later in this very job reads as distance 0 under the job
+  // metric (§4.1: within one job the metric is "either infinite or zero").
+  return ref_job >= current_job
+             ? static_cast<double>(ref_job - current_job)
+             : 0.0;
+}
+}  // namespace
+
+RefDistanceTable::RefQueue& RefDistanceTable::queue_for(RddId rdd) {
+  if (rdd >= refs_.size()) refs_.resize(rdd + 1);
+  RefQueue& q = refs_[rdd];
+  if (!q.tracked) {
+    q.tracked = true;
+    ++num_tracked_;
+  }
+  return q;
+}
+
+void RefDistanceTable::bucket_rdd(StageId stage, RddId rdd) {
+  // A reference announced for an already-swept stage would never be visited
+  // again; park it at the cursor so the next sweep retires it.
+  const StageId slot = std::max(stage, consume_cursor_);
+  if (slot >= stage_buckets_.size()) stage_buckets_.resize(slot + 1);
+  stage_buckets_[slot].push_back(rdd);
 }
 
 void RefDistanceTable::add_reference(RddId rdd, StageId stage, JobId job) {
-  auto& q = refs_[rdd];
+  RefQueue& q = queue_for(rdd);
   const Ref ref{stage, job};
-  const auto pos = std::lower_bound(q.begin(), q.end(), ref);
-  if (pos != q.end() && *pos == ref) return;  // duplicate announcement
-  q.insert(pos, ref);
+  const auto live_begin = q.refs.begin() + q.head;
+  const auto pos = std::lower_bound(live_begin, q.refs.end(), ref);
+  if (pos != q.refs.end() && *pos == ref) return;  // duplicate announcement
+  q.refs.insert(pos, ref);
+  ++live_entries_;
+  bucket_rdd(stage, rdd);
 }
 
 void RefDistanceTable::consume_up_to(StageId stage) {
-  for (auto& [rdd, q] : refs_) {
-    (void)rdd;
-    while (!q.empty() && q.front().stage <= stage) q.pop_front();
+  for (StageId s = consume_cursor_; s <= stage && s < stage_buckets_.size();
+       ++s) {
+    for (RddId rdd : stage_buckets_[s]) {
+      pop_front_while(refs_[rdd],
+                      [&](const Ref& r) { return r.stage <= stage; });
+    }
   }
+  consume_cursor_ = std::max(consume_cursor_, stage + 1);
 }
 
 void RefDistanceTable::consume_rdd_up_to(RddId rdd, StageId stage) {
-  const auto it = refs_.find(rdd);
-  if (it == refs_.end()) return;
-  auto& q = it->second;
-  while (!q.empty() && q.front().stage <= stage) q.pop_front();
+  if (rdd >= refs_.size()) return;
+  pop_front_while(refs_[rdd], [&](const Ref& r) { return r.stage <= stage; });
 }
 
 void RefDistanceTable::consume_stale_before(StageId stage) {
-  for (auto& [rdd, q] : refs_) {
-    (void)rdd;
-    while (!q.empty() && q.front().stage < stage) q.pop_front();
+  for (StageId s = consume_cursor_;
+       s < stage && s < stage_buckets_.size(); ++s) {
+    for (RddId rdd : stage_buckets_[s]) {
+      pop_front_while(refs_[rdd],
+                      [&](const Ref& r) { return r.stage < stage; });
+    }
   }
+  consume_cursor_ = std::max(consume_cursor_, stage);
 }
 
 std::optional<StageId> RefDistanceTable::next_reference_stage(RddId rdd) const {
-  const auto it = refs_.find(rdd);
-  if (it == refs_.end() || it->second.empty()) return std::nullopt;
-  return it->second.front().stage;
+  if (rdd >= refs_.size() || refs_[rdd].empty()) return std::nullopt;
+  return refs_[rdd].front().stage;
 }
 
 std::optional<JobId> RefDistanceTable::next_reference_job(RddId rdd) const {
-  const auto it = refs_.find(rdd);
-  if (it == refs_.end() || it->second.empty()) return std::nullopt;
-  return it->second.front().job;
+  if (rdd >= refs_.size() || refs_[rdd].empty()) return std::nullopt;
+  return refs_[rdd].front().job;
 }
 
 double RefDistanceTable::distance(RddId rdd, StageId current_stage,
                                   JobId current_job,
                                   DistanceMetric metric) const {
-  const auto it = refs_.find(rdd);
-  if (it == refs_.end()) return kInfiniteDistance;
+  if (rdd >= refs_.size() || !refs_[rdd].tracked) return kInfiniteDistance;
+  const RefQueue& q = refs_[rdd];
   // References are sorted, so the first one at or after the current stage is
   // the nearest servable reference. Anything before it is stale — an entry
   // whose execution position already passed (normally removed by
   // consume_stale_before at stage start) — and must not make a dead RDD
   // look maximally hot under either metric.
-  for (const Ref& ref : it->second) {
+  for (std::uint32_t i = q.head; i < q.refs.size(); ++i) {
+    const Ref& ref = q.refs[i];
     if (ref.stage < current_stage) continue;
-    if (metric == DistanceMetric::kStage) {
-      return static_cast<double>(ref.stage - current_stage);
-    }
-    // A reference later in this very job reads as distance 0 under the job
-    // metric (§4.1: within one job the metric is "either infinite or zero").
-    return ref.job >= current_job
-               ? static_cast<double>(ref.job - current_job)
-               : 0.0;
+    return ref_distance(ref.stage, ref.job, current_stage, current_job,
+                        metric);
   }
   return kInfiniteDistance;
 }
 
 bool RefDistanceTable::is_inactive(RddId rdd) const {
-  const auto it = refs_.find(rdd);
-  return it != refs_.end() && it->second.empty();
+  // Unknown == never referenced == nothing left to wait for: inactive, in
+  // agreement with distance() reporting infinity for the same RDD.
+  if (rdd >= refs_.size() || !refs_[rdd].tracked) return true;
+  return refs_[rdd].empty();
 }
 
 std::vector<RddId> RefDistanceTable::by_ascending_distance(
     StageId current_stage, JobId current_job, DistanceMetric metric) const {
   std::vector<std::pair<double, RddId>> scored;
-  for (const auto& [rdd, q] : refs_) {
+  for (RddId rdd = 0; rdd < refs_.size(); ++rdd) {
+    const RefQueue& q = refs_[rdd];
     if (q.empty()) continue;
-    const double d = distance(rdd, current_stage, current_job, metric);
+    // Reuse the front scan directly instead of re-resolving the RDD through
+    // distance(): the queue is already at hand.
+    double d = kInfiniteDistance;
+    for (std::uint32_t i = q.head; i < q.refs.size(); ++i) {
+      const Ref& ref = q.refs[i];
+      if (ref.stage < current_stage) continue;
+      d = ref_distance(ref.stage, ref.job, current_stage, current_job,
+                       metric);
+      break;
+    }
     // All-stale queues read as infinite: effectively inactive, so they are
     // no more a prefetch candidate than an empty queue.
     if (d == kInfiniteDistance) continue;
@@ -104,21 +150,18 @@ std::vector<RddId> RefDistanceTable::by_ascending_distance(
 
 std::vector<RddId> RefDistanceTable::inactive_rdds() const {
   std::vector<RddId> out;
-  for (const auto& [rdd, q] : refs_) {
-    if (q.empty()) out.push_back(rdd);
+  for (RddId rdd = 0; rdd < refs_.size(); ++rdd) {
+    if (refs_[rdd].tracked && refs_[rdd].empty()) out.push_back(rdd);
   }
   return out;
 }
 
-std::size_t RefDistanceTable::num_entries() const {
-  std::size_t n = 0;
-  for (const auto& [rdd, q] : refs_) {
-    (void)rdd;
-    n += q.size();
-  }
-  return n;
+void RefDistanceTable::clear() {
+  refs_.clear();
+  stage_buckets_.clear();
+  consume_cursor_ = 0;
+  live_entries_ = 0;
+  num_tracked_ = 0;
 }
-
-void RefDistanceTable::clear() { refs_.clear(); }
 
 }  // namespace mrd

@@ -4,11 +4,16 @@
 // (stage, job) is the gap to its *nearest* remaining reference (Definition 1
 // + §4.1: "for comparison it will only use the lowest one"); once the last
 // reference is consumed the distance is infinite and the RDD is inactive.
+//
+// Layout: RddId and StageId are small dense integers, so the table is
+// vector-indexed on both axes — a per-RDD sorted reference array consumed
+// from a head cursor, plus per-stage buckets of the RDDs referenced at that
+// stage. The buckets make the per-stage consume_* calls incremental: only
+// RDDs with a reference at the stages being retired are visited, instead of
+// rescanning every tracked RDD (the former std::map sweep).
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -56,8 +61,11 @@ class RefDistanceTable {
   double distance(RddId rdd, StageId current_stage, JobId current_job,
                   DistanceMetric metric) const;
 
-  /// True if `rdd` was ever tracked but has no remaining references — the
-  /// trigger for the cluster-wide purge order.
+  /// True if `rdd` has no remaining references — tracked RDDs whose list ran
+  /// empty *and* RDDs never announced at all. An unknown RDD already reads
+  /// as infinite distance (dead) from distance(), so it must read as
+  /// inactive here too; the former "never tracked => false" answer made the
+  /// two queries disagree about the same RDD.
   bool is_inactive(RddId rdd) const;
 
   /// RDDs ordered by ascending distance (finite distances only) — the
@@ -66,13 +74,17 @@ class RefDistanceTable {
                                            JobId current_job,
                                            DistanceMetric metric) const;
 
-  /// All RDDs currently inactive (purge candidates).
+  /// All *announced* RDDs currently inactive (purge candidates). Unlike
+  /// is_inactive, this cannot enumerate never-announced RDDs — the purge
+  /// order is driven by the profile, and an RDD outside the profile has no
+  /// blocks the table knows to name (its blocks already rank as
+  /// infinite-distance eviction victims on every node).
   std::vector<RddId> inactive_rdds() const;
 
   /// Number of (rdd, reference) entries — the paper's §4.4 footprint claim
   /// ("largest MRD_Table contained < 300 references").
-  std::size_t num_entries() const;
-  std::size_t num_rdds() const { return refs_.size(); }
+  std::size_t num_entries() const { return live_entries_; }
+  std::size_t num_rdds() const { return num_tracked_; }
 
   void clear();
 
@@ -82,8 +94,42 @@ class RefDistanceTable {
     JobId job;
     friend auto operator<=>(const Ref&, const Ref&) = default;
   };
-  // deque: consumed from the front as execution advances.
-  std::map<RddId, std::deque<Ref>> refs_;
+
+  /// Sorted references, live in [head, refs.size()): consumption advances
+  /// the head instead of shifting the array.
+  struct RefQueue {
+    std::vector<Ref> refs;
+    std::uint32_t head = 0;
+    bool tracked = false;
+
+    bool empty() const { return head >= refs.size(); }
+    const Ref& front() const { return refs[head]; }
+  };
+
+  RefQueue& queue_for(RddId rdd);
+  /// Registers `rdd` in the bucket of `stage` (clamped to the consume
+  /// cursor, so late announcements are still revisited).
+  void bucket_rdd(StageId stage, RddId rdd);
+  /// Pops front references of `rdd` while `pred(front)` holds.
+  template <typename Pred>
+  void pop_front_while(RefQueue& q, Pred&& pred) {
+    while (!q.empty() && pred(q.front())) {
+      ++q.head;
+      --live_entries_;
+    }
+  }
+
+  std::vector<RefQueue> refs_;  // index == RddId
+  /// stage -> RDDs announced with a reference at that stage. Entries may be
+  /// stale (the reference already consumed via consume_rdd_up_to); popping
+  /// re-checks the queue front, so stale entries are harmless.
+  std::vector<std::vector<RddId>> stage_buckets_;
+  /// Every reference at a stage < cursor has been consumed via the stage
+  /// sweep; consume_up_to / consume_stale_before only visit buckets from
+  /// here.
+  StageId consume_cursor_ = 0;
+  std::size_t live_entries_ = 0;
+  std::size_t num_tracked_ = 0;
 };
 
 }  // namespace mrd

@@ -1,6 +1,8 @@
 #include "exec/application_runner.h"
 
 #include <algorithm>
+#include <future>
+#include <vector>
 
 #include "cluster/block_manager_master.h"
 #include "dag/dag_scheduler.h"
@@ -9,15 +11,19 @@
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace mrd {
 
 namespace {
 
-/// Issues new prefetch orders on every node (Algorithm 1 lines 24–29).
+/// Issues new prefetch orders on nodes [lo, hi) (Algorithm 1 lines 24–29).
+/// Each node's decisions read only its own BlockManager/policy plus the
+/// shared (read-only between stage events) distance table, so disjoint node
+/// ranges can run concurrently.
 void issue_prefetch_orders(const ExecutionPlan& plan, BlockManagerMaster* master,
-                           std::size_t max_queue) {
-  for (NodeId n = 0; n < master->num_nodes(); ++n) {
+                           std::size_t max_queue, NodeId lo, NodeId hi) {
+  for (NodeId n = lo; n < hi; ++n) {
     BlockManager& bm = master->node(n);
     bm.flush_unstarted_prefetches();
     const std::uint64_t capacity = bm.store().capacity();
@@ -54,6 +60,45 @@ void issue_prefetch_orders(const ExecutionPlan& plan, BlockManagerMaster* master
 
 }  // namespace
 
+bool plan_supports_node_parallel(const ExecutionPlan& plan, NodeId num_nodes) {
+  if (num_nodes <= 1) return true;
+  const Application& app = plan.app();
+  // Walk every persisted RDD's recompute closure. An index reaching RDD c is
+  // always < c.num_partitions (it was either a probe of c itself or produced
+  // by % c.num_partitions one step up), so the per-edge owner-preservation
+  // test is path-independent and visited RDDs need no revisit.
+  std::vector<char> visited(app.num_rdds(), 0);
+  std::vector<RddId> stack;
+  for (const RddInfo& r : app.rdds()) {
+    if (r.persisted) stack.push_back(r.id);
+  }
+  while (!stack.empty()) {
+    const RddId id = stack.back();
+    stack.pop_back();
+    if (visited[id]) continue;
+    visited[id] = 1;
+    const RddInfo& info = app.rdd(id);
+    // Sources re-read HDFS; wide RDDs rebuild from retained shuffle files.
+    // Neither touches parent blocks, so the closure stops here.
+    if (is_source(info.kind) || is_wide(info.kind)) continue;
+    for (RddId p : info.parents) {
+      const RddInfo& parent = app.rdd(p);
+      // The narrow-edge re-map is pj = j % parent.num_partitions, probed on
+      // node pj % num_nodes. Owner is preserved along the edge if the index
+      // survives unchanged (parent keeps the child's index range) or the
+      // modulus preserves residues mod num_nodes.
+      const bool keeps_index = parent.num_partitions >= info.num_partitions;
+      const bool keeps_residue = parent.num_partitions % num_nodes == 0;
+      if (!keeps_index && !keeps_residue) return false;
+      // A persisted parent is probed as its own demand root; its closure is
+      // covered by its own DFS root above. Non-persisted parents recompute
+      // inline — keep descending with the re-mapped index.
+      if (!parent.persisted) stack.push_back(p);
+    }
+  }
+  return true;
+}
+
 RunMetrics run_application(std::shared_ptr<const Application> app,
                            const RunConfig& config) {
   const ExecutionPlan plan = DagScheduler::plan(std::move(app));
@@ -66,6 +111,39 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
   BlockManagerMaster master(config.cluster, setup.factory);
   LineageResolver resolver(plan, &master);
 
+  // Intra-run fan-out across the simulated nodes. Engaged only when the
+  // plan's recompute closures are node-closed (otherwise a worker could
+  // touch another worker's BlockManager); with <=1 jobs, or a non-closed
+  // plan, every phase below runs inline on this thread — same code path,
+  // byte-identical output.
+  const std::size_t node_jobs =
+      std::min<std::size_t>(std::max<std::size_t>(config.node_jobs, 1),
+                            num_nodes);
+  const bool fan_out =
+      node_jobs > 1 && plan_supports_node_parallel(plan, num_nodes);
+  ThreadPool node_pool(fan_out ? node_jobs : 0);
+  const std::size_t num_chunks = fan_out ? node_jobs : 1;
+
+  // Runs fn(lo, hi) over contiguous node ranges, one per worker, and joins
+  // before returning (exceptions from workers rethrow here). Work touching
+  // node n is executed by exactly one chunk, in node order within the chunk,
+  // so every node observes the same event subsequence as a serial run.
+  const auto for_each_node_chunk = [&](const auto& fn) {
+    if (num_chunks <= 1) {
+      fn(static_cast<NodeId>(0), num_nodes);
+      return;
+    }
+    std::vector<std::future<void>> done;
+    done.reserve(num_chunks);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const NodeId lo = static_cast<NodeId>(c * num_nodes / num_chunks);
+      const NodeId hi = static_cast<NodeId>((c + 1) * num_nodes / num_chunks);
+      if (lo == hi) continue;
+      done.push_back(node_pool.submit([&fn, lo, hi] { fn(lo, hi); }));
+    }
+    for (auto& f : done) f.get();
+  };
+
   RunMetrics metrics;
   metrics.workload = plan.app().name();
   metrics.policy = config.policy.name;
@@ -75,45 +153,71 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
   IoCharge background;
 
   if (config.visibility == DagVisibility::kRecurring) {
+    ScopedTimer timer(config.phase_timers, SimPhase::kBroadcast);
     master.broadcast_application_start(plan);
   }
 
   for (const JobInfo& job : plan.jobs()) {
-    master.broadcast_job_start(plan, job.id);
+    {
+      ScopedTimer timer(config.phase_timers, SimPhase::kBroadcast);
+      master.broadcast_job_start(plan, job.id);
+    }
     metrics.jct_ms += config.cluster.job_overhead_ms;
 
     for (const StageExecution& rec : job.stages) {
       if (!rec.executed) continue;
-      master.broadcast_stage_start(plan, job.id, rec.stage);
+      {
+        ScopedTimer timer(config.phase_timers, SimPhase::kBroadcast);
+        master.broadcast_stage_start(plan, job.id, rec.stage);
+      }
 
       // Refresh prefetch orders against the distances as of this stage; the
       // queue is served with this stage's idle disk time, so a block needed
       // next stage can still arrive in time.
-      issue_prefetch_orders(plan, &master, config.max_prefetch_queue);
+      {
+        ScopedTimer timer(config.phase_timers, SimPhase::kPrefetchIssue);
+        for_each_node_chunk([&](NodeId lo, NodeId hi) {
+          issue_prefetch_orders(plan, &master, config.max_prefetch_queue, lo,
+                                hi);
+        });
+      }
 
       std::vector<NodeAccounting> acct(num_nodes);
 
       // -- Cached-RDD probes (the block references cache policies compete
       //    on).
-      for (RddId p : rec.probes) {
-        const RddInfo& info = plan.app().rdd(p);
-        // Tasks are scheduled in waves, not in partition order: probe the
-        // blocks in a per-(stage, rdd) pseudo-random permutation. Without
-        // this, a strictly cyclic order drives recency-based policies off a
-        // 0%-hit cliff that real executors do not exhibit. Seeded, so runs
-        // stay deterministic.
-        std::vector<PartitionIndex> order(info.num_partitions);
-        for (PartitionIndex j = 0; j < info.num_partitions; ++j) order[j] = j;
-        Rng rng((static_cast<std::uint64_t>(rec.stage) << 32) ^ p);
-        for (std::size_t j = order.size(); j > 1; --j) {
-          std::swap(order[j - 1], order[rng.next_below(j)]);
+      {
+        ScopedTimer timer(config.phase_timers, SimPhase::kProbes);
+        for (RddId p : rec.probes) {
+          const RddInfo& info = plan.app().rdd(p);
+          // Tasks are scheduled in waves, not in partition order: probe the
+          // blocks in a per-(stage, rdd) pseudo-random permutation. Without
+          // this, a strictly cyclic order drives recency-based policies off a
+          // 0%-hit cliff that real executors do not exhibit. Seeded, so runs
+          // stay deterministic. The permutation is drawn once, up front:
+          // every node worker walks the same order, keeping each node's
+          // probe subsequence independent of the worker count.
+          std::vector<PartitionIndex> order(info.num_partitions);
+          for (PartitionIndex j = 0; j < info.num_partitions; ++j) {
+            order[j] = j;
+          }
+          Rng rng((static_cast<std::uint64_t>(rec.stage) << 32) ^ p);
+          for (std::size_t j = order.size(); j > 1; --j) {
+            std::swap(order[j - 1], order[rng.next_below(j)]);
+          }
+          for_each_node_chunk([&](NodeId lo, NodeId hi) {
+            for (PartitionIndex j : order) {
+              const NodeId owner = j % num_nodes;
+              if (owner < lo || owner >= hi) continue;
+              resolver.demand_block(BlockId{p, j}, &acct);
+            }
+          });
+          // This stage is done reading p: its reference is consumed, so
+          // mid-stage eviction decisions rank p by its *next* use. A serial
+          // barrier: the shared distance table only mutates between
+          // fan-outs.
+          master.broadcast_rdd_probed(plan, p, rec.stage);
         }
-        for (PartitionIndex j : order) {
-          resolver.demand_block(BlockId{p, j}, &acct);
-        }
-        // This stage is done reading p: its reference is consumed, so
-        // mid-stage eviction decisions rank p by its *next* use.
-        master.broadcast_rdd_probed(plan, p, rec.stage);
       }
 
       // -- Source (HDFS) reads: data-local disk.
@@ -156,30 +260,53 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
         }
       }
 
-      // -- Cache newly materialized persisted RDDs.
-      for (RddId r : rec.computes) {
-        const RddInfo& info = plan.app().rdd(r);
-        if (!info.persisted) continue;
-        for (PartitionIndex j = 0; j < info.num_partitions; ++j) {
-          const NodeId owner = j % num_nodes;
-          IoCharge charge;
-          master.node(owner).cache_block(BlockId{r, j},
-                                         info.bytes_per_partition, &charge);
-          acct[owner].disk_read_bytes += charge.disk_read_bytes;
-          acct[owner].disk_write_bytes += charge.disk_write_bytes;
-        }
+      // -- Cache newly materialized persisted RDDs. cache_block touches only
+      //    the owner node's store/policy, so the partition loop fans out by
+      //    owner; each worker keeps the serial (rdd, partition) order for
+      //    its own nodes.
+      {
+        ScopedTimer timer(config.phase_timers, SimPhase::kCacheWrites);
+        for_each_node_chunk([&](NodeId lo, NodeId hi) {
+          for (RddId r : rec.computes) {
+            const RddInfo& info = plan.app().rdd(r);
+            if (!info.persisted) continue;
+            for (PartitionIndex j = 0; j < info.num_partitions; ++j) {
+              const NodeId owner = j % num_nodes;
+              if (owner < lo || owner >= hi) continue;
+              IoCharge charge;
+              master.node(owner).cache_block(BlockId{r, j},
+                                             info.bytes_per_partition,
+                                             &charge);
+              acct[owner].disk_read_bytes += charge.disk_read_bytes;
+              acct[owner].disk_write_bytes += charge.disk_write_bytes;
+            }
+          }
+        });
       }
 
       // -- Stage wall time (barrier), then let prefetch I/O soak up the
       //    disk idle time inside the window.
       const double wall = stage_wall_ms(acct, config.cluster);
       const double inner_wall = wall - config.cluster.stage_overhead_ms;
-      for (NodeId n = 0; n < num_nodes; ++n) {
-        // The disk is idle whenever it is not serving demand reads/writes;
-        // network-bound or compute-bound intervals are prefetch opportunity.
-        const double slack = inner_wall - acct[n].disk_ms(config.cluster);
-        if (slack > 0.0) {
-          master.node(n).serve_prefetch(slack, &background);
+      {
+        ScopedTimer timer(config.phase_timers, SimPhase::kPrefetchServe);
+        std::vector<IoCharge> node_background(num_nodes);
+        for_each_node_chunk([&](NodeId lo, NodeId hi) {
+          for (NodeId n = lo; n < hi; ++n) {
+            // The disk is idle whenever it is not serving demand
+            // reads/writes; network-bound or compute-bound intervals are
+            // prefetch opportunity.
+            const double slack = inner_wall - acct[n].disk_ms(config.cluster);
+            if (slack > 0.0) {
+              master.node(n).serve_prefetch(slack, &node_background[n]);
+            }
+          }
+        });
+        // Merge the per-node charges in node-ID order: totals accumulate
+        // identically for every worker count.
+        for (NodeId n = 0; n < num_nodes; ++n) {
+          background.disk_read_bytes += node_background[n].disk_read_bytes;
+          background.disk_write_bytes += node_background[n].disk_write_bytes;
         }
       }
 
@@ -197,9 +324,18 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
       }
 
       // -- Eviction phase of Algorithm 1 at the stage boundary: consume the
-      //    stage's references, then drop newly inactive RDDs cluster-wide.
-      master.broadcast_stage_end(plan, job.id, rec.stage);
-      master.execute_purge();
+      //    stage's references, then drop newly inactive RDDs cluster-wide
+      //    (each node's purge is independent of the others').
+      {
+        ScopedTimer timer(config.phase_timers, SimPhase::kBroadcast);
+        master.broadcast_stage_end(plan, job.id, rec.stage);
+      }
+      {
+        ScopedTimer timer(config.phase_timers, SimPhase::kPurge);
+        for_each_node_chunk([&](NodeId lo, NodeId hi) {
+          master.execute_purge(lo, hi);
+        });
+      }
     }
   }
 
@@ -213,7 +349,16 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
   const NodeCacheStats stats = master.aggregate_stats();
   metrics.probes = stats.probes;
   metrics.hits = stats.hits;
-  metrics.per_rdd_probes = stats.per_rdd;
+  metrics.per_rdd_probes.reserve(stats.per_rdd.size());
+  for (std::size_t rdd = 0; rdd < stats.per_rdd.size(); ++rdd) {
+    // The dense per-node tables hold {0, 0} for RDDs never probed; only
+    // probed RDDs belong in the reported metrics.
+    if (stats.per_rdd[rdd].first == 0 && stats.per_rdd[rdd].second == 0) {
+      continue;
+    }
+    metrics.per_rdd_probes.emplace_back(static_cast<std::uint32_t>(rdd),
+                                        stats.per_rdd[rdd]);
+  }
   metrics.misses_from_disk = stats.disk_hits;
   metrics.misses_recompute = stats.cold_misses;
   metrics.blocks_cached = stats.blocks_cached;

@@ -16,6 +16,7 @@
 //      prefetch orders (Algorithm 1's eviction and prefetching phases).
 #pragma once
 
+#include <cstddef>
 #include <memory>
 
 #include "cluster/cluster_config.h"
@@ -23,6 +24,7 @@
 #include "dag/application.h"
 #include "dag/execution_plan.h"
 #include "metrics/run_metrics.h"
+#include "util/scoped_timer.h"
 
 namespace mrd {
 
@@ -38,7 +40,28 @@ struct RunConfig {
   /// Per-node cap on outstanding prefetch orders.
   std::size_t max_prefetch_queue = 64;
   bool record_stage_timings = false;
+  /// Workers fanning the per-stage per-node phases (probes, cache writes,
+  /// prefetch issue/serve, purge) across the simulated nodes *within* this
+  /// run. <=1 runs serially. Results are byte-identical for every value:
+  /// each node's state only ever sees its own serial subsequence of events,
+  /// and cross-node work falls back to the serial path (see
+  /// plan_supports_node_parallel).
+  std::size_t node_jobs = 1;
+  /// Optional per-phase wall-clock accumulation (perf instrumentation);
+  /// null = no clock reads on the simulation path.
+  PhaseTimers* phase_timers = nullptr;
 };
+
+/// True when every demand probe's lineage-recompute closure stays on the
+/// probed block's owner node, making per-node fan-out safe. A narrow
+/// persisted→persisted edge that changes partition counts can re-map a
+/// parent partition onto a different node (pj = j mod parent_partitions);
+/// the sufficient per-edge condition checked here is that the parent either
+/// keeps the child's indices (parent_partitions >= child_partitions) or
+/// preserves owner residues (num_nodes divides parent_partitions). When this
+/// returns false, run_plan ignores node_jobs and runs serially — same
+/// output, no parallelism.
+bool plan_supports_node_parallel(const ExecutionPlan& plan, NodeId num_nodes);
 
 /// Plans and runs `app`. Deterministic for a given (app, config).
 RunMetrics run_application(std::shared_ptr<const Application> app,

@@ -8,14 +8,19 @@ namespace {
 // A lineage chain deeper than this indicates a malformed graph (RDD ids are
 // dense, so chains are bounded by the RDD count; workloads stay << this).
 constexpr int kMaxRecomputeDepth = 100000;
+
+inline std::uint64_t pack_edge(RddId child, RddId parent) {
+  return (static_cast<std::uint64_t>(child) << 32) | parent;
+}
 }  // namespace
 
 LineageResolver::LineageResolver(const ExecutionPlan& plan,
                                  BlockManagerMaster* master)
     : plan_(plan), master_(master) {
   MRD_CHECK(master_ != nullptr);
+  recompute_cpu_ms_by_node_.resize(master_->num_nodes(), 0.0);
   for (const ShuffleInfo& s : plan.shuffles()) {
-    shuffle_by_edge_[{s.reduce_rdd, s.map_rdd}] = s.id;
+    shuffle_by_edge_[pack_edge(s.reduce_rdd, s.map_rdd)] = s.id;
   }
 }
 
@@ -54,7 +59,7 @@ void LineageResolver::recompute_cost(RddId rdd, PartitionIndex partition,
   const RddInfo& info = plan_.app().rdd(rdd);
 
   (*acct)[charge_node].cpu_task_ms += info.compute_ms_per_partition;
-  recompute_cpu_ms_ += info.compute_ms_per_partition;
+  recompute_cpu_ms_by_node_[charge_node] += info.compute_ms_per_partition;
 
   if (is_source(info.kind)) {
     // Re-read the source partition from (data-local) HDFS.
@@ -67,9 +72,9 @@ void LineageResolver::recompute_cost(RddId rdd, PartitionIndex partition,
     // RDD's partition is rebuilt from the shuffle, not from parent RDDs.
     const NodeId n = master_->num_nodes();
     for (RddId p : info.parents) {
-      const auto it = shuffle_by_edge_.find({rdd, p});
-      MRD_CHECK(it != shuffle_by_edge_.end());
-      const ShuffleInfo& shuffle = plan_.shuffle(it->second);
+      const ShuffleId* sid = shuffle_by_edge_.find(pack_edge(rdd, p));
+      MRD_CHECK(sid != nullptr);
+      const ShuffleInfo& shuffle = plan_.shuffle(*sid);
       const std::uint64_t share =
           shuffle.bytes / std::max<std::uint64_t>(1, info.num_partitions);
       (*acct)[charge_node].network_bytes += share * (n - 1) / n;

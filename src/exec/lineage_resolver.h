@@ -6,13 +6,13 @@
 // recomputed block.
 #pragma once
 
-#include <map>
 #include <utility>
 #include <vector>
 
 #include "cluster/block_manager_master.h"
 #include "dag/execution_plan.h"
 #include "sim/node_accounting.h"
+#include "util/flat_hash.h"
 
 namespace mrd {
 
@@ -26,8 +26,15 @@ class LineageResolver {
   ProbeOutcome demand_block(const BlockId& block,
                             std::vector<NodeAccounting>* acct);
 
-  /// CPU milliseconds spent in lineage recomputation so far.
-  double recompute_cpu_ms() const { return recompute_cpu_ms_; }
+  /// CPU milliseconds spent in lineage recomputation so far. Accumulated
+  /// per charged node and summed in node-ID order, so the value is
+  /// bit-identical no matter how per-node work is interleaved or
+  /// parallelized.
+  double recompute_cpu_ms() const {
+    double total = 0.0;
+    for (double ms : recompute_cpu_ms_by_node_) total += ms;
+    return total;
+  }
 
  private:
   /// Charges the cost of recomputing partition `partition` of `rdd` to
@@ -43,9 +50,11 @@ class LineageResolver {
 
   const ExecutionPlan& plan_;
   BlockManagerMaster* master_;
-  /// (child, parent) -> shuffle, for wide-edge lookup during recomputation.
-  std::map<std::pair<RddId, RddId>, ShuffleId> shuffle_by_edge_;
-  double recompute_cpu_ms_ = 0.0;
+  /// (child, parent) packed into one key -> shuffle, for wide-edge lookup
+  /// during recomputation.
+  FlatMap64<ShuffleId> shuffle_by_edge_;
+  /// Recompute CPU per charged node (index == NodeId).
+  std::vector<double> recompute_cpu_ms_by_node_;
 };
 
 }  // namespace mrd

@@ -67,13 +67,14 @@ std::uint64_t cache_bytes_per_node_for(const WorkloadRun& run,
 
 RunMetrics run_with_policy(const WorkloadRun& run, ClusterConfig cluster,
                            double cache_fraction, const PolicyConfig& policy,
-                           DagVisibility visibility) {
+                           DagVisibility visibility, std::size_t node_jobs) {
   cluster.cache_bytes_per_node =
       cache_bytes_per_node_for(run, cluster, cache_fraction);
   RunConfig config;
   config.cluster = cluster;
   config.policy = policy;
   config.visibility = visibility;
+  config.node_jobs = node_jobs;
   return run_plan(run.plan, config);
 }
 
@@ -95,24 +96,36 @@ std::vector<RunMetrics> run_sweep_parallel(const std::vector<SweepJob>& jobs,
   return results;
 }
 
-SweepRunner::SweepRunner(std::size_t threads)
+SweepRunner::SweepRunner(std::size_t threads, std::size_t node_jobs)
     : threads_(std::max<std::size_t>(1, threads)),
+      node_jobs_(std::max<std::size_t>(1, node_jobs)),
       pool_(threads_),
       start_(Clock::now()) {}
 
 std::shared_future<RunMetrics> SweepRunner::submit(SweepJob job) {
   MRD_CHECK(job.run != nullptr);
+  // Intra-run fan-out only engages on a serial sweep: with multiple sweep
+  // threads the independent runs already fill the machine, and nested pools
+  // would oversubscribe it. (Either way the metrics are identical.)
+  const std::size_t requested =
+      job.node_jobs > 0 ? job.node_jobs : node_jobs_;
+  const std::size_t node_jobs = threads_ > 1 ? 1 : requested;
+  const Clock::time_point submitted = Clock::now();
   return pool_
-      .submit([this, job = std::move(job)]() -> RunMetrics {
+      .submit([this, job = std::move(job), node_jobs,
+               submitted]() -> RunMetrics {
         const Clock::time_point t0 = Clock::now();
-        RunMetrics metrics = run_with_policy(*job.run, job.cluster,
-                                             job.fraction, job.policy,
-                                             job.visibility);
+        RunMetrics metrics =
+            run_with_policy(*job.run, job.cluster, job.fraction, job.policy,
+                            job.visibility, node_jobs);
         const double elapsed = ms_between(t0, Clock::now());
+        const double queued = ms_between(submitted, t0);
         {
           std::lock_guard<std::mutex> lock(mu_);
           ++runs_done_;
           aggregate_ms_ += elapsed;
+          queue_ms_ += queued;
+          run_ms_sumsq_ += elapsed * elapsed;
         }
         return metrics;
       })
@@ -146,6 +159,8 @@ SweepStats SweepRunner::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   stats.runs = runs_done_;
   stats.aggregate_ms = aggregate_ms_;
+  stats.queue_ms = queue_ms_;
+  stats.run_ms_sumsq = run_ms_sumsq_;
   return stats;
 }
 

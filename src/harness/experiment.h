@@ -15,6 +15,7 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -59,9 +60,13 @@ std::uint64_t cache_bytes_per_node_for(const WorkloadRun& run,
                                        double fraction);
 
 /// Runs `run` under `policy` with the cluster cache sized by `fraction`.
+/// `node_jobs` fans the per-stage per-node work inside this one run across
+/// that many workers (see RunConfig::node_jobs; output is identical for any
+/// value).
 RunMetrics run_with_policy(const WorkloadRun& run, ClusterConfig cluster,
                            double cache_fraction, const PolicyConfig& policy,
-                           DagVisibility visibility = DagVisibility::kRecurring);
+                           DagVisibility visibility = DagVisibility::kRecurring,
+                           std::size_t node_jobs = 1);
 
 // ---------------------------------------------------------------------------
 // Parallel sweep
@@ -74,6 +79,10 @@ struct SweepJob {
   double fraction = 0.0;
   PolicyConfig policy;
   DagVisibility visibility = DagVisibility::kRecurring;
+  /// Intra-run node workers for this point; 0 = inherit the runner's
+  /// default. Ignored (forced to 1) whenever the sweep itself runs on more
+  /// than one thread — the outer, embarrassingly parallel level wins.
+  std::size_t node_jobs = 0;
 };
 
 /// Wall-clock accounting of a sweep — the source of the benches' speedup
@@ -83,10 +92,26 @@ struct SweepStats {
   std::size_t threads = 1;
   double wall_ms = 0.0;       // elapsed time of the whole sweep
   double aggregate_ms = 0.0;  // sum of per-run execution times
+  double queue_ms = 0.0;      // sum of per-point submit→start latencies
+  double run_ms_sumsq = 0.0;  // sum of squared per-run execution times
   /// Effective parallel speedup: aggregate simulation time per elapsed
   /// second. 1.0 on a single thread by construction.
   double speedup() const {
     return wall_ms > 0.0 ? aggregate_ms / wall_ms : 1.0;
+  }
+  /// Mean time a point waited in the pool queue before its run started —
+  /// high values mean the sweep is submission-bound, not worker-bound.
+  double mean_queue_ms() const {
+    return runs > 0 ? queue_ms / static_cast<double>(runs) : 0.0;
+  }
+  /// Population standard deviation of per-run wall clock: how uneven the
+  /// sweep's points are (the tail run gates the whole sweep).
+  double run_stddev_ms() const {
+    if (runs == 0) return 0.0;
+    const double n = static_cast<double>(runs);
+    const double mean = aggregate_ms / n;
+    const double variance = run_ms_sumsq / n - mean * mean;
+    return variance > 0.0 ? std::sqrt(variance) : 0.0;
   }
 };
 
@@ -135,9 +160,15 @@ class PendingBest {
 /// parallel results are guaranteed identical to.
 class SweepRunner {
  public:
-  explicit SweepRunner(std::size_t threads = 1);
+  /// `node_jobs` is the default intra-run fan-out for jobs that do not set
+  /// their own (SweepJob::node_jobs == 0). The two levels never stack: with
+  /// more than one sweep thread every run executes with node_jobs = 1 —
+  /// cross-run parallelism already saturates the machine, and nesting would
+  /// oversubscribe it.
+  explicit SweepRunner(std::size_t threads = 1, std::size_t node_jobs = 1);
 
   std::size_t threads() const { return threads_; }
+  std::size_t node_jobs() const { return node_jobs_; }
 
   /// Queues one run. The future resolves with its metrics (or rethrows the
   /// run's exception on get()).
@@ -158,11 +189,14 @@ class SweepRunner {
 
  private:
   std::size_t threads_;
+  std::size_t node_jobs_;
   ThreadPool pool_;
   std::chrono::steady_clock::time_point start_;
   mutable std::mutex mu_;
   std::size_t runs_done_ = 0;
   double aggregate_ms_ = 0.0;
+  double queue_ms_ = 0.0;
+  double run_ms_sumsq_ = 0.0;
 };
 
 std::vector<SweepPoint> sweep_cache(const WorkloadRun& run,

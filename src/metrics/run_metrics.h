@@ -4,7 +4,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -55,8 +54,9 @@ struct RunMetrics {
   std::vector<StageTiming> stage_timings;
 
   /// Per-RDD (probes, hits) across the cluster — which data each policy
-  /// actually served from memory.
-  std::map<std::uint32_t, std::pair<std::uint64_t, std::uint64_t>>
+  /// actually served from memory. Sorted by RDD id; only RDDs that were
+  /// actually probed appear.
+  std::vector<std::pair<std::uint32_t, std::pair<std::uint64_t, std::uint64_t>>>
       per_rdd_probes;
 
   // MRD bookkeeping (zero for non-MRD policies) — §4.4 overhead claims.

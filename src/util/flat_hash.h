@@ -1,0 +1,209 @@
+// Open-addressing hash containers for the simulator hot path.
+//
+// The per-node cache layer keys everything by BlockId — two dense 32-bit
+// integers — so a node-based std::unordered_map pays an allocation, a
+// pointer chase and a bucket indirection per operation for keys that pack
+// into a single word. FlatMap64 stores (key, value) slots contiguously with
+// linear probing and backward-shift deletion (no tombstones), which keeps
+// probe sequences short under churny insert/erase workloads like eviction.
+//
+// Keys are raw uint64_t; BlockId packs via pack_block_id(). The key
+// 0xFFFF...FF is reserved as the empty sentinel (it corresponds to
+// BlockId{kInvalidRdd, 0xFFFFFFFF}, which is never stored).
+//
+// Iteration order is hash order: deterministic for a given sequence of
+// operations, but *not* sorted — callers that need ordered output must sort.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dag/ids.h"
+#include "util/check.h"
+
+namespace mrd {
+
+inline constexpr std::uint64_t pack_block_id(const BlockId& block) {
+  return (static_cast<std::uint64_t>(block.rdd) << 32) | block.partition;
+}
+
+inline constexpr BlockId unpack_block_id(std::uint64_t key) {
+  return BlockId{static_cast<RddId>(key >> 32),
+                 static_cast<PartitionIndex>(key & 0xFFFFFFFFu)};
+}
+
+template <typename Value>
+class FlatMap64 {
+ public:
+  static constexpr std::uint64_t kEmptyKey = ~0ull;
+
+  FlatMap64() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    slots_.clear();
+    mask_ = 0;
+    size_ = 0;
+  }
+
+  bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+  const Value* find(std::uint64_t key) const {
+    if (size_ == 0) return nullptr;
+    std::size_t i = index_of(key);
+    while (true) {
+      const Slot& slot = slots_[i];
+      if (slot.key == key) return &slot.value;
+      if (slot.key == kEmptyKey) return nullptr;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  Value* find(std::uint64_t key) {
+    return const_cast<Value*>(std::as_const(*this).find(key));
+  }
+
+  /// Returns the value slot for `key`, default-constructing it if absent.
+  Value& operator[](std::uint64_t key) {
+    MRD_DCHECK(key != kEmptyKey);
+    reserve_for_insert();
+    std::size_t i = index_of(key);
+    while (true) {
+      Slot& slot = slots_[i];
+      if (slot.key == key) return slot.value;
+      if (slot.key == kEmptyKey) {
+        slot.key = key;
+        slot.value = Value{};
+        ++size_;
+        return slot.value;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Inserts (key, value); returns false (leaving the map unchanged) if the
+  /// key is already present.
+  bool insert(std::uint64_t key, Value value) {
+    MRD_DCHECK(key != kEmptyKey);
+    reserve_for_insert();
+    std::size_t i = index_of(key);
+    while (true) {
+      Slot& slot = slots_[i];
+      if (slot.key == key) return false;
+      if (slot.key == kEmptyKey) {
+        slot.key = key;
+        slot.value = std::move(value);
+        ++size_;
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Removes `key` via backward-shift deletion. Returns false if absent.
+  bool erase(std::uint64_t key) {
+    if (size_ == 0) return false;
+    std::size_t i = index_of(key);
+    while (true) {
+      if (slots_[i].key == key) break;
+      if (slots_[i].key == kEmptyKey) return false;
+      i = (i + 1) & mask_;
+    }
+    // Shift the probe chain back over the hole so lookups never need
+    // tombstones.
+    std::size_t j = i;
+    while (true) {
+      j = (j + 1) & mask_;
+      if (slots_[j].key == kEmptyKey) break;
+      const std::size_t ideal = index_of(slots_[j].key);
+      // slots_[j] may move into the hole at i only if its ideal position is
+      // no later (cyclically) than i along its probe chain.
+      if (((j - ideal) & mask_) >= ((j - i) & mask_)) {
+        slots_[i] = std::move(slots_[j]);
+        i = j;
+      }
+    }
+    slots_[i].key = kEmptyKey;
+    slots_[i].value = Value{};
+    --size_;
+    return true;
+  }
+
+  /// Visits every (key, value) pair in hash order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.key != kEmptyKey) fn(slot.key, slot.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = kEmptyKey;
+    Value value{};
+  };
+
+  static std::size_t mix(std::uint64_t key) {
+    // splitmix64 finalizer — full-avalanche over the packed (rdd, partition).
+    key ^= key >> 30;
+    key *= 0xBF58476D1CE4E5B9ull;
+    key ^= key >> 27;
+    key *= 0x94D049BB133111EBull;
+    key ^= key >> 31;
+    return static_cast<std::size_t>(key);
+  }
+
+  std::size_t index_of(std::uint64_t key) const { return mix(key) & mask_; }
+
+  void reserve_for_insert() {
+    if (slots_.empty()) {
+      slots_.resize(16);
+      mask_ = 15;
+      return;
+    }
+    // Grow at 7/8 load: linear probing stays short and growth is amortized.
+    if ((size_ + 1) * 8 > slots_.size() * 7) rehash(slots_.size() * 2);
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.clear();
+    slots_.resize(new_capacity);
+    mask_ = new_capacity - 1;
+    for (Slot& slot : old) {
+      if (slot.key == kEmptyKey) continue;
+      std::size_t i = index_of(slot.key);
+      while (slots_[i].key != kEmptyKey) i = (i + 1) & mask_;
+      slots_[i] = std::move(slot);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Set of packed 64-bit keys on the same open-addressing layout.
+class FlatSet64 {
+ public:
+  bool contains(std::uint64_t key) const { return map_.contains(key); }
+  bool insert(std::uint64_t key) { return map_.insert(key, Empty{}); }
+  bool erase(std::uint64_t key) { return map_.erase(key); }
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void clear() { map_.clear(); }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    map_.for_each([&](std::uint64_t key, const Empty&) { fn(key); });
+  }
+
+ private:
+  struct Empty {};
+  FlatMap64<Empty> map_;
+};
+
+}  // namespace mrd

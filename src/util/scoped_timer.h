@@ -1,0 +1,81 @@
+// Lightweight phase timing for the simulator hot path.
+//
+// The runner accounts wall time per simulation subsystem (probe resolution,
+// prefetch issue/serve, purge, broadcasts) so the perf microbench can report
+// a per-subsystem breakdown alongside the run-level wall clock. Timers are
+// opt-in: a null PhaseTimers pointer costs one branch per phase, so ordinary
+// runs (benches, sweeps) pay nothing.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <string_view>
+
+namespace mrd {
+
+/// The per-stage subsystems the runner distinguishes.
+enum class SimPhase : std::size_t {
+  kProbes = 0,        // demand-path block resolution (hits, disk, lineage)
+  kCacheWrites,       // caching newly materialized persisted blocks
+  kPrefetchIssue,     // collecting candidates + queueing prefetch orders
+  kPrefetchServe,     // serving the queues with stage idle disk time
+  kPurge,             // stage-end proactive purge
+  kBroadcast,         // DAG event fan-out to every node's policy
+  kCount,
+};
+
+inline constexpr std::size_t kNumSimPhases =
+    static_cast<std::size_t>(SimPhase::kCount);
+
+inline constexpr std::array<std::string_view, kNumSimPhases> kSimPhaseNames = {
+    "probes",         "cache_writes", "prefetch_issue",
+    "prefetch_serve", "purge",        "broadcast",
+};
+
+/// Accumulated wall milliseconds per phase over one (or more) runs.
+struct PhaseTimers {
+  std::array<double, kNumSimPhases> ms{};
+
+  double& operator[](SimPhase phase) {
+    return ms[static_cast<std::size_t>(phase)];
+  }
+  double operator[](SimPhase phase) const {
+    return ms[static_cast<std::size_t>(phase)];
+  }
+  double total() const {
+    double sum = 0.0;
+    for (double v : ms) sum += v;
+    return sum;
+  }
+};
+
+/// Adds the elapsed wall time of its scope to one phase accumulator.
+/// A null `timers` disables the clock reads entirely.
+class ScopedTimer {
+ public:
+  ScopedTimer(PhaseTimers* timers, SimPhase phase) : timers_(timers) {
+    if (timers_ != nullptr) {
+      sink_ = &(*timers_)[phase];
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ~ScopedTimer() {
+    if (timers_ != nullptr) {
+      *sink_ += std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  PhaseTimers* timers_;
+  double* sink_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mrd

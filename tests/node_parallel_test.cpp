@@ -1,0 +1,272 @@
+// Intra-run node parallelism: for any --node-jobs value the runner must
+// produce results byte-identical to the serial run — both through RunMetrics
+// (field for field, doubles included) and through the CSV bytes the bench
+// drivers emit. Also covers the node-closedness predicate that gates the
+// fan-out and the SweepRunner rule that outer sweep parallelism wins.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dag/dag_builder.h"
+#include "dag/dag_scheduler.h"
+#include "harness/experiment.h"
+#include "util/csv.h"
+#include "util/format.h"
+
+namespace mrd {
+namespace {
+
+/// Exact equality across every RunMetrics field — doubles included, since a
+/// fanned-out run must replay the identical deterministic simulation.
+void expect_identical(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.jct_ms, b.jct_ms);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses_from_disk, b.misses_from_disk);
+  EXPECT_EQ(a.misses_recompute, b.misses_recompute);
+  EXPECT_EQ(a.blocks_cached, b.blocks_cached);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.spills, b.spills);
+  EXPECT_EQ(a.purged_blocks, b.purged_blocks);
+  EXPECT_EQ(a.uncacheable_blocks, b.uncacheable_blocks);
+  EXPECT_EQ(a.prefetches_issued, b.prefetches_issued);
+  EXPECT_EQ(a.prefetches_completed, b.prefetches_completed);
+  EXPECT_EQ(a.prefetches_useful, b.prefetches_useful);
+  EXPECT_EQ(a.prefetches_wasted, b.prefetches_wasted);
+  EXPECT_EQ(a.disk_bytes_read, b.disk_bytes_read);
+  EXPECT_EQ(a.disk_bytes_written, b.disk_bytes_written);
+  EXPECT_EQ(a.network_bytes, b.network_bytes);
+  EXPECT_EQ(a.recompute_cpu_ms, b.recompute_cpu_ms);
+  EXPECT_EQ(a.per_rdd_probes, b.per_rdd_probes);
+  EXPECT_EQ(a.mrd_table_peak_entries, b.mrd_table_peak_entries);
+  EXPECT_EQ(a.mrd_update_messages, b.mrd_update_messages);
+  ASSERT_EQ(a.stage_timings.size(), b.stage_timings.size());
+  for (std::size_t i = 0; i < a.stage_timings.size(); ++i) {
+    EXPECT_EQ(a.stage_timings[i].stage, b.stage_timings[i].stage);
+    EXPECT_EQ(a.stage_timings[i].job, b.stage_timings[i].job);
+    EXPECT_EQ(a.stage_timings[i].duration_ms, b.stage_timings[i].duration_ms);
+    EXPECT_EQ(a.stage_timings[i].compute_ms, b.stage_timings[i].compute_ms);
+    EXPECT_EQ(a.stage_timings[i].io_ms, b.stage_timings[i].io_ms);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// plan_supports_node_parallel
+// ---------------------------------------------------------------------------
+
+ExecutionPlan plan_of(DagBuilder&& builder) {
+  return DagScheduler::plan(
+      std::make_shared<const Application>(std::move(builder).build()));
+}
+
+TEST(NodeParallel, PredicateAcceptsIndexPreservingLineage) {
+  // Every narrow edge keeps the parent's partition count: an index probed at
+  // a child is valid (and owner-preserving) at the parent.
+  DagBuilder b("closed");
+  const RddId src = b.source("in", 16, 1 << 20);
+  const RddId a = b.map(src, "a");
+  b.persist(a);
+  const RddId c = b.filter(a, "c");
+  b.persist(c);
+  b.action(c, "count");
+  EXPECT_TRUE(plan_supports_node_parallel(plan_of(std::move(b)), 4));
+}
+
+TEST(NodeParallel, PredicateRejectsOwnerBreakingNarrowEdge) {
+  // The persisted child has more partitions than its persisted parent and
+  // the parent's count does not preserve residues mod num_nodes: probing
+  // child partition 5 re-maps to parent partition 5 % 5 = 0 on node 0 while
+  // the child block lives on node 1 — a cross-node recompute.
+  DagBuilder b("open");
+  const RddId src = b.source("in", 5, 1 << 20);
+  const RddId parent = b.map(src, "parent");
+  b.persist(parent);
+  TransformOpts wider;
+  wider.partitions = 7;
+  const RddId child = b.map(parent, "child", wider);
+  b.persist(child);
+  b.action(child, "count");
+  const ExecutionPlan plan = plan_of(std::move(b));
+  EXPECT_FALSE(plan_supports_node_parallel(plan, 4));
+  // A single node is trivially closed.
+  EXPECT_TRUE(plan_supports_node_parallel(plan, 1));
+}
+
+TEST(NodeParallel, PredicateAcceptsResiduePreservingRepartition) {
+  // Parent count 8 is smaller than the child's 12 but divisible by the node
+  // count: j % 8 keeps j's residue mod 4, so the re-map stays on-node.
+  DagBuilder b("residue");
+  const RddId src = b.source("in", 8, 1 << 20);
+  const RddId parent = b.map(src, "parent");
+  b.persist(parent);
+  TransformOpts wider;
+  wider.partitions = 12;
+  const RddId child = b.map(parent, "child", wider);
+  b.persist(child);
+  b.action(child, "count");
+  EXPECT_TRUE(plan_supports_node_parallel(plan_of(std::move(b)), 4));
+}
+
+TEST(NodeParallel, PredicateChecksEdgesThroughNonPersistedParents) {
+  // The owner-breaking edge sits one hop *below* a non-persisted
+  // intermediate; the closure walk must descend through it.
+  DagBuilder b("deep-open");
+  const RddId src = b.source("in", 5, 1 << 20);
+  const RddId grand = b.map(src, "grand");
+  b.persist(grand);
+  TransformOpts wider;
+  wider.partitions = 7;
+  const RddId middle = b.map(grand, "middle", wider);  // not persisted
+  const RddId child = b.map(middle, "child");
+  b.persist(child);
+  b.action(child, "count");
+  EXPECT_FALSE(plan_supports_node_parallel(plan_of(std::move(b)), 4));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end identity across node-job counts (fig4-style points)
+// ---------------------------------------------------------------------------
+
+struct Point {
+  const char* workload;
+  const char* policy;
+  double fraction;
+};
+
+std::vector<Point> sample_points() {
+  // tc and km pass the closedness predicate (the fan-out actually runs);
+  // pr fails it and exercises the serial fallback under node_jobs > 1.
+  return {{"tc", "lru", 0.5},  {"tc", "mrd", 0.5}, {"km", "mrd", 0.5},
+          {"km", "lru", 1.0},  {"pr", "mrd", 0.5}, {"pr", "lru", 1.0},
+          {"tc", "mrd-evict", 1.0}};
+}
+
+RunMetrics run_point(const WorkloadRun& run, const Point& point,
+                     std::size_t node_jobs) {
+  ClusterConfig cluster = main_cluster();
+  cluster.num_nodes = 8;
+  PolicyConfig policy;
+  policy.name = point.policy;
+  return run_with_policy(run, cluster, point.fraction, policy,
+                         DagVisibility::kRecurring, node_jobs);
+}
+
+TEST(NodeParallel, RunMetricsIdenticalForAnyNodeJobCount) {
+  WorkloadParams params;
+  params.scale = 0.25;
+  for (const Point& point : sample_points()) {
+    SCOPED_TRACE(std::string(point.workload) + "/" + point.policy);
+    const WorkloadRun run =
+        plan_workload(*find_workload(point.workload), params);
+    const RunMetrics serial = run_point(run, point, 1);
+    for (std::size_t node_jobs : {2u, 8u}) {
+      SCOPED_TRACE(node_jobs);
+      expect_identical(serial, run_point(run, point, node_jobs));
+    }
+  }
+}
+
+/// Renders metrics through the same formatting helpers the bench drivers
+/// use, so the comparison covers the full metrics→CSV path.
+std::string csv_bytes_for(const std::vector<RunMetrics>& results,
+                          const std::string& path) {
+  CsvWriter csv(path);
+  csv.write_row({"workload", "policy", "jct_ms", "hit", "disk_read",
+                 "disk_write", "network", "recompute_cpu_ms"});
+  for (const RunMetrics& m : results) {
+    csv.write_row({m.workload, m.policy, format_double(m.jct_ms, 4),
+                   format_double(m.hit_ratio(), 4),
+                   std::to_string(m.disk_bytes_read),
+                   std::to_string(m.disk_bytes_written),
+                   std::to_string(m.network_bytes),
+                   format_double(m.recompute_cpu_ms, 4)});
+  }
+  csv.close();
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::remove(path.c_str());
+  return buffer.str();
+}
+
+TEST(NodeParallel, CsvBytesIdenticalForAnyNodeJobCount) {
+  WorkloadParams params;
+  params.scale = 0.25;
+  std::vector<RunMetrics> serial, two, eight;
+  for (const Point& point : sample_points()) {
+    const WorkloadRun run =
+        plan_workload(*find_workload(point.workload), params);
+    serial.push_back(run_point(run, point, 1));
+    two.push_back(run_point(run, point, 2));
+    eight.push_back(run_point(run, point, 8));
+  }
+  const std::string base = testing::TempDir() + "node_parallel_csv_";
+  const std::string bytes1 = csv_bytes_for(serial, base + "1.csv");
+  EXPECT_FALSE(bytes1.empty());
+  EXPECT_EQ(bytes1, csv_bytes_for(two, base + "2.csv"));
+  EXPECT_EQ(bytes1, csv_bytes_for(eight, base + "8.csv"));
+}
+
+// ---------------------------------------------------------------------------
+// SweepRunner nesting
+// ---------------------------------------------------------------------------
+
+TEST(NodeParallel, SweepRunnerNodeJobsMatchSerialResults) {
+  WorkloadParams params;
+  params.scale = 0.25;
+  ClusterConfig cluster = main_cluster();
+  cluster.num_nodes = 8;
+  const auto run = plan_workload_shared(*find_workload("tc"), params);
+  PolicyConfig mrd;
+  mrd.name = "mrd";
+  const SweepJob job{run, cluster, 0.5, mrd};
+
+  SweepRunner serial(1);
+  const RunMetrics baseline = serial.submit(job).get();
+
+  // Serial sweep + intra-run fan-out (the combination --jobs 1 --node-jobs 8
+  // plumbs through the drivers).
+  SweepRunner nested(1, 8);
+  expect_identical(baseline, nested.submit(job).get());
+  EXPECT_EQ(nested.node_jobs(), 8u);
+
+  // Parallel sweep: node_jobs is forced to 1, results unchanged.
+  SweepRunner outer(4, 8);
+  expect_identical(baseline, outer.submit(job).get());
+
+  // Per-job override beats the runner default.
+  SweepJob override_job = job;
+  override_job.node_jobs = 2;
+  expect_identical(baseline, serial.submit(override_job).get());
+}
+
+TEST(NodeParallel, SweepStatsReportQueueLatencyAndRunSpread) {
+  WorkloadParams params;
+  params.scale = 0.25;
+  ClusterConfig cluster = main_cluster();
+  cluster.num_nodes = 4;
+  const auto run = plan_workload_shared(*find_workload("pr"), params);
+  SweepRunner runner(2);
+  for (double fraction : {0.4, 0.6, 0.8, 1.0}) {
+    PolicyConfig lru;
+    lru.name = "lru";
+    runner.submit(SweepJob{run, cluster, fraction, lru}).wait();
+  }
+  const SweepStats stats = runner.stats();
+  EXPECT_EQ(stats.runs, 4u);
+  EXPECT_GE(stats.queue_ms, 0.0);
+  EXPECT_GE(stats.mean_queue_ms(), 0.0);
+  EXPECT_GE(stats.run_stddev_ms(), 0.0);
+  // Sanity: the spread can never exceed the largest run, which is bounded
+  // by the aggregate.
+  EXPECT_LE(stats.run_stddev_ms(), stats.aggregate_ms);
+}
+
+}  // namespace
+}  // namespace mrd

@@ -10,10 +10,14 @@ namespace {
 constexpr auto kStage = DistanceMetric::kStage;
 constexpr auto kJob = DistanceMetric::kJob;
 
-TEST(RefDistanceTable, UnknownRddIsInfinite) {
+TEST(RefDistanceTable, UnknownRddIsInfiniteAndInactive) {
   RefDistanceTable table;
   EXPECT_TRUE(std::isinf(table.distance(7, 0, 0, kStage)));
-  EXPECT_FALSE(table.is_inactive(7));  // never tracked ≠ inactive
+  // Never tracked reads the same as fully consumed: distance() already calls
+  // it infinite, so is_inactive must agree (it used to answer false).
+  EXPECT_TRUE(table.is_inactive(7));
+  // The enumerated purge set still only names *announced* RDDs.
+  EXPECT_TRUE(table.inactive_rdds().empty());
 }
 
 TEST(RefDistanceTable, DistanceIsGapToNearestReference) {
