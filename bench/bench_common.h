@@ -136,6 +136,17 @@ inline void report_sweep(const SweepRunner& runner) {
   if (runner.node_jobs() > 1) {
     std::cout << "; node-jobs " << runner.node_jobs();
   }
+  // Closure-aware node-group accounting: how the intra-run fan-out actually
+  // decomposed the plans (deterministic — a property of the plans, not of
+  // thread timing).
+  const NodeParallelStats& np = stats.node_parallel;
+  if (np.engaged && np.probe_regions > 0) {
+    std::cout << "; groups " << np.min_groups << ".."
+              << np.max_groups << "/" << np.num_nodes << " (mean "
+              << format_double(np.mean_groups(), 1) << ", largest "
+              << np.largest_group << "), parallel probes "
+              << format_percent(np.parallel_region_share(), 0);
+  }
   std::cout << "\n";
 }
 

@@ -51,6 +51,8 @@ struct Result {
   double median_ms = 0.0;
   std::vector<double> samples_ms;
   PhaseTimers phases;  // accumulated over all repeats
+  /// Node-group accounting of the differential verification run.
+  NodeParallelStats node_parallel;
   double speedup() const {
     return median_ms > 0.0 ? baseline_ms / median_ms : 0.0;
   }
@@ -62,6 +64,59 @@ double median(std::vector<double> v) {
 }
 
 std::string json_number(double value) { return format_double(value, 3); }
+
+/// Name of the first RunMetrics field that differs, or "" when the two runs
+/// are field-for-field identical (which makes every CSV projection of them
+/// byte-identical too). Exact compares throughout: the simulation is
+/// deterministic, so even doubles must match bit-for-bit.
+std::string metrics_diff(const RunMetrics& a, const RunMetrics& b) {
+  if (a.workload != b.workload) return "workload";
+  if (a.policy != b.policy) return "policy";
+  if (a.jct_ms != b.jct_ms) return "jct_ms";
+  if (a.probes != b.probes) return "probes";
+  if (a.hits != b.hits) return "hits";
+  if (a.misses_from_disk != b.misses_from_disk) return "misses_from_disk";
+  if (a.misses_recompute != b.misses_recompute) return "misses_recompute";
+  if (a.blocks_cached != b.blocks_cached) return "blocks_cached";
+  if (a.evictions != b.evictions) return "evictions";
+  if (a.spills != b.spills) return "spills";
+  if (a.purged_blocks != b.purged_blocks) return "purged_blocks";
+  if (a.uncacheable_blocks != b.uncacheable_blocks) {
+    return "uncacheable_blocks";
+  }
+  if (a.prefetches_issued != b.prefetches_issued) return "prefetches_issued";
+  if (a.prefetches_completed != b.prefetches_completed) {
+    return "prefetches_completed";
+  }
+  if (a.prefetches_useful != b.prefetches_useful) return "prefetches_useful";
+  if (a.prefetches_wasted != b.prefetches_wasted) return "prefetches_wasted";
+  if (a.disk_bytes_read != b.disk_bytes_read) return "disk_bytes_read";
+  if (a.disk_bytes_written != b.disk_bytes_written) {
+    return "disk_bytes_written";
+  }
+  if (a.network_bytes != b.network_bytes) return "network_bytes";
+  if (a.recompute_cpu_ms != b.recompute_cpu_ms) return "recompute_cpu_ms";
+  if (a.per_rdd_probes != b.per_rdd_probes) return "per_rdd_probes";
+  if (a.mrd_table_peak_entries != b.mrd_table_peak_entries) {
+    return "mrd_table_peak_entries";
+  }
+  if (a.mrd_update_messages != b.mrd_update_messages) {
+    return "mrd_update_messages";
+  }
+  if (a.stage_timings.size() != b.stage_timings.size()) {
+    return "stage_timings";
+  }
+  for (std::size_t i = 0; i < a.stage_timings.size(); ++i) {
+    const StageTiming& x = a.stage_timings[i];
+    const StageTiming& y = b.stage_timings[i];
+    if (x.stage != y.stage || x.job != y.job ||
+        x.duration_ms != y.duration_ms || x.compute_ms != y.compute_ms ||
+        x.io_ms != y.io_ms) {
+      return "stage_timings";
+    }
+  }
+  return "";
+}
 
 }  // namespace
 
@@ -132,6 +187,39 @@ int main(int argc, char** argv) {
     }
     result.median_ms = median(result.samples_ms);
 
+    // Differential verification of the closure-aware group-parallel path:
+    // the fan-out run must reproduce the serial oracle field-for-field, and
+    // the graph workloads must actually engage parallel probe regions (no
+    // serial fallback). record_stage_timings widens the compared surface.
+    RunConfig oracle_config = config;
+    oracle_config.node_jobs = 1;
+    oracle_config.phase_timers = nullptr;
+    oracle_config.record_stage_timings = true;
+    const RunMetrics oracle = run_plan(run->plan, oracle_config);
+    RunConfig parallel_config = oracle_config;
+    parallel_config.node_jobs = std::max<std::size_t>(node_jobs, 2);
+    parallel_config.parallel_stats = &result.node_parallel;
+    const RunMetrics fanned = run_plan(run->plan, parallel_config);
+    const std::string diff = metrics_diff(oracle, fanned);
+    if (!diff.empty()) {
+      std::fprintf(stderr,
+                   "FAIL: %s/%s node-jobs %zu diverged from serial oracle "
+                   "(field %s)\n",
+                   scenario.workload, scenario.policy,
+                   parallel_config.node_jobs, diff.c_str());
+      return 1;
+    }
+    if (result.node_parallel.probe_regions_parallel == 0) {
+      std::fprintf(stderr,
+                   "FAIL: %s/%s fell back to serial probing everywhere "
+                   "(0 of %zu probe regions parallel; plan groups %zu/%zu)\n",
+                   scenario.workload, scenario.policy,
+                   result.node_parallel.probe_regions,
+                   result.node_parallel.plan_groups,
+                   result.node_parallel.num_nodes);
+      return 1;
+    }
+
     // The two heaviest phases, as share of total timed phase ms.
     std::vector<std::pair<double, std::string_view>> shares;
     for (std::size_t p = 0; p < kNumSimPhases; ++p) {
@@ -156,6 +244,16 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::printf("\n(Baselines: commit f9d3c62 on the reference container; "
               "speedup = baseline / median.)\n");
+  std::printf("\nNode-group fan-out (verified against the serial oracle):\n");
+  for (const Result& r : results) {
+    std::printf(
+        "  %s/%s: plan groups %zu/%zu, probe regions %zu (%zu parallel), "
+        "groups %zu..%zu, largest %zu\n",
+        r.workload.c_str(), r.policy.c_str(), r.node_parallel.plan_groups,
+        r.node_parallel.num_nodes, r.node_parallel.probe_regions,
+        r.node_parallel.probe_regions_parallel, r.node_parallel.min_groups,
+        r.node_parallel.max_groups, r.node_parallel.largest_group);
+  }
 
   std::ofstream json("BENCH_core.json");
   json << "{\n  \"bench\": \"perf_microbench\",\n"
@@ -176,7 +274,18 @@ int main(int argc, char** argv) {
     for (std::size_t s = 0; s < r.samples_ms.size(); ++s) {
       json << (s ? ", " : "") << json_number(r.samples_ms[s]);
     }
-    json << "],\n      \"phase_ms\": {";
+    json << "],\n      \"node_parallel\": {"
+         << "\"plan_groups\": " << r.node_parallel.plan_groups
+         << ", \"num_nodes\": " << r.node_parallel.num_nodes
+         << ", \"probe_regions\": " << r.node_parallel.probe_regions
+         << ", \"probe_regions_parallel\": "
+         << r.node_parallel.probe_regions_parallel
+         << ", \"min_groups\": " << r.node_parallel.min_groups
+         << ", \"max_groups\": " << r.node_parallel.max_groups
+         << ", \"mean_groups\": "
+         << json_number(r.node_parallel.mean_groups())
+         << ", \"largest_group\": " << r.node_parallel.largest_group
+         << "},\n      \"phase_ms\": {";
     for (std::size_t p = 0; p < kNumSimPhases; ++p) {
       json << (p ? ", " : "") << "\"" << kSimPhaseNames[p]
            << "\": " << json_number(r.phases.ms[p]);

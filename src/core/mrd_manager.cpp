@@ -16,7 +16,39 @@ MrdManager::MrdManager(std::shared_ptr<AppProfiler> profiler,
 void MrdManager::on_application_start(const ExecutionPlan& plan) {
   if (application_started_) return;
   application_started_ = true;
-  load_profile(profiler_->application_profile(plan));
+  ReferenceProfileMap profile = profiler_->application_profile(plan);
+  reconcile_profile(&profile, plan);
+  load_profile(profile);
+}
+
+void MrdManager::reconcile_profile(ReferenceProfileMap* profile,
+                                   const ExecutionPlan& plan) {
+  const std::size_t num_stages = plan.total_stages();
+  const std::size_t num_jobs = plan.jobs().size();
+  const std::size_t num_rdds = plan.app().num_rdds();
+  std::size_t dropped = 0;
+  for (auto it = profile->begin(); it != profile->end();) {
+    if (it->first >= num_rdds) {
+      dropped += it->second.references.size();
+      it = profile->erase(it);
+      continue;
+    }
+    std::vector<ReferenceEvent>& refs = it->second.references;
+    const auto keep =
+        std::remove_if(refs.begin(), refs.end(), [&](const ReferenceEvent& r) {
+          return r.stage >= num_stages || r.job >= num_jobs;
+        });
+    dropped += static_cast<std::size_t>(refs.end() - keep);
+    refs.erase(keep, refs.end());
+    ++it;
+  }
+  if (dropped > 0) {
+    stats_.profile_refs_reconciled += dropped;
+    MRD_LOG_WARN << "stored profile disagrees with observed DAG ("
+                 << num_stages << " stages, " << num_jobs << " jobs, "
+                 << num_rdds << " RDDs): dropped " << dropped
+                 << " out-of-range references (treated as infinite distance)";
+  }
 }
 
 void MrdManager::on_job_start(const ExecutionPlan& plan, JobId job) {

@@ -28,6 +28,10 @@ struct MrdManagerStats {
   std::size_t table_update_messages = 0;  // sendReferenceDistance broadcasts
   std::size_t purge_orders = 0;           // cluster-wide all-out purges
   std::size_t max_table_entries = 0;      // peak MRD_Table size
+  /// References from a stored profile dropped because they named stages,
+  /// jobs or RDDs the observed DAG does not have (stale recurring profile —
+  /// the missing stages are treated as infinite distance).
+  std::size_t profile_refs_reconciled = 0;
 };
 
 class MrdManager {
@@ -82,6 +86,14 @@ class MrdManager {
 
  private:
   void load_profile(const ReferenceProfileMap& profile);
+  /// Drops profile references that fall outside the observed DAG (stage /
+  /// job / RDD out of range). A stored profile can disagree with the plan
+  /// when a recurring application resubmits with a different shape; using
+  /// its out-of-range references verbatim would assign finite distances to
+  /// stages that will never execute, so they are reconciled to
+  /// infinite-distance (absent) instead, with a warning.
+  void reconcile_profile(ReferenceProfileMap* profile,
+                         const ExecutionPlan& plan);
   void note_table_broadcast();
 
   std::shared_ptr<AppProfiler> profiler_;

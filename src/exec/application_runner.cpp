@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <future>
+#include <memory>
 #include <vector>
 
 #include "cluster/block_manager_master.h"
 #include "dag/dag_scheduler.h"
 #include "exec/lineage_resolver.h"
+#include "exec/node_partition.h"
 #include "sim/node_accounting.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -62,41 +64,11 @@ void issue_prefetch_orders(const ExecutionPlan& plan, BlockManagerMaster* master
 
 bool plan_supports_node_parallel(const ExecutionPlan& plan, NodeId num_nodes) {
   if (num_nodes <= 1) return true;
-  const Application& app = plan.app();
-  // Walk every persisted RDD's recompute closure. An index reaching RDD c is
-  // always < c.num_partitions (it was either a probe of c itself or produced
-  // by % c.num_partitions one step up), so the per-edge owner-preservation
-  // test is path-independent and visited RDDs need no revisit.
-  std::vector<char> visited(app.num_rdds(), 0);
-  std::vector<RddId> stack;
-  for (const RddInfo& r : app.rdds()) {
-    if (r.persisted) stack.push_back(r.id);
-  }
-  while (!stack.empty()) {
-    const RddId id = stack.back();
-    stack.pop_back();
-    if (visited[id]) continue;
-    visited[id] = 1;
-    const RddInfo& info = app.rdd(id);
-    // Sources re-read HDFS; wide RDDs rebuild from retained shuffle files.
-    // Neither touches parent blocks, so the closure stops here.
-    if (is_source(info.kind) || is_wide(info.kind)) continue;
-    for (RddId p : info.parents) {
-      const RddInfo& parent = app.rdd(p);
-      // The narrow-edge re-map is pj = j % parent.num_partitions, probed on
-      // node pj % num_nodes. Owner is preserved along the edge if the index
-      // survives unchanged (parent keeps the child's index range) or the
-      // modulus preserves residues mod num_nodes.
-      const bool keeps_index = parent.num_partitions >= info.num_partitions;
-      const bool keeps_residue = parent.num_partitions % num_nodes == 0;
-      if (!keeps_index && !keeps_residue) return false;
-      // A persisted parent is probed as its own demand root; its closure is
-      // covered by its own DFS root above. Non-persisted parents recompute
-      // inline — keep descending with the re-mapped index.
-      if (!parent.persisted) stack.push_back(p);
-    }
-  }
-  return true;
+  // Exact form of the question: the whole-plan touches graph decomposes into
+  // one singleton component per node iff every recompute closure stays on
+  // the probed block's owner.
+  return ClosurePartitioner(plan, num_nodes).plan_groups().num_groups() ==
+         num_nodes;
 }
 
 RunMetrics run_application(std::shared_ptr<const Application> app,
@@ -111,16 +83,30 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
   BlockManagerMaster master(config.cluster, setup.factory);
   LineageResolver resolver(plan, &master);
 
-  // Intra-run fan-out across the simulated nodes. Engaged only when the
-  // plan's recompute closures are node-closed (otherwise a worker could
-  // touch another worker's BlockManager); with <=1 jobs, or a non-closed
-  // plan, every phase below runs inline on this thread — same code path,
-  // byte-identical output.
+  // Intra-run fan-out across the simulated nodes. The closure-free phases
+  // (prefetch issue/serve, cache writes, purge) touch only one node per
+  // iteration, so they fan per node for *any* plan. The probe phase can run
+  // cross-node recompute closures; it fans per node *group* — connected
+  // components of the probed RDD's touches graph (ClosurePartitioner) — so
+  // every closure executes on the one worker owning its whole group. With
+  // <=1 jobs every phase runs inline on this thread; either way each node
+  // observes its serial event subsequence, so output is byte-identical for
+  // every worker count.
   const std::size_t node_jobs =
       std::min<std::size_t>(std::max<std::size_t>(config.node_jobs, 1),
                             num_nodes);
-  const bool fan_out =
-      node_jobs > 1 && plan_supports_node_parallel(plan, num_nodes);
+  const bool fan_out = node_jobs > 1 && num_nodes > 1;
+  std::unique_ptr<ClosurePartitioner> partitioner;
+  if (fan_out || config.parallel_stats != nullptr) {
+    ScopedTimer timer(config.phase_timers, SimPhase::kPartition);
+    partitioner = std::make_unique<ClosurePartitioner>(plan, num_nodes);
+  }
+  if (config.parallel_stats != nullptr) {
+    *config.parallel_stats = NodeParallelStats{};
+    config.parallel_stats->engaged = fan_out;
+    config.parallel_stats->plan_groups = partitioner->plan_groups().num_groups();
+    config.parallel_stats->num_nodes = num_nodes;
+  }
   ThreadPool node_pool(fan_out ? node_jobs : 0);
   const std::size_t num_chunks = fan_out ? node_jobs : 1;
 
@@ -205,13 +191,64 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
           for (std::size_t j = order.size(); j > 1; --j) {
             std::swap(order[j - 1], order[rng.next_below(j)]);
           }
-          for_each_node_chunk([&](NodeId lo, NodeId hi) {
+          // Fan out per node *group*: demand closures may hop to other nodes
+          // in the probed RDD's touches graph, so each connected component is
+          // driven by exactly one worker — the component's events interleave
+          // exactly as in a serial run.
+          std::size_t region_chunks = 1;
+          if (partitioner != nullptr) {
+            const NodeGroups& groups = partitioner->probe_groups(p);
+            if (fan_out) {
+              region_chunks =
+                  std::min<std::size_t>(node_jobs, groups.num_groups());
+            }
+            if (config.parallel_stats != nullptr) {
+              NodeParallelStats& st = *config.parallel_stats;
+              const std::size_t g = groups.num_groups();
+              st.probe_regions += 1;
+              if (region_chunks > 1) st.probe_regions_parallel += 1;
+              st.min_groups =
+                  st.probe_regions == 1 ? g : std::min(st.min_groups, g);
+              st.max_groups = std::max(st.max_groups, g);
+              st.groups_sum += g;
+              st.largest_group =
+                  std::max(st.largest_group, groups.largest_group());
+            }
+          }
+          if (region_chunks <= 1) {
             for (PartitionIndex j : order) {
-              const NodeId owner = j % num_nodes;
-              if (owner < lo || owner >= hi) continue;
               resolver.demand_block(BlockId{p, j}, &acct);
             }
-          });
+          } else {
+            // Pack whole groups into `region_chunks` contiguous chunks with
+            // roughly equal node counts; groups are ordered by smallest
+            // member, so the assignment is deterministic.
+            const NodeGroups& groups = partitioner->probe_groups(p);
+            std::vector<std::uint32_t> chunk_of(num_nodes, 0);
+            std::size_t chunk = 0;
+            std::size_t filled = 0;
+            for (const std::vector<NodeId>& group : groups.groups) {
+              while (chunk + 1 < region_chunks &&
+                     filled >= (chunk + 1) * num_nodes / region_chunks) {
+                ++chunk;
+              }
+              for (NodeId member : group) {
+                chunk_of[member] = static_cast<std::uint32_t>(chunk);
+              }
+              filled += group.size();
+            }
+            std::vector<std::future<void>> done;
+            done.reserve(region_chunks);
+            for (std::size_t c = 0; c < region_chunks; ++c) {
+              done.push_back(node_pool.submit([&, c] {
+                for (PartitionIndex j : order) {
+                  if (chunk_of[j % num_nodes] != c) continue;
+                  resolver.demand_block(BlockId{p, j}, &acct);
+                }
+              }));
+            }
+            for (auto& f : done) f.get();
+          }
           // This stage is done reading p: its reference is consumed, so
           // mid-stage eviction decisions rank p by its *next* use. A serial
           // barrier: the shared distance table only mutates between

@@ -23,6 +23,7 @@
 #include "core/policy_registry.h"
 #include "dag/application.h"
 #include "dag/execution_plan.h"
+#include "exec/node_partition.h"
 #include "metrics/run_metrics.h"
 #include "util/scoped_timer.h"
 
@@ -43,24 +44,27 @@ struct RunConfig {
   /// Workers fanning the per-stage per-node phases (probes, cache writes,
   /// prefetch issue/serve, purge) across the simulated nodes *within* this
   /// run. <=1 runs serially. Results are byte-identical for every value:
-  /// each node's state only ever sees its own serial subsequence of events,
-  /// and cross-node work falls back to the serial path (see
-  /// plan_supports_node_parallel).
+  /// each node's state only ever sees its own serial subsequence of events.
+  /// Closure-free phases fan per node unconditionally; the probe phase fans
+  /// per *node group* — connected components of the probed RDD's closure
+  /// touches graph (ClosurePartitioner) — so cross-node recompute closures
+  /// execute on the one worker owning their whole group.
   std::size_t node_jobs = 1;
   /// Optional per-phase wall-clock accumulation (perf instrumentation);
   /// null = no clock reads on the simulation path.
   PhaseTimers* phase_timers = nullptr;
+  /// Optional sink for group-parallelism accounting (how the closure-aware
+  /// fan-out engaged); null = not collected. The counters are deterministic
+  /// for a given (plan, cluster, node_jobs).
+  NodeParallelStats* parallel_stats = nullptr;
 };
 
 /// True when every demand probe's lineage-recompute closure stays on the
-/// probed block's owner node, making per-node fan-out safe. A narrow
-/// persisted→persisted edge that changes partition counts can re-map a
-/// parent partition onto a different node (pj = j mod parent_partitions);
-/// the sufficient per-edge condition checked here is that the parent either
-/// keeps the child's indices (parent_partitions >= child_partitions) or
-/// preserves owner residues (num_nodes divides parent_partitions). When this
-/// returns false, run_plan ignores node_jobs and runs serially — same
-/// output, no parallelism.
+/// probed block's owner node — i.e. the whole-plan touches graph of
+/// ClosurePartitioner has all-singleton components. Kept as the exact
+/// (closure-enumerating) successor of the former per-edge sufficient check;
+/// the runner itself no longer gates on it — plans that fail it still fan
+/// out per node *group* instead of falling back to serial.
 bool plan_supports_node_parallel(const ExecutionPlan& plan, NodeId num_nodes);
 
 /// Plans and runs `app`. Deterministic for a given (app, config).

@@ -1,0 +1,189 @@
+#include "exec/node_partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "dag/transform.h"
+#include "util/check.h"
+#include "util/flat_hash.h"
+
+namespace mrd {
+
+namespace {
+
+/// Minimal union-find over dense node IDs (path halving + union by size).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+};
+
+inline std::uint64_t pack(std::uint32_t hi, std::uint32_t lo) {
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+}  // namespace
+
+void NodeParallelStats::merge(const NodeParallelStats& other) {
+  engaged = engaged || other.engaged;
+  plan_groups = std::max(plan_groups, other.plan_groups);
+  num_nodes = std::max(num_nodes, other.num_nodes);
+  if (other.probe_regions > 0) {
+    min_groups = probe_regions > 0 ? std::min(min_groups, other.min_groups)
+                                   : other.min_groups;
+    max_groups = std::max(max_groups, other.max_groups);
+  }
+  probe_regions += other.probe_regions;
+  probe_regions_parallel += other.probe_regions_parallel;
+  groups_sum += other.groups_sum;
+  largest_group = std::max(largest_group, other.largest_group);
+}
+
+ClosurePartitioner::ClosurePartitioner(const ExecutionPlan& plan,
+                                       NodeId num_nodes)
+    : plan_(plan), num_nodes_(std::max<NodeId>(num_nodes, 1)) {
+  const Application& app = plan.app();
+  const std::size_t n = app.num_rdds();
+  direct_edges_.resize(n);
+  persisted_parents_.resize(n);
+  reach_.resize(n);
+  probe_groups_.resize(n);
+
+  // --- Direct closure walk per persisted RDD: enumerate every partition's
+  // descent through non-persisted narrow parents, recording the persisted
+  // ancestors it demands and the cross-node pairs those demands create.
+  FlatSet64 edge_set;      // packed (a, b), a < b — per-RDD, cleared by swap
+  FlatSet64 visited;       // packed (rdd, index) — per-partition descent
+  FlatSet64 parent_set;    // persisted ancestor ids — per-RDD
+  std::vector<std::pair<RddId, PartitionIndex>> stack;
+  for (const RddInfo& root : app.rdds()) {
+    if (!root.persisted) continue;
+    edge_set.clear();
+    parent_set.clear();
+    EdgeList& edges = direct_edges_[root.id];
+    for (PartitionIndex j = 0; j < root.num_partitions; ++j) {
+      const NodeId child_owner = j % num_nodes_;
+      visited.clear();
+      stack.clear();
+      stack.emplace_back(root.id, j);
+      while (!stack.empty()) {
+        const auto [id, index] = stack.back();
+        stack.pop_back();
+        if (!visited.insert(pack(id, index))) continue;
+        const RddInfo& info = app.rdd(id);
+        // Sources re-read HDFS, wide RDDs rebuild from retained shuffle
+        // files: neither demands parent blocks.
+        if (is_source(info.kind) || is_wide(info.kind)) continue;
+        for (RddId p : info.parents) {
+          const RddInfo& parent = app.rdd(p);
+          MRD_CHECK(parent.num_partitions > 0);
+          const PartitionIndex pj = index % parent.num_partitions;
+          if (parent.persisted) {
+            // demand_block of {p, pj}: probed (and possibly recomputed +
+            // re-cached) on its own owner node.
+            const NodeId parent_owner = pj % num_nodes_;
+            if (parent_owner != child_owner) {
+              const NodeId a = std::min(child_owner, parent_owner);
+              const NodeId b = std::max(child_owner, parent_owner);
+              if (edge_set.insert(pack(a, b))) edges.emplace_back(a, b);
+            }
+            if (parent_set.insert(p)) persisted_parents_[root.id].push_back(p);
+          } else {
+            stack.emplace_back(p, pj);
+          }
+        }
+      }
+    }
+    std::sort(edges.begin(), edges.end());
+    std::sort(persisted_parents_[root.id].begin(),
+              persisted_parents_[root.id].end());
+  }
+
+  // --- Persisted-reach closure: a cold probe of a persisted ancestor runs
+  // that ancestor's own closure inline, so a root's touch graph includes
+  // every transitively reachable persisted RDD's direct edges.
+  for (const RddInfo& root : app.rdds()) {
+    if (!root.persisted) continue;
+    std::vector<char> seen(n, 0);
+    std::vector<RddId> dfs{root.id};
+    seen[root.id] = 1;
+    while (!dfs.empty()) {
+      const RddId id = dfs.back();
+      dfs.pop_back();
+      reach_[root.id].push_back(id);
+      for (RddId p : persisted_parents_[id]) {
+        if (!seen[p]) {
+          seen[p] = 1;
+          dfs.push_back(p);
+        }
+      }
+    }
+    std::sort(reach_[root.id].begin(), reach_[root.id].end());
+  }
+
+  // --- Whole-plan components: union of every persisted RDD's direct edges.
+  std::vector<const EdgeList*> all;
+  all.reserve(n);
+  for (const RddInfo& r : app.rdds()) {
+    if (r.persisted) all.push_back(&direct_edges_[r.id]);
+  }
+  plan_groups_ = components_of(all);
+}
+
+const NodeGroups& ClosurePartitioner::probe_groups(RddId rdd) const {
+  MRD_CHECK(rdd < probe_groups_.size());
+  if (probe_groups_[rdd] == nullptr) {
+    std::vector<const EdgeList*> sets;
+    if (plan_.app().rdd(rdd).persisted) {
+      sets.reserve(reach_[rdd].size());
+      for (RddId r : reach_[rdd]) sets.push_back(&direct_edges_[r]);
+    }
+    probe_groups_[rdd] = std::make_unique<NodeGroups>(components_of(sets));
+  }
+  return *probe_groups_[rdd];
+}
+
+NodeGroups ClosurePartitioner::components_of(
+    const std::vector<const EdgeList*>& edge_sets) const {
+  UnionFind uf(num_nodes_);
+  for (const EdgeList* edges : edge_sets) {
+    for (const auto& [a, b] : *edges) uf.unite(a, b);
+  }
+  NodeGroups result;
+  std::vector<std::uint32_t> group_of_root(num_nodes_, num_nodes_);
+  for (NodeId node = 0; node < num_nodes_; ++node) {
+    const std::uint32_t root = uf.find(node);
+    if (group_of_root[root] == num_nodes_) {
+      group_of_root[root] = static_cast<std::uint32_t>(result.groups.size());
+      result.groups.emplace_back();
+    }
+    // Ascending iteration order: members are sorted and the group list is
+    // ordered by smallest member by construction.
+    result.groups[group_of_root[root]].push_back(node);
+  }
+  return result;
+}
+
+}  // namespace mrd

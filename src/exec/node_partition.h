@@ -1,0 +1,137 @@
+// Closure-aware node partitioning: the static analysis behind intra-run
+// node parallelism.
+//
+// The runner fans per-stage work across the simulated nodes, but a demand
+// probe of a persisted block can execute a lineage-recompute closure
+// (LineageResolver::demand_block) that *touches other nodes*: every
+// persisted ancestor reached through a chain of non-persisted narrow
+// dependencies is probed on that ancestor block's own owner node. Two nodes
+// whose closures touch must be driven by the same worker, or their
+// BlockManagers would observe events out of serial order (and race).
+//
+// ClosurePartitioner builds, per persisted RDD, the undirected "touches"
+// graph over nodes induced by those closures and takes connected components
+// as *node groups* — the unit the runner fans out while probing that RDD.
+// A node-closed RDD (every closure stays on the probed block's owner)
+// yields all-singleton groups and keeps full per-node fan-out; a fully
+// cross-linked RDD collapses to one group and that probe loop runs
+// serially; the sparse re-map coupling of the Pregel workloads' `vjoin`
+// steps lands in between with real parallelism. Phases that never run
+// closures (prefetch issue/serve, cache writes, purge) stay per-node
+// regardless of grouping.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "dag/execution_plan.h"
+#include "dag/ids.h"
+
+namespace mrd {
+
+/// A partition of the cluster's nodes into groups that may execute
+/// concurrently. Deterministic layout: each group's members are sorted
+/// ascending, groups are ordered by their smallest member, and every node
+/// appears in exactly one group.
+struct NodeGroups {
+  std::vector<std::vector<NodeId>> groups;
+
+  std::size_t num_groups() const { return groups.size(); }
+  std::size_t largest_group() const {
+    std::size_t largest = 0;
+    for (const auto& g : groups) largest = std::max(largest, g.size());
+    return largest;
+  }
+};
+
+/// How the group-parallel path engaged over one run (all counters are
+/// properties of the plan and the fan-out configuration, never of thread
+/// timing, so they are deterministic for a given config).
+struct NodeParallelStats {
+  /// True when the runner fanned work out at all (node_jobs > 1 on a
+  /// multi-node cluster).
+  bool engaged = false;
+  /// Connected components of the union of every persisted RDD's touches
+  /// graph. num_nodes components <=> the plan is node-closed.
+  std::size_t plan_groups = 0;
+  std::size_t num_nodes = 0;
+  /// Per-(stage, RDD) probe fan-out regions executed, and how many of them
+  /// had more than one group (i.e. ran closures concurrently).
+  std::size_t probe_regions = 0;
+  std::size_t probe_regions_parallel = 0;
+  /// Group-count spread over probe regions.
+  std::size_t min_groups = 0;
+  std::size_t max_groups = 0;
+  std::size_t groups_sum = 0;
+  /// Largest single group seen in any probe region.
+  std::size_t largest_group = 0;
+
+  double mean_groups() const {
+    return probe_regions > 0
+               ? static_cast<double>(groups_sum) /
+                     static_cast<double>(probe_regions)
+               : 0.0;
+  }
+  double parallel_region_share() const {
+    return probe_regions > 0
+               ? static_cast<double>(probe_regions_parallel) /
+                     static_cast<double>(probe_regions)
+               : 0.0;
+  }
+  /// Merge another run's counters (sweep aggregation).
+  void merge(const NodeParallelStats& other);
+};
+
+/// Builds the touches graphs of an execution plan once and answers group
+/// queries per probed RDD. Construction walks every persisted RDD's
+/// recompute closure exactly as LineageResolver would execute it: descend
+/// through non-persisted narrow parents with the index re-map
+/// pj = j % parent.num_partitions, stop at sources (HDFS re-read) and wide
+/// RDDs (shuffle-file rebuild), and record a touch edge
+/// owner(child block) — owner(persisted parent block) at every persisted
+/// ancestor. Closures *below* a persisted ancestor are folded in through
+/// the persisted-reach closure (a cold probe of the ancestor recurses into
+/// its own closure).
+class ClosurePartitioner {
+ public:
+  ClosurePartitioner(const ExecutionPlan& plan, NodeId num_nodes);
+
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Node groups safe to fan out while probing `rdd`'s blocks: connected
+  /// components of the touches graph of demand closures rooted at `rdd`,
+  /// including everything reachable through cold probes of persisted
+  /// ancestors. Non-persisted RDDs (never probed) get all-singleton groups.
+  const NodeGroups& probe_groups(RddId rdd) const;
+
+  /// Components of the union of every persisted RDD's touches graph — the
+  /// whole-plan view. All-singleton (num_groups() == num_nodes) iff every
+  /// closure in the plan stays on its owner node, which is exactly the
+  /// question the former boolean gate (plan_supports_node_parallel)
+  /// answered.
+  const NodeGroups& plan_groups() const { return plan_groups_; }
+
+ private:
+  /// (a, b) node pairs with a < b; self-touches carry no constraint and are
+  /// not stored.
+  using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+
+  NodeGroups components_of(const std::vector<const EdgeList*>& edge_sets) const;
+
+  const ExecutionPlan& plan_;
+  NodeId num_nodes_;
+  /// Per-RDD deduplicated cross-node touch pairs of the *direct* closure
+  /// (stopping at persisted ancestors). Index == RddId.
+  std::vector<EdgeList> direct_edges_;
+  /// Persisted ancestors reachable from each RDD's direct closure.
+  std::vector<std::vector<RddId>> persisted_parents_;
+  /// Transitive closure of persisted_parents_, including the RDD itself.
+  std::vector<std::vector<RddId>> reach_;
+  NodeGroups plan_groups_;
+  /// Lazily computed per-RDD groups (queried from the runner's serial
+  /// sections only).
+  mutable std::vector<std::unique_ptr<NodeGroups>> probe_groups_;
+};
+
+}  // namespace mrd

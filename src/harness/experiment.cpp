@@ -67,7 +67,8 @@ std::uint64_t cache_bytes_per_node_for(const WorkloadRun& run,
 
 RunMetrics run_with_policy(const WorkloadRun& run, ClusterConfig cluster,
                            double cache_fraction, const PolicyConfig& policy,
-                           DagVisibility visibility, std::size_t node_jobs) {
+                           DagVisibility visibility, std::size_t node_jobs,
+                           NodeParallelStats* parallel_stats) {
   cluster.cache_bytes_per_node =
       cache_bytes_per_node_for(run, cluster, cache_fraction);
   RunConfig config;
@@ -75,6 +76,7 @@ RunMetrics run_with_policy(const WorkloadRun& run, ClusterConfig cluster,
   config.policy = policy;
   config.visibility = visibility;
   config.node_jobs = node_jobs;
+  config.parallel_stats = parallel_stats;
   return run_plan(run.plan, config);
 }
 
@@ -115,9 +117,14 @@ std::shared_future<RunMetrics> SweepRunner::submit(SweepJob job) {
       .submit([this, job = std::move(job), node_jobs,
                submitted]() -> RunMetrics {
         const Clock::time_point t0 = Clock::now();
+        // Node-group accounting is only interesting (and only has a cost:
+        // the partitioner build) when this run actually fans out.
+        NodeParallelStats run_parallel;
+        NodeParallelStats* parallel =
+            node_jobs > 1 ? &run_parallel : nullptr;
         RunMetrics metrics =
             run_with_policy(*job.run, job.cluster, job.fraction, job.policy,
-                            job.visibility, node_jobs);
+                            job.visibility, node_jobs, parallel);
         const double elapsed = ms_between(t0, Clock::now());
         const double queued = ms_between(submitted, t0);
         {
@@ -126,6 +133,7 @@ std::shared_future<RunMetrics> SweepRunner::submit(SweepJob job) {
           aggregate_ms_ += elapsed;
           queue_ms_ += queued;
           run_ms_sumsq_ += elapsed * elapsed;
+          if (parallel != nullptr) node_parallel_.merge(run_parallel);
         }
         return metrics;
       })
@@ -161,6 +169,7 @@ SweepStats SweepRunner::stats() const {
   stats.aggregate_ms = aggregate_ms_;
   stats.queue_ms = queue_ms_;
   stats.run_ms_sumsq = run_ms_sumsq_;
+  stats.node_parallel = node_parallel_;
   return stats;
 }
 

@@ -62,11 +62,13 @@ std::uint64_t cache_bytes_per_node_for(const WorkloadRun& run,
 /// Runs `run` under `policy` with the cluster cache sized by `fraction`.
 /// `node_jobs` fans the per-stage per-node work inside this one run across
 /// that many workers (see RunConfig::node_jobs; output is identical for any
-/// value).
+/// value). `parallel_stats`, when non-null, receives the run's node-group
+/// fan-out accounting (RunConfig::parallel_stats).
 RunMetrics run_with_policy(const WorkloadRun& run, ClusterConfig cluster,
                            double cache_fraction, const PolicyConfig& policy,
                            DagVisibility visibility = DagVisibility::kRecurring,
-                           std::size_t node_jobs = 1);
+                           std::size_t node_jobs = 1,
+                           NodeParallelStats* parallel_stats = nullptr);
 
 // ---------------------------------------------------------------------------
 // Parallel sweep
@@ -94,6 +96,10 @@ struct SweepStats {
   double aggregate_ms = 0.0;  // sum of per-run execution times
   double queue_ms = 0.0;      // sum of per-point submit→start latencies
   double run_ms_sumsq = 0.0;  // sum of squared per-run execution times
+  /// Aggregated node-group fan-out accounting over every run that executed
+  /// with node_jobs > 1 (NodeParallelStats::merge); engaged stays false when
+  /// no run fanned out intra-run.
+  NodeParallelStats node_parallel;
   /// Effective parallel speedup: aggregate simulation time per elapsed
   /// second. 1.0 on a single thread by construction.
   double speedup() const {
@@ -197,6 +203,7 @@ class SweepRunner {
   double aggregate_ms_ = 0.0;
   double queue_ms_ = 0.0;
   double run_ms_sumsq_ = 0.0;
+  NodeParallelStats node_parallel_;
 };
 
 std::vector<SweepPoint> sweep_cache(const WorkloadRun& run,

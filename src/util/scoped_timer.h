@@ -22,6 +22,7 @@ enum class SimPhase : std::size_t {
   kPrefetchServe,     // serving the queues with stage idle disk time
   kPurge,             // stage-end proactive purge
   kBroadcast,         // DAG event fan-out to every node's policy
+  kPartition,         // closure-aware node-group analysis (once per run)
   kCount,
 };
 
@@ -31,6 +32,7 @@ inline constexpr std::size_t kNumSimPhases =
 inline constexpr std::array<std::string_view, kNumSimPhases> kSimPhaseNames = {
     "probes",         "cache_writes", "prefetch_issue",
     "prefetch_serve", "purge",        "broadcast",
+    "partition",
 };
 
 /// Accumulated wall milliseconds per phase over one (or more) runs.

@@ -1,0 +1,329 @@
+// Randomized differential-identity harness for intra-run node parallelism.
+//
+// Generates ~50 seeded random workload/cluster configurations — deliberately
+// mixing node-closed DAGs, sparsely coupled ones (narrow re-maps à la
+// Pregel's vjoin) and fully coupled ones (single-partition hubs) — and
+// asserts that the closure-aware group-parallel runner reproduces the serial
+// oracle exactly: RunMetrics field for field, bench CSV byte for byte,
+// across node_jobs in {1, 2, 8} and across SweepRunner thread counts. Also
+// checks the ClosurePartitioner's structural invariants on every generated
+// plan (each node in exactly one group, deterministic ordering) and that the
+// fan-out accounting stays consistent.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dag/dag_builder.h"
+#include "dag/dag_scheduler.h"
+#include "exec/node_partition.h"
+#include "harness/experiment.h"
+#include "util/csv.h"
+#include "util/format.h"
+#include "util/random.h"
+
+namespace mrd {
+namespace {
+
+constexpr std::uint64_t kSeeds = 50;
+
+/// Cluster sizes chosen to hit interesting modular-arithmetic regimes of the
+/// owner re-map (primes, powers of two, more nodes than some partition
+/// counts).
+constexpr NodeId kNodeChoices[] = {2, 3, 5, 8, 16};
+constexpr const char* kPolicies[] = {"lru", "fifo", "mrd", "lrc"};
+
+/// One random application. The generator favors shapes that stress the
+/// partitioner: persisted chains through non-persisted intermediates,
+/// partition-count changes on narrow edges (cross-node closures), wide
+/// shuffles (closure stoppers), and occasional single-partition hubs (fully
+/// coupled stages).
+std::shared_ptr<const Application> random_app(std::uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97f4A7C15ULL + 1);
+  DagBuilder b("fuzz-" + std::to_string(seed));
+
+  const auto random_parts = [&rng]() -> std::uint32_t {
+    // Mix tiny counts (force wraps and hubs) with medium ones.
+    switch (rng.next_below(4)) {
+      case 0:
+        return static_cast<std::uint32_t>(rng.uniform_int(1, 4));
+      case 1:
+        return static_cast<std::uint32_t>(rng.uniform_int(5, 9));
+      default:
+        return static_cast<std::uint32_t>(rng.uniform_int(10, 32));
+    }
+  };
+  const auto random_bytes = [&rng]() -> std::uint64_t {
+    return static_cast<std::uint64_t>(rng.uniform_int(1, 6)) << 14;
+  };
+
+  std::vector<RddId> pool;
+  const std::size_t num_sources = 1 + rng.next_below(2);
+  for (std::size_t s = 0; s < num_sources; ++s) {
+    pool.push_back(b.source("src" + std::to_string(s), random_parts(),
+                            random_bytes()));
+  }
+
+  const std::size_t num_transforms = 4 + rng.next_below(8);
+  std::size_t actions = 0;
+  for (std::size_t t = 0; t < num_transforms; ++t) {
+    const RddId parent = pool[rng.next_below(pool.size())];
+    const std::string name = "t" + std::to_string(t);
+    TransformOpts opts;
+    opts.bytes_per_partition = random_bytes();
+    RddId next;
+    switch (rng.next_below(6)) {
+      case 0:  // narrow, partition count changed: the coupling generator
+        opts.partitions = random_parts();
+        next = b.map(parent, name, opts);
+        break;
+      case 1:  // narrow, count kept: node-closed link
+        next = b.filter(parent, name, opts);
+        break;
+      case 2: {  // two-parent narrow zip: vjoin-style sparse coupling
+        const RddId other = pool[rng.next_below(pool.size())];
+        opts.partitions = random_parts();
+        next = b.zip_partitions(parent, other, name, opts);
+        break;
+      }
+      case 3:  // wide shuffle: closure stopper
+        opts.partitions = random_parts();
+        next = b.reduce_by_key(parent, name, opts);
+        break;
+      case 4:  // single-partition hub: fully coupled once demanded
+        opts.partitions = 1;
+        next = b.map(parent, name, opts);
+        break;
+      default:
+        next = b.map(parent, name, opts);
+        break;
+    }
+    if (rng.bernoulli(0.55)) b.persist(next);
+    pool.push_back(next);
+    if (rng.bernoulli(0.4)) {
+      b.action(next, "act" + std::to_string(actions++));
+    }
+  }
+  // Every plan needs at least one job, at least one persisted RDD and a
+  // final action that re-references something old enough to create cache
+  // probes.
+  b.persist(pool.back());
+  b.action(pool.back(), "final");
+  b.action(pool[pool.size() / 2], "ref-mid");
+  return std::make_shared<const Application>(std::move(b).build());
+}
+
+struct FuzzPoint {
+  std::shared_ptr<const WorkloadRun> run;
+  ClusterConfig cluster;
+  double fraction = 0.5;
+  PolicyConfig policy;
+};
+
+FuzzPoint make_point(std::uint64_t seed) {
+  Rng rng(seed ^ 0xD1B54A32D192ED03ULL);
+  FuzzPoint point;
+  auto app = random_app(seed);
+  point.run = std::make_shared<const WorkloadRun>(
+      WorkloadRun{app, DagScheduler::plan(app), app->name(), app->name()});
+  point.cluster = main_cluster();
+  point.cluster.num_nodes =
+      kNodeChoices[rng.next_below(std::size(kNodeChoices))];
+  point.fraction = 0.3 + 0.35 * static_cast<double>(rng.next_below(3));
+  point.policy.name = kPolicies[seed % std::size(kPolicies)];
+  return point;
+}
+
+void expect_identical(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.jct_ms, b.jct_ms);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses_from_disk, b.misses_from_disk);
+  EXPECT_EQ(a.misses_recompute, b.misses_recompute);
+  EXPECT_EQ(a.blocks_cached, b.blocks_cached);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.spills, b.spills);
+  EXPECT_EQ(a.purged_blocks, b.purged_blocks);
+  EXPECT_EQ(a.uncacheable_blocks, b.uncacheable_blocks);
+  EXPECT_EQ(a.prefetches_issued, b.prefetches_issued);
+  EXPECT_EQ(a.prefetches_completed, b.prefetches_completed);
+  EXPECT_EQ(a.prefetches_useful, b.prefetches_useful);
+  EXPECT_EQ(a.prefetches_wasted, b.prefetches_wasted);
+  EXPECT_EQ(a.disk_bytes_read, b.disk_bytes_read);
+  EXPECT_EQ(a.disk_bytes_written, b.disk_bytes_written);
+  EXPECT_EQ(a.network_bytes, b.network_bytes);
+  EXPECT_EQ(a.recompute_cpu_ms, b.recompute_cpu_ms);
+  EXPECT_EQ(a.per_rdd_probes, b.per_rdd_probes);
+  EXPECT_EQ(a.mrd_table_peak_entries, b.mrd_table_peak_entries);
+  EXPECT_EQ(a.mrd_update_messages, b.mrd_update_messages);
+}
+
+RunMetrics run_point(const FuzzPoint& point, std::size_t node_jobs,
+                     NodeParallelStats* stats = nullptr) {
+  return run_with_policy(*point.run, point.cluster, point.fraction,
+                         point.policy, DagVisibility::kRecurring, node_jobs,
+                         stats);
+}
+
+// ---------------------------------------------------------------------------
+// Partitioner invariants on every random plan
+// ---------------------------------------------------------------------------
+
+void expect_partition_of_all_nodes(const NodeGroups& groups,
+                                   NodeId num_nodes) {
+  std::vector<char> seen(num_nodes, 0);
+  NodeId last_lead = 0;
+  for (std::size_t g = 0; g < groups.groups.size(); ++g) {
+    ASSERT_FALSE(groups.groups[g].empty());
+    if (g > 0) EXPECT_LT(last_lead, groups.groups[g].front());
+    last_lead = groups.groups[g].front();
+    for (std::size_t i = 0; i < groups.groups[g].size(); ++i) {
+      const NodeId node = groups.groups[g][i];
+      ASSERT_LT(node, num_nodes);
+      EXPECT_EQ(seen[node], 0) << "node in two groups";
+      seen[node] = 1;
+      if (i > 0) EXPECT_LT(groups.groups[g][i - 1], node);
+    }
+  }
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    EXPECT_EQ(seen[n], 1) << "node " << n << " missing";
+  }
+}
+
+TEST(FuzzIdentity, PartitionerCoversEveryNodeExactlyOnce) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const FuzzPoint point = make_point(seed);
+    const NodeId n = point.cluster.num_nodes;
+    const ClosurePartitioner part(point.run->plan, n);
+    expect_partition_of_all_nodes(part.plan_groups(), n);
+    for (const RddInfo& rdd : point.run->plan.app().rdds()) {
+      if (!rdd.persisted) continue;
+      expect_partition_of_all_nodes(part.probe_groups(rdd.id), n);
+      // Per-RDD groups are never coarser than the whole-plan union: the
+      // union only adds edges, which can only merge groups further.
+      EXPECT_GE(part.probe_groups(rdd.id).num_groups(),
+                part.plan_groups().num_groups());
+    }
+    // The node-closedness predicate is exactly "all singletons".
+    EXPECT_EQ(plan_supports_node_parallel(point.run->plan, n),
+              part.plan_groups().num_groups() == n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential identity: node_jobs in {1, 2, 8}
+// ---------------------------------------------------------------------------
+
+TEST(FuzzIdentity, RunMetricsMatchSerialOracleForAnyNodeJobs) {
+  std::size_t coupled_plans = 0;
+  std::size_t parallel_regions = 0;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const FuzzPoint point = make_point(seed);
+    const RunMetrics oracle = run_point(point, 1);
+    NodeParallelStats stats;
+    for (const std::size_t node_jobs : {2u, 8u}) {
+      SCOPED_TRACE("node_jobs " + std::to_string(node_jobs));
+      expect_identical(oracle, run_point(point, node_jobs, &stats));
+      EXPECT_TRUE(stats.engaged);
+      EXPECT_GE(stats.plan_groups, 1u);
+      EXPECT_LE(stats.plan_groups, stats.num_nodes);
+      EXPECT_LE(stats.probe_regions_parallel, stats.probe_regions);
+      if (stats.probe_regions > 0) {
+        EXPECT_GE(stats.min_groups, 1u);
+        EXPECT_LE(stats.min_groups, stats.max_groups);
+        EXPECT_LE(stats.max_groups, stats.num_nodes);
+        EXPECT_LE(stats.largest_group, stats.num_nodes);
+        EXPECT_GE(stats.mean_groups(), 1.0);
+      }
+    }
+    if (stats.plan_groups < stats.num_nodes) ++coupled_plans;
+    parallel_regions += stats.probe_regions_parallel;
+  }
+  // The generator must actually produce the interesting mix: some coupled
+  // plans (otherwise this fuzz never leaves the trivially safe regime) and
+  // some parallel probe regions (otherwise everything fell back to serial).
+  EXPECT_GT(coupled_plans, 5u);
+  EXPECT_LT(coupled_plans, kSeeds);
+  EXPECT_GT(parallel_regions, 0u);
+}
+
+/// Renders metrics through the same formatting helpers the bench drivers
+/// use, so the comparison covers the full metrics→CSV path.
+std::string csv_bytes_for(const std::vector<RunMetrics>& results,
+                          const std::string& path) {
+  CsvWriter csv(path);
+  csv.write_row({"workload", "policy", "jct_ms", "hit", "disk_read",
+                 "disk_write", "network", "recompute_cpu_ms"});
+  for (const RunMetrics& m : results) {
+    csv.write_row({m.workload, m.policy, format_double(m.jct_ms, 4),
+                   format_double(m.hit_ratio(), 4),
+                   std::to_string(m.disk_bytes_read),
+                   std::to_string(m.disk_bytes_written),
+                   std::to_string(m.network_bytes),
+                   format_double(m.recompute_cpu_ms, 4)});
+  }
+  csv.close();
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::remove(path.c_str());
+  return buffer.str();
+}
+
+TEST(FuzzIdentity, CsvBytesMatchSerialOracle) {
+  std::vector<RunMetrics> serial, two, eight;
+  for (std::uint64_t seed = 0; seed < kSeeds; seed += 3) {
+    const FuzzPoint point = make_point(seed);
+    serial.push_back(run_point(point, 1));
+    two.push_back(run_point(point, 2));
+    eight.push_back(run_point(point, 8));
+  }
+  const std::string base = testing::TempDir() + "fuzz_identity_csv_";
+  const std::string bytes1 = csv_bytes_for(serial, base + "1.csv");
+  EXPECT_FALSE(bytes1.empty());
+  EXPECT_EQ(bytes1, csv_bytes_for(two, base + "2.csv"));
+  EXPECT_EQ(bytes1, csv_bytes_for(eight, base + "8.csv"));
+}
+
+// ---------------------------------------------------------------------------
+// Differential identity across SweepRunner thread counts
+// ---------------------------------------------------------------------------
+
+TEST(FuzzIdentity, SweepRunnerThreadCountsMatchSerialOracle) {
+  SweepRunner serial(1);
+  SweepRunner threaded(4);
+  SweepRunner nested(1, 8);
+  std::vector<std::shared_future<RunMetrics>> from_serial, from_threaded,
+      from_nested;
+  for (std::uint64_t seed = 0; seed < kSeeds; seed += 2) {
+    const FuzzPoint point = make_point(seed);
+    const SweepJob job{point.run, point.cluster, point.fraction, point.policy,
+                       DagVisibility::kRecurring};
+    from_serial.push_back(serial.submit(job));
+    from_threaded.push_back(threaded.submit(job));
+    from_nested.push_back(nested.submit(job));
+  }
+  for (std::size_t i = 0; i < from_serial.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    const RunMetrics oracle = from_serial[i].get();
+    expect_identical(oracle, from_threaded[i].get());
+    expect_identical(oracle, from_nested[i].get());
+  }
+  // The nested runner fanned out intra-run; its aggregated accounting must
+  // reflect that. The threaded runner forces node_jobs to 1, so it reports
+  // no intra-run engagement.
+  EXPECT_TRUE(nested.stats().node_parallel.engaged);
+  EXPECT_FALSE(threaded.stats().node_parallel.engaged);
+  EXPECT_FALSE(serial.stats().node_parallel.engaged);
+}
+
+}  // namespace
+}  // namespace mrd

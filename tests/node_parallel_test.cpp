@@ -1,8 +1,10 @@
 // Intra-run node parallelism: for any --node-jobs value the runner must
 // produce results byte-identical to the serial run — both through RunMetrics
 // (field for field, doubles included) and through the CSV bytes the bench
-// drivers emit. Also covers the node-closedness predicate that gates the
-// fan-out and the SweepRunner rule that outer sweep parallelism wins.
+// drivers emit. Also covers the closure-aware node partitioner
+// (ClosurePartitioner) that decides the probe-phase fan-out, the
+// node-closedness predicate built on top of it, and the SweepRunner rule
+// that outer sweep parallelism wins.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -13,6 +15,7 @@
 
 #include "dag/dag_builder.h"
 #include "dag/dag_scheduler.h"
+#include "exec/node_partition.h"
 #include "harness/experiment.h"
 #include "util/csv.h"
 #include "util/format.h"
@@ -130,6 +133,195 @@ TEST(NodeParallel, PredicateChecksEdgesThroughNonPersistedParents) {
 }
 
 // ---------------------------------------------------------------------------
+// ClosurePartitioner: touches-graph construction and node groups
+// ---------------------------------------------------------------------------
+
+/// Asserts the deterministic layout every NodeGroups must have: members
+/// sorted ascending, groups ordered by their smallest member, every node in
+/// exactly one group.
+void expect_canonical(const NodeGroups& groups, NodeId num_nodes) {
+  std::vector<char> seen(num_nodes, 0);
+  NodeId last_lead = 0;
+  for (std::size_t g = 0; g < groups.groups.size(); ++g) {
+    ASSERT_FALSE(groups.groups[g].empty());
+    if (g > 0) EXPECT_LT(last_lead, groups.groups[g].front());
+    last_lead = groups.groups[g].front();
+    NodeId prev = 0;
+    for (std::size_t i = 0; i < groups.groups[g].size(); ++i) {
+      const NodeId node = groups.groups[g][i];
+      ASSERT_LT(node, num_nodes);
+      EXPECT_EQ(seen[node], 0);
+      seen[node] = 1;
+      if (i > 0) EXPECT_LT(prev, node);
+      prev = node;
+    }
+  }
+  for (NodeId n = 0; n < num_nodes; ++n) EXPECT_EQ(seen[n], 1) << "node " << n;
+}
+
+TEST(NodeParallel, PartitionerEmptyClosureYieldsSingletons) {
+  // Persisted RDDs whose closures stop immediately (source parent / wide
+  // rebuild) touch nobody: every probe region keeps full per-node fan-out.
+  DagBuilder b("empty-closure");
+  const RddId src = b.source("in", 16, 1 << 20);
+  const RddId a = b.map(src, "a");
+  b.persist(a);
+  const RddId wide = b.reduce_by_key(a, "wide");
+  b.persist(wide);
+  b.action(wide, "count");
+  const ExecutionPlan plan = plan_of(std::move(b));
+  const ClosurePartitioner part(plan, 4);
+  EXPECT_EQ(part.plan_groups().num_groups(), 4u);
+  EXPECT_EQ(part.probe_groups(a).num_groups(), 4u);
+  EXPECT_EQ(part.probe_groups(wide).num_groups(), 4u);
+  EXPECT_EQ(part.probe_groups(a).largest_group(), 1u);
+  expect_canonical(part.probe_groups(a), 4);
+}
+
+TEST(NodeParallel, PartitionerSelfTouchesCarryNoEdge) {
+  // parent 8 parts, child 12 parts, 4 nodes: pj = j % 8 preserves residues
+  // mod 4, so every touch lands on the probing node — no edges, singletons.
+  DagBuilder b("self-loop");
+  const RddId src = b.source("in", 8, 1 << 20);
+  const RddId parent = b.map(src, "parent");
+  b.persist(parent);
+  TransformOpts wider;
+  wider.partitions = 12;
+  const RddId child = b.map(parent, "child", wider);
+  b.persist(child);
+  b.action(child, "count");
+  const ExecutionPlan plan = plan_of(std::move(b));
+  const ClosurePartitioner part(plan, 4);
+  EXPECT_EQ(part.probe_groups(child).num_groups(), 4u);
+  EXPECT_EQ(part.plan_groups().num_groups(), 4u);
+}
+
+TEST(NodeParallel, PartitionerChainThroughNonPersistedParent) {
+  // persisted parent (3 parts) <- non-persisted middle (5) <- persisted
+  // child (5), 4 nodes. Child j demands parent j % 3 through the middle:
+  // j=3 gives owner 3 -> owner 0 and j=4 gives owner 0 -> owner 1, so nodes
+  // {0, 1, 3} chain into one group and node 2 stays alone.
+  DagBuilder b("chain");
+  const RddId src = b.source("in", 3, 1 << 20);
+  const RddId parent = b.map(src, "parent");
+  b.persist(parent);
+  TransformOpts five;
+  five.partitions = 5;
+  const RddId middle = b.map(parent, "middle", five);  // not persisted
+  const RddId child = b.map(middle, "child");
+  b.persist(child);
+  b.action(child, "count");
+  const ExecutionPlan plan = plan_of(std::move(b));
+  const ClosurePartitioner part(plan, 4);
+
+  const NodeGroups& child_groups = part.probe_groups(child);
+  ASSERT_EQ(child_groups.num_groups(), 2u);
+  EXPECT_EQ(child_groups.groups[0], (std::vector<NodeId>{0, 1, 3}));
+  EXPECT_EQ(child_groups.groups[1], (std::vector<NodeId>{2}));
+  expect_canonical(child_groups, 4);
+
+  // The parent's own closure stops at the source: probing it alone keeps
+  // full fan-out even though the child couples nodes.
+  EXPECT_EQ(part.probe_groups(parent).num_groups(), 4u);
+  EXPECT_EQ(part.plan_groups().num_groups(), 2u);
+  EXPECT_FALSE(plan_supports_node_parallel(plan, 4));
+}
+
+TEST(NodeParallel, PartitionerStarCollapsesAroundHub) {
+  // A single-partition persisted hub demanded by every partition of three
+  // persisted leaves: all of the hub's touches point at node 0, linking the
+  // whole 4-node cluster into one star-shaped group.
+  DagBuilder b("star");
+  const RddId src = b.source("in", 1, 1 << 20);
+  const RddId hub = b.map(src, "hub");
+  b.persist(hub);
+  TransformOpts four;
+  four.partitions = 4;
+  for (const char* name : {"leaf-a", "leaf-b", "leaf-c"}) {
+    const RddId leaf = b.map(hub, name, four);
+    b.persist(leaf);
+    b.action(leaf, std::string(name) + "-count");
+  }
+  const ExecutionPlan plan = plan_of(std::move(b));
+  const ClosurePartitioner part(plan, 4);
+  EXPECT_EQ(part.plan_groups().num_groups(), 1u);
+  EXPECT_EQ(part.plan_groups().largest_group(), 4u);
+  // Probing the hub itself is closure-free; probing any leaf serializes the
+  // whole cluster.
+  EXPECT_EQ(part.probe_groups(hub).num_groups(), 4u);
+}
+
+TEST(NodeParallel, PartitionerPregelVjoinShape) {
+  // The exact vjoin step from src/api/pregel.cpp: persisted vertices (12
+  // parts) and persisted wide messages (9 parts) feed a non-persisted
+  // zip_partitions at 21 parts, whose persisted vprog output is back at 12.
+  // Probing vprog partition j demands vertices j (self) and messages j % 9.
+  DagBuilder b("vjoin");
+  const RddId src = b.source("edgelist", 12, 1 << 20);
+  const RddId vertices = b.map(src, "vertices");
+  b.persist(vertices);
+  TransformOpts msg_opts;
+  msg_opts.partitions = 9;
+  const RddId messages = b.reduce_by_key(vertices, "messages", msg_opts);
+  b.persist(messages);
+  TransformOpts join_opts;
+  join_opts.partitions = 21;  // parts_for(vertex_total + message_total)
+  const RddId joined =
+      b.zip_partitions(vertices, messages, "vjoin", join_opts);
+  TransformOpts vprog_opts;
+  vprog_opts.partitions = 12;
+  const RddId vprog = b.map(joined, "vprog", vprog_opts);
+  b.persist(vprog);
+  b.action(vprog, "count");
+  const ExecutionPlan plan = plan_of(std::move(b));
+
+  // 8 nodes: j = 9..11 wrap the message index, chaining (0,1), (1,2), (2,3).
+  const ClosurePartitioner p8(plan, 8);
+  const NodeGroups& g8 = p8.probe_groups(vprog);
+  ASSERT_EQ(g8.num_groups(), 5u);
+  EXPECT_EQ(g8.groups[0], (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(g8.largest_group(), 4u);
+  expect_canonical(g8, 8);
+  // Probing the node-closed inputs keeps full fan-out.
+  EXPECT_EQ(p8.probe_groups(vertices).num_groups(), 8u);
+  EXPECT_EQ(p8.probe_groups(messages).num_groups(), 8u);
+
+  // 6 nodes: the wrap pairs nodes at distance 3 — {0,3} {1,4} {2,5}.
+  const ClosurePartitioner p6(plan, 6);
+  const NodeGroups& g6 = p6.probe_groups(vprog);
+  ASSERT_EQ(g6.num_groups(), 3u);
+  EXPECT_EQ(g6.groups[0], (std::vector<NodeId>{0, 3}));
+  EXPECT_EQ(g6.groups[1], (std::vector<NodeId>{1, 4}));
+  EXPECT_EQ(g6.groups[2], (std::vector<NodeId>{2, 5}));
+  expect_canonical(g6, 6);
+}
+
+TEST(NodeParallel, PartitionerReachesThroughColdPersistedAncestors) {
+  // A cold probe of a persisted ancestor recurses into the ancestor's own
+  // closure, so the probed RDD's groups must fold in edges from every
+  // transitively reachable persisted RDD — here the ancestor couples nodes
+  // even though the probed RDD's direct closure is self-only.
+  DagBuilder b("reach");
+  const RddId src = b.source("in", 3, 1 << 20);
+  const RddId deep = b.map(src, "deep");
+  b.persist(deep);
+  TransformOpts five;
+  five.partitions = 5;
+  const RddId mid = b.map(deep, "mid", five);  // owner-breaking remap
+  b.persist(mid);
+  const RddId top = b.map(mid, "top");  // same 5 parts: self touches only
+  b.persist(top);
+  b.action(top, "count");
+  const ExecutionPlan plan = plan_of(std::move(b));
+  const ClosurePartitioner part(plan, 4);
+  // mid couples {0,1,3} directly (j%3 wrap); top inherits that through its
+  // cold-probe reach of mid.
+  EXPECT_EQ(part.probe_groups(mid).num_groups(), 2u);
+  EXPECT_EQ(part.probe_groups(top).num_groups(), 2u);
+  EXPECT_EQ(part.probe_groups(deep).num_groups(), 4u);
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end identity across node-job counts (fig4-style points)
 // ---------------------------------------------------------------------------
 
@@ -140,8 +332,9 @@ struct Point {
 };
 
 std::vector<Point> sample_points() {
-  // tc and km pass the closedness predicate (the fan-out actually runs);
-  // pr fails it and exercises the serial fallback under node_jobs > 1.
+  // tc and km are node-closed (all-singleton groups, full per-node fan-out);
+  // pr's vjoin re-maps couple nodes, so it exercises the group-parallel path
+  // with multi-node groups under node_jobs > 1.
   return {{"tc", "lru", 0.5},  {"tc", "mrd", 0.5}, {"km", "mrd", 0.5},
           {"km", "lru", 1.0},  {"pr", "mrd", 0.5}, {"pr", "lru", 1.0},
           {"tc", "mrd-evict", 1.0}};

@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
 #include "api/spark_context.h"
+#include "core/mrd_manager.h"
+#include "core/profile_store.h"
 #include "dag/dag_analysis.h"
 #include "dag/dag_scheduler.h"
 #include "dag/reference_profile.h"
@@ -65,6 +71,67 @@ TEST(ReferenceProfile, JobOutOfRangeThrows) {
   RddId cached;
   const ExecutionPlan plan = three_job_plan(&cached);
   EXPECT_ANY_THROW(build_job_reference_profile(plan, 99));
+}
+
+// ---- Stale stored profiles (recurring applications) ----
+
+TEST(ReferenceProfile, MrdManagerReconcilesStaleStoredProfile) {
+  RddId cached;
+  const ExecutionPlan plan = three_job_plan(&cached);
+  const auto num_stages = static_cast<StageId>(plan.total_stages());
+
+  // A recurring application whose stored profile came from a *differently
+  // shaped* earlier run: it carries the real references plus a reference
+  // into a stage/job the observed DAG does not have, and an entry for an
+  // RDD id past the app's range.
+  ReferenceProfileMap stale = build_reference_profile(plan);
+  const std::size_t real_refs = stale.at(cached).references.size();
+  stale.at(cached).references.push_back(
+      ReferenceEvent{static_cast<StageId>(num_stages + 4), 99});
+  const auto phantom_rdd = static_cast<RddId>(plan.app().num_rdds() + 3);
+  RddReferenceProfile phantom;
+  phantom.rdd = phantom_rdd;
+  phantom.references.push_back(ReferenceEvent{0, 0});
+  stale[phantom_rdd] = phantom;
+
+  ProfileStore store;
+  store.record(plan.app().name(), stale);
+  MrdManager manager(std::make_shared<AppProfiler>(&store),
+                     DistanceMetric::kStage, /*num_nodes=*/4);
+  manager.on_application_start(plan);
+
+  // Both out-of-range references were dropped (logged + counted), the
+  // in-range ones kept.
+  EXPECT_EQ(manager.stats().profile_refs_reconciled, 2u);
+  EXPECT_EQ(manager.table().num_entries(), real_refs);
+
+  // The phantom RDD must not surface anywhere.
+  EXPECT_TRUE(std::isinf(manager.distance(phantom_rdd)));
+  const std::vector<RddId> order = manager.prefetch_order();
+  EXPECT_EQ(std::count(order.begin(), order.end(), phantom_rdd), 0);
+
+  // Consume every real stage: without reconciliation the phantom reference
+  // would keep the cached RDD at a finite distance forever (stale-distance
+  // evictions, never purged). Reconciled, it goes inactive like any RDD
+  // whose references ran out.
+  manager.on_stage_start(plan, plan.jobs().back().id, num_stages - 1);
+  manager.on_stage_end(plan, plan.jobs().back().id, num_stages - 1);
+  EXPECT_TRUE(std::isinf(manager.distance(cached)));
+  const std::vector<RddId> purge = manager.purge_rdds();
+  EXPECT_EQ(std::count(purge.begin(), purge.end(), cached), 1);
+}
+
+TEST(ReferenceProfile, MrdManagerKeepsMatchingStoredProfileIntact) {
+  RddId cached;
+  const ExecutionPlan plan = three_job_plan(&cached);
+  ProfileStore store;
+  store.record(plan.app().name(), build_reference_profile(plan));
+  MrdManager manager(std::make_shared<AppProfiler>(&store),
+                     DistanceMetric::kStage, /*num_nodes=*/4);
+  manager.on_application_start(plan);
+  EXPECT_EQ(manager.stats().profile_refs_reconciled, 0u);
+  EXPECT_EQ(manager.table().num_entries(),
+            build_reference_profile(plan).at(cached).references.size());
 }
 
 // ---- Table 1 statistics ----
