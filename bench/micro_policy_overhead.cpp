@@ -100,6 +100,56 @@ void BM_PrefetchOrder(benchmark::State& state) {
 }
 BENCHMARK(BM_PrefetchOrder);
 
+// Per-call cost of one budgeted prefetch_candidates() pass. Arg(1) measures
+// the steady state: the frontier cursor proved the whole stream skippable on
+// an earlier pass, so a repeat pass is O(1). Arg(0) invalidates the cursor
+// every iteration (one insert/evict pair, as resident churn between stages
+// does), measuring the full re-enumeration a cold pass pays.
+void BM_MrdPrefetchCandidates(benchmark::State& state) {
+  static const ExecutionPlan plan = benchmark_plan();
+  auto manager = std::make_shared<MrdManager>(std::make_shared<AppProfiler>(),
+                                              DistanceMetric::kStage, 1);
+  CacheMonitor monitor(manager, 0, 1);
+  monitor.on_application_start(plan);
+  monitor.on_stage_start(plan, 0, 0);
+  PrefetchBudget budget;
+  budget.queue_slots = 64;
+  const bool warm_cursor = state.range(0) != 0;
+  for (auto _ : state) {
+    if (!warm_cursor) {
+      monitor.on_block_cached(BlockId{0, 0}, 1);
+      monitor.on_block_evicted(BlockId{0, 0});
+    }
+    std::size_t offers = 0;
+    monitor.prefetch_candidates(budget, [&](const BlockId&) {
+      ++offers;
+      return PrefetchOffer::kSkipped;
+    });
+    benchmark::DoNotOptimize(offers);
+  }
+}
+BENCHMARK(BM_MrdPrefetchCandidates)->Arg(0)->Arg(1);
+
+// Per-call cost of the forced-prefetch threshold test vs. resident-set
+// size: the inactive-resident byte total is maintained incrementally, so
+// the call must stay O(1) as residents grow.
+void BM_MrdPrefetchMayEvict(benchmark::State& state) {
+  static const ExecutionPlan plan = benchmark_plan();
+  auto manager = std::make_shared<MrdManager>(std::make_shared<AppProfiler>(),
+                                              DistanceMetric::kStage, 1);
+  CacheMonitor monitor(manager, 0, 1);
+  monitor.on_application_start(plan);
+  monitor.on_stage_start(plan, 0, 0);
+  const auto blocks = static_cast<PartitionIndex>(state.range(0));
+  for (PartitionIndex p = 0; p < blocks; ++p) {
+    monitor.on_block_cached(BlockId{1, p}, 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor.prefetch_may_evict(1000, 100000));
+  }
+}
+BENCHMARK(BM_MrdPrefetchMayEvict)->Arg(64)->Arg(512)->Arg(4096);
+
 }  // namespace
 }  // namespace mrd
 

@@ -8,14 +8,21 @@
 // the reference container. Unlike the figure drivers this bench reports wall
 // clock, so its output is machine-dependent by nature.
 //
-//   perf_microbench [--repeat N] [--node-jobs N] [--scale S]
+//   perf_microbench [--repeat N] [--node-jobs N] [--scale S] [--gate FILE]
 //
 // Each scenario runs N times (default 5) and reports the median; simulation
 // results are deterministic, so repeats only smooth scheduler noise.
+//
+// --gate FILE turns the bench into a CI regression gate: FILE is a committed
+// BENCH_core.json, and the run fails (exit 1) if any scenario's current
+// median exceeds the committed median by more than 40%. The margin absorbs
+// container-to-container noise while still catching a real issue-path
+// regression (the optimizations being guarded are 2x+).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -64,6 +71,22 @@ double median(std::vector<double> v) {
 }
 
 std::string json_number(double value) { return format_double(value, 3); }
+
+/// Committed median for `workload`/`policy` out of a BENCH_core.json, or a
+/// negative value when the scenario is absent. The file's shape is our own
+/// (written below), so a targeted scan beats dragging in a JSON parser: find
+/// the scenario's identity line, then the "median_ms" that follows it.
+double committed_median(const std::string& json, const std::string& workload,
+                        const std::string& policy) {
+  const std::string key =
+      "\"workload\": \"" + workload + "\", \"policy\": \"" + policy + "\"";
+  const std::size_t at = json.find(key);
+  if (at == std::string::npos) return -1.0;
+  const std::string field = "\"median_ms\": ";
+  const std::size_t med = json.find(field, at);
+  if (med == std::string::npos) return -1.0;
+  return std::atof(json.c_str() + med + field.size());
+}
 
 /// Name of the first RunMetrics field that differs, or "" when the two runs
 /// are field-for-field identical (which makes every CSV projection of them
@@ -124,6 +147,7 @@ int main(int argc, char** argv) {
   std::size_t repeat = 5;
   std::size_t node_jobs = 1;
   double scale = 8.0;
+  std::string gate_file;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (bench::parse_count_flag(argc, argv, &i, "--repeat", "-r", &repeat) ||
@@ -135,15 +159,22 @@ int main(int argc, char** argv) {
       scale = std::atof(argv[++i]);
       continue;
     }
+    if (arg == "--gate" && i + 1 < argc) {
+      gate_file = argv[++i];
+      continue;
+    }
     if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: %s [--repeat N] [--node-jobs N] [--scale S]\n"
+          "usage: %s [--repeat N] [--node-jobs N] [--scale S] [--gate FILE]\n"
           "  --repeat N     samples per scenario, median reported "
           "(default 5)\n"
           "  --node-jobs N  intra-run node workers (default 1; results "
           "identical)\n"
           "  --scale S      workload scale (default 8; baselines assume "
-          "8)\n",
+          "8)\n"
+          "  --gate FILE    fail if any scenario median exceeds FILE's "
+          "committed\n"
+          "                 BENCH_core.json median by more than 40%%\n",
           argv[0]);
       return 0;
     }
@@ -295,5 +326,41 @@ int main(int argc, char** argv) {
   json << "  ]\n}\n";
   json.close();
   std::printf("JSON: BENCH_core.json\n");
+
+  if (!gate_file.empty()) {
+    std::ifstream in(gate_file);
+    if (!in) {
+      std::fprintf(stderr, "FAIL: cannot read gate file %s\n",
+                   gate_file.c_str());
+      return 1;
+    }
+    const std::string committed((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+    constexpr double kGateMargin = 1.4;  // committed median + 40%
+    bool gate_ok = true;
+    std::printf("\nPerf gate vs %s (margin %.0f%%):\n", gate_file.c_str(),
+                (kGateMargin - 1.0) * 100.0);
+    for (const Result& r : results) {
+      const double limit_base = committed_median(committed, r.workload,
+                                                 r.policy);
+      if (limit_base <= 0.0) {
+        std::printf("  %s/%s: no committed median, skipped\n",
+                    r.workload.c_str(), r.policy.c_str());
+        continue;
+      }
+      const double limit = limit_base * kGateMargin;
+      const bool ok = r.median_ms <= limit;
+      std::printf("  %s/%s: %.2f ms vs committed %.2f ms (limit %.2f) %s\n",
+                  r.workload.c_str(), r.policy.c_str(), r.median_ms,
+                  limit_base, limit, ok ? "OK" : "REGRESSED");
+      gate_ok = gate_ok && ok;
+    }
+    if (!gate_ok) {
+      std::fprintf(stderr,
+                   "FAIL: perf gate — at least one scenario regressed >40%% "
+                   "over the committed median\n");
+      return 1;
+    }
+  }
   return 0;
 }

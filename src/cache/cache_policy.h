@@ -7,7 +7,9 @@
 //   * choose_victim()       — who goes when the store is under pressure;
 //   * purge_candidates()    — who can be dropped proactively (MRD's
 //                             infinite-distance purge);
-//   * prefetch_candidates() — who should be pulled into memory ahead of use.
+//   * prefetch_candidates() — who should be pulled into memory ahead of
+//                             use, streamed best-first into the issuer's
+//                             sink under an explicit budget.
 //
 // DAG visibility comes in two modes (paper §4.1): recurring applications
 // deliver the whole plan up front via on_application_start; ad-hoc
@@ -31,6 +33,47 @@
 #include "dag/ids.h"
 
 namespace mrd {
+
+/// The issuer's answer to one offered prefetch candidate. The two skip
+/// verdicts differ in *durability*, which is what lets a policy keep a
+/// resume cursor over its candidate stream: a kSkipped cause can only
+/// change through events the policy observes (block evictions/insertions),
+/// while a kSkippedVolatile cause lives in issuer-private state (the
+/// prefetch queue) and can clear without any policy-visible event — such
+/// candidates must be re-offered on the next pass.
+enum class PrefetchOffer {
+  kIssued,           // a prefetch order was queued for the block
+  kSkipped,          // stable skip: no disk copy to prefetch from
+  kSkippedVolatile,  // transient skip: collided with an in-flight prefetch
+  kStop,             // budget spent or candidates inadmissible: stop
+};
+
+/// The budget one prefetch_candidates() pass generates against. The
+/// contract: generation must cost time proportional to the candidates
+/// actually offered, and must stop as soon as the budget is spent — either
+/// `queue_slots` offers were answered kIssued, or the sink answered kStop
+/// (the issuer's memory budget ran out). Materializing every possible
+/// candidate up front violates the contract.
+struct PrefetchBudget {
+  /// Free bytes of the node's memory store (before queued prefetches land).
+  std::uint64_t free_bytes = 0;
+  /// Total capacity of the node's memory store; with free_bytes this is the
+  /// input to the policy's forced-eviction threshold (prefetch_may_evict).
+  std::uint64_t capacity = 0;
+  /// Prefetch orders the issuer can still queue. 0 = nothing to do.
+  std::size_t queue_slots = 0;
+  /// Optional O(1) pre-filter: does the issuer hold at least one disk copy
+  /// of this RDD's blocks? When set, a policy may elide offering any block
+  /// of an all-false RDD — every such offer would come back kSkipped ("no
+  /// disk copy"). The answer may only flip false→true through events the
+  /// policy observes (spills ride along with evictions), which is what
+  /// makes the elision safe to cache in a resume cursor. nullptr = unknown;
+  /// offer everything.
+  std::function<bool(RddId)> rdd_on_disk;
+};
+
+/// Receives prefetch candidates best-first; returns what became of each.
+using PrefetchSink = std::function<PrefetchOffer(const BlockId&)>;
 
 class CachePolicy {
  public:
@@ -92,13 +135,22 @@ class CachePolicy {
   /// Blocks to drop proactively, if any. Queried at stage boundaries.
   virtual std::vector<BlockId> purge_candidates() { return {}; }
 
-  /// Blocks to pull into memory, best candidate first. Queried at stage
-  /// boundaries with the node's current free space and total capacity.
-  virtual std::vector<BlockId> prefetch_candidates(std::uint64_t free_bytes,
-                                                   std::uint64_t capacity) {
-    (void)free_bytes;
-    (void)capacity;
-    return {};
+  /// Streams blocks to pull into memory, best candidate first, into `sink`.
+  /// Queried at stage boundaries by the node's BlockManager
+  /// (refresh_prefetch_orders), which owns the fit/force/queue decisions
+  /// and reports them back through the sink's PrefetchOffer verdicts.
+  ///
+  /// Budget contract (see PrefetchBudget): `budget.free_bytes` and
+  /// `budget.capacity` are real inputs — they parameterize the policy's
+  /// forced-eviction threshold and let it bound how much work it offers —
+  /// and `budget.queue_slots` caps the kIssued answers a pass can collect.
+  /// Generation must stop at a kStop verdict or a filled budget instead of
+  /// enumerating the remaining candidate universe; the default
+  /// implementation streams nothing.
+  virtual void prefetch_candidates(const PrefetchBudget& budget,
+                                   const PrefetchSink& sink) {
+    (void)budget;
+    (void)sink;
   }
 
   /// Whether a prefetch may evict resident blocks to make room (Algorithm 1,

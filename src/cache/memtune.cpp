@@ -68,26 +68,33 @@ std::optional<BlockId> MemTunePolicy::choose_victim() {
       [this](const BlockId& b) { return is_needed(b.rdd) ? 0.0 : 1.0; });
 }
 
-std::vector<BlockId> MemTunePolicy::prefetch_candidates(
-    std::uint64_t free_bytes, std::uint64_t capacity) {
-  (void)free_bytes;
-  (void)capacity;
-  std::vector<BlockId> out;
-  if (plan_ == nullptr) return out;
+void MemTunePolicy::prefetch_candidates(const PrefetchBudget& budget,
+                                        const PrefetchSink& sink) {
+  if (plan_ == nullptr || budget.queue_slots == 0) return;
   // Unordered (list) semantics: RDD-id order for determinism, no distance
   // ranking — MemTune has none.
   std::vector<RddId> sorted(needed_.begin(), needed_.end());
   std::sort(sorted.begin(), sorted.end());
+  std::size_t issued = 0;
   for (RddId rdd : sorted) {
     const RddInfo& info = plan_->app().rdd(rdd);
-    for (PartitionIndex p = 0; p < info.num_partitions; ++p) {
+    // Enumerate only this node's partitions (owner = p % num_nodes): the
+    // stride visits them in the same ascending order the full scan did.
+    for (PartitionIndex p = node_; p < info.num_partitions; p += num_nodes_) {
       const BlockId block{rdd, p};
-      if (!block_on_node(block, node_, num_nodes_)) continue;
       if (residents_.contains(block)) continue;
-      out.push_back(block);
+      switch (sink(block)) {
+        case PrefetchOffer::kStop:
+          return;
+        case PrefetchOffer::kIssued:
+          if (++issued >= budget.queue_slots) return;
+          break;
+        case PrefetchOffer::kSkipped:
+        case PrefetchOffer::kSkippedVolatile:
+          break;  // MemTune keeps no cursor; skip kinds are equivalent
+      }
     }
   }
-  return out;
 }
 
 }  // namespace mrd

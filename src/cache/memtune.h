@@ -36,8 +36,8 @@ class MemTunePolicy : public CachePolicy {
   void on_block_accessed(const BlockId& block) override;
   void on_block_evicted(const BlockId& block) override;
   std::optional<BlockId> choose_victim() override;
-  std::vector<BlockId> prefetch_candidates(std::uint64_t free_bytes,
-                                           std::uint64_t capacity) override;
+  void prefetch_candidates(const PrefetchBudget& budget,
+                           const PrefetchSink& sink) override;
 
   bool is_needed(RddId rdd) const { return needed_.count(rdd) > 0; }
 

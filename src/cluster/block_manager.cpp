@@ -61,6 +61,49 @@ void BlockManager::purge_block(const BlockId& block) {
   if (store_.remove(block)) ++stats_.purged;
 }
 
+void BlockManager::refresh_prefetch_orders(const ExecutionPlan& plan,
+                                           std::size_t max_queue) {
+  flush_unstarted_prefetches();
+  if (prefetch_queue_.size() >= max_queue) return;
+  const std::uint64_t capacity = store_.capacity();
+  const std::uint64_t free_bytes = store_.free_bytes();
+  // Free space net of already-queued prefetches.
+  std::uint64_t projected_free =
+      free_bytes > queued_bytes_ ? free_bytes - queued_bytes_ : 0;
+  const bool may_force = policy_->prefetch_may_evict(free_bytes, capacity);
+
+  PrefetchBudget budget;
+  budget.free_bytes = free_bytes;
+  budget.capacity = capacity;
+  budget.queue_slots = max_queue - prefetch_queue_.size();
+  budget.rdd_on_disk = [this](RddId rdd) {
+    return rdd < disk_blocks_per_rdd_.size() && disk_blocks_per_rdd_[rdd] > 0;
+  };
+  policy_->prefetch_candidates(
+      budget, [&](const BlockId& block) -> PrefetchOffer {
+        if (prefetch_queue_.size() >= max_queue) return PrefetchOffer::kStop;
+        if (!on_disk_.contains(pack_block_id(block))) {
+          return PrefetchOffer::kSkipped;  // nothing to read it from
+        }
+        const std::uint64_t bytes =
+            plan.app().rdd(block.rdd).bytes_per_partition;
+        if (bytes <= projected_free) {
+          if (!issue_prefetch(block, bytes, /*forced=*/false)) {
+            return PrefetchOffer::kSkippedVolatile;  // already queued
+          }
+          projected_free -= bytes;
+          return PrefetchOffer::kIssued;
+        }
+        if (may_force || policy_->prefetch_swap_improves(block)) {
+          return issue_prefetch(block, bytes, /*forced=*/true)
+                     ? PrefetchOffer::kIssued
+                     : PrefetchOffer::kSkippedVolatile;  // already queued
+        }
+        // Nearest candidates first: once one doesn't fit, stop.
+        return PrefetchOffer::kStop;
+      });
+}
+
 bool BlockManager::issue_prefetch(const BlockId& block, std::uint64_t bytes,
                                   bool forced) {
   if (store_.contains(block)) return false;
@@ -139,6 +182,10 @@ bool BlockManager::insert_with_spill(const BlockId& block, std::uint64_t bytes,
     if (config_.spill_on_evict && on_disk_.insert(pack_block_id(victim))) {
       ++stats_.spills;
       charge->disk_write_bytes += victim_bytes;
+      if (victim.rdd >= disk_blocks_per_rdd_.size()) {
+        disk_blocks_per_rdd_.resize(victim.rdd + 1, 0);
+      }
+      ++disk_blocks_per_rdd_[victim.rdd];
     }
   }
   if (!result.stored) {

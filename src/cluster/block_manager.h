@@ -88,6 +88,16 @@ class BlockManager {
 
   // ---- Prefetch path ----
 
+  /// Refreshes this node's prefetch orders against the policy's current
+  /// candidate ranking (Algorithm 1 lines 24–29): flushes stale unstarted
+  /// orders, then streams policy candidates through the budget sink —
+  /// issuing into free (projected) space, forcing evictions while the
+  /// policy's threshold allows, and stopping at the first inadmissible
+  /// candidate or a full queue. Costs time proportional to the candidates
+  /// actually examined, not to the candidate universe.
+  void refresh_prefetch_orders(const ExecutionPlan& plan,
+                               std::size_t max_queue);
+
   /// Queues a prefetch of an on-disk block. `forced` records whether, at
   /// completion, the insert may evict residents (Algorithm 1 line 26).
   /// Returns false (and does nothing) if the block is resident, already
@@ -135,6 +145,10 @@ class BlockManager {
   std::unique_ptr<CachePolicy> policy_;
   MemoryStore store_;
   FlatSet64 on_disk_;
+  /// Disk copies per RDD (index == RddId; on_disk_ only ever grows). Lets
+  /// refresh_prefetch_orders hand the policy an O(1) "anything of this RDD
+  /// on disk?" pre-filter instead of per-block probes of on_disk_.
+  std::vector<std::uint32_t> disk_blocks_per_rdd_;
   std::deque<PendingPrefetch> prefetch_queue_;
   FlatSet64 prefetch_queued_;
   std::uint64_t queued_bytes_ = 0;

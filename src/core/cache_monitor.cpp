@@ -1,6 +1,7 @@
 #include "core/cache_monitor.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "util/check.h"
@@ -28,17 +29,56 @@ double CacheMonitor::cached_distance(RddId rdd) const {
   return distance;
 }
 
+CacheMonitor::RddResidency& CacheMonitor::residency(RddId rdd) {
+  if (rdd >= rdd_residency_.size()) rdd_residency_.resize(rdd + 1);
+  return rdd_residency_[rdd];
+}
+
+void CacheMonitor::sync_activity() const {
+  const RefDistanceTable& table = manager_->table();
+  const std::size_t size = table.activity_log_size();
+  if (size < activity_log_pos_) {
+    // The table was rebuilt from scratch (clear + reload): restart the
+    // replay from the all-inactive initial state, with everything currently
+    // resident counting as reclaimable.
+    activity_log_pos_ = 0;
+    rdd_active_.assign(rdd_active_.size(), false);
+    reclaimable_bytes_ = 0;
+    for (const RddResidency& r : rdd_residency_) reclaimable_bytes_ += r.bytes;
+  }
+  for (; activity_log_pos_ < size; ++activity_log_pos_) {
+    const auto [rdd, active] = table.activity_entry(activity_log_pos_);
+    if (rdd >= rdd_active_.size()) rdd_active_.resize(rdd + 1, false);
+    if (rdd_active_[rdd] == active) continue;
+    rdd_active_[rdd] = active;
+    // sync_activity() runs before every residency mutation, so the RDD's
+    // byte tally has not moved since this flip was appended.
+    const std::uint64_t bytes =
+        rdd < rdd_residency_.size() ? rdd_residency_[rdd].bytes : 0;
+    if (active) {
+      reclaimable_bytes_ -= bytes;
+    } else {
+      reclaimable_bytes_ += bytes;
+    }
+  }
+}
+
+std::uint64_t CacheMonitor::reclaimable_resident_bytes() const {
+  sync_activity();
+  return reclaimable_bytes_;
+}
+
 double CacheMonitor::furthest_resident_distance() const {
   const std::uint64_t version = manager_->distance_version();
-  if (furthest_version_stamp_ != version ||
-      furthest_residents_stamp_ != residents_rev_ + 1) {
+  if (furthest_version_stamp_ != version || furthest_dirty_) {
     double furthest = -1.0;
-    residents_.for_each_lru_first([&](const BlockId& b) {
-      furthest = std::max(furthest, cached_distance(b.rdd));
-    });
+    for (RddId rdd = 0; rdd < rdd_residency_.size(); ++rdd) {
+      if (rdd_residency_[rdd].count == 0) continue;
+      furthest = std::max(furthest, cached_distance(rdd));
+    }
     furthest_memo_ = furthest;
     furthest_version_stamp_ = version;
-    furthest_residents_stamp_ = residents_rev_ + 1;  // +1: 0 reads as unset
+    furthest_dirty_ = false;
   }
   return furthest_memo_;
 }
@@ -78,9 +118,34 @@ void CacheMonitor::on_rdd_probed(const ExecutionPlan& plan, RddId rdd,
 }
 
 void CacheMonitor::on_block_cached(const BlockId& block, std::uint64_t bytes) {
+  sync_activity();
   residents_.insert(block);
-  block_bytes_[pack_block_id(block)] = bytes;
+  auto& stored_bytes = block_bytes_[pack_block_id(block)];
+  RddResidency& r = residency(block.rdd);
+  const std::size_t word = block.partition >> 6;
+  if (word >= r.bits.size()) r.bits.resize(word + 1, 0);
+  const std::uint64_t mask = std::uint64_t{1} << (block.partition & 63);
+  if ((r.bits[word] & mask) != 0) {
+    // Re-cache of an already-resident block: only the size can differ.
+    r.bytes += bytes - stored_bytes;
+    if (!rdd_is_active(block.rdd)) reclaimable_bytes_ += bytes - stored_bytes;
+  } else {
+    r.bits[word] |= mask;
+    if (r.count == 0 || block.partition > r.max_partition) {
+      r.max_partition = block.partition;
+    }
+    ++r.count;
+    if (block.partition % num_nodes_ == node_) ++r.local_count;
+    r.bytes += bytes;
+    if (!rdd_is_active(block.rdd)) reclaimable_bytes_ += bytes;
+  }
+  stored_bytes = bytes;
   ++residents_rev_;
+  // A fresh resident can only raise the furthest-resident max.
+  if (furthest_version_stamp_ == manager_->distance_version() &&
+      !furthest_dirty_) {
+    furthest_memo_ = std::max(furthest_memo_, cached_distance(block.rdd));
+  }
 }
 
 void CacheMonitor::on_block_accessed(const BlockId& block) {
@@ -88,9 +153,41 @@ void CacheMonitor::on_block_accessed(const BlockId& block) {
 }
 
 void CacheMonitor::on_block_evicted(const BlockId& block) {
+  sync_activity();
   residents_.erase(block);
-  block_bytes_.erase(pack_block_id(block));
   ++residents_rev_;
+  const std::uint64_t key = pack_block_id(block);
+  std::uint64_t bytes = 0;
+  if (const auto* b = block_bytes_.find(key)) {
+    bytes = *b;
+    block_bytes_.erase(key);
+  }
+  if (block.rdd >= rdd_residency_.size()) return;
+  RddResidency& r = rdd_residency_[block.rdd];
+  const std::size_t word = block.partition >> 6;
+  const std::uint64_t mask = word < r.bits.size()
+                                 ? std::uint64_t{1} << (block.partition & 63)
+                                 : 0;
+  if (mask == 0 || (r.bits[word] & mask) == 0) return;  // was not tracked
+  r.bits[word] &= ~mask;
+  --r.count;
+  if (block.partition % num_nodes_ == node_) --r.local_count;
+  r.bytes -= bytes;
+  if (!rdd_is_active(block.rdd)) reclaimable_bytes_ -= bytes;
+  if (r.count > 0 && block.partition == r.max_partition) {
+    // Repair the max by scanning the bitmap downward from the cleared bit.
+    for (std::size_t w = word + 1; w-- > 0;) {
+      if (r.bits[w] == 0) continue;
+      r.max_partition = static_cast<PartitionIndex>(
+          (w << 6) + 63 - std::countl_zero(r.bits[w]));
+      break;
+    }
+  }
+  // Losing the last block of the max-distance RDD invalidates the memo.
+  if (r.count == 0 && furthest_version_stamp_ == manager_->distance_version() &&
+      !furthest_dirty_ && cached_distance(block.rdd) >= furthest_memo_) {
+    furthest_dirty_ = true;
+  }
 }
 
 std::optional<BlockId> CacheMonitor::choose_victim() {
@@ -102,56 +199,127 @@ std::optional<BlockId> CacheMonitor::choose_victim() {
   // *stable* block order rather than recency: for equal-distance blocks
   // (e.g. all partitions of one hot RDD under a cache smaller than it) a
   // stable order keeps a fixed subset resident, where LRU tie-breaking
-  // would cycle and hit nothing.
-  std::optional<BlockId> best;
+  // would cycle and hit nothing. Blocks of one RDD share a distance, so the
+  // max over blocks of (distance, rdd, partition) decomposes into the max
+  // over *RDD tallies* of (distance, rdd), then that RDD's max resident
+  // partition — O(#resident RDDs), not O(#resident blocks).
+  bool found = false;
+  RddId best_rdd = 0;
   double best_distance = 0.0;
-  residents_.for_each_lru_first([&](const BlockId& b) {
-    const double d = cached_distance(b.rdd);
-    if (!best || d > best_distance ||
-        (d == best_distance && b > *best)) {
-      best = b;
+  for (RddId rdd = 0; rdd < rdd_residency_.size(); ++rdd) {
+    if (rdd_residency_[rdd].count == 0) continue;
+    const double d = cached_distance(rdd);
+    if (!found || d > best_distance || (d == best_distance && rdd > best_rdd)) {
+      found = true;
+      best_rdd = rdd;
       best_distance = d;
     }
-  });
-  return best;
+  }
+  if (!found) return std::nullopt;
+  return BlockId{best_rdd, rdd_residency_[best_rdd].max_partition};
 }
 
 std::vector<BlockId> CacheMonitor::purge_candidates() {
   // The all-out purge is driven by the MRD_Table and runs in every MRD
   // variant: it is what frees memory below the prefetch threshold, so even
-  // the prefetch-only ablation keeps it.
-  const std::vector<RddId> purge = manager_->purge_rdds();
-  if (purge.empty()) return {};
-  // One pass over the residents with a dense purge-RDD bitmap, instead of one
-  // full resident scan per purge RDD. The purge set is unordered work — every
-  // candidate is removed independently — so grouping by RDD is not required.
-  RddId max_rdd = 0;
-  for (RddId rdd : purge) max_rdd = std::max(max_rdd, rdd);
-  std::vector<bool> is_purge(max_rdd + 1, false);
-  for (RddId rdd : purge) is_purge[rdd] = true;
+  // the prefetch-only ablation keeps it. Purged blocks are independent
+  // removals, so enumeration order is free; walking the per-RDD residency
+  // bitmaps costs O(blocks purged), not a scan of the resident set.
+  const std::vector<RddId>& purge = manager_->purge_rdds();
+  if (purge.empty() || residents_.empty()) return {};
   std::vector<BlockId> out;
-  residents_.for_each_lru_first([&](const BlockId& b) {
-    if (b.rdd <= max_rdd && is_purge[b.rdd]) out.push_back(b);
-  });
-  return out;
-}
-
-std::vector<BlockId> CacheMonitor::prefetch_candidates(
-    std::uint64_t free_bytes, std::uint64_t capacity) {
-  (void)free_bytes;
-  (void)capacity;
-  if (!options_.mrd_prefetch || plan_ == nullptr) return {};
-  std::vector<BlockId> out;
-  for (RddId rdd : manager_->prefetch_order()) {
-    const RddInfo& info = plan_->app().rdd(rdd);
-    for (PartitionIndex p = 0; p < info.num_partitions; ++p) {
-      const BlockId block{rdd, p};
-      if (!block_on_node(block, node_, num_nodes_)) continue;
-      if (residents_.contains(block)) continue;
-      out.push_back(block);
+  for (RddId rdd : purge) {
+    if (rdd >= rdd_residency_.size()) continue;
+    const RddResidency& r = rdd_residency_[rdd];
+    if (r.count == 0) continue;
+    out.reserve(out.size() + r.count);
+    for (std::size_t w = 0; w < r.bits.size(); ++w) {
+      std::uint64_t bits = r.bits[w];
+      while (bits != 0) {
+        const int bit = std::countr_zero(bits);
+        bits &= bits - 1;
+        out.push_back(BlockId{
+            rdd, static_cast<PartitionIndex>((w << 6) + bit)});
+      }
     }
   }
   return out;
+}
+
+void CacheMonitor::prefetch_candidates(const PrefetchBudget& budget,
+                                       const PrefetchSink& sink) {
+  if (!options_.mrd_prefetch || plan_ == nullptr || budget.queue_slots == 0) {
+    return;
+  }
+  const std::vector<RddId>& order = manager_->prefetch_order();
+  const std::uint64_t order_version = manager_->prefetch_order_version();
+  std::size_t start_idx = 0;
+  PartitionIndex start_part = node_;
+  if (cursor_valid_ && cursor_order_version_ == order_version &&
+      cursor_residents_rev_ == residents_rev_) {
+    start_idx = cursor_idx_;
+    start_part = cursor_part_;
+  }
+  // The frontier tracks the next enumeration position while every position
+  // handled so far in this pass was a stable skip (resident block, or
+  // kSkipped from the sink). The first issue, volatile skip or stop freezes
+  // it: those candidates must be re-offered next pass.
+  bool frontier_open = true;
+  std::size_t frontier_idx = start_idx;
+  PartitionIndex frontier_part = start_part;
+  const auto freeze = [&](std::size_t idx, PartitionIndex part) {
+    if (frontier_open) {
+      frontier_idx = idx;
+      frontier_part = part;
+      frontier_open = false;
+    }
+  };
+  std::size_t issued = 0;
+  bool stopped = false;
+  for (std::size_t idx = start_idx; idx < order.size() && !stopped; ++idx) {
+    const RddId rdd = order[idx];
+    const RddInfo& info = plan_->app().rdd(rdd);
+    PartitionIndex part = idx == start_idx ? start_part : node_;
+    const RddResidency* r =
+        rdd < rdd_residency_.size() ? &rdd_residency_[rdd] : nullptr;
+    if (r != nullptr &&
+        r->local_count == local_partition_count(info.num_partitions)) {
+      // Every local partition is resident: the whole RDD skips in O(1).
+    } else if (budget.rdd_on_disk != nullptr && !budget.rdd_on_disk(rdd)) {
+      // No disk copy of anything in this RDD: every offer would come back
+      // kSkipped. A stable whole-RDD skip (disk copies only appear through
+      // spills, which ride along with evictions and bump residents_rev_).
+    } else {
+      for (; part < info.num_partitions; part += num_nodes_) {
+        if (r != nullptr && r->test(part)) continue;  // resident: stable skip
+        switch (sink(BlockId{rdd, part})) {
+          case PrefetchOffer::kStop:
+            freeze(idx, part);
+            stopped = true;
+            break;
+          case PrefetchOffer::kIssued:
+            freeze(idx, part);
+            if (++issued >= budget.queue_slots) stopped = true;
+            break;
+          case PrefetchOffer::kSkippedVolatile:
+            freeze(idx, part);
+            break;
+          case PrefetchOffer::kSkipped:
+            break;
+        }
+        if (stopped) break;
+      }
+    }
+    if (frontier_open) {
+      frontier_idx = idx + 1;
+      frontier_part = node_;
+    }
+  }
+  cursor_valid_ = true;
+  cursor_order_version_ = order_version;
+  cursor_residents_rev_ = residents_rev_;
+  cursor_idx_ = frontier_idx;
+  cursor_part_ = frontier_part;
 }
 
 bool CacheMonitor::prefetch_may_evict(std::uint64_t free_bytes,
@@ -161,15 +329,11 @@ bool CacheMonitor::prefetch_may_evict(std::uint64_t free_bytes,
   // eviction phase takes them first), so the threshold test counts them as
   // free: otherwise demand eviction consumes inactive data one block at a
   // time and the prefetcher never sees the memory the purge would have
-  // released in bulk.
-  std::uint64_t reclaimable = free_bytes;
-  residents_.for_each_lru_first([&](const BlockId& b) {
-    if (std::isinf(cached_distance(b.rdd))) {
-      if (const auto* bytes = block_bytes_.find(pack_block_id(b))) {
-        reclaimable += *bytes;
-      }
-    }
-  });
+  // released in bulk. The inactive-resident byte total is maintained
+  // incrementally (insert/evict events + activity-log replay), so the test
+  // is O(new activity flips), not a resident scan.
+  sync_activity();
+  const std::uint64_t reclaimable = free_bytes + reclaimable_bytes_;
   return static_cast<double>(reclaimable) >
          options_.prefetch_threshold * static_cast<double>(capacity);
 }

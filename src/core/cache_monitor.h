@@ -10,6 +10,13 @@
 //    forced eviction allowed while free memory exceeds the threshold
 //    (lines 24–29; threshold experimentally 25% of cache space, §4.3).
 //
+// Every decision path is incremental: per-RDD residency tallies (counts,
+// bytes, partition bitmaps) are maintained on each cache/evict event, so
+// victim choice, the reclaimable-bytes threshold test, the furthest-resident
+// memo, purge enumeration and the prefetch frontier all cost time
+// proportional to the RDDs/blocks actually touched — never a rescan of the
+// whole resident set or candidate universe.
+//
 // The Fig-4 ablation variants are expressed with two switches: with
 // `mrd_eviction` off the victim choice degrades to Spark's default LRU;
 // with `mrd_prefetch` off no prefetch orders are issued.
@@ -61,8 +68,8 @@ class CacheMonitor : public CachePolicy {
 
   std::optional<BlockId> choose_victim() override;
   std::vector<BlockId> purge_candidates() override;
-  std::vector<BlockId> prefetch_candidates(std::uint64_t free_bytes,
-                                           std::uint64_t capacity) override;
+  void prefetch_candidates(const PrefetchBudget& budget,
+                           const PrefetchSink& sink) override;
   bool prefetch_may_evict(std::uint64_t free_bytes,
                           std::uint64_t capacity) const override;
   bool prefetch_swap_improves(const BlockId& block) const override;
@@ -72,26 +79,81 @@ class CacheMonitor : public CachePolicy {
 
   const MrdManager& manager() const { return *manager_; }
 
+  /// Bytes of resident data whose RDD is currently inactive (infinite
+  /// distance) — the incrementally maintained input of the prefetch
+  /// threshold test. Exposed so tests can check it against a from-scratch
+  /// recomputation.
+  std::uint64_t reclaimable_resident_bytes() const;
+
+  /// Max cached_distance over all residents (-1.0 when nothing resident).
+  /// Maintained incrementally: inserts raise the running max directly;
+  /// only evicting the last block of the max-distance RDD (or a distance
+  /// epoch change) triggers a recomputation, which scans the per-RDD
+  /// residency tallies — O(#RDDs), not O(#resident blocks). Public for the
+  /// property tests.
+  double furthest_resident_distance() const;
+
  private:
+  /// Per-RDD residency tally on this node. Tracks *all* resident blocks of
+  /// the RDD (partition bitmap, counts, bytes) so that victim choice, purge
+  /// enumeration and the reclaimable-bytes counter never need to rescan the
+  /// resident set.
+  struct RddResidency {
+    /// Partition presence bitmap, grown on demand.
+    std::vector<std::uint64_t> bits;
+    /// Resident blocks of this RDD (any owner).
+    std::uint32_t count = 0;
+    /// Resident blocks owned by this node (partition % num_nodes == node) —
+    /// the comparison against local_partition_count() that lets the
+    /// prefetch frontier skip fully-resident RDDs in O(1).
+    std::uint32_t local_count = 0;
+    /// Resident bytes of this RDD (any owner).
+    std::uint64_t bytes = 0;
+    /// Greatest resident partition; valid while count > 0. Repaired by a
+    /// downward bitmap scan when the current max is evicted.
+    PartitionIndex max_partition = 0;
+
+    bool test(PartitionIndex p) const {
+      const std::size_t w = p >> 6;
+      return w < bits.size() && (bits[w] >> (p & 63)) & 1;
+    }
+  };
+
   /// manager_->distance(rdd), memoized against the manager's
   /// distance_version(): eviction scans ask for the same few RDD distances
-  /// once per resident block, thousands of times between table changes.
+  /// once per resident RDD, thousands of times between table changes.
   double cached_distance(RddId rdd) const;
 
-  /// Max cached_distance over all residents, memoized until either the
-  /// distance table or the resident *set* changes (recency order is
-  /// irrelevant to a max). The prefetch path asks this once per candidate
-  /// block; uncached it was a full resident scan each time.
-  double furthest_resident_distance() const;
+  RddResidency& residency(RddId rdd);
+
+  /// Replays the manager table's activity log suffix appended since the
+  /// last call, updating reclaimable_bytes_ and rdd_active_ — O(new flips).
+  void sync_activity() const;
+
+  /// Post-sync_activity() activity state of `rdd` (false = no live
+  /// references left, i.e. infinite distance).
+  bool rdd_is_active(RddId rdd) const {
+    return rdd < rdd_active_.size() && rdd_active_[rdd];
+  }
+
+  /// Local partitions of an RDD with `num_partitions` partitions
+  /// (owner = partition % num_nodes).
+  std::uint32_t local_partition_count(PartitionIndex num_partitions) const {
+    return num_partitions > node_
+               ? (num_partitions - 1 - node_) / num_nodes_ + 1
+               : 0;
+  }
 
   std::shared_ptr<MrdManager> manager_;
   NodeId node_;
   NodeId num_nodes_;
   MrdPolicyOptions options_;
   const ExecutionPlan* plan_ = nullptr;
+  /// Recency order over residents — the LRU ablation's victim order. The
+  /// MRD decision paths run off the per-RDD tallies instead.
   ResidentSet residents_;
-  /// Sizes of resident blocks — needed to value inactive residents as
-  /// reclaimable space in the prefetch-threshold test.
+  /// Sizes of resident blocks — eviction events carry no byte count, so the
+  /// per-RDD byte tallies are unwound through this map.
   FlatMap64<std::uint64_t> block_bytes_;
   /// True while a completed prefetch is being inserted: even in the
   /// prefetch-only ablation, prefetch-induced evictions pick the
@@ -99,11 +161,43 @@ class CacheMonitor : public CachePolicy {
   bool prefetch_insert_active_ = false;
   /// Per-RDD (distance_version stamp, distance) memo; stamp 0 = unset.
   mutable std::vector<std::pair<std::uint64_t, double>> dist_memo_;
+  /// Per-RDD residency tallies; index == RddId, grown on demand.
+  std::vector<RddResidency> rdd_residency_;
   /// Bumped whenever the resident set gains or loses a block.
   std::uint64_t residents_rev_ = 0;
+
+  // -- Incremental reclaimable-bytes counter (prefetch threshold test) --
+  /// Σ bytes of resident blocks whose RDD is inactive; kept current by
+  /// insert/evict events plus replay of the table's activity log.
+  mutable std::uint64_t reclaimable_bytes_ = 0;
+  /// Activity-log read offset (entries already replayed).
+  mutable std::size_t activity_log_pos_ = 0;
+  /// Replayed activity per RDD (true = has live references). Initial state
+  /// inactive, matching the table's implicit initial state.
+  mutable std::vector<bool> rdd_active_;
+
+  // -- Incremental furthest-resident memo --
   mutable std::uint64_t furthest_version_stamp_ = 0;
-  mutable std::uint64_t furthest_residents_stamp_ = 0;
+  mutable bool furthest_dirty_ = false;
   mutable double furthest_memo_ = -1.0;
+
+  // -- Prefetch frontier cursor --
+  /// Resume point into the manager's prefetch order: every enumeration
+  /// position before (cursor_idx_, cursor_part_) held a *stable* skip — the
+  /// block was resident, or had no disk copy (kSkipped from the sink).
+  /// Both conditions can only change through events that bump
+  /// residents_rev_ (evict/purge for residency; spills ride along with
+  /// evictions for disk copies), and the order itself only changes with
+  /// prefetch_order_version(); while both stamps match, the next pass
+  /// resumes at the cursor instead of re-testing the prefix. The first
+  /// issue, transient skip (kSkippedVolatile: queued-prefetch collisions,
+  /// which can clear without touching the resident set) or stop freezes the
+  /// frontier at that position — such candidates must be re-offered.
+  bool cursor_valid_ = false;
+  std::uint64_t cursor_order_version_ = 0;
+  std::uint64_t cursor_residents_rev_ = 0;
+  std::size_t cursor_idx_ = 0;
+  PartitionIndex cursor_part_ = 0;
 };
 
 }  // namespace mrd

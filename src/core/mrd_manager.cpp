@@ -101,12 +101,36 @@ double MrdManager::distance(RddId rdd) const {
   return table_.distance(rdd, current_stage_, current_job_, metric_);
 }
 
-std::vector<RddId> MrdManager::purge_rdds() const {
-  return table_.inactive_rdds();
+const std::vector<RddId>& MrdManager::purge_rdds() const {
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  if (purge_stamp_ != distance_version_) {
+    purge_memo_ = table_.inactive_rdds();
+    purge_stamp_ = distance_version_;
+  }
+  return purge_memo_;
 }
 
-std::vector<RddId> MrdManager::prefetch_order() const {
-  return table_.by_ascending_distance(current_stage_, current_job_, metric_);
+const std::vector<RddId>& MrdManager::prefetch_order() const {
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  refresh_prefetch_order_locked();
+  return order_memo_;
+}
+
+std::uint64_t MrdManager::prefetch_order_version() const {
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  refresh_prefetch_order_locked();
+  return order_version_;
+}
+
+void MrdManager::refresh_prefetch_order_locked() const {
+  if (order_stamp_ == distance_version_) return;
+  std::vector<RddId> fresh =
+      table_.by_ascending_distance(current_stage_, current_job_, metric_);
+  if (fresh != order_memo_) {
+    order_memo_ = std::move(fresh);
+    ++order_version_;
+  }
+  order_stamp_ = distance_version_;
 }
 
 void MrdManager::load_profile(const ReferenceProfileMap& profile) {

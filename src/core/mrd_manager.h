@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -66,10 +67,23 @@ class MrdManager {
   double distance(RddId rdd) const;
 
   /// RDDs whose reference lists ran empty — cluster-wide purge candidates.
-  std::vector<RddId> purge_rdds() const;
+  /// Memoized against distance_version(): all nodes share one computation
+  /// per table change instead of rescanning every tracked RDD per node. The
+  /// returned reference stays valid and stable until the next DAG event
+  /// (table mutations only happen at serialized broadcast points).
+  const std::vector<RddId>& purge_rdds() const;
 
   /// RDDs by ascending distance — prefetch priority (nearest first).
-  std::vector<RddId> prefetch_order() const;
+  /// Memoized like purge_rdds(): the sort runs once per table change, not
+  /// once per node per stage.
+  const std::vector<RddId>& prefetch_order() const;
+
+  /// Epoch of the prefetch *ordering*: bumps only when prefetch_order()
+  /// actually changes content, not on every distance_version() tick (a
+  /// stage advance shifts all finite distances by the same amount and
+  /// usually leaves the order intact). The per-node frontier cursors in the
+  /// CacheMonitors stamp their enumeration state against this.
+  std::uint64_t prefetch_order_version() const;
 
   DistanceMetric metric() const { return metric_; }
   StageId current_stage() const { return current_stage_; }
@@ -95,6 +109,9 @@ class MrdManager {
   void reconcile_profile(ReferenceProfileMap* profile,
                          const ExecutionPlan& plan);
   void note_table_broadcast();
+  /// Refreshes the prefetch-order memo if distance_version_ moved on.
+  /// Caller must hold memo_mutex_.
+  void refresh_prefetch_order_locked() const;
 
   std::shared_ptr<AppProfiler> profiler_;
   DistanceMetric metric_;
@@ -104,6 +121,18 @@ class MrdManager {
   StageId current_stage_ = 0;
   JobId current_job_ = 0;
   std::uint64_t distance_version_ = 1;
+
+  // Query memos. Guarded by memo_mutex_ because the per-node decision
+  // phases (prefetch issue, purge) query concurrently under --node-jobs;
+  // the first caller after a table change computes, the rest reuse. The
+  // memos never mutate while a parallel phase runs (distance_version_ only
+  // moves at serialized broadcast points), so returning references is safe.
+  mutable std::mutex memo_mutex_;
+  mutable std::uint64_t order_stamp_ = 0;   // distance_version of the memo
+  mutable std::uint64_t order_version_ = 1; // bumps on content change
+  mutable std::vector<RddId> order_memo_;
+  mutable std::uint64_t purge_stamp_ = 0;
+  mutable std::vector<RddId> purge_memo_;
 
   // Idempotency guards (shared CacheMonitors all forward events).
   bool application_started_ = false;

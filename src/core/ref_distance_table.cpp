@@ -49,8 +49,10 @@ void RefDistanceTable::add_reference(RddId rdd, StageId stage, JobId job) {
   const auto live_begin = q.refs.begin() + q.head;
   const auto pos = std::lower_bound(live_begin, q.refs.end(), ref);
   if (pos != q.refs.end() && *pos == ref) return;  // duplicate announcement
+  const bool was_empty = q.empty();
   q.refs.insert(pos, ref);
   ++live_entries_;
+  if (was_empty) log_activity(rdd, /*active=*/true);
   bucket_rdd(stage, rdd);
 }
 
@@ -58,7 +60,7 @@ void RefDistanceTable::consume_up_to(StageId stage) {
   for (StageId s = consume_cursor_; s <= stage && s < stage_buckets_.size();
        ++s) {
     for (RddId rdd : stage_buckets_[s]) {
-      pop_front_while(refs_[rdd],
+      pop_front_while(rdd, refs_[rdd],
                       [&](const Ref& r) { return r.stage <= stage; });
     }
   }
@@ -67,14 +69,15 @@ void RefDistanceTable::consume_up_to(StageId stage) {
 
 void RefDistanceTable::consume_rdd_up_to(RddId rdd, StageId stage) {
   if (rdd >= refs_.size()) return;
-  pop_front_while(refs_[rdd], [&](const Ref& r) { return r.stage <= stage; });
+  pop_front_while(rdd, refs_[rdd],
+                  [&](const Ref& r) { return r.stage <= stage; });
 }
 
 void RefDistanceTable::consume_stale_before(StageId stage) {
   for (StageId s = consume_cursor_;
        s < stage && s < stage_buckets_.size(); ++s) {
     for (RddId rdd : stage_buckets_[s]) {
-      pop_front_while(refs_[rdd],
+      pop_front_while(rdd, refs_[rdd],
                       [&](const Ref& r) { return r.stage < stage; });
     }
   }
@@ -159,6 +162,7 @@ std::vector<RddId> RefDistanceTable::inactive_rdds() const {
 void RefDistanceTable::clear() {
   refs_.clear();
   stage_buckets_.clear();
+  activity_log_.clear();
   consume_cursor_ = 0;
   live_entries_ = 0;
   num_tracked_ = 0;

@@ -86,6 +86,29 @@ class RefDistanceTable {
   std::size_t num_entries() const { return live_entries_; }
   std::size_t num_rdds() const { return num_tracked_; }
 
+  // ---- Activity log ------------------------------------------------------
+  //
+  // Append-only journal of RDD activity flips: one entry whenever a queue
+  // goes empty -> non-empty ("became active") or non-empty -> empty
+  // ("became inactive"). Per RDD the entries strictly alternate, starting
+  // from the implicit initial state *inactive* (an RDD never announced has
+  // nothing left to wait for). Consumers (the per-node CacheMonitors) keep a
+  // read offset into the log and replay only the new suffix, which is what
+  // makes their reclaimable-bytes counters O(flips) instead of
+  // O(resident blocks) per query. The table only mutates at serialized DAG
+  // events, so readers during the parallel decision phases see a stable log.
+
+  /// Entries appended so far (offsets into the log are stable: the log only
+  /// grows until clear()).
+  std::size_t activity_log_size() const { return activity_log_.size(); }
+
+  /// Decoded entry `i`: the RDD and whether it *became active* (true) or
+  /// became inactive (false).
+  std::pair<RddId, bool> activity_entry(std::size_t i) const {
+    const std::uint64_t e = activity_log_[i];
+    return {static_cast<RddId>(e >> 1), (e & 1) != 0};
+  }
+
   void clear();
 
  private:
@@ -110,13 +133,21 @@ class RefDistanceTable {
   /// Registers `rdd` in the bucket of `stage` (clamped to the consume
   /// cursor, so late announcements are still revisited).
   void bucket_rdd(StageId stage, RddId rdd);
-  /// Pops front references of `rdd` while `pred(front)` holds.
+  /// Pops front references of `rdd` while `pred(front)` holds, logging the
+  /// activity flip if the queue runs empty.
   template <typename Pred>
-  void pop_front_while(RefQueue& q, Pred&& pred) {
+  void pop_front_while(RddId rdd, RefQueue& q, Pred&& pred) {
+    const bool was_live = !q.empty();
     while (!q.empty() && pred(q.front())) {
       ++q.head;
       --live_entries_;
     }
+    if (was_live && q.empty()) log_activity(rdd, /*active=*/false);
+  }
+
+  void log_activity(RddId rdd, bool active) {
+    activity_log_.push_back((static_cast<std::uint64_t>(rdd) << 1) |
+                            (active ? 1u : 0u));
   }
 
   std::vector<RefQueue> refs_;  // index == RddId
@@ -130,6 +161,8 @@ class RefDistanceTable {
   StageId consume_cursor_ = 0;
   std::size_t live_entries_ = 0;
   std::size_t num_tracked_ = 0;
+  /// Activity flips, encoded (rdd << 1) | became_active.
+  std::vector<std::uint64_t> activity_log_;
 };
 
 }  // namespace mrd

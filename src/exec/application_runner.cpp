@@ -20,43 +20,17 @@ namespace mrd {
 namespace {
 
 /// Issues new prefetch orders on nodes [lo, hi) (Algorithm 1 lines 24–29).
+/// Each node's BlockManager streams its policy's budgeted candidate
+/// generator through the issue/force/stop decisions
+/// (BlockManager::refresh_prefetch_orders), so the cost per node is
+/// proportional to the candidates examined — not the candidate universe.
 /// Each node's decisions read only its own BlockManager/policy plus the
 /// shared (read-only between stage events) distance table, so disjoint node
 /// ranges can run concurrently.
 void issue_prefetch_orders(const ExecutionPlan& plan, BlockManagerMaster* master,
                            std::size_t max_queue, NodeId lo, NodeId hi) {
   for (NodeId n = lo; n < hi; ++n) {
-    BlockManager& bm = master->node(n);
-    bm.flush_unstarted_prefetches();
-    const std::uint64_t capacity = bm.store().capacity();
-    const std::uint64_t free_bytes = bm.store().free_bytes();
-    CachePolicy& policy = bm.policy();
-    const std::vector<BlockId> candidates =
-        policy.prefetch_candidates(free_bytes, capacity);
-    if (candidates.empty()) continue;
-
-    // Free space net of already-queued prefetches.
-    std::uint64_t projected_free =
-        free_bytes > bm.queued_prefetch_bytes()
-            ? free_bytes - bm.queued_prefetch_bytes()
-            : 0;
-    const bool may_force = policy.prefetch_may_evict(free_bytes, capacity);
-
-    for (const BlockId& block : candidates) {
-      if (bm.prefetch_queue_length() >= max_queue) break;
-      if (!bm.has_disk_copy(block)) continue;  // nothing to read it from
-      const std::uint64_t bytes =
-          plan.app().rdd(block.rdd).bytes_per_partition;
-      if (bytes <= projected_free) {
-        if (bm.issue_prefetch(block, bytes, /*forced=*/false)) {
-          projected_free -= bytes;
-        }
-      } else if (may_force || policy.prefetch_swap_improves(block)) {
-        bm.issue_prefetch(block, bytes, /*forced=*/true);
-      } else {
-        break;  // nearest candidates first: once one doesn't fit, stop
-      }
-    }
+    master->node(n).refresh_prefetch_orders(plan, max_queue);
   }
 }
 

@@ -2,6 +2,11 @@
 // ablations).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <random>
+
 #include "api/spark_context.h"
 #include "core/cache_monitor.h"
 #include "core/policy_registry.h"
@@ -11,6 +16,22 @@ namespace mrd {
 namespace {
 
 BlockId block(RddId r, PartitionIndex p) { return BlockId{r, p}; }
+
+/// Drains a policy's budgeted candidate stream, answering kIssued to every
+/// offer (the candidates-only view the old vector-returning API gave).
+std::vector<BlockId> collect_prefetch(CachePolicy& policy,
+                                      std::size_t slots = 64) {
+  PrefetchBudget budget;
+  budget.free_bytes = 1000;
+  budget.capacity = 10000;
+  budget.queue_slots = slots;
+  std::vector<BlockId> out;
+  policy.prefetch_candidates(budget, [&](const BlockId& b) {
+    out.push_back(b);
+    return PrefetchOffer::kIssued;
+  });
+  return out;
+}
 
 struct Fixture {
   ExecutionPlan plan;
@@ -99,10 +120,64 @@ TEST(CacheMonitor, PurgeListsInactiveResidentBlocks) {
 TEST(CacheMonitor, PrefetchCandidatesAreNearestFirstNonResident) {
   Fixture f;
   f.monitor->on_block_cached(block(f.near_rdd, 0), 10);
-  const auto candidates = f.monitor->prefetch_candidates(1000, 10000);
+  const auto candidates = collect_prefetch(*f.monitor);
   ASSERT_GE(candidates.size(), 3u);
   EXPECT_EQ(candidates[0], block(f.near_rdd, 1));  // partition 0 resident
   EXPECT_EQ(candidates[1], block(f.far_rdd, 0));
+}
+
+TEST(CacheMonitor, PrefetchStopsAtFilledBudget) {
+  Fixture f;
+  EXPECT_EQ(collect_prefetch(*f.monitor, /*slots=*/1).size(), 1u);
+  EXPECT_EQ(collect_prefetch(*f.monitor, /*slots=*/3).size(), 3u);
+}
+
+TEST(CacheMonitor, FrontierCursorDoesNotReofferStableSkips) {
+  Fixture f;
+  // First pass: answer kSkipped (stable: "no disk copy") to everything.
+  PrefetchBudget budget;
+  budget.queue_slots = 64;
+  std::size_t offers = 0;
+  f.monitor->prefetch_candidates(budget, [&](const BlockId&) {
+    ++offers;
+    return PrefetchOffer::kSkipped;
+  });
+  EXPECT_GT(offers, 0u);
+  // Same epoch, same residents: the whole stream was proven skippable, so a
+  // second pass offers nothing.
+  offers = 0;
+  f.monitor->prefetch_candidates(budget, [&](const BlockId&) {
+    ++offers;
+    return PrefetchOffer::kSkipped;
+  });
+  EXPECT_EQ(offers, 0u);
+  // An eviction invalidates the resident-set stamp: offers come back.
+  f.monitor->on_block_cached(block(f.near_rdd, 0), 10);
+  f.monitor->on_block_evicted(block(f.near_rdd, 0));
+  offers = 0;
+  f.monitor->prefetch_candidates(budget, [&](const BlockId&) {
+    ++offers;
+    return PrefetchOffer::kSkipped;
+  });
+  EXPECT_GT(offers, 0u);
+}
+
+TEST(CacheMonitor, FrontierCursorReoffersVolatileSkipsAndIssues) {
+  Fixture f;
+  const auto first = collect_prefetch(*f.monitor);  // all kIssued
+  ASSERT_FALSE(first.empty());
+  // kIssued froze the frontier at the first offer: an identical pass
+  // re-offers the identical stream.
+  EXPECT_EQ(collect_prefetch(*f.monitor), first);
+  // Same for a transient (queued-collision) skip on the first candidate.
+  PrefetchBudget budget;
+  budget.queue_slots = 64;
+  std::vector<BlockId> offered;
+  f.monitor->prefetch_candidates(budget, [&](const BlockId& b) {
+    offered.push_back(b);
+    return PrefetchOffer::kSkippedVolatile;
+  });
+  EXPECT_EQ(offered, first);
 }
 
 TEST(CacheMonitor, ThresholdGatesForcedPrefetch) {
@@ -177,7 +252,7 @@ TEST(CacheMonitor, PrefetchOffProposesNothing) {
   MrdPolicyOptions options;
   options.mrd_prefetch = false;
   Fixture f(options);
-  EXPECT_TRUE(f.monitor->prefetch_candidates(1000, 10000).empty());
+  EXPECT_TRUE(collect_prefetch(*f.monitor).empty());
   EXPECT_FALSE(f.monitor->prefetch_may_evict(1000, 1000));
   EXPECT_FALSE(f.monitor->prefetch_swap_improves(block(f.near_rdd, 0)));
 }
@@ -206,6 +281,204 @@ TEST(CacheMonitor, NamesReflectConfiguration) {
   prefetch_only.mrd_eviction = false;
   Fixture p(prefetch_only);
   EXPECT_EQ(p.monitor->name(), "MRD-prefetch");
+}
+
+// ---- Property: incremental bookkeeping == from-scratch recomputation ----
+//
+// The monitor maintains several incrementally-updated aggregates (the
+// reclaimable-bytes counter behind prefetch_may_evict, the
+// furthest-resident memo, the per-RDD tallies behind choose_victim /
+// purge_candidates, and the prefetch frontier cursor). This drives random
+// insert / evict / probe / purge / prefetch / stage-advance sequences over
+// random DAGs and checks every aggregate against a from-scratch
+// recomputation over a shadow resident set after each event.
+
+struct PropertyHarness {
+  std::vector<RddId> rdds;  // filled by make_plan: must precede `plan`
+  ExecutionPlan plan;
+  std::shared_ptr<MrdManager> manager;
+  std::unique_ptr<CacheMonitor> monitor;
+  std::map<BlockId, std::uint64_t> resident;  // shadow copy
+
+  PropertyHarness(std::mt19937& rng) : plan(make_plan(rng)) {
+    manager = std::make_shared<MrdManager>(std::make_shared<AppProfiler>(),
+                                           DistanceMetric::kStage, 2);
+    monitor = std::make_unique<CacheMonitor>(manager, /*node=*/0,
+                                             /*num_nodes=*/2,
+                                             MrdPolicyOptions{});
+    monitor->on_application_start(plan);
+  }
+
+  ExecutionPlan make_plan(std::mt19937& rng) {
+    SparkContext sc("prop");
+    const std::size_t num_rdds = 3 + rng() % 3;
+    const std::uint32_t parts = 4 + rng() % 5;
+    std::vector<Dataset> cached;
+    for (std::size_t i = 0; i < num_rdds; ++i) {
+      Dataset d = sc.text_file("src" + std::to_string(i), parts,
+                               50 + rng() % 150)
+                      .map("c" + std::to_string(i))
+                      .cache();
+      rdds.push_back(d.id());
+      cached.push_back(d);
+    }
+    const std::size_t num_jobs = 3 + rng() % 3;
+    for (std::size_t j = 0; j < num_jobs; ++j) {
+      Dataset chain =
+          cached[rng() % cached.size()].map("j" + std::to_string(j));
+      const std::size_t extra = rng() % 3;
+      for (std::size_t k = 0; k < extra; ++k) {
+        chain = chain.zip_partitions(
+            cached[rng() % cached.size()],
+            "z" + std::to_string(j) + "_" + std::to_string(k));
+      }
+      chain.count("job" + std::to_string(j));
+    }
+    return DagScheduler::plan(std::move(sc).build_shared());
+  }
+
+  // Deterministic stand-in for "has a disk copy" — a stable property, so
+  // answering kSkipped for it honors the sink contract. RDDs with
+  // rdd % 4 == 1 are entirely off-disk, exercising the whole-RDD
+  // budget.rdd_on_disk pre-filter.
+  static bool on_disk(const BlockId& b) {
+    if (b.rdd % 4 == 1) return false;
+    return (static_cast<std::uint64_t>(b.rdd) * 31 + b.partition) % 3 != 0;
+  }
+
+  std::uint64_t oracle_reclaimable() const {
+    std::uint64_t sum = 0;
+    for (const auto& [b, bytes] : resident) {
+      if (std::isinf(manager->distance(b.rdd))) sum += bytes;
+    }
+    return sum;
+  }
+
+  double oracle_furthest() const {
+    double furthest = -1.0;
+    for (const auto& [b, bytes] : resident) {
+      furthest = std::max(furthest, manager->distance(b.rdd));
+    }
+    return furthest;
+  }
+
+  std::optional<BlockId> oracle_victim() const {
+    std::optional<BlockId> best;
+    double best_distance = 0.0;
+    for (const auto& [b, bytes] : resident) {
+      const double d = manager->distance(b.rdd);
+      if (!best || d > best_distance ||
+          (d == best_distance && b > *best)) {
+        best = b;
+        best_distance = d;
+      }
+    }
+    return best;
+  }
+
+  /// The pre-cursor enumeration: full prefetch order, local non-resident
+  /// blocks, on-disk filter, first `slots` issues.
+  std::vector<BlockId> oracle_issues(std::size_t slots) const {
+    std::vector<BlockId> out;
+    for (RddId rdd : manager->prefetch_order()) {
+      const RddInfo& info = plan.app().rdd(rdd);
+      for (PartitionIndex p = 0; p < info.num_partitions; p += 2) {
+        const BlockId b{rdd, p};
+        if (resident.count(b) != 0) continue;
+        if (!on_disk(b)) continue;
+        out.push_back(b);
+        if (out.size() == slots) return out;
+      }
+    }
+    return out;
+  }
+
+  std::vector<BlockId> run_prefetch(std::size_t slots) {
+    PrefetchBudget budget;
+    budget.queue_slots = slots;
+    budget.rdd_on_disk = [](RddId rdd) { return rdd % 4 != 1; };
+    std::vector<BlockId> issued;
+    monitor->prefetch_candidates(budget, [&](const BlockId& b) {
+      if (!on_disk(b)) return PrefetchOffer::kSkipped;
+      issued.push_back(b);
+      return PrefetchOffer::kIssued;
+    });
+    return issued;
+  }
+
+  void check_aggregates() {
+    ASSERT_EQ(monitor->reclaimable_resident_bytes(), oracle_reclaimable());
+    ASSERT_EQ(monitor->furthest_resident_distance(), oracle_furthest());
+    ASSERT_EQ(monitor->choose_victim(), oracle_victim());
+  }
+};
+
+TEST(CacheMonitorProperty, IncrementalStateMatchesFromScratchRecomputation) {
+  for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+    std::mt19937 rng(seed * 7919);
+    PropertyHarness h(rng);
+    for (const JobInfo& job : h.plan.jobs()) {
+      for (const StageExecution& rec : job.stages) {
+        if (!rec.executed) continue;
+        h.monitor->on_stage_start(h.plan, rec.job, rec.stage);
+        h.check_aggregates();
+        const std::size_t num_events = 4 + rng() % 5;
+        for (std::size_t e = 0; e < num_events; ++e) {
+          switch (rng() % 5) {
+            case 0: {  // cache a random local block (may re-cache)
+              const RddId r = h.rdds[rng() % h.rdds.size()];
+              const RddInfo& info = h.plan.app().rdd(r);
+              const PartitionIndex p = static_cast<PartitionIndex>(
+                  (rng() % ((info.num_partitions + 1) / 2)) * 2);
+              h.monitor->on_block_cached(block(r, p),
+                                         info.bytes_per_partition);
+              h.resident[block(r, p)] = info.bytes_per_partition;
+              break;
+            }
+            case 1: {  // evict a random resident
+              if (h.resident.empty()) break;
+              auto it = h.resident.begin();
+              std::advance(it, rng() % h.resident.size());
+              h.monitor->on_block_evicted(it->first);
+              h.resident.erase(it);
+              break;
+            }
+            case 2: {  // consume one of this stage's references early
+              if (rec.probes.empty()) break;
+              h.monitor->on_rdd_probed(
+                  h.plan, rec.probes[rng() % rec.probes.size()], rec.stage);
+              break;
+            }
+            case 3: {  // purge pass, then apply it like the master would
+              std::vector<BlockId> purge = h.monitor->purge_candidates();
+              std::vector<BlockId> expected;
+              for (RddId rdd : h.manager->purge_rdds()) {
+                for (const auto& [b, bytes] : h.resident) {
+                  if (b.rdd == rdd) expected.push_back(b);
+                }
+              }
+              std::sort(purge.begin(), purge.end());
+              std::sort(expected.begin(), expected.end());
+              ASSERT_EQ(purge, expected);
+              for (const BlockId& b : purge) {
+                h.monitor->on_block_evicted(b);
+                h.resident.erase(b);
+              }
+              break;
+            }
+            case 4: {  // budgeted prefetch pass vs full-enumeration oracle
+              const std::size_t slots = 1 + rng() % 6;
+              ASSERT_EQ(h.run_prefetch(slots), h.oracle_issues(slots));
+              break;
+            }
+          }
+          h.check_aggregates();
+        }
+        h.monitor->on_stage_end(h.plan, rec.job, rec.stage);
+        h.check_aggregates();
+      }
+    }
+  }
 }
 
 // ---- Policy registry ----

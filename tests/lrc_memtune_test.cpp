@@ -10,6 +10,22 @@ namespace {
 
 BlockId block(RddId r, PartitionIndex p) { return BlockId{r, p}; }
 
+/// Drains a policy's budgeted candidate stream, answering kIssued to every
+/// offer (the candidates-only view the old vector-returning API gave).
+std::vector<BlockId> collect_prefetch(CachePolicy& policy,
+                                      std::size_t slots = 64) {
+  PrefetchBudget budget;
+  budget.free_bytes = 100;
+  budget.capacity = 1000;
+  budget.queue_slots = slots;
+  std::vector<BlockId> out;
+  policy.prefetch_candidates(budget, [&](const BlockId& b) {
+    out.push_back(b);
+    return PrefetchOffer::kIssued;
+  });
+  return out;
+}
+
 /// cached `data` referenced by jobs 1..3; cached `once` referenced by job 1
 /// only. Returns ids via out-params.
 ExecutionPlan counting_plan(RddId* data_out, RddId* once_out) {
@@ -143,15 +159,25 @@ TEST(MemTune, PrefetchProposesNeededNonResidentLocalBlocks) {
   mt.on_stage_start(plan, 1, plan.job(1).result_stage);
   mt.on_block_cached(block(hot, 0), 10);  // partition 0 lives on node 0
 
-  const auto candidates = mt.prefetch_candidates(100, 1000);
+  const auto candidates = collect_prefetch(mt);
   // hot has 4 partitions; node 0 owns 0 and 2; 0 is resident -> only 2.
   ASSERT_EQ(candidates.size(), 1u);
   EXPECT_EQ(candidates[0], block(hot, 2));
 }
 
+TEST(MemTune, PrefetchHonorsQueueSlotBudget) {
+  RddId hot, cold;
+  const ExecutionPlan plan = window_plan(&hot, &cold);
+  MemTunePolicy mt(/*node=*/0, /*num_nodes=*/1);
+  mt.on_job_start(plan, 1);
+  mt.on_stage_start(plan, 1, plan.job(1).result_stage);
+  // Nothing resident: generation must stop after the budgeted issues.
+  EXPECT_EQ(collect_prefetch(mt, /*slots=*/2).size(), 2u);
+}
+
 TEST(MemTune, NoPrefetchBeforeAnyJob) {
   MemTunePolicy mt(0, 1);
-  EXPECT_TRUE(mt.prefetch_candidates(100, 1000).empty());
+  EXPECT_TRUE(collect_prefetch(mt).empty());
 }
 
 TEST(MemTune, WindowMustBePositive) {
