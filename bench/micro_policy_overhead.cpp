@@ -7,6 +7,7 @@
 
 #include "api/spark_context.h"
 #include "cache/lru.h"
+#include "cluster/memory_store.h"
 #include "core/cache_monitor.h"
 #include "core/policy_registry.h"
 #include "core/ref_distance_table.h"
@@ -129,6 +130,72 @@ void BM_MrdPrefetchCandidates(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MrdPrefetchCandidates)->Arg(0)->Arg(1);
+
+// Steady-state cache-write churn: a store at capacity, alternately fed
+// batches of two RDDs so every admission evicts a block of the other RDD
+// through the policy's streaming bulk path. This is the per-block cost the
+// runner's cache_writes phase pays under pressure (argmax memo, arena
+// lists, flat-map probes) — the end-to-end bench's hottest loop, isolated.
+void BM_CacheWriteChurn(benchmark::State& state) {
+  static const ExecutionPlan plan = benchmark_plan();
+  auto manager = std::make_shared<MrdManager>(std::make_shared<AppProfiler>(),
+                                              DistanceMetric::kStage, 1);
+  CacheMonitor monitor(manager, 0, 1);
+  monitor.on_application_start(plan);
+  monitor.on_stage_start(plan, 0, 0);
+  const auto blocks = static_cast<PartitionIndex>(state.range(0));
+  MemoryStore store(blocks, &monitor);  // capacity = one full batch
+  std::vector<BlockId> batch_a, batch_b;
+  for (PartitionIndex p = 0; p < blocks; ++p) {
+    batch_a.push_back(BlockId{1, p});
+    batch_b.push_back(BlockId{2, p});
+  }
+  BatchInsertResult result;
+  for (auto _ : state) {
+    result.stored = result.refreshed = result.rejected = 0;
+    result.evicted.clear();
+    store.insert_batch(batch_a.data(), batch_a.size(), 1, &result);
+    store.insert_batch(batch_b.data(), batch_b.size(), 1, &result);
+    benchmark::DoNotOptimize(result.stored);
+  }
+  state.SetItemsProcessed(state.iterations() * blocks * 2);
+}
+BENCHMARK(BM_CacheWriteChurn)->Arg(64)->Arg(512)->Arg(4096);
+
+// Full drain of a populated store through the streaming bulk-eviction API:
+// the cost of one large pressure event (one argmax rescan per drained RDD
+// plus O(1) per streamed victim).
+void BM_BulkEvictStream(benchmark::State& state) {
+  static const ExecutionPlan plan = benchmark_plan();
+  auto manager = std::make_shared<MrdManager>(std::make_shared<AppProfiler>(),
+                                              DistanceMetric::kStage, 1);
+  CacheMonitor monitor(manager, 0, 1);
+  monitor.on_application_start(plan);
+  monitor.on_stage_start(plan, 0, 0);
+  const auto blocks = static_cast<PartitionIndex>(state.range(0));
+  MemoryStore store(blocks, &monitor);
+  std::vector<std::pair<BlockId, std::uint64_t>> evicted;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BatchInsertResult fill;
+    std::vector<BlockId> batch;
+    for (PartitionIndex p = 0; p < blocks; ++p) {
+      batch.push_back(BlockId{1 + (p & 3), p});
+    }
+    store.insert_batch(batch.data(), batch.size(), 1, &fill);
+    evicted.clear();
+    state.ResumeTiming();
+    std::uint64_t remaining = blocks;
+    monitor.choose_victims(remaining, [&](const BlockId& victim) {
+      store.remove(victim);
+      evicted.emplace_back(victim, 1);
+      return --remaining;
+    });
+    benchmark::DoNotOptimize(evicted.size());
+  }
+  state.SetItemsProcessed(state.iterations() * blocks);
+}
+BENCHMARK(BM_BulkEvictStream)->Arg(512)->Arg(4096);
 
 // Per-call cost of the forced-prefetch threshold test vs. resident-set
 // size: the inactive-resident byte total is maintained incrementally, so

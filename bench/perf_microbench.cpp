@@ -15,10 +15,19 @@
 //
 // --gate FILE turns the bench into a CI regression gate: FILE is a committed
 // BENCH_core.json, and the run fails (exit 1) if any scenario's current
-// median exceeds the committed median by more than 40%. The margin absorbs
-// container-to-container noise while still catching a real issue-path
-// regression (the optimizations being guarded are 2x+).
+// median exceeds the committed median by more than 40%, or any single
+// phase's median exceeds the committed phase median by more than 40% (plus
+// a 1 ms absolute slack, so near-zero phases don't gate on jitter). The
+// per-phase gate catches a regression in one subsystem (e.g. cache_writes
+// churn creeping back) that whole-run noise would otherwise absorb. The
+// margin absorbs container-to-container noise while still catching a real
+// issue-path regression (the optimizations being guarded are 2x+). A
+// scenario that fails is re-measured once before the gate fails: shared
+// containers see multi-second load bursts wider than any sane margin, and a
+// burst rarely spans both measurements, while a real regression always
+// does.
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -58,6 +67,9 @@ struct Result {
   double median_ms = 0.0;
   std::vector<double> samples_ms;
   PhaseTimers phases;  // accumulated over all repeats
+  /// Per-repeat samples of each phase's ms, for per-phase medians.
+  std::array<std::vector<double>, kNumSimPhases> phase_samples;
+  std::array<double, kNumSimPhases> phase_median_ms{};
   /// Node-group accounting of the differential verification run.
   NodeParallelStats node_parallel;
   double speedup() const {
@@ -85,6 +97,29 @@ double committed_median(const std::string& json, const std::string& workload,
   const std::string field = "\"median_ms\": ";
   const std::size_t med = json.find(field, at);
   if (med == std::string::npos) return -1.0;
+  return std::atof(json.c_str() + med + field.size());
+}
+
+/// Committed per-phase median, same targeted-scan approach: locate the
+/// scenario, then its "phase_median_ms" object, then the phase key inside
+/// it. Negative when the scenario or the phase object is absent (committed
+/// files from before the per-phase gate existed gate on the whole-run
+/// median only).
+double committed_phase_median(const std::string& json,
+                              const std::string& workload,
+                              const std::string& policy,
+                              std::string_view phase) {
+  const std::string key =
+      "\"workload\": \"" + workload + "\", \"policy\": \"" + policy + "\"";
+  const std::size_t at = json.find(key);
+  if (at == std::string::npos) return -1.0;
+  const std::string object = "\"phase_median_ms\": {";
+  const std::size_t obj = json.find(object, at);
+  if (obj == std::string::npos) return -1.0;
+  const std::size_t end = json.find('}', obj);
+  const std::string field = "\"" + std::string(phase) + "\": ";
+  const std::size_t med = json.find(field, obj);
+  if (med == std::string::npos || med > end) return -1.0;
   return std::atof(json.c_str() + med + field.size());
 }
 
@@ -174,7 +209,13 @@ int main(int argc, char** argv) {
           "8)\n"
           "  --gate FILE    fail if any scenario median exceeds FILE's "
           "committed\n"
-          "                 BENCH_core.json median by more than 40%%\n",
+          "                 BENCH_core.json median by more than 40%%, or "
+          "any\n"
+          "                 phase median exceeds its committed value by "
+          "more\n"
+          "                 than 40%% + 1 ms (failing scenarios are "
+          "re-measured\n"
+          "                 once to absorb transient machine load)\n",
           argv[0]);
       return 0;
     }
@@ -186,12 +227,43 @@ int main(int argc, char** argv) {
   WorkloadParams params = bench::bench_params(scale);
   const ClusterConfig cluster = main_cluster();
 
+  // Fills a Result's samples and medians (whole-run and per-phase) from
+  // `repeat` timed runs. Reused by the gate's one-shot re-measure of a
+  // failing scenario.
+  const auto measure = [repeat](Result* result,
+                                const std::shared_ptr<const WorkloadRun>& run,
+                                RunConfig config) {
+    result->samples_ms.clear();
+    result->phases = PhaseTimers{};
+    for (auto& samples : result->phase_samples) samples.clear();
+    for (std::size_t r = 0; r < repeat; ++r) {
+      PhaseTimers repeat_phases;  // fresh per repeat: per-phase samples
+      config.phase_timers = &repeat_phases;
+      const Clock::time_point t0 = Clock::now();
+      run_plan(run->plan, config);
+      result->samples_ms.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count());
+      for (std::size_t p = 0; p < kNumSimPhases; ++p) {
+        result->phases.ms[p] += repeat_phases.ms[p];
+        result->phase_samples[p].push_back(repeat_phases.ms[p]);
+      }
+    }
+    result->median_ms = median(result->samples_ms);
+    for (std::size_t p = 0; p < kNumSimPhases; ++p) {
+      result->phase_median_ms[p] = median(result->phase_samples[p]);
+    }
+  };
+
   std::printf("Core simulator microbench: scale %.1f, fraction %.2f, "
               "median of %zu, node-jobs %zu\n\n",
               scale, kFraction, repeat, node_jobs);
   AsciiTable table({"Scenario", "Baseline", "Now", "Speedup", "Top phases"});
 
   std::vector<Result> results;
+  // Kept alongside results so the gate can re-measure a failing scenario.
+  std::vector<std::shared_ptr<const WorkloadRun>> runs;
+  std::vector<RunConfig> configs;
   for (const Baseline& scenario : kSeedBaselines) {
     const auto run =
         plan_workload_shared(*find_workload(scenario.workload), params);
@@ -208,15 +280,9 @@ int main(int argc, char** argv) {
     config.cluster = sized;
     config.policy = bench::policy(scenario.policy);
     config.node_jobs = node_jobs;
-    config.phase_timers = &result.phases;
-    for (std::size_t r = 0; r < repeat; ++r) {
-      const Clock::time_point t0 = Clock::now();
-      run_plan(run->plan, config);
-      result.samples_ms.push_back(
-          std::chrono::duration<double, std::milli>(Clock::now() - t0)
-              .count());
-    }
-    result.median_ms = median(result.samples_ms);
+    measure(&result, run, config);
+    runs.push_back(run);
+    configs.push_back(config);
 
     // Differential verification of the closure-aware group-parallel path:
     // the fan-out run must reproduce the serial oracle field-for-field, and
@@ -321,6 +387,11 @@ int main(int argc, char** argv) {
       json << (p ? ", " : "") << "\"" << kSimPhaseNames[p]
            << "\": " << json_number(r.phases.ms[p]);
     }
+    json << "},\n      \"phase_median_ms\": {";
+    for (std::size_t p = 0; p < kNumSimPhases; ++p) {
+      json << (p ? ", " : "") << "\"" << kSimPhaseNames[p]
+           << "\": " << json_number(r.phase_median_ms[p]);
+    }
     json << "}\n    }" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
@@ -337,29 +408,66 @@ int main(int argc, char** argv) {
     const std::string committed((std::istreambuf_iterator<char>(in)),
                                 std::istreambuf_iterator<char>());
     constexpr double kGateMargin = 1.4;  // committed median + 40%
-    bool gate_ok = true;
-    std::printf("\nPerf gate vs %s (margin %.0f%%):\n", gate_file.c_str(),
-                (kGateMargin - 1.0) * 100.0);
-    for (const Result& r : results) {
+    // Prints this scenario's gate lines; true when it is within limits.
+    const auto gate_scenario = [&committed](const Result& r) {
       const double limit_base = committed_median(committed, r.workload,
                                                  r.policy);
       if (limit_base <= 0.0) {
         std::printf("  %s/%s: no committed median, skipped\n",
                     r.workload.c_str(), r.policy.c_str());
-        continue;
+        return true;
       }
       const double limit = limit_base * kGateMargin;
-      const bool ok = r.median_ms <= limit;
+      bool ok = r.median_ms <= limit;
       std::printf("  %s/%s: %.2f ms vs committed %.2f ms (limit %.2f) %s\n",
                   r.workload.c_str(), r.policy.c_str(), r.median_ms,
                   limit_base, limit, ok ? "OK" : "REGRESSED");
-      gate_ok = gate_ok && ok;
+      // Per-phase gate: a subsystem regression can hide inside an OK
+      // whole-run median. The 1 ms absolute slack keeps near-zero phases
+      // (purge, broadcast) from gating on scheduler jitter.
+      constexpr double kPhaseSlackMs = 1.0;
+      for (std::size_t p = 0; p < kNumSimPhases; ++p) {
+        const double phase_base = committed_phase_median(
+            committed, r.workload, r.policy, kSimPhaseNames[p]);
+        if (phase_base < 0.0) continue;  // pre-phase-gate committed file
+        const double phase_limit = phase_base * kGateMargin + kPhaseSlackMs;
+        if (r.phase_median_ms[p] > phase_limit) {
+          std::printf("  %s/%s phase %s: %.2f ms vs committed %.2f ms "
+                      "(limit %.2f) REGRESSED\n",
+                      r.workload.c_str(), r.policy.c_str(),
+                      std::string(kSimPhaseNames[p]).c_str(),
+                      r.phase_median_ms[p], phase_base, phase_limit);
+          ok = false;
+        }
+      }
+      return ok;
+    };
+
+    std::printf("\nPerf gate vs %s (margin %.0f%%):\n", gate_file.c_str(),
+                (kGateMargin - 1.0) * 100.0);
+    std::vector<std::size_t> failing;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!gate_scenario(results[i])) failing.push_back(i);
     }
-    if (!gate_ok) {
-      std::fprintf(stderr,
-                   "FAIL: perf gate — at least one scenario regressed >40%% "
-                   "over the committed median\n");
-      return 1;
+    if (!failing.empty()) {
+      // One re-measure before failing: a shared-container load burst can
+      // dilate wall clock past any sane margin, but it rarely spans both
+      // measurements — a real regression does.
+      std::printf("  re-measuring %zu scenario(s) to rule out a transient "
+                  "load burst:\n",
+                  failing.size());
+      bool gate_ok = true;
+      for (const std::size_t i : failing) {
+        measure(&results[i], runs[i], configs[i]);
+        gate_ok = gate_scenario(results[i]) && gate_ok;
+      }
+      if (!gate_ok) {
+        std::fprintf(stderr,
+                     "FAIL: perf gate — at least one scenario or phase "
+                     "regressed >40%% over the committed median in both "
+                     "measurements\n");
+        return 1;
+      }
     }
   }
   return 0;

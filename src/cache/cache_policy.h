@@ -75,6 +75,15 @@ struct PrefetchBudget {
 /// Receives prefetch candidates best-first; returns what became of each.
 using PrefetchSink = std::function<PrefetchOffer(const BlockId&)>;
 
+/// Receives eviction victims streamed by choose_victims(), best victim
+/// first. The *store* owns the eviction itself (with its non-resident
+/// fallback rules) and may admit pending inserts between victims; the
+/// return value is the bytes still needed after that — 0 means the
+/// pressure is resolved and generation must stop. The returned need is
+/// authoritative as a stop signal but only a hint in magnitude: admissions
+/// between victims can raise it above the previous value.
+using EvictionSink = std::function<std::uint64_t(const BlockId&)>;
+
 class CachePolicy {
  public:
   virtual ~CachePolicy() = default;
@@ -125,12 +134,43 @@ class CachePolicy {
   virtual void on_block_accessed(const BlockId& block) = 0;
   virtual void on_block_evicted(const BlockId& block) = 0;
 
+  /// Batched form of on_block_cached for a contiguous run of same-size
+  /// admissions (one persisted-RDD slice, one prefetch drain). Must be
+  /// observationally identical to calling on_block_cached per block in
+  /// order — the default does exactly that; stateful policies may override
+  /// to amortize per-batch work (journal syncs, revision bumps).
+  virtual void on_blocks_cached(const BlockId* blocks, std::size_t count,
+                                std::uint64_t bytes_each) {
+    for (std::size_t i = 0; i < count; ++i) {
+      on_block_cached(blocks[i], bytes_each);
+    }
+  }
+
   // ---- Decisions -----------------------------------------------------------
 
   /// Next eviction victim among this node's resident blocks. nullopt only if
   /// the policy believes nothing is evictable (the store then falls back to
   /// evicting its own oldest block so progress is never blocked).
   virtual std::optional<BlockId> choose_victim() = 0;
+
+  /// Streaming bulk form of choose_victim for one pressure event: nominate
+  /// victims best-first into `sink` until it reports the need resolved
+  /// (returns 0) or the policy runs out of nominations (return normally —
+  /// the store then applies its own fallback and may re-enter). The sink
+  /// may admit pending inserts between nominations, so the policy's
+  /// resident set can *grow* mid-stream; nominations must keep reflecting
+  /// the policy's current state, exactly as a fresh choose_victim() call
+  /// would after each eviction. The default adapter does literally that;
+  /// policies with a decomposable victim order can override to amortize the
+  /// per-victim scan across the whole event.
+  virtual void choose_victims(std::uint64_t bytes_needed,
+                              const EvictionSink& sink) {
+    while (bytes_needed > 0) {
+      const std::optional<BlockId> victim = choose_victim();
+      if (!victim) return;
+      bytes_needed = sink(*victim);
+    }
+  }
 
   /// Blocks to drop proactively, if any. Queried at stage boundaries.
   virtual std::vector<BlockId> purge_candidates() { return {}; }

@@ -6,21 +6,20 @@ void FifoPolicy::on_block_cached(const BlockId& block, std::uint64_t bytes) {
   (void)bytes;
   const std::uint64_t key = pack_block_id(block);
   if (index_.contains(key)) return;  // re-cache keeps original position
-  order_.push_back(block);
-  index_.insert(key, std::prev(order_.end()));
+  index_.insert(key, order_.push_back(key));
 }
 
 void FifoPolicy::on_block_evicted(const BlockId& block) {
   const std::uint64_t key = pack_block_id(block);
-  if (const auto* it = index_.find(key)) {
-    order_.erase(*it);
+  if (const auto* idx = index_.find(key)) {
+    order_.erase(*idx);
     index_.erase(key);
   }
 }
 
 std::optional<BlockId> FifoPolicy::choose_victim() {
   if (order_.empty()) return std::nullopt;
-  return order_.front();
+  return unpack_block_id(order_.key(order_.front()));
 }
 
 }  // namespace mrd

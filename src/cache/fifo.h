@@ -2,9 +2,8 @@
 // ablation benches (not part of the paper's comparison set).
 #pragma once
 
-#include <list>
-
 #include "cache/cache_policy.h"
+#include "util/block_list.h"
 #include "util/flat_hash.h"
 
 namespace mrd {
@@ -19,8 +18,8 @@ class FifoPolicy : public CachePolicy {
   std::optional<BlockId> choose_victim() override;
 
  private:
-  std::list<BlockId> order_;  // front = oldest
-  FlatMap64<std::list<BlockId>::iterator> index_;
+  BlockList order_;  // front = oldest
+  FlatMap64<BlockList::Index> index_;
 };
 
 }  // namespace mrd

@@ -13,27 +13,24 @@ void LruPolicy::on_block_accessed(const BlockId& block) { touch(block); }
 
 void LruPolicy::on_block_evicted(const BlockId& block) {
   const std::uint64_t key = pack_block_id(block);
-  if (const auto* it = index_.find(key)) {
-    order_.erase(*it);
+  if (const auto* idx = index_.find(key)) {
+    order_.erase(*idx);
     index_.erase(key);
   }
 }
 
 std::optional<BlockId> LruPolicy::choose_victim() {
   if (order_.empty()) return std::nullopt;
-  return order_.back();
+  return unpack_block_id(order_.key(order_.back()));
 }
 
 void LruPolicy::touch(const BlockId& block) {
   const std::uint64_t key = pack_block_id(block);
-  if (auto* it = index_.find(key)) {
-    // Relink in place — no allocation, iterator stays valid.
-    order_.splice(order_.begin(), order_, *it);
-    *it = order_.begin();
+  if (const auto* idx = index_.find(key)) {
+    order_.move_to_front(*idx);
     return;
   }
-  order_.push_front(block);
-  index_.insert(key, order_.begin());
+  index_.insert(key, order_.push_front(key));
 }
 
 }  // namespace mrd

@@ -2,9 +2,8 @@
 // primary baseline. DAG-oblivious: evicts the resident block idle longest.
 #pragma once
 
-#include <list>
-
 #include "cache/cache_policy.h"
+#include "util/block_list.h"
 #include "util/flat_hash.h"
 
 namespace mrd {
@@ -24,8 +23,8 @@ class LruPolicy : public CachePolicy {
   void touch(const BlockId& block);
 
   // Front = most recently used, back = LRU victim.
-  std::list<BlockId> order_;
-  FlatMap64<std::list<BlockId>::iterator> index_;
+  BlockList order_;
+  FlatMap64<BlockList::Index> index_;
 };
 
 }  // namespace mrd

@@ -3,10 +3,10 @@
 // worst-scored block, breaking score ties toward the least recently used.
 #pragma once
 
-#include <list>
 #include <optional>
 
 #include "dag/ids.h"
+#include "util/block_list.h"
 #include "util/flat_hash.h"
 
 namespace mrd {
@@ -17,8 +17,8 @@ class ResidentSet {
 
   void erase(const BlockId& block) {
     const std::uint64_t key = pack_block_id(block);
-    if (const auto* it = index_.find(key)) {
-      order_.erase(*it);
+    if (const auto* idx = index_.find(key)) {
+      order_.erase(*idx);
       index_.erase(key);
     }
   }
@@ -26,14 +26,11 @@ class ResidentSet {
   /// Moves `block` to the most-recently-used position (inserting if absent).
   void touch(const BlockId& block) {
     const std::uint64_t key = pack_block_id(block);
-    if (auto* it = index_.find(key)) {
-      // Relink in place — no allocation, iterator stays valid.
-      order_.splice(order_.begin(), order_, *it);
-      *it = order_.begin();
+    if (const auto* idx = index_.find(key)) {
+      order_.move_to_front(*idx);
       return;
     }
-    order_.push_front(block);
-    index_.insert(key, order_.begin());
+    index_.insert(key, order_.push_front(key));
   }
 
   bool contains(const BlockId& block) const {
@@ -45,7 +42,10 @@ class ResidentSet {
   /// Resident blocks from least- to most-recently used.
   template <typename Fn>
   void for_each_lru_first(Fn&& fn) const {
-    for (auto it = order_.rbegin(); it != order_.rend(); ++it) fn(*it);
+    for (BlockList::Index i = order_.back(); i != BlockList::kNil;
+         i = order_.prev(i)) {
+      fn(unpack_block_id(order_.key(i)));
+    }
   }
 
   /// Returns the resident block with the *maximum* score; among equal scores
@@ -55,10 +55,12 @@ class ResidentSet {
   std::optional<BlockId> worst(ScoreFn&& score) const {
     std::optional<BlockId> best;
     double best_score = 0.0;
-    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
-      const double s = score(*it);
+    for (BlockList::Index i = order_.back(); i != BlockList::kNil;
+         i = order_.prev(i)) {
+      const BlockId block = unpack_block_id(order_.key(i));
+      const double s = score(block);
       if (!best || s > best_score) {
-        best = *it;
+        best = block;
         best_score = s;
       }
     }
@@ -66,8 +68,8 @@ class ResidentSet {
   }
 
  private:
-  std::list<BlockId> order_;  // front = most recent
-  FlatMap64<std::list<BlockId>::iterator> index_;
+  BlockList order_;  // front = most recent
+  FlatMap64<BlockList::Index> index_;
 };
 
 }  // namespace mrd

@@ -34,7 +34,7 @@ ProbeOutcome BlockManager::probe(const BlockId& block, std::uint64_t bytes,
   // A queued-but-unserved prefetch is superseded by this demand read.
   cancel_pending_prefetch(block);
 
-  if (on_disk_.contains(pack_block_id(block))) {
+  if (on_disk_.contains(block)) {
     ++stats_.disk_hits;
     charge->disk_read_bytes += bytes;
     // Promotion back into memory is a policy decision: Spark's default path
@@ -54,6 +54,19 @@ void BlockManager::cache_block(const BlockId& block, std::uint64_t bytes,
   insert_with_spill(block, bytes, charge);
 }
 
+void BlockManager::cache_blocks(const BlockId* blocks, std::size_t count,
+                                std::uint64_t bytes_each, IoCharge* charge) {
+  BatchInsertResult& result = batch_scratch_;
+  result.stored = result.refreshed = result.rejected = 0;
+  result.evicted.clear();
+  store_.insert_batch(blocks, count, bytes_each, &result);
+  account_evictions(result.evicted, charge);
+  // A refreshed resident counts as cached, exactly as the per-block path's
+  // stored==true re-insert did.
+  stats_.blocks_cached += result.stored + result.refreshed;
+  stats_.uncacheable += result.rejected;
+}
+
 void BlockManager::purge_block(const BlockId& block) {
   if (prefetched_unused_.erase(pack_block_id(block))) {
     ++stats_.prefetches_wasted;
@@ -64,7 +77,7 @@ void BlockManager::purge_block(const BlockId& block) {
 void BlockManager::refresh_prefetch_orders(const ExecutionPlan& plan,
                                            std::size_t max_queue) {
   flush_unstarted_prefetches();
-  if (prefetch_queue_.size() >= max_queue) return;
+  if (live_queued_ >= max_queue) return;
   const std::uint64_t capacity = store_.capacity();
   const std::uint64_t free_bytes = store_.free_bytes();
   // Free space net of already-queued prefetches.
@@ -75,14 +88,14 @@ void BlockManager::refresh_prefetch_orders(const ExecutionPlan& plan,
   PrefetchBudget budget;
   budget.free_bytes = free_bytes;
   budget.capacity = capacity;
-  budget.queue_slots = max_queue - prefetch_queue_.size();
+  budget.queue_slots = max_queue - live_queued_;
   budget.rdd_on_disk = [this](RddId rdd) {
-    return rdd < disk_blocks_per_rdd_.size() && disk_blocks_per_rdd_[rdd] > 0;
+    return on_disk_.rdd_count(rdd) > 0;
   };
   policy_->prefetch_candidates(
       budget, [&](const BlockId& block) -> PrefetchOffer {
-        if (prefetch_queue_.size() >= max_queue) return PrefetchOffer::kStop;
-        if (!on_disk_.contains(pack_block_id(block))) {
+        if (live_queued_ >= max_queue) return PrefetchOffer::kStop;
+        if (!on_disk_.contains(block)) {
           return PrefetchOffer::kSkipped;  // nothing to read it from
         }
         const std::uint64_t bytes =
@@ -107,11 +120,12 @@ void BlockManager::refresh_prefetch_orders(const ExecutionPlan& plan,
 bool BlockManager::issue_prefetch(const BlockId& block, std::uint64_t bytes,
                                   bool forced) {
   if (store_.contains(block)) return false;
-  if (prefetch_queued_.contains(pack_block_id(block))) return false;
-  if (!on_disk_.contains(pack_block_id(block))) return false;
+  if (prefetch_index_.contains(pack_block_id(block))) return false;
+  if (!on_disk_.contains(block)) return false;
   const double load_ms = static_cast<double>(bytes) * config_.disk_ms_per_byte();
   prefetch_queue_.push_back(PendingPrefetch{block, bytes, load_ms, forced});
-  prefetch_queued_.insert(pack_block_id(block));
+  prefetch_index_.insert(pack_block_id(block), &prefetch_queue_.back());
+  ++live_queued_;
   queued_bytes_ += bytes;
   ++stats_.prefetches_issued;
   return true;
@@ -119,8 +133,44 @@ bool BlockManager::issue_prefetch(const BlockId& block, std::uint64_t bytes,
 
 double BlockManager::serve_prefetch(double available_ms, IoCharge* charge) {
   double used_ms = 0.0;
-  while (!prefetch_queue_.empty() && available_ms > 0.0) {
+  // Completed loads that fit the projected free space accumulate into one
+  // contiguous same-size run and land through a single insert_batch. A
+  // fitting, non-resident insert triggers no policy decision, so deferring
+  // it is invisible to the decision stream; anything else (resident
+  // refresh, size change, eviction pressure) flushes the run first and
+  // takes the per-block path at exactly the store state the serial loop
+  // would have seen.
+  prefetch_run_.clear();
+  std::uint64_t run_bytes_each = 0;
+  std::uint64_t run_bytes_total = 0;
+  const auto flush_run = [&] {
+    if (prefetch_run_.empty()) return;
+    policy_->on_prefetch_insert(true);
+    BatchInsertResult& result = batch_scratch_;
+    result.stored = result.refreshed = result.rejected = 0;
+    result.evicted.clear();
+    store_.insert_batch(prefetch_run_.data(), prefetch_run_.size(),
+                        run_bytes_each, &result);
+    policy_->on_prefetch_insert(false);
+    // Every block of the run fit the projected free space and was not
+    // resident when it was queued here — nothing can have evicted/refreshed.
+    MRD_CHECK(result.stored == prefetch_run_.size());
+    account_evictions(result.evicted, charge);
+    stats_.blocks_cached += result.stored;
+    stats_.prefetches_completed += result.stored;
+    for (const BlockId& b : prefetch_run_) {
+      prefetched_unused_.insert(pack_block_id(b));
+    }
+    prefetch_run_.clear();
+    run_bytes_total = 0;
+  };
+  while (!prefetch_queue_.empty()) {
     PendingPrefetch& head = prefetch_queue_.front();
+    if (head.cancelled) {  // bookkeeping already undone at cancellation
+      prefetch_queue_.pop_front();
+      continue;
+    }
+    if (available_ms <= 0.0) break;
     const double spend = std::min(available_ms, head.remaining_ms);
     head.remaining_ms -= spend;
     available_ms -= spend;
@@ -133,10 +183,24 @@ double BlockManager::serve_prefetch(double available_ms, IoCharge* charge) {
     const std::uint64_t bytes = head.bytes;
     const bool forced = head.forced;
     prefetch_queue_.pop_front();
-    prefetch_queued_.erase(pack_block_id(block));
+    prefetch_index_.erase(pack_block_id(block));
+    --live_queued_;
     queued_bytes_ -= bytes;
 
-    const bool fits = bytes <= store_.free_bytes();
+    const bool resident = store_.contains(block);
+    if (!prefetch_run_.empty() &&
+        (resident || bytes != run_bytes_each ||
+         run_bytes_total + bytes > store_.free_bytes())) {
+      flush_run();
+    }
+    // Post-flush the projection equals the store's real free space.
+    const bool fits = run_bytes_total + bytes <= store_.free_bytes();
+    if (fits && !resident) {
+      if (prefetch_run_.empty()) run_bytes_each = bytes;
+      prefetch_run_.push_back(block);
+      run_bytes_total += bytes;
+      continue;
+    }
     if ((fits || forced) && (fits || policy_->admit_prefetch(block))) {
       policy_->on_prefetch_insert(true);
       const bool stored = insert_with_spill(block, bytes, charge);
@@ -151,44 +215,53 @@ double BlockManager::serve_prefetch(double available_ms, IoCharge* charge) {
       ++stats_.prefetches_dropped;
     }
   }
+  flush_run();
   return used_ms;
 }
 
 bool BlockManager::prefetch_pending(const BlockId& block) const {
-  return prefetch_queued_.contains(pack_block_id(block));
+  return prefetch_index_.contains(pack_block_id(block));
 }
 
 void BlockManager::flush_unstarted_prefetches() {
   while (!prefetch_queue_.empty()) {
     const PendingPrefetch& tail = prefetch_queue_.back();
+    if (tail.cancelled) {  // bookkeeping already undone at cancellation
+      prefetch_queue_.pop_back();
+      continue;
+    }
     const double full_ms =
         static_cast<double>(tail.bytes) * config_.disk_ms_per_byte();
     const bool started = tail.remaining_ms < full_ms - 1e-9;
     if (started) break;  // only the head can be partially served; keep it
-    prefetch_queued_.erase(pack_block_id(tail.block));
+    prefetch_index_.erase(pack_block_id(tail.block));
     queued_bytes_ -= tail.bytes;
+    --live_queued_;
     prefetch_queue_.pop_back();
+  }
+}
+
+void BlockManager::account_evictions(
+    const std::vector<std::pair<BlockId, std::uint64_t>>& evicted,
+    IoCharge* charge) {
+  for (const auto& [victim, victim_bytes] : evicted) {
+    ++stats_.evictions;
+    if (prefetched_unused_.erase(pack_block_id(victim))) {
+      ++stats_.prefetches_wasted;
+    }
+    if (config_.spill_on_evict && on_disk_.insert(victim)) {
+      ++stats_.spills;
+      charge->disk_write_bytes += victim_bytes;
+    }
   }
 }
 
 bool BlockManager::insert_with_spill(const BlockId& block, std::uint64_t bytes,
                                      IoCharge* charge) {
-  const InsertResult result = store_.insert(block, bytes);
-  for (const auto& [victim, victim_bytes] : result.evicted) {
-    ++stats_.evictions;
-    if (prefetched_unused_.erase(pack_block_id(victim))) {
-      ++stats_.prefetches_wasted;
-    }
-    if (config_.spill_on_evict && on_disk_.insert(pack_block_id(victim))) {
-      ++stats_.spills;
-      charge->disk_write_bytes += victim_bytes;
-      if (victim.rdd >= disk_blocks_per_rdd_.size()) {
-        disk_blocks_per_rdd_.resize(victim.rdd + 1, 0);
-      }
-      ++disk_blocks_per_rdd_[victim.rdd];
-    }
-  }
-  if (!result.stored) {
+  scratch_evicted_.clear();
+  const bool stored = store_.insert_into(block, bytes, &scratch_evicted_);
+  account_evictions(scratch_evicted_, charge);
+  if (!stored) {
     ++stats_.uncacheable;
     return false;
   }
@@ -197,13 +270,12 @@ bool BlockManager::insert_with_spill(const BlockId& block, std::uint64_t bytes,
 }
 
 void BlockManager::cancel_pending_prefetch(const BlockId& block) {
-  if (!prefetch_queued_.erase(pack_block_id(block))) return;
-  const auto it =
-      std::find_if(prefetch_queue_.begin(), prefetch_queue_.end(),
-                   [&](const PendingPrefetch& p) { return p.block == block; });
-  MRD_CHECK(it != prefetch_queue_.end());
-  queued_bytes_ -= it->bytes;
-  prefetch_queue_.erase(it);
+  PendingPrefetch** entry = prefetch_index_.find(pack_block_id(block));
+  if (entry == nullptr) return;
+  (*entry)->cancelled = true;
+  queued_bytes_ -= (*entry)->bytes;
+  --live_queued_;
+  prefetch_index_.erase_found(entry);
 }
 
 }  // namespace mrd

@@ -17,6 +17,7 @@
 #include "cluster/cluster_config.h"
 #include "cluster/memory_store.h"
 #include "dag/ids.h"
+#include "util/block_bitmap.h"
 #include "util/flat_hash.h"
 
 namespace mrd {
@@ -78,12 +79,19 @@ class BlockManager {
   void cache_block(const BlockId& block, std::uint64_t bytes,
                    IoCharge* charge);
 
+  /// Batch form of cache_block for `count` same-size blocks (one persisted
+  /// RDD's slice of this node): a single MemoryStore::insert_batch
+  /// reservation instead of per-block re-checks, with the identical
+  /// decision stream (see insert_batch). Evictions spill as in cache_block.
+  void cache_blocks(const BlockId* blocks, std::size_t count,
+                    std::uint64_t bytes_each, IoCharge* charge);
+
   /// Drops the memory copy (MRD purge). The disk copy, if any, remains.
   void purge_block(const BlockId& block);
 
   bool in_memory(const BlockId& block) const { return store_.contains(block); }
   bool has_disk_copy(const BlockId& block) const {
-    return on_disk_.contains(pack_block_id(block));
+    return on_disk_.contains(block);
   }
 
   // ---- Prefetch path ----
@@ -120,7 +128,9 @@ class BlockManager {
   /// reflect current reference distances.
   void flush_unstarted_prefetches();
 
-  std::size_t prefetch_queue_length() const { return prefetch_queue_.size(); }
+  /// Live (uncancelled) queue entries. The deque itself may also hold
+  /// cancelled tombstones awaiting their pop in serve_prefetch.
+  std::size_t prefetch_queue_length() const { return live_queued_; }
 
   /// Bytes committed to queued (unserved) prefetches — used to project
   /// remaining free space when issuing further prefetch orders.
@@ -131,6 +141,10 @@ class BlockManager {
   /// prefetch completion.
   bool insert_with_spill(const BlockId& block, std::uint64_t bytes,
                          IoCharge* charge);
+  /// Spill/eviction accounting shared by the single and batch insert paths.
+  void account_evictions(
+      const std::vector<std::pair<BlockId, std::uint64_t>>& evicted,
+      IoCharge* charge);
   void cancel_pending_prefetch(const BlockId& block);
 
   struct PendingPrefetch {
@@ -138,20 +152,41 @@ class BlockManager {
     std::uint64_t bytes;
     double remaining_ms;  // load time still owed
     bool forced;
+    /// Superseded by a demand read: all queue bookkeeping (index, byte and
+    /// length counters) was undone at cancellation; serve_prefetch pops
+    /// the husk at zero time cost.
+    bool cancelled = false;
   };
 
   NodeId node_;
   const ClusterConfig& config_;
   std::unique_ptr<CachePolicy> policy_;
   MemoryStore store_;
-  FlatSet64 on_disk_;
-  /// Disk copies per RDD (index == RddId; on_disk_ only ever grows). Lets
-  /// refresh_prefetch_orders hand the policy an O(1) "anything of this RDD
-  /// on disk?" pre-filter instead of per-block probes of on_disk_.
-  std::vector<std::uint32_t> disk_blocks_per_rdd_;
+  /// On-disk block copies. The set only ever grows (one bit per spilled
+  /// block), and it is probed on the demand, eviction and prefetch-issue hot
+  /// paths — per-RDD bitmaps keep those probes at two array indexings where
+  /// a hash set would take a miss per call. Its per-RDD counts double as the
+  /// O(1) "anything of this RDD on disk?" pre-filter for
+  /// refresh_prefetch_orders.
+  BlockBitmap on_disk_;
   std::deque<PendingPrefetch> prefetch_queue_;
-  FlatSet64 prefetch_queued_;
+  /// Packed block id -> its live queue entry (std::deque references are
+  /// stable under push/pop at the ends, and cancellation no longer erases
+  /// mid-queue). Doubles as the old membership set; makes
+  /// cancel_pending_prefetch O(1) instead of a deque scan per demand probe
+  /// of a queued block.
+  FlatMap64<PendingPrefetch*> prefetch_index_;
+  /// Uncancelled entries in prefetch_queue_.
+  std::size_t live_queued_ = 0;
   std::uint64_t queued_bytes_ = 0;
+  /// Reused batch buffer for serve_prefetch's fitting-run drains.
+  std::vector<BlockId> prefetch_run_;
+  /// Reused eviction buffer for insert_with_spill (the demand-path inserts
+  /// run once per probe miss; a fresh InsertResult vector each time put the
+  /// allocator on the probe profile).
+  std::vector<std::pair<BlockId, std::uint64_t>> scratch_evicted_;
+  /// Reused result for the batch insert paths, same rationale.
+  BatchInsertResult batch_scratch_;
   /// Prefetched blocks not yet accessed (to classify useful vs. wasted).
   FlatSet64 prefetched_unused_;
   NodeCacheStats stats_;

@@ -7,6 +7,20 @@
 
 namespace mrd {
 
+namespace {
+
+/// Eviction-sink context packaged behind one pointer so the sink lambdas
+/// capture 8 bytes and ride std::function's small-buffer optimization —
+/// a wider capture list heap-allocates per pressure event, which is the
+/// demand-insert hot path.
+struct EvictContext {
+  MemoryStore* store;
+  std::uint64_t bytes;
+  std::vector<std::pair<BlockId, std::uint64_t>>* evicted;
+};
+
+}  // namespace
+
 MemoryStore::MemoryStore(std::uint64_t capacity_bytes, CachePolicy* policy)
     : capacity_(capacity_bytes), policy_(policy) {
   MRD_CHECK(policy_ != nullptr);
@@ -14,39 +28,175 @@ MemoryStore::MemoryStore(std::uint64_t capacity_bytes, CachePolicy* policy)
 
 InsertResult MemoryStore::insert(const BlockId& block, std::uint64_t bytes) {
   InsertResult result;
-  if (bytes > capacity_) return result;  // can never fit
-  const std::uint64_t key = pack_block_id(block);
-  if (const Resident* rec = blocks_.find(key)) {
-    // Re-insert of a resident block: treat as an access/refresh.
-    MRD_CHECK_MSG(rec->bytes == bytes, "block " << block
-                                                << " re-inserted with size "
-                                                << bytes << " != "
-                                                << rec->bytes);
-    policy_->on_block_accessed(block);
-    result.stored = true;
-    return result;
-  }
-  while (used_ + bytes > capacity_) {
-    if (!evict_one(&result.evicted)) {
-      // Store empty yet still no room — bytes > capacity, handled above.
-      return result;
-    }
-  }
-  const auto order_it = insertion_order_.insert(insertion_order_.end(), block);
-  blocks_.insert(key, Resident{bytes, order_it});
-  used_ += bytes;
-  result.stored = true;
-  policy_->on_block_cached(block, bytes);
+  result.stored = insert_into(block, bytes, &result.evicted);
   return result;
 }
 
-bool MemoryStore::remove(const BlockId& block) {
+bool MemoryStore::insert_into(
+    const BlockId& block, std::uint64_t bytes,
+    std::vector<std::pair<BlockId, std::uint64_t>>* evicted) {
+  if (bytes > capacity_) return false;  // can never fit
   const std::uint64_t key = pack_block_id(block);
-  const Resident* rec = blocks_.find(key);
+  if (used_ + bytes <= capacity_) {
+    // No pressure: residency test and insertion share one probe walk.
+    const auto [rec, inserted] = blocks_.find_or_insert(key);
+    if (!inserted) {
+      // Re-insert of a resident block: treat as an access/refresh.
+      MRD_CHECK_MSG(rec->bytes == bytes, "block " << block
+                                                  << " re-inserted with size "
+                                                  << bytes << " != "
+                                                  << rec->bytes);
+      policy_->on_block_accessed(block);
+      return true;
+    }
+    *rec = Resident{bytes, insertion_order_.push_back(key)};
+  } else {
+    // The residency probe comes before eviction: a resident block refreshes
+    // even with the store full.
+    if (const Resident* rec = blocks_.find(key)) {
+      MRD_CHECK_MSG(rec->bytes == bytes, "block " << block
+                                                  << " re-inserted with size "
+                                                  << bytes << " != "
+                                                  << rec->bytes);
+      policy_->on_block_accessed(block);
+      return true;
+    }
+    evict_for(bytes, evicted);
+    blocks_.insert(key, Resident{bytes, insertion_order_.push_back(key)});
+  }
+  used_ += bytes;
+  policy_->on_block_cached(block, bytes);
+  return true;
+}
+
+void MemoryStore::insert_batch(const BlockId* blocks, std::size_t count,
+                               std::uint64_t bytes_each,
+                               BatchInsertResult* result) {
+  if (count == 0) return;
+  if (bytes_each > capacity_) {  // no block of this batch can ever fit
+    result->rejected += count;
+    return;
+  }
+  std::size_t next = 0;
+  // blocks[known_fresh] proved non-resident by a probe that broke on the
+  // fit check: still valid when admit_fitting re-enters after evictions
+  // (an eviction cannot make a block resident, and no admission moved
+  // `next` since the probe), so the re-entry skips the re-probe.
+  std::size_t known_fresh = count;
+
+  // Admits blocks[next..] while they fit (residents refresh in place),
+  // flushing each contiguous run of fresh admissions to the policy as one
+  // on_blocks_cached — but always *before* the next policy event (an
+  // access, or any eviction decision), so the policy observes every block
+  // in the serial order. Leaves `next` at the first block needing room.
+  const auto admit_fitting = [&] {
+    const BlockId* run_begin = nullptr;
+    std::size_t run_len = 0;
+    const auto flush_run = [&] {
+      if (run_len == 0) return;
+      policy_->on_blocks_cached(run_begin, run_len, bytes_each);
+      run_len = 0;
+    };
+    while (next < count) {
+      const BlockId& block = blocks[next];
+      const std::uint64_t key = pack_block_id(block);
+      if (used_ + bytes_each <= capacity_) {
+        // No pressure: residency test and insertion share one probe walk.
+        const auto [rec, inserted] = blocks_.find_or_insert(key);
+        if (!inserted) {
+          MRD_CHECK_MSG(rec->bytes == bytes_each,
+                        "block " << block << " re-inserted with size "
+                                 << bytes_each << " != " << rec->bytes);
+          flush_run();
+          policy_->on_block_accessed(block);
+          ++result->refreshed;
+          ++next;
+          continue;
+        }
+        *rec = Resident{bytes_each, insertion_order_.push_back(key)};
+        used_ += bytes_each;
+        ++result->stored;
+        if (run_len == 0) run_begin = &blocks[next];
+        ++run_len;
+        ++next;
+        continue;
+      }
+      // Store full. As in the serial path a resident block still refreshes;
+      // the first fresh block stalls the run on eviction pressure.
+      if (next != known_fresh) {
+        if (const Resident* rec = blocks_.find(key)) {
+          MRD_CHECK_MSG(rec->bytes == bytes_each,
+                        "block " << block << " re-inserted with size "
+                                 << bytes_each << " != " << rec->bytes);
+          flush_run();
+          policy_->on_block_accessed(block);
+          ++result->refreshed;
+          ++next;
+          continue;
+        }
+      }
+      known_fresh = next;
+      break;
+    }
+    flush_run();
+  };
+
+  struct BatchContext {
+    MemoryStore* store;
+    std::uint64_t bytes_each;
+    BatchInsertResult* result;
+    const std::size_t* next;
+    std::size_t count;
+    const void* admit;
+    void (*admit_call)(const void*);
+  };
+  const auto admit_thunk = [](const void* fn) {
+    (*static_cast<const decltype(admit_fitting)*>(fn))();
+  };
+  BatchContext ctx{this,  bytes_each, result,
+                   &next, count,      &admit_fitting,
+                   admit_thunk};
+  const auto need = [](const BatchContext& c) -> std::uint64_t {
+    if (*c.next == c.count) return 0;
+    return c.store->used_ + c.bytes_each > c.store->capacity_
+               ? c.store->used_ + c.bytes_each - c.store->capacity_
+               : 0;
+  };
+
+  admit_fitting();
+  while (next < count) {
+    // One pressure event: stream victims from the policy, admitting every
+    // pending block that fits between victims. The sink's "remaining need"
+    // answer is what keeps the serial interleaving — the policy stops the
+    // moment the next pending block fits, exactly where the per-block loop
+    // would have stopped evicting.
+    policy_->choose_victims(
+        need(ctx), [&ctx](const BlockId& victim) -> std::uint64_t {
+          ctx.store->evict_nominated(victim, &ctx.result->evicted);
+          ctx.admit_call(ctx.admit);
+          if (*ctx.next == ctx.count) return 0;
+          return ctx.store->used_ + ctx.bytes_each > ctx.store->capacity_
+                     ? ctx.store->used_ + ctx.bytes_each - ctx.store->capacity_
+                     : 0;
+        });
+    if (next == count) break;
+    // Policy gave up with pressure left (blocks are still resident — the
+    // pending block fits an empty store). Fall back one eviction, then
+    // re-enter the policy: stateful policies may nominate again after
+    // observing the fallback eviction, as the serial loop allowed.
+    MRD_LOG_WARN << "policy offered no victim with " << blocks_.size()
+                 << " blocks resident; falling back to FIFO";
+    if (!fallback_evict(&result->evicted)) break;  // unreachable: not empty
+    admit_fitting();
+  }
+}
+
+bool MemoryStore::remove(const BlockId& block) {
+  Resident* rec = blocks_.find(pack_block_id(block));
   if (rec == nullptr) return false;
   used_ -= rec->bytes;
-  insertion_order_.erase(rec->order_it);
-  blocks_.erase(key);
+  insertion_order_.erase(rec->order_idx);
+  blocks_.erase_found(rec);
   policy_->on_block_evicted(block);
   return true;
 }
@@ -72,38 +222,54 @@ std::vector<BlockId> MemoryStore::resident_blocks() const {
   return out;
 }
 
-bool MemoryStore::evict_one(
-    std::vector<std::pair<BlockId, std::uint64_t>>* evicted) {
-  if (blocks_.empty()) return false;
-
-  BlockId victim;
-  const auto choice = policy_->choose_victim();
-  if (choice && blocks_.contains(pack_block_id(*choice))) {
-    victim = *choice;
-  } else {
-    // Fallback: oldest insertion still resident. The policy sees every
-    // insert, so a non-resident nomination (or none at all, with blocks
-    // resident) is a policy bug; the store must still make progress.
-    MRD_CHECK(!insertion_order_.empty());
-    victim = insertion_order_.front();
-    if (choice) {
-      MRD_LOG_WARN << "policy nominated non-resident victim "
-                   << to_string(*choice) << "; falling back to FIFO";
-    } else {
-      MRD_LOG_WARN << "policy offered no victim with " << blocks_.size()
-                   << " blocks resident; falling back to FIFO";
-    }
-  }
-  const std::uint64_t key = pack_block_id(victim);
-  const Resident* rec = blocks_.find(key);
-  MRD_CHECK(rec != nullptr);
+void MemoryStore::evict_resident(const BlockId& victim, Resident* rec,
+                                 EvictedList* evicted) {
   const std::uint64_t victim_bytes = rec->bytes;
   used_ -= victim_bytes;
-  insertion_order_.erase(rec->order_it);
-  blocks_.erase(key);
+  insertion_order_.erase(rec->order_idx);
+  blocks_.erase_found(rec);
   policy_->on_block_evicted(victim);
   evicted->emplace_back(victim, victim_bytes);
+}
+
+void MemoryStore::evict_nominated(const BlockId& victim, EvictedList* evicted) {
+  if (Resident* rec = blocks_.find(pack_block_id(victim))) {
+    evict_resident(victim, rec, evicted);
+    return;
+  }
+  // The policy sees every insert, so a non-resident nomination is a policy
+  // bug; the store must still make progress.
+  MRD_LOG_WARN << "policy nominated non-resident victim " << to_string(victim)
+               << "; falling back to FIFO";
+  fallback_evict(evicted);
+}
+
+bool MemoryStore::fallback_evict(EvictedList* evicted) {
+  if (insertion_order_.empty()) return false;
+  const BlockId victim =
+      unpack_block_id(insertion_order_.key(insertion_order_.front()));
+  evict_resident(victim, blocks_.find(pack_block_id(victim)), evicted);
   return true;
+}
+
+void MemoryStore::evict_for(std::uint64_t bytes, EvictedList* evicted) {
+  EvictContext ctx{this, bytes, evicted};
+  while (used_ + bytes > capacity_) {
+    const std::uint64_t needed = used_ + bytes - capacity_;
+    policy_->choose_victims(
+        needed, [&ctx](const BlockId& victim) -> std::uint64_t {
+          ctx.store->evict_nominated(victim, ctx.evicted);
+          return ctx.store->used_ + ctx.bytes > ctx.store->capacity_
+                     ? ctx.store->used_ + ctx.bytes - ctx.store->capacity_
+                     : 0;
+        });
+    if (used_ + bytes <= capacity_) return;
+    // Policy gave up with pressure left: fall back one eviction, then ask
+    // again — stateful policies may nominate after seeing the eviction.
+    MRD_LOG_WARN << "policy offered no victim with " << blocks_.size()
+                 << " blocks resident; falling back to FIFO";
+    if (!fallback_evict(evicted)) return;  // empty store: bytes <= capacity
+  }
 }
 
 }  // namespace mrd

@@ -4,11 +4,11 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <vector>
 
 #include "cache/cache_policy.h"
 #include "dag/ids.h"
+#include "util/block_list.h"
 #include "util/flat_hash.h"
 
 namespace mrd {
@@ -16,6 +16,18 @@ namespace mrd {
 /// Outcome of an insert attempt.
 struct InsertResult {
   bool stored = false;
+  /// Blocks evicted to make room (with their sizes), in eviction order.
+  std::vector<std::pair<BlockId, std::uint64_t>> evicted;
+};
+
+/// Outcome of a batch insert. stored + refreshed + rejected == batch size.
+struct BatchInsertResult {
+  /// Blocks newly admitted to the store.
+  std::size_t stored = 0;
+  /// Blocks already resident (the policy saw an access/refresh instead).
+  std::size_t refreshed = 0;
+  /// Blocks larger than the whole capacity (never admitted).
+  std::size_t rejected = 0;
   /// Blocks evicted to make room (with their sizes), in eviction order.
   std::vector<std::pair<BlockId, std::uint64_t>> evicted;
 };
@@ -33,6 +45,26 @@ class MemoryStore {
   /// on_block_cached — a resident block it has never seen could neither be
   /// nominated for eviction nor ranked for prefetch decisions.
   InsertResult insert(const BlockId& block, std::uint64_t bytes);
+
+  /// Allocation-free form of insert(): evicted blocks append to the
+  /// caller's (reusable) buffer instead of a fresh InsertResult vector.
+  /// Returns whether the block was stored (or refreshed in place).
+  bool insert_into(const BlockId& block, std::uint64_t bytes,
+                   std::vector<std::pair<BlockId, std::uint64_t>>* evicted);
+
+  /// Inserts `count` same-size blocks in order, with one capacity
+  /// reservation per pressure event instead of per-block re-checks:
+  /// admissions run while blocks fit, and when pressure hits, victims are
+  /// pulled through the policy's streaming bulk API
+  /// (CachePolicy::choose_victims) with further admissions interleaved as
+  /// soon as space opens. The (evict, insert, access) decision stream —
+  /// i.e. the exact sequence of policy events and their interleaving — is
+  /// identical to calling insert() per block in order; only the policy
+  /// *notification* granularity changes (one on_blocks_cached per
+  /// contiguous run of fresh admissions). See DESIGN.md for the
+  /// equivalence argument.
+  void insert_batch(const BlockId* blocks, std::size_t count,
+                    std::uint64_t bytes_each, BatchInsertResult* result);
 
   /// Removes `block` (purge or external eviction). Notifies the policy.
   /// Returns false if not resident.
@@ -63,12 +95,30 @@ class MemoryStore {
   /// fallback list.
   struct Resident {
     std::uint64_t bytes = 0;
-    std::list<BlockId>::iterator order_it{};
+    BlockList::Index order_idx = BlockList::kNil;
   };
 
-  /// Evicts one block chosen by the policy (with fallback). Returns false
-  /// only when the store is empty.
-  bool evict_one(std::vector<std::pair<BlockId, std::uint64_t>>* evicted);
+  using EvictedList = std::vector<std::pair<BlockId, std::uint64_t>>;
+
+  /// Evicts a policy-nominated victim; a non-resident nomination falls back
+  /// to the oldest insertion (warned — the policy sees every insert, so
+  /// this is a policy bug the store must survive).
+  void evict_nominated(const BlockId& victim, EvictedList* evicted);
+
+  /// Evicts the oldest insertion still resident. Returns false only when
+  /// the store is empty.
+  bool fallback_evict(EvictedList* evicted);
+
+  /// Frees space until `bytes` more fit, streaming victims from the
+  /// policy's bulk API and falling back to insertion order whenever the
+  /// policy gives up with pressure left. Postcondition (for bytes <=
+  /// capacity_): used_ + bytes <= capacity_.
+  void evict_for(std::uint64_t bytes, EvictedList* evicted);
+
+  /// Unlinks a known-resident record (`rec` = its blocks_ entry, so the
+  /// erase reuses the find's probe) and notifies the policy.
+  void evict_resident(const BlockId& victim, Resident* rec,
+                      EvictedList* evicted);
 
   std::uint64_t capacity_;
   std::uint64_t used_ = 0;
@@ -76,10 +126,12 @@ class MemoryStore {
   /// block -> Resident. Flat open-addressing table: the probe/insert/evict
   /// hot path hits this once per operation.
   FlatMap64<Resident> blocks_;
-  /// Insertion order for the progress-guarantee fallback. List + in-entry
-  /// iterator so per-eviction unlinking is O(1); a flat vector made
-  /// large-cache sweeps quadratic in resident blocks.
-  std::list<BlockId> insertion_order_;
+  /// Insertion order for the progress-guarantee fallback. Arena-backed list
+  /// with in-entry node index: per-eviction unlinking is O(1) *and*
+  /// allocation-free (a std::list paid one malloc/free per block lifecycle
+  /// on the cache-write hot path; a flat vector made large-cache sweeps
+  /// quadratic in resident blocks).
+  BlockList insertion_order_;
 };
 
 }  // namespace mrd

@@ -117,30 +117,56 @@ void CacheMonitor::on_rdd_probed(const ExecutionPlan& plan, RddId rdd,
   manager_->on_rdd_probed(rdd, stage);
 }
 
-void CacheMonitor::on_block_cached(const BlockId& block, std::uint64_t bytes) {
-  sync_activity();
-  residents_.insert(block);
-  auto& stored_bytes = block_bytes_[pack_block_id(block)];
+void CacheMonitor::tally_cached_block(const BlockId& block,
+                                      std::uint64_t bytes) {
+  if (!options_.mrd_eviction) residents_.insert(block);
   RddResidency& r = residency(block.rdd);
   const std::size_t word = block.partition >> 6;
   if (word >= r.bits.size()) r.bits.resize(word + 1, 0);
   const std::uint64_t mask = std::uint64_t{1} << (block.partition & 63);
   if ((r.bits[word] & mask) != 0) {
     // Re-cache of an already-resident block: only the size can differ.
-    r.bytes += bytes - stored_bytes;
-    if (!rdd_is_active(block.rdd)) reclaimable_bytes_ += bytes - stored_bytes;
+    const std::uint64_t old_bytes = resident_block_bytes(r, block);
+    if (bytes != old_bytes) set_block_bytes(r, block, bytes);
+    r.bytes += bytes - old_bytes;
+    if (!rdd_is_active(block.rdd)) reclaimable_bytes_ += bytes - old_bytes;
   } else {
+    const bool was_empty = r.count == 0;
+    if (was_empty) {
+      // A (re)filling RDD restarts uniform: its previous blocks all left
+      // (erasing their overflow entries, if any).
+      r.uniform_bytes = bytes;
+      r.mixed = false;
+    } else if (r.mixed) {
+      block_bytes_[pack_block_id(block)] = bytes;
+    } else if (bytes != r.uniform_bytes) {
+      spill_to_mixed(r, block.rdd);
+      block_bytes_[pack_block_id(block)] = bytes;
+    }
+    ++resident_blocks_;
     r.bits[word] |= mask;
-    if (r.count == 0 || block.partition > r.max_partition) {
+    if (was_empty || block.partition > r.max_partition) {
       r.max_partition = block.partition;
     }
     ++r.count;
     if (block.partition % num_nodes_ == node_) ++r.local_count;
     r.bytes += bytes;
     if (!rdd_is_active(block.rdd)) reclaimable_bytes_ += bytes;
+    // An RDD gaining its first block re-enters the victim order; RDDs that
+    // already had residents keep their key, so only the 0 -> 1 transition
+    // can move the argmax — and only upward, which updates the memo in
+    // place. A stale distance epoch makes the comparison meaningless; drop
+    // the memo and let the next refresh rescan.
+    if (victim_valid_) {
+      if (victim_stamp_ != manager_->distance_version()) {
+        victim_valid_ = false;
+      } else if (was_empty) {
+        const std::pair<double, RddId> key{cached_distance(block.rdd),
+                                           block.rdd};
+        if (key > victim_) victim_ = key;
+      }
+    }
   }
-  stored_bytes = bytes;
-  ++residents_rev_;
   // A fresh resident can only raise the furthest-resident max.
   if (furthest_version_stamp_ == manager_->distance_version() &&
       !furthest_dirty_) {
@@ -148,20 +174,57 @@ void CacheMonitor::on_block_cached(const BlockId& block, std::uint64_t bytes) {
   }
 }
 
+void CacheMonitor::set_block_bytes(RddResidency& r, const BlockId& block,
+                                   std::uint64_t bytes) {
+  if (!r.mixed) spill_to_mixed(r, block.rdd);
+  // spill_to_mixed entered this (resident) block at uniform_bytes too;
+  // overwrite with its new size.
+  block_bytes_[pack_block_id(block)] = bytes;
+}
+
+void CacheMonitor::spill_to_mixed(RddResidency& r, RddId rdd) {
+  for (std::size_t w = 0; w < r.bits.size(); ++w) {
+    std::uint64_t bits = r.bits[w];
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      bits &= bits - 1;
+      block_bytes_[pack_block_id(BlockId{
+          rdd, static_cast<PartitionIndex>((w << 6) + bit)})] =
+          r.uniform_bytes;
+    }
+  }
+  r.mixed = true;
+}
+
+void CacheMonitor::on_block_cached(const BlockId& block, std::uint64_t bytes) {
+  sync_activity();
+  tally_cached_block(block, bytes);
+  ++residents_rev_;
+}
+
+void CacheMonitor::on_blocks_cached(const BlockId* blocks, std::size_t count,
+                                    std::uint64_t bytes_each) {
+  if (count == 0) return;
+  // The activity journal only grows through stage events, which cannot
+  // interleave with a store admission run — one replay covers the batch.
+  // Likewise one resident-revision bump: the revision is only ever
+  // *compared for equality* (prefetch cursor validity), so collapsing a
+  // run of bumps into one preserves every invalidation.
+  sync_activity();
+  for (std::size_t i = 0; i < count; ++i) {
+    tally_cached_block(blocks[i], bytes_each);
+  }
+  ++residents_rev_;
+}
+
 void CacheMonitor::on_block_accessed(const BlockId& block) {
-  residents_.touch(block);
+  if (!options_.mrd_eviction) residents_.touch(block);
 }
 
 void CacheMonitor::on_block_evicted(const BlockId& block) {
   sync_activity();
-  residents_.erase(block);
+  if (!options_.mrd_eviction) residents_.erase(block);
   ++residents_rev_;
-  const std::uint64_t key = pack_block_id(block);
-  std::uint64_t bytes = 0;
-  if (const auto* b = block_bytes_.find(key)) {
-    bytes = *b;
-    block_bytes_.erase(key);
-  }
   if (block.rdd >= rdd_residency_.size()) return;
   RddResidency& r = rdd_residency_[block.rdd];
   const std::size_t word = block.partition >> 6;
@@ -169,8 +232,18 @@ void CacheMonitor::on_block_evicted(const BlockId& block) {
                                  ? std::uint64_t{1} << (block.partition & 63)
                                  : 0;
   if (mask == 0 || (r.bits[word] & mask) == 0) return;  // was not tracked
+  std::uint64_t bytes = r.uniform_bytes;
+  if (r.mixed) {
+    auto* b = block_bytes_.find(pack_block_id(block));
+    bytes = *b;
+    block_bytes_.erase_found(b);
+  }
+  --resident_blocks_;
   r.bits[word] &= ~mask;
   --r.count;
+  if (r.count == 0 && victim_valid_ && block.rdd == victim_.second) {
+    victim_valid_ = false;  // the victim RDD drained: next use rescans
+  }
   if (block.partition % num_nodes_ == node_) --r.local_count;
   r.bytes -= bytes;
   if (!rdd_is_active(block.rdd)) reclaimable_bytes_ -= bytes;
@@ -202,21 +275,53 @@ std::optional<BlockId> CacheMonitor::choose_victim() {
   // would cycle and hit nothing. Blocks of one RDD share a distance, so the
   // max over blocks of (distance, rdd, partition) decomposes into the max
   // over *RDD tallies* of (distance, rdd), then that RDD's max resident
-  // partition — O(#resident RDDs), not O(#resident blocks).
+  // partition — and the (distance, rdd) argmax is memoized in victim_, so
+  // repeated victim choices between rescans are O(1).
+  if (!refresh_victim()) return std::nullopt;
+  return BlockId{victim_.second, rdd_residency_[victim_.second].max_partition};
+}
+
+bool CacheMonitor::refresh_victim() {
+  if (victim_valid_ && victim_stamp_ == manager_->distance_version()) {
+    return true;
+  }
+  victim_valid_ = false;
   bool found = false;
-  RddId best_rdd = 0;
-  double best_distance = 0.0;
+  std::pair<double, RddId> best{0.0, 0};
   for (RddId rdd = 0; rdd < rdd_residency_.size(); ++rdd) {
     if (rdd_residency_[rdd].count == 0) continue;
-    const double d = cached_distance(rdd);
-    if (!found || d > best_distance || (d == best_distance && rdd > best_rdd)) {
+    const std::pair<double, RddId> key{cached_distance(rdd), rdd};
+    if (!found || key > best) {
       found = true;
-      best_rdd = rdd;
-      best_distance = d;
+      best = key;
     }
   }
-  if (!found) return std::nullopt;
-  return BlockId{best_rdd, rdd_residency_[best_rdd].max_partition};
+  if (!found) return false;
+  victim_ = best;
+  victim_stamp_ = manager_->distance_version();
+  victim_valid_ = true;
+  return true;
+}
+
+void CacheMonitor::choose_victims(std::uint64_t bytes_needed,
+                                  const EvictionSink& sink) {
+  if (!options_.mrd_eviction && !prefetch_insert_active_) {
+    // LRU ablation: recency order has no per-event decomposition; the
+    // default per-victim adapter already matches it.
+    CachePolicy::choose_victims(bytes_needed, sink);
+    return;
+  }
+  // Stream victims off the persistent memo. Every iteration re-reads
+  // victim_, so the drain reacts to whatever the sink's side effects did:
+  // an admission that re-armed a larger key replaced the memo (the victim
+  // the serial per-eviction argmax would pick next), a drained victim RDD
+  // invalidated it and the refresh rescans. The (evict, insert, access)
+  // stream is therefore identical to looping choose_victim per eviction.
+  while (bytes_needed > 0) {
+    if (!refresh_victim()) return;  // nothing resident; store falls back
+    bytes_needed = sink(
+        BlockId{victim_.second, rdd_residency_[victim_.second].max_partition});
+  }
 }
 
 std::vector<BlockId> CacheMonitor::purge_candidates() {
@@ -226,7 +331,7 @@ std::vector<BlockId> CacheMonitor::purge_candidates() {
   // removals, so enumeration order is free; walking the per-RDD residency
   // bitmaps costs O(blocks purged), not a scan of the resident set.
   const std::vector<RddId>& purge = manager_->purge_rdds();
-  if (purge.empty() || residents_.empty()) return {};
+  if (purge.empty() || resident_blocks_ == 0) return {};
   std::vector<BlockId> out;
   for (RddId rdd : purge) {
     if (rdd >= rdd_residency_.size()) continue;

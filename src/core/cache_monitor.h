@@ -63,10 +63,14 @@ class CacheMonitor : public CachePolicy {
                      StageId stage) override;
 
   void on_block_cached(const BlockId& block, std::uint64_t bytes) override;
+  void on_blocks_cached(const BlockId* blocks, std::size_t count,
+                        std::uint64_t bytes_each) override;
   void on_block_accessed(const BlockId& block) override;
   void on_block_evicted(const BlockId& block) override;
 
   std::optional<BlockId> choose_victim() override;
+  void choose_victims(std::uint64_t bytes_needed,
+                      const EvictionSink& sink) override;
   std::vector<BlockId> purge_candidates() override;
   void prefetch_candidates(const PrefetchBudget& budget,
                            const PrefetchSink& sink) override;
@@ -112,6 +116,13 @@ class CacheMonitor : public CachePolicy {
     /// Greatest resident partition; valid while count > 0. Repaired by a
     /// downward bitmap scan when the current max is evicted.
     PartitionIndex max_partition = 0;
+    /// Size shared by every resident block of this RDD while !mixed — the
+    /// overwhelmingly common case (partitions of one RDD are equal-sized),
+    /// which keeps per-block byte tracking out of the hash map entirely.
+    std::uint64_t uniform_bytes = 0;
+    /// A block of a different size arrived: per-block sizes live in
+    /// block_bytes_ until the RDD fully drains.
+    bool mixed = false;
 
     bool test(PartitionIndex p) const {
       const std::size_t w = p >> 6;
@@ -129,6 +140,28 @@ class CacheMonitor : public CachePolicy {
   /// Replays the manager table's activity log suffix appended since the
   /// last call, updating reclaimable_bytes_ and rdd_active_ — O(new flips).
   void sync_activity() const;
+
+  /// Residency/tally update of one cached block, minus the per-batch
+  /// bookkeeping (sync_activity, residents_rev_ bump) factored out so
+  /// on_blocks_cached pays it once per run.
+  void tally_cached_block(const BlockId& block, std::uint64_t bytes);
+
+  /// Size of a currently resident block of `r`.
+  std::uint64_t resident_block_bytes(const RddResidency& r,
+                                     const BlockId& block) const {
+    return r.mixed ? *block_bytes_.find(pack_block_id(block))
+                   : r.uniform_bytes;
+  }
+
+  /// Records a resident block's new size, demoting the RDD to per-block
+  /// (mixed) tracking first if needed.
+  void set_block_bytes(RddResidency& r, const BlockId& block,
+                       std::uint64_t bytes);
+
+  /// Materializes block_bytes_ entries (at uniform_bytes) for every block
+  /// `r` currently holds and flips it to mixed tracking. O(resident blocks
+  /// of the RDD), paid only when unequal sizes actually appear.
+  void spill_to_mixed(RddResidency& r, RddId rdd);
 
   /// Post-sync_activity() activity state of `rdd` (false = no live
   /// references left, i.e. infinite distance).
@@ -149,12 +182,18 @@ class CacheMonitor : public CachePolicy {
   NodeId num_nodes_;
   MrdPolicyOptions options_;
   const ExecutionPlan* plan_ = nullptr;
-  /// Recency order over residents — the LRU ablation's victim order. The
-  /// MRD decision paths run off the per-RDD tallies instead.
+  /// Recency order over residents — the LRU ablation's victim order. Only
+  /// maintained when mrd_eviction is off (every MRD decision path runs off
+  /// the per-RDD tallies instead, so the full variant skips the per-event
+  /// recency-list surgery entirely).
   ResidentSet residents_;
-  /// Sizes of resident blocks — eviction events carry no byte count, so the
-  /// per-RDD byte tallies are unwound through this map.
+  /// Sizes of resident blocks of *mixed* RDDs only — eviction events carry
+  /// no byte count, so byte tallies unwind through RddResidency::
+  /// uniform_bytes, falling back to this map when an RDD's blocks disagree.
   FlatMap64<std::uint64_t> block_bytes_;
+  /// Resident blocks on this node (all RDDs) — purge_candidates' emptiness
+  /// test (residents_ is only maintained in the LRU ablation).
+  std::size_t resident_blocks_ = 0;
   /// True while a completed prefetch is being inserted: even in the
   /// prefetch-only ablation, prefetch-induced evictions pick the
   /// largest-distance victim (§4.3).
@@ -180,6 +219,25 @@ class CacheMonitor : public CachePolicy {
   mutable std::uint64_t furthest_version_stamp_ = 0;
   mutable bool furthest_dirty_ = false;
   mutable double furthest_memo_ = -1.0;
+
+  // -- Persistent victim memo --
+  /// Recomputes victim_ (full argmax over resident RDD tallies) if it is
+  /// stale; returns whether anything is resident.
+  bool refresh_victim();
+
+  /// The current eviction target: argmax over resident RDDs of
+  /// (distance, rdd), valid while victim_valid_ and the distance epoch
+  /// stamp matches. The memo survives arbitrarily many evictions and
+  /// admissions because neither can silently change the argmax: an
+  /// admission re-arming an RDD (count 0 -> 1) with a larger key *replaces*
+  /// the memo in O(1) (tally_cached_block), any other admission leaves all
+  /// keys unchanged, and an eviction either drains the victim RDD
+  /// (invalidating the memo) or shrinks a non-maximal one. Each full rescan
+  /// is thus amortized over every block drained from the victim RDD — the
+  /// serial path paid one rescan per eviction.
+  bool victim_valid_ = false;
+  std::uint64_t victim_stamp_ = 0;
+  std::pair<double, RddId> victim_{};
 
   // -- Prefetch frontier cursor --
   /// Resume point into the manager's prefetch order: every enumeration

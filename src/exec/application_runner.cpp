@@ -148,6 +148,11 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
       //    on).
       {
         ScopedTimer timer(config.phase_timers, SimPhase::kProbes);
+        // Scratch reused across the probed RDDs of this stage: the loop
+        // body re-fills both every iteration, so only capacity carries
+        // over — no per-RDD allocation churn.
+        std::vector<PartitionIndex> order;
+        std::vector<std::uint32_t> chunk_of;
         for (RddId p : rec.probes) {
           const RddInfo& info = plan.app().rdd(p);
           // Tasks are scheduled in waves, not in partition order: probe the
@@ -157,7 +162,7 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
           // stay deterministic. The permutation is drawn once, up front:
           // every node worker walks the same order, keeping each node's
           // probe subsequence independent of the worker count.
-          std::vector<PartitionIndex> order(info.num_partitions);
+          order.resize(info.num_partitions);
           for (PartitionIndex j = 0; j < info.num_partitions; ++j) {
             order[j] = j;
           }
@@ -198,7 +203,7 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
             // roughly equal node counts; groups are ordered by smallest
             // member, so the assignment is deterministic.
             const NodeGroups& groups = partitioner->probe_groups(p);
-            std::vector<std::uint32_t> chunk_of(num_nodes, 0);
+            chunk_of.assign(num_nodes, 0);
             std::size_t chunk = 0;
             std::size_t filled = 0;
             for (const std::vector<NodeId>& group : groups.groups) {
@@ -271,25 +276,32 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
         }
       }
 
-      // -- Cache newly materialized persisted RDDs. cache_block touches only
-      //    the owner node's store/policy, so the partition loop fans out by
-      //    owner; each worker keeps the serial (rdd, partition) order for
-      //    its own nodes.
+      // -- Cache newly materialized persisted RDDs. Writes touch only the
+      //    owner node's store/policy, so the loop fans out by owner, and
+      //    each node's slice of one RDD (its owned partitions, ascending —
+      //    enumerated directly with stride num_nodes, not by filtering all
+      //    partitions) lands as one batched admission. The per-node event
+      //    subsequence is the serial one: node n saw exactly these blocks
+      //    in this order under the per-block loop too.
       {
         ScopedTimer timer(config.phase_timers, SimPhase::kCacheWrites);
         for_each_node_chunk([&](NodeId lo, NodeId hi) {
-          for (RddId r : rec.computes) {
-            const RddInfo& info = plan.app().rdd(r);
-            if (!info.persisted) continue;
-            for (PartitionIndex j = 0; j < info.num_partitions; ++j) {
-              const NodeId owner = j % num_nodes;
-              if (owner < lo || owner >= hi) continue;
+          std::vector<BlockId> batch;
+          for (NodeId n = lo; n < hi; ++n) {
+            for (RddId r : rec.computes) {
+              const RddInfo& info = plan.app().rdd(r);
+              if (!info.persisted) continue;
+              batch.clear();
+              for (PartitionIndex j = n; j < info.num_partitions;
+                   j += num_nodes) {
+                batch.push_back(BlockId{r, j});
+              }
+              if (batch.empty()) continue;
               IoCharge charge;
-              master.node(owner).cache_block(BlockId{r, j},
-                                             info.bytes_per_partition,
-                                             &charge);
-              acct[owner].disk_read_bytes += charge.disk_read_bytes;
-              acct[owner].disk_write_bytes += charge.disk_write_bytes;
+              master.node(n).cache_blocks(batch.data(), batch.size(),
+                                          info.bytes_per_partition, &charge);
+              acct[n].disk_read_bytes += charge.disk_read_bytes;
+              acct[n].disk_write_bytes += charge.disk_write_bytes;
             }
           }
         });

@@ -1,0 +1,56 @@
+// Dense per-RDD block-presence bitmaps.
+//
+// BlockId keys are two small dense integers, so membership sets over them
+// (e.g. "which blocks have a disk copy") fit naturally in one bitmap per
+// RDD: contains/insert are two array indexings and a bit test — no hashing,
+// no probe walk, and the per-RDD words stay hot in cache under the
+// sequential partition orders the simulator produces. A hash set pays a
+// guaranteed cache miss per operation once it outgrows L2, which the
+// monotonically growing spill set does on the large workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dag/ids.h"
+
+namespace mrd {
+
+class BlockBitmap {
+ public:
+  bool contains(const BlockId& block) const {
+    if (block.rdd >= bits_.size()) return false;
+    const std::vector<std::uint64_t>& words = bits_[block.rdd];
+    const std::size_t w = block.partition >> 6;
+    return w < words.size() && (words[w] >> (block.partition & 63)) & 1;
+  }
+
+  /// Sets the block's bit; returns true if it was newly set.
+  bool insert(const BlockId& block) {
+    if (block.rdd >= bits_.size()) {
+      bits_.resize(block.rdd + 1);
+      counts_.resize(block.rdd + 1, 0);
+    }
+    std::vector<std::uint64_t>& words = bits_[block.rdd];
+    const std::size_t w = block.partition >> 6;
+    if (w >= words.size()) words.resize(w + 1, 0);
+    const std::uint64_t mask = std::uint64_t{1} << (block.partition & 63);
+    if ((words[w] & mask) != 0) return false;
+    words[w] |= mask;
+    ++counts_[block.rdd];
+    return true;
+  }
+
+  /// Set bits of `rdd` — the O(1) whole-RDD pre-filter.
+  std::uint32_t rdd_count(RddId rdd) const {
+    return rdd < counts_.size() ? counts_[rdd] : 0;
+  }
+
+ private:
+  /// Presence words, indexed [rdd][partition / 64]; grown on demand.
+  std::vector<std::vector<std::uint64_t>> bits_;
+  /// Set bits per RDD (index == RddId).
+  std::vector<std::uint32_t> counts_;
+};
+
+}  // namespace mrd

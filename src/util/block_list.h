@@ -1,0 +1,117 @@
+// Arena-backed doubly-linked list of packed block ids.
+//
+// std::list pays one allocator round-trip per node. On the cache hot path
+// every block's lifecycle threads two such lists (the store's
+// insertion-order fallback plus a policy recency/FIFO order), so the
+// allocator ends up at the top of the cache-write profile. BlockList keeps
+// nodes in one contiguous vector with an intrusive free list: push, erase
+// and relink are index surgery, the only allocation is the vector's
+// amortized growth, and erased slots are recycled in place.
+//
+// Handles (Index) are stable for the lifetime of the element, like
+// std::list iterators; kNil plays end(). Not thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mrd {
+
+class BlockList {
+ public:
+  using Index = std::uint32_t;
+  static constexpr Index kNil = 0xFFFFFFFFu;
+
+  bool empty() const { return head_ == kNil; }
+  Index front() const { return head_; }
+  Index back() const { return tail_; }
+  Index next(Index i) const { return nodes_[i].next; }
+  Index prev(Index i) const { return nodes_[i].prev; }
+  std::uint64_t key(Index i) const { return nodes_[i].key; }
+
+  Index push_front(std::uint64_t key) {
+    const Index i = acquire(key);
+    nodes_[i].prev = kNil;
+    nodes_[i].next = head_;
+    if (head_ != kNil) {
+      nodes_[head_].prev = i;
+    } else {
+      tail_ = i;
+    }
+    head_ = i;
+    return i;
+  }
+
+  Index push_back(std::uint64_t key) {
+    const Index i = acquire(key);
+    nodes_[i].next = kNil;
+    nodes_[i].prev = tail_;
+    if (tail_ != kNil) {
+      nodes_[tail_].next = i;
+    } else {
+      head_ = i;
+    }
+    tail_ = i;
+    return i;
+  }
+
+  void erase(Index i) {
+    unlink(i);
+    nodes_[i].next = free_;
+    free_ = i;
+  }
+
+  /// Relinks an existing element at the front (most-recent position).
+  void move_to_front(Index i) {
+    if (head_ == i) return;
+    unlink(i);
+    nodes_[i].prev = kNil;
+    nodes_[i].next = head_;
+    nodes_[head_].prev = i;  // head_ != kNil: the list held >= 2 elements
+    head_ = i;
+  }
+
+ private:
+  struct Node {
+    std::uint64_t key;
+    Index prev;
+    Index next;
+  };
+
+  Index acquire(std::uint64_t key) {
+    Index i;
+    if (free_ != kNil) {
+      i = free_;
+      free_ = nodes_[i].next;
+      nodes_[i].key = key;
+    } else {
+      i = static_cast<Index>(nodes_.size());
+      MRD_DCHECK(i != kNil);
+      nodes_.push_back(Node{key, kNil, kNil});
+    }
+    return i;
+  }
+
+  void unlink(Index i) {
+    Node& n = nodes_[i];
+    if (n.prev != kNil) {
+      nodes_[n.prev].next = n.next;
+    } else {
+      head_ = n.next;
+    }
+    if (n.next != kNil) {
+      nodes_[n.next].prev = n.prev;
+    } else {
+      tail_ = n.prev;
+    }
+  }
+
+  std::vector<Node> nodes_;
+  Index head_ = kNil;
+  Index tail_ = kNil;
+  Index free_ = kNil;
+};
+
+}  // namespace mrd

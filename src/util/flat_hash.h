@@ -15,7 +15,9 @@
 // operations, but *not* sorted — callers that need ordered output must sort.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -67,18 +69,24 @@ class FlatMap64 {
   }
 
   /// Returns the value slot for `key`, default-constructing it if absent.
-  Value& operator[](std::uint64_t key) {
+  Value& operator[](std::uint64_t key) { return *find_or_insert(key).first; }
+
+  /// One-probe find-or-insert: the value slot for `key` plus whether it was
+  /// just inserted (default-constructed). Merges the find + insert probe
+  /// walks a lookup-then-insert pair would pay — the store's admission hot
+  /// path runs exactly one probe sequence per block through this.
+  std::pair<Value*, bool> find_or_insert(std::uint64_t key) {
     MRD_DCHECK(key != kEmptyKey);
     reserve_for_insert();
     std::size_t i = index_of(key);
     while (true) {
       Slot& slot = slots_[i];
-      if (slot.key == key) return slot.value;
+      if (slot.key == key) return {&slot.value, false};
       if (slot.key == kEmptyKey) {
         slot.key = key;
         slot.value = Value{};
         ++size_;
-        return slot.value;
+        return {&slot.value, true};
       }
       i = (i + 1) & mask_;
     }
@@ -112,24 +120,18 @@ class FlatMap64 {
       if (slots_[i].key == kEmptyKey) return false;
       i = (i + 1) & mask_;
     }
-    // Shift the probe chain back over the hole so lookups never need
-    // tombstones.
-    std::size_t j = i;
-    while (true) {
-      j = (j + 1) & mask_;
-      if (slots_[j].key == kEmptyKey) break;
-      const std::size_t ideal = index_of(slots_[j].key);
-      // slots_[j] may move into the hole at i only if its ideal position is
-      // no later (cyclically) than i along its probe chain.
-      if (((j - ideal) & mask_) >= ((j - i) & mask_)) {
-        slots_[i] = std::move(slots_[j]);
-        i = j;
-      }
-    }
-    slots_[i].key = kEmptyKey;
-    slots_[i].value = Value{};
-    --size_;
+    erase_at(i);
     return true;
+  }
+
+  /// Removes the entry whose value slot a prior find() returned, skipping
+  /// the second probe sequence a find-then-erase pair would pay. `found`
+  /// must be a pointer returned by find()/operator[] on this map with no
+  /// intervening mutation.
+  void erase_found(Value* found) {
+    const Slot* slot = reinterpret_cast<const Slot*>(
+        reinterpret_cast<const char*>(found) - offsetof(Slot, value));
+    erase_at(static_cast<std::size_t>(slot - slots_.data()));
   }
 
   /// Visits every (key, value) pair in hash order.
@@ -145,6 +147,28 @@ class FlatMap64 {
     std::uint64_t key = kEmptyKey;
     Value value{};
   };
+  static_assert(std::is_standard_layout_v<Slot>,
+                "erase_found recovers the Slot from its value member");
+
+  /// Shifts the probe chain back over the hole at `i` so lookups never need
+  /// tombstones.
+  void erase_at(std::size_t i) {
+    std::size_t j = i;
+    while (true) {
+      j = (j + 1) & mask_;
+      if (slots_[j].key == kEmptyKey) break;
+      const std::size_t ideal = index_of(slots_[j].key);
+      // slots_[j] may move into the hole at i only if its ideal position is
+      // no later (cyclically) than i along its probe chain.
+      if (((j - ideal) & mask_) >= ((j - i) & mask_)) {
+        slots_[i] = std::move(slots_[j]);
+        i = j;
+      }
+    }
+    slots_[i].key = kEmptyKey;
+    slots_[i].value = Value{};
+    --size_;
+  }
 
   static std::size_t mix(std::uint64_t key) {
     // splitmix64 finalizer — full-avalanche over the packed (rdd, partition).
@@ -164,8 +188,11 @@ class FlatMap64 {
       mask_ = 15;
       return;
     }
-    // Grow at 7/8 load: linear probing stays short and growth is amortized.
-    if ((size_ + 1) * 8 > slots_.size() * 7) rehash(slots_.size() * 2);
+    // Grow at 5/8 load: linear probing's expected probe length explodes
+    // past ~3/4 (unsuccessful lookups average dozens of slots at 7/8),
+    // and the churny erase/insert hot paths probe far more often than they
+    // grow. The extra memory is a few KB per node-level table.
+    if ((size_ + 1) * 8 > slots_.size() * 5) rehash(slots_.size() * 2);
   }
 
   void rehash(std::size_t new_capacity) {
