@@ -352,6 +352,22 @@ int main(int argc, char** argv) {
         r.node_parallel.max_groups, r.node_parallel.largest_group);
   }
 
+  // Load the committed baseline *before* writing the fresh JSON: the gate
+  // file is typically the checked-out BENCH_core.json in the working
+  // directory, i.e. the very path the write below replaces — reading it
+  // afterwards would gate the run against itself.
+  std::string committed;
+  if (!gate_file.empty()) {
+    std::ifstream in(gate_file);
+    if (!in) {
+      std::fprintf(stderr, "FAIL: cannot read gate file %s\n",
+                   gate_file.c_str());
+      return 1;
+    }
+    committed.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+  }
+
   std::ofstream json("BENCH_core.json");
   json << "{\n  \"bench\": \"perf_microbench\",\n"
        << "  \"baseline_commit\": \"f9d3c62\",\n"
@@ -399,14 +415,6 @@ int main(int argc, char** argv) {
   std::printf("JSON: BENCH_core.json\n");
 
   if (!gate_file.empty()) {
-    std::ifstream in(gate_file);
-    if (!in) {
-      std::fprintf(stderr, "FAIL: cannot read gate file %s\n",
-                   gate_file.c_str());
-      return 1;
-    }
-    const std::string committed((std::istreambuf_iterator<char>(in)),
-                                std::istreambuf_iterator<char>());
     constexpr double kGateMargin = 1.4;  // committed median + 40%
     // Prints this scenario's gate lines; true when it is within limits.
     const auto gate_scenario = [&committed](const Result& r) {

@@ -2,8 +2,10 @@
 
 namespace mrd {
 
-bool block_on_node(const BlockId& block, NodeId node, NodeId num_nodes) {
-  return num_nodes > 0 && block.partition % num_nodes == node;
+bool block_on_node(const BlockId& block, NodeId node, NodeId num_nodes,
+                   BlockPlacement placement) {
+  return num_nodes > 0 &&
+         placement_owner(block, num_nodes, placement) == node;
 }
 
 const StageExecution* find_execution(const ExecutionPlan& plan, JobId job,

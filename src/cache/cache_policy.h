@@ -31,6 +31,7 @@
 
 #include "dag/execution_plan.h"
 #include "dag/ids.h"
+#include "dag/placement.h"
 
 namespace mrd {
 
@@ -89,6 +90,14 @@ class CachePolicy {
   virtual ~CachePolicy() = default;
 
   virtual std::string_view name() const = 0;
+
+  /// Announces the cluster's block→node placement mode, called once by the
+  /// owning BlockManager before any event. Policies that enumerate or test
+  /// partition ownership (owner = (partition + salt(rdd)) % num_nodes; see
+  /// dag/placement.h) must honor it; placement-oblivious policies ignore it.
+  virtual void configure_placement(BlockPlacement placement) {
+    (void)placement;
+  }
 
   // ---- DAG visibility ----------------------------------------------------
 
@@ -245,9 +254,10 @@ class CachePolicy {
 using PolicyFactory =
     std::function<std::unique_ptr<CachePolicy>(NodeId node, NodeId num_nodes)>;
 
-/// Returns true if `block`'s partition is placed on `node` under the
-/// round-robin partition placement used by the cluster.
-bool block_on_node(const BlockId& block, NodeId node, NodeId num_nodes);
+/// Returns true if `block`'s partition is placed on `node` under
+/// `placement` (round-robin by default).
+bool block_on_node(const BlockId& block, NodeId node, NodeId num_nodes,
+                   BlockPlacement placement = BlockPlacement::kRoundRobin);
 
 /// Finds the execution record of `stage` within `job`; nullptr if the stage
 /// does not appear (or was skipped) in that job.

@@ -78,9 +78,11 @@ void MemTunePolicy::prefetch_candidates(const PrefetchBudget& budget,
   std::size_t issued = 0;
   for (RddId rdd : sorted) {
     const RddInfo& info = plan_->app().rdd(rdd);
-    // Enumerate only this node's partitions (owner = p % num_nodes): the
-    // stride visits them in the same ascending order the full scan did.
-    for (PartitionIndex p = node_; p < info.num_partitions; p += num_nodes_) {
+    // Enumerate only this node's partitions under the configured placement:
+    // the stride visits them in the same ascending order the full scan did.
+    const PartitionIndex first =
+        first_local_partition(rdd, node_, num_nodes_, placement_);
+    for (PartitionIndex p = first; p < info.num_partitions; p += num_nodes_) {
       const BlockId block{rdd, p};
       if (residents_.contains(block)) continue;
       switch (sink(block)) {

@@ -28,6 +28,10 @@ class MemTunePolicy : public CachePolicy {
 
   std::string_view name() const override { return "MemTune"; }
 
+  void configure_placement(BlockPlacement placement) override {
+    placement_ = placement;
+  }
+
   void on_job_start(const ExecutionPlan& plan, JobId job) override;
   void on_stage_start(const ExecutionPlan& plan, JobId job,
                       StageId stage) override;
@@ -44,6 +48,7 @@ class MemTunePolicy : public CachePolicy {
  private:
   NodeId node_;
   NodeId num_nodes_;
+  BlockPlacement placement_ = BlockPlacement::kRoundRobin;
   std::size_t window_;
   const ExecutionPlan* plan_ = nullptr;  // set at job start; plan outlives run
   std::unordered_set<RddId> needed_;

@@ -13,10 +13,12 @@ BlockManager::BlockManager(NodeId node, const ClusterConfig& config,
       policy_(std::move(policy)),
       store_(config.cache_bytes_per_node, policy_.get()) {
   MRD_CHECK(policy_ != nullptr);
+  policy_->configure_placement(config.placement);
 }
 
 ProbeOutcome BlockManager::probe(const BlockId& block, std::uint64_t bytes,
                                  IoCharge* charge) {
+  touch();
   ++stats_.probes;
   if (block.rdd >= stats_.per_rdd.size()) {
     stats_.per_rdd.resize(block.rdd + 1);
@@ -42,6 +44,7 @@ ProbeOutcome BlockManager::probe(const BlockId& block, std::uint64_t bytes,
     // leave a far-referenced block on disk instead of displacing residents.
     if (policy_->should_promote(block, store_.free_bytes())) {
       insert_with_spill(block, bytes, charge);
+      update_residency_flag();
     }
     return ProbeOutcome::kDiskHit;
   }
@@ -51,11 +54,14 @@ ProbeOutcome BlockManager::probe(const BlockId& block, std::uint64_t bytes,
 
 void BlockManager::cache_block(const BlockId& block, std::uint64_t bytes,
                                IoCharge* charge) {
+  touch();
   insert_with_spill(block, bytes, charge);
+  update_residency_flag();
 }
 
 void BlockManager::cache_blocks(const BlockId* blocks, std::size_t count,
                                 std::uint64_t bytes_each, IoCharge* charge) {
+  touch();
   BatchInsertResult& result = batch_scratch_;
   result.stored = result.refreshed = result.rejected = 0;
   result.evicted.clear();
@@ -65,13 +71,18 @@ void BlockManager::cache_blocks(const BlockId* blocks, std::size_t count,
   // stored==true re-insert did.
   stats_.blocks_cached += result.stored + result.refreshed;
   stats_.uncacheable += result.rejected;
+  update_residency_flag();
 }
 
 void BlockManager::purge_block(const BlockId& block) {
+  touch();
   if (prefetched_unused_.erase(pack_block_id(block))) {
     ++stats_.prefetches_wasted;
   }
-  if (store_.remove(block)) ++stats_.purged;
+  if (store_.remove(block)) {
+    ++stats_.purged;
+    update_residency_flag();
+  }
 }
 
 void BlockManager::refresh_prefetch_orders(const ExecutionPlan& plan,
@@ -128,6 +139,8 @@ bool BlockManager::issue_prefetch(const BlockId& block, std::uint64_t bytes,
   ++live_queued_;
   queued_bytes_ += bytes;
   ++stats_.prefetches_issued;
+  touch();
+  update_queue_flag();
   return true;
 }
 
@@ -216,6 +229,8 @@ double BlockManager::serve_prefetch(double available_ms, IoCharge* charge) {
     }
   }
   flush_run();
+  update_queue_flag();
+  update_residency_flag();
   return used_ms;
 }
 
@@ -239,6 +254,7 @@ void BlockManager::flush_unstarted_prefetches() {
     --live_queued_;
     prefetch_queue_.pop_back();
   }
+  update_queue_flag();
 }
 
 void BlockManager::account_evictions(
@@ -252,6 +268,7 @@ void BlockManager::account_evictions(
     if (config_.spill_on_evict && on_disk_.insert(victim)) {
       ++stats_.spills;
       charge->disk_write_bytes += victim_bytes;
+      mark_disk();
     }
   }
 }
@@ -276,6 +293,7 @@ void BlockManager::cancel_pending_prefetch(const BlockId& block) {
   queued_bytes_ -= (*entry)->bytes;
   --live_queued_;
   prefetch_index_.erase_found(entry);
+  update_queue_flag();
 }
 
 }  // namespace mrd

@@ -28,6 +28,22 @@ struct IoCharge {
   std::uint64_t disk_write_bytes = 0;
 };
 
+/// Bits of a node's activity byte. The BlockManagerMaster owns one byte per
+/// node; the node's BlockManager keeps it current so the runner and master
+/// can skip nodes that provably have nothing to do in a phase without even
+/// dereferencing them (which would trigger broadcast replay).
+enum NodeActivity : std::uint8_t {
+  /// The node performed at least one real operation (any stats_ change).
+  kNodeTouched = 1,
+  /// The memory store holds at least one block (exact).
+  kNodeHasResidents = 2,
+  /// At least one block ever spilled to local disk (sticky — disk copies
+  /// are never deleted).
+  kNodeHasDisk = 4,
+  /// The prefetch queue holds at least one live order (exact).
+  kNodeHasQueue = 8,
+};
+
 enum class ProbeOutcome {
   kHit,      // resident in memory
   kDiskHit,  // not in memory, disk copy read (and promoted back to memory)
@@ -62,6 +78,13 @@ class BlockManager {
                std::unique_ptr<CachePolicy> policy);
 
   NodeId node() const { return node_; }
+
+  /// Points this node's activity byte into the master's per-node array
+  /// (defaults to a private byte so standalone BlockManagers need no
+  /// master). The byte is node-private for writes: distinct nodes never
+  /// share one, so node-parallel phases race on nothing.
+  void bind_activity_flag(std::uint8_t* flag) { activity_ = flag; }
+
   CachePolicy& policy() { return *policy_; }
   const MemoryStore& store() const { return store_; }
   const NodeCacheStats& stats() const { return stats_; }
@@ -147,6 +170,26 @@ class BlockManager {
       IoCharge* charge);
   void cancel_pending_prefetch(const BlockId& block);
 
+  /// Conditional writes: an already-correct flag costs a load, not a store
+  /// (the byte may sit on a cache line shared with neighbouring nodes'
+  /// bytes; unconditional stores would ping-pong that line).
+  void touch() {
+    if ((*activity_ & kNodeTouched) == 0) *activity_ |= kNodeTouched;
+  }
+  void mark_disk() {
+    if ((*activity_ & kNodeHasDisk) == 0) *activity_ |= kNodeHasDisk;
+  }
+  void update_residency_flag() {
+    const std::uint8_t want = store_.num_blocks() > 0 ? kNodeHasResidents : 0;
+    if ((*activity_ & kNodeHasResidents) != want) {
+      *activity_ ^= kNodeHasResidents;
+    }
+  }
+  void update_queue_flag() {
+    const std::uint8_t want = live_queued_ > 0 ? kNodeHasQueue : 0;
+    if ((*activity_ & kNodeHasQueue) != want) *activity_ ^= kNodeHasQueue;
+  }
+
   struct PendingPrefetch {
     BlockId block;
     std::uint64_t bytes;
@@ -162,6 +205,9 @@ class BlockManager {
   const ClusterConfig& config_;
   std::unique_ptr<CachePolicy> policy_;
   MemoryStore store_;
+  /// Fallback target for activity_ when unbound (see bind_activity_flag).
+  std::uint8_t local_activity_ = 0;
+  std::uint8_t* activity_ = &local_activity_;
   /// On-disk block copies. The set only ever grows (one bit per spilled
   /// block), and it is probed on the demand, eviction and prefetch-issue hot
   /// paths — per-RDD bitmaps keep those probes at two array indexings where

@@ -9,45 +9,75 @@ BlockManagerMaster::BlockManagerMaster(const ClusterConfig& config,
     : config_(config) {
   MRD_CHECK(config_.num_nodes > 0);
   nodes_.reserve(config_.num_nodes);
+  event_pos_.assign(config_.num_nodes, 0);
+  activity_.assign(config_.num_nodes, 0);
   for (NodeId n = 0; n < config_.num_nodes; ++n) {
     nodes_.push_back(std::make_unique<BlockManager>(
         n, config_, factory(n, config_.num_nodes)));
+    nodes_.back()->bind_activity_flag(&activity_[n]);
   }
 }
 
-BlockManager& BlockManagerMaster::node(NodeId id) {
-  MRD_CHECK(id < nodes_.size());
-  return *nodes_[id];
+void BlockManagerMaster::deliver(CachePolicy& policy, const DagEvent& event) {
+  switch (event.kind) {
+    case DagEvent::Kind::kAppStart:
+      policy.on_application_start(*event.plan);
+      break;
+    case DagEvent::Kind::kJobStart:
+      policy.on_job_start(*event.plan, event.job);
+      break;
+    case DagEvent::Kind::kStageStart:
+      policy.on_stage_start(*event.plan, event.job, event.stage);
+      break;
+    case DagEvent::Kind::kStageEnd:
+      policy.on_stage_end(*event.plan, event.job, event.stage);
+      break;
+    case DagEvent::Kind::kRddProbed:
+      policy.on_rdd_probed(*event.plan, event.rdd, event.stage);
+      break;
+  }
 }
 
-const BlockManager& BlockManagerMaster::node(NodeId id) const {
-  MRD_CHECK(id < nodes_.size());
-  return *nodes_[id];
+void BlockManagerMaster::journal(const DagEvent& event) {
+  events_.push_back(event);
+  // Primary delivery: node 0 observes every event at the serialized
+  // broadcast point itself, so any shared state behind the policies (the
+  // MrdManager) mutates here and nowhere else; replayed duplicates on other
+  // nodes hit its idempotency guards as pure reads.
+  deliver(nodes_[0]->policy(), event);
+  event_pos_[0] = events_.size();
+}
+
+void BlockManagerMaster::replay_events(NodeId id) const {
+  std::size_t& pos = event_pos_[id];
+  CachePolicy& policy = nodes_[id]->policy();
+  const std::size_t size = events_.size();
+  for (; pos < size; ++pos) deliver(policy, events_[pos]);
 }
 
 void BlockManagerMaster::broadcast_application_start(
     const ExecutionPlan& plan) {
-  for (auto& node : nodes_) node->policy().on_application_start(plan);
+  journal({DagEvent::Kind::kAppStart, &plan});
 }
 
 void BlockManagerMaster::broadcast_job_start(const ExecutionPlan& plan,
                                              JobId job) {
-  for (auto& node : nodes_) node->policy().on_job_start(plan, job);
+  journal({DagEvent::Kind::kJobStart, &plan, job});
 }
 
 void BlockManagerMaster::broadcast_stage_start(const ExecutionPlan& plan,
                                                JobId job, StageId stage) {
-  for (auto& node : nodes_) node->policy().on_stage_start(plan, job, stage);
+  journal({DagEvent::Kind::kStageStart, &plan, job, stage});
 }
 
 void BlockManagerMaster::broadcast_stage_end(const ExecutionPlan& plan,
                                              JobId job, StageId stage) {
-  for (auto& node : nodes_) node->policy().on_stage_end(plan, job, stage);
+  journal({DagEvent::Kind::kStageEnd, &plan, job, stage});
 }
 
 void BlockManagerMaster::broadcast_rdd_probed(const ExecutionPlan& plan,
                                               RddId rdd, StageId stage) {
-  for (auto& node : nodes_) node->policy().on_rdd_probed(plan, rdd, stage);
+  journal({DagEvent::Kind::kRddProbed, &plan, 0, stage, rdd});
 }
 
 std::size_t BlockManagerMaster::execute_purge() {
@@ -58,10 +88,14 @@ std::size_t BlockManagerMaster::execute_purge(NodeId begin, NodeId end) {
   MRD_CHECK(begin <= end && end <= num_nodes());
   std::size_t purged = 0;
   for (NodeId n = begin; n < end; ++n) {
-    BlockManager& node = *nodes_[n];
-    for (const BlockId& block : node.policy().purge_candidates()) {
-      if (node.in_memory(block)) {
-        node.purge_block(block);
+    // No resident blocks → no purge candidates (every policy derives them
+    // from its resident set) → nothing purge_block could drop. Skipping
+    // before node() also skips the event replay for idle nodes.
+    if ((activity_[n] & kNodeHasResidents) == 0) continue;
+    BlockManager& bm = node(n);
+    for (const BlockId& block : bm.policy().purge_candidates()) {
+      if (bm.in_memory(block)) {
+        bm.purge_block(block);
         ++purged;
       }
     }
@@ -71,8 +105,11 @@ std::size_t BlockManagerMaster::execute_purge(NodeId begin, NodeId end) {
 
 NodeCacheStats BlockManagerMaster::aggregate_stats() const {
   NodeCacheStats total;
-  for (const auto& node : nodes_) {
-    const NodeCacheStats& s = node->stats();
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    // A node whose activity byte never left 0 performed no operation at
+    // all: its stats are identically zero and contribute nothing.
+    if (activity_[n] == 0) continue;
+    const NodeCacheStats& s = nodes_[n]->stats();
     total.probes += s.probes;
     total.hits += s.hits;
     if (s.per_rdd.size() > total.per_rdd.size()) {

@@ -2,8 +2,19 @@
 // Broadcasts DAG events to every node's policy (the paper's
 // BlockManagerMasterEndpoint → BlockManagerSlaveEndpoint path) and carries
 // out cluster-wide purge orders.
+//
+// Broadcasts are *journaled*, not fanned out: each broadcast_* call is O(1) —
+// it appends one event to a shared journal and delivers it eagerly to node 0
+// only (the primary delivery, which applies the event to the shared
+// MrdManager at a serialized point; see MrdManager's idempotency guards).
+// Every other node replays its journal suffix lazily the next time it is
+// dereferenced through node(). A node that never acts during a stage —
+// the common case at 1000 nodes — therefore costs nothing per event, which
+// is what keeps the per-stage driver work O(active nodes) instead of
+// O(cluster).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -18,17 +29,46 @@ class BlockManagerMaster {
   BlockManagerMaster(const ClusterConfig& config, const PolicyFactory& factory);
 
   NodeId num_nodes() const { return static_cast<NodeId>(nodes_.size()); }
-  BlockManager& node(NodeId id);
-  const BlockManager& node(NodeId id) const;
 
-  /// Owner node of a block under round-robin partition placement.
+  /// Dereferences a node, first replaying any broadcast events it has not
+  /// observed yet. This is the sync choke point: every code path that talks
+  /// to a node goes through here, so each node's policy observes the exact
+  /// event sequence an eager broadcast would have delivered, in order.
+  /// Replay of distinct nodes is safe concurrently (per-node positions are
+  /// independent; shared-manager duplicates are read-only no-ops).
+  BlockManager& node(NodeId id) {
+    MRD_CHECK(id < nodes_.size());
+    if (event_pos_[id] != events_.size()) replay_events(id);
+    return *nodes_[id];
+  }
+  const BlockManager& node(NodeId id) const {
+    MRD_CHECK(id < nodes_.size());
+    if (event_pos_[id] != events_.size()) replay_events(id);
+    return *nodes_[id];
+  }
+
+  /// Forces every node to observe all broadcast events now. Tests and
+  /// whole-cluster inspections use this; the hot paths never do.
+  void sync_all_nodes() {
+    for (NodeId n = 0; n < num_nodes(); ++n) node(n);
+  }
+
+  /// Owner node of a block under the configured placement (round-robin by
+  /// default; see dag/placement.h).
   NodeId owner(const BlockId& block) const {
-    return block.partition % num_nodes();
+    return placement_owner(block, num_nodes(), config_.placement);
   }
 
   const ClusterConfig& config() const { return config_; }
 
-  // ---- Event broadcast to every node's policy ----
+  /// This node's activity byte (NodeActivity bits). The runner's per-stage
+  /// loops consult it to skip nodes that provably have nothing to do.
+  std::uint8_t node_activity(NodeId id) const {
+    MRD_CHECK(id < nodes_.size());
+    return activity_[id];
+  }
+
+  // ---- Event broadcast to every node's policy (journaled, O(1) each) ----
   void broadcast_application_start(const ExecutionPlan& plan);
   void broadcast_job_start(const ExecutionPlan& plan, JobId job);
   void broadcast_stage_start(const ExecutionPlan& plan, JobId job,
@@ -44,15 +84,50 @@ class BlockManagerMaster {
   std::size_t execute_purge();
 
   /// Purge restricted to nodes in [begin, end) — the unit the runner fans
-  /// out across its node workers (each node's purge is independent).
+  /// out across its node workers (each node's purge is independent). Nodes
+  /// without resident blocks are skipped without replay: an empty cache has
+  /// no purge candidates under any policy.
   std::size_t execute_purge(NodeId begin, NodeId end);
 
-  /// Sums per-node cache statistics.
+  /// Sums per-node cache statistics. Nodes that never performed any real
+  /// operation (activity byte still 0) hold all-zero stats and are skipped.
   NodeCacheStats aggregate_stats() const;
 
  private:
+  struct DagEvent {
+    enum class Kind : std::uint8_t {
+      kAppStart,
+      kJobStart,
+      kStageStart,
+      kStageEnd,
+      kRddProbed,
+    };
+    Kind kind;
+    const ExecutionPlan* plan;  // plans outlive the run
+    JobId job = 0;
+    StageId stage = 0;
+    RddId rdd = 0;
+  };
+
+  /// Appends an event and applies it eagerly to node 0 (primary delivery).
+  void journal(const DagEvent& event);
+  void replay_events(NodeId id) const;
+  static void deliver(CachePolicy& policy, const DagEvent& event);
+
   ClusterConfig config_;
   std::vector<std::unique_ptr<BlockManager>> nodes_;
+  /// Append-only broadcast journal; grows only at serialized broadcast
+  /// points, never during a node-parallel phase.
+  std::vector<DagEvent> events_;
+  /// Per-node replay position into events_. Mutable (with the shallow
+  /// constness of nodes_'s unique_ptrs) so const node() can sync too —
+  /// laziness is an implementation detail, not an observable state.
+  mutable std::vector<std::size_t> event_pos_;
+  /// One activity byte per node (NodeActivity bits), written by the nodes
+  /// themselves. Distinct bytes per node: concurrent node workers never
+  /// write the same byte, and writes are conditional so an already-set flag
+  /// costs a load, not a store.
+  std::vector<std::uint8_t> activity_;
 };
 
 }  // namespace mrd

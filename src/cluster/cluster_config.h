@@ -9,12 +9,19 @@
 #include <cstdint>
 #include <string>
 
+#include "dag/placement.h"
+
 namespace mrd {
 
 struct ClusterConfig {
   std::string name = "main";
   std::uint32_t num_nodes = 25;
   std::uint32_t cpu_slots_per_node = 4;  // vCPUs (executor task slots)
+
+  /// Block → owner-node mapping. The round-robin default reproduces the
+  /// paper testbed byte-for-byte; the scale tier switches to kRddMixed so
+  /// small RDDs don't strand most of a large cluster (see dag/placement.h).
+  BlockPlacement placement = BlockPlacement::kRoundRobin;
 
   /// Storage-memory per node available for RDD caching (the knob the paper
   /// turns via spark.memory.fraction / spark.executor.memory).

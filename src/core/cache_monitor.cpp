@@ -149,7 +149,7 @@ void CacheMonitor::tally_cached_block(const BlockId& block,
       r.max_partition = block.partition;
     }
     ++r.count;
-    if (block.partition % num_nodes_ == node_) ++r.local_count;
+    if (owns_block(block)) ++r.local_count;
     r.bytes += bytes;
     if (!rdd_is_active(block.rdd)) reclaimable_bytes_ += bytes;
     // An RDD gaining its first block re-enters the victim order; RDDs that
@@ -244,7 +244,7 @@ void CacheMonitor::on_block_evicted(const BlockId& block) {
   if (r.count == 0 && victim_valid_ && block.rdd == victim_.second) {
     victim_valid_ = false;  // the victim RDD drained: next use rescans
   }
-  if (block.partition % num_nodes_ == node_) --r.local_count;
+  if (owns_block(block)) --r.local_count;
   r.bytes -= bytes;
   if (!rdd_is_active(block.rdd)) reclaimable_bytes_ -= bytes;
   if (r.count > 0 && block.partition == r.max_partition) {
@@ -358,8 +358,13 @@ void CacheMonitor::prefetch_candidates(const PrefetchBudget& budget,
   }
   const std::vector<RddId>& order = manager_->prefetch_order();
   const std::uint64_t order_version = manager_->prefetch_order_version();
+  // First locally-owned partition of the RDD at order position i (the
+  // enumeration start under the configured placement); 0 past the end.
+  const auto start_of = [&](std::size_t i) -> PartitionIndex {
+    return i < order.size() ? first_local(order[i]) : 0;
+  };
   std::size_t start_idx = 0;
-  PartitionIndex start_part = node_;
+  PartitionIndex start_part = start_of(0);
   if (cursor_valid_ && cursor_order_version_ == order_version &&
       cursor_residents_rev_ == residents_rev_) {
     start_idx = cursor_idx_;
@@ -384,11 +389,11 @@ void CacheMonitor::prefetch_candidates(const PrefetchBudget& budget,
   for (std::size_t idx = start_idx; idx < order.size() && !stopped; ++idx) {
     const RddId rdd = order[idx];
     const RddInfo& info = plan_->app().rdd(rdd);
-    PartitionIndex part = idx == start_idx ? start_part : node_;
+    PartitionIndex part = idx == start_idx ? start_part : first_local(rdd);
     const RddResidency* r =
         rdd < rdd_residency_.size() ? &rdd_residency_[rdd] : nullptr;
     if (r != nullptr &&
-        r->local_count == local_partition_count(info.num_partitions)) {
+        r->local_count == local_partition_count(rdd, info.num_partitions)) {
       // Every local partition is resident: the whole RDD skips in O(1).
     } else if (budget.rdd_on_disk != nullptr && !budget.rdd_on_disk(rdd)) {
       // No disk copy of anything in this RDD: every offer would come back
@@ -417,7 +422,7 @@ void CacheMonitor::prefetch_candidates(const PrefetchBudget& budget,
     }
     if (frontier_open) {
       frontier_idx = idx + 1;
-      frontier_part = node_;
+      frontier_part = start_of(idx + 1);
     }
   }
   cursor_valid_ = true;

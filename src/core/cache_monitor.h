@@ -53,6 +53,10 @@ class CacheMonitor : public CachePolicy {
 
   std::string_view name() const override;
 
+  void configure_placement(BlockPlacement placement) override {
+    placement_ = placement;
+  }
+
   void on_application_start(const ExecutionPlan& plan) override;
   void on_job_start(const ExecutionPlan& plan, JobId job) override;
   void on_stage_start(const ExecutionPlan& plan, JobId job,
@@ -169,17 +173,29 @@ class CacheMonitor : public CachePolicy {
     return rdd < rdd_active_.size() && rdd_active_[rdd];
   }
 
-  /// Local partitions of an RDD with `num_partitions` partitions
-  /// (owner = partition % num_nodes).
-  std::uint32_t local_partition_count(PartitionIndex num_partitions) const {
-    return num_partitions > node_
-               ? (num_partitions - 1 - node_) / num_nodes_ + 1
-               : 0;
+  /// Whether this node owns `block` under the configured placement.
+  bool owns_block(const BlockId& block) const {
+    return placement_owner(block, num_nodes_, placement_) == node_;
+  }
+
+  /// Smallest partition of `rdd` owned by this node; local partitions are
+  /// first, first + num_nodes, ... (see dag/placement.h).
+  PartitionIndex first_local(RddId rdd) const {
+    return first_local_partition(rdd, node_, num_nodes_, placement_);
+  }
+
+  /// Local partitions of `rdd` with `num_partitions` partitions under the
+  /// configured placement.
+  std::uint32_t local_partition_count(RddId rdd,
+                                      PartitionIndex num_partitions) const {
+    return local_partition_count_from(first_local(rdd), num_partitions,
+                                      num_nodes_);
   }
 
   std::shared_ptr<MrdManager> manager_;
   NodeId node_;
   NodeId num_nodes_;
+  BlockPlacement placement_ = BlockPlacement::kRoundRobin;
   MrdPolicyOptions options_;
   const ExecutionPlan* plan_ = nullptr;
   /// Recency order over residents — the LRU ablation's victim order. Only

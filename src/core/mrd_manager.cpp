@@ -90,8 +90,18 @@ void MrdManager::on_stage_end(const ExecutionPlan& plan, JobId job,
 }
 
 void MrdManager::on_rdd_probed(RddId rdd, StageId stage) {
-  // Every CacheMonitor forwards the same event; only the first forward (the
-  // one that actually consumes references) invalidates cached distances.
+  // Every CacheMonitor forwards the same event. The first forward (at a
+  // serialized broadcast point) consumes the references and records the
+  // high-water mark; duplicate forwards — including lazy replays running
+  // concurrently on node workers — hit the guard below and return without
+  // writing anything, which is what makes replay thread-safe.
+  if (rdd < rdd_probed_through_.size() && rdd_probed_through_[rdd] > stage) {
+    return;
+  }
+  if (rdd >= rdd_probed_through_.size()) {
+    rdd_probed_through_.resize(rdd + 1, 0);
+  }
+  rdd_probed_through_[rdd] = stage + 1;
   const std::size_t before = table_.num_entries();
   table_.consume_rdd_up_to(rdd, stage);
   if (table_.num_entries() != before) ++distance_version_;

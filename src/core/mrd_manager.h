@@ -134,11 +134,16 @@ class MrdManager {
   mutable std::uint64_t purge_stamp_ = 0;
   mutable std::vector<RddId> purge_memo_;
 
-  // Idempotency guards (shared CacheMonitors all forward events).
+  // Idempotency guards (shared CacheMonitors all forward events). Each one
+  // turns a duplicate delivery into a pure read — no writes at all — so
+  // duplicate forwards may run concurrently (lazy broadcast replay).
   bool application_started_ = false;
   JobId last_job_started_ = kInvalidJob;
   StageId last_stage_started_ = kInvalidStage;
   StageId last_stage_ended_ = kInvalidStage;
+  /// Per-RDD probe high-water mark: entry r holds stage+1 of the latest
+  /// on_rdd_probed(r, stage) applied (0 = never probed).
+  std::vector<StageId> rdd_probed_through_;
 
   MrdManagerStats stats_;
 };

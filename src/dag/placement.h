@@ -1,0 +1,69 @@
+// Block placement: which node owns a block's primary (cache) copy.
+//
+// The default is Spark-like round-robin over partitions — owner(rdd, p) =
+// p % num_nodes — which matches the paper's 25-node testbed. It has a
+// pathological shape at scale: the RDD id never enters the mapping, so at
+// 1000 nodes a 100-partition RDD occupies nodes 0..99 and leaves the other
+// 900 permanently idle, and *every* RDD's partition k piles onto node
+// k % num_nodes. kRddMixed keeps the per-RDD stride-N layout (partition
+// enumeration per node stays an arithmetic progression, which every
+// incremental tally and prefetch frontier relies on) but rotates each RDD
+// by a per-RDD hash salt, spreading small RDDs across the whole cluster.
+//
+// All helpers reduce exactly to the round-robin formulas when the mode is
+// kRoundRobin — the 25-node figure pipelines are byte-identical by
+// construction.
+#pragma once
+
+#include <cstdint>
+
+#include "dag/ids.h"
+
+namespace mrd {
+
+enum class BlockPlacement : std::uint8_t {
+  kRoundRobin,  // owner = partition % num_nodes (Spark-like default)
+  kRddMixed,    // owner = (partition + salt(rdd)) % num_nodes
+};
+
+/// Per-RDD rotation of the round-robin mapping; 0 under kRoundRobin.
+inline std::uint32_t placement_salt(RddId rdd, NodeId num_nodes,
+                                    BlockPlacement placement) {
+  if (placement == BlockPlacement::kRoundRobin || num_nodes <= 1) return 0;
+  // splitmix64 finalizer — decorrelates consecutive RDD ids.
+  std::uint64_t x = static_cast<std::uint64_t>(rdd) + 0x9E3779B97F4A7C15ull;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return static_cast<std::uint32_t>(x % num_nodes);
+}
+
+/// Owner node of `block` under `placement`.
+inline NodeId placement_owner(const BlockId& block, NodeId num_nodes,
+                              BlockPlacement placement) {
+  return (block.partition + placement_salt(block.rdd, num_nodes, placement)) %
+         num_nodes;
+}
+
+/// Smallest partition index of `rdd` owned by `node`; the node's local
+/// partitions are first, first + num_nodes, first + 2*num_nodes, ...
+inline PartitionIndex first_local_partition(RddId rdd, NodeId node,
+                                            NodeId num_nodes,
+                                            BlockPlacement placement) {
+  const std::uint32_t salt = placement_salt(rdd, num_nodes, placement);
+  return node >= salt ? node - salt : node + num_nodes - salt;
+}
+
+/// Number of partitions of an RDD with `num_partitions` partitions owned by
+/// the node whose first local partition is `first`.
+inline std::uint32_t local_partition_count_from(PartitionIndex first,
+                                                PartitionIndex num_partitions,
+                                                NodeId num_nodes) {
+  return num_partitions > first
+             ? (num_partitions - 1 - first) / num_nodes + 1
+             : 0;
+}
+
+}  // namespace mrd

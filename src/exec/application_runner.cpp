@@ -30,6 +30,17 @@ namespace {
 void issue_prefetch_orders(const ExecutionPlan& plan, BlockManagerMaster* master,
                            std::size_t max_queue, NodeId lo, NodeId hi) {
   for (NodeId n = lo; n < hi; ++n) {
+    // A node with no disk copies has nothing to prefetch *from* (every
+    // offer would come back kSkipped) and, with no queued orders, nothing
+    // to flush either: the whole refresh is a no-op. Skipping it without
+    // dereferencing the node is what keeps this phase O(nodes that ever
+    // spilled), not O(cluster). Decision-identical: the only state a
+    // no-op refresh would advance is the policy's resume cursor, and any
+    // event that later creates a disk copy (a spill rides an eviction)
+    // invalidates that cursor anyway.
+    if ((master->node_activity(n) & (kNodeHasDisk | kNodeHasQueue)) == 0) {
+      continue;
+    }
     master->node(n).refresh_prefetch_orders(plan, max_queue);
   }
 }
@@ -73,7 +84,8 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
   std::unique_ptr<ClosurePartitioner> partitioner;
   if (fan_out || config.parallel_stats != nullptr) {
     ScopedTimer timer(config.phase_timers, SimPhase::kPartition);
-    partitioner = std::make_unique<ClosurePartitioner>(plan, num_nodes);
+    partitioner = std::make_unique<ClosurePartitioner>(
+        plan, num_nodes, config.cluster.placement);
   }
   if (config.parallel_stats != nullptr) {
     *config.parallel_stats = NodeParallelStats{};
@@ -107,6 +119,15 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
   RunMetrics metrics;
   metrics.workload = plan.app().name();
   metrics.policy = config.policy.name;
+
+  const BlockPlacement placement = config.cluster.placement;
+  // Per-RDD node→chunk maps for the group-parallel probe regions, built on
+  // the RDD's first parallel probe and reused for the rest of the run: the
+  // probed RDD's groups and region_chunks are run constants, so the packing
+  // is too. Rebuilding the map per (stage, RDD) region was an O(num_nodes)
+  // term in the probe phase of every stage.
+  std::vector<std::unique_ptr<std::vector<std::uint32_t>>> chunk_cache;
+  if (fan_out) chunk_cache.resize(plan.app().num_rdds());
 
   // Background (prefetch) I/O accumulates here; it rides inside stage
   // windows and never extends them, but the bytes are real.
@@ -149,10 +170,9 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
       {
         ScopedTimer timer(config.phase_timers, SimPhase::kProbes);
         // Scratch reused across the probed RDDs of this stage: the loop
-        // body re-fills both every iteration, so only capacity carries
+        // body re-fills it every iteration, so only capacity carries
         // over — no per-RDD allocation churn.
         std::vector<PartitionIndex> order;
-        std::vector<std::uint32_t> chunk_of;
         for (RddId p : rec.probes) {
           const RddInfo& info = plan.app().rdd(p);
           // Tasks are scheduled in waves, not in partition order: probe the
@@ -199,29 +219,35 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
               resolver.demand_block(BlockId{p, j}, &acct);
             }
           } else {
-            // Pack whole groups into `region_chunks` contiguous chunks with
-            // roughly equal node counts; groups are ordered by smallest
-            // member, so the assignment is deterministic.
-            const NodeGroups& groups = partitioner->probe_groups(p);
-            chunk_of.assign(num_nodes, 0);
-            std::size_t chunk = 0;
-            std::size_t filled = 0;
-            for (const std::vector<NodeId>& group : groups.groups) {
-              while (chunk + 1 < region_chunks &&
-                     filled >= (chunk + 1) * num_nodes / region_chunks) {
-                ++chunk;
+            if (chunk_cache[p] == nullptr) {
+              // Pack whole groups into `region_chunks` contiguous chunks
+              // with roughly equal node counts; groups are ordered by
+              // smallest member, so the assignment is deterministic.
+              const NodeGroups& groups = partitioner->probe_groups(p);
+              auto map = std::make_unique<std::vector<std::uint32_t>>(
+                  num_nodes, 0);
+              std::size_t chunk = 0;
+              std::size_t filled = 0;
+              for (const std::vector<NodeId>& group : groups.groups) {
+                while (chunk + 1 < region_chunks &&
+                       filled >= (chunk + 1) * num_nodes / region_chunks) {
+                  ++chunk;
+                }
+                for (NodeId member : group) {
+                  (*map)[member] = static_cast<std::uint32_t>(chunk);
+                }
+                filled += group.size();
               }
-              for (NodeId member : group) {
-                chunk_of[member] = static_cast<std::uint32_t>(chunk);
-              }
-              filled += group.size();
+              chunk_cache[p] = std::move(map);
             }
+            const std::vector<std::uint32_t>& chunk_of = *chunk_cache[p];
+            const std::uint32_t salt = placement_salt(p, num_nodes, placement);
             std::vector<std::future<void>> done;
             done.reserve(region_chunks);
             for (std::size_t c = 0; c < region_chunks; ++c) {
               done.push_back(node_pool.submit([&, c] {
                 for (PartitionIndex j : order) {
-                  if (chunk_of[j % num_nodes] != c) continue;
+                  if (chunk_of[(j + salt) % num_nodes] != c) continue;
                   resolver.demand_block(BlockId{p, j}, &acct);
                 }
               }));
@@ -292,7 +318,9 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
               const RddInfo& info = plan.app().rdd(r);
               if (!info.persisted) continue;
               batch.clear();
-              for (PartitionIndex j = n; j < info.num_partitions;
+              const PartitionIndex first =
+                  first_local_partition(r, n, num_nodes, placement);
+              for (PartitionIndex j = first; j < info.num_partitions;
                    j += num_nodes) {
                 batch.push_back(BlockId{r, j});
               }
@@ -316,6 +344,11 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
         std::vector<IoCharge> node_background(num_nodes);
         for_each_node_chunk([&](NodeId lo, NodeId hi) {
           for (NodeId n = lo; n < hi; ++n) {
+            // An empty prefetch queue serves nothing whatever the slack:
+            // skip the node without dereferencing it. (Cancelled husks may
+            // linger in a skipped queue; they are popped for free the next
+            // time the node has live orders to serve.)
+            if ((master.node_activity(n) & kNodeHasQueue) == 0) continue;
             // The disk is idle whenever it is not serving demand
             // reads/writes; network-bound or compute-bound intervals are
             // prefetch opportunity.

@@ -62,8 +62,11 @@ void NodeParallelStats::merge(const NodeParallelStats& other) {
 }
 
 ClosurePartitioner::ClosurePartitioner(const ExecutionPlan& plan,
-                                       NodeId num_nodes)
-    : plan_(plan), num_nodes_(std::max<NodeId>(num_nodes, 1)) {
+                                       NodeId num_nodes,
+                                       BlockPlacement placement)
+    : plan_(plan),
+      num_nodes_(std::max<NodeId>(num_nodes, 1)),
+      placement_(placement) {
   const Application& app = plan.app();
   const std::size_t n = app.num_rdds();
   direct_edges_.resize(n);
@@ -83,8 +86,10 @@ ClosurePartitioner::ClosurePartitioner(const ExecutionPlan& plan,
     edge_set.clear();
     parent_set.clear();
     EdgeList& edges = direct_edges_[root.id];
+    const std::uint32_t root_salt =
+        placement_salt(root.id, num_nodes_, placement_);
     for (PartitionIndex j = 0; j < root.num_partitions; ++j) {
-      const NodeId child_owner = j % num_nodes_;
+      const NodeId child_owner = (j + root_salt) % num_nodes_;
       visited.clear();
       stack.clear();
       stack.emplace_back(root.id, j);
@@ -103,7 +108,8 @@ ClosurePartitioner::ClosurePartitioner(const ExecutionPlan& plan,
           if (parent.persisted) {
             // demand_block of {p, pj}: probed (and possibly recomputed +
             // re-cached) on its own owner node.
-            const NodeId parent_owner = pj % num_nodes_;
+            const NodeId parent_owner =
+                placement_owner(BlockId{p, pj}, num_nodes_, placement_);
             if (parent_owner != child_owner) {
               const NodeId a = std::min(child_owner, parent_owner);
               const NodeId b = std::max(child_owner, parent_owner);
@@ -154,14 +160,25 @@ ClosurePartitioner::ClosurePartitioner(const ExecutionPlan& plan,
 
 const NodeGroups& ClosurePartitioner::probe_groups(RddId rdd) const {
   MRD_CHECK(rdd < probe_groups_.size());
-  if (probe_groups_[rdd] == nullptr) {
-    std::vector<const EdgeList*> sets;
-    if (plan_.app().rdd(rdd).persisted) {
-      sets.reserve(reach_[rdd].size());
-      for (RddId r : reach_[rdd]) sets.push_back(&direct_edges_[r]);
+  if (probe_groups_[rdd] != nullptr) return *probe_groups_[rdd];
+  std::vector<const EdgeList*> sets;
+  bool any_edges = false;
+  if (plan_.app().rdd(rdd).persisted) {
+    sets.reserve(reach_[rdd].size());
+    for (RddId r : reach_[rdd]) {
+      sets.push_back(&direct_edges_[r]);
+      any_edges = any_edges || !direct_edges_[r].empty();
     }
-    probe_groups_[rdd] = std::make_unique<NodeGroups>(components_of(sets));
   }
+  if (!any_edges) {
+    // Edge-free closure → all-singleton groups; share one layout instead of
+    // materializing an O(num_nodes) copy for every such RDD.
+    if (singletons_ == nullptr) {
+      singletons_ = std::make_unique<NodeGroups>(components_of({}));
+    }
+    return *singletons_;
+  }
+  probe_groups_[rdd] = std::make_unique<NodeGroups>(components_of(sets));
   return *probe_groups_[rdd];
 }
 

@@ -27,6 +27,7 @@
 
 #include "dag/execution_plan.h"
 #include "dag/ids.h"
+#include "dag/placement.h"
 
 namespace mrd {
 
@@ -95,7 +96,8 @@ struct NodeParallelStats {
 /// its own closure).
 class ClosurePartitioner {
  public:
-  ClosurePartitioner(const ExecutionPlan& plan, NodeId num_nodes);
+  ClosurePartitioner(const ExecutionPlan& plan, NodeId num_nodes,
+                     BlockPlacement placement = BlockPlacement::kRoundRobin);
 
   NodeId num_nodes() const { return num_nodes_; }
 
@@ -121,6 +123,7 @@ class ClosurePartitioner {
 
   const ExecutionPlan& plan_;
   NodeId num_nodes_;
+  BlockPlacement placement_;
   /// Per-RDD deduplicated cross-node touch pairs of the *direct* closure
   /// (stopping at persisted ancestors). Index == RddId.
   std::vector<EdgeList> direct_edges_;
@@ -132,6 +135,10 @@ class ClosurePartitioner {
   /// Lazily computed per-RDD groups (queried from the runner's serial
   /// sections only).
   mutable std::vector<std::unique_ptr<NodeGroups>> probe_groups_;
+  /// Shared all-singleton layout, built lazily once: every edge-free RDD —
+  /// the overwhelming majority at large N — points here instead of owning
+  /// its own O(num_nodes) copy per RDD.
+  mutable std::unique_ptr<NodeGroups> singletons_;
 };
 
 }  // namespace mrd

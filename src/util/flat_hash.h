@@ -49,16 +49,28 @@ class FlatMap64 {
     slots_.clear();
     mask_ = 0;
     size_ = 0;
+#ifndef NDEBUG
+    ++mutations_;
+#endif
   }
 
   bool contains(std::uint64_t key) const { return find(key) != nullptr; }
 
   const Value* find(std::uint64_t key) const {
-    if (size_ == 0) return nullptr;
+    // The sentinel is never stored, but without this guard the probe loop
+    // below would *match the first empty slot* and hand back a pointer to
+    // an empty slot's value — a live reference into unoccupied storage.
+    MRD_DCHECK(key != kEmptyKey);
+    if (size_ == 0 || key == kEmptyKey) return nullptr;
     std::size_t i = index_of(key);
     while (true) {
       const Slot& slot = slots_[i];
-      if (slot.key == key) return &slot.value;
+      if (slot.key == key) {
+#ifndef NDEBUG
+        lookup_stamp_ = mutations_;
+#endif
+        return &slot.value;
+      }
       if (slot.key == kEmptyKey) return nullptr;
       i = (i + 1) & mask_;
     }
@@ -81,11 +93,19 @@ class FlatMap64 {
     std::size_t i = index_of(key);
     while (true) {
       Slot& slot = slots_[i];
-      if (slot.key == key) return {&slot.value, false};
+      if (slot.key == key) {
+#ifndef NDEBUG
+        lookup_stamp_ = mutations_;
+#endif
+        return {&slot.value, false};
+      }
       if (slot.key == kEmptyKey) {
         slot.key = key;
         slot.value = Value{};
         ++size_;
+#ifndef NDEBUG
+        lookup_stamp_ = mutations_;
+#endif
         return {&slot.value, true};
       }
       i = (i + 1) & mask_;
@@ -113,7 +133,10 @@ class FlatMap64 {
 
   /// Removes `key` via backward-shift deletion. Returns false if absent.
   bool erase(std::uint64_t key) {
-    if (size_ == 0) return false;
+    // Same spurious-match hazard as find(): erasing "the first empty slot"
+    // would backward-shift over live entries and underflow size_.
+    MRD_DCHECK(key != kEmptyKey);
+    if (size_ == 0 || key == kEmptyKey) return false;
     std::size_t i = index_of(key);
     while (true) {
       if (slots_[i].key == key) break;
@@ -127,10 +150,27 @@ class FlatMap64 {
   /// Removes the entry whose value slot a prior find() returned, skipping
   /// the second probe sequence a find-then-erase pair would pay. `found`
   /// must be a pointer returned by find()/operator[] on this map with no
-  /// intervening mutation.
+  /// intervening mutation — any insert can rehash and any erase can
+  /// backward-shift slots, leaving `found` pointing at a different (or
+  /// empty) entry. Debug builds validate the pointer (in range, aligned,
+  /// occupied) and cross-check the mutation counter against the stamp the
+  /// lookup recorded, so misuse fails loudly instead of silently corrupting
+  /// the table.
   void erase_found(Value* found) {
     const Slot* slot = reinterpret_cast<const Slot*>(
         reinterpret_cast<const char*>(found) - offsetof(Slot, value));
+#ifndef NDEBUG
+    MRD_CHECK(!slots_.empty());
+    MRD_CHECK(slot >= slots_.data() && slot < slots_.data() + slots_.size());
+    MRD_CHECK((reinterpret_cast<const char*>(slot) -
+               reinterpret_cast<const char*>(slots_.data())) %
+                  static_cast<std::ptrdiff_t>(sizeof(Slot)) ==
+              0);
+    MRD_CHECK(slot->key != kEmptyKey);
+    // A rehash or backward-shift happened after the lookup that produced
+    // `found`: the pointer is stale.
+    MRD_CHECK(lookup_stamp_ == mutations_);
+#endif
     erase_at(static_cast<std::size_t>(slot - slots_.data()));
   }
 
@@ -153,6 +193,9 @@ class FlatMap64 {
   /// Shifts the probe chain back over the hole at `i` so lookups never need
   /// tombstones.
   void erase_at(std::size_t i) {
+#ifndef NDEBUG
+    ++mutations_;
+#endif
     std::size_t j = i;
     while (true) {
       j = (j + 1) & mask_;
@@ -196,6 +239,9 @@ class FlatMap64 {
   }
 
   void rehash(std::size_t new_capacity) {
+#ifndef NDEBUG
+    ++mutations_;
+#endif
     std::vector<Slot> old = std::move(slots_);
     slots_.clear();
     slots_.resize(new_capacity);
@@ -211,6 +257,13 @@ class FlatMap64 {
   std::vector<Slot> slots_;
   std::size_t mask_ = 0;
   std::size_t size_ = 0;
+#ifndef NDEBUG
+  /// Structural-change counter (rehash / backward-shift / clear) and the
+  /// counter value at the last successful lookup — the staleness
+  /// cross-check behind erase_found's debug validation.
+  std::uint64_t mutations_ = 0;
+  mutable std::uint64_t lookup_stamp_ = 0;
+#endif
 };
 
 /// Set of packed 64-bit keys on the same open-addressing layout.

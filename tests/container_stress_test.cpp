@@ -1,0 +1,309 @@
+// Adversarial tests for the dense containers under the block volumes the
+// scale tier drives (10^5–10^6 live blocks): FlatMap64's sentinel-key
+// lookup guards, backward-shift deletion across wrap-around probe chains,
+// pointer staleness validation on erase_found, value survival across
+// rehash-heavy churn, and BlockBitmap growth to sparse high RDD ids and
+// million-partition rows. The churn tests double as differentials against
+// std::unordered_map with fixed seeds, so any probe-chain corruption shows
+// up as a divergence, not a crash somewhere later.
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/block_bitmap.h"
+#include "util/check.h"
+#include "util/flat_hash.h"
+#include "util/random.h"
+
+namespace mrd {
+namespace {
+
+using Map = FlatMap64<std::uint64_t>;
+
+/// FlatMap64's hash, replicated so tests can construct colliding keys.
+std::uint64_t mix64(std::uint64_t key) {
+  key ^= key >> 30;
+  key *= 0xBF58476D1CE4E5B9ull;
+  key ^= key >> 27;
+  key *= 0x94D049BB133111EBull;
+  key ^= key >> 31;
+  return key;
+}
+
+/// Keys whose ideal slot in a table of `capacity` slots is exactly `slot`.
+std::vector<std::uint64_t> keys_hashing_to(std::size_t slot,
+                                           std::size_t capacity,
+                                           std::size_t count) {
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 0; keys.size() < count; ++k) {
+    if (k == Map::kEmptyKey) continue;
+    if ((mix64(k) & (capacity - 1)) == slot) keys.push_back(k);
+  }
+  return keys;
+}
+
+std::vector<std::uint64_t> sorted_keys(const Map& map) {
+  std::vector<std::uint64_t> keys;
+  map.for_each([&](std::uint64_t k, std::uint64_t) { keys.push_back(k); });
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// --- Sentinel key: never stored, must never match. Release builds return
+// not-found; debug builds fail the MRD_DCHECK loudly.
+
+TEST(ContainerStressTest, SentinelKeyLookupsReturnNotFound) {
+  Map map;
+  for (std::uint64_t k = 0; k < 40; ++k) map.insert(k * 977, k);
+#ifdef NDEBUG
+  // The fixed regression: these used to match the first empty slot, handing
+  // back a live pointer into unoccupied storage (find), reporting a phantom
+  // resident (contains), or backward-shifting over live entries and
+  // underflowing size() (erase).
+  EXPECT_EQ(map.find(Map::kEmptyKey), nullptr);
+  EXPECT_FALSE(map.contains(Map::kEmptyKey));
+  EXPECT_FALSE(map.erase(Map::kEmptyKey));
+  EXPECT_EQ(map.size(), 40u);
+#else
+  EXPECT_THROW(map.find(Map::kEmptyKey), CheckFailure);
+  EXPECT_THROW(map.erase(Map::kEmptyKey), CheckFailure);
+#endif
+}
+
+TEST(ContainerStressTest, SentinelKeyOnEmptyMap) {
+#ifdef NDEBUG
+  Map map;
+  EXPECT_EQ(map.find(Map::kEmptyKey), nullptr);
+  EXPECT_FALSE(map.contains(Map::kEmptyKey));
+  EXPECT_FALSE(map.erase(Map::kEmptyKey));
+  EXPECT_EQ(map.size(), 0u);
+#else
+  GTEST_SKIP() << "debug builds reject the sentinel via MRD_DCHECK";
+#endif
+}
+
+// --- Backward-shift deletion across a probe chain that wraps around the
+// end of the slot array: (j - ideal) and (j - i) are cyclic distances, and
+// an unsigned-wrap mistake in either leaves unreachable entries behind.
+
+TEST(ContainerStressTest, BackwardShiftAcrossWrapAround) {
+  // A fresh map allocates 16 slots and grows past 10 entries, so 8 keys all
+  // hashing to slot 14 occupy 14, 15, 0, 1, ... — every probe walk and
+  // every backward shift in this test crosses the wrap boundary.
+  const std::vector<std::uint64_t> keys = keys_hashing_to(14, 16, 8);
+  for (std::size_t victim = 0; victim < keys.size(); ++victim) {
+    Map map;
+    for (std::uint64_t k : keys) ASSERT_TRUE(map.insert(k, mix64(k)));
+    ASSERT_TRUE(map.erase(keys[victim]));
+    EXPECT_EQ(map.size(), keys.size() - 1);
+    EXPECT_FALSE(map.contains(keys[victim]));
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (i == victim) continue;
+      const std::uint64_t* value = map.find(keys[i]);
+      ASSERT_NE(value, nullptr) << "key " << i << " lost after erasing "
+                                << victim << " across the wrap boundary";
+      EXPECT_EQ(*value, mix64(keys[i]));
+    }
+  }
+}
+
+TEST(ContainerStressTest, DrainWrappedChainInEveryOrder) {
+  const std::vector<std::uint64_t> keys = keys_hashing_to(15, 16, 8);
+  // Front-to-back, back-to-front, and inside-out drains all must leave a
+  // consistent table at every step.
+  for (int order = 0; order < 3; ++order) {
+    Map map;
+    for (std::uint64_t k : keys) ASSERT_TRUE(map.insert(k, k + 1));
+    std::vector<std::uint64_t> drain = keys;
+    if (order == 1) std::reverse(drain.begin(), drain.end());
+    if (order == 2) {
+      std::swap(drain[0], drain[4]);
+      std::swap(drain[1], drain[6]);
+    }
+    for (std::size_t i = 0; i < drain.size(); ++i) {
+      ASSERT_TRUE(map.erase(drain[i]));
+      for (std::size_t j = i + 1; j < drain.size(); ++j) {
+        ASSERT_TRUE(map.contains(drain[j]))
+            << "drain order " << order << " lost a later key at step " << i;
+      }
+    }
+    EXPECT_TRUE(map.empty());
+  }
+}
+
+// --- Rehash during admission-style churn: values written through
+// find_or_insert must survive arbitrarily many growth rehashes interleaved
+// with backward-shift erases. Differential against std::unordered_map with
+// a fixed seed.
+
+TEST(ContainerStressTest, ChurnDifferentialAcrossRehashes) {
+  Map map;
+  std::unordered_map<std::uint64_t, std::uint64_t> oracle;
+  Rng rng(0x5ca1ab1eull);
+  // Key space small enough to force constant insert/erase collisions, large
+  // enough to cross several growth rehashes (16 -> 2048 slots).
+  constexpr std::uint64_t kKeySpace = 1200;
+  for (int step = 0; step < 60000; ++step) {
+    const std::uint64_t key = rng.next_below(kKeySpace);
+    switch (rng.next_below(4)) {
+      case 0:
+      case 1: {  // admission: find-or-insert, then overwrite the value
+        auto [value, inserted] = map.find_or_insert(key);
+        const bool oracle_inserted = oracle.find(key) == oracle.end();
+        EXPECT_EQ(inserted, oracle_inserted);
+        *value = step;
+        oracle[key] = step;
+        break;
+      }
+      case 2: {  // eviction
+        EXPECT_EQ(map.erase(key), oracle.erase(key) > 0);
+        break;
+      }
+      default: {  // lookup
+        const std::uint64_t* value = map.find(key);
+        auto it = oracle.find(key);
+        if (it == oracle.end()) {
+          EXPECT_EQ(value, nullptr);
+        } else {
+          ASSERT_NE(value, nullptr);
+          EXPECT_EQ(*value, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), oracle.size());
+  }
+  std::vector<std::uint64_t> expected;
+  for (const auto& [k, v] : oracle) expected.push_back(k);
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sorted_keys(map), expected);
+}
+
+TEST(ContainerStressTest, ValuesSurviveGrowthToScaleTierVolume) {
+  // One node's store at the 10^6-block tier: monotone fill far past many
+  // rehashes, spot-checked exhaustively at the end.
+  Map map;
+  constexpr std::uint64_t kBlocks = 200000;
+  for (std::uint64_t k = 0; k < kBlocks; ++k) {
+    auto [value, inserted] = map.find_or_insert(k * 2654435761ull);
+    ASSERT_TRUE(inserted);
+    *value = k;
+  }
+  ASSERT_EQ(map.size(), kBlocks);
+  for (std::uint64_t k = 0; k < kBlocks; ++k) {
+    const std::uint64_t* value = map.find(k * 2654435761ull);
+    ASSERT_NE(value, nullptr);
+    ASSERT_EQ(*value, k);
+  }
+}
+
+// --- erase_found pointer staleness: any mutation between the lookup and
+// the erase invalidates the pointer. Debug builds must fail loudly; the
+// validation compiles out in NDEBUG, so these only run in debug builds.
+
+#ifndef NDEBUG
+TEST(ContainerStressTest, EraseFoundStaleAfterRehashFailsLoudly) {
+  Map map;
+  for (std::uint64_t k = 0; k < 10; ++k) map.insert(k * 31 + 1, k);
+  std::uint64_t* found = map.find(1);
+  ASSERT_NE(found, nullptr);
+  // The 11th insert crosses the 5/8 load factor and rehashes 16 -> 32.
+  map.insert(10 * 31 + 1, 10);
+  EXPECT_THROW(map.erase_found(found), CheckFailure);
+}
+
+TEST(ContainerStressTest, EraseFoundStaleAfterEraseFailsLoudly) {
+  const std::vector<std::uint64_t> keys = keys_hashing_to(3, 16, 4);
+  Map map;
+  for (std::uint64_t k : keys) map.insert(k, k);
+  std::uint64_t* found = map.find(keys[2]);
+  ASSERT_NE(found, nullptr);
+  // Erasing an earlier link backward-shifts keys[2] into another slot.
+  map.erase(keys[0]);
+  EXPECT_THROW(map.erase_found(found), CheckFailure);
+}
+
+TEST(ContainerStressTest, EraseFoundFreshPointerStillWorks) {
+  Map map;
+  map.insert(7, 70);
+  map.insert(8, 80);
+  std::uint64_t* found = map.find(7);
+  ASSERT_NE(found, nullptr);
+  map.erase_found(found);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_FALSE(map.contains(7));
+  EXPECT_TRUE(map.contains(8));
+}
+#endif  // !NDEBUG
+
+// --- BlockBitmap at scale-tier shapes.
+
+TEST(ContainerStressTest, BlockBitmapSparseHighRddIds) {
+  BlockBitmap bitmap;
+  EXPECT_TRUE(bitmap.insert(BlockId{5, 3}));
+  // A high RDD id forces row-vector growth across five orders of magnitude;
+  // everything between stays absent and zero-count.
+  EXPECT_TRUE(bitmap.insert(BlockId{100000, 7}));
+  EXPECT_FALSE(bitmap.insert(BlockId{100000, 7}));
+  EXPECT_TRUE(bitmap.contains(BlockId{5, 3}));
+  EXPECT_TRUE(bitmap.contains(BlockId{100000, 7}));
+  EXPECT_EQ(bitmap.rdd_count(5), 1u);
+  EXPECT_EQ(bitmap.rdd_count(100000), 1u);
+  for (RddId r : {RddId{0}, RddId{4}, RddId{6}, RddId{99999}}) {
+    EXPECT_EQ(bitmap.rdd_count(r), 0u);
+    EXPECT_FALSE(bitmap.contains(BlockId{r, 0}));
+  }
+  // Queries past every row ever touched.
+  EXPECT_FALSE(bitmap.contains(BlockId{100001, 0}));
+  EXPECT_EQ(bitmap.rdd_count(100001), 0u);
+}
+
+TEST(ContainerStressTest, BlockBitmapMillionPartitionRow) {
+  BlockBitmap bitmap;
+  constexpr PartitionIndex kParts = 1u << 20;  // 2^20 > 10^6-partition RDD
+  // Word-boundary partitions plus a stride over the whole row.
+  const std::vector<PartitionIndex> set = {0,       1,         63,
+                                           64,      65,        kParts / 2,
+                                           kParts - 64, kParts - 1};
+  for (PartitionIndex j : set) EXPECT_TRUE(bitmap.insert(BlockId{3, j}));
+  for (PartitionIndex j : set) {
+    EXPECT_TRUE(bitmap.contains(BlockId{3, j})) << "partition " << j;
+    EXPECT_FALSE(bitmap.insert(BlockId{3, j}));
+  }
+  EXPECT_EQ(bitmap.rdd_count(3), set.size());
+  // Neighbours of every set bit stay clear (bit-index arithmetic check).
+  for (PartitionIndex j : {PartitionIndex{2}, PartitionIndex{62},
+                           PartitionIndex{66}, kParts - 63, kParts - 2}) {
+    EXPECT_FALSE(bitmap.contains(BlockId{3, j}));
+  }
+  EXPECT_FALSE(bitmap.contains(BlockId{3, kParts}));
+
+  // Dense fill of one word-aligned span at the far end of the row: counts
+  // stay exact at scale.
+  for (PartitionIndex j = kParts / 2; j < kParts / 2 + 4096; ++j) {
+    bitmap.insert(BlockId{9, j});
+  }
+  EXPECT_EQ(bitmap.rdd_count(9), 4096u);
+  EXPECT_FALSE(bitmap.contains(BlockId{9, kParts / 2 - 1}));
+  EXPECT_FALSE(bitmap.contains(BlockId{9, kParts / 2 + 4096}));
+}
+
+TEST(ContainerStressTest, FlatSetMirrorsMapSemantics) {
+  FlatSet64 set;
+  EXPECT_TRUE(set.insert(42));
+  EXPECT_FALSE(set.insert(42));
+  EXPECT_TRUE(set.contains(42));
+  EXPECT_TRUE(set.erase(42));
+  EXPECT_FALSE(set.erase(42));
+  EXPECT_TRUE(set.empty());
+#ifdef NDEBUG
+  EXPECT_FALSE(set.contains(FlatMap64<int>::kEmptyKey));
+#endif
+}
+
+}  // namespace
+}  // namespace mrd

@@ -279,7 +279,43 @@ TEST(BlockManagerMaster, BroadcastsReachEveryNode) {
   BlockManagerMaster master(cluster, factory);
   ASSERT_EQ(instances.size(), 3u);
   master.broadcast_job_start(f.plan, 0);
+  // Broadcasts are journaled: node 0 observes the event eagerly, the rest
+  // on their next dereference. sync_all_nodes() forces that replay.
+  EXPECT_EQ(instances[0]->job_events, 1);
+  master.sync_all_nodes();
   for (CountingPolicy* p : instances) EXPECT_EQ(p->job_events, 1);
+  // Replay is idempotent per node: a second sync delivers nothing new.
+  master.sync_all_nodes();
+  for (CountingPolicy* p : instances) EXPECT_EQ(p->job_events, 1);
+}
+
+TEST(BlockManagerMaster, OwnerMappingMixesRddWhenConfigured) {
+  LineageFixture f;
+  ClusterConfig cluster = unit_cluster();
+  cluster.num_nodes = 4;
+  cluster.placement = BlockPlacement::kRddMixed;
+  PolicyFactory factory = [](NodeId, NodeId) {
+    return std::make_unique<LruPolicy>();
+  };
+  BlockManagerMaster master(cluster, factory);
+  // Consecutive partitions of one RDD still round-robin (stride-1 in the
+  // node ring)...
+  const NodeId base = master.owner(BlockId{9, 0});
+  EXPECT_EQ(master.owner(BlockId{9, 1}), (base + 1) % 4);
+  EXPECT_EQ(master.owner(BlockId{9, 5}), (base + 5) % 4);
+  // ...and the mapping matches the placement helper everywhere.
+  for (RddId rdd : {0u, 1u, 9u, 57u}) {
+    for (PartitionIndex p = 0; p < 8; ++p) {
+      EXPECT_EQ(master.owner(BlockId{rdd, p}),
+                placement_owner(BlockId{rdd, p}, 4, BlockPlacement::kRddMixed));
+    }
+  }
+  // Partition 0 of different RDDs must not all pile onto node 0.
+  bool spread = false;
+  for (RddId rdd = 0; rdd < 8 && !spread; ++rdd) {
+    spread = master.owner(BlockId{rdd, 0}) != 0;
+  }
+  EXPECT_TRUE(spread);
 }
 
 TEST(BlockManagerMaster, OwnerMappingIsRoundRobin) {
