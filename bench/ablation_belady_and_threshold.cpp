@@ -12,7 +12,7 @@ using namespace mrd;
 int main(int argc, char** argv) {
   const bench::Options options = bench::parse_options(argc, argv);
   const ClusterConfig cluster = main_cluster();
-  SweepRunner runner(options.jobs, options.node_jobs);
+  SweepRunner runner(options.jobs, options.node_jobs, options.exec_mode);
 
   std::cout << "Ablation 1: Belady-MIN bound (JCT normalized to LRU, "
                "fraction 0.5)\n\n";

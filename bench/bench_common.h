@@ -61,6 +61,9 @@ struct Options {
   std::size_t jobs = ThreadPool::default_threads();
   /// Intra-run node workers (`--node-jobs N`); engages only with --jobs 1.
   std::size_t node_jobs = 1;
+  /// Engine for multi-worker runs (`--exec auto|barrier|event`). Output is
+  /// byte-identical across engines; only wall clock differs.
+  ExecMode exec_mode = ExecMode::kAuto;
 };
 
 /// Parses one `--flag N` / `--flag=N` positive integer; returns false if
@@ -92,6 +95,35 @@ inline bool parse_count_flag(int argc, char** argv, int* i,
   return true;
 }
 
+/// Parses one `--exec MODE` / `--exec=MODE` flag.
+inline bool parse_exec_flag(int argc, char** argv, int* i, ExecMode* out) {
+  const std::string_view arg = argv[*i];
+  const char* text = nullptr;
+  if (arg == "--exec") {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "%s: --exec requires a mode\n", argv[0]);
+      std::exit(2);
+    }
+    text = argv[++*i];
+  } else if (arg.rfind("--exec=", 0) == 0) {
+    text = argv[*i] + 7;
+  } else {
+    return false;
+  }
+  const std::string_view mode = text;
+  if (mode == "auto") {
+    *out = ExecMode::kAuto;
+  } else if (mode == "barrier") {
+    *out = ExecMode::kBarrier;
+  } else if (mode == "event") {
+    *out = ExecMode::kEvent;
+  } else {
+    std::fprintf(stderr, "%s: --exec must be auto|barrier|event\n", argv[0]);
+    std::exit(2);
+  }
+  return true;
+}
+
 /// Parses bench flags; exits on malformed or unknown arguments.
 inline Options parse_options(int argc, char** argv) {
   Options options;
@@ -99,17 +131,20 @@ inline Options parse_options(int argc, char** argv) {
     const std::string_view arg = argv[i];
     if (parse_count_flag(argc, argv, &i, "--jobs", "-j", &options.jobs) ||
         parse_count_flag(argc, argv, &i, "--node-jobs", "",
-                         &options.node_jobs)) {
+                         &options.node_jobs) ||
+        parse_exec_flag(argc, argv, &i, &options.exec_mode)) {
       continue;
     }
     if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: %s [--jobs N] [--node-jobs N]\n"
+          "usage: %s [--jobs N] [--node-jobs N] [--exec MODE]\n"
           "  --jobs N       parallel sweep workers (default: hardware "
           "threads;\n"
           "                 results identical for any N)\n"
           "  --node-jobs N  per-run node workers, used only when --jobs 1\n"
-          "                 (results identical for any N)\n",
+          "                 (results identical for any N)\n"
+          "  --exec MODE    auto|barrier|event engine for multi-worker runs\n"
+          "                 (identical output; wall clock differs)\n",
           argv[0]);
       std::exit(0);
     }
@@ -145,7 +180,14 @@ inline void report_sweep(const SweepRunner& runner) {
               << np.max_groups << "/" << np.num_nodes << " (mean "
               << format_double(np.mean_groups(), 1) << ", largest "
               << np.largest_group << "), parallel probes "
-              << format_percent(np.parallel_region_share(), 0);
+              << format_percent(np.parallel_probe_share(), 0);
+  }
+  // Event-engine graph shape: structural overlap (instructions per
+  // critical-path step) and the deepest per-node instruction queue.
+  if (np.instructions > 0) {
+    std::cout << "; event " << np.instructions << " instrs, overlap "
+              << format_double(np.overlap(), 1) << "x, queue depth "
+              << np.max_queue_depth;
   }
   std::cout << "\n";
 }

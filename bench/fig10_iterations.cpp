@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
                  "jct_ratio_x3", "hit_x1", "hit_x3"});
 
   std::cout << "Figure 10: effects of tripling the number of iterations\n\n";
-  SweepRunner runner(options.jobs, options.node_jobs);
+  SweepRunner runner(options.jobs, options.node_jobs, options.exec_mode);
   const PolicyConfig lru = bench::policy("lru");
   const PolicyConfig mrd = bench::policy("mrd");
 

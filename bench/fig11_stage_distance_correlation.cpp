@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   csv.write_row({"workload", "avg_stage_distance", "jct_reduction"});
 
   std::cout << "Figure 11: relationship of performance and stage distance\n\n";
-  SweepRunner runner(options.jobs, options.node_jobs);
+  SweepRunner runner(options.jobs, options.node_jobs, options.exec_mode);
   const PolicyConfig lru = bench::policy("lru");
   const PolicyConfig mrd = bench::policy("mrd");
 

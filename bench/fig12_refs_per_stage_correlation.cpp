@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
 
   std::cout << "Figure 12: relationship of performance and references per "
                "stage\n\n";
-  SweepRunner runner(options.jobs, options.node_jobs);
+  SweepRunner runner(options.jobs, options.node_jobs, options.exec_mode);
   const PolicyConfig lru = bench::policy("lru");
   const PolicyConfig mrd = bench::policy("mrd");
 

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
 
   // Queue every (workload × variant × fraction) point, then collect in
   // workload order — the pool saturates across the whole figure at once.
-  SweepRunner runner(options.jobs, options.node_jobs);
+  SweepRunner runner(options.jobs, options.node_jobs, options.exec_mode);
   const PolicyConfig lru = bench::policy("lru");
   struct Row {
     const WorkloadSpec* spec;

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
                  "mrd_vs_lrc_ratio"});
 
   std::cout << "Figure 5: comparison to the LRC policy (LRC cluster)\n\n";
-  SweepRunner runner(options.jobs, options.node_jobs);
+  SweepRunner runner(options.jobs, options.node_jobs, options.exec_mode);
   const PolicyConfig lru = bench::policy("lru");
   struct Row {
     const char* key;

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
 
   std::cout << "Figure 6: comparison to the MemTune policy (MemTune "
                "cluster)\n\n";
-  SweepRunner runner(options.jobs, options.node_jobs);
+  SweepRunner runner(options.jobs, options.node_jobs, options.exec_mode);
   const PolicyConfig lru = bench::policy("lru");
   struct Row {
     const char* key;

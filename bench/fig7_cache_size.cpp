@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
                "(SVD++, LRC cluster)\n\n";
 
   // All (fraction × policy) points queued before any is collected.
-  SweepRunner runner(options.jobs, options.node_jobs);
+  SweepRunner runner(options.jobs, options.node_jobs, options.exec_mode);
   std::vector<std::vector<std::shared_future<RunMetrics>>> futures;
   for (double fraction : fractions) {
     auto& per_policy = futures.emplace_back();

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
 
   std::cout << "Figure 8: effects of the reference distance metric (stage vs "
                "job)\n\n";
-  SweepRunner runner(options.jobs, options.node_jobs);
+  SweepRunner runner(options.jobs, options.node_jobs, options.exec_mode);
   const PolicyConfig lru = bench::policy("lru");
 
   // Fixed cache size (0.5 of the live working set) and ad-hoc DAG

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
 
   std::cout << "Figure 9: effects of DAG information availability (ad-hoc vs "
                "recurring applications)\n\n";
-  SweepRunner runner(options.jobs, options.node_jobs);
+  SweepRunner runner(options.jobs, options.node_jobs, options.exec_mode);
   const PolicyConfig lru = bench::policy("lru");
 
   struct Row {

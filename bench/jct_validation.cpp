@@ -1,0 +1,164 @@
+// Scores the measured Figure 4 series against the paper's per-workload bars.
+//
+// The other fig benches check *shape targets* (orderings, directions, rough
+// factors — see EXPERIMENTS.md). This one closes the quantitative gap: it
+// computes each SparkBench workload's normalized JCT (full MRD vs LRU,
+// best-of-cache-size, exactly as fig4_overall_performance does) and scores
+// the 14-element vector against the paper's Fig 4 readings with
+//   - Spearman rank correlation (do the same workloads benefit most?), and
+//   - per-workload deviation (how far is each bar from the paper's?).
+//
+// The paper's bars are approximate chart readings (the paper prints only the
+// averages: evict 62%, prefetch 67%, full 53%); they are anchored on the
+// stated extremes — SCC is the best case (~20%) and DT the no-effect case
+// (~95%) — and sum to the published 53% average. Rank correlation is the
+// meaningful score at that fidelity; the deviation column mostly documents
+// the simulator's compressed miss costs (see EXPERIMENTS.md, Fig 4 note).
+//
+// Exit status: gates on what EXPERIMENTS.md documents as reproduced, not on
+// full rank agreement (the simulator's compressed miss costs pull the graph
+// workloads — the paper's best cases — toward the middle of the field, which
+// caps rho around ~0.3 today): rho must stay positive (>= 0.15), DT must
+// stay the (near-)worst bar, and the mean must show MRD clearly winning.
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.h"
+#include "util/math.h"
+
+using namespace mrd;
+
+namespace {
+
+struct PaperBar {
+  const char* key;
+  double full_ratio;  // paper Fig 4, full MRD, normalized JCT vs LRU
+};
+
+// Table 3 order, matching sparkbench_workloads().
+constexpr PaperBar kPaperFig4[] = {
+    {"km", 0.45},  {"linr", 0.55}, {"logr", 0.45}, {"svm", 0.60},
+    {"dt", 0.95},  {"mf", 0.60},   {"pr", 0.40},   {"tc", 0.75},
+    {"sp", 0.70},  {"lp", 0.30},   {"svdpp", 0.45}, {"cc", 0.55},
+    {"scc", 0.20}, {"po", 0.40},
+};
+
+/// Average ranks (1-based, ties averaged), the standard Spearman treatment.
+std::vector<double> ranks_of(const std::vector<double>& xs) {
+  std::vector<std::size_t> order(xs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&xs](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(xs.size(), 0.0);
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && xs[order[j + 1]] == xs[order[i]]) ++j;
+    const double rank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::vector<double> ra = ranks_of(a);
+  const std::vector<double> rb = ranks_of(b);
+  const double ma = mean(ra), mb = mean(rb);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    cov += (ra[i] - ma) * (rb[i] - mb);
+    va += (ra[i] - ma) * (ra[i] - ma);
+    vb += (rb[i] - mb) * (rb[i] - mb);
+  }
+  const double denom = std::sqrt(va * vb);
+  return denom == 0.0 ? 0.0 : cov / denom;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
+  const ClusterConfig cluster = main_cluster();
+  const std::vector<double>& fractions = default_cache_fractions();
+
+  std::cout << "JCT validation: measured normalized JCT (full MRD vs LRU) "
+               "against the paper's Fig 4 bars\n\n";
+
+  SweepRunner runner(options.jobs, options.node_jobs, options.exec_mode);
+  const PolicyConfig lru = bench::policy("lru");
+  const PolicyConfig mrd = bench::policy("mrd");
+  std::vector<PendingBest> pending;
+  const std::vector<WorkloadSpec>& specs = sparkbench_workloads();
+  MRD_CHECK(specs.size() == std::size(kPaperFig4));
+  for (const WorkloadSpec& spec : specs) {
+    pending.push_back(runner.submit_best(
+        plan_workload_shared(spec, bench::bench_params()), cluster,
+        fractions, lru, mrd));
+  }
+
+  AsciiTable table({"Workload", "Paper", "Measured", "Deviation"});
+  CsvWriter csv(bench::out_dir() + "/jct_validation.csv");
+  csv.write_row({"workload", "paper_ratio", "measured_ratio", "deviation"});
+
+  std::vector<double> paper, measured;
+  double max_dev = 0.0;
+  const char* max_dev_key = "";
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    MRD_CHECK(specs[i].key == kPaperFig4[i].key);
+    const BestComparison best = pending[i].get();
+    const double ratio = best.jct_ratio();
+    const double dev = std::abs(ratio - kPaperFig4[i].full_ratio);
+    paper.push_back(kPaperFig4[i].full_ratio);
+    measured.push_back(ratio);
+    if (dev > max_dev) {
+      max_dev = dev;
+      max_dev_key = specs[i].key.c_str();
+    }
+    table.add_row({specs[i].name, format_percent(kPaperFig4[i].full_ratio, 0),
+                   format_percent(ratio, 0), format_percent(dev, 0)});
+    csv.write_row({specs[i].key, format_double(kPaperFig4[i].full_ratio, 4),
+                   format_double(ratio, 4), format_double(dev, 4)});
+  }
+  table.print(std::cout);
+
+  const double rho = spearman(paper, measured);
+  std::cout << "\nSpearman rank correlation: " << format_double(rho, 3)
+            << " (1.0 = same benefit ordering as the testbed)\n"
+            << "Mean measured ratio: " << format_percent(mean(measured), 0)
+            << " (paper average 53%)\n"
+            << "Max deviation: " << format_percent(max_dev, 0) << " ("
+            << max_dev_key << ")\n";
+  std::cout << "CSV: " << bench::out_dir() << "/jct_validation.csv\n";
+  bench::report_sweep(runner);
+
+  bool ok = true;
+  if (rho < 0.15) {
+    std::fprintf(stderr,
+                 "FAIL: Spearman rho %.3f < 0.15 — the simulator no longer "
+                 "even weakly ranks workload benefits like the testbed\n",
+                 rho);
+    ok = false;
+  }
+  // The paper's no-effect case must stay (nearly) the worst measured bar.
+  std::size_t dt_rank = 0;
+  const double dt = measured[4];  // Table 3 order: DT is the 5th workload
+  for (const double m : measured) {
+    if (m > dt) ++dt_rank;
+  }
+  if (dt_rank > 1) {
+    std::fprintf(stderr,
+                 "FAIL: DT (paper's no-effect case) is no longer among the "
+                 "two worst measured bars (%zu workloads above it)\n",
+                 dt_rank);
+    ok = false;
+  }
+  if (mean(measured) > 0.85) {
+    std::fprintf(stderr,
+                 "FAIL: mean measured ratio %.2f > 0.85 — MRD no longer "
+                 "clearly beats LRU on average\n",
+                 mean(measured));
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -60,6 +60,10 @@ constexpr Baseline kSeedBaselines[] = {
 
 constexpr double kFraction = 0.5;
 
+/// Worker count of the engine comparison (barrier fan-out vs event
+/// scheduler, one run each way, identical output bytes).
+constexpr std::size_t kEngineJobs = 4;
+
 struct Result {
   std::string workload;
   std::string policy;
@@ -72,8 +76,16 @@ struct Result {
   std::array<double, kNumSimPhases> phase_median_ms{};
   /// Node-group accounting of the differential verification run.
   NodeParallelStats node_parallel;
+  /// Single-run medians of the two multi-worker engines at kEngineJobs.
+  double barrier_ms = 0.0;
+  double event_ms = 0.0;
+  /// Event-graph shape of the event-engine run.
+  NodeParallelStats event_stats;
   double speedup() const {
     return median_ms > 0.0 ? baseline_ms / median_ms : 0.0;
+  }
+  double event_speedup() const {
+    return event_ms > 0.0 ? barrier_ms / event_ms : 0.0;
   }
 };
 
@@ -183,11 +195,16 @@ int main(int argc, char** argv) {
   std::size_t node_jobs = 1;
   double scale = 8.0;
   std::string gate_file;
+  bool assert_event_fast = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (bench::parse_count_flag(argc, argv, &i, "--repeat", "-r", &repeat) ||
         bench::parse_count_flag(argc, argv, &i, "--node-jobs", "",
                                 &node_jobs)) {
+      continue;
+    }
+    if (arg == "--assert-event-fast") {
+      assert_event_fast = true;
       continue;
     }
     if (arg == "--scale" && i + 1 < argc) {
@@ -215,8 +232,12 @@ int main(int argc, char** argv) {
           "more\n"
           "                 than 40%% + 1 ms (failing scenarios are "
           "re-measured\n"
-          "                 once to absorb transient machine load)\n",
-          argv[0]);
+          "                 once to absorb transient machine load)\n"
+          "  --assert-event-fast\n"
+          "                 fail unless the event engine beats the barrier\n"
+          "                 engine on the scc scenarios at %zu workers\n"
+          "                 (re-measured once on failure)\n",
+          argv[0], kEngineJobs);
       return 0;
     }
     std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n", argv[0],
@@ -254,6 +275,34 @@ int main(int argc, char** argv) {
       result->phase_median_ms[p] = median(result->phase_samples[p]);
     }
   };
+
+  // Medians of single-run wall clock under the barrier and event engines at
+  // kEngineJobs workers. The engines' samples are interleaved (barrier,
+  // event, barrier, event, ...) so a machine load burst hits both equally
+  // instead of biasing whichever ran second.
+  const auto measure_engines =
+      [repeat](const std::shared_ptr<const WorkloadRun>& run,
+               const RunConfig& base, double* barrier_ms, double* event_ms) {
+        RunConfig config = base;
+        config.node_jobs = kEngineJobs;
+        const auto time_one = [&run](const RunConfig& c) {
+          const Clock::time_point t0 = Clock::now();
+          run_plan(run->plan, c);
+          return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count();
+        };
+        std::vector<double> barrier_samples, event_samples;
+        barrier_samples.reserve(repeat);
+        event_samples.reserve(repeat);
+        for (std::size_t r = 0; r < repeat; ++r) {
+          config.exec_mode = ExecMode::kBarrier;
+          barrier_samples.push_back(time_one(config));
+          config.exec_mode = ExecMode::kEvent;
+          event_samples.push_back(time_one(config));
+        }
+        *barrier_ms = median(barrier_samples);
+        *event_ms = median(event_samples);
+      };
 
   std::printf("Core simulator microbench: scale %.1f, fraction %.2f, "
               "median of %zu, node-jobs %zu\n\n",
@@ -317,6 +366,37 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+    // Engine differential + comparison: the barrier fan-out and the event
+    // scheduler (at 1 and kEngineJobs workers) must each reproduce the
+    // serial oracle field-for-field; then time one run each way.
+    RunConfig engine_config = oracle_config;
+    engine_config.node_jobs = kEngineJobs;
+    engine_config.exec_mode = ExecMode::kBarrier;
+    const RunMetrics barrier_run = run_plan(run->plan, engine_config);
+    engine_config.exec_mode = ExecMode::kEvent;
+    engine_config.parallel_stats = &result.event_stats;
+    const RunMetrics event_run = run_plan(run->plan, engine_config);
+    engine_config.parallel_stats = nullptr;
+    RunConfig event_serial = oracle_config;
+    event_serial.node_jobs = 1;
+    event_serial.exec_mode = ExecMode::kEvent;
+    const RunMetrics event_one = run_plan(run->plan, event_serial);
+    for (const auto& [label, metrics] :
+         {std::pair<const char*, const RunMetrics*>{"barrier", &barrier_run},
+          {"event", &event_run},
+          {"event@1", &event_one}}) {
+      const std::string engine_diff = metrics_diff(oracle, *metrics);
+      if (!engine_diff.empty()) {
+        std::fprintf(stderr,
+                     "FAIL: %s/%s %s engine diverged from serial oracle "
+                     "(field %s)\n",
+                     scenario.workload, scenario.policy, label,
+                     engine_diff.c_str());
+        return 1;
+      }
+    }
+    measure_engines(run, config, &result.barrier_ms, &result.event_ms);
+
     // The two heaviest phases, as share of total timed phase ms.
     std::vector<std::pair<double, std::string_view>> shares;
     for (std::size_t p = 0; p < kNumSimPhases; ++p) {
@@ -350,6 +430,18 @@ int main(int argc, char** argv) {
         r.node_parallel.num_nodes, r.node_parallel.probe_regions,
         r.node_parallel.probe_regions_parallel, r.node_parallel.min_groups,
         r.node_parallel.max_groups, r.node_parallel.largest_group);
+  }
+
+  std::printf("\nEngine comparison at %zu workers (single run, identical "
+              "output bytes):\n",
+              kEngineJobs);
+  for (const Result& r : results) {
+    std::printf(
+        "  %s/%s: barrier %.2f ms, event %.2f ms (%.2fx) — %zu instrs, "
+        "overlap %.1fx, queue depth %zu\n",
+        r.workload.c_str(), r.policy.c_str(), r.barrier_ms, r.event_ms,
+        r.event_speedup(), r.event_stats.instructions,
+        r.event_stats.overlap(), r.event_stats.max_queue_depth);
   }
 
   // Load the committed baseline *before* writing the fresh JSON: the gate
@@ -398,6 +490,15 @@ int main(int argc, char** argv) {
          << ", \"mean_groups\": "
          << json_number(r.node_parallel.mean_groups())
          << ", \"largest_group\": " << r.node_parallel.largest_group
+         << "},\n      \"engine\": {"
+         << "\"workers\": " << kEngineJobs
+         << ", \"barrier_ms\": " << json_number(r.barrier_ms)
+         << ", \"event_ms\": " << json_number(r.event_ms)
+         << ", \"event_speedup\": " << json_number(r.event_speedup())
+         << ", \"instructions\": " << r.event_stats.instructions
+         << ", \"critical_path\": " << r.event_stats.critical_path
+         << ", \"overlap\": " << json_number(r.event_stats.overlap())
+         << ", \"max_queue_depth\": " << r.event_stats.max_queue_depth
          << "},\n      \"phase_ms\": {";
     for (std::size_t p = 0; p < kNumSimPhases; ++p) {
       json << (p ? ", " : "") << "\"" << kSimPhaseNames[p]
@@ -476,6 +577,33 @@ int main(int argc, char** argv) {
                      "measurements\n");
         return 1;
       }
+    }
+  }
+
+  if (assert_event_fast) {
+    // Single-run scaling assertion: the event scheduler must not be slower
+    // than the barrier fan-out on the heaviest workload (scc) at
+    // kEngineJobs workers. Failing scenarios are re-measured once — shared
+    // runners see load bursts wider than the engines' real gap.
+    std::printf("\nEvent-vs-barrier assertion (scc scenarios):\n");
+    bool ok = true;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      Result& r = results[i];
+      if (r.workload != "scc") continue;
+      if (r.event_ms > r.barrier_ms) {
+        measure_engines(runs[i], configs[i], &r.barrier_ms, &r.event_ms);
+      }
+      const bool fast = r.event_ms <= r.barrier_ms;
+      std::printf("  %s/%s: barrier %.2f ms, event %.2f ms %s\n",
+                  r.workload.c_str(), r.policy.c_str(), r.barrier_ms,
+                  r.event_ms, fast ? "OK" : "SLOWER");
+      ok = ok && fast;
+    }
+    if (!ok) {
+      std::fprintf(stderr,
+                   "FAIL: event engine slower than barrier engine on scc in "
+                   "both measurements\n");
+      return 1;
     }
   }
   return 0;

@@ -48,11 +48,10 @@ void BlockManagerMaster::journal(const DagEvent& event) {
   event_pos_[0] = events_.size();
 }
 
-void BlockManagerMaster::replay_events(NodeId id) const {
+void BlockManagerMaster::replay_events(NodeId id, std::size_t limit) const {
   std::size_t& pos = event_pos_[id];
   CachePolicy& policy = nodes_[id]->policy();
-  const std::size_t size = events_.size();
-  for (; pos < size; ++pos) deliver(policy, events_[pos]);
+  for (; pos < limit; ++pos) deliver(policy, events_[pos]);
 }
 
 void BlockManagerMaster::broadcast_application_start(
@@ -80,6 +79,30 @@ void BlockManagerMaster::broadcast_rdd_probed(const ExecutionPlan& plan,
   journal({DagEvent::Kind::kRddProbed, &plan, 0, stage, rdd});
 }
 
+void BlockManagerMaster::enqueue_application_start(const ExecutionPlan& plan) {
+  events_.push_back({DagEvent::Kind::kAppStart, &plan});
+}
+
+void BlockManagerMaster::enqueue_job_start(const ExecutionPlan& plan,
+                                           JobId job) {
+  events_.push_back({DagEvent::Kind::kJobStart, &plan, job});
+}
+
+void BlockManagerMaster::enqueue_stage_start(const ExecutionPlan& plan,
+                                             JobId job, StageId stage) {
+  events_.push_back({DagEvent::Kind::kStageStart, &plan, job, stage});
+}
+
+void BlockManagerMaster::enqueue_stage_end(const ExecutionPlan& plan,
+                                           JobId job, StageId stage) {
+  events_.push_back({DagEvent::Kind::kStageEnd, &plan, job, stage});
+}
+
+void BlockManagerMaster::enqueue_rdd_probed(const ExecutionPlan& plan,
+                                            RddId rdd, StageId stage) {
+  events_.push_back({DagEvent::Kind::kRddProbed, &plan, 0, stage, rdd});
+}
+
 std::size_t BlockManagerMaster::execute_purge() {
   return execute_purge(0, num_nodes());
 }
@@ -98,6 +121,21 @@ std::size_t BlockManagerMaster::execute_purge(NodeId begin, NodeId end) {
         bm.purge_block(block);
         ++purged;
       }
+    }
+  }
+  return purged;
+}
+
+std::size_t BlockManagerMaster::execute_purge_at(NodeId n,
+                                                 std::size_t horizon) {
+  MRD_CHECK(n < num_nodes());
+  if ((activity_[n] & kNodeHasResidents) == 0) return 0;
+  std::size_t purged = 0;
+  BlockManager& bm = node_at(n, horizon);
+  for (const BlockId& block : bm.policy().purge_candidates()) {
+    if (bm.in_memory(block)) {
+      bm.purge_block(block);
+      ++purged;
     }
   }
   return purged;

@@ -38,12 +38,25 @@ class BlockManagerMaster {
   /// independent; shared-manager duplicates are read-only no-ops).
   BlockManager& node(NodeId id) {
     MRD_CHECK(id < nodes_.size());
-    if (event_pos_[id] != events_.size()) replay_events(id);
+    if (event_pos_[id] != events_.size()) replay_events(id, events_.size());
     return *nodes_[id];
   }
   const BlockManager& node(NodeId id) const {
     MRD_CHECK(id < nodes_.size());
-    if (event_pos_[id] != events_.size()) replay_events(id);
+    if (event_pos_[id] != events_.size()) replay_events(id, events_.size());
+    return *nodes_[id];
+  }
+
+  /// Horizon-bounded dereference for the event scheduler: replays the node's
+  /// journal suffix only up to position `horizon` (clamped to the journal
+  /// size), so an instruction whose logical time predates later journal
+  /// entries never lets its node observe the future. A node already past the
+  /// horizon (e.g. node 0 after a primary delivery at a serialized broadcast
+  /// point) is returned as-is — per-node positions only move forward.
+  BlockManager& node_at(NodeId id, std::size_t horizon) {
+    MRD_CHECK(id < nodes_.size());
+    const std::size_t limit = std::min(horizon, events_.size());
+    if (event_pos_[id] < limit) replay_events(id, limit);
     return *nodes_[id];
   }
 
@@ -78,6 +91,21 @@ class BlockManagerMaster {
   void broadcast_rdd_probed(const ExecutionPlan& plan, RddId rdd,
                             StageId stage);
 
+  // ---- Deferred journal appends (event-scheduler mode) -------------------
+  // Append an event *without* the primary delivery to node 0: every node —
+  // node 0 included — observes it lazily through node_at() horizons. Only
+  // legal when no policy hides shared cross-node state behind the events
+  // (i.e. non-MRD policies), since nothing mutates at the append point.
+  void enqueue_application_start(const ExecutionPlan& plan);
+  void enqueue_job_start(const ExecutionPlan& plan, JobId job);
+  void enqueue_stage_start(const ExecutionPlan& plan, JobId job,
+                           StageId stage);
+  void enqueue_stage_end(const ExecutionPlan& plan, JobId job, StageId stage);
+  void enqueue_rdd_probed(const ExecutionPlan& plan, RddId rdd, StageId stage);
+
+  /// Number of events journaled so far — the horizon space of node_at().
+  std::size_t journal_size() const { return events_.size(); }
+
   /// Executes the all-out purge (Algorithm 1 lines 13–17): asks every node's
   /// policy for purge candidates and drops their memory copies. Returns the
   /// number of blocks purged.
@@ -88,6 +116,11 @@ class BlockManagerMaster {
   /// without resident blocks are skipped without replay: an empty cache has
   /// no purge candidates under any policy.
   std::size_t execute_purge(NodeId begin, NodeId end);
+
+  /// Single-node purge at a journal horizon (event-scheduler mode): the
+  /// node observes events only up to `horizon` before its purge candidates
+  /// are collected. Identical skip rule as execute_purge.
+  std::size_t execute_purge_at(NodeId n, std::size_t horizon);
 
   /// Sums per-node cache statistics. Nodes that never performed any real
   /// operation (activity byte still 0) hold all-zero stats and are skipped.
@@ -111,7 +144,7 @@ class BlockManagerMaster {
 
   /// Appends an event and applies it eagerly to node 0 (primary delivery).
   void journal(const DagEvent& event);
-  void replay_events(NodeId id) const;
+  void replay_events(NodeId id, std::size_t limit) const;
   static void deliver(CachePolicy& policy, const DagEvent& event);
 
   ClusterConfig config_;

@@ -9,6 +9,7 @@
 #include "dag/dag_scheduler.h"
 #include "exec/lineage_resolver.h"
 #include "exec/node_partition.h"
+#include "exec/node_scheduler.h"
 #include "sim/node_accounting.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -64,6 +65,15 @@ RunMetrics run_application(std::shared_ptr<const Application> app,
 
 RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
   const NodeId num_nodes = config.cluster.num_nodes;
+  // Engine dispatch: multi-worker runs go through the event scheduler (same
+  // bytes out, no per-phase fan/join); kBarrier pins the bulk-synchronous
+  // fan-out below as the comparison baseline; kEvent forces the scheduler
+  // even single-threaded (differential tests).
+  if (config.exec_mode == ExecMode::kEvent ||
+      (config.exec_mode == ExecMode::kAuto && config.node_jobs > 1 &&
+       num_nodes > 1)) {
+    return run_plan_event(plan, config);
+  }
   PolicySetup setup = make_policy(config.policy, num_nodes);
   BlockManagerMaster master(config.cluster, setup.factory);
   LineageResolver resolver(plan, &master);
@@ -133,6 +143,14 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
   // windows and never extends them, but the bytes are real.
   IoCharge background;
 
+  // Per-run scratch, reset in place each stage: the stage loop used to
+  // reallocate all of these per stage (and the batch buffer per RDD per
+  // node), which dominated allocator traffic on probe-light stages.
+  std::vector<NodeAccounting> acct;
+  std::vector<IoCharge> node_background;
+  std::vector<PartitionIndex> order;
+  std::vector<std::vector<BlockId>> batch_scratch(num_nodes);
+
   if (config.visibility == DagVisibility::kRecurring) {
     ScopedTimer timer(config.phase_timers, SimPhase::kBroadcast);
     master.broadcast_application_start(plan);
@@ -163,16 +181,15 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
         });
       }
 
-      std::vector<NodeAccounting> acct(num_nodes);
+      acct.assign(num_nodes, NodeAccounting{});
 
       // -- Cached-RDD probes (the block references cache policies compete
       //    on).
       {
         ScopedTimer timer(config.phase_timers, SimPhase::kProbes);
-        // Scratch reused across the probed RDDs of this stage: the loop
-        // body re-fills it every iteration, so only capacity carries
-        // over — no per-RDD allocation churn.
-        std::vector<PartitionIndex> order;
+        // `order` is run-scope scratch: the loop body re-fills it every
+        // iteration, so only capacity carries over — no per-RDD (or
+        // per-stage) allocation churn.
         for (RddId p : rec.probes) {
           const RddInfo& info = plan.app().rdd(p);
           // Tasks are scheduled in waves, not in partition order: probe the
@@ -206,6 +223,11 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
               const std::size_t g = groups.num_groups();
               st.probe_regions += 1;
               if (region_chunks > 1) st.probe_regions_parallel += 1;
+              // Weight by probes executed, not regions: one coupled region
+              // over a huge RDD must not report as "parallel" as N small
+              // fanned ones.
+              st.probes_total += info.num_partitions;
+              if (region_chunks > 1) st.probes_parallel += info.num_partitions;
               st.min_groups =
                   st.probe_regions == 1 ? g : std::min(st.min_groups, g);
               st.max_groups = std::max(st.max_groups, g);
@@ -312,8 +334,10 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
       {
         ScopedTimer timer(config.phase_timers, SimPhase::kCacheWrites);
         for_each_node_chunk([&](NodeId lo, NodeId hi) {
-          std::vector<BlockId> batch;
           for (NodeId n = lo; n < hi; ++n) {
+            // Pooled per-node batch buffer (chunks own disjoint node
+            // ranges, so workers never share one).
+            std::vector<BlockId>& batch = batch_scratch[n];
             for (RddId r : rec.computes) {
               const RddInfo& info = plan.app().rdd(r);
               if (!info.persisted) continue;
@@ -341,7 +365,7 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
       const double inner_wall = wall - config.cluster.stage_overhead_ms;
       {
         ScopedTimer timer(config.phase_timers, SimPhase::kPrefetchServe);
-        std::vector<IoCharge> node_background(num_nodes);
+        node_background.assign(num_nodes, IoCharge{});
         for_each_node_chunk([&](NodeId lo, NodeId hi) {
           for (NodeId n = lo; n < hi; ++n) {
             // An empty prefetch queue serves nothing whatever the slack:

@@ -34,6 +34,18 @@ namespace mrd {
 /// (ad-hoc / first run). Paper §4.1 / Fig 9.
 enum class DagVisibility { kAdHoc, kRecurring };
 
+/// How the runner drives the per-stage per-node work.
+///   kAuto    — serial decision stream with node_jobs <= 1 (the differential
+///              oracle); the event scheduler when node_jobs > 1 on a
+///              multi-node cluster.
+///   kBarrier — the bulk-synchronous fan-out (per-phase thread-pool
+///              fan/join), kept as the comparison baseline the event
+///              scheduler is benchmarked against.
+///   kEvent   — the per-node instruction scheduler unconditionally, even
+///              with a single worker (differential tests drive this).
+/// Every mode produces byte-identical RunMetrics for a given plan/config.
+enum class ExecMode { kAuto, kBarrier, kEvent };
+
 struct RunConfig {
   ClusterConfig cluster = main_cluster();
   PolicyConfig policy;
@@ -50,6 +62,8 @@ struct RunConfig {
   /// touches graph (ClosurePartitioner) — so cross-node recompute closures
   /// execute on the one worker owning their whole group.
   std::size_t node_jobs = 1;
+  /// Execution engine selection (see ExecMode).
+  ExecMode exec_mode = ExecMode::kAuto;
   /// Optional per-phase wall-clock accumulation (perf instrumentation);
   /// null = no clock reads on the simulation path.
   PhaseTimers* phase_timers = nullptr;

@@ -25,17 +25,19 @@ LineageResolver::LineageResolver(const ExecutionPlan& plan,
 }
 
 ProbeOutcome LineageResolver::demand_block(const BlockId& block,
-                                           std::vector<NodeAccounting>* acct) {
-  return demand_block_impl(block, acct, /*depth=*/0);
+                                           std::vector<NodeAccounting>* acct,
+                                           std::size_t horizon) {
+  return demand_block_impl(block, acct, /*depth=*/0, horizon);
 }
 
 ProbeOutcome LineageResolver::demand_block_impl(
-    const BlockId& block, std::vector<NodeAccounting>* acct, int depth) {
+    const BlockId& block, std::vector<NodeAccounting>* acct, int depth,
+    std::size_t horizon) {
   const RddInfo& info = plan_.app().rdd(block.rdd);
   MRD_CHECK_MSG(info.persisted,
                 "demand_block on non-persisted RDD " << info.name);
   const NodeId owner = master_->owner(block);
-  BlockManager& bm = master_->node(owner);
+  BlockManager& bm = master_->node_at(owner, horizon);
 
   IoCharge charge;
   const ProbeOutcome outcome =
@@ -44,7 +46,7 @@ ProbeOutcome LineageResolver::demand_block_impl(
   if (outcome != ProbeOutcome::kCold) return outcome;
 
   // Recompute from lineage and re-cache (Spark's getOrCompute path).
-  recompute_cost(block.rdd, block.partition, owner, acct, depth);
+  recompute_cost(block.rdd, block.partition, owner, acct, depth, horizon);
   IoCharge cache_charge;
   bm.cache_block(block, info.bytes_per_partition, &cache_charge);
   apply_charge(owner, cache_charge, acct);
@@ -54,7 +56,7 @@ ProbeOutcome LineageResolver::demand_block_impl(
 void LineageResolver::recompute_cost(RddId rdd, PartitionIndex partition,
                                      NodeId charge_node,
                                      std::vector<NodeAccounting>* acct,
-                                     int depth) {
+                                     int depth, std::size_t horizon) {
   MRD_CHECK_MSG(depth < kMaxRecomputeDepth, "lineage recursion runaway");
   const RddInfo& info = plan_.app().rdd(rdd);
 
@@ -88,14 +90,14 @@ void LineageResolver::recompute_cost(RddId rdd, PartitionIndex partition,
     const PartitionIndex pj = partition % parent.num_partitions;
     if (parent.persisted) {
       const BlockId parent_block{p, pj};
-      demand_block_impl(parent_block, acct, depth + 1);
+      demand_block_impl(parent_block, acct, depth + 1, horizon);
       const NodeId parent_owner = master_->owner(parent_block);
       if (parent_owner != charge_node) {
         // Pulling the parent partition across the network.
         (*acct)[charge_node].network_bytes += parent.bytes_per_partition;
       }
     } else {
-      recompute_cost(p, pj, charge_node, acct, depth + 1);
+      recompute_cost(p, pj, charge_node, acct, depth + 1, horizon);
     }
   }
 }

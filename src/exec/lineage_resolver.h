@@ -20,11 +20,21 @@ class LineageResolver {
  public:
   LineageResolver(const ExecutionPlan& plan, BlockManagerMaster* master);
 
+  /// "No horizon": every node dereference replays to the journal end (the
+  /// serial runner's semantics, where the journal never runs ahead of the
+  /// instruction stream).
+  static constexpr std::size_t kNoHorizon = static_cast<std::size_t>(-1);
+
   /// Resolves a demand read of `block` (whose RDD must be persisted):
   /// probe → disk read → lineage recomputation, charging all costs into
   /// `acct` (indexed by node). Returns the probe outcome for metrics.
+  /// `horizon` bounds the journal replay of every node the closure touches
+  /// (BlockManagerMaster::node_at) — the event scheduler passes the probe
+  /// instruction's journal position so overlapped stages never leak future
+  /// events into a node's policy.
   ProbeOutcome demand_block(const BlockId& block,
-                            std::vector<NodeAccounting>* acct);
+                            std::vector<NodeAccounting>* acct,
+                            std::size_t horizon = kNoHorizon);
 
   /// CPU milliseconds spent in lineage recomputation so far. Accumulated
   /// per charged node and summed in node-ID order, so the value is
@@ -40,10 +50,12 @@ class LineageResolver {
   /// Charges the cost of recomputing partition `partition` of `rdd` to
   /// `charge_node` (the node whose task performs it).
   void recompute_cost(RddId rdd, PartitionIndex partition, NodeId charge_node,
-                      std::vector<NodeAccounting>* acct, int depth);
+                      std::vector<NodeAccounting>* acct, int depth,
+                      std::size_t horizon);
 
   ProbeOutcome demand_block_impl(const BlockId& block,
-                                 std::vector<NodeAccounting>* acct, int depth);
+                                 std::vector<NodeAccounting>* acct, int depth,
+                                 std::size_t horizon);
 
   void apply_charge(NodeId node, const IoCharge& charge,
                     std::vector<NodeAccounting>* acct) const;

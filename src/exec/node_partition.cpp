@@ -57,8 +57,13 @@ void NodeParallelStats::merge(const NodeParallelStats& other) {
   }
   probe_regions += other.probe_regions;
   probe_regions_parallel += other.probe_regions_parallel;
+  probes_total += other.probes_total;
+  probes_parallel += other.probes_parallel;
   groups_sum += other.groups_sum;
   largest_group = std::max(largest_group, other.largest_group);
+  instructions += other.instructions;
+  critical_path += other.critical_path;
+  max_queue_depth = std::max(max_queue_depth, other.max_queue_depth);
 }
 
 ClosurePartitioner::ClosurePartitioner(const ExecutionPlan& plan,

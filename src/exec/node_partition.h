@@ -61,12 +61,26 @@ struct NodeParallelStats {
   /// had more than one group (i.e. ran closures concurrently).
   std::size_t probe_regions = 0;
   std::size_t probe_regions_parallel = 0;
+  /// Probe *work* (block probes) executed in all regions and in the
+  /// group-fanned ones — the probe-weighted form of the region counters
+  /// above. A single fully-coupled region over a million-block RDD counts a
+  /// million serial probes here but only one region above; the weighted
+  /// share is what makes barrier- and event-mode runs comparable.
+  std::uint64_t probes_total = 0;
+  std::uint64_t probes_parallel = 0;
   /// Group-count spread over probe regions.
   std::size_t min_groups = 0;
   std::size_t max_groups = 0;
   std::size_t groups_sum = 0;
   /// Largest single group seen in any probe region.
   std::size_t largest_group = 0;
+  /// Event-scheduler shape (zero for barrier/serial runs): how many
+  /// instructions the run compiled to, the longest dependency chain through
+  /// them, and the deepest per-node instruction queue. All three are
+  /// properties of the compiled graph, never of thread timing.
+  std::size_t instructions = 0;
+  std::size_t critical_path = 0;
+  std::size_t max_queue_depth = 0;
 
   double mean_groups() const {
     return probe_regions > 0
@@ -79,6 +93,20 @@ struct NodeParallelStats {
                ? static_cast<double>(probe_regions_parallel) /
                      static_cast<double>(probe_regions)
                : 0.0;
+  }
+  /// Probe-weighted share of parallel probe work (the honest successor of
+  /// parallel_region_share for reporting).
+  double parallel_probe_share() const {
+    return probes_total > 0 ? static_cast<double>(probes_parallel) /
+                                  static_cast<double>(probes_total)
+                            : 0.0;
+  }
+  /// Structural overlap of the compiled instruction graph: how many
+  /// instructions run per critical-path step if enough workers exist.
+  double overlap() const {
+    return critical_path > 0 ? static_cast<double>(instructions) /
+                                   static_cast<double>(critical_path)
+                             : 0.0;
   }
   /// Merge another run's counters (sweep aggregation).
   void merge(const NodeParallelStats& other);

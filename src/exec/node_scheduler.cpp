@@ -1,0 +1,854 @@
+#include "exec/node_scheduler.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cluster/block_manager_master.h"
+#include "exec/lineage_resolver.h"
+#include "exec/node_partition.h"
+#include "sim/node_accounting.h"
+#include "util/check.h"
+#include "util/random.h"
+#include "util/scoped_timer.h"
+
+namespace mrd {
+
+namespace {
+
+/// Accounting buffers cycle with period 3: stage s writes buffer s % 3, and
+/// kClose(s) — which waits for the stage wall and every serve of s — resets
+/// it for stage s + 3, whose acct-writing instructions depend on the close.
+constexpr std::size_t kAcctBuffers = 3;
+
+struct Instr {
+  enum class Op : std::uint8_t {
+    kBcast,
+    kIssue,
+    kProbe,
+    kAcct,
+    kWall,
+    kServe,
+    kPurge,
+    kClose,
+  };
+  Op op = Op::kIssue;
+  std::uint32_t stage = 0;   // dense executed-stage index
+  std::uint32_t node = 0;    // kIssue / kAcct / kServe / kPurge
+  std::uint32_t region = 0;  // kProbe: region index; kBcast: bcast index
+  std::uint32_t group = 0;   // kProbe: group index within the region
+  /// Journal position this instruction's node dereferences replay up to.
+  std::size_t horizon = 0;
+  /// Remaining unsatisfied dependencies; decremented under the engine lock.
+  std::uint32_t deps = 0;
+  /// CSR range into the edge target array (instructions unblocked by this
+  /// one completing).
+  std::uint32_t edges_begin = 0;
+  std::uint32_t edges_end = 0;
+};
+
+struct BcastRec {
+  enum class Kind : std::uint8_t {
+    kAppStart,
+    kJobStart,
+    kStageStart,
+    kStageEnd,
+    kRddProbed,
+  };
+  Kind kind = Kind::kAppStart;
+  JobId job = 0;
+  StageId stage = 0;
+  RddId rdd = 0;
+};
+
+struct StageRec {
+  const StageExecution* rec = nullptr;
+  JobId job = 0;
+  /// Job overheads (jobs submitted since the previous executed stage) that
+  /// the serial runner adds to jct_ms before this stage's wall.
+  std::uint32_t jobs_before = 0;
+  double wall = 0.0;
+  double inner_wall = 0.0;
+  std::vector<NodeAccounting>* acct = nullptr;
+};
+
+struct RegionRec {
+  RddId rdd = 0;
+  StageId stage_id = 0;
+  std::uint32_t salt = 0;
+  /// node -> group index for multi-group regions; nullptr when the region
+  /// has a single group (no filtering needed).
+  const std::vector<std::uint32_t>* group_of = nullptr;
+  const NodeGroups* groups = nullptr;
+  /// The shared per-(stage, rdd) probe permutation, built by whichever group
+  /// instruction of the region runs first (seeded — identical to the serial
+  /// runner's draw).
+  std::once_flag once;
+  std::vector<PartitionIndex> order;
+};
+
+/// The compiled program plus the mutable run state the instructions touch.
+class EventRun {
+ public:
+  EventRun(const ExecutionPlan& plan, const RunConfig& config)
+      : plan_(plan),
+        config_(config),
+        num_nodes_(config.cluster.num_nodes),
+        setup_(make_policy(config.policy, num_nodes_)),
+        master_(config.cluster, setup_.factory),
+        resolver_(plan, &master_),
+        gated_(setup_.manager != nullptr),
+        batch_scratch_(num_nodes_) {
+    for (auto& buffer : acct_buffers_) {
+      buffer.assign(num_nodes_, NodeAccounting{});
+    }
+    metrics_.workload = plan.app().name();
+    metrics_.policy = config.policy.name;
+  }
+
+  RunMetrics run();
+
+ private:
+  // ---- Compilation -------------------------------------------------------
+  void compile();
+  std::uint32_t emit(Instr instr);
+  void add_edge(std::uint32_t from, std::uint32_t to);
+  /// FIFO-chains `id` onto `node`'s queue and applies the broadcast gate.
+  void chain(std::uint32_t id, NodeId node);
+  void gate(std::uint32_t id);
+  void emit_broadcast(BcastRec rec);
+  const std::vector<std::uint32_t>* group_map_for(RddId rdd,
+                                                  const NodeGroups& groups);
+  void build_edges_csr();
+
+  // ---- Execution ---------------------------------------------------------
+  void execute(const Instr& in, PhaseTimers* timers);
+  void exec_broadcast(const Instr& in);
+  void exec_issue(const Instr& in);
+  void exec_probe(const Instr& in);
+  void exec_acct(const Instr& in);
+  void exec_wall(const Instr& in);
+  void exec_serve(const Instr& in);
+  void worker_loop(PhaseTimers* timers);
+  void drain_serial(PhaseTimers* timers);
+  void finalize();
+
+  const ExecutionPlan& plan_;
+  const RunConfig& config_;
+  const NodeId num_nodes_;
+  PolicySetup setup_;
+  BlockManagerMaster master_;
+  LineageResolver resolver_;
+  /// MRD variants hide shared cross-node state (the reference-distance
+  /// table) behind the DAG events: their broadcasts are scheduled as gate
+  /// instructions. Stateless-event policies pre-append the whole journal.
+  const bool gated_;
+  std::unique_ptr<ClosurePartitioner> partitioner_;
+
+  // Program.
+  std::vector<Instr> instrs_;
+  std::vector<BcastRec> bcasts_;
+  std::vector<StageRec> stages_;
+  std::deque<RegionRec> regions_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_pairs_;
+  std::vector<std::uint32_t> edge_targets_;
+  std::vector<std::uint32_t> critical_;  // longest dep chain ending at i
+  std::vector<std::int32_t> prev_on_node_;
+  std::vector<std::uint32_t> queue_depth_;
+  std::int32_t gate_ = -1;
+  std::vector<std::uint32_t> epoch_;   // instructions since the last gate
+  std::vector<std::unique_ptr<std::vector<std::uint32_t>>> group_map_cache_;
+  std::uint32_t pending_jobs_ = 0;
+  std::size_t horizon_ = 0;
+  std::vector<std::int32_t> close_of_stage_;
+
+  // Run state.
+  std::array<std::vector<NodeAccounting>, kAcctBuffers> acct_buffers_;
+  std::vector<std::vector<BlockId>> batch_scratch_;  // per-node, pooled
+  RunMetrics metrics_;
+  std::atomic<std::uint64_t> background_read_{0};
+  std::atomic<std::uint64_t> background_write_{0};
+
+  // Engine.
+  std::size_t workers_ = 1;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::uint32_t> ready_;
+  std::size_t remaining_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+  std::mutex timer_mu_;
+};
+
+std::uint32_t EventRun::emit(Instr instr) {
+  const auto id = static_cast<std::uint32_t>(instrs_.size());
+  instr.horizon = horizon_;
+  instrs_.push_back(instr);
+  critical_.push_back(1);
+  return id;
+}
+
+void EventRun::add_edge(std::uint32_t from, std::uint32_t to) {
+  edge_pairs_.emplace_back(from, to);
+  ++instrs_[to].deps;
+  critical_[to] = std::max(critical_[to], critical_[from] + 1);
+}
+
+void EventRun::gate(std::uint32_t id) {
+  if (gated_) {
+    if (gate_ >= 0) add_edge(static_cast<std::uint32_t>(gate_), id);
+    epoch_.push_back(id);
+  }
+}
+
+void EventRun::chain(std::uint32_t id, NodeId node) {
+  if (prev_on_node_[node] >= 0) {
+    add_edge(static_cast<std::uint32_t>(prev_on_node_[node]), id);
+  }
+  prev_on_node_[node] = static_cast<std::int32_t>(id);
+  ++queue_depth_[node];
+}
+
+void EventRun::emit_broadcast(BcastRec rec) {
+  if (!gated_) {
+    // No shared state behind the events: append now, deliver lazily through
+    // each instruction's horizon. The journal is fully materialized before
+    // any worker starts (it is a pure function of the plan).
+    switch (rec.kind) {
+      case BcastRec::Kind::kAppStart:
+        master_.enqueue_application_start(plan_);
+        break;
+      case BcastRec::Kind::kJobStart:
+        master_.enqueue_job_start(plan_, rec.job);
+        break;
+      case BcastRec::Kind::kStageStart:
+        master_.enqueue_stage_start(plan_, rec.job, rec.stage);
+        break;
+      case BcastRec::Kind::kStageEnd:
+        master_.enqueue_stage_end(plan_, rec.job, rec.stage);
+        break;
+      case BcastRec::Kind::kRddProbed:
+        master_.enqueue_rdd_probed(plan_, rec.rdd, rec.stage);
+        break;
+    }
+    ++horizon_;
+    return;
+  }
+  // Shared-state policies: the broadcast is itself an instruction, gated on
+  // every reader of the previous epoch — the table mutates exactly at the
+  // serialized points of the serial run.
+  const auto bcast = static_cast<std::uint32_t>(bcasts_.size());
+  bcasts_.push_back(rec);
+  Instr instr;
+  instr.op = Instr::Op::kBcast;
+  instr.region = bcast;
+  const std::uint32_t id = emit(instr);
+  for (std::uint32_t reader : epoch_) add_edge(reader, id);
+  epoch_.clear();
+  if (gate_ >= 0) add_edge(static_cast<std::uint32_t>(gate_), id);
+  gate_ = static_cast<std::int32_t>(id);
+  ++horizon_;
+}
+
+const std::vector<std::uint32_t>* EventRun::group_map_for(
+    RddId rdd, const NodeGroups& groups) {
+  if (groups.num_groups() <= 1) return nullptr;
+  auto& slot = group_map_cache_[rdd];
+  if (slot == nullptr) {
+    slot = std::make_unique<std::vector<std::uint32_t>>(num_nodes_, 0);
+    for (std::size_t g = 0; g < groups.groups.size(); ++g) {
+      for (NodeId member : groups.groups[g]) {
+        (*slot)[member] = static_cast<std::uint32_t>(g);
+      }
+    }
+  }
+  return slot.get();
+}
+
+void EventRun::compile() {
+  prev_on_node_.assign(num_nodes_, -1);
+  queue_depth_.assign(num_nodes_, 0);
+  group_map_cache_.resize(plan_.app().num_rdds());
+  partitioner_ = std::make_unique<ClosurePartitioner>(
+      plan_, num_nodes_, config_.cluster.placement);
+  NodeParallelStats* stats = config_.parallel_stats;
+  const std::size_t workers = std::max<std::size_t>(config_.node_jobs, 1);
+
+  if (config_.visibility == DagVisibility::kRecurring) {
+    emit_broadcast({BcastRec::Kind::kAppStart, 0, 0, 0});
+  }
+
+  for (const JobInfo& job : plan_.jobs()) {
+    emit_broadcast({BcastRec::Kind::kJobStart, job.id, 0, 0});
+    ++pending_jobs_;
+
+    for (const StageExecution& rec : job.stages) {
+      if (!rec.executed) continue;
+      const auto t = static_cast<std::uint32_t>(stages_.size());
+      stages_.push_back(StageRec{&rec, job.id, 0, 0.0, 0.0,
+                                 &acct_buffers_[t % kAcctBuffers]});
+      stages_.back().jobs_before = pending_jobs_;
+      pending_jobs_ = 0;
+      const std::int32_t close_gate =
+          t >= kAcctBuffers ? close_of_stage_[t - kAcctBuffers] : -1;
+
+      emit_broadcast({BcastRec::Kind::kStageStart, job.id, rec.stage, 0});
+
+      // Prefetch-order refresh, one instruction per node.
+      for (NodeId n = 0; n < num_nodes_; ++n) {
+        Instr in;
+        in.op = Instr::Op::kIssue;
+        in.stage = t;
+        in.node = n;
+        const std::uint32_t id = emit(in);
+        chain(id, n);
+        gate(id);
+      }
+
+      // Probe regions: one instruction per closure group.
+      std::vector<std::uint32_t> stage_probe_instrs;
+      for (RddId p : rec.probes) {
+        const RddInfo& info = plan_.app().rdd(p);
+        const NodeGroups& groups = partitioner_->probe_groups(p);
+        const bool parallel = workers > 1 && groups.num_groups() > 1;
+        if (stats != nullptr) {
+          const std::size_t g = groups.num_groups();
+          stats->probe_regions += 1;
+          if (parallel) stats->probe_regions_parallel += 1;
+          stats->probes_total += info.num_partitions;
+          if (parallel) stats->probes_parallel += info.num_partitions;
+          stats->min_groups =
+              stats->probe_regions == 1 ? g : std::min(stats->min_groups, g);
+          stats->max_groups = std::max(stats->max_groups, g);
+          stats->groups_sum += g;
+          stats->largest_group =
+              std::max(stats->largest_group, groups.largest_group());
+        }
+        const auto region = static_cast<std::uint32_t>(regions_.size());
+        regions_.emplace_back();
+        RegionRec& rg = regions_.back();
+        rg.rdd = p;
+        rg.stage_id = rec.stage;
+        rg.salt = placement_salt(p, num_nodes_, config_.cluster.placement);
+        rg.groups = &groups;
+        rg.group_of = group_map_for(p, groups);
+        for (std::size_t g = 0; g < groups.groups.size(); ++g) {
+          Instr in;
+          in.op = Instr::Op::kProbe;
+          in.stage = t;
+          in.region = region;
+          in.group = static_cast<std::uint32_t>(g);
+          const std::uint32_t id = emit(in);
+          for (NodeId member : groups.groups[g]) chain(id, member);
+          gate(id);
+          if (close_gate >= 0) {
+            add_edge(static_cast<std::uint32_t>(close_gate), id);
+          }
+          stage_probe_instrs.push_back(id);
+        }
+        emit_broadcast({BcastRec::Kind::kRddProbed, 0, rec.stage, p});
+      }
+
+      // Per-node accounting + cache writes.
+      std::vector<std::uint32_t> acct_instrs;
+      acct_instrs.reserve(num_nodes_);
+      for (NodeId n = 0; n < num_nodes_; ++n) {
+        Instr in;
+        in.op = Instr::Op::kAcct;
+        in.stage = t;
+        in.node = n;
+        const std::uint32_t id = emit(in);
+        chain(id, n);
+        gate(id);
+        if (close_gate >= 0) {
+          add_edge(static_cast<std::uint32_t>(close_gate), id);
+        }
+        acct_instrs.push_back(id);
+      }
+
+      // The stage-wall join: the one cross-node reduction a stage needs.
+      Instr wall;
+      wall.op = Instr::Op::kWall;
+      wall.stage = t;
+      const std::uint32_t wall_id = emit(wall);
+      for (std::uint32_t id : stage_probe_instrs) add_edge(id, wall_id);
+      for (std::uint32_t id : acct_instrs) add_edge(id, wall_id);
+      gate(wall_id);
+
+      // Prefetch serve inside the stage window.
+      std::vector<std::uint32_t> serve_instrs;
+      serve_instrs.reserve(num_nodes_);
+      for (NodeId n = 0; n < num_nodes_; ++n) {
+        Instr in;
+        in.op = Instr::Op::kServe;
+        in.stage = t;
+        in.node = n;
+        const std::uint32_t id = emit(in);
+        chain(id, n);
+        add_edge(wall_id, id);
+        gate(id);
+        serve_instrs.push_back(id);
+      }
+
+      emit_broadcast({BcastRec::Kind::kStageEnd, job.id, rec.stage, 0});
+
+      // Stage-end purge (observes the stage-end event via its horizon).
+      for (NodeId n = 0; n < num_nodes_; ++n) {
+        Instr in;
+        in.op = Instr::Op::kPurge;
+        in.stage = t;
+        in.node = n;
+        const std::uint32_t id = emit(in);
+        chain(id, n);
+        gate(id);
+      }
+
+      // Buffer recycle: ready once the wall and every serve released the
+      // stage's accounting.
+      Instr close;
+      close.op = Instr::Op::kClose;
+      close.stage = t;
+      const std::uint32_t close_id = emit(close);
+      add_edge(wall_id, close_id);
+      for (std::uint32_t id : serve_instrs) add_edge(id, close_id);
+      gate(close_id);
+      close_of_stage_.push_back(static_cast<std::int32_t>(close_id));
+    }
+  }
+
+  build_edges_csr();
+
+  if (stats != nullptr) {
+    stats->engaged = workers > 1 && num_nodes_ > 1;
+    stats->plan_groups = partitioner_->plan_groups().num_groups();
+    stats->num_nodes = num_nodes_;
+    stats->instructions = instrs_.size();
+    std::uint32_t cp = 0;
+    for (std::uint32_t c : critical_) cp = std::max(cp, c);
+    stats->critical_path = cp;
+    std::uint32_t depth = 0;
+    for (std::uint32_t d : queue_depth_) depth = std::max(depth, d);
+    stats->max_queue_depth = depth;
+  }
+}
+
+void EventRun::build_edges_csr() {
+  // Two-pass CSR over (from, to) pairs: dependents of one instruction land
+  // contiguously, in emission order.
+  std::vector<std::uint32_t> counts(instrs_.size() + 1, 0);
+  for (const auto& e : edge_pairs_) ++counts[e.first + 1];
+  for (std::size_t i = 1; i < counts.size(); ++i) counts[i] += counts[i - 1];
+  edge_targets_.resize(edge_pairs_.size());
+  std::vector<std::uint32_t> cursor(counts.begin(), counts.end() - 1);
+  for (const auto& e : edge_pairs_) {
+    edge_targets_[cursor[e.first]++] = e.second;
+  }
+  for (std::size_t i = 0; i < instrs_.size(); ++i) {
+    instrs_[i].edges_begin = counts[i];
+    instrs_[i].edges_end = counts[i + 1];
+  }
+  edge_pairs_.clear();
+  edge_pairs_.shrink_to_fit();
+}
+
+void EventRun::exec_broadcast(const Instr& in) {
+  const BcastRec& rec = bcasts_[in.region];
+  switch (rec.kind) {
+    case BcastRec::Kind::kAppStart:
+      master_.broadcast_application_start(plan_);
+      break;
+    case BcastRec::Kind::kJobStart:
+      master_.broadcast_job_start(plan_, rec.job);
+      break;
+    case BcastRec::Kind::kStageStart:
+      master_.broadcast_stage_start(plan_, rec.job, rec.stage);
+      break;
+    case BcastRec::Kind::kStageEnd:
+      master_.broadcast_stage_end(plan_, rec.job, rec.stage);
+      break;
+    case BcastRec::Kind::kRddProbed:
+      master_.broadcast_rdd_probed(plan_, rec.rdd, rec.stage);
+      break;
+  }
+}
+
+void EventRun::exec_issue(const Instr& in) {
+  // Same skip rule as the serial runner's issue_prefetch_orders.
+  if ((master_.node_activity(in.node) & (kNodeHasDisk | kNodeHasQueue)) == 0) {
+    return;
+  }
+  master_.node_at(in.node, in.horizon)
+      .refresh_prefetch_orders(plan_, config_.max_prefetch_queue);
+}
+
+void EventRun::exec_probe(const Instr& in) {
+  RegionRec& rg = regions_[in.region];
+  std::call_once(rg.once, [&] {
+    const RddInfo& info = plan_.app().rdd(rg.rdd);
+    rg.order.resize(info.num_partitions);
+    for (PartitionIndex j = 0; j < info.num_partitions; ++j) {
+      rg.order[j] = j;
+    }
+    // Identical draw to the serial runner: tasks are scheduled in waves,
+    // not partition order, and the seed pins the permutation per
+    // (stage, rdd).
+    Rng rng((static_cast<std::uint64_t>(rg.stage_id) << 32) ^ rg.rdd);
+    for (std::size_t j = rg.order.size(); j > 1; --j) {
+      std::swap(rg.order[j - 1], rg.order[rng.next_below(j)]);
+    }
+  });
+  std::vector<NodeAccounting>* acct = stages_[in.stage].acct;
+  if (rg.group_of == nullptr) {
+    for (PartitionIndex j : rg.order) {
+      resolver_.demand_block(BlockId{rg.rdd, j}, acct, in.horizon);
+    }
+    return;
+  }
+  const std::vector<std::uint32_t>& group_of = *rg.group_of;
+  for (PartitionIndex j : rg.order) {
+    if (group_of[(j + rg.salt) % num_nodes_] != in.group) continue;
+    resolver_.demand_block(BlockId{rg.rdd, j}, acct, in.horizon);
+  }
+}
+
+void EventRun::exec_acct(const Instr& in) {
+  const StageRec& st = stages_[in.stage];
+  const StageExecution& rec = *st.rec;
+  const NodeId n = in.node;
+  NodeAccounting& acct = (*st.acct)[n];
+
+  // Source (HDFS) reads: the node's share of each source RDD's partitions
+  // (j % num_nodes == n). Byte counters are integral, so the closed form
+  // equals the serial per-partition loop exactly.
+  for (RddId s : rec.source_reads) {
+    const RddInfo& info = plan_.app().rdd(s);
+    if (info.num_partitions > n) {
+      const std::uint64_t count =
+          (info.num_partitions - n + num_nodes_ - 1) / num_nodes_;
+      acct.disk_read_bytes += count * info.bytes_per_partition;
+    }
+  }
+
+  // Shuffle reads.
+  for (ShuffleId sid : rec.shuffle_reads) {
+    const ShuffleInfo& shuffle = plan_.shuffle(sid);
+    const std::uint64_t share = shuffle.bytes / num_nodes_;
+    acct.network_bytes += share * (num_nodes_ - 1) / num_nodes_;
+    acct.disk_read_bytes += share / num_nodes_;
+  }
+
+  // Task computation: repeat add_task exactly as many times as the serial
+  // loop does for this node, so the floating-point accumulation sequence is
+  // identical.
+  const StageInfo& stage = plan_.stage(rec.stage);
+  double per_task_ms = 0.0;
+  for (RddId r : rec.computes) {
+    const RddInfo& info = plan_.app().rdd(r);
+    per_task_ms += info.compute_ms_per_partition *
+                   static_cast<double>(info.num_partitions) /
+                   static_cast<double>(stage.num_tasks);
+  }
+  for (PartitionIndex i = n; i < stage.num_tasks;
+       i += static_cast<PartitionIndex>(num_nodes_)) {
+    acct.add_task(per_task_ms);
+  }
+
+  // Shuffle write of map stages.
+  if (stage.shuffle_write) {
+    const ShuffleInfo& shuffle = plan_.shuffle(*stage.shuffle_write);
+    acct.disk_write_bytes += shuffle.bytes / num_nodes_;
+  }
+
+  // Cache newly materialized persisted RDDs: this node's slice of each,
+  // one batched admission per RDD (pooled per-node scratch).
+  std::vector<BlockId>& batch = batch_scratch_[n];
+  for (RddId r : rec.computes) {
+    const RddInfo& info = plan_.app().rdd(r);
+    if (!info.persisted) continue;
+    batch.clear();
+    const PartitionIndex first = first_local_partition(
+        r, n, num_nodes_, config_.cluster.placement);
+    for (PartitionIndex j = first; j < info.num_partitions;
+         j += static_cast<PartitionIndex>(num_nodes_)) {
+      batch.push_back(BlockId{r, j});
+    }
+    if (batch.empty()) continue;
+    IoCharge charge;
+    master_.node_at(n, in.horizon)
+        .cache_blocks(batch.data(), batch.size(), info.bytes_per_partition,
+                      &charge);
+    acct.disk_read_bytes += charge.disk_read_bytes;
+    acct.disk_write_bytes += charge.disk_write_bytes;
+  }
+}
+
+void EventRun::exec_wall(const Instr& in) {
+  StageRec& st = stages_[in.stage];
+  // Wall instructions are totally ordered (each stage's wall precedes every
+  // next-stage acct through the serve→purge→probe chains), so these plain
+  // accumulations happen in stage order — bit-identical to the serial run.
+  for (std::uint32_t j = 0; j < st.jobs_before; ++j) {
+    metrics_.jct_ms += config_.cluster.job_overhead_ms;
+  }
+  st.wall = stage_wall_ms(*st.acct, config_.cluster);
+  st.inner_wall = st.wall - config_.cluster.stage_overhead_ms;
+  metrics_.jct_ms += st.wall;
+  if (config_.record_stage_timings) {
+    metrics_.stage_timings.push_back(
+        StageTiming{st.rec->stage, st.rec->job, st.wall,
+                    max_cpu_ms(*st.acct, config_.cluster),
+                    max_io_ms(*st.acct, config_.cluster)});
+  }
+  for (const NodeAccounting& a : *st.acct) {
+    metrics_.disk_bytes_read += a.disk_read_bytes;
+    metrics_.disk_bytes_written += a.disk_write_bytes;
+    metrics_.network_bytes += a.network_bytes;
+  }
+}
+
+void EventRun::exec_serve(const Instr& in) {
+  const NodeId n = in.node;
+  if ((master_.node_activity(n) & kNodeHasQueue) == 0) return;
+  const StageRec& st = stages_[in.stage];
+  const double slack =
+      st.inner_wall - (*st.acct)[n].disk_ms(config_.cluster);
+  if (slack <= 0.0) return;
+  IoCharge charge;
+  master_.node_at(n, in.horizon).serve_prefetch(slack, &charge);
+  // Background byte totals are unsigned sums — order-free, so relaxed
+  // atomic accumulation reproduces the serial total exactly.
+  background_read_.fetch_add(charge.disk_read_bytes,
+                             std::memory_order_relaxed);
+  background_write_.fetch_add(charge.disk_write_bytes,
+                              std::memory_order_relaxed);
+}
+
+void EventRun::execute(const Instr& in, PhaseTimers* timers) {
+  switch (in.op) {
+    case Instr::Op::kBcast: {
+      ScopedTimer timer(timers, SimPhase::kBroadcast);
+      exec_broadcast(in);
+      break;
+    }
+    case Instr::Op::kIssue: {
+      ScopedTimer timer(timers, SimPhase::kPrefetchIssue);
+      exec_issue(in);
+      break;
+    }
+    case Instr::Op::kProbe: {
+      ScopedTimer timer(timers, SimPhase::kProbes);
+      exec_probe(in);
+      break;
+    }
+    case Instr::Op::kAcct: {
+      ScopedTimer timer(timers, SimPhase::kCacheWrites);
+      exec_acct(in);
+      break;
+    }
+    case Instr::Op::kWall:
+      exec_wall(in);
+      break;
+    case Instr::Op::kServe: {
+      ScopedTimer timer(timers, SimPhase::kPrefetchServe);
+      exec_serve(in);
+      break;
+    }
+    case Instr::Op::kPurge: {
+      ScopedTimer timer(timers, SimPhase::kPurge);
+      master_.execute_purge_at(in.node, in.horizon);
+      break;
+    }
+    case Instr::Op::kClose:
+      stages_[in.stage].acct->assign(num_nodes_, NodeAccounting{});
+      break;
+  }
+}
+
+void EventRun::drain_serial(PhaseTimers* timers) {
+  // Single worker: no peers to feed or wait on, so the mutex and condvar
+  // buy nothing — drain the ready stack in place.
+  while (!ready_.empty()) {
+    const std::uint32_t id = ready_.back();
+    ready_.pop_back();
+    execute(instrs_[id], timers);
+    const Instr& done = instrs_[id];
+    for (std::uint32_t e = done.edges_begin; e < done.edges_end; ++e) {
+      const std::uint32_t to = edge_targets_[e];
+      if (--instrs_[to].deps == 0) ready_.push_back(to);
+    }
+    --remaining_;
+  }
+}
+
+void EventRun::worker_loop(PhaseTimers* timers) {
+  // Most instructions are tiny (an activity-flag check, one node's
+  // accounting); paying a mutex round-trip per instruction would swamp the
+  // work. Workers therefore claim a *slice* of the ready stack per lock
+  // acquisition and apply the whole slice's completions in one critical
+  // section. The cap keeps slices small enough that peers stay fed.
+  constexpr std::size_t kMaxClaim = 16;
+  PhaseTimers local;
+  PhaseTimers* local_timers = timers != nullptr ? &local : nullptr;
+  std::vector<std::uint32_t> batch;
+  batch.reserve(kMaxClaim);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock,
+             [&] { return !ready_.empty() || remaining_ == 0 || stop_; });
+    if (remaining_ == 0 || stop_) break;
+    if (ready_.empty()) continue;
+    std::size_t take = ready_.size() / workers_ + 1;
+    take = std::min(take, std::min(ready_.size(), kMaxClaim));
+    batch.assign(ready_.end() - static_cast<std::ptrdiff_t>(take),
+                 ready_.end());
+    ready_.resize(ready_.size() - take);
+    lock.unlock();
+    bool ok = true;
+    try {
+      for (const std::uint32_t id : batch) {
+        execute(instrs_[id], local_timers);
+      }
+    } catch (...) {
+      ok = false;
+      lock.lock();
+      if (!error_) error_ = std::current_exception();
+      stop_ = true;
+      cv_.notify_all();
+    }
+    if (!ok) break;
+    lock.lock();
+    remaining_ -= batch.size();
+    std::size_t newly = 0;
+    for (const std::uint32_t id : batch) {
+      const Instr& done = instrs_[id];
+      for (std::uint32_t e = done.edges_begin; e < done.edges_end; ++e) {
+        const std::uint32_t to = edge_targets_[e];
+        if (--instrs_[to].deps == 0) {
+          ready_.push_back(to);
+          ++newly;
+        }
+      }
+    }
+    if (remaining_ == 0) {
+      cv_.notify_all();
+    } else {
+      // This worker immediately consumes newly ready work itself; wake just
+      // enough peers for the surplus — notify_all here would stampede every
+      // sleeper on each batch.
+      for (std::size_t k = 1; k < newly; ++k) cv_.notify_one();
+    }
+  }
+  if (lock.owns_lock()) lock.unlock();
+  if (timers != nullptr) {
+    std::lock_guard<std::mutex> guard(timer_mu_);
+    for (std::size_t i = 0; i < kNumSimPhases; ++i) {
+      timers->ms[i] += local.ms[i];
+    }
+  }
+}
+
+void EventRun::finalize() {
+  // Jobs submitted after the last executed stage still pay their overhead.
+  for (std::uint32_t j = 0; j < pending_jobs_; ++j) {
+    metrics_.jct_ms += config_.cluster.job_overhead_ms;
+  }
+
+  if (setup_.manager != nullptr) {
+    setup_.manager->profiler().on_application_end(plan_);
+    metrics_.mrd_table_peak_entries =
+        setup_.manager->stats().max_table_entries;
+    metrics_.mrd_update_messages =
+        setup_.manager->stats().table_update_messages;
+  }
+
+  const NodeCacheStats stats = master_.aggregate_stats();
+  metrics_.probes = stats.probes;
+  metrics_.hits = stats.hits;
+  metrics_.per_rdd_probes.reserve(stats.per_rdd.size());
+  for (std::size_t rdd = 0; rdd < stats.per_rdd.size(); ++rdd) {
+    if (stats.per_rdd[rdd].first == 0 && stats.per_rdd[rdd].second == 0) {
+      continue;
+    }
+    metrics_.per_rdd_probes.emplace_back(static_cast<std::uint32_t>(rdd),
+                                         stats.per_rdd[rdd]);
+  }
+  metrics_.misses_from_disk = stats.disk_hits;
+  metrics_.misses_recompute = stats.cold_misses;
+  metrics_.blocks_cached = stats.blocks_cached;
+  metrics_.evictions = stats.evictions;
+  metrics_.spills = stats.spills;
+  metrics_.purged_blocks = stats.purged;
+  metrics_.uncacheable_blocks = stats.uncacheable;
+  metrics_.prefetches_issued = stats.prefetches_issued;
+  metrics_.prefetches_completed = stats.prefetches_completed;
+  metrics_.prefetches_useful = stats.prefetches_useful;
+  metrics_.prefetches_wasted = stats.prefetches_wasted;
+  metrics_.disk_bytes_read += background_read_.load();
+  metrics_.disk_bytes_written += background_write_.load();
+  metrics_.recompute_cpu_ms = resolver_.recompute_cpu_ms();
+}
+
+RunMetrics EventRun::run() {
+  if (config_.parallel_stats != nullptr) {
+    *config_.parallel_stats = NodeParallelStats{};
+  }
+  {
+    // Compilation covers the closure analysis the barrier runner times under
+    // kPartition, plus the instruction-graph build it has no analogue for.
+    ScopedTimer timer(config_.phase_timers, SimPhase::kPartition);
+    compile();
+  }
+
+  if (!instrs_.empty()) {
+    ready_.reserve(64);
+    remaining_ = instrs_.size();
+    for (std::size_t i = 0; i < instrs_.size(); ++i) {
+      if (instrs_[i].deps == 0) {
+        ready_.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    MRD_CHECK(!ready_.empty());
+    // Pool size: never more threads than the hardware can actually run —
+    // oversubscribing a graph scheduler only adds context switches, it can't
+    // add overlap. (The structural stats above use the *requested* worker
+    // count so reported numbers stay machine-independent.)
+    const std::size_t hw =
+        std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+    const std::size_t workers = std::min(
+        {std::max<std::size_t>(config_.node_jobs, 1), instrs_.size(), hw});
+    workers_ = workers;
+    if (workers == 1) {
+      drain_serial(config_.phase_timers);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers - 1);
+      for (std::size_t w = 1; w < workers; ++w) {
+        pool.emplace_back([this] { worker_loop(config_.phase_timers); });
+      }
+      worker_loop(config_.phase_timers);
+      for (std::thread& t : pool) t.join();
+      if (error_) std::rethrow_exception(error_);
+    }
+    MRD_CHECK(remaining_ == 0);
+  }
+
+  finalize();
+  return metrics_;
+}
+
+}  // namespace
+
+RunMetrics run_plan_event(const ExecutionPlan& plan, const RunConfig& config) {
+  EventRun run(plan, config);
+  return run.run();
+}
+
+}  // namespace mrd

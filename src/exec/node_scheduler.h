@@ -1,0 +1,56 @@
+// Event-driven per-node execution: the instruction scheduler that retires
+// the runner's bulk-synchronous phase barriers.
+//
+// The stage loop of application_runner.cpp is compiled — ahead of any
+// execution — into a DAG of small instructions with counted dependencies
+// (the ready/pending shape of oneflow's VM scheduler):
+//
+//   kIssue(n, s)      refresh node n's prefetch orders for stage s;
+//   kProbe(r, g)      demand-probe the blocks of probe region r (one
+//                     (stage, rdd) pair) owned by closure group g, in the
+//                     region's shared seeded permutation order;
+//   kAcct(n, s)       node n's deterministic stage accounting (source /
+//                     shuffle / compute / shuffle-write charges) plus its
+//                     batched cache writes of newly persisted blocks;
+//   kWall(s)          the stage-wall reduction over every node's accounting
+//                     (the one inherent cross-node join per stage) and the
+//                     stage's contribution to RunMetrics;
+//   kServe(n, s)      serve node n's prefetch queue with the stage's idle
+//                     disk time;
+//   kPurge(n, s)      node n's stage-end proactive purge;
+//   kBcast            a serialized DAG-event broadcast (only scheduled for
+//                     policies with shared cross-node state, i.e. MRD);
+//   kClose(s)         recycle stage s's accounting buffer.
+//
+// Dependencies come from three sources and nothing else:
+//   * per-node FIFO edges — each node's instructions are chained in the
+//     serial order, so every node (and every closure group member) observes
+//     exactly the serial event subsequence;
+//   * structural edges — probes/accounting feed the stage wall, the wall
+//     feeds the serves, closes recycle buffers three stages behind;
+//   * broadcast gates (MRD only) — the shared reference-distance state
+//     mutates exactly at the serialized broadcast points, so every
+//     instruction reading the table between two broadcasts runs between
+//     them. Policies without shared state skip the gates entirely: their
+//     whole journal is pre-appended and each instruction replays its nodes
+//     only up to its own journal horizon (BlockManagerMaster::node_at), so
+//     adjacent stages overlap across nodes.
+//
+// A ready instruction may execute on any worker; the per-block decision
+// stream each node observes is the serial one by construction, so
+// RunMetrics and every bench CSV are byte-identical to the serial oracle
+// for any worker count.
+#pragma once
+
+#include "dag/execution_plan.h"
+#include "exec/application_runner.h"
+#include "metrics/run_metrics.h"
+
+namespace mrd {
+
+/// Runs `plan` on the event scheduler with config.node_jobs workers
+/// (1 worker executes the whole instruction stream inline). Byte-identical
+/// to run_plan with node_jobs == 1 for every worker count.
+RunMetrics run_plan_event(const ExecutionPlan& plan, const RunConfig& config);
+
+}  // namespace mrd

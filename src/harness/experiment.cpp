@@ -68,7 +68,8 @@ std::uint64_t cache_bytes_per_node_for(const WorkloadRun& run,
 RunMetrics run_with_policy(const WorkloadRun& run, ClusterConfig cluster,
                            double cache_fraction, const PolicyConfig& policy,
                            DagVisibility visibility, std::size_t node_jobs,
-                           NodeParallelStats* parallel_stats) {
+                           NodeParallelStats* parallel_stats,
+                           ExecMode exec_mode) {
   cluster.cache_bytes_per_node =
       cache_bytes_per_node_for(run, cluster, cache_fraction);
   RunConfig config;
@@ -77,6 +78,7 @@ RunMetrics run_with_policy(const WorkloadRun& run, ClusterConfig cluster,
   config.visibility = visibility;
   config.node_jobs = node_jobs;
   config.parallel_stats = parallel_stats;
+  config.exec_mode = exec_mode;
   return run_plan(run.plan, config);
 }
 
@@ -98,9 +100,11 @@ std::vector<RunMetrics> run_sweep_parallel(const std::vector<SweepJob>& jobs,
   return results;
 }
 
-SweepRunner::SweepRunner(std::size_t threads, std::size_t node_jobs)
+SweepRunner::SweepRunner(std::size_t threads, std::size_t node_jobs,
+                         ExecMode exec_mode)
     : threads_(std::max<std::size_t>(1, threads)),
       node_jobs_(std::max<std::size_t>(1, node_jobs)),
+      exec_mode_(exec_mode),
       pool_(threads_),
       start_(Clock::now()) {}
 
@@ -112,9 +116,12 @@ std::shared_future<RunMetrics> SweepRunner::submit(SweepJob job) {
   const std::size_t requested =
       job.node_jobs > 0 ? job.node_jobs : node_jobs_;
   const std::size_t node_jobs = threads_ > 1 ? 1 : requested;
+  // kAuto on the job inherits the runner's engine choice.
+  const ExecMode exec_mode =
+      job.exec_mode != ExecMode::kAuto ? job.exec_mode : exec_mode_;
   const Clock::time_point submitted = Clock::now();
   return pool_
-      .submit([this, job = std::move(job), node_jobs,
+      .submit([this, job = std::move(job), node_jobs, exec_mode,
                submitted]() -> RunMetrics {
         const Clock::time_point t0 = Clock::now();
         // Node-group accounting is only interesting (and only has a cost:
@@ -124,7 +131,7 @@ std::shared_future<RunMetrics> SweepRunner::submit(SweepJob job) {
             node_jobs > 1 ? &run_parallel : nullptr;
         RunMetrics metrics =
             run_with_policy(*job.run, job.cluster, job.fraction, job.policy,
-                            job.visibility, node_jobs, parallel);
+                            job.visibility, node_jobs, parallel, exec_mode);
         const double elapsed = ms_between(t0, Clock::now());
         const double queued = ms_between(submitted, t0);
         {

@@ -68,7 +68,8 @@ RunMetrics run_with_policy(const WorkloadRun& run, ClusterConfig cluster,
                            double cache_fraction, const PolicyConfig& policy,
                            DagVisibility visibility = DagVisibility::kRecurring,
                            std::size_t node_jobs = 1,
-                           NodeParallelStats* parallel_stats = nullptr);
+                           NodeParallelStats* parallel_stats = nullptr,
+                           ExecMode exec_mode = ExecMode::kAuto);
 
 // ---------------------------------------------------------------------------
 // Parallel sweep
@@ -85,6 +86,8 @@ struct SweepJob {
   /// default. Ignored (forced to 1) whenever the sweep itself runs on more
   /// than one thread — the outer, embarrassingly parallel level wins.
   std::size_t node_jobs = 0;
+  /// Engine for this point; kAuto inherits the runner's default.
+  ExecMode exec_mode = ExecMode::kAuto;
 };
 
 /// Wall-clock accounting of a sweep — the source of the benches' speedup
@@ -171,10 +174,12 @@ class SweepRunner {
   /// more than one sweep thread every run executes with node_jobs = 1 —
   /// cross-run parallelism already saturates the machine, and nesting would
   /// oversubscribe it.
-  explicit SweepRunner(std::size_t threads = 1, std::size_t node_jobs = 1);
+  explicit SweepRunner(std::size_t threads = 1, std::size_t node_jobs = 1,
+                       ExecMode exec_mode = ExecMode::kAuto);
 
   std::size_t threads() const { return threads_; }
   std::size_t node_jobs() const { return node_jobs_; }
+  ExecMode exec_mode() const { return exec_mode_; }
 
   /// Queues one run. The future resolves with its metrics (or rethrows the
   /// run's exception on get()).
@@ -196,6 +201,7 @@ class SweepRunner {
  private:
   std::size_t threads_;
   std::size_t node_jobs_;
+  ExecMode exec_mode_;
   ThreadPool pool_;
   std::chrono::steady_clock::time_point start_;
   mutable std::mutex mu_;

@@ -165,10 +165,11 @@ void expect_identical(const RunMetrics& a, const RunMetrics& b) {
 }
 
 RunMetrics run_point(const FuzzPoint& point, std::size_t node_jobs,
-                     NodeParallelStats* stats = nullptr) {
+                     NodeParallelStats* stats = nullptr,
+                     ExecMode exec_mode = ExecMode::kAuto) {
   return run_with_policy(*point.run, point.cluster, point.fraction,
                          point.policy, DagVisibility::kRecurring, node_jobs,
-                         stats);
+                         stats, exec_mode);
 }
 
 // ---------------------------------------------------------------------------
@@ -255,6 +256,39 @@ TEST(FuzzIdentity, RunMetricsMatchSerialOracleForAnyNodeJobs) {
   EXPECT_GT(parallel_regions, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Differential identity: event scheduler, explicit at every worker count
+// ---------------------------------------------------------------------------
+
+// kAuto already routes node_jobs > 1 through the event scheduler, so the
+// test above covers it implicitly; this one forces ExecMode::kEvent —
+// including the single-worker drain, which kAuto never picks — and checks
+// the instruction-graph accounting alongside the metrics.
+TEST(FuzzIdentity, EventSchedulerMatchesSerialOracleForAnyWorkerCount) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const FuzzPoint point = make_point(seed);
+    const RunMetrics oracle = run_point(point, 1);
+    for (const std::size_t workers : {1u, 2u, 8u}) {
+      SCOPED_TRACE("workers " + std::to_string(workers));
+      NodeParallelStats stats;
+      expect_identical(
+          oracle, run_point(point, workers, &stats, ExecMode::kEvent));
+      // The instruction graph is a property of the plan, not of the worker
+      // count: same size, same critical path, every time.
+      EXPECT_GT(stats.instructions, 0u);
+      EXPECT_GE(stats.critical_path, 1u);
+      EXPECT_LE(stats.critical_path, stats.instructions);
+      EXPECT_GE(stats.max_queue_depth, 1u);
+      NodeParallelStats again;
+      run_point(point, 2, &again, ExecMode::kEvent);
+      EXPECT_EQ(stats.instructions, again.instructions);
+      EXPECT_EQ(stats.critical_path, again.critical_path);
+      EXPECT_EQ(stats.max_queue_depth, again.max_queue_depth);
+    }
+  }
+}
+
 /// Renders metrics through the same formatting helpers the bench drivers
 /// use, so the comparison covers the full metrics→CSV path.
 std::string csv_bytes_for(const std::vector<RunMetrics>& results,
@@ -279,18 +313,22 @@ std::string csv_bytes_for(const std::vector<RunMetrics>& results,
 }
 
 TEST(FuzzIdentity, CsvBytesMatchSerialOracle) {
-  std::vector<RunMetrics> serial, two, eight;
+  std::vector<RunMetrics> serial, two, eight, event_one, event_eight;
   for (std::uint64_t seed = 0; seed < kSeeds; seed += 3) {
     const FuzzPoint point = make_point(seed);
     serial.push_back(run_point(point, 1));
     two.push_back(run_point(point, 2));
     eight.push_back(run_point(point, 8));
+    event_one.push_back(run_point(point, 1, nullptr, ExecMode::kEvent));
+    event_eight.push_back(run_point(point, 8, nullptr, ExecMode::kEvent));
   }
   const std::string base = testing::TempDir() + "fuzz_identity_csv_";
   const std::string bytes1 = csv_bytes_for(serial, base + "1.csv");
   EXPECT_FALSE(bytes1.empty());
   EXPECT_EQ(bytes1, csv_bytes_for(two, base + "2.csv"));
   EXPECT_EQ(bytes1, csv_bytes_for(eight, base + "8.csv"));
+  EXPECT_EQ(bytes1, csv_bytes_for(event_one, base + "e1.csv"));
+  EXPECT_EQ(bytes1, csv_bytes_for(event_eight, base + "e8.csv"));
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,186 @@
+// Event-scheduler unit surface: instruction-graph shape, dependency
+// accounting, determinism across worker counts, and cross-stage overlap
+// legality — the structural claims DESIGN.md's "Event-driven execution"
+// section makes, checked against real workload plans.
+//
+// Byte-identity of the *metrics* across engines is fuzzed separately in
+// fuzz_identity_test.cpp; here we pin down the graph itself.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exec/node_partition.h"
+#include "harness/experiment.h"
+#include "workloads/workloads.h"
+
+namespace mrd {
+namespace {
+
+struct Scenario {
+  const char* workload;
+  const char* policy;
+};
+
+WorkloadRun planned(const char* key, double scale = 0.5) {
+  const WorkloadSpec* spec = find_workload(key);
+  EXPECT_NE(spec, nullptr) << key;
+  WorkloadParams params;
+  params.scale = scale;
+  return plan_workload(*spec, params);
+}
+
+RunMetrics run_mode(const WorkloadRun& run, const char* policy,
+                    std::size_t node_jobs, ExecMode mode,
+                    NodeParallelStats* stats = nullptr) {
+  PolicyConfig config;
+  config.name = policy;
+  return run_with_policy(run, main_cluster(), 0.5, config,
+                         DagVisibility::kRecurring, node_jobs, stats, mode);
+}
+
+void expect_same_metrics(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.jct_ms, b.jct_ms);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses_from_disk, b.misses_from_disk);
+  EXPECT_EQ(a.misses_recompute, b.misses_recompute);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.spills, b.spills);
+  EXPECT_EQ(a.disk_bytes_read, b.disk_bytes_read);
+  EXPECT_EQ(a.disk_bytes_written, b.disk_bytes_written);
+  EXPECT_EQ(a.network_bytes, b.network_bytes);
+  EXPECT_EQ(a.recompute_cpu_ms, b.recompute_cpu_ms);
+  EXPECT_EQ(a.per_rdd_probes, b.per_rdd_probes);
+  EXPECT_EQ(a.prefetches_issued, b.prefetches_issued);
+  EXPECT_EQ(a.prefetches_useful, b.prefetches_useful);
+  EXPECT_EQ(a.mrd_update_messages, b.mrd_update_messages);
+}
+
+// ---------------------------------------------------------------------------
+// Dependency counting
+// ---------------------------------------------------------------------------
+
+// Every instruction's dependency count must reach exactly zero once — a
+// leaked count deadlocks the engine (the run would MRD_CHECK-abort on a
+// nonzero remaining count), an overcount would fire an instruction early
+// and diverge from the serial oracle. Running to completion with identical
+// metrics across four policies exercises both failure modes, including the
+// broadcast gating edges that only MRD emits.
+TEST(NodeScheduler, DependencyCountsDrainToZeroForEveryPolicy) {
+  const WorkloadRun run = planned("lp");
+  for (const char* policy : {"lru", "fifo", "lrc", "mrd"}) {
+    SCOPED_TRACE(policy);
+    const RunMetrics oracle = run_mode(run, policy, 1, ExecMode::kAuto);
+    for (const std::size_t workers : {1u, 2u, 8u}) {
+      SCOPED_TRACE("workers " + std::to_string(workers));
+      expect_same_metrics(oracle,
+                          run_mode(run, policy, workers, ExecMode::kEvent));
+    }
+  }
+}
+
+// A single-node cluster degenerates the graph to a pure chain; the engine
+// must still drain it (and kAuto must not even pick the event engine there).
+TEST(NodeScheduler, SingleNodeClusterRunsToCompletion) {
+  const WorkloadRun run = planned("km", 0.25);
+  PolicyConfig policy;
+  policy.name = "mrd";
+  ClusterConfig cluster = main_cluster();
+  cluster.num_nodes = 1;
+  const RunMetrics oracle =
+      run_with_policy(run, cluster, 0.5, policy, DagVisibility::kRecurring,
+                      1, nullptr, ExecMode::kAuto);
+  const RunMetrics event =
+      run_with_policy(run, cluster, 0.5, policy, DagVisibility::kRecurring,
+                      4, nullptr, ExecMode::kEvent);
+  EXPECT_EQ(oracle.jct_ms, event.jct_ms);
+  EXPECT_EQ(oracle.probes, event.probes);
+  EXPECT_EQ(oracle.hits, event.hits);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------------
+
+// The instruction graph is compiled from the plan alone, so its shape —
+// size, critical path, deepest per-node queue, probe accounting — must be
+// bit-identical across repeated runs and across worker counts. (Worker
+// count changes which thread executes an instruction, never which
+// instructions exist or in what dependency order.)
+TEST(NodeScheduler, GraphShapeIsDeterministicAcrossRunsAndWorkerCounts) {
+  const WorkloadRun run = planned("scc");
+  for (const char* policy : {"lru", "mrd"}) {
+    SCOPED_TRACE(policy);
+    NodeParallelStats first;
+    run_mode(run, policy, 4, ExecMode::kEvent, &first);
+    EXPECT_GT(first.instructions, 0u);
+    EXPECT_GE(first.critical_path, 1u);
+    EXPECT_LE(first.critical_path, first.instructions);
+    EXPECT_GE(first.max_queue_depth, 1u);
+    EXPECT_LE(first.probes_parallel, first.probes_total);
+    for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+      SCOPED_TRACE("workers " + std::to_string(workers));
+      NodeParallelStats again;
+      run_mode(run, policy, workers, ExecMode::kEvent, &again);
+      EXPECT_EQ(first.instructions, again.instructions);
+      EXPECT_EQ(first.critical_path, again.critical_path);
+      EXPECT_EQ(first.max_queue_depth, again.max_queue_depth);
+      EXPECT_EQ(first.probes_total, again.probes_total);
+      EXPECT_EQ(first.probe_regions, again.probe_regions);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-stage overlap legality
+// ---------------------------------------------------------------------------
+
+// The point of retiring the barriers: for ungated policies the critical
+// path must be far shorter than the instruction count (structural overlap),
+// and gating (MRD's broadcast points) may only *lengthen* the critical
+// path, never shorten it — gates add edges and instructions, nothing else.
+TEST(NodeScheduler, UngatedPoliciesOverlapAndGatingOnlyRestricts) {
+  for (const char* key : {"scc", "lp"}) {
+    SCOPED_TRACE(key);
+    const WorkloadRun run = planned(key);
+    NodeParallelStats lru, mrd;
+    const RunMetrics lru_metrics = run_mode(run, "lru", 4, ExecMode::kEvent, &lru);
+    run_mode(run, "mrd", 4, ExecMode::kEvent, &mrd);
+    // Ungated: with ~20 nodes of per-node work per stage, overlap should be
+    // at least an order of magnitude.
+    EXPECT_GE(lru.overlap(), 4.0);
+    // Gated runs add broadcast instructions and gate edges; both totals can
+    // only grow.
+    EXPECT_GT(mrd.instructions, lru.instructions);
+    EXPECT_GT(mrd.critical_path, lru.critical_path);
+    // But gating must not serialize everything: MRD still overlaps within
+    // epochs.
+    EXPECT_GE(mrd.overlap(), 2.0);
+    // The overlap is real, not an accounting artifact: the overlapped run
+    // still reproduced the serial metrics.
+    expect_same_metrics(run_mode(run, "lru", 1, ExecMode::kAuto),
+                        lru_metrics);
+  }
+}
+
+// Probe-weighted parallelism accounting (the "parallel probes %" in the
+// [sweep] line): weights are partition counts, so the parallel share can
+// never exceed 1 and regions with more partitions move it more.
+TEST(NodeScheduler, ProbeAccountingIsWeightedByProbes) {
+  const WorkloadRun run = planned("scc");
+  NodeParallelStats stats;
+  run_mode(run, "lru", 4, ExecMode::kEvent, &stats);
+  EXPECT_GT(stats.probes_total, 0u);
+  EXPECT_GT(stats.probes_parallel, 0u);
+  const double share = stats.parallel_probe_share();
+  EXPECT_GT(share, 0.0);
+  EXPECT_LE(share, 1.0);
+  // Weighted by probes, not regions: the share must differ from the naive
+  // region fraction whenever region sizes are skewed — at minimum it must
+  // be a valid weighting (parallel probes ≤ total).
+  EXPECT_LE(stats.probes_parallel, stats.probes_total);
+}
+
+}  // namespace
+}  // namespace mrd
