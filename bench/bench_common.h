@@ -189,6 +189,17 @@ inline void report_sweep(const SweepRunner& runner) {
               << format_double(np.overlap(), 1) << "x, queue depth "
               << np.max_queue_depth;
   }
+  // Heap-allocation accounting from the pooled run contexts: total allocs
+  // across the sweep, and the mean per steady-state point (a point that
+  // fully reused its context — the zero-allocation regime the CI gate
+  // asserts). Absent under sanitizers, where the counting allocator is
+  // compiled out.
+  if (stats.alloc_stats_available) {
+    std::cout << "; allocs " << stats.heap_allocs << " ("
+              << stats.steady_runs << "/" << stats.runs
+              << " steady @ " << format_double(stats.mean_steady_allocs(), 1)
+              << "/run)";
+  }
   std::cout << "\n";
 }
 

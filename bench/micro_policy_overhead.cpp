@@ -12,6 +12,8 @@
 #include "core/policy_registry.h"
 #include "core/ref_distance_table.h"
 #include "dag/dag_scheduler.h"
+#include "exec/run_context.h"
+#include "util/arena.h"
 #include "workloads/workloads.h"
 
 namespace mrd {
@@ -216,6 +218,46 @@ void BM_MrdPrefetchMayEvict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MrdPrefetchMayEvict)->Arg(64)->Arg(512)->Arg(4096);
+
+// Per-point cost of rewinding a pooled RunContext between sweep points: the
+// second prepare() hits the key match and resets every per-run structure in
+// place (journal truncate, policy rewind, store clear) instead of
+// reconstructing them. This is the fixed overhead SweepRunner pays per
+// (policy, fraction) point in the steady state — it must stay far below one
+// run's wall clock.
+void BM_RunContextReset(benchmark::State& state) {
+  static const ExecutionPlan plan = benchmark_plan();
+  RunConfig config;
+  config.cluster.num_nodes = 25;
+  config.cluster.cache_bytes_per_node = 64ull << 20;
+  RunContext context;
+  context.prepare(plan, config);  // pay construction once, outside the loop
+  for (auto _ : state) {
+    context.prepare(plan, config);
+    benchmark::DoNotOptimize(context.fully_reused());
+  }
+}
+BENCHMARK(BM_RunContextReset);
+
+// Arena slab reuse: after the first lap every reset() retains the slabs, so
+// a refill of the same footprint is pure pointer bumps — no allocator
+// round-trips regardless of how many laps run.
+void BM_ArenaSlabReuse(benchmark::State& state) {
+  const auto arrays = static_cast<std::size_t>(state.range(0));
+  Arena arena;
+  for (auto _ : state) {
+    arena.reset();
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < arrays; ++i) {
+      std::uint32_t* a = arena.make_array<std::uint32_t>(64);
+      a[0] = static_cast<std::uint32_t>(i);
+      sum += a[0];
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * arrays);
+}
+BENCHMARK(BM_ArenaSlabReuse)->Arg(64)->Arg(1024);
 
 }  // namespace
 }  // namespace mrd

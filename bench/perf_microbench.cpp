@@ -25,7 +25,15 @@
 // scenario that fails is re-measured once before the gate fails: shared
 // containers see multi-second load bursts wider than any sane margin, and a
 // burst rarely spans both measurements, while a real regression always
-// does.
+// does. (The engine comparison block is re-measured along with the phase
+// medians, so a burst that trips the gate cannot leave stale inflated
+// numbers for a later --assert-event-fast to fail on.)
+//
+// --gate additionally asserts the zero-allocation steady state: every
+// scenario is run through a pooled RunContext (one warmup, then repeats at
+// the same key), and a repeat that fully reused its context must perform at
+// most a small constant number of heap allocations. Skipped under
+// sanitizers, where the counting allocator is compiled out.
 #include <algorithm>
 #include <array>
 #include <chrono>
@@ -36,6 +44,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "exec/run_context.h"
+#include "util/alloc_stats.h"
 
 using namespace mrd;
 
@@ -81,11 +91,22 @@ struct Result {
   double event_ms = 0.0;
   /// Event-graph shape of the event-engine run.
   NodeParallelStats event_stats;
+  /// Heap allocations of one fresh-context run vs the mean over steady
+  /// (fully context-reused) runs — the pooled-run-context regime the alloc
+  /// gate asserts stays ~allocation-free.
+  std::uint64_t fresh_allocs = 0;
+  std::uint64_t steady_allocs = 0;
+  std::uint64_t steady_runs = 0;
   double speedup() const {
     return median_ms > 0.0 ? baseline_ms / median_ms : 0.0;
   }
   double event_speedup() const {
     return event_ms > 0.0 ? barrier_ms / event_ms : 0.0;
+  }
+  double mean_steady_allocs() const {
+    return steady_runs > 0 ? static_cast<double>(steady_allocs) /
+                                 static_cast<double>(steady_runs)
+                           : 0.0;
   }
 };
 
@@ -304,6 +325,33 @@ int main(int argc, char** argv) {
         *event_ms = median(event_samples);
       };
 
+  // Allocation profile of the pooled-run-context path: one cold run builds
+  // the context, then kSteadyAllocRuns further runs at the same key must
+  // fully reuse it in place. Counted with the thread-local allocation hook
+  // (util/alloc_stats.h); zeros under sanitizers, where the hook is
+  // compiled out.
+  constexpr std::size_t kSteadyAllocRuns = 3;
+  const auto measure_allocs =
+      [](Result* result, const std::shared_ptr<const WorkloadRun>& run,
+         RunConfig config) {
+        RunContext context;
+        config.context = &context;
+        config.phase_timers = nullptr;
+        result->fresh_allocs = 0;
+        result->steady_allocs = 0;
+        result->steady_runs = 0;
+        for (std::size_t r = 0; r < 1 + kSteadyAllocRuns; ++r) {
+          alloc_stats::ThreadScope scope;
+          run_plan(run->plan, config);
+          if (r == 0) {
+            result->fresh_allocs = scope.allocs();
+          } else if (context.fully_reused()) {
+            ++result->steady_runs;
+            result->steady_allocs += scope.allocs();
+          }
+        }
+      };
+
   std::printf("Core simulator microbench: scale %.1f, fraction %.2f, "
               "median of %zu, node-jobs %zu\n\n",
               scale, kFraction, repeat, node_jobs);
@@ -396,6 +444,7 @@ int main(int argc, char** argv) {
       }
     }
     measure_engines(run, config, &result.barrier_ms, &result.event_ms);
+    measure_allocs(&result, run, config);
 
     // The two heaviest phases, as share of total timed phase ms.
     std::vector<std::pair<double, std::string_view>> shares;
@@ -442,6 +491,23 @@ int main(int argc, char** argv) {
         r.workload.c_str(), r.policy.c_str(), r.barrier_ms, r.event_ms,
         r.event_speedup(), r.event_stats.instructions,
         r.event_stats.overlap(), r.event_stats.max_queue_depth);
+  }
+
+  if (alloc_stats::available()) {
+    std::printf("\nHeap allocations per run (pooled run context, %zu steady "
+                "runs after one warmup):\n",
+                kSteadyAllocRuns);
+    for (const Result& r : results) {
+      std::printf("  %s/%s: fresh %llu, steady %.1f (%llu/%zu runs reused)\n",
+                  r.workload.c_str(), r.policy.c_str(),
+                  static_cast<unsigned long long>(r.fresh_allocs),
+                  r.mean_steady_allocs(),
+                  static_cast<unsigned long long>(r.steady_runs),
+                  kSteadyAllocRuns);
+    }
+  } else {
+    std::printf("\nHeap allocation accounting unavailable (sanitizer build); "
+                "alloc gate will be skipped.\n");
   }
 
   // Load the committed baseline *before* writing the fresh JSON: the gate
@@ -499,6 +565,12 @@ int main(int argc, char** argv) {
          << ", \"critical_path\": " << r.event_stats.critical_path
          << ", \"overlap\": " << json_number(r.event_stats.overlap())
          << ", \"max_queue_depth\": " << r.event_stats.max_queue_depth
+         << "},\n      \"allocs\": {"
+         << "\"available\": "
+         << (alloc_stats::available() ? "true" : "false")
+         << ", \"fresh\": " << r.fresh_allocs
+         << ", \"steady_runs\": " << r.steady_runs
+         << ", \"steady_mean\": " << json_number(r.mean_steady_allocs())
          << "},\n      \"phase_ms\": {";
     for (std::size_t p = 0; p < kNumSimPhases; ++p) {
       json << (p ? ", " : "") << "\"" << kSimPhaseNames[p]
@@ -561,13 +633,19 @@ int main(int argc, char** argv) {
     if (!failing.empty()) {
       // One re-measure before failing: a shared-container load burst can
       // dilate wall clock past any sane margin, but it rarely spans both
-      // measurements — a real regression does.
+      // measurements — a real regression does. The engine comparison block
+      // is re-measured alongside the phase medians: the same burst that
+      // trips the gate also dilates barrier_ms/event_ms, and a later
+      // --assert-event-fast would otherwise judge the engines on
+      // burst-contaminated numbers.
       std::printf("  re-measuring %zu scenario(s) to rule out a transient "
                   "load burst:\n",
                   failing.size());
       bool gate_ok = true;
       for (const std::size_t i : failing) {
         measure(&results[i], runs[i], configs[i]);
+        measure_engines(runs[i], configs[i], &results[i].barrier_ms,
+                        &results[i].event_ms);
         gate_ok = gate_scenario(results[i]) && gate_ok;
       }
       if (!gate_ok) {
@@ -577,6 +655,40 @@ int main(int argc, char** argv) {
                      "measurements\n");
         return 1;
       }
+    }
+
+    // Steady-state allocation gate: a point that fully reuses its pooled
+    // RunContext must stay ~allocation-free — the budget covers the
+    // per-run RunMetrics vectors and stray libc buffers, not structural
+    // reconstruction (a policy or block-manager rebuild costs thousands of
+    // allocations and trips this immediately). Wall-clock noise cannot
+    // affect allocation counts, so no re-measure is needed.
+    if (alloc_stats::available()) {
+      constexpr double kSteadyAllocLimit = 256.0;
+      std::printf("\nSteady-state allocation gate (limit %.0f allocs/run):\n",
+                  kSteadyAllocLimit);
+      bool alloc_ok = true;
+      for (const Result& r : results) {
+        const bool reused = r.steady_runs == kSteadyAllocRuns;
+        const bool ok = reused && r.mean_steady_allocs() <= kSteadyAllocLimit;
+        std::printf("  %s/%s: %.1f allocs/run over %llu reused runs %s\n",
+                    r.workload.c_str(), r.policy.c_str(),
+                    r.mean_steady_allocs(),
+                    static_cast<unsigned long long>(r.steady_runs),
+                    ok ? "OK" : (reused ? "REGRESSED" : "NOT REUSED"));
+        alloc_ok = alloc_ok && ok;
+      }
+      if (!alloc_ok) {
+        std::fprintf(stderr,
+                     "FAIL: alloc gate — a steady-state (pooled-context) "
+                     "run either failed to reuse its context or allocated "
+                     "more than %.0f times\n",
+                     kSteadyAllocLimit);
+        return 1;
+      }
+    } else {
+      std::printf("\nSteady-state allocation gate skipped (allocation "
+                  "accounting unavailable in this build).\n");
     }
   }
 

@@ -44,6 +44,8 @@
 #include "dag/dag_builder.h"
 #include "dag/dag_scheduler.h"
 #include "dag/placement.h"
+#include "exec/run_context.h"
+#include "util/alloc_stats.h"
 #include "util/check.h"
 #include "util/scoped_timer.h"
 
@@ -160,6 +162,18 @@ struct SizeResult {
   std::vector<double> samples_ms;
   std::array<double, kNumSimPhases> phase_median_ms{};
   RunMetrics metrics;  // first repeat (repeats are deterministic replicas)
+  /// Heap-allocation accounting across the repeats (pooled run context):
+  /// the first repeat pays construction, later repeats reuse in place. Zero
+  /// everywhere when the counting allocator is compiled out (sanitizers).
+  std::uint64_t fresh_allocs = 0;
+  std::uint64_t steady_allocs = 0;
+  std::uint64_t steady_runs = 0;
+  double mean_steady_allocs() const {
+    return steady_runs > 0
+               ? static_cast<double>(steady_allocs) /
+                     static_cast<double>(steady_runs)
+               : 0.0;
+  }
 };
 
 /// The block-level event count a phase's cost is proportional to when the
@@ -239,15 +253,21 @@ void measure_size(SizeResult* result, const WorkloadRun& run,
   ClusterConfig cluster = scale_cluster(num_nodes);
   cluster.cache_bytes_per_node =
       cache_bytes_per_node_for(run, cluster, kFraction);
+  // One pooled context across the repeats: the first pays construction, the
+  // rest replay through reset-in-place — the same steady state SweepRunner
+  // reaches, measured here at scale.
+  RunContext context;
   for (std::size_t rep = 0; rep < repeat; ++rep) {
     RunConfig config;
     config.cluster = cluster;
     config.policy = policy;
     config.node_jobs = node_jobs;
     config.exec_mode = exec_mode;
+    config.context = &context;
     PhaseTimers timers;
     config.phase_timers = &timers;
     const auto start = std::chrono::steady_clock::now();
+    alloc_stats::ThreadScope alloc_scope;
     RunMetrics metrics = run_plan(run.plan, config);
     const double wall_ms = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - start)
@@ -256,7 +276,13 @@ void measure_size(SizeResult* result, const WorkloadRun& run,
     for (std::size_t p = 0; p < kNumSimPhases; ++p) {
       phase_samples[p].push_back(timers.ms[p]);
     }
-    if (rep == 0) result->metrics = std::move(metrics);
+    if (rep == 0) {
+      result->metrics = std::move(metrics);
+      result->fresh_allocs = alloc_scope.allocs();
+    } else if (context.fully_reused()) {
+      ++result->steady_runs;
+      result->steady_allocs += alloc_scope.allocs();
+    }
   }
   result->median_ms = median(result->samples_ms);
   for (std::size_t p = 0; p < kNumSimPhases; ++p) {
@@ -644,7 +670,12 @@ int main(int argc, char** argv) {
       const SizeResult& r = s.sizes[j];
       json << "        {\"num_nodes\": " << r.num_nodes
            << ", \"median_ms\": " << json_number(r.median_ms)
-           << ", \"phase_median_ms\": {";
+           << ", \"allocs\": {\"available\": "
+           << (alloc_stats::available() ? "true" : "false")
+           << ", \"fresh\": " << r.fresh_allocs
+           << ", \"steady_runs\": " << r.steady_runs
+           << ", \"steady_mean\": " << json_number(r.mean_steady_allocs())
+           << "}, \"phase_median_ms\": {";
       for (std::size_t p = 0; p < kNumSimPhases; ++p) {
         json << (p ? ", " : "") << "\"" << kSimPhaseNames[p]
              << "\": " << json_number(r.phase_median_ms[p]);

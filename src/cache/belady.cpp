@@ -19,15 +19,15 @@ void BeladyPolicy::on_job_start(const ExecutionPlan& plan, JobId job) {
 void BeladyPolicy::on_stage_start(const ExecutionPlan& plan, JobId job,
                                   StageId stage) {
   (void)plan;
-  const auto it = order_.find({job, stage});
-  if (it != order_.end()) cursor_ = it->second;
+  const std::size_t* it = order_.find(order_key(job, stage));
+  if (it != nullptr) cursor_ = *it;
 }
 
 void BeladyPolicy::on_stage_end(const ExecutionPlan& plan, JobId job,
                                 StageId stage) {
   (void)plan;
-  const auto it = order_.find({job, stage});
-  if (it != order_.end()) cursor_ = it->second + 1;
+  const std::size_t* it = order_.find(order_key(job, stage));
+  if (it != nullptr) cursor_ = *it + 1;
 }
 
 void BeladyPolicy::on_rdd_probed(const ExecutionPlan& plan, RddId rdd,
@@ -35,10 +35,10 @@ void BeladyPolicy::on_rdd_probed(const ExecutionPlan& plan, RddId rdd,
   (void)plan;
   (void)stage;
   // Advance the RDD's cursor past events at or before the current position.
-  const auto it = events_.find(rdd);
-  if (it == events_.end()) return;
+  if (rdd >= events_.size()) return;
+  const std::vector<std::size_t>& v = events_[rdd];
   std::size_t& idx = consumed_[rdd];
-  while (idx < it->second.size() && it->second[idx] <= cursor_) ++idx;
+  while (idx < v.size() && v[idx] <= cursor_) ++idx;
 }
 
 bool BeladyPolicy::should_promote(const BlockId& block,
@@ -85,24 +85,25 @@ std::optional<BlockId> BeladyPolicy::choose_victim() {
 }
 
 std::size_t BeladyPolicy::next_reference(RddId rdd) const {
-  const auto it = events_.find(rdd);
-  if (it == events_.end()) return std::numeric_limits<std::size_t>::max();
-  const auto& v = it->second;
-  const auto consumed_it = consumed_.find(rdd);
+  if (rdd >= events_.size()) return std::numeric_limits<std::size_t>::max();
+  const std::vector<std::size_t>& v = events_[rdd];
   // Start past consumed probes, then skip any events strictly before the
   // current position (references consumed implicitly, e.g. via recompute).
-  std::size_t from = consumed_it == consumed_.end() ? 0 : consumed_it->second;
+  std::size_t from = consumed_[rdd];
   while (from < v.size() && v[from] < cursor_) ++from;
   return from < v.size() ? v[from] : std::numeric_limits<std::size_t>::max();
 }
 
 void BeladyPolicy::build_timeline(const ExecutionPlan& plan) {
   timeline_built_ = true;
+  const std::size_t num_rdds = plan.app().num_rdds();
+  if (events_.size() < num_rdds) events_.resize(num_rdds);
+  if (consumed_.size() < num_rdds) consumed_.resize(num_rdds, 0);
   std::size_t index = 0;
   for (const JobInfo& job : plan.jobs()) {
     for (const StageExecution& rec : job.stages) {
       if (!rec.executed) continue;
-      order_[{rec.job, rec.stage}] = index;
+      order_[order_key(rec.job, rec.stage)] = index;
       for (RddId r : rec.probes) events_[r].push_back(index);
       ++index;
     }

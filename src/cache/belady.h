@@ -12,12 +12,12 @@
 // and documented in DESIGN.md.
 #pragma once
 
-#include <map>
-#include <unordered_map>
+#include <algorithm>
 #include <vector>
 
 #include "cache/cache_policy.h"
 #include "cache/resident_set.h"
+#include "util/flat_hash.h"
 
 namespace mrd {
 
@@ -40,6 +40,20 @@ class BeladyPolicy : public CachePolicy {
   void on_block_evicted(const BlockId& block) override;
   std::optional<BlockId> choose_victim() override;
 
+  bool reset_for_reuse() override {
+    // Capacity-preserving: the per-RDD event arrays keep their storage, so
+    // a pooled run rebuilds the timeline without allocator traffic. Stale
+    // empty entries past a smaller plan's RDD range read exactly like a
+    // fresh table (no events -> SIZE_MAX next reference).
+    for (std::vector<std::size_t>& v : events_) v.clear();
+    std::fill(consumed_.begin(), consumed_.end(), 0);
+    order_.clear();
+    cursor_ = 0;
+    timeline_built_ = false;
+    residents_.clear();
+    return true;
+  }
+
   /// Execution-order index of `rdd`'s next planned probe at/after the
   /// current position; returns SIZE_MAX when none remains.
   std::size_t next_reference(RddId rdd) const;
@@ -47,12 +61,18 @@ class BeladyPolicy : public CachePolicy {
  private:
   void build_timeline(const ExecutionPlan& plan);
 
-  /// Probe positions per RDD, ascending execution-order index.
-  std::unordered_map<RddId, std::vector<std::size_t>> events_;
+  static std::uint64_t order_key(JobId job, StageId stage) {
+    return (static_cast<std::uint64_t>(job) << 32) | stage;
+  }
+
+  /// Probe positions per RDD (index == RddId), ascending execution-order
+  /// index. Dense vectors instead of node-based maps: RDD IDs are small and
+  /// dense, and the rebuild-per-run timeline must not allocate once pooled.
+  std::vector<std::vector<std::size_t>> events_;
   /// Per-RDD consumption cursor into events_ (advanced as probes complete).
-  std::unordered_map<RddId, std::size_t> consumed_;
-  /// (job, stage) -> execution-order index.
-  std::map<std::pair<JobId, StageId>, std::size_t> order_;
+  std::vector<std::size_t> consumed_;
+  /// (job, stage) packed -> execution-order index.
+  FlatMap64<std::size_t> order_;
   std::size_t cursor_ = 0;
   bool timeline_built_ = false;
   ResidentSet residents_;

@@ -32,6 +32,7 @@
 #include "dag/execution_plan.h"
 #include "dag/ids.h"
 #include "dag/placement.h"
+#include "util/function_ref.h"
 
 namespace mrd {
 
@@ -69,12 +70,16 @@ struct PrefetchBudget {
   /// disk copy"). The answer may only flip false→true through events the
   /// policy observes (spills ride along with evictions), which is what
   /// makes the elision safe to cache in a resume cursor. nullptr = unknown;
-  /// offer everything.
-  std::function<bool(RddId)> rdd_on_disk;
+  /// offer everything. Non-owning: the bound callable must outlive the
+  /// budget (bind a named local, not a temporary).
+  FunctionRef<bool(RddId)> rdd_on_disk;
 };
 
 /// Receives prefetch candidates best-first; returns what became of each.
-using PrefetchSink = std::function<PrefetchOffer(const BlockId&)>;
+/// Non-owning (util/function_ref.h): sinks are consumed within the call
+/// they are passed to, and the issuer's capture-heavy lambdas must not cost
+/// a heap allocation per stage on the steady-state path.
+using PrefetchSink = FunctionRef<PrefetchOffer(const BlockId&)>;
 
 /// Receives eviction victims streamed by choose_victims(), best victim
 /// first. The *store* owns the eviction itself (with its non-resident
@@ -82,8 +87,9 @@ using PrefetchSink = std::function<PrefetchOffer(const BlockId&)>;
 /// return value is the bytes still needed after that — 0 means the
 /// pressure is resolved and generation must stop. The returned need is
 /// authoritative as a stop signal but only a hint in magnitude: admissions
-/// between victims can raise it above the previous value.
-using EvictionSink = std::function<std::uint64_t(const BlockId&)>;
+/// between victims can raise it above the previous value. Non-owning, like
+/// PrefetchSink.
+using EvictionSink = FunctionRef<std::uint64_t(const BlockId&)>;
 
 class CachePolicy {
  public:
@@ -98,6 +104,16 @@ class CachePolicy {
   virtual void configure_placement(BlockPlacement placement) {
     (void)placement;
   }
+
+  /// Rewinds the policy to its just-constructed state *in place*, retaining
+  /// container capacity, so a pooled run context can replay a fresh run
+  /// without reconstructing the policy (and re-paying its allocations).
+  /// Returns false when the policy does not support in-place reset — the
+  /// owner must then destroy and reconstruct it. After a successful reset
+  /// the policy must be observationally identical to a new instance built
+  /// with the same constructor arguments (configure_placement is re-applied
+  /// by the owner).
+  virtual bool reset_for_reuse() { return false; }
 
   // ---- DAG visibility ----------------------------------------------------
 
@@ -182,7 +198,10 @@ class CachePolicy {
   }
 
   /// Blocks to drop proactively, if any. Queried at stage boundaries.
-  virtual std::vector<BlockId> purge_candidates() { return {}; }
+  /// Fills `out` (cleared first) with blocks droppable proactively; the
+  /// out-parameter form lets the caller pool the buffer across stages, so
+  /// the per-stage purge enumeration is allocation-free once warmed.
+  virtual void purge_candidates(std::vector<BlockId>* out) { out->clear(); }
 
   /// Streams blocks to pull into memory, best candidate first, into `sink`.
   /// Queried at stage boundaries by the node's BlockManager

@@ -17,6 +17,12 @@ class FifoPolicy : public CachePolicy {
   void on_block_evicted(const BlockId& block) override;
   std::optional<BlockId> choose_victim() override;
 
+  bool reset_for_reuse() override {
+    order_.clear();
+    index_.clear();
+    return true;
+  }
+
  private:
   BlockList order_;  // front = oldest
   FlatMap64<BlockList::Index> index_;

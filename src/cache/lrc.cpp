@@ -1,13 +1,15 @@
 #include "cache/lrc.h"
 
-#include "dag/reference_profile.h"
-
 namespace mrd {
 
 void LrcPolicy::on_job_start(const ExecutionPlan& plan, JobId job) {
-  const ReferenceProfileMap profile = build_job_reference_profile(plan, job);
-  for (const auto& [rdd, p] : profile) {
-    total_refs_[rdd] += p.references.size();
+  // Count this job's probes directly off the plan. Materializing a
+  // ReferenceProfileMap here (a std::map rebuilt per node per job
+  // broadcast) was the allocation hot spot of LRC's steady-state sweep;
+  // the probe lists of executed stages are the same reference events.
+  for (const StageExecution& rec : plan.job(job).stages) {
+    if (!rec.executed) continue;
+    for (RddId r : rec.probes) ++total_refs_[r];
   }
 }
 
@@ -42,12 +44,10 @@ std::optional<BlockId> LrcPolicy::choose_victim() {
 }
 
 std::uint64_t LrcPolicy::remaining_references(RddId rdd) const {
-  const auto total_it = total_refs_.find(rdd);
-  const std::uint64_t total =
-      total_it == total_refs_.end() ? 0 : total_it->second;
-  const auto used_it = consumed_refs_.find(rdd);
-  const std::uint64_t used =
-      used_it == consumed_refs_.end() ? 0 : used_it->second;
+  const std::uint64_t* total_p = total_refs_.find(rdd);
+  const std::uint64_t total = total_p == nullptr ? 0 : *total_p;
+  const std::uint64_t* used_p = consumed_refs_.find(rdd);
+  const std::uint64_t used = used_p == nullptr ? 0 : *used_p;
   return total > used ? total - used : 0;
 }
 

@@ -14,10 +14,9 @@
 //    reference implementation does within an equal-count group.
 #pragma once
 
-#include <unordered_map>
-
 #include "cache/cache_policy.h"
 #include "cache/resident_set.h"
+#include "util/flat_hash.h"
 
 namespace mrd {
 
@@ -34,12 +33,21 @@ class LrcPolicy : public CachePolicy {
   void on_block_evicted(const BlockId& block) override;
   std::optional<BlockId> choose_victim() override;
 
+  bool reset_for_reuse() override {
+    total_refs_.clear();
+    consumed_refs_.clear();
+    residents_.clear();
+    return true;
+  }
+
   /// Remaining known future references of `rdd` (clamped at zero).
   std::uint64_t remaining_references(RddId rdd) const;
 
  private:
-  std::unordered_map<RddId, std::uint64_t> total_refs_;
-  std::unordered_map<RddId, std::uint64_t> consumed_refs_;
+  // Flat tables (capacity-preserving clear): a pooled run re-counts into
+  // the warm slots instead of re-allocating unordered_map nodes per RDD.
+  FlatMap64<std::uint64_t> total_refs_;
+  FlatMap64<std::uint64_t> consumed_refs_;
   ResidentSet residents_;
 };
 

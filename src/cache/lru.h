@@ -17,6 +17,12 @@ class LruPolicy : public CachePolicy {
   void on_block_evicted(const BlockId& block) override;
   std::optional<BlockId> choose_victim() override;
 
+  bool reset_for_reuse() override {
+    order_.clear();
+    index_.clear();
+    return true;
+  }
+
   std::size_t resident_count() const { return index_.size(); }
 
  private:

@@ -28,7 +28,8 @@ void MemTunePolicy::on_stage_start(const ExecutionPlan& plan, JobId job,
   // from there.
   const JobInfo& info = plan.job(job);
   std::size_t pos = info.stages.size();
-  std::vector<const StageExecution*> executed;
+  std::vector<const StageExecution*>& executed = executed_scratch_;
+  executed.clear();
   for (const StageExecution& rec : info.stages) {
     if (!rec.executed) continue;
     if (rec.stage == stage) pos = executed.size();
@@ -73,7 +74,10 @@ void MemTunePolicy::prefetch_candidates(const PrefetchBudget& budget,
   if (plan_ == nullptr || budget.queue_slots == 0) return;
   // Unordered (list) semantics: RDD-id order for determinism, no distance
   // ranking — MemTune has none.
-  std::vector<RddId> sorted(needed_.begin(), needed_.end());
+  std::vector<RddId>& sorted = sorted_scratch_;
+  sorted.clear();
+  needed_.for_each(
+      [&sorted](std::uint64_t key) { sorted.push_back(static_cast<RddId>(key)); });
   std::sort(sorted.begin(), sorted.end());
   std::size_t issued = 0;
   for (RddId rdd : sorted) {

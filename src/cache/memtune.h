@@ -12,10 +12,11 @@
 // knob.
 #pragma once
 
-#include <unordered_set>
+#include <vector>
 
 #include "cache/cache_policy.h"
 #include "cache/resident_set.h"
+#include "util/flat_hash.h"
 
 namespace mrd {
 
@@ -43,7 +44,15 @@ class MemTunePolicy : public CachePolicy {
   void prefetch_candidates(const PrefetchBudget& budget,
                            const PrefetchSink& sink) override;
 
-  bool is_needed(RddId rdd) const { return needed_.count(rdd) > 0; }
+  bool reset_for_reuse() override {
+    plan_ = nullptr;
+    needed_.clear();
+    residents_.clear();
+    placement_ = BlockPlacement::kRoundRobin;  // re-applied by the owner
+    return true;
+  }
+
+  bool is_needed(RddId rdd) const { return needed_.contains(rdd); }
 
  private:
   NodeId node_;
@@ -51,7 +60,13 @@ class MemTunePolicy : public CachePolicy {
   BlockPlacement placement_ = BlockPlacement::kRoundRobin;
   std::size_t window_;
   const ExecutionPlan* plan_ = nullptr;  // set at job start; plan outlives run
-  std::unordered_set<RddId> needed_;
+  /// Flat set (capacity-preserving clear): rebuilt per stage on every node,
+  /// so unordered_set node churn dominated MemTune's steady-state allocs.
+  FlatSet64 needed_;
+  /// Reused per-call scratch (on_stage_start's executed-stage walk and
+  /// prefetch_candidates' sorted enumeration) — capacity recycles per run.
+  std::vector<const StageExecution*> executed_scratch_;
+  std::vector<RddId> sorted_scratch_;
   ResidentSet residents_;
 };
 

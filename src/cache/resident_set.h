@@ -33,6 +33,12 @@ class ResidentSet {
     index_.insert(key, order_.push_front(key));
   }
 
+  /// Empties the set, retaining both containers' capacity (pooled reuse).
+  void clear() {
+    order_.clear();
+    index_.clear();
+  }
+
   bool contains(const BlockId& block) const {
     return index_.contains(pack_block_id(block));
   }

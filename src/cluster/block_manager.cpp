@@ -100,9 +100,12 @@ void BlockManager::refresh_prefetch_orders(const ExecutionPlan& plan,
   budget.free_bytes = free_bytes;
   budget.capacity = capacity;
   budget.queue_slots = max_queue - live_queued_;
-  budget.rdd_on_disk = [this](RddId rdd) {
+  // Named local: the budget's FunctionRef is non-owning, so the callable
+  // must outlive the prefetch_candidates call below.
+  const auto rdd_on_disk = [this](RddId rdd) {
     return on_disk_.rdd_count(rdd) > 0;
   };
+  budget.rdd_on_disk = rdd_on_disk;
   policy_->prefetch_candidates(
       budget, [&](const BlockId& block) -> PrefetchOffer {
         if (live_queued_ >= max_queue) return PrefetchOffer::kStop;
@@ -134,8 +137,9 @@ bool BlockManager::issue_prefetch(const BlockId& block, std::uint64_t bytes,
   if (prefetch_index_.contains(pack_block_id(block))) return false;
   if (!on_disk_.contains(block)) return false;
   const double load_ms = static_cast<double>(bytes) * config_.disk_ms_per_byte();
-  prefetch_queue_.push_back(PendingPrefetch{block, bytes, load_ms, forced});
-  prefetch_index_.insert(pack_block_id(block), &prefetch_queue_.back());
+  const std::uint64_t pos =
+      prefetch_queue_.push_back(PendingPrefetch{block, bytes, load_ms, forced});
+  prefetch_index_.insert(pack_block_id(block), pos);
   ++live_queued_;
   queued_bytes_ += bytes;
   ++stats_.prefetches_issued;
@@ -287,13 +291,40 @@ bool BlockManager::insert_with_spill(const BlockId& block, std::uint64_t bytes,
 }
 
 void BlockManager::cancel_pending_prefetch(const BlockId& block) {
-  PendingPrefetch** entry = prefetch_index_.find(pack_block_id(block));
+  std::uint64_t* entry = prefetch_index_.find(pack_block_id(block));
   if (entry == nullptr) return;
-  (*entry)->cancelled = true;
-  queued_bytes_ -= (*entry)->bytes;
+  PendingPrefetch& pending = prefetch_queue_.at(*entry);
+  pending.cancelled = true;
+  queued_bytes_ -= pending.bytes;
   --live_queued_;
   prefetch_index_.erase_found(entry);
   update_queue_flag();
+}
+
+void BlockManager::reset_for_reuse(std::unique_ptr<CachePolicy> replacement) {
+  if (replacement != nullptr) policy_ = std::move(replacement);
+  // config_ references the master's config object, which the master rewrites
+  // before resetting its nodes — re-read capacity and placement from it.
+  store_.reset(config_.cache_bytes_per_node, policy_.get());
+  policy_->configure_placement(config_.placement);
+  local_activity_ = 0;
+  *activity_ = 0;
+  on_disk_.clear();
+  prefetch_queue_.clear();
+  prefetch_index_.clear();
+  live_queued_ = 0;
+  queued_bytes_ = 0;
+  prefetch_run_.clear();
+  scratch_evicted_.clear();
+  batch_scratch_.stored = batch_scratch_.refreshed = batch_scratch_.rejected =
+      0;
+  batch_scratch_.evicted.clear();
+  prefetched_unused_.clear();
+  // Zero the stats without surrendering the per-RDD vector's buffer.
+  auto per_rdd = std::move(stats_.per_rdd);
+  per_rdd.clear();
+  stats_ = NodeCacheStats{};
+  stats_.per_rdd = std::move(per_rdd);
 }
 
 }  // namespace mrd

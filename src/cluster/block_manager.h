@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -19,6 +18,7 @@
 #include "dag/ids.h"
 #include "util/block_bitmap.h"
 #include "util/flat_hash.h"
+#include "util/ring_deque.h"
 
 namespace mrd {
 
@@ -79,6 +79,15 @@ class BlockManager {
 
   NodeId node() const { return node_; }
 
+  /// Pooled rewind: clears every piece of per-run state in place, retaining
+  /// its storage (store hash table, disk bitmaps, prefetch ring, stat
+  /// vectors). `replacement`, when non-null, substitutes a freshly
+  /// constructed policy (the old one reported it cannot reset in place);
+  /// when null the existing policy must already have been reset by the
+  /// caller. Placement is re-applied either way, and the store re-reads the
+  /// (possibly updated) cluster config's capacity.
+  void reset_for_reuse(std::unique_ptr<CachePolicy> replacement);
+
   /// Points this node's activity byte into the master's per-node array
   /// (defaults to a private byte so standalone BlockManagers need no
   /// master). The byte is node-private for writes: distinct nodes never
@@ -86,6 +95,11 @@ class BlockManager {
   void bind_activity_flag(std::uint8_t* flag) { activity_ = flag; }
 
   CachePolicy& policy() { return *policy_; }
+  /// Pooled buffer for the master's per-stage purge enumeration. Node-local
+  /// (purge fan-out runs disjoint node ranges on different workers), so each
+  /// worker fills its own node's scratch race-free, and the capacity
+  /// recycles across stages.
+  std::vector<BlockId>& purge_scratch() { return purge_scratch_; }
   const MemoryStore& store() const { return store_; }
   const NodeCacheStats& stats() const { return stats_; }
 
@@ -215,13 +229,16 @@ class BlockManager {
   /// O(1) "anything of this RDD on disk?" pre-filter for
   /// refresh_prefetch_orders.
   BlockBitmap on_disk_;
-  std::deque<PendingPrefetch> prefetch_queue_;
-  /// Packed block id -> its live queue entry (std::deque references are
-  /// stable under push/pop at the ends, and cancellation no longer erases
-  /// mid-queue). Doubles as the old membership set; makes
-  /// cancel_pending_prefetch O(1) instead of a deque scan per demand probe
-  /// of a queued block.
-  FlatMap64<PendingPrefetch*> prefetch_index_;
+  /// Ring-buffer deque: push/pop at the ends never allocate once the ring
+  /// has grown to the high-water queue depth (std::deque allocated and
+  /// freed chunk nodes as the queue breathed), and clear() retains the
+  /// buffer for pooled reuse.
+  RingDeque<PendingPrefetch> prefetch_queue_;
+  /// Packed block id -> the entry's logical ring position (monotonic across
+  /// the queue's lifetime, so a stale index entry can never alias a reused
+  /// slot). Doubles as the old membership set; makes cancel_pending_prefetch
+  /// O(1) instead of a queue scan per demand probe of a queued block.
+  FlatMap64<std::uint64_t> prefetch_index_;
   /// Uncancelled entries in prefetch_queue_.
   std::size_t live_queued_ = 0;
   std::uint64_t queued_bytes_ = 0;
@@ -233,6 +250,8 @@ class BlockManager {
   std::vector<std::pair<BlockId, std::uint64_t>> scratch_evicted_;
   /// Reused result for the batch insert paths, same rationale.
   BatchInsertResult batch_scratch_;
+  /// Reused buffer for the master's purge enumeration (see purge_scratch()).
+  std::vector<BlockId> purge_scratch_;
   /// Prefetched blocks not yet accessed (to classify useful vs. wasted).
   FlatSet64 prefetched_unused_;
   NodeCacheStats stats_;

@@ -1,5 +1,7 @@
 #include "cluster/block_manager_master.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace mrd {
@@ -15,6 +17,24 @@ BlockManagerMaster::BlockManagerMaster(const ClusterConfig& config,
     nodes_.push_back(std::make_unique<BlockManager>(
         n, config_, factory(n, config_.num_nodes)));
     nodes_.back()->bind_activity_flag(&activity_[n]);
+  }
+}
+
+void BlockManagerMaster::reset_for_reuse(const ClusterConfig& config,
+                                         const PolicyFactory& factory) {
+  MRD_CHECK(config.num_nodes == num_nodes());
+  // The nodes hold references to config_; rewrite it in place first so their
+  // resets read the new capacity/placement.
+  config_ = config;
+  events_.clear();  // truncate-in-place: the journal buffer is retained
+  std::fill(event_pos_.begin(), event_pos_.end(), 0);
+  std::fill(activity_.begin(), activity_.end(), 0);
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    std::unique_ptr<CachePolicy> replacement;
+    if (!nodes_[n]->policy().reset_for_reuse()) {
+      replacement = factory(n, config_.num_nodes);
+    }
+    nodes_[n]->reset_for_reuse(std::move(replacement));
   }
 }
 
@@ -116,7 +136,11 @@ std::size_t BlockManagerMaster::execute_purge(NodeId begin, NodeId end) {
     // before node() also skips the event replay for idle nodes.
     if ((activity_[n] & kNodeHasResidents) == 0) continue;
     BlockManager& bm = node(n);
-    for (const BlockId& block : bm.policy().purge_candidates()) {
+    // Fill the node's pooled scratch; purge_block only mutates residency
+    // (never the policy's candidate buffer), so iterating it is safe.
+    std::vector<BlockId>& candidates = bm.purge_scratch();
+    bm.policy().purge_candidates(&candidates);
+    for (const BlockId& block : candidates) {
       if (bm.in_memory(block)) {
         bm.purge_block(block);
         ++purged;
@@ -132,7 +156,9 @@ std::size_t BlockManagerMaster::execute_purge_at(NodeId n,
   if ((activity_[n] & kNodeHasResidents) == 0) return 0;
   std::size_t purged = 0;
   BlockManager& bm = node_at(n, horizon);
-  for (const BlockId& block : bm.policy().purge_candidates()) {
+  std::vector<BlockId>& candidates = bm.purge_scratch();
+  bm.policy().purge_candidates(&candidates);
+  for (const BlockId& block : candidates) {
     if (bm.in_memory(block)) {
       bm.purge_block(block);
       ++purged;

@@ -28,6 +28,15 @@ class BlockManagerMaster {
  public:
   BlockManagerMaster(const ClusterConfig& config, const PolicyFactory& factory);
 
+  /// Pooled rewind for a run against `config` (which must keep the node
+  /// count — everything else, e.g. the cache capacity a sweep varies, may
+  /// change). Truncates the broadcast journal in place, rewinds every
+  /// node's replay position, zeroes the activity bytes and resets each node:
+  /// policies reset in place when they support it, and are reconstructed
+  /// through `factory` otherwise. Shared policy state (the MrdManager) is
+  /// NOT reset here — the owner resets it once, not once per node.
+  void reset_for_reuse(const ClusterConfig& config, const PolicyFactory& factory);
+
   NodeId num_nodes() const { return static_cast<NodeId>(nodes_.size()); }
 
   /// Dereferences a node, first replaying any broadcast events it has not

@@ -26,6 +26,15 @@ MemoryStore::MemoryStore(std::uint64_t capacity_bytes, CachePolicy* policy)
   MRD_CHECK(policy_ != nullptr);
 }
 
+void MemoryStore::reset(std::uint64_t capacity_bytes, CachePolicy* policy) {
+  MRD_CHECK(policy != nullptr);
+  capacity_ = capacity_bytes;
+  used_ = 0;
+  policy_ = policy;
+  blocks_.clear();
+  insertion_order_.clear();
+}
+
 InsertResult MemoryStore::insert(const BlockId& block, std::uint64_t bytes) {
   InsertResult result;
   result.stored = insert_into(block, bytes, &result.evicted);

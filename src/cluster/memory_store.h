@@ -37,6 +37,12 @@ class MemoryStore {
   /// `policy` must outlive the store.
   MemoryStore(std::uint64_t capacity_bytes, CachePolicy* policy);
 
+  /// Pooled rewind: drops every resident in place — without per-block policy
+  /// notification; the caller resets the policy separately — retaining the
+  /// hash table and insertion-list storage, and rebinds the capacity and
+  /// policy for the next run (sweeps vary the capacity between reuses).
+  void reset(std::uint64_t capacity_bytes, CachePolicy* policy);
+
   /// Inserts `block`. Evicts policy-chosen victims until it fits; a block
   /// larger than the whole capacity is rejected (stored == false). If the
   /// policy runs out of victims (or keeps nominating non-residents), the

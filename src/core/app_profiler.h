@@ -42,6 +42,11 @@ class AppProfiler {
   /// the store).
   void on_application_end(const ExecutionPlan& plan);
 
+  /// Pooled-context rewind: drops the accumulated profile so the next run
+  /// re-observes from scratch. The ProfileStore pointer (recurring-mode
+  /// persistence) is configuration, not run state, and is kept.
+  void reset_for_reuse() { accumulated_.clear(); }
+
  private:
   ProfileStore* store_;
   ReferenceProfileMap accumulated_;

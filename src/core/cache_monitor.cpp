@@ -324,31 +324,32 @@ void CacheMonitor::choose_victims(std::uint64_t bytes_needed,
   }
 }
 
-std::vector<BlockId> CacheMonitor::purge_candidates() {
+void CacheMonitor::purge_candidates(std::vector<BlockId>* out) {
   // The all-out purge is driven by the MRD_Table and runs in every MRD
   // variant: it is what frees memory below the prefetch threshold, so even
   // the prefetch-only ablation keeps it. Purged blocks are independent
   // removals, so enumeration order is free; walking the per-RDD residency
-  // bitmaps costs O(blocks purged), not a scan of the resident set.
+  // bitmaps costs O(blocks purged), not a scan of the resident set. The
+  // caller's pooled `out` keeps its capacity, so the per-stage purge query
+  // is allocation-free once warmed.
+  out->clear();
   const std::vector<RddId>& purge = manager_->purge_rdds();
-  if (purge.empty() || resident_blocks_ == 0) return {};
-  std::vector<BlockId> out;
+  if (purge.empty() || resident_blocks_ == 0) return;
   for (RddId rdd : purge) {
     if (rdd >= rdd_residency_.size()) continue;
     const RddResidency& r = rdd_residency_[rdd];
     if (r.count == 0) continue;
-    out.reserve(out.size() + r.count);
+    out->reserve(out->size() + r.count);
     for (std::size_t w = 0; w < r.bits.size(); ++w) {
       std::uint64_t bits = r.bits[w];
       while (bits != 0) {
         const int bit = std::countr_zero(bits);
         bits &= bits - 1;
-        out.push_back(BlockId{
+        out->push_back(BlockId{
             rdd, static_cast<PartitionIndex>((w << 6) + bit)});
       }
     }
   }
-  return out;
 }
 
 void CacheMonitor::prefetch_candidates(const PrefetchBudget& budget,
@@ -470,6 +471,47 @@ bool CacheMonitor::should_promote(const BlockId& block,
 
 void CacheMonitor::on_prefetch_insert(bool active) {
   prefetch_insert_active_ = active;
+}
+
+bool CacheMonitor::reset_for_reuse() {
+  // Capacity-preserving rewind of the per-node state. The distance memo is
+  // *kept*: its stamps compare against the manager's monotonically
+  // advancing distance_version(), so after MrdManager::reset_for_reuse()
+  // every entry already reads as stale — clearing it would only discard the
+  // vector's length for the next run to re-grow.
+  plan_ = nullptr;
+  placement_ = BlockPlacement::kRoundRobin;  // re-applied by the owner
+  residents_.clear();
+  block_bytes_.clear();
+  resident_blocks_ = 0;
+  prefetch_insert_active_ = false;
+  for (RddResidency& r : rdd_residency_) {
+    std::fill(r.bits.begin(), r.bits.end(), 0);
+    r.count = 0;
+    r.local_count = 0;
+    r.bytes = 0;
+    r.max_partition = 0;
+    r.uniform_bytes = 0;
+    r.mixed = false;
+  }
+  residents_rev_ = 0;
+  reclaimable_bytes_ = 0;
+  activity_log_pos_ = 0;
+  // All-inactive initial state, matching a fresh monitor (entries are only
+  // consulted after the replay in sync_activity catches up).
+  rdd_active_.assign(rdd_active_.size(), false);
+  furthest_version_stamp_ = 0;
+  furthest_dirty_ = false;
+  furthest_memo_ = -1.0;
+  victim_valid_ = false;
+  victim_stamp_ = 0;
+  victim_ = {};
+  cursor_valid_ = false;
+  cursor_order_version_ = 0;
+  cursor_residents_rev_ = 0;
+  cursor_idx_ = 0;
+  cursor_part_ = 0;
+  return true;
 }
 
 bool CacheMonitor::admit_prefetch(const BlockId& block) {

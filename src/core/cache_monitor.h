@@ -75,7 +75,7 @@ class CacheMonitor : public CachePolicy {
   std::optional<BlockId> choose_victim() override;
   void choose_victims(std::uint64_t bytes_needed,
                       const EvictionSink& sink) override;
-  std::vector<BlockId> purge_candidates() override;
+  void purge_candidates(std::vector<BlockId>* out) override;
   void prefetch_candidates(const PrefetchBudget& budget,
                            const PrefetchSink& sink) override;
   bool prefetch_may_evict(std::uint64_t free_bytes,
@@ -84,6 +84,7 @@ class CacheMonitor : public CachePolicy {
   bool should_promote(const BlockId& block, std::uint64_t free_bytes) override;
   void on_prefetch_insert(bool active) override;
   bool admit_prefetch(const BlockId& block) override;
+  bool reset_for_reuse() override;
 
   const MrdManager& manager() const { return *manager_; }
 

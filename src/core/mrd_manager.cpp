@@ -16,9 +16,29 @@ MrdManager::MrdManager(std::shared_ptr<AppProfiler> profiler,
 void MrdManager::on_application_start(const ExecutionPlan& plan) {
   if (application_started_) return;
   application_started_ = true;
-  ReferenceProfileMap profile = profiler_->application_profile(plan);
-  reconcile_profile(&profile, plan);
-  load_profile(profile);
+  if (profiler_->is_recurring(plan)) {
+    ReferenceProfileMap profile = profiler_->application_profile(plan);
+    reconcile_profile(&profile, plan);
+    load_profile(profile);
+    return;
+  }
+  // No stored profile: application_profile would parse this very plan
+  // (build_reference_profile), so skip the intermediate map and feed the
+  // table straight from the DAG — references read off the plan are in range
+  // by construction (nothing to reconcile), and the pooled table re-admits
+  // them into recycled storage, so the profile load allocates nothing in
+  // the steady state. The table is insertion-order independent (sorted,
+  // deduplicated per RDD), so this loads exactly what load_profile would.
+  for (const JobInfo& job : plan.jobs()) {
+    for (const StageExecution& rec : job.stages) {
+      if (!rec.executed) continue;
+      for (RddId r : rec.probes) {
+        table_.add_reference(r, rec.stage, rec.job);
+      }
+    }
+  }
+  ++distance_version_;
+  note_table_broadcast();
 }
 
 void MrdManager::reconcile_profile(ReferenceProfileMap* profile,
@@ -107,6 +127,31 @@ void MrdManager::on_rdd_probed(RddId rdd, StageId stage) {
   if (table_.num_entries() != before) ++distance_version_;
 }
 
+void MrdManager::reset_for_reuse() {
+  table_.clear();
+  current_stage_ = 0;
+  current_job_ = 0;
+  // Monotonic epoch advance (never back to 1): stamps held by any
+  // CacheMonitor — reset or not — can only ever equal versions the manager
+  // already produced, so old memos are stale by construction.
+  ++distance_version_;
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    order_stamp_ = 0;
+    purge_stamp_ = 0;
+    ++order_version_;
+    order_memo_.clear();
+    purge_memo_.clear();
+  }
+  application_started_ = false;
+  last_job_started_ = kInvalidJob;
+  last_stage_started_ = kInvalidStage;
+  last_stage_ended_ = kInvalidStage;
+  rdd_probed_through_.clear();
+  stats_ = MrdManagerStats{};
+  profiler_->reset_for_reuse();
+}
+
 double MrdManager::distance(RddId rdd) const {
   return table_.distance(rdd, current_stage_, current_job_, metric_);
 }
@@ -114,7 +159,7 @@ double MrdManager::distance(RddId rdd) const {
 const std::vector<RddId>& MrdManager::purge_rdds() const {
   std::lock_guard<std::mutex> lock(memo_mutex_);
   if (purge_stamp_ != distance_version_) {
-    purge_memo_ = table_.inactive_rdds();
+    table_.inactive_rdds(&purge_memo_);  // refilled in place, no allocation
     purge_stamp_ = distance_version_;
   }
   return purge_memo_;
@@ -134,10 +179,12 @@ std::uint64_t MrdManager::prefetch_order_version() const {
 
 void MrdManager::refresh_prefetch_order_locked() const {
   if (order_stamp_ == distance_version_) return;
-  std::vector<RddId> fresh =
-      table_.by_ascending_distance(current_stage_, current_job_, metric_);
-  if (fresh != order_memo_) {
-    order_memo_ = std::move(fresh);
+  // `order_scratch_` and the memo trade buffers on change, so the refresh
+  // recycles the same two allocations for the run's lifetime.
+  table_.by_ascending_distance(current_stage_, current_job_, metric_,
+                               &order_scratch_);
+  if (order_scratch_ != order_memo_) {
+    order_memo_.swap(order_scratch_);
     ++order_version_;
   }
   order_stamp_ = distance_version_;

@@ -60,6 +60,13 @@ class MrdManager {
   /// (idempotent; every CacheMonitor forwards the same event).
   void on_rdd_probed(RddId rdd, StageId stage);
 
+  /// Pooled-context rewind: empties the table, memos, idempotency guards and
+  /// stats in place (retaining their storage) and resets the profiler's
+  /// accumulation. The distance/order epochs advance monotonically instead
+  /// of restarting, so every stamp a CacheMonitor memoized against the old
+  /// run reads as stale with no per-RDD clearing.
+  void reset_for_reuse();
+
   // ---- Queries used by the CacheMonitors ----
 
   /// Reference distance of `rdd` at the current execution position
@@ -131,6 +138,9 @@ class MrdManager {
   mutable std::uint64_t order_stamp_ = 0;   // distance_version of the memo
   mutable std::uint64_t order_version_ = 1; // bumps on content change
   mutable std::vector<RddId> order_memo_;
+  /// Refresh scratch: swapped with order_memo_ on content change, so both
+  /// buffers recycle for the run's lifetime.
+  mutable std::vector<RddId> order_scratch_;
   mutable std::uint64_t purge_stamp_ = 0;
   mutable std::vector<RddId> purge_memo_;
 

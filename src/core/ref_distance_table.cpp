@@ -120,9 +120,15 @@ bool RefDistanceTable::is_inactive(RddId rdd) const {
   return refs_[rdd].empty();
 }
 
-std::vector<RddId> RefDistanceTable::by_ascending_distance(
-    StageId current_stage, JobId current_job, DistanceMetric metric) const {
-  std::vector<std::pair<double, RddId>> scored;
+void RefDistanceTable::by_ascending_distance(StageId current_stage,
+                                             JobId current_job,
+                                             DistanceMetric metric,
+                                             std::vector<RddId>* out) const {
+  // `scored_scratch_` keeps its capacity across calls: the enumeration runs
+  // once per stage on the steady-state path and must not allocate there.
+  // Callers already serialize access (the MrdManager memo mutex).
+  std::vector<std::pair<double, RddId>>& scored = scored_scratch_;
+  scored.clear();
   for (RddId rdd = 0; rdd < refs_.size(); ++rdd) {
     const RefQueue& q = refs_[rdd];
     if (q.empty()) continue;
@@ -142,26 +148,33 @@ std::vector<RddId> RefDistanceTable::by_ascending_distance(
     scored.emplace_back(d, rdd);
   }
   std::sort(scored.begin(), scored.end());
-  std::vector<RddId> out;
-  out.reserve(scored.size());
+  out->clear();
+  out->reserve(scored.size());
   for (const auto& [d, rdd] : scored) {
     (void)d;
-    out.push_back(rdd);
+    out->push_back(rdd);
   }
-  return out;
 }
 
-std::vector<RddId> RefDistanceTable::inactive_rdds() const {
-  std::vector<RddId> out;
+void RefDistanceTable::inactive_rdds(std::vector<RddId>* out) const {
+  out->clear();
   for (RddId rdd = 0; rdd < refs_.size(); ++rdd) {
-    if (refs_[rdd].tracked && refs_[rdd].empty()) out.push_back(rdd);
+    if (refs_[rdd].tracked && refs_[rdd].empty()) out->push_back(rdd);
   }
-  return out;
 }
 
 void RefDistanceTable::clear() {
-  refs_.clear();
-  stage_buckets_.clear();
+  // Capacity-preserving: the per-RDD reference arrays and per-stage buckets
+  // keep their storage, so a pooled table reloaded with the same profile
+  // performs no allocations. An untracked queue is observationally
+  // identical to an absent one (infinite distance, inactive, never
+  // enumerated), so emptying in place matches a fresh table exactly.
+  for (RefQueue& q : refs_) {
+    q.refs.clear();
+    q.head = 0;
+    q.tracked = false;
+  }
+  for (std::vector<RddId>& bucket : stage_buckets_) bucket.clear();
   activity_log_.clear();
   consume_cursor_ = 0;
   live_entries_ = 0;

@@ -69,17 +69,34 @@ class RefDistanceTable {
   bool is_inactive(RddId rdd) const;
 
   /// RDDs ordered by ascending distance (finite distances only) — the
-  /// prefetch priority order.
+  /// prefetch priority order. Fills `out` in place (cleared first), reusing
+  /// its capacity: the enumeration runs once per stage and must stay
+  /// allocation-free in the steady state. Not concurrency-safe with itself
+  /// (an internal scratch buffer is reused); callers serialize through the
+  /// MrdManager memo lock.
+  void by_ascending_distance(StageId current_stage, JobId current_job,
+                             DistanceMetric metric,
+                             std::vector<RddId>* out) const;
   std::vector<RddId> by_ascending_distance(StageId current_stage,
                                            JobId current_job,
-                                           DistanceMetric metric) const;
+                                           DistanceMetric metric) const {
+    std::vector<RddId> out;
+    by_ascending_distance(current_stage, current_job, metric, &out);
+    return out;
+  }
 
   /// All *announced* RDDs currently inactive (purge candidates). Unlike
   /// is_inactive, this cannot enumerate never-announced RDDs — the purge
   /// order is driven by the profile, and an RDD outside the profile has no
   /// blocks the table knows to name (its blocks already rank as
-  /// infinite-distance eviction victims on every node).
-  std::vector<RddId> inactive_rdds() const;
+  /// infinite-distance eviction victims on every node). Fills `out` in
+  /// place (cleared first), reusing its capacity.
+  void inactive_rdds(std::vector<RddId>* out) const;
+  std::vector<RddId> inactive_rdds() const {
+    std::vector<RddId> out;
+    inactive_rdds(&out);
+    return out;
+  }
 
   /// Number of (rdd, reference) entries — the paper's §4.4 footprint claim
   /// ("largest MRD_Table contained < 300 references").
@@ -117,6 +134,11 @@ class RefDistanceTable {
     JobId job;
     friend auto operator<=>(const Ref&, const Ref&) = default;
   };
+
+  /// Capacity-preserving scratch for by_ascending_distance — cleared and
+  /// refilled on every call, so only its storage carries over. Mutable
+  /// because the enumeration is logically const; callers serialize access.
+  mutable std::vector<std::pair<double, RddId>> scored_scratch_;
 
   /// Sorted references, live in [head, refs.size()): consumption advances
   /// the head instead of shifting the array.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <future>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "cluster/block_manager_master.h"
@@ -10,6 +11,7 @@
 #include "exec/lineage_resolver.h"
 #include "exec/node_partition.h"
 #include "exec/node_scheduler.h"
+#include "exec/run_context.h"
 #include "sim/node_accounting.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -69,14 +71,18 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
   // bytes out, no per-phase fan/join); kBarrier pins the bulk-synchronous
   // fan-out below as the comparison baseline; kEvent forces the scheduler
   // even single-threaded (differential tests).
-  if (config.exec_mode == ExecMode::kEvent ||
-      (config.exec_mode == ExecMode::kAuto && config.node_jobs > 1 &&
-       num_nodes > 1)) {
+  if (RunContext::engine_for(config) == RunContext::Engine::kEvent) {
     return run_plan_event(plan, config);
   }
-  PolicySetup setup = make_policy(config.policy, num_nodes);
-  BlockManagerMaster master(config.cluster, setup.factory);
-  LineageResolver resolver(plan, &master);
+  // All per-run structures live in a RunContext: the caller's pooled one
+  // when provided (reset in place on a key match — the sweep steady state),
+  // a fresh local otherwise. Identical behavior either way.
+  RunContext local_context;
+  RunContext& ctx = config.context != nullptr ? *config.context : local_context;
+  ctx.prepare(plan, config);
+  PolicySetup& setup = ctx.setup();
+  BlockManagerMaster& master = ctx.master();
+  LineageResolver& resolver = ctx.resolver();
 
   // Intra-run fan-out across the simulated nodes. The closure-free phases
   // (prefetch issue/serve, cache writes, purge) touch only one node per
@@ -91,11 +97,12 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
       std::min<std::size_t>(std::max<std::size_t>(config.node_jobs, 1),
                             num_nodes);
   const bool fan_out = node_jobs > 1 && num_nodes > 1;
-  std::unique_ptr<ClosurePartitioner> partitioner;
+  ClosurePartitioner* partitioner = nullptr;
   if (fan_out || config.parallel_stats != nullptr) {
+    // Cached in the context: the partitioner depends only on key fields, so
+    // a reused run pays nothing here (the timer then measures ~0).
     ScopedTimer timer(config.phase_timers, SimPhase::kPartition);
-    partitioner = std::make_unique<ClosurePartitioner>(
-        plan, num_nodes, config.cluster.placement);
+    partitioner = &ctx.ensure_partitioner(plan);
   }
   if (config.parallel_stats != nullptr) {
     *config.parallel_stats = NodeParallelStats{};
@@ -103,7 +110,11 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
     config.parallel_stats->plan_groups = partitioner->plan_groups().num_groups();
     config.parallel_stats->num_nodes = num_nodes;
   }
-  ThreadPool node_pool(fan_out ? node_jobs : 0);
+  // Only constructed when the run actually fans out: the serial path (the
+  // sweep steady state) must not pay even the pool's bookkeeping
+  // allocations.
+  std::optional<ThreadPool> node_pool;
+  if (fan_out) node_pool.emplace(node_jobs);
   const std::size_t num_chunks = fan_out ? node_jobs : 1;
 
   // Runs fn(lo, hi) over contiguous node ranges, one per worker, and joins
@@ -121,7 +132,7 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
       const NodeId lo = static_cast<NodeId>(c * num_nodes / num_chunks);
       const NodeId hi = static_cast<NodeId>((c + 1) * num_nodes / num_chunks);
       if (lo == hi) continue;
-      done.push_back(node_pool.submit([&fn, lo, hi] { fn(lo, hi); }));
+      done.push_back(node_pool->submit([&fn, lo, hi] { fn(lo, hi); }));
     }
     for (auto& f : done) f.get();
   };
@@ -132,24 +143,30 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
 
   const BlockPlacement placement = config.cluster.placement;
   // Per-RDD node→chunk maps for the group-parallel probe regions, built on
-  // the RDD's first parallel probe and reused for the rest of the run: the
-  // probed RDD's groups and region_chunks are run constants, so the packing
-  // is too. Rebuilding the map per (stage, RDD) region was an O(num_nodes)
-  // term in the probe phase of every stage.
-  std::vector<std::unique_ptr<std::vector<std::uint32_t>>> chunk_cache;
-  if (fan_out) chunk_cache.resize(plan.app().num_rdds());
+  // the RDD's first parallel probe and reused for the rest of the *key's*
+  // lifetime: the probed RDD's groups and region_chunks depend only on key
+  // fields, so the packing survives context reuse. The maps themselves are
+  // arena-backed (freed wholesale on rekey). Rebuilding the map per
+  // (stage, RDD) region was an O(num_nodes) term in the probe phase of
+  // every stage.
+  std::vector<const std::uint32_t*>& chunk_cache = ctx.chunk_cache;
+  if (fan_out && chunk_cache.size() != plan.app().num_rdds()) {
+    chunk_cache.assign(plan.app().num_rdds(), nullptr);
+  }
 
   // Background (prefetch) I/O accumulates here; it rides inside stage
   // windows and never extends them, but the bytes are real.
   IoCharge background;
 
-  // Per-run scratch, reset in place each stage: the stage loop used to
-  // reallocate all of these per stage (and the batch buffer per RDD per
-  // node), which dominated allocator traffic on probe-light stages.
-  std::vector<NodeAccounting> acct;
-  std::vector<IoCharge> node_background;
-  std::vector<PartitionIndex> order;
-  std::vector<std::vector<BlockId>> batch_scratch(num_nodes);
+  // Per-run scratch, reset in place each stage (and pooled across runs via
+  // the context): the stage loop used to reallocate all of these per stage
+  // (and the batch buffer per RDD per node), which dominated allocator
+  // traffic on probe-light stages.
+  std::vector<NodeAccounting>& acct = ctx.acct;
+  std::vector<IoCharge>& node_background = ctx.node_background;
+  std::vector<PartitionIndex>& order = ctx.order;
+  std::vector<std::vector<BlockId>>& batch_scratch = ctx.batch_scratch;
+  if (batch_scratch.size() < num_nodes) batch_scratch.resize(num_nodes);
 
   if (config.visibility == DagVisibility::kRecurring) {
     ScopedTimer timer(config.phase_timers, SimPhase::kBroadcast);
@@ -246,8 +263,8 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
               // with roughly equal node counts; groups are ordered by
               // smallest member, so the assignment is deterministic.
               const NodeGroups& groups = partitioner->probe_groups(p);
-              auto map = std::make_unique<std::vector<std::uint32_t>>(
-                  num_nodes, 0);
+              std::uint32_t* map =
+                  ctx.arena().make_array<std::uint32_t>(num_nodes);
               std::size_t chunk = 0;
               std::size_t filled = 0;
               for (const std::vector<NodeId>& group : groups.groups) {
@@ -256,18 +273,18 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
                   ++chunk;
                 }
                 for (NodeId member : group) {
-                  (*map)[member] = static_cast<std::uint32_t>(chunk);
+                  map[member] = static_cast<std::uint32_t>(chunk);
                 }
                 filled += group.size();
               }
-              chunk_cache[p] = std::move(map);
+              chunk_cache[p] = map;
             }
-            const std::vector<std::uint32_t>& chunk_of = *chunk_cache[p];
+            const std::uint32_t* chunk_of = chunk_cache[p];
             const std::uint32_t salt = placement_salt(p, num_nodes, placement);
             std::vector<std::future<void>> done;
             done.reserve(region_chunks);
             for (std::size_t c = 0; c < region_chunks; ++c) {
-              done.push_back(node_pool.submit([&, c] {
+              done.push_back(node_pool->submit([&, c] {
                 for (PartitionIndex j : order) {
                   if (chunk_of[(j + salt) % num_nodes] != c) continue;
                   resolver.demand_block(BlockId{p, j}, &acct);

@@ -46,6 +46,8 @@ enum class DagVisibility { kAdHoc, kRecurring };
 /// Every mode produces byte-identical RunMetrics for a given plan/config.
 enum class ExecMode { kAuto, kBarrier, kEvent };
 
+class RunContext;
+
 struct RunConfig {
   ClusterConfig cluster = main_cluster();
   PolicyConfig policy;
@@ -71,6 +73,12 @@ struct RunConfig {
   /// fan-out engaged); null = not collected. The counters are deterministic
   /// for a given (plan, cluster, node_jobs).
   NodeParallelStats* parallel_stats = nullptr;
+  /// Optional pooled per-run state (exec/run_context.h): the runner resets
+  /// and reuses its structures in place when the context's key matches this
+  /// (plan, config), and rebuilds them into it otherwise. Null runs with a
+  /// fresh context (identical results — pooling is purely an allocation
+  /// optimization).
+  RunContext* context = nullptr;
 };
 
 /// True when every demand probe's lineage-recompute closure stays on the

@@ -6,6 +6,7 @@
 // recomputed block.
 #pragma once
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -19,6 +20,14 @@ namespace mrd {
 class LineageResolver {
  public:
   LineageResolver(const ExecutionPlan& plan, BlockManagerMaster* master);
+
+  /// Pooled rewind: zeroes the per-run recompute charges. The shuffle-edge
+  /// map is derived from the plan alone and the resolver is rebuilt whenever
+  /// the plan changes, so it carries over untouched.
+  void reset_for_reuse() {
+    std::fill(recompute_cpu_ms_by_node_.begin(),
+              recompute_cpu_ms_by_node_.end(), 0.0);
+  }
 
   /// "No horizon": every node dereference replays to the journal end (the
   /// serial runner's semantics, where the journal never runs ahead of the

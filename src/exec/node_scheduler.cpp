@@ -15,7 +15,9 @@
 #include "cluster/block_manager_master.h"
 #include "exec/lineage_resolver.h"
 #include "exec/node_partition.h"
+#include "exec/run_context.h"
 #include "sim/node_accounting.h"
+#include "util/arena.h"
 #include "util/check.h"
 #include "util/random.h"
 #include "util/scoped_timer.h"
@@ -96,17 +98,23 @@ struct RegionRec {
 };
 
 /// The compiled program plus the mutable run state the instructions touch.
+/// Compiles once, runs many times: a pooled RunContext caches the whole
+/// EventRun (in its type-erased engine slot), and each run() re-arms the
+/// graph from the compile-time dependency snapshot and rewinds the cluster
+/// model in place instead of reconstructing either.
 class EventRun {
  public:
-  EventRun(const ExecutionPlan& plan, const RunConfig& config)
+  EventRun(const ExecutionPlan& plan, const RunConfig& config, Arena* arena)
       : plan_(plan),
-        config_(config),
+        config_(&config),
+        arena_(arena),
         num_nodes_(config.cluster.num_nodes),
         setup_(make_policy(config.policy, num_nodes_)),
         master_(config.cluster, setup_.factory),
         resolver_(plan, &master_),
         gated_(setup_.manager != nullptr),
         batch_scratch_(num_nodes_) {
+    MRD_CHECK(arena_ != nullptr);
     for (auto& buffer : acct_buffers_) {
       buffer.assign(num_nodes_, NodeAccounting{});
     }
@@ -114,7 +122,7 @@ class EventRun {
     metrics_.policy = config.policy.name;
   }
 
-  RunMetrics run();
+  RunMetrics run(const RunConfig& config);
 
  private:
   // ---- Compilation -------------------------------------------------------
@@ -140,9 +148,20 @@ class EventRun {
   void worker_loop(PhaseTimers* timers);
   void drain_serial(PhaseTimers* timers);
   void finalize();
+  /// Replays the recorded non-gated journal appends (a pure function of the
+  /// plan) so every run starts from the identical materialized journal.
+  void append_pre_events();
+  /// Pooled rewind between runs: resets the cluster model in place and
+  /// re-arms the instruction graph from the compile-time snapshot.
+  void reset_for_run();
 
   const ExecutionPlan& plan_;
-  const RunConfig& config_;
+  /// Re-bound at the top of each run() — the engine outlives any one
+  /// caller's RunConfig.
+  const RunConfig* config_;
+  /// The owning RunContext's arena; holds the dependency snapshot (freed
+  /// wholesale when the context rekeys, after this engine is destroyed).
+  Arena* arena_;
   const NodeId num_nodes_;
   PolicySetup setup_;
   BlockManagerMaster master_;
@@ -169,6 +188,18 @@ class EventRun {
   std::uint32_t pending_jobs_ = 0;
   std::size_t horizon_ = 0;
   std::vector<std::int32_t> close_of_stage_;
+  /// True once compile() ran; later runs only re-arm.
+  bool compiled_ = false;
+  /// Non-gated journal appends in emission order (see append_pre_events).
+  std::vector<BcastRec> pre_events_;
+  /// Compile-time deps counter per instruction (arena array, instrs_.size()
+  /// entries) — executing a run consumes Instr::deps; this restores them.
+  std::uint32_t* initial_deps_ = nullptr;
+  /// Compile-time parallelism accounting, always collected; copied out to
+  /// RunConfig::parallel_stats per run. Every field is a function of the
+  /// context key (plan, node count, placement, node_jobs), so one compile's
+  /// numbers serve every reuse.
+  NodeParallelStats compile_stats_;
 
   // Run state.
   std::array<std::vector<NodeAccounting>, kAcctBuffers> acct_buffers_;
@@ -219,26 +250,12 @@ void EventRun::chain(std::uint32_t id, NodeId node) {
 
 void EventRun::emit_broadcast(BcastRec rec) {
   if (!gated_) {
-    // No shared state behind the events: append now, deliver lazily through
-    // each instruction's horizon. The journal is fully materialized before
-    // any worker starts (it is a pure function of the plan).
-    switch (rec.kind) {
-      case BcastRec::Kind::kAppStart:
-        master_.enqueue_application_start(plan_);
-        break;
-      case BcastRec::Kind::kJobStart:
-        master_.enqueue_job_start(plan_, rec.job);
-        break;
-      case BcastRec::Kind::kStageStart:
-        master_.enqueue_stage_start(plan_, rec.job, rec.stage);
-        break;
-      case BcastRec::Kind::kStageEnd:
-        master_.enqueue_stage_end(plan_, rec.job, rec.stage);
-        break;
-      case BcastRec::Kind::kRddProbed:
-        master_.enqueue_rdd_probed(plan_, rec.rdd, rec.stage);
-        break;
-    }
+    // No shared state behind the events: record the append, deliver lazily
+    // through each instruction's horizon. The journal is a pure function of
+    // the plan, so the recorded sequence replays identically at the start
+    // of every run (append_pre_events) — fully materialized before any
+    // worker starts.
+    pre_events_.push_back(rec);
     ++horizon_;
     return;
   }
@@ -278,11 +295,13 @@ void EventRun::compile() {
   queue_depth_.assign(num_nodes_, 0);
   group_map_cache_.resize(plan_.app().num_rdds());
   partitioner_ = std::make_unique<ClosurePartitioner>(
-      plan_, num_nodes_, config_.cluster.placement);
-  NodeParallelStats* stats = config_.parallel_stats;
-  const std::size_t workers = std::max<std::size_t>(config_.node_jobs, 1);
+      plan_, num_nodes_, config_->cluster.placement);
+  // Always collected: the counters are key-constant, and a later run under
+  // the same key may ask for them even if the first one didn't.
+  NodeParallelStats* stats = &compile_stats_;
+  const std::size_t workers = std::max<std::size_t>(config_->node_jobs, 1);
 
-  if (config_.visibility == DagVisibility::kRecurring) {
+  if (config_->visibility == DagVisibility::kRecurring) {
     emit_broadcast({BcastRec::Kind::kAppStart, 0, 0, 0});
   }
 
@@ -337,7 +356,7 @@ void EventRun::compile() {
         RegionRec& rg = regions_.back();
         rg.rdd = p;
         rg.stage_id = rec.stage;
-        rg.salt = placement_salt(p, num_nodes_, config_.cluster.placement);
+        rg.salt = placement_salt(p, num_nodes_, config_->cluster.placement);
         rg.groups = &groups;
         rg.group_of = group_map_for(p, groups);
         for (std::size_t g = 0; g < groups.groups.size(); ++g) {
@@ -486,7 +505,7 @@ void EventRun::exec_issue(const Instr& in) {
     return;
   }
   master_.node_at(in.node, in.horizon)
-      .refresh_prefetch_orders(plan_, config_.max_prefetch_queue);
+      .refresh_prefetch_orders(plan_, config_->max_prefetch_queue);
 }
 
 void EventRun::exec_probe(const Instr& in) {
@@ -575,7 +594,7 @@ void EventRun::exec_acct(const Instr& in) {
     if (!info.persisted) continue;
     batch.clear();
     const PartitionIndex first = first_local_partition(
-        r, n, num_nodes_, config_.cluster.placement);
+        r, n, num_nodes_, config_->cluster.placement);
     for (PartitionIndex j = first; j < info.num_partitions;
          j += static_cast<PartitionIndex>(num_nodes_)) {
       batch.push_back(BlockId{r, j});
@@ -596,16 +615,16 @@ void EventRun::exec_wall(const Instr& in) {
   // next-stage acct through the serve→purge→probe chains), so these plain
   // accumulations happen in stage order — bit-identical to the serial run.
   for (std::uint32_t j = 0; j < st.jobs_before; ++j) {
-    metrics_.jct_ms += config_.cluster.job_overhead_ms;
+    metrics_.jct_ms += config_->cluster.job_overhead_ms;
   }
-  st.wall = stage_wall_ms(*st.acct, config_.cluster);
-  st.inner_wall = st.wall - config_.cluster.stage_overhead_ms;
+  st.wall = stage_wall_ms(*st.acct, config_->cluster);
+  st.inner_wall = st.wall - config_->cluster.stage_overhead_ms;
   metrics_.jct_ms += st.wall;
-  if (config_.record_stage_timings) {
+  if (config_->record_stage_timings) {
     metrics_.stage_timings.push_back(
         StageTiming{st.rec->stage, st.rec->job, st.wall,
-                    max_cpu_ms(*st.acct, config_.cluster),
-                    max_io_ms(*st.acct, config_.cluster)});
+                    max_cpu_ms(*st.acct, config_->cluster),
+                    max_io_ms(*st.acct, config_->cluster)});
   }
   for (const NodeAccounting& a : *st.acct) {
     metrics_.disk_bytes_read += a.disk_read_bytes;
@@ -619,7 +638,7 @@ void EventRun::exec_serve(const Instr& in) {
   if ((master_.node_activity(n) & kNodeHasQueue) == 0) return;
   const StageRec& st = stages_[in.stage];
   const double slack =
-      st.inner_wall - (*st.acct)[n].disk_ms(config_.cluster);
+      st.inner_wall - (*st.acct)[n].disk_ms(config_->cluster);
   if (slack <= 0.0) return;
   IoCharge charge;
   master_.node_at(n, in.horizon).serve_prefetch(slack, &charge);
@@ -758,7 +777,7 @@ void EventRun::worker_loop(PhaseTimers* timers) {
 void EventRun::finalize() {
   // Jobs submitted after the last executed stage still pay their overhead.
   for (std::uint32_t j = 0; j < pending_jobs_; ++j) {
-    metrics_.jct_ms += config_.cluster.job_overhead_ms;
+    metrics_.jct_ms += config_->cluster.job_overhead_ms;
   }
 
   if (setup_.manager != nullptr) {
@@ -796,16 +815,86 @@ void EventRun::finalize() {
   metrics_.recompute_cpu_ms = resolver_.recompute_cpu_ms();
 }
 
-RunMetrics EventRun::run() {
-  if (config_.parallel_stats != nullptr) {
-    *config_.parallel_stats = NodeParallelStats{};
+void EventRun::append_pre_events() {
+  for (const BcastRec& rec : pre_events_) {
+    switch (rec.kind) {
+      case BcastRec::Kind::kAppStart:
+        master_.enqueue_application_start(plan_);
+        break;
+      case BcastRec::Kind::kJobStart:
+        master_.enqueue_job_start(plan_, rec.job);
+        break;
+      case BcastRec::Kind::kStageStart:
+        master_.enqueue_stage_start(plan_, rec.job, rec.stage);
+        break;
+      case BcastRec::Kind::kStageEnd:
+        master_.enqueue_stage_end(plan_, rec.job, rec.stage);
+        break;
+      case BcastRec::Kind::kRddProbed:
+        master_.enqueue_rdd_probed(plan_, rec.rdd, rec.stage);
+        break;
+    }
   }
-  {
+}
+
+void EventRun::reset_for_run() {
+  // Same protocol as the barrier path's context reuse: shared policy state
+  // once, then the cluster model (which re-reads the possibly changed
+  // capacity from the rewritten config), then the resolver's charges.
+  if (setup_.manager != nullptr) setup_.manager->reset_for_reuse();
+  master_.reset_for_reuse(config_->cluster, setup_.factory);
+  resolver_.reset_for_reuse();
+  for (auto& buffer : acct_buffers_) {
+    buffer.assign(num_nodes_, NodeAccounting{});
+  }
+  for (auto& batch : batch_scratch_) batch.clear();
+  // Reset the metrics without surrendering the vectors' buffers.
+  auto per_rdd = std::move(metrics_.per_rdd_probes);
+  per_rdd.clear();
+  auto timings = std::move(metrics_.stage_timings);
+  timings.clear();
+  metrics_ = RunMetrics{};
+  metrics_.per_rdd_probes = std::move(per_rdd);
+  metrics_.stage_timings = std::move(timings);
+  metrics_.workload = plan_.app().name();
+  metrics_.policy = config_->policy.name;
+  background_read_.store(0, std::memory_order_relaxed);
+  background_write_.store(0, std::memory_order_relaxed);
+  // Re-arm the instruction graph from the compile-time snapshot.
+  for (std::size_t i = 0; i < instrs_.size(); ++i) {
+    instrs_[i].deps = initial_deps_[i];
+  }
+  ready_.clear();
+  remaining_ = 0;
+  stop_ = false;
+  error_ = nullptr;
+}
+
+RunMetrics EventRun::run(const RunConfig& config) {
+  MRD_CHECK(config.cluster.num_nodes == num_nodes_);
+  config_ = &config;
+  if (!compiled_) {
     // Compilation covers the closure analysis the barrier runner times under
     // kPartition, plus the instruction-graph build it has no analogue for.
-    ScopedTimer timer(config_.phase_timers, SimPhase::kPartition);
+    // Pooled reuses skip it entirely (the kPartition phase then reads ~0).
+    ScopedTimer timer(config_->phase_timers, SimPhase::kPartition);
     compile();
+    // Snapshot the dependency counters: executing a run consumes
+    // Instr::deps, and restoring this snapshot is all a later run needs to
+    // re-arm the graph.
+    initial_deps_ = arena_->make_array<std::uint32_t>(instrs_.size());
+    for (std::size_t i = 0; i < instrs_.size(); ++i) {
+      initial_deps_[i] = instrs_[i].deps;
+    }
+    compiled_ = true;
+  } else {
+    reset_for_run();
   }
+  if (config_->parallel_stats != nullptr) {
+    *config_->parallel_stats = compile_stats_;
+  }
+  // Materialize the non-gated journal before any instruction executes.
+  append_pre_events();
 
   if (!instrs_.empty()) {
     ready_.reserve(64);
@@ -823,17 +912,17 @@ RunMetrics EventRun::run() {
     const std::size_t hw =
         std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
     const std::size_t workers = std::min(
-        {std::max<std::size_t>(config_.node_jobs, 1), instrs_.size(), hw});
+        {std::max<std::size_t>(config_->node_jobs, 1), instrs_.size(), hw});
     workers_ = workers;
     if (workers == 1) {
-      drain_serial(config_.phase_timers);
+      drain_serial(config_->phase_timers);
     } else {
       std::vector<std::thread> pool;
       pool.reserve(workers - 1);
       for (std::size_t w = 1; w < workers; ++w) {
-        pool.emplace_back([this] { worker_loop(config_.phase_timers); });
+        pool.emplace_back([this] { worker_loop(config_->phase_timers); });
       }
-      worker_loop(config_.phase_timers);
+      worker_loop(config_->phase_timers);
       for (std::thread& t : pool) t.join();
       if (error_) std::rethrow_exception(error_);
     }
@@ -847,8 +936,18 @@ RunMetrics EventRun::run() {
 }  // namespace
 
 RunMetrics run_plan_event(const ExecutionPlan& plan, const RunConfig& config) {
-  EventRun run(plan, config);
-  return run.run();
+  // Pooled contexts cache the whole EventRun — compiled instruction graph,
+  // cluster model, partitioner — behind the context's type-erased engine
+  // slot; a key match re-arms it in place. Without a pooled context the
+  // local one makes this a plain compile-and-run.
+  RunContext local_context;
+  RunContext& ctx = config.context != nullptr ? *config.context : local_context;
+  ctx.prepare(plan, config);
+  if (ctx.event_engine() == nullptr) {
+    ctx.set_event_engine(
+        std::shared_ptr<void>(new EventRun(plan, config, &ctx.arena())));
+  }
+  return static_cast<EventRun*>(ctx.event_engine().get())->run(config);
 }
 
 }  // namespace mrd

@@ -1,0 +1,123 @@
+#include "exec/run_context.h"
+
+#include <algorithm>
+
+#include "core/mrd_manager.h"
+#include "util/check.h"
+
+namespace mrd {
+
+RunContext::RunContext() = default;
+RunContext::~RunContext() = default;
+
+RunContext::Engine RunContext::engine_for(const RunConfig& config) {
+  const bool event =
+      config.exec_mode == ExecMode::kEvent ||
+      (config.exec_mode == ExecMode::kAuto && config.node_jobs > 1 &&
+       config.cluster.num_nodes > 1);
+  return event ? Engine::kEvent : Engine::kBarrier;
+}
+
+namespace {
+
+std::size_t effective_node_jobs(const RunConfig& config) {
+  const std::size_t lo = std::max<std::size_t>(config.node_jobs, 1);
+  return std::min<std::size_t>(lo, config.cluster.num_nodes);
+}
+
+}  // namespace
+
+bool RunContext::matches(const ExecutionPlan& plan,
+                         const RunConfig& config) const {
+  // Field-by-field (no Key construction: building one copies the policy
+  // name, and matches() runs on the steady path).
+  return valid_ && key_.plan == &plan &&
+         key_.plan_stages == plan.total_stages() &&
+         key_.plan_jobs == plan.jobs().size() &&
+         key_.plan_rdds == plan.app().num_rdds() &&
+         key_.policy_name == config.policy.name &&
+         key_.metric == config.policy.metric &&
+         key_.prefetch_threshold == config.policy.prefetch_threshold &&
+         key_.memtune_window == config.policy.memtune_window &&
+         key_.profile_store == config.policy.profile_store &&
+         key_.num_nodes == config.cluster.num_nodes &&
+         key_.placement == config.cluster.placement &&
+         key_.visibility == config.visibility &&
+         key_.node_jobs == effective_node_jobs(config) &&
+         key_.engine == engine_for(config);
+}
+
+void RunContext::prepare(const ExecutionPlan& plan, const RunConfig& config) {
+  const Engine engine = engine_for(config);
+  if (valid_ && matches(plan, config)) {
+    if (engine == Engine::kBarrier) {
+      // Shared policy state first (once — the per-node resets below replay
+      // against it), then the cluster model, then the resolver's charges.
+      if (setup_.manager != nullptr) setup_.manager->reset_for_reuse();
+      master_->reset_for_reuse(config.cluster, setup_.factory);
+      resolver_->reset_for_reuse();
+      fully_reused_ = true;
+    } else {
+      // The event engine owns its cluster model and rewinds it inside
+      // run(); the context only vouches for the key. Counts as fully
+      // reused once the engine actually exists.
+      fully_reused_ = event_engine_ != nullptr;
+    }
+    return;
+  }
+
+  teardown();
+  key_.plan = &plan;
+  key_.plan_stages = plan.total_stages();
+  key_.plan_jobs = plan.jobs().size();
+  key_.plan_rdds = plan.app().num_rdds();
+  key_.policy_name = config.policy.name;
+  key_.metric = config.policy.metric;
+  key_.prefetch_threshold = config.policy.prefetch_threshold;
+  key_.memtune_window = config.policy.memtune_window;
+  key_.profile_store = config.policy.profile_store;
+  key_.num_nodes = config.cluster.num_nodes;
+  key_.placement = config.cluster.placement;
+  key_.visibility = config.visibility;
+  key_.node_jobs = effective_node_jobs(config);
+  key_.engine = engine;
+  valid_ = true;
+  fully_reused_ = false;
+  if (engine == Engine::kBarrier) {
+    setup_ = make_policy(config.policy, config.cluster.num_nodes);
+    master_ =
+        std::make_unique<BlockManagerMaster>(config.cluster, setup_.factory);
+    resolver_ = std::make_unique<LineageResolver>(plan, master_.get());
+  }
+  // Event engine: created lazily by node_scheduler.cpp via the slot.
+}
+
+ClosurePartitioner& RunContext::ensure_partitioner(const ExecutionPlan& plan) {
+  MRD_CHECK(valid_ && key_.plan == &plan);
+  if (partitioner_ == nullptr) {
+    partitioner_ = std::make_unique<ClosurePartitioner>(plan, key_.num_nodes,
+                                                        key_.placement);
+  }
+  return *partitioner_;
+}
+
+void RunContext::set_event_engine(std::shared_ptr<void> engine) {
+  event_engine_ = std::move(engine);
+}
+
+void RunContext::teardown() {
+  // The event engine and the chunk maps hold arena-backed storage: every
+  // consumer is destroyed before the arena rewinds (slabs are retained, so
+  // the next key's structures recycle this key's memory).
+  event_engine_.reset();
+  resolver_.reset();
+  master_.reset();
+  partitioner_.reset();
+  setup_ = PolicySetup{};
+  chunk_cache.clear();
+  arena_.reset();
+  valid_ = false;
+  fully_reused_ = false;
+}
+
+}  // namespace mrd

@@ -1,0 +1,150 @@
+// Pooled per-run state: everything a simulation run builds that can be
+// rewound in place and handed to the next run. Sweeps execute thousands of
+// (policy, fraction) points against one plan; constructing the cluster model
+// (per-node BlockManagers, policies, resolver, partitioner, the event
+// scheduler's instruction graph) from scratch for every point made the
+// allocator the dominant cost of a sweep's steady state. A RunContext keeps
+// those structures alive between runs and resets them in place instead.
+//
+// A context is keyed by the *structural* inputs of a run — the plan, the
+// policy configuration, node count, placement, DAG visibility, intra-run
+// worker count and the resolved engine. prepare() reuses the pooled
+// structures in place when the key matches (fully_reused() == true: the
+// steady state the allocation gate measures) and tears down + rebuilds
+// otherwise, rewinding the arena so the new key's structures recycle the old
+// key's slabs. Inputs *outside* the key — notably the cache capacity a sweep
+// varies per fraction point — flow through the reset instead of forcing a
+// rebuild.
+//
+// Not thread-safe: one context serves one run at a time (SweepRunner keeps
+// per-worker-thread pools).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/block_manager.h"
+#include "cluster/block_manager_master.h"
+#include "core/policy_registry.h"
+#include "dag/execution_plan.h"
+#include "dag/ids.h"
+#include "dag/placement.h"
+#include "exec/application_runner.h"
+#include "exec/lineage_resolver.h"
+#include "exec/node_partition.h"
+#include "sim/node_accounting.h"
+#include "util/arena.h"
+
+namespace mrd {
+
+class RunContext {
+ public:
+  /// Which engine the prepared state serves. Barrier keeps the cluster
+  /// model in the context itself; the event scheduler owns its own model
+  /// inside the engine slot (it rewinds itself per run).
+  enum class Engine : std::uint8_t { kBarrier, kEvent };
+
+  RunContext();
+  ~RunContext();
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  /// True when the last prepare() reset the pooled structures in place —
+  /// i.e. the run performed no structural construction. This is the
+  /// steady-state predicate the sweep allocation gate classifies runs by.
+  bool fully_reused() const { return fully_reused_; }
+
+  /// The run-scoped arena. Lives for the *key's* lifetime, not one run's:
+  /// its contents (chunk maps, the event graph's dependency snapshot) are
+  /// exactly the structures a key match reuses. Rewound on rekey, retaining
+  /// slabs.
+  Arena& arena() { return arena_; }
+
+  /// The engine run_plan resolves `config` to — mirrors run_plan's dispatch
+  /// so pool lookups and the runner can never disagree.
+  static Engine engine_for(const RunConfig& config);
+
+  /// True when prepare(plan, config) would reuse this context in place.
+  bool matches(const ExecutionPlan& plan, const RunConfig& config) const;
+
+  /// Binds the context to (plan, config): on a key match, resets the pooled
+  /// structures in place (manager once, then master/nodes/policies, then
+  /// resolver); otherwise tears everything down — both engines — rewinds
+  /// the arena and rebuilds the keyed pieces.
+  void prepare(const ExecutionPlan& plan, const RunConfig& config);
+
+  // ---- Barrier-engine state (valid after prepare() under kBarrier) ----
+
+  PolicySetup& setup() { return setup_; }
+  BlockManagerMaster& master() { return *master_; }
+  LineageResolver& resolver() { return *resolver_; }
+
+  /// Builds the closure partitioner on first use under the current key
+  /// (plan / node count / placement are key fields, so a cached partitioner
+  /// is always consistent with them).
+  ClosurePartitioner& ensure_partitioner(const ExecutionPlan& plan);
+
+  /// Per-RDD node->chunk maps for the probe fan-out (arena-backed,
+  /// num_nodes entries each; nullptr = not built yet). The packing depends
+  /// only on key fields (plan, node count, placement, node_jobs), so built
+  /// maps stay valid across reuses.
+  std::vector<const std::uint32_t*> chunk_cache;
+
+  // Per-stage scratch, sized/assigned by the runner before each use; pooled
+  // so the buffers stop breathing across runs.
+  std::vector<NodeAccounting> acct;
+  std::vector<IoCharge> node_background;
+  std::vector<PartitionIndex> order;
+  std::vector<std::vector<BlockId>> batch_scratch;
+
+  // ---- Event-engine slot (managed by node_scheduler.cpp) ----
+
+  /// The cached event engine (an implementation type private to
+  /// node_scheduler.cpp, hence the type-erased slot; the shared_ptr carries
+  /// the concrete deleter). Null until the first event run under this key.
+  const std::shared_ptr<void>& event_engine() const { return event_engine_; }
+  void set_event_engine(std::shared_ptr<void> engine);
+
+ private:
+  struct Key {
+    const ExecutionPlan* plan = nullptr;
+    // Cheap fingerprint guarding plan-address reuse: a different plan at a
+    // recycled address with identical shape would still replay correctly,
+    // but matching shapes make the stale-pointer window practically
+    // impossible to hit.
+    std::size_t plan_stages = 0;
+    std::size_t plan_jobs = 0;
+    std::size_t plan_rdds = 0;
+    std::string policy_name;
+    DistanceMetric metric = DistanceMetric::kStage;
+    double prefetch_threshold = 0.0;
+    std::size_t memtune_window = 0;
+    ProfileStore* profile_store = nullptr;
+    NodeId num_nodes = 0;
+    BlockPlacement placement = BlockPlacement::kRoundRobin;
+    DagVisibility visibility = DagVisibility::kRecurring;
+    /// Effective (clamped) worker count: the probe chunk packing and the
+    /// event graph's compile-time parallelism accounting depend on it.
+    std::size_t node_jobs = 1;
+    Engine engine = Engine::kBarrier;
+  };
+
+  /// Destroys every structure under the current key and rewinds the arena.
+  /// Arena consumers (event engine, chunk maps) go first.
+  void teardown();
+
+  Key key_;
+  bool valid_ = false;
+  bool fully_reused_ = false;
+  Arena arena_;
+  PolicySetup setup_;
+  std::unique_ptr<BlockManagerMaster> master_;
+  std::unique_ptr<LineageResolver> resolver_;
+  std::unique_ptr<ClosurePartitioner> partitioner_;
+  std::shared_ptr<void> event_engine_;
+};
+
+}  // namespace mrd

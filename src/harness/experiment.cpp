@@ -1,10 +1,14 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <deque>
 #include <utility>
 
 #include "dag/dag_analysis.h"
 #include "dag/dag_scheduler.h"
+#include "exec/run_context.h"
+#include "util/alloc_stats.h"
 #include "util/check.h"
 
 namespace mrd {
@@ -15,6 +19,43 @@ using Clock = std::chrono::steady_clock;
 
 double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Per-worker-thread ring of pooled RunContexts. A sweep interleaves a
+/// handful of (workload, policy) keys per thread; a few slots let each
+/// key's fraction points land on "their" context — a key match, reset in
+/// place, zero structural construction. When the ring is full the
+/// least-recently-used context is rekeyed in place: even that recycles its
+/// arena slabs and container buffers instead of going to the allocator.
+constexpr std::size_t kContextPoolSize = 6;
+
+/// Kill switch (env MRD_NO_CONTEXT_POOL): every run builds a fresh context.
+/// The identity tests diff pooled vs fresh CSV bytes through this.
+bool context_pool_disabled() {
+  static const bool disabled = std::getenv("MRD_NO_CONTEXT_POOL") != nullptr;
+  return disabled;
+}
+
+RunContext& pooled_context(const ExecutionPlan& plan, const RunConfig& config) {
+  thread_local std::deque<std::unique_ptr<RunContext>> pool;  // front = LRU
+  for (auto it = pool.begin(); it != pool.end(); ++it) {
+    if ((*it)->matches(plan, config)) {
+      if (&*it != &pool.back()) {
+        auto ctx = std::move(*it);
+        pool.erase(it);
+        pool.push_back(std::move(ctx));
+      }
+      return *pool.back();
+    }
+  }
+  if (pool.size() < kContextPoolSize) {
+    pool.push_back(std::make_unique<RunContext>());
+  } else {
+    auto ctx = std::move(pool.front());
+    pool.pop_front();
+    pool.push_back(std::move(ctx));  // prepare() rekeys it in place
+  }
+  return *pool.back();
 }
 
 /// Non-owning shared_ptr for the synchronous wrappers, which block until
@@ -129,9 +170,23 @@ std::shared_future<RunMetrics> SweepRunner::submit(SweepJob job) {
         NodeParallelStats run_parallel;
         NodeParallelStats* parallel =
             node_jobs > 1 ? &run_parallel : nullptr;
-        RunMetrics metrics =
-            run_with_policy(*job.run, job.cluster, job.fraction, job.policy,
-                            job.visibility, node_jobs, parallel, exec_mode);
+        RunConfig config;
+        config.cluster = job.cluster;
+        config.cluster.cache_bytes_per_node =
+            cache_bytes_per_node_for(*job.run, job.cluster, job.fraction);
+        config.policy = job.policy;
+        config.visibility = job.visibility;
+        config.node_jobs = node_jobs;
+        config.parallel_stats = parallel;
+        config.exec_mode = exec_mode;
+        if (!context_pool_disabled()) {
+          config.context = &pooled_context(job.run->plan, config);
+        }
+        alloc_stats::ThreadScope alloc_scope;
+        RunMetrics metrics = run_plan(job.run->plan, config);
+        const std::uint64_t allocs = alloc_scope.allocs();
+        const bool steady =
+            config.context != nullptr && config.context->fully_reused();
         const double elapsed = ms_between(t0, Clock::now());
         const double queued = ms_between(submitted, t0);
         {
@@ -141,6 +196,11 @@ std::shared_future<RunMetrics> SweepRunner::submit(SweepJob job) {
           queue_ms_ += queued;
           run_ms_sumsq_ += elapsed * elapsed;
           if (parallel != nullptr) node_parallel_.merge(run_parallel);
+          heap_allocs_ += allocs;
+          if (steady) {
+            ++steady_runs_;
+            steady_allocs_ += allocs;
+          }
         }
         return metrics;
       })
@@ -177,6 +237,10 @@ SweepStats SweepRunner::stats() const {
   stats.queue_ms = queue_ms_;
   stats.run_ms_sumsq = run_ms_sumsq_;
   stats.node_parallel = node_parallel_;
+  stats.alloc_stats_available = alloc_stats::available();
+  stats.heap_allocs = heap_allocs_;
+  stats.steady_runs = steady_runs_;
+  stats.steady_allocs = steady_allocs_;
   return stats;
 }
 

@@ -16,6 +16,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -103,6 +104,16 @@ struct SweepStats {
   /// with node_jobs > 1 (NodeParallelStats::merge); engaged stays false when
   /// no run fanned out intra-run.
   NodeParallelStats node_parallel;
+  /// Heap-allocation accounting across the sweep's runs (util/alloc_stats.h;
+  /// all zeros — and `alloc_stats_available` false — under sanitizers, where
+  /// the counting allocator is compiled out).
+  bool alloc_stats_available = false;
+  std::uint64_t heap_allocs = 0;  // allocations during all runs
+  /// Steady-state runs: points that fully reused a pooled RunContext (no
+  /// structural construction — the zero-allocation regime the CI gate
+  /// asserts on) and the allocations they still performed.
+  std::uint64_t steady_runs = 0;
+  std::uint64_t steady_allocs = 0;
   /// Effective parallel speedup: aggregate simulation time per elapsed
   /// second. 1.0 on a single thread by construction.
   double speedup() const {
@@ -112,6 +123,12 @@ struct SweepStats {
   /// high values mean the sweep is submission-bound, not worker-bound.
   double mean_queue_ms() const {
     return runs > 0 ? queue_ms / static_cast<double>(runs) : 0.0;
+  }
+  /// Mean heap allocations per steady-state (fully reused) run.
+  double mean_steady_allocs() const {
+    return steady_runs > 0 ? static_cast<double>(steady_allocs) /
+                                 static_cast<double>(steady_runs)
+                           : 0.0;
   }
   /// Population standard deviation of per-run wall clock: how uneven the
   /// sweep's points are (the tail run gates the whole sweep).
@@ -210,6 +227,9 @@ class SweepRunner {
   double queue_ms_ = 0.0;
   double run_ms_sumsq_ = 0.0;
   NodeParallelStats node_parallel_;
+  std::uint64_t heap_allocs_ = 0;
+  std::uint64_t steady_runs_ = 0;
+  std::uint64_t steady_allocs_ = 0;
 };
 
 std::vector<SweepPoint> sweep_cache(const WorkloadRun& run,

@@ -1,0 +1,164 @@
+#include "util/alloc_stats.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace mrd::alloc_stats {
+
+namespace {
+
+// Plain PODs with static (zero) initialization: safe to touch from the very
+// first allocation of the process, before any dynamic initializer ran.
+thread_local std::uint64_t t_allocs = 0;
+thread_local std::uint64_t t_frees = 0;
+thread_local std::uint64_t t_bytes = 0;
+thread_local std::uint64_t t_arena_bytes = 0;
+
+}  // namespace
+
+bool available() { return MRD_ALLOC_STATS_ENABLED != 0; }
+
+std::uint64_t thread_allocs() { return t_allocs; }
+std::uint64_t thread_frees() { return t_frees; }
+std::uint64_t thread_alloc_bytes() { return t_bytes; }
+
+void note_arena_bytes(std::uint64_t bytes) { t_arena_bytes += bytes; }
+std::uint64_t thread_arena_bytes() { return t_arena_bytes; }
+
+}  // namespace mrd::alloc_stats
+
+#if MRD_ALLOC_STATS_ENABLED
+
+namespace {
+
+inline void note_alloc(std::size_t size) {
+  ++mrd::alloc_stats::t_allocs;
+  mrd::alloc_stats::t_bytes += size;
+}
+
+inline void note_free(void* p) {
+  if (p != nullptr) ++mrd::alloc_stats::t_frees;
+}
+
+void* counted_alloc(std::size_t size) {
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  while (p == nullptr) {
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) return nullptr;
+    handler();
+    p = std::malloc(size);
+  }
+  note_alloc(size);
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t padded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, padded == 0 ? align : padded);
+  while (p == nullptr) {
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) return nullptr;
+    handler();
+    p = std::aligned_alloc(align, padded == 0 ? align : padded);
+  }
+  note_alloc(size);
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept {
+  note_free(p);
+  std::free(p);
+}
+
+void operator delete[](void* p) noexcept {
+  note_free(p);
+  std::free(p);
+}
+
+void operator delete(void* p, std::size_t) noexcept {
+  note_free(p);
+  std::free(p);
+}
+
+void operator delete[](void* p, std::size_t) noexcept {
+  note_free(p);
+  std::free(p);
+}
+
+void operator delete(void* p, std::align_val_t) noexcept {
+  note_free(p);
+  std::free(p);
+}
+
+void operator delete[](void* p, std::align_val_t) noexcept {
+  note_free(p);
+  std::free(p);
+}
+
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  note_free(p);
+  std::free(p);
+}
+
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  note_free(p);
+  std::free(p);
+}
+
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  note_free(p);
+  std::free(p);
+}
+
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  note_free(p);
+  std::free(p);
+}
+
+#endif  // MRD_ALLOC_STATS_ENABLED

@@ -1,0 +1,70 @@
+// Thread-local heap-allocation accounting.
+//
+// The zero-allocation steady state (pooled RunContexts, arena-backed
+// program storage, capacity-preserving clears) is only enforceable if the
+// harness can *count* allocations. alloc_stats.cpp replaces the global
+// operator new/delete with thin wrappers that bump thread-local counters
+// and forward to malloc/free — one relaxed thread-local increment per
+// allocation, no locks, no behaviour change. Benches snapshot the counters
+// around a sweep point (`ThreadScope`) and the CI gate asserts that reused
+// contexts stay near zero.
+//
+// Under ASan/TSan the replacement operators are compiled out entirely (the
+// sanitizer runtimes interpose their own), so `available()` reports false
+// and every counter reads zero — callers must gate their assertions on it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mrd::alloc_stats {
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MRD_ALLOC_STATS_ENABLED 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define MRD_ALLOC_STATS_ENABLED 0
+#else
+#define MRD_ALLOC_STATS_ENABLED 1
+#endif
+#else
+#define MRD_ALLOC_STATS_ENABLED 1
+#endif
+
+/// True when the counting operator new/delete replacements are linked in
+/// (false under sanitizers, where the counters stay zero).
+bool available();
+
+/// Heap allocations / freed blocks / allocated bytes on *this thread* since
+/// it started. Monotonic.
+std::uint64_t thread_allocs();
+std::uint64_t thread_frees();
+std::uint64_t thread_alloc_bytes();
+
+/// Bytes handed out by Arena slabs on this thread (the slab mallocs are
+/// already in thread_allocs; this tracks arena *bump* traffic so benches can
+/// report how much allocation the arena absorbed).
+void note_arena_bytes(std::uint64_t bytes);
+std::uint64_t thread_arena_bytes();
+
+/// Delta counter: captures the thread counters at construction; the
+/// accessors report growth since then.
+class ThreadScope {
+ public:
+  ThreadScope()
+      : allocs0_(thread_allocs()),
+        frees0_(thread_frees()),
+        bytes0_(thread_alloc_bytes()) {}
+
+  std::uint64_t allocs() const { return thread_allocs() - allocs0_; }
+  std::uint64_t frees() const { return thread_frees() - frees0_; }
+  std::uint64_t bytes() const { return thread_alloc_bytes() - bytes0_; }
+
+ private:
+  std::uint64_t allocs0_;
+  std::uint64_t frees0_;
+  std::uint64_t bytes0_;
+};
+
+}  // namespace mrd::alloc_stats

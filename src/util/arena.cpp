@@ -1,0 +1,67 @@
+#include "util/arena.h"
+
+#include <algorithm>
+
+#include "util/alloc_stats.h"
+#include "util/check.h"
+
+namespace mrd {
+
+namespace {
+
+inline std::size_t align_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t slab_bytes)
+    : slab_bytes_(std::max<std::size_t>(slab_bytes, 64)) {}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  MRD_DCHECK(align != 0 && (align & (align - 1)) == 0);
+  if (bytes == 0) bytes = 1;
+  std::size_t aligned = slabs_.empty() ? 0 : align_up(offset_, align);
+  if (slabs_.empty() || aligned + bytes > slabs_[current_].size) {
+    switch_slab(bytes + align);
+    aligned = align_up(offset_, align);
+  }
+  Slab& slab = slabs_[current_];
+  std::byte* p = slab.data.get() + aligned;
+  offset_ = aligned + bytes;
+  allocated_ += bytes;
+  alloc_stats::note_arena_bytes(bytes);
+  MRD_DCHECK((reinterpret_cast<std::uintptr_t>(p) & (align - 1)) == 0 ||
+             align > alignof(std::max_align_t));
+  return p;
+}
+
+void Arena::switch_slab(std::size_t bytes) {
+  // Walk forward through retained slabs for one with room; slabs are
+  // fresh-rewound (offset 0) past `current_`, so the first fit wins.
+  std::size_t next = slabs_.empty() ? 0 : current_ + 1;
+  while (next < slabs_.size() && slabs_[next].size < bytes) ++next;
+  if (next == slabs_.size()) {
+    const std::size_t size = std::max(slab_bytes_, bytes);
+    slabs_.push_back(Slab{std::make_unique<std::byte[]>(size), size});
+    reserved_ += size;
+  }
+  current_ = next;
+  offset_ = 0;
+}
+
+void Arena::reset() {
+  current_ = 0;
+  offset_ = 0;
+  allocated_ = 0;
+}
+
+void Arena::release() {
+  slabs_.clear();
+  current_ = 0;
+  offset_ = 0;
+  allocated_ = 0;
+  reserved_ = 0;
+}
+
+}  // namespace mrd

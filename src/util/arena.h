@@ -1,0 +1,80 @@
+// Bump-pointer arena with slab reuse.
+//
+// RunContext-scoped storage for program structures that live exactly as
+// long as one compiled run setup (probe permutations, group maps,
+// dependency snapshots): allocation is a pointer bump, and `reset()`
+// rewinds in place while *retaining* every slab — rebuilding a context for
+// a new workload reuses the previous workload's slabs instead of going back
+// to the allocator. This is the same amortization trick as BlockList's
+// intrusive node freelist, lifted from one container to whole-run scope.
+//
+// Trivially-destructible payloads only: reset() never runs destructors.
+// Not thread-safe; each RunContext owns its own arena.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace mrd {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultSlabBytes = 64 * 1024;
+
+  explicit Arena(std::size_t slab_bytes = kDefaultSlabBytes);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw bytes, aligned to `align` — a power of two up to
+  /// alignof(max_align_t), the alignment of the slab bases themselves.
+  /// Larger values only round the offset, so they are honoured modulo the
+  /// slab base alignment, not absolutely; no current payload needs more.
+  void* allocate(std::size_t bytes,
+                 std::size_t align = alignof(std::max_align_t));
+
+  /// Typed array allocation. T must be trivially destructible (reset()
+  /// never runs destructors). The returned elements are value-initialized.
+  template <typename T>
+  T* make_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is reclaimed without destructors");
+    if (count == 0) return nullptr;
+    void* p = allocate(count * sizeof(T), alignof(T));
+    return new (p) T[count]();
+  }
+
+  /// Rewinds to empty, retaining every slab for reuse.
+  void reset();
+
+  /// Drops every slab back to the allocator (tests / memory pressure).
+  void release();
+
+  std::size_t slab_count() const { return slabs_.size(); }
+  /// Bytes handed out since the last reset().
+  std::size_t bytes_allocated() const { return allocated_; }
+  /// Total capacity currently held across slabs.
+  std::size_t bytes_reserved() const { return reserved_; }
+
+ private:
+  struct Slab {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  /// Moves the bump cursor to a slab with >= bytes of room, appending a new
+  /// slab only if no retained one fits.
+  void switch_slab(std::size_t bytes);
+
+  std::vector<Slab> slabs_;
+  std::size_t slab_bytes_;
+  std::size_t current_ = 0;  // slab index the cursor is in (slabs_ nonempty)
+  std::size_t offset_ = 0;   // bump offset within slabs_[current_]
+  std::size_t allocated_ = 0;
+  std::size_t reserved_ = 0;
+};
+
+}  // namespace mrd

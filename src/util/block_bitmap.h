@@ -9,6 +9,7 @@
 // monotonically growing spill set does on the large workloads.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -44,6 +45,16 @@ class BlockBitmap {
   /// Set bits of `rdd` — the O(1) whole-RDD pre-filter.
   std::uint32_t rdd_count(RddId rdd) const {
     return rdd < counts_.size() ? counts_[rdd] : 0;
+  }
+
+  /// Clears every bit while retaining the per-RDD word arrays — a pooled
+  /// bitmap refilled by a same-shape run performs no allocations.
+  void clear() {
+    for (std::size_t rdd = 0; rdd < bits_.size(); ++rdd) {
+      if (counts_[rdd] == 0) continue;
+      std::fill(bits_[rdd].begin(), bits_[rdd].end(), 0);
+      counts_[rdd] = 0;
+    }
   }
 
  private:

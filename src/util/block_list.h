@@ -63,6 +63,13 @@ class BlockList {
     free_ = i;
   }
 
+  /// Empties the list, retaining the node slab (the vector keeps its
+  /// capacity, so a pooled list refills without touching the allocator).
+  void clear() {
+    nodes_.clear();
+    head_ = tail_ = free_ = kNil;
+  }
+
   /// Relinks an existing element at the front (most-recent position).
   void move_to_front(Index i) {
     if (head_ == i) return;

@@ -1,0 +1,64 @@
+// A non-owning, allocation-free callable reference — the hot-path
+// replacement for `std::function` in the policy sink interfaces
+// (PrefetchSink, EvictionSink, PrefetchBudget::rdd_on_disk).
+//
+// `std::function` type-erases by *owning* a copy of the callable, which
+// heap-allocates whenever the callable outgrows the small-object buffer —
+// and the sinks' capture lists ([&] over half a stage loop's locals) always
+// do. The sinks never outlive the call they are passed to, so ownership
+// buys nothing: a {object pointer, trampoline pointer} pair erases the same
+// calls with zero allocations. This is what turned the prefetch-issue phase
+// from the last steady-state allocation source (~2 allocs per node per
+// stage) into an allocation-free one.
+//
+// The referenced callable must outlive the FunctionRef. Binding a lambda
+// directly in a call expression is safe (the temporary lives to the end of
+// the full expression); *storing* a FunctionRef — as PrefetchBudget does —
+// requires the callable to be a named object that outlives the budget.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace mrd {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = default;
+  FunctionRef(std::nullptr_t) {}  // NOLINT: implicit, mirrors std::function
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT: implicit, mirrors std::function
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return call_ != nullptr; }
+  friend bool operator==(const FunctionRef& f, std::nullptr_t) {
+    return f.call_ == nullptr;
+  }
+  friend bool operator!=(const FunctionRef& f, std::nullptr_t) {
+    return f.call_ != nullptr;
+  }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace mrd

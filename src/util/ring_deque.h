@@ -1,0 +1,105 @@
+// Power-of-two ring buffer with deque semantics and stable *logical*
+// positions.
+//
+// std::deque allocates and frees its chunk nodes as elements flow through,
+// so a long-lived FIFO (the per-node prefetch queue) keeps the allocator on
+// the steady-state profile even when its length is bounded. RingDeque holds
+// one contiguous power-of-two buffer that only ever grows; push/pop at both
+// ends are index arithmetic, and `clear()` keeps the capacity.
+//
+// Elements are addressed by a monotonically increasing logical position
+// (returned by push_back), valid until the element is popped — surviving
+// growth *and* pushes/pops at either end, unlike raw pointers into a
+// std::deque. Not thread-safe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mrd {
+
+template <typename T>
+class RingDeque {
+ public:
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buffer_.size(); }
+
+  /// Logical positions of the current front/back element.
+  std::uint64_t front_pos() const {
+    MRD_DCHECK(size_ > 0);
+    return head_;
+  }
+  std::uint64_t back_pos() const {
+    MRD_DCHECK(size_ > 0);
+    return head_ + size_ - 1;
+  }
+
+  T& front() { return at(head_); }
+  const T& front() const { return at(head_); }
+  T& back() { return at(head_ + size_ - 1); }
+  const T& back() const { return at(head_ + size_ - 1); }
+
+  /// The element at logical position `pos` (must be live: in
+  /// [front_pos(), back_pos()]).
+  T& at(std::uint64_t pos) {
+    MRD_DCHECK(size_ > 0 && pos >= head_ && pos < head_ + size_);
+    return buffer_[pos & mask_];
+  }
+  const T& at(std::uint64_t pos) const {
+    MRD_DCHECK(size_ > 0 && pos >= head_ && pos < head_ + size_);
+    return buffer_[pos & mask_];
+  }
+
+  /// Appends and returns the element's logical position.
+  std::uint64_t push_back(T value) {
+    if (size_ == buffer_.size()) grow();
+    const std::uint64_t pos = head_ + size_;
+    buffer_[pos & mask_] = std::move(value);
+    ++size_;
+    return pos;
+  }
+
+  void pop_front() {
+    MRD_DCHECK(size_ > 0);
+    ++head_;
+    --size_;
+  }
+
+  void pop_back() {
+    MRD_DCHECK(size_ > 0);
+    --size_;
+  }
+
+  /// Empties the deque, retaining the buffer. Logical positions stay
+  /// monotonic across clears (the next push continues from the current
+  /// head), so stale positions can never alias new elements.
+  void clear() {
+    head_ += size_;
+    size_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = buffer_.empty() ? 16 : buffer_.size() * 2;
+    std::vector<T> next(new_cap);
+    const std::uint64_t new_mask = new_cap - 1;
+    for (std::size_t i = 0; i < size_; ++i) {
+      const std::uint64_t pos = head_ + i;
+      next[pos & new_mask] = std::move(buffer_[pos & mask_]);
+    }
+    buffer_ = std::move(next);
+    mask_ = new_mask;
+  }
+
+  std::vector<T> buffer_;
+  std::uint64_t mask_ = 0;
+  std::uint64_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mrd

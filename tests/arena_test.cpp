@@ -1,0 +1,136 @@
+// Arena (util/arena.h): the RunContext-scoped bump allocator. These tests
+// pin the properties the pooled-context design leans on: alignment of every
+// handout, reset-in-place that retains slabs, allocation-free refills after
+// the first lap (slab reuse), and honest byte accounting — including the
+// note_arena_bytes feed the benches report.
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/alloc_stats.h"
+
+namespace mrd {
+namespace {
+
+TEST(Arena, HandsOutAlignedValueInitializedStorage) {
+  Arena arena(256);
+  auto* bytes = arena.make_array<std::uint8_t>(3);
+  auto* words = arena.make_array<std::uint64_t>(5);
+  auto* more = static_cast<std::uint8_t*>(arena.allocate(1, 1));
+  auto* wide = arena.allocate(16, alignof(std::max_align_t));
+  ASSERT_NE(bytes, nullptr);
+  ASSERT_NE(words, nullptr);
+  ASSERT_NE(more, nullptr);
+  ASSERT_NE(wide, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(words) % alignof(std::uint64_t),
+            0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(wide) %
+                alignof(std::max_align_t),
+            0u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(words[i], 0u);
+  // Distinct allocations never overlap: write patterns, re-read them.
+  std::memset(bytes, 0xAB, 3);
+  for (int i = 0; i < 5; ++i) words[i] = 0x1122334455667788ull;
+  *more = 0xCD;
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(bytes[i], 0xAB);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(words[i], 0x1122334455667788ull);
+  EXPECT_EQ(*more, 0xCD);
+}
+
+TEST(Arena, ZeroCountAndZeroByteRequests) {
+  Arena arena;
+  EXPECT_EQ(arena.make_array<int>(0), nullptr);
+  // A zero-byte raw request still yields a unique, usable pointer.
+  void* a = arena.allocate(0);
+  void* b = arena.allocate(0);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(a, b);
+}
+
+TEST(Arena, ResetRewindsInPlaceRetainingSlabs) {
+  Arena arena(128);  // small slabs: force several per lap
+  constexpr std::size_t kArrays = 64;
+  for (std::size_t i = 0; i < kArrays; ++i) {
+    arena.make_array<std::uint64_t>(8);
+  }
+  const std::size_t slabs = arena.slab_count();
+  const std::size_t reserved = arena.bytes_reserved();
+  EXPECT_GT(slabs, 1u);
+  EXPECT_EQ(arena.bytes_allocated(), kArrays * 8 * sizeof(std::uint64_t));
+  arena.reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.slab_count(), slabs);       // retained...
+  EXPECT_EQ(arena.bytes_reserved(), reserved);  // ...capacity and all
+  // The refill reuses the same storage: same first pointer as lap one.
+  arena.reset();
+  void* first = arena.allocate(16);
+  arena.reset();
+  EXPECT_EQ(arena.allocate(16), first);
+}
+
+TEST(Arena, RefillAfterResetPerformsNoHeapAllocations) {
+  if (!alloc_stats::available()) GTEST_SKIP() << "counting allocator absent";
+  Arena arena(128);
+  constexpr std::size_t kArrays = 64;
+  const auto fill = [&arena] {
+    for (std::size_t i = 0; i < kArrays; ++i) {
+      arena.make_array<std::uint32_t>(16);
+    }
+  };
+  fill();  // lap one grows the slab list
+  for (int lap = 0; lap < 3; ++lap) {
+    arena.reset();
+    alloc_stats::ThreadScope scope;
+    fill();
+    EXPECT_EQ(scope.allocs(), 0u) << "lap " << lap;
+  }
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedSlab) {
+  Arena arena(64);
+  auto* big = arena.make_array<std::uint8_t>(1024);  // far above slab_bytes
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0x5A, 1024);
+  EXPECT_EQ(big[1023], 0x5A);
+  // The oversized slab is retained and reused across resets like any other.
+  const std::size_t reserved = arena.bytes_reserved();
+  arena.reset();
+  auto* again = arena.make_array<std::uint8_t>(1024);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(Arena, ReleaseDropsEverySlab) {
+  Arena arena(128);
+  arena.make_array<std::uint64_t>(100);
+  EXPECT_GT(arena.slab_count(), 0u);
+  arena.release();
+  EXPECT_EQ(arena.slab_count(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  // Still usable after release: the slab list regrows on demand.
+  auto* p = arena.make_array<int>(4);
+  ASSERT_NE(p, nullptr);
+  p[3] = 7;
+  EXPECT_EQ(p[3], 7);
+}
+
+TEST(Arena, BumpAccountingFeedsAllocStats) {
+  const std::uint64_t before = alloc_stats::thread_arena_bytes();
+  Arena arena;
+  arena.allocate(100);
+  arena.allocate(28);
+  // note_arena_bytes totals the *requested* bytes, independent of padding,
+  // and is monotonic across resets (a delta counter like thread_allocs).
+  EXPECT_EQ(alloc_stats::thread_arena_bytes() - before, 128u);
+  arena.reset();
+  arena.allocate(8);
+  EXPECT_EQ(alloc_stats::thread_arena_bytes() - before, 136u);
+}
+
+}  // namespace
+}  // namespace mrd

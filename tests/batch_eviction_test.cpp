@@ -106,8 +106,8 @@ class RecordingPolicy : public CachePolicy {
                       const EvictionSink& sink) override {
     inner_->choose_victims(bytes_needed, sink);
   }
-  std::vector<BlockId> purge_candidates() override {
-    return inner_->purge_candidates();
+  void purge_candidates(std::vector<BlockId>* out) override {
+    inner_->purge_candidates(out);
   }
 
  private:

@@ -104,7 +104,9 @@ TEST(CacheMonitor, StableTieBreakKeepsFixedSubset) {
 TEST(CacheMonitor, PurgeListsInactiveResidentBlocks) {
   Fixture f;
   f.monitor->on_block_cached(block(f.far_rdd, 0), 10);
-  EXPECT_TRUE(f.monitor->purge_candidates().empty());
+  std::vector<BlockId> early;
+  f.monitor->purge_candidates(&early);
+  EXPECT_TRUE(early.empty());
   for (const JobInfo& job : f.plan.jobs()) {
     for (const StageExecution& rec : job.stages) {
       if (!rec.executed) continue;
@@ -112,7 +114,8 @@ TEST(CacheMonitor, PurgeListsInactiveResidentBlocks) {
       f.manager->on_stage_end(f.plan, rec.job, rec.stage);
     }
   }
-  const auto purge = f.monitor->purge_candidates();
+  std::vector<BlockId> purge;
+  f.monitor->purge_candidates(&purge);
   ASSERT_EQ(purge.size(), 1u);
   EXPECT_EQ(purge[0], block(f.far_rdd, 0));
 }
@@ -396,7 +399,9 @@ struct PropertyHarness {
   std::vector<BlockId> run_prefetch(std::size_t slots) {
     PrefetchBudget budget;
     budget.queue_slots = slots;
-    budget.rdd_on_disk = [](RddId rdd) { return rdd % 4 != 1; };
+    // Named local: PrefetchBudget::rdd_on_disk is a non-owning FunctionRef.
+    const auto rdd_on_disk = [](RddId rdd) { return rdd % 4 != 1; };
+    budget.rdd_on_disk = rdd_on_disk;
     std::vector<BlockId> issued;
     monitor->prefetch_candidates(budget, [&](const BlockId& b) {
       if (!on_disk(b)) return PrefetchOffer::kSkipped;
@@ -450,7 +455,8 @@ TEST(CacheMonitorProperty, IncrementalStateMatchesFromScratchRecomputation) {
               break;
             }
             case 3: {  // purge pass, then apply it like the master would
-              std::vector<BlockId> purge = h.monitor->purge_candidates();
+              std::vector<BlockId> purge;
+              h.monitor->purge_candidates(&purge);
               std::vector<BlockId> expected;
               for (RddId rdd : h.manager->purge_rdds()) {
                 for (const auto& [b, bytes] : h.resident) {

@@ -20,7 +20,9 @@
 
 #include "dag/dag_builder.h"
 #include "dag/dag_scheduler.h"
+#include "exec/application_runner.h"
 #include "exec/node_partition.h"
+#include "exec/run_context.h"
 #include "harness/experiment.h"
 #include "util/csv.h"
 #include "util/format.h"
@@ -329,6 +331,60 @@ TEST(FuzzIdentity, CsvBytesMatchSerialOracle) {
   EXPECT_EQ(bytes1, csv_bytes_for(eight, base + "8.csv"));
   EXPECT_EQ(bytes1, csv_bytes_for(event_one, base + "e1.csv"));
   EXPECT_EQ(bytes1, csv_bytes_for(event_eight, base + "e8.csv"));
+}
+
+// ---------------------------------------------------------------------------
+// Differential identity: pooled run context, fresh vs reused in place
+// ---------------------------------------------------------------------------
+
+// Every random DAG runs twice through ONE pooled RunContext: the first run
+// constructs the per-run state into the pool, the second replays through
+// reset-in-place (fully_reused() must report it did). Both must reproduce a
+// context-free oracle exactly — RunMetrics field for field and CSV byte for
+// byte — across serial, fan-out and explicit-event execution, or the pool's
+// reset paths leak state between sweep points.
+TEST(FuzzIdentity, PooledContextReuseMatchesFreshRun) {
+  struct Mode {
+    const char* label;
+    std::size_t node_jobs;
+    ExecMode exec_mode;
+  };
+  constexpr Mode kModes[] = {{"serial", 1, ExecMode::kAuto},
+                             {"fanout", 4, ExecMode::kAuto},
+                             {"event", 2, ExecMode::kEvent}};
+  std::vector<RunMetrics> oracle_all, first_all, reused_all;
+  for (std::uint64_t seed = 0; seed < kSeeds; seed += 2) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const FuzzPoint point = make_point(seed);
+    const Mode& mode = kModes[(seed / 2) % std::size(kModes)];
+    SCOPED_TRACE(mode.label);
+    const RunMetrics oracle =
+        run_point(point, mode.node_jobs, nullptr, mode.exec_mode);
+
+    RunConfig config;
+    config.cluster = point.cluster;
+    config.cluster.cache_bytes_per_node =
+        cache_bytes_per_node_for(*point.run, point.cluster, point.fraction);
+    config.policy = point.policy;
+    config.node_jobs = mode.node_jobs;
+    config.exec_mode = mode.exec_mode;
+    RunContext context;
+    config.context = &context;
+    const RunMetrics first = run_plan(point.run->plan, config);
+    EXPECT_FALSE(context.fully_reused());
+    const RunMetrics reused = run_plan(point.run->plan, config);
+    EXPECT_TRUE(context.fully_reused());
+    expect_identical(oracle, first);
+    expect_identical(oracle, reused);
+    oracle_all.push_back(oracle);
+    first_all.push_back(first);
+    reused_all.push_back(reused);
+  }
+  const std::string base = testing::TempDir() + "fuzz_pooled_csv_";
+  const std::string bytes = csv_bytes_for(oracle_all, base + "oracle.csv");
+  EXPECT_FALSE(bytes.empty());
+  EXPECT_EQ(bytes, csv_bytes_for(first_all, base + "first.csv"));
+  EXPECT_EQ(bytes, csv_bytes_for(reused_all, base + "reused.csv"));
 }
 
 // ---------------------------------------------------------------------------
