@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
     AsciiTable table({"Workload", "LRU", "LRC", "MRD", "Belady-MIN"});
     struct Row {
       std::shared_ptr<const WorkloadRun> run;
-      std::vector<std::shared_future<RunMetrics>> futures;  // lru, lrc, mrd, belady
+      std::vector<SweepTicket> futures;  // lru, lrc, mrd, belady
     };
     std::vector<Row> rows;
     for (const char* key : {"pr", "cc", "svdpp", "km", "po"}) {
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
     const auto lru_future =
         runner.submit(SweepJob{run, cluster, 0.5, bench::policy("lru")});
     const std::vector<double> thresholds = {0.0, 0.10, 0.25, 0.50, 0.90};
-    std::vector<std::shared_future<RunMetrics>> futures;
+    std::vector<SweepTicket> futures;
     for (double threshold : thresholds) {
       PolicyConfig mrd = bench::policy("mrd");
       mrd.prefetch_threshold = threshold;
@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
                       "wasted (aggr)", "wasted (guard)"});
     struct Row {
       std::shared_ptr<const WorkloadRun> run;
-      std::shared_future<RunMetrics> lru, aggressive, guarded;
+      SweepTicket lru, aggressive, guarded;
     };
     std::vector<Row> rows;
     for (const char* key : {"pr", "svdpp", "po"}) {

@@ -2,13 +2,13 @@
 // best-of-cache-size comparisons, and output to stdout (paper-style ASCII
 // tables) plus CSV files under bench_out/ for re-plotting.
 //
-// Every driver accepts `--jobs N` (default: all hardware threads) and fans
+// Every driver accepts `--jobs N` (default: the executor width) and fans
 // its independent simulation runs out through a SweepRunner; results are
 // byte-identical to `--jobs 1`. `--node-jobs N` additionally fans the
-// per-node phases *inside* each run — it only engages with `--jobs 1`
-// (cross-run parallelism wins otherwise) and is likewise byte-identical for
-// every value. Each driver ends with a wall-clock speedup line from
-// `report_sweep`.
+// per-node phases *inside* each run; the two levels compose — sweep points
+// and engine helpers queue on the same persistent executor — and are
+// likewise byte-identical for every value. Each driver ends with a
+// wall-clock speedup line from `report_sweep`.
 #pragma once
 
 #include <chrono>
@@ -20,11 +20,11 @@
 #include <string_view>
 #include <vector>
 
+#include "exec/executor.h"
 #include "harness/experiment.h"
 #include "util/csv.h"
 #include "util/format.h"
 #include "util/table.h"
-#include "util/thread_pool.h"
 
 namespace mrd {
 namespace bench {
@@ -58,8 +58,8 @@ inline std::string norm_jct(double candidate_ms, double baseline_ms) {
 
 struct Options {
   /// Worker threads for the sweep (`--jobs N`; 1 = serial).
-  std::size_t jobs = ThreadPool::default_threads();
-  /// Intra-run node workers (`--node-jobs N`); engages only with --jobs 1.
+  std::size_t jobs = Executor::configured_width();
+  /// Intra-run node workers (`--node-jobs N`); composes with --jobs.
   std::size_t node_jobs = 1;
   /// Engine for multi-worker runs (`--exec auto|barrier|event`). Output is
   /// byte-identical across engines; only wall clock differs.
@@ -138,10 +138,10 @@ inline Options parse_options(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--jobs N] [--node-jobs N] [--exec MODE]\n"
-          "  --jobs N       parallel sweep workers (default: hardware "
-          "threads;\n"
+          "  --jobs N       parallel sweep workers (default: executor "
+          "width;\n"
           "                 results identical for any N)\n"
-          "  --node-jobs N  per-run node workers, used only when --jobs 1\n"
+          "  --node-jobs N  per-run node workers; composes with --jobs\n"
           "                 (results identical for any N)\n"
           "  --exec MODE    auto|barrier|event engine for multi-worker runs\n"
           "                 (identical output; wall clock differs)\n",
@@ -189,6 +189,21 @@ inline void report_sweep(const SweepRunner& runner) {
               << format_double(np.overlap(), 1) << "x, queue depth "
               << np.max_queue_depth;
   }
+  // Engine work-stealing activity (timing-dependent — reported, never
+  // asserted): steals across the per-worker shards and the deepest any
+  // shard ran.
+  if (np.steals > 0 || np.failed_steals > 0 || np.max_shard_depth > 0) {
+    std::cout << "; engine steals " << np.steals << " (+"
+              << np.failed_steals << " misses), shard depth "
+              << np.max_shard_depth;
+  }
+  // Executor-level dispatch: sweep tasks executed on the persistent pool,
+  // cross-deque steals among them, and the deepest worker deque.
+  if (stats.exec_tasks > 0) {
+    std::cout << "; pool " << stats.exec_tasks << " tasks, steals "
+              << stats.exec_steals << ", deque depth "
+              << stats.exec_max_deque_depth;
+  }
   // Heap-allocation accounting from the pooled run contexts: total allocs
   // across the sweep, and the mean per steady-state point (a point that
   // fully reused its context — the zero-allocation regime the CI gate
@@ -198,7 +213,8 @@ inline void report_sweep(const SweepRunner& runner) {
     std::cout << "; allocs " << stats.heap_allocs << " ("
               << stats.steady_runs << "/" << stats.runs
               << " steady @ " << format_double(stats.mean_steady_allocs(), 1)
-              << "/run)";
+              << "/run, dispatch "
+              << format_double(stats.mean_dispatch_allocs(), 1) << "/run)";
   }
   std::cout << "\n";
 }

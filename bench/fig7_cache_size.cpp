@@ -25,9 +25,9 @@ int main(int argc, char** argv) {
 
   // All (fraction × policy) points queued before any is collected.
   SweepRunner runner(options.jobs, options.node_jobs, options.exec_mode);
-  std::vector<std::vector<std::shared_future<RunMetrics>>> futures;
+  std::vector<std::vector<SweepTicket>> tickets;
   for (double fraction : fractions) {
-    auto& per_policy = futures.emplace_back();
+    auto& per_policy = tickets.emplace_back();
     for (const char* pol : policies) {
       per_policy.push_back(runner.submit(
           SweepJob{run, cluster, fraction, bench::policy(pol)}));
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
         human_bytes(cache_bytes_per_node_for(*run, cluster, fraction)));
     std::vector<std::string> hit_cells, jct_cells;
     for (int i = 0; i < 3; ++i) {
-      const RunMetrics m = futures[fi][i].get();
+      const RunMetrics m = tickets[fi][i].get();
       hits[i].push_back(m.hit_ratio());
       jcts[i].push_back(m.jct_ms);
       hit_cells.push_back(format_percent(m.hit_ratio(), 0));

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   struct Row {
     const char* key;
     std::shared_ptr<const WorkloadRun> run;
-    std::shared_future<RunMetrics> lru, stage, job;
+    SweepTicket lru, stage, job;
   };
   std::vector<Row> rows;
   for (const char* key : {"lp", "km"}) {

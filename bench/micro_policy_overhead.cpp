@@ -3,7 +3,18 @@
 //   * the MRD_Table stays small (the paper: < 300 references, a few KB) and
 //     updates are a cheap sorted-insert;
 //   * the per-stage decrement (consume) is linear in table size.
+//
+// Also measures the harness's own dispatch machinery: fork-join via the
+// persistent work-stealing executor vs spawning threads per batch
+// (BM_SpawnVsPersistentPool) and the cross-worker steal handoff latency
+// (BM_StealLatency).
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "api/spark_context.h"
 #include "cache/lru.h"
@@ -12,6 +23,7 @@
 #include "core/policy_registry.h"
 #include "core/ref_distance_table.h"
 #include "dag/dag_scheduler.h"
+#include "exec/executor.h"
 #include "exec/run_context.h"
 #include "util/arena.h"
 #include "workloads/workloads.h"
@@ -258,6 +270,121 @@ void BM_ArenaSlabReuse(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * arrays);
 }
 BENCHMARK(BM_ArenaSlabReuse)->Arg(64)->Arg(1024);
+
+/// One fork-join of `range(0)` trivial jobs, spawn-per-batch vs the
+/// persistent pool. Arg is the fan-out width. The spawn variant is what
+/// every engine run and every sweep paid before the executor existed; the
+/// pool variant must amortize thread creation to zero (the benchmark also
+/// asserts the pool spawned no threads while it ran).
+void BM_SpawnVsPersistentPool(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  const bool pooled = state.range(1) != 0;
+  if (pooled && !Executor::enabled()) {
+    state.SkipWithError("persistent pool disabled");
+    return;
+  }
+  const std::uint64_t spawned_before =
+      pooled ? Executor::instance().stats().threads_spawned : 0;
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> sum{0};
+    if (pooled) {
+      TaskGroup group;
+      for (std::size_t i = 0; i < jobs; ++i) {
+        group.submit([&sum, i] {
+          sum.fetch_add(i + 1, std::memory_order_relaxed);
+        });
+      }
+      group.wait();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(jobs);
+      for (std::size_t i = 0; i < jobs; ++i) {
+        threads.emplace_back([&sum, i] {
+          sum.fetch_add(i + 1, std::memory_order_relaxed);
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+    benchmark::DoNotOptimize(sum.load());
+  }
+  if (pooled &&
+      Executor::instance().stats().threads_spawned != spawned_before) {
+    state.SkipWithError("persistent pool spawned threads mid-benchmark");
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+  state.SetLabel(pooled ? "pool" : "spawn");
+}
+BENCHMARK(BM_SpawnVsPersistentPool)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->UseRealTime();
+
+/// Latency from hinting a task onto one (busy) worker's deque until a thief
+/// runs it: the executor's cross-worker handoff cost. The deque's owner is
+/// blocked for the whole measurement, so every sample is a genuine steal
+/// (verified against the pool's steal counter; requires >= 2 workers).
+void BM_StealLatency(benchmark::State& state) {
+  if (!Executor::enabled() || Executor::instance().width() < 2) {
+    state.SkipWithError("needs the persistent pool with >= 2 workers");
+    return;
+  }
+  Executor& exec = Executor::instance();
+
+  struct SignalTask final : Executor::Task {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool fired = false;
+    void run(unsigned) noexcept override {
+      std::lock_guard<std::mutex> lock(mu);
+      fired = true;
+      cv.notify_one();
+    }
+    void wait_and_reset() {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [this] { return fired; });
+      fired = false;
+    }
+  };
+  struct BlockerTask final : Executor::Task {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+    std::atomic<int> worker{-1};
+    void run(unsigned w) noexcept override {
+      worker.store(static_cast<int>(w));
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [this] { return release; });
+    }
+  };
+
+  BlockerTask blocker;
+  exec.submit(&blocker);
+  while (blocker.worker.load() < 0) std::this_thread::yield();
+  const int busy = blocker.worker.load();
+
+  const std::uint64_t steals_before = exec.stats().steals;
+  SignalTask task;
+  std::uint64_t samples = 0;
+  for (auto _ : state) {
+    exec.submit(&task, /*hint=*/busy);
+    task.wait_and_reset();
+    ++samples;
+  }
+  {
+    std::lock_guard<std::mutex> lock(blocker.mu);
+    blocker.release = true;
+    blocker.cv.notify_one();
+  }
+  const std::uint64_t stolen = exec.stats().steals - steals_before;
+  if (stolen < samples) {
+    state.SetLabel("WARNING: " + std::to_string(samples - stolen) +
+                   " samples ran on the hinted worker");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(samples));
+}
+BENCHMARK(BM_StealLatency)->UseRealTime();
 
 }  // namespace
 }  // namespace mrd

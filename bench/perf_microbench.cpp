@@ -29,6 +29,13 @@
 // medians, so a burst that trips the gate cannot leave stale inflated
 // numbers for a later --assert-event-fast to fail on.)
 //
+// The engine comparison block runs each scenario three ways at the same
+// worker count — `--exec barrier` (the serial oracle), the event engine on
+// the persistent executor, and the event engine with the pool disabled
+// (helper workers spawned and joined per run) — and --assert-event-fast
+// asserts the pooled path never loses to per-run spawning on the heavy
+// graph scenarios (scc, lp).
+//
 // --gate additionally asserts the zero-allocation steady state: every
 // scenario is run through a pooled RunContext (one warmup, then repeats at
 // the same key), and a repeat that fully reused its context must perform at
@@ -70,8 +77,9 @@ constexpr Baseline kSeedBaselines[] = {
 
 constexpr double kFraction = 0.5;
 
-/// Worker count of the engine comparison (barrier fan-out vs event
-/// scheduler, one run each way, identical output bytes).
+/// Worker count of the engine comparison (serial oracle vs the event
+/// scheduler on the persistent pool vs the event scheduler with the pool
+/// disabled, i.e. spawning its workers per run; identical output bytes).
 constexpr std::size_t kEngineJobs = 4;
 
 struct Result {
@@ -86,9 +94,13 @@ struct Result {
   std::array<double, kNumSimPhases> phase_median_ms{};
   /// Node-group accounting of the differential verification run.
   NodeParallelStats node_parallel;
-  /// Single-run medians of the two multi-worker engines at kEngineJobs.
+  /// Medians of the engine comparison: the serial oracle (`--exec
+  /// barrier`), the event engine on the persistent pool at kEngineJobs
+  /// workers, and the same event run with the pool disabled (workers
+  /// spawned per run).
   double barrier_ms = 0.0;
   double event_ms = 0.0;
+  double event_spawn_ms = 0.0;
   /// Event-graph shape of the event-engine run.
   NodeParallelStats event_stats;
   /// Heap allocations of one fresh-context run vs the mean over steady
@@ -102,6 +114,9 @@ struct Result {
   }
   double event_speedup() const {
     return event_ms > 0.0 ? barrier_ms / event_ms : 0.0;
+  }
+  double pool_speedup() const {
+    return event_ms > 0.0 ? event_spawn_ms / event_ms : 0.0;
   }
   double mean_steady_allocs() const {
     return steady_runs > 0 ? static_cast<double>(steady_allocs) /
@@ -255,9 +270,11 @@ int main(int argc, char** argv) {
           "re-measured\n"
           "                 once to absorb transient machine load)\n"
           "  --assert-event-fast\n"
-          "                 fail unless the event engine beats the barrier\n"
-          "                 engine on the scc scenarios at %zu workers\n"
-          "                 (re-measured once on failure)\n",
+          "                 fail unless the event engine on the persistent\n"
+          "                 pool is at least as fast as the same engine\n"
+          "                 spawning workers per run, on the scc and lp\n"
+          "                 scenarios at %zu workers (re-measured once on\n"
+          "                 failure)\n",
           argv[0], kEngineJobs);
       return 0;
     }
@@ -297,13 +314,17 @@ int main(int argc, char** argv) {
     }
   };
 
-  // Medians of single-run wall clock under the barrier and event engines at
-  // kEngineJobs workers. The engines' samples are interleaved (barrier,
-  // event, barrier, event, ...) so a machine load burst hits both equally
-  // instead of biasing whichever ran second.
+  // Medians of single-run wall clock for the engine comparison at
+  // kEngineJobs workers: the serial oracle (`--exec barrier`), the event
+  // engine on the persistent pool, and the event engine with the pool
+  // disabled (its helper workers spawned and joined per run — the regime
+  // the executor retired). The samples are interleaved (oracle, event,
+  // spawn, oracle, ...) so a machine load burst hits all three equally
+  // instead of biasing whichever ran last.
   const auto measure_engines =
       [repeat](const std::shared_ptr<const WorkloadRun>& run,
-               const RunConfig& base, double* barrier_ms, double* event_ms) {
+               const RunConfig& base, double* barrier_ms, double* event_ms,
+               double* event_spawn_ms) {
         RunConfig config = base;
         config.node_jobs = kEngineJobs;
         const auto time_one = [&run](const RunConfig& c) {
@@ -312,17 +333,22 @@ int main(int argc, char** argv) {
           return std::chrono::duration<double, std::milli>(Clock::now() - t0)
               .count();
         };
-        std::vector<double> barrier_samples, event_samples;
+        std::vector<double> barrier_samples, event_samples, spawn_samples;
         barrier_samples.reserve(repeat);
         event_samples.reserve(repeat);
+        spawn_samples.reserve(repeat);
         for (std::size_t r = 0; r < repeat; ++r) {
           config.exec_mode = ExecMode::kBarrier;
           barrier_samples.push_back(time_one(config));
           config.exec_mode = ExecMode::kEvent;
           event_samples.push_back(time_one(config));
+          Executor::set_disabled_for_test(1);
+          spawn_samples.push_back(time_one(config));
+          Executor::set_disabled_for_test(-1);
         }
         *barrier_ms = median(barrier_samples);
         *event_ms = median(event_samples);
+        *event_spawn_ms = median(spawn_samples);
       };
 
   // Allocation profile of the pooled-run-context path: one cold run builds
@@ -414,9 +440,10 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    // Engine differential + comparison: the barrier fan-out and the event
-    // scheduler (at 1 and kEngineJobs workers) must each reproduce the
-    // serial oracle field-for-field; then time one run each way.
+    // Engine differential + comparison: the `--exec barrier` serial oracle
+    // and the event scheduler (at 1 and kEngineJobs workers, pooled and
+    // with the pool kill-switched) must each reproduce the plain serial
+    // run field-for-field; then time each configuration.
     RunConfig engine_config = oracle_config;
     engine_config.node_jobs = kEngineJobs;
     engine_config.exec_mode = ExecMode::kBarrier;
@@ -425,6 +452,9 @@ int main(int argc, char** argv) {
     engine_config.parallel_stats = &result.event_stats;
     const RunMetrics event_run = run_plan(run->plan, engine_config);
     engine_config.parallel_stats = nullptr;
+    Executor::set_disabled_for_test(1);
+    const RunMetrics event_spawned = run_plan(run->plan, engine_config);
+    Executor::set_disabled_for_test(-1);
     RunConfig event_serial = oracle_config;
     event_serial.node_jobs = 1;
     event_serial.exec_mode = ExecMode::kEvent;
@@ -432,6 +462,7 @@ int main(int argc, char** argv) {
     for (const auto& [label, metrics] :
          {std::pair<const char*, const RunMetrics*>{"barrier", &barrier_run},
           {"event", &event_run},
+          {"event-no-pool", &event_spawned},
           {"event@1", &event_one}}) {
       const std::string engine_diff = metrics_diff(oracle, *metrics);
       if (!engine_diff.empty()) {
@@ -443,7 +474,8 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
-    measure_engines(run, config, &result.barrier_ms, &result.event_ms);
+    measure_engines(run, config, &result.barrier_ms, &result.event_ms,
+                    &result.event_spawn_ms);
     measure_allocs(&result, run, config);
 
     // The two heaviest phases, as share of total timed phase ms.
@@ -481,16 +513,20 @@ int main(int argc, char** argv) {
         r.node_parallel.max_groups, r.node_parallel.largest_group);
   }
 
-  std::printf("\nEngine comparison at %zu workers (single run, identical "
-              "output bytes):\n",
+  std::printf("\nEngine comparison at %zu workers (serial oracle vs pooled "
+              "event engine vs per-run-spawn event engine, identical output "
+              "bytes):\n",
               kEngineJobs);
   for (const Result& r : results) {
     std::printf(
-        "  %s/%s: barrier %.2f ms, event %.2f ms (%.2fx) — %zu instrs, "
-        "overlap %.1fx, queue depth %zu\n",
+        "  %s/%s: serial %.2f ms, event %.2f ms, event-no-pool %.2f ms "
+        "(pool %.2fx) — %zu instrs, overlap %.1fx, queue depth %zu, "
+        "steals %llu (+%llu misses)\n",
         r.workload.c_str(), r.policy.c_str(), r.barrier_ms, r.event_ms,
-        r.event_speedup(), r.event_stats.instructions,
-        r.event_stats.overlap(), r.event_stats.max_queue_depth);
+        r.event_spawn_ms, r.pool_speedup(), r.event_stats.instructions,
+        r.event_stats.overlap(), r.event_stats.max_queue_depth,
+        static_cast<unsigned long long>(r.event_stats.steals),
+        static_cast<unsigned long long>(r.event_stats.failed_steals));
   }
 
   if (alloc_stats::available()) {
@@ -560,11 +596,16 @@ int main(int argc, char** argv) {
          << "\"workers\": " << kEngineJobs
          << ", \"barrier_ms\": " << json_number(r.barrier_ms)
          << ", \"event_ms\": " << json_number(r.event_ms)
+         << ", \"event_spawn_ms\": " << json_number(r.event_spawn_ms)
          << ", \"event_speedup\": " << json_number(r.event_speedup())
+         << ", \"pool_speedup\": " << json_number(r.pool_speedup())
          << ", \"instructions\": " << r.event_stats.instructions
          << ", \"critical_path\": " << r.event_stats.critical_path
          << ", \"overlap\": " << json_number(r.event_stats.overlap())
          << ", \"max_queue_depth\": " << r.event_stats.max_queue_depth
+         << ", \"steals\": " << r.event_stats.steals
+         << ", \"failed_steals\": " << r.event_stats.failed_steals
+         << ", \"max_shard_depth\": " << r.event_stats.max_shard_depth
          << "},\n      \"allocs\": {"
          << "\"available\": "
          << (alloc_stats::available() ? "true" : "false")
@@ -645,7 +686,7 @@ int main(int argc, char** argv) {
       for (const std::size_t i : failing) {
         measure(&results[i], runs[i], configs[i]);
         measure_engines(runs[i], configs[i], &results[i].barrier_ms,
-                        &results[i].event_ms);
+                        &results[i].event_ms, &results[i].event_spawn_ms);
         gate_ok = gate_scenario(results[i]) && gate_ok;
       }
       if (!gate_ok) {
@@ -693,28 +734,41 @@ int main(int argc, char** argv) {
   }
 
   if (assert_event_fast) {
-    // Single-run scaling assertion: the event scheduler must not be slower
-    // than the barrier fan-out on the heaviest workload (scc) at
-    // kEngineJobs workers. Failing scenarios are re-measured once — shared
-    // runners see load bursts wider than the engines' real gap.
-    std::printf("\nEvent-vs-barrier assertion (scc scenarios):\n");
+    // Pool-vs-spawn assertion: on the heavy graph workloads (scc and lp)
+    // the event engine on the persistent pool must be at least as fast as
+    // the same engine spawning its workers per run — if pooling ever loses
+    // to raw spawning, the executor is pure overhead. Failing scenarios
+    // are re-measured once — shared runners see load bursts wider than the
+    // engines' real gap.
+    std::printf("\nPooled-vs-spawn event-engine assertion (scc and lp "
+                "scenarios):\n");
+    if (Executor::configured_width() < 2) {
+      // The engine clamps its worker count to the pool width: at width 1
+      // both paths run the single-worker drain with no helpers at all, so
+      // there is nothing to compare — any difference is pure noise.
+      std::printf("  skipped: executor width %zu — the pooled and spawn "
+                  "paths are identical at a single worker\n",
+                  Executor::configured_width());
+      return 0;
+    }
     bool ok = true;
     for (std::size_t i = 0; i < results.size(); ++i) {
       Result& r = results[i];
-      if (r.workload != "scc") continue;
-      if (r.event_ms > r.barrier_ms) {
-        measure_engines(runs[i], configs[i], &r.barrier_ms, &r.event_ms);
+      if (r.workload != "scc" && r.workload != "lp") continue;
+      if (r.event_ms > r.event_spawn_ms) {
+        measure_engines(runs[i], configs[i], &r.barrier_ms, &r.event_ms,
+                        &r.event_spawn_ms);
       }
-      const bool fast = r.event_ms <= r.barrier_ms;
-      std::printf("  %s/%s: barrier %.2f ms, event %.2f ms %s\n",
-                  r.workload.c_str(), r.policy.c_str(), r.barrier_ms,
-                  r.event_ms, fast ? "OK" : "SLOWER");
+      const bool fast = r.event_ms <= r.event_spawn_ms;
+      std::printf("  %s/%s: event %.2f ms, event-no-pool %.2f ms %s\n",
+                  r.workload.c_str(), r.policy.c_str(), r.event_ms,
+                  r.event_spawn_ms, fast ? "OK" : "SLOWER");
       ok = ok && fast;
     }
     if (!ok) {
       std::fprintf(stderr,
-                   "FAIL: event engine slower than barrier engine on scc in "
-                   "both measurements\n");
+                   "FAIL: pooled event engine slower than the per-run-spawn "
+                   "baseline on scc/lp in both measurements\n");
       return 1;
     }
   }

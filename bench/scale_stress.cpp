@@ -492,9 +492,9 @@ int main(int argc, char** argv) {
     }
 
     // Fan-out identity at scale: node_jobs 1 vs 4 at the tier's middle size
-    // must agree on every RunMetrics field — under both engines (kAuto at
-    // node_jobs 4 is the event scheduler; kBarrier is the per-phase fan-out
-    // the gate baselines were committed with).
+    // must agree on every RunMetrics field — under both exec modes (kAuto
+    // at node_jobs 4 is the event scheduler on the persistent pool;
+    // kBarrier is the serial oracle, which ignores node_jobs).
     const std::uint32_t diff_nodes = tier.nodes[tier.nodes.size() / 2];
     SizeResult serial, barrier4, event4;
     measure_size(&serial, *run, diff_nodes, bench::policy("mrd"), 1, 1);
@@ -515,12 +515,12 @@ int main(int argc, char** argv) {
       }
     }
     // Informational engine comparison (the gate's ratios stay measured at
-    // the sweep's --node-jobs, default 1): same run, 4 workers, both
-    // engines.
+    // the sweep's --node-jobs, default 1): same run, serial oracle vs the
+    // event engine at 4 workers.
     std::printf("  node_jobs 1 vs 4 at %u nodes: metrics identical under "
-                "both engines\n"
-                "  engines at %u nodes, 4 workers: barrier %.1f ms, event "
-                "%.1f ms (%.2fx)\n",
+                "both exec modes\n"
+                "  engines at %u nodes: serial oracle %.1f ms, event @ 4 "
+                "workers %.1f ms (%.2fx)\n",
                 diff_nodes, diff_nodes, barrier4.median_ms, event4.median_ms,
                 event4.median_ms > 0.0
                     ? barrier4.median_ms / event4.median_ms

@@ -5,15 +5,13 @@
 // suite's largest values; Sort/WordCount are exactly zero.
 //
 // Planning-only driver: no cache simulation runs. Each workload's DAG plan
-// and distance stats are computed on the thread pool (--jobs N).
+// and distance stats are computed on the persistent executor (--jobs N).
 #include "bench_common.h"
 
 #include "dag/dag_analysis.h"
 #include "dag/dag_scheduler.h"
-#include "util/thread_pool.h"
 
 #include <chrono>
-#include <future>
 
 using namespace mrd;
 
@@ -26,21 +24,22 @@ int main(int argc, char** argv) {
                  "max_stage"});
 
   const auto wall_start = std::chrono::steady_clock::now();
-  ThreadPool pool(options.jobs);
   std::size_t planned = 0;
 
   const auto emit = [&](const char* suite,
                         const std::vector<WorkloadSpec>& specs) {
-    std::vector<std::future<ReferenceDistanceStats>> futures;
-    for (const WorkloadSpec& spec : specs) {
-      futures.push_back(pool.submit([&spec] {
-        const ExecutionPlan plan = DagScheduler::plan(spec.make({}));
-        return reference_distance_stats(plan);
-      }));
+    std::vector<ReferenceDistanceStats> stats(specs.size());
+    TaskGroup group(options.jobs);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      group.submit([&specs, &stats, i] {
+        const ExecutionPlan plan = DagScheduler::plan(specs[i].make({}));
+        stats[i] = reference_distance_stats(plan);
+      });
     }
+    group.wait();
     for (std::size_t i = 0; i < specs.size(); ++i) {
       const WorkloadSpec& spec = specs[i];
-      const ReferenceDistanceStats s = futures[i].get();
+      const ReferenceDistanceStats& s = stats[i];
       ++planned;
       table.add_row({spec.name, format_double(s.avg_job_distance, 2),
                      std::to_string(s.max_job_distance),

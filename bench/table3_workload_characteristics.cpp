@@ -3,15 +3,13 @@
 // RDD/stage, job type).
 //
 // Planning-only driver: no cache simulation runs. Each workload's DAG plan
-// and characteristics are computed on the thread pool (--jobs N).
+// and characteristics are computed on the persistent executor (--jobs N).
 #include "bench_common.h"
 
 #include "dag/dag_analysis.h"
 #include "dag/dag_scheduler.h"
-#include "util/thread_pool.h"
 
 #include <chrono>
-#include <future>
 
 using namespace mrd;
 
@@ -28,18 +26,21 @@ int main(int argc, char** argv) {
   std::cout << "Table 3: SparkBench benchmark characteristics (inputs scaled "
                "to 1/8 of the paper's)\n\n";
   const auto wall_start = std::chrono::steady_clock::now();
-  ThreadPool pool(options.jobs);
   const std::vector<WorkloadSpec>& specs = sparkbench_workloads();
-  std::vector<std::future<WorkloadCharacteristics>> futures;
-  for (const WorkloadSpec& spec : specs) {
-    futures.push_back(pool.submit([&spec] {
-      const ExecutionPlan plan = DagScheduler::plan(spec.make({}));
-      return workload_characteristics(plan);
-    }));
+  std::vector<WorkloadCharacteristics> characteristics(specs.size());
+  {
+    TaskGroup group(options.jobs);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      group.submit([&specs, &characteristics, i] {
+        const ExecutionPlan plan = DagScheduler::plan(specs[i].make({}));
+        characteristics[i] = workload_characteristics(plan);
+      });
+    }
+    group.wait();
   }
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const WorkloadSpec& spec = specs[i];
-    const WorkloadCharacteristics c = futures[i].get();
+    const WorkloadCharacteristics& c = characteristics[i];
     table.add_row({spec.name, spec.category, human_bytes(c.input_bytes),
                    human_bytes(c.total_stage_input_bytes),
                    human_bytes(c.shuffle_bytes), std::to_string(c.jobs),

@@ -1,9 +1,7 @@
 #include "exec/application_runner.h"
 
 #include <algorithm>
-#include <future>
 #include <memory>
-#include <optional>
 #include <vector>
 
 #include "cluster/block_manager_master.h"
@@ -16,7 +14,6 @@
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/random.h"
-#include "util/thread_pool.h"
 
 namespace mrd {
 
@@ -67,10 +64,13 @@ RunMetrics run_application(std::shared_ptr<const Application> app,
 
 RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
   const NodeId num_nodes = config.cluster.num_nodes;
-  // Engine dispatch: multi-worker runs go through the event scheduler (same
-  // bytes out, no per-phase fan/join); kBarrier pins the bulk-synchronous
-  // fan-out below as the comparison baseline; kEvent forces the scheduler
-  // even single-threaded (differential tests).
+  // Engine dispatch: every parallel run goes through the event scheduler
+  // (same bytes out, no per-phase fan/join). What remains below is the
+  // serial oracle — `--exec barrier` pins it for differential tests, and
+  // it is the path single-worker sweep points take. Its old bulk-
+  // synchronous fan-out scaffolding (per-phase thread pool, node chunking,
+  // probe-region chunk maps) was folded out once the event engine had
+  // soaked: intra-run parallelism is the scheduler's job now.
   if (RunContext::engine_for(config) == RunContext::Engine::kEvent) {
     return run_plan_event(plan, config);
   }
@@ -84,75 +84,26 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
   BlockManagerMaster& master = ctx.master();
   LineageResolver& resolver = ctx.resolver();
 
-  // Intra-run fan-out across the simulated nodes. The closure-free phases
-  // (prefetch issue/serve, cache writes, purge) touch only one node per
-  // iteration, so they fan per node for *any* plan. The probe phase can run
-  // cross-node recompute closures; it fans per node *group* — connected
-  // components of the probed RDD's touches graph (ClosurePartitioner) — so
-  // every closure executes on the one worker owning its whole group. With
-  // <=1 jobs every phase runs inline on this thread; either way each node
-  // observes its serial event subsequence, so output is byte-identical for
-  // every worker count.
-  const std::size_t node_jobs =
-      std::min<std::size_t>(std::max<std::size_t>(config.node_jobs, 1),
-                            num_nodes);
-  const bool fan_out = node_jobs > 1 && num_nodes > 1;
   ClosurePartitioner* partitioner = nullptr;
-  if (fan_out || config.parallel_stats != nullptr) {
-    // Cached in the context: the partitioner depends only on key fields, so
-    // a reused run pays nothing here (the timer then measures ~0).
-    ScopedTimer timer(config.phase_timers, SimPhase::kPartition);
-    partitioner = &ctx.ensure_partitioner(plan);
-  }
   if (config.parallel_stats != nullptr) {
+    // The group decomposition is a deterministic property of the plan, so
+    // the serial oracle still reports it (engaged stays false: nothing
+    // fans out here). Cached in the context: the partitioner depends only
+    // on key fields, so a reused run pays nothing (the timer measures ~0).
+    {
+      ScopedTimer timer(config.phase_timers, SimPhase::kPartition);
+      partitioner = &ctx.ensure_partitioner(plan);
+    }
     *config.parallel_stats = NodeParallelStats{};
-    config.parallel_stats->engaged = fan_out;
     config.parallel_stats->plan_groups = partitioner->plan_groups().num_groups();
     config.parallel_stats->num_nodes = num_nodes;
   }
-  // Only constructed when the run actually fans out: the serial path (the
-  // sweep steady state) must not pay even the pool's bookkeeping
-  // allocations.
-  std::optional<ThreadPool> node_pool;
-  if (fan_out) node_pool.emplace(node_jobs);
-  const std::size_t num_chunks = fan_out ? node_jobs : 1;
-
-  // Runs fn(lo, hi) over contiguous node ranges, one per worker, and joins
-  // before returning (exceptions from workers rethrow here). Work touching
-  // node n is executed by exactly one chunk, in node order within the chunk,
-  // so every node observes the same event subsequence as a serial run.
-  const auto for_each_node_chunk = [&](const auto& fn) {
-    if (num_chunks <= 1) {
-      fn(static_cast<NodeId>(0), num_nodes);
-      return;
-    }
-    std::vector<std::future<void>> done;
-    done.reserve(num_chunks);
-    for (std::size_t c = 0; c < num_chunks; ++c) {
-      const NodeId lo = static_cast<NodeId>(c * num_nodes / num_chunks);
-      const NodeId hi = static_cast<NodeId>((c + 1) * num_nodes / num_chunks);
-      if (lo == hi) continue;
-      done.push_back(node_pool->submit([&fn, lo, hi] { fn(lo, hi); }));
-    }
-    for (auto& f : done) f.get();
-  };
 
   RunMetrics metrics;
   metrics.workload = plan.app().name();
   metrics.policy = config.policy.name;
 
   const BlockPlacement placement = config.cluster.placement;
-  // Per-RDD node→chunk maps for the group-parallel probe regions, built on
-  // the RDD's first parallel probe and reused for the rest of the *key's*
-  // lifetime: the probed RDD's groups and region_chunks depend only on key
-  // fields, so the packing survives context reuse. The maps themselves are
-  // arena-backed (freed wholesale on rekey). Rebuilding the map per
-  // (stage, RDD) region was an O(num_nodes) term in the probe phase of
-  // every stage.
-  std::vector<const std::uint32_t*>& chunk_cache = ctx.chunk_cache;
-  if (fan_out && chunk_cache.size() != plan.app().num_rdds()) {
-    chunk_cache.assign(plan.app().num_rdds(), nullptr);
-  }
 
   // Background (prefetch) I/O accumulates here; it rides inside stage
   // windows and never extends them, but the bytes are real.
@@ -192,10 +143,8 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
       // next stage can still arrive in time.
       {
         ScopedTimer timer(config.phase_timers, SimPhase::kPrefetchIssue);
-        for_each_node_chunk([&](NodeId lo, NodeId hi) {
-          issue_prefetch_orders(plan, &master, config.max_prefetch_queue, lo,
-                                hi);
-        });
+        issue_prefetch_orders(plan, &master, config.max_prefetch_queue, 0,
+                              num_nodes);
       }
 
       acct.assign(num_nodes, NodeAccounting{});
@@ -224,74 +173,23 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
           for (std::size_t j = order.size(); j > 1; --j) {
             std::swap(order[j - 1], order[rng.next_below(j)]);
           }
-          // Fan out per node *group*: demand closures may hop to other nodes
-          // in the probed RDD's touches graph, so each connected component is
-          // driven by exactly one worker — the component's events interleave
-          // exactly as in a serial run.
-          std::size_t region_chunks = 1;
-          if (partitioner != nullptr) {
+          // Group decomposition accounting (plan shape, not thread timing):
+          // what the event engine's probe regions would fan into.
+          if (partitioner != nullptr && config.parallel_stats != nullptr) {
             const NodeGroups& groups = partitioner->probe_groups(p);
-            if (fan_out) {
-              region_chunks =
-                  std::min<std::size_t>(node_jobs, groups.num_groups());
-            }
-            if (config.parallel_stats != nullptr) {
-              NodeParallelStats& st = *config.parallel_stats;
-              const std::size_t g = groups.num_groups();
-              st.probe_regions += 1;
-              if (region_chunks > 1) st.probe_regions_parallel += 1;
-              // Weight by probes executed, not regions: one coupled region
-              // over a huge RDD must not report as "parallel" as N small
-              // fanned ones.
-              st.probes_total += info.num_partitions;
-              if (region_chunks > 1) st.probes_parallel += info.num_partitions;
-              st.min_groups =
-                  st.probe_regions == 1 ? g : std::min(st.min_groups, g);
-              st.max_groups = std::max(st.max_groups, g);
-              st.groups_sum += g;
-              st.largest_group =
-                  std::max(st.largest_group, groups.largest_group());
-            }
+            NodeParallelStats& st = *config.parallel_stats;
+            const std::size_t g = groups.num_groups();
+            st.probe_regions += 1;
+            st.probes_total += info.num_partitions;
+            st.min_groups =
+                st.probe_regions == 1 ? g : std::min(st.min_groups, g);
+            st.max_groups = std::max(st.max_groups, g);
+            st.groups_sum += g;
+            st.largest_group =
+                std::max(st.largest_group, groups.largest_group());
           }
-          if (region_chunks <= 1) {
-            for (PartitionIndex j : order) {
-              resolver.demand_block(BlockId{p, j}, &acct);
-            }
-          } else {
-            if (chunk_cache[p] == nullptr) {
-              // Pack whole groups into `region_chunks` contiguous chunks
-              // with roughly equal node counts; groups are ordered by
-              // smallest member, so the assignment is deterministic.
-              const NodeGroups& groups = partitioner->probe_groups(p);
-              std::uint32_t* map =
-                  ctx.arena().make_array<std::uint32_t>(num_nodes);
-              std::size_t chunk = 0;
-              std::size_t filled = 0;
-              for (const std::vector<NodeId>& group : groups.groups) {
-                while (chunk + 1 < region_chunks &&
-                       filled >= (chunk + 1) * num_nodes / region_chunks) {
-                  ++chunk;
-                }
-                for (NodeId member : group) {
-                  map[member] = static_cast<std::uint32_t>(chunk);
-                }
-                filled += group.size();
-              }
-              chunk_cache[p] = map;
-            }
-            const std::uint32_t* chunk_of = chunk_cache[p];
-            const std::uint32_t salt = placement_salt(p, num_nodes, placement);
-            std::vector<std::future<void>> done;
-            done.reserve(region_chunks);
-            for (std::size_t c = 0; c < region_chunks; ++c) {
-              done.push_back(node_pool->submit([&, c] {
-                for (PartitionIndex j : order) {
-                  if (chunk_of[(j + salt) % num_nodes] != c) continue;
-                  resolver.demand_block(BlockId{p, j}, &acct);
-                }
-              }));
-            }
-            for (auto& f : done) f.get();
+          for (PartitionIndex j : order) {
+            resolver.demand_block(BlockId{p, j}, &acct);
           }
           // This stage is done reading p: its reference is consumed, so
           // mid-stage eviction decisions rank p by its *next* use. A serial
@@ -350,30 +248,27 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
       //    in this order under the per-block loop too.
       {
         ScopedTimer timer(config.phase_timers, SimPhase::kCacheWrites);
-        for_each_node_chunk([&](NodeId lo, NodeId hi) {
-          for (NodeId n = lo; n < hi; ++n) {
-            // Pooled per-node batch buffer (chunks own disjoint node
-            // ranges, so workers never share one).
-            std::vector<BlockId>& batch = batch_scratch[n];
-            for (RddId r : rec.computes) {
-              const RddInfo& info = plan.app().rdd(r);
-              if (!info.persisted) continue;
-              batch.clear();
-              const PartitionIndex first =
-                  first_local_partition(r, n, num_nodes, placement);
-              for (PartitionIndex j = first; j < info.num_partitions;
-                   j += num_nodes) {
-                batch.push_back(BlockId{r, j});
-              }
-              if (batch.empty()) continue;
-              IoCharge charge;
-              master.node(n).cache_blocks(batch.data(), batch.size(),
-                                          info.bytes_per_partition, &charge);
-              acct[n].disk_read_bytes += charge.disk_read_bytes;
-              acct[n].disk_write_bytes += charge.disk_write_bytes;
+        for (NodeId n = 0; n < num_nodes; ++n) {
+          // Pooled per-node batch buffer.
+          std::vector<BlockId>& batch = batch_scratch[n];
+          for (RddId r : rec.computes) {
+            const RddInfo& info = plan.app().rdd(r);
+            if (!info.persisted) continue;
+            batch.clear();
+            const PartitionIndex first =
+                first_local_partition(r, n, num_nodes, placement);
+            for (PartitionIndex j = first; j < info.num_partitions;
+                 j += num_nodes) {
+              batch.push_back(BlockId{r, j});
             }
+            if (batch.empty()) continue;
+            IoCharge charge;
+            master.node(n).cache_blocks(batch.data(), batch.size(),
+                                        info.bytes_per_partition, &charge);
+            acct[n].disk_read_bytes += charge.disk_read_bytes;
+            acct[n].disk_write_bytes += charge.disk_write_bytes;
           }
-        });
+        }
       }
 
       // -- Stage wall time (barrier), then let prefetch I/O soak up the
@@ -383,24 +278,20 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
       {
         ScopedTimer timer(config.phase_timers, SimPhase::kPrefetchServe);
         node_background.assign(num_nodes, IoCharge{});
-        for_each_node_chunk([&](NodeId lo, NodeId hi) {
-          for (NodeId n = lo; n < hi; ++n) {
-            // An empty prefetch queue serves nothing whatever the slack:
-            // skip the node without dereferencing it. (Cancelled husks may
-            // linger in a skipped queue; they are popped for free the next
-            // time the node has live orders to serve.)
-            if ((master.node_activity(n) & kNodeHasQueue) == 0) continue;
-            // The disk is idle whenever it is not serving demand
-            // reads/writes; network-bound or compute-bound intervals are
-            // prefetch opportunity.
-            const double slack = inner_wall - acct[n].disk_ms(config.cluster);
-            if (slack > 0.0) {
-              master.node(n).serve_prefetch(slack, &node_background[n]);
-            }
+        for (NodeId n = 0; n < num_nodes; ++n) {
+          // An empty prefetch queue serves nothing whatever the slack:
+          // skip the node without dereferencing it. (Cancelled husks may
+          // linger in a skipped queue; they are popped for free the next
+          // time the node has live orders to serve.)
+          if ((master.node_activity(n) & kNodeHasQueue) == 0) continue;
+          // The disk is idle whenever it is not serving demand
+          // reads/writes; network-bound or compute-bound intervals are
+          // prefetch opportunity.
+          const double slack = inner_wall - acct[n].disk_ms(config.cluster);
+          if (slack > 0.0) {
+            master.node(n).serve_prefetch(slack, &node_background[n]);
           }
-        });
-        // Merge the per-node charges in node-ID order: totals accumulate
-        // identically for every worker count.
+        }
         for (NodeId n = 0; n < num_nodes; ++n) {
           background.disk_read_bytes += node_background[n].disk_read_bytes;
           background.disk_write_bytes += node_background[n].disk_write_bytes;
@@ -429,9 +320,7 @@ RunMetrics run_plan(const ExecutionPlan& plan, const RunConfig& config) {
       }
       {
         ScopedTimer timer(config.phase_timers, SimPhase::kPurge);
-        for_each_node_chunk([&](NodeId lo, NodeId hi) {
-          master.execute_purge(lo, hi);
-        });
+        master.execute_purge(0, num_nodes);
       }
     }
   }

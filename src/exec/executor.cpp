@@ -1,0 +1,353 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "util/check.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+
+#include <fstream>
+#include <sstream>
+#endif
+
+namespace mrd {
+namespace {
+
+thread_local int tl_worker = -1;
+
+/// Test override for enabled(): -1 follow env, 0 force-on, 1 force-off.
+std::atomic<int> g_disabled_override{-1};
+
+bool env_disabled() {
+  static const bool disabled = [] {
+    const char* raw = std::getenv("MRD_NO_PERSISTENT_POOL");
+    return raw != nullptr && raw[0] == '1';
+  }();
+  return disabled;
+}
+
+#if defined(__linux__)
+/// CPUs per NUMA node, intersected with the process affinity mask. Empty
+/// or single-entry when the machine (or the mask) spans one node — pinning
+/// is skipped in that case.
+const std::vector<std::vector<int>>& numa_topology() {
+  static const std::vector<std::vector<int>> topology = [] {
+    std::vector<std::vector<int>> nodes;
+    cpu_set_t allowed;
+    CPU_ZERO(&allowed);
+    if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) return nodes;
+    for (int node = 0; node < 1024; ++node) {
+      std::ifstream in("/sys/devices/system/node/node" +
+                       std::to_string(node) + "/cpulist");
+      if (!in.is_open()) break;
+      std::string list;
+      std::getline(in, list);
+      std::vector<int> cpus;
+      std::stringstream ss(list);
+      std::string range;
+      while (std::getline(ss, range, ',')) {
+        if (range.empty()) continue;
+        const std::size_t dash = range.find('-');
+        const int lo = std::atoi(range.c_str());
+        const int hi = dash == std::string::npos
+                           ? lo
+                           : std::atoi(range.c_str() + dash + 1);
+        for (int cpu = lo; cpu <= hi && cpu < CPU_SETSIZE; ++cpu) {
+          if (CPU_ISSET(cpu, &allowed)) cpus.push_back(cpu);
+        }
+      }
+      if (!cpus.empty()) nodes.push_back(std::move(cpus));
+    }
+    return nodes;
+  }();
+  return topology;
+}
+#endif  // defined(__linux__)
+
+}  // namespace
+
+Executor& Executor::instance() {
+  static Executor executor(configured_width());
+  return executor;
+}
+
+std::size_t Executor::configured_width() {
+  static const std::size_t width = [] {
+    if (const char* raw = std::getenv("MRD_EXECUTOR_THREADS")) {
+      const long parsed = std::atol(raw);
+      if (parsed > 0) return static_cast<std::size_t>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hw > 0 ? hw : 1);
+  }();
+  return width;
+}
+
+bool Executor::enabled() {
+  const int forced = g_disabled_override.load();
+  if (forced >= 0) return forced == 0;
+  return !env_disabled();
+}
+
+void Executor::set_disabled_for_test(int disabled) {
+  g_disabled_override.store(disabled);
+}
+
+int Executor::current_worker() { return tl_worker; }
+
+Executor::Executor(std::size_t width) {
+  MRD_CHECK(width > 0);
+#if defined(__linux__)
+  numa_pinned_ = numa_topology().size() > 1;
+#endif
+  workers_.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (std::size_t i = 0; i < width; ++i) {
+    workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+    threads_spawned_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    stop_.store(true);
+  }
+  sleep_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+void Executor::push_to(std::size_t target, Task* task) {
+  Worker& worker = *workers_[target];
+  std::size_t depth;
+  {
+    std::lock_guard<std::mutex> lk(worker.mu);
+    worker.deque.push_back(task);
+    depth = worker.deque.size();
+  }
+  std::size_t seen = worker.max_depth.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !worker.max_depth.compare_exchange_weak(
+             seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+void Executor::wake(std::size_t queued) {
+  if (sleepers_.load() == 0) return;
+  std::lock_guard<std::mutex> lk(sleep_mu_);
+  const std::uint32_t asleep = sleepers_.load();
+  if (asleep == 0) return;
+  if (queued > 1 && asleep > 1) {
+    sleep_cv_.notify_all();
+    wakeups_.fetch_add(std::min<std::size_t>(queued, asleep),
+                       std::memory_order_relaxed);
+  } else {
+    sleep_cv_.notify_one();
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Executor::submit(Task* task, int hint) {
+  submit_batch(&task, 1, hint);
+}
+
+void Executor::submit_batch(Task* const* tasks, std::size_t count, int hint) {
+  if (count == 0) return;
+  const std::size_t width = workers_.size();
+  std::size_t target;
+  if (hint >= 0) {
+    target = static_cast<std::size_t>(hint) % width;
+  } else if (tl_worker >= 0) {
+    target = static_cast<std::size_t>(tl_worker);
+  } else {
+    target = next_target_.fetch_add(1, std::memory_order_relaxed) % width;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    // Hinted batches land on one deque (locality); anonymous batches from
+    // outside the pool spread round-robin so idle workers start without a
+    // steal.
+    const std::size_t t =
+        (hint >= 0 || tl_worker >= 0) ? target : (target + i) % width;
+    push_to(t, tasks[i]);
+  }
+  submitted_.fetch_add(count, std::memory_order_relaxed);
+  pending_.fetch_add(count);  // seq_cst: must precede the sleepers_ read
+  wake(count);
+}
+
+Executor::Task* Executor::try_pop_own(std::size_t self) {
+  Worker& worker = *workers_[self];
+  std::lock_guard<std::mutex> lk(worker.mu);
+  if (worker.deque.empty()) return nullptr;
+  Task* task = worker.deque.back();  // owner end: LIFO at the bottom
+  worker.deque.pop_back();
+  return task;
+}
+
+Executor::Task* Executor::try_steal(std::size_t self) {
+  const std::size_t width = workers_.size();
+  Worker& me = *workers_[self];
+  for (std::size_t i = 1; i < width; ++i) {
+    Worker& victim = *workers_[(self + i) % width];
+    std::lock_guard<std::mutex> lk(victim.mu);
+    if (victim.deque.empty()) {
+      me.failed_steals.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Task* task = victim.deque.front();  // thief end: FIFO from the top
+    victim.deque.pop_front();
+    me.steals.fetch_add(1, std::memory_order_relaxed);
+    return task;
+  }
+  return nullptr;
+}
+
+void Executor::worker_loop(std::size_t self) {
+  tl_worker = static_cast<int>(self);
+  pin_worker(self);
+  Worker& me = *workers_[self];
+  for (;;) {
+    Task* task = try_pop_own(self);
+    if (task == nullptr) task = try_steal(self);
+    if (task != nullptr) {
+      pending_.fetch_sub(1);
+      task->run(static_cast<unsigned>(self));
+      me.executed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(sleep_mu_);
+    if (stop_.load() && pending_.load() == 0) return;
+    // Missed-wakeup safety: sleepers_ changes only under sleep_mu_ and the
+    // predicate re-reads pending_. A submitter bumps pending_ (seq_cst)
+    // *before* reading sleepers_: either it observes this sleeper and
+    // notifies, or this sleeper's predicate observes the bump and never
+    // blocks.
+    sleepers_.fetch_add(1);
+    sleep_cv_.wait(lk, [this] {
+      return stop_.load() || pending_.load() > 0;
+    });
+    sleepers_.fetch_sub(1);
+    if (stop_.load() && pending_.load() == 0) return;
+  }
+}
+
+void Executor::pin_worker(std::size_t self) {
+#if defined(__linux__)
+  const auto& topology = numa_topology();
+  if (topology.size() < 2) return;  // single socket: hints only, no pinning
+  // Round-robin workers across nodes: worker i lives on node i % nodes,
+  // free to float within that node's (allowed) cpulist.
+  const std::vector<int>& cpus = topology[self % topology.size()];
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int cpu : cpus) CPU_SET(cpu, &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)self;
+#endif
+}
+
+ExecutorStats Executor::stats() const {
+  ExecutorStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.wakeups = wakeups_.load(std::memory_order_relaxed);
+  stats.threads_spawned = threads_spawned_.load(std::memory_order_relaxed);
+  for (const auto& worker : workers_) {
+    stats.executed += worker->executed.load(std::memory_order_relaxed);
+    stats.steals += worker->steals.load(std::memory_order_relaxed);
+    stats.failed_steals +=
+        worker->failed_steals.load(std::memory_order_relaxed);
+    stats.max_deque_depth =
+        std::max(stats.max_deque_depth,
+                 worker->max_depth.load(std::memory_order_relaxed));
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// TaskGroup
+
+struct TaskGroup::Node : Executor::Task {
+  TaskGroup* group = nullptr;
+  std::function<void()> fn;
+  std::exception_ptr error;
+
+  void run(unsigned /*worker*/) noexcept override {
+    try {
+      fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    group->finished(this);
+  }
+};
+
+TaskGroup::TaskGroup(std::size_t max_parallel)
+    : max_parallel_(max_parallel == 0 ? Executor::configured_width()
+                                      : max_parallel),
+      inline_mode_(!Executor::enabled() || max_parallel_ <= 1) {}
+
+TaskGroup::~TaskGroup() {
+  try {
+    wait();
+  } catch (...) {
+    // Destruction swallows task errors; call wait() to observe them.
+  }
+}
+
+void TaskGroup::submit(std::function<void()> fn) {
+  if (inline_mode_) {
+    try {
+      fn();
+    } catch (...) {
+      if (!error_) error_ = std::current_exception();
+    }
+    return;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  auto node = std::make_unique<Node>();
+  node->group = this;
+  node->fn = std::move(fn);
+  nodes_.push_back(std::move(node));
+  dispatch_locked();
+}
+
+void TaskGroup::dispatch_locked() {
+  while (next_ < nodes_.size() && in_flight_ < max_parallel_) {
+    Node* node = nodes_[next_].get();
+    ++next_;
+    ++in_flight_;
+    Executor::instance().submit(node);
+  }
+}
+
+void TaskGroup::finished(Node* node) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++done_;
+  --in_flight_;
+  if (node->error && !error_) error_ = node->error;
+  dispatch_locked();
+  if (done_ == nodes_.size() && in_flight_ == 0) cv_.notify_all();
+}
+
+void TaskGroup::wait() {
+  if (!inline_mode_) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return done_ == nodes_.size() && in_flight_ == 0; });
+  }
+  if (error_) {
+    std::exception_ptr err = error_;
+    error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace mrd

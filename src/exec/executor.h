@@ -1,0 +1,206 @@
+// Process-wide persistent work-stealing executor.
+//
+// One pool of workers serves both parallel layers of the harness: sweep
+// points (`SweepRunner`) and the event engine's helper workers
+// (`node_scheduler.cpp`). Before this existed, every engine run spawned and
+// joined raw std::threads and the sweep harness ran a separate allocating
+// FIFO pool, so the two layers competed for cores instead of composing.
+//
+// Scheduling model:
+//   * one deque per worker; the owner pushes and pops LIFO at the bottom
+//     (back of the ring), thieves steal FIFO from the top (front), so a
+//     worker runs its freshest work hot-in-cache while thieves drain the
+//     oldest, coarsest tasks;
+//   * each deque is guarded by its own mutex — tasks here are coarse
+//     (a whole sweep point, a whole engine-helper session), so a per-deque
+//     lock is nanoseconds against task bodies of micro- to milliseconds,
+//     and it keeps the protocol trivially TSan-clean;
+//   * sleeping workers park on a pending-count eventcount (seq_cst counter
+//     + condvar); submitters wake at most as many sleepers as they queued
+//     tasks (batched wakeups — one lock, one notify_all for a burst);
+//   * submitters can pass a worker *hint*: the task is pushed onto that
+//     worker's deque so work with warm per-thread state (a pooled
+//     RunContext's arena slabs) re-runs on the core that last touched it.
+//     Hints are advisory — any idle worker can still steal the task, which
+//     is what keeps the pool work-conserving.
+//
+// Topology: when the machine exposes more than one NUMA node, workers are
+// pinned round-robin across the nodes' cpulists (intersected with the
+// process affinity mask) so a hinted task's arena slabs stay on the socket
+// that allocated them. On single-node machines pinning is skipped entirely
+// and hints degrade gracefully to plain deque targeting.
+//
+// Tasks are raw pointers to caller-owned objects (no per-submit
+// allocation); `run()` is noexcept — implementations capture exceptions
+// themselves (see SweepRunner's slots and TaskGroup). The pool never runs
+// a task twice and never drops one: destruction drains every queued task.
+//
+// `MRD_NO_PERSISTENT_POOL=1` disables the pool (callers fall back to
+// per-run spawning or inline execution); `MRD_EXECUTOR_THREADS=N`
+// overrides the worker count, which otherwise follows
+// hardware_concurrency.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/ring_deque.h"
+
+namespace mrd {
+
+/// Lifetime counters for the pool; all monotonic. `threads_spawned` stays
+/// equal to the worker count after startup — the zero-per-run-spawn
+/// invariant BM_SpawnVsPersistentPool asserts.
+struct ExecutorStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t steals = 0;         ///< tasks claimed from another deque
+  std::uint64_t failed_steals = 0;  ///< victim probes that found nothing
+  std::uint64_t wakeups = 0;        ///< condvar notifications issued
+  std::uint64_t threads_spawned = 0;
+  std::size_t max_deque_depth = 0;  ///< deepest any single deque has been
+};
+
+class Executor {
+ public:
+  /// A schedulable unit. Implementations are owned by the submitter and
+  /// must stay alive until run() returns; run() must not throw (capture
+  /// and store exceptions instead).
+  class Task {
+   public:
+    virtual void run(unsigned worker) noexcept = 0;
+
+   protected:
+    ~Task() = default;
+  };
+
+  /// The process-wide pool, created on first use with configured_width()
+  /// workers. Callers must check enabled() first: constructing the
+  /// instance spawns threads.
+  static Executor& instance();
+
+  /// Worker count the pool runs (or would run) with:
+  /// MRD_EXECUTOR_THREADS if set and positive, else hardware_concurrency
+  /// (min 1). Benches use this instead of hardware_concurrency directly so
+  /// reported worker counts stay overridable and machine-independent.
+  static std::size_t configured_width();
+
+  /// False when MRD_NO_PERSISTENT_POOL=1 (or a test override says so):
+  /// callers fall back to per-run spawning / inline execution.
+  static bool enabled();
+
+  /// Test hook: 1 forces the pool off, 0 forces it on, -1 restores the
+  /// environment-variable behaviour.
+  static void set_disabled_for_test(int disabled);
+
+  /// Index of the pool worker running the current thread, or -1 off-pool.
+  static int current_worker();
+
+  ~Executor();
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  std::size_t width() const { return workers_.size(); }
+
+  /// Queues one task. `hint` >= 0 targets that worker's deque (modulo
+  /// width); otherwise the submitting worker's own deque, or round-robin
+  /// from outside the pool.
+  void submit(Task* task, int hint = -1);
+
+  /// Queues `count` tasks with one wakeup decision (at most one lock of
+  /// the sleep mutex for the whole batch).
+  void submit_batch(Task* const* tasks, std::size_t count, int hint = -1);
+
+  /// Aggregated lifetime counters (relaxed snapshot).
+  ExecutorStats stats() const;
+
+  /// True when workers were pinned across >1 NUMA node at startup.
+  bool numa_pinned() const { return numa_pinned_; }
+
+ private:
+  struct alignas(64) Worker {
+    std::mutex mu;
+    RingDeque<Task*> deque;
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> failed_steals{0};
+    std::atomic<std::size_t> max_depth{0};
+    std::thread thread;
+  };
+
+  explicit Executor(std::size_t width);
+
+  void push_to(std::size_t target, Task* task);
+  void wake(std::size_t queued);
+  Task* try_pop_own(std::size_t self);
+  Task* try_steal(std::size_t self);
+  void worker_loop(std::size_t self);
+  void pin_worker(std::size_t self);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::size_t> next_target_{0};
+
+  // Eventcount: pending_ counts queued-but-unclaimed tasks; sleepers_ is
+  // only modified under sleep_mu_. All seq_cst — see worker_loop() for the
+  // missed-wakeup argument.
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<std::uint32_t> sleepers_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
+  std::atomic<std::uint64_t> threads_spawned_{0};
+  bool numa_pinned_ = false;
+};
+
+/// Fork-join helper over the executor for independent type-erased jobs
+/// (the planning drivers: table1/table3). Runs inline when the pool is
+/// disabled or `max_parallel <= 1`. Nodes allocate (std::function) — this
+/// is for coarse planning fan-outs, not the alloc-gated sweep path.
+class TaskGroup {
+ public:
+  /// `max_parallel` caps how many jobs run concurrently; 0 means the
+  /// executor's width.
+  explicit TaskGroup(std::size_t max_parallel = 0);
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Queues fn(); results are communicated through captures.
+  void submit(std::function<void()> fn);
+
+  /// Blocks until every submitted job finished; rethrows the first
+  /// captured exception.
+  void wait();
+
+ private:
+  struct Node;
+
+  void dispatch_locked();
+  void finished(Node* node);
+
+  std::size_t max_parallel_;
+  bool inline_mode_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Node>> nodes_;
+  std::size_t next_ = 0;      ///< first not-yet-dispatched node
+  std::size_t done_ = 0;      ///< finished count
+  std::size_t in_flight_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace mrd

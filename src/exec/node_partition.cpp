@@ -64,6 +64,9 @@ void NodeParallelStats::merge(const NodeParallelStats& other) {
   instructions += other.instructions;
   critical_path += other.critical_path;
   max_queue_depth = std::max(max_queue_depth, other.max_queue_depth);
+  steals += other.steals;
+  failed_steals += other.failed_steals;
+  max_shard_depth = std::max(max_shard_depth, other.max_shard_depth);
 }
 
 ClosurePartitioner::ClosurePartitioner(const ExecutionPlan& plan,

@@ -81,6 +81,14 @@ struct NodeParallelStats {
   std::size_t instructions = 0;
   std::size_t critical_path = 0;
   std::size_t max_queue_depth = 0;
+  /// Work-stealing engine runtime counters (zero for barrier/serial runs).
+  /// Unlike everything above these ARE timing-dependent — steals happen
+  /// wherever the schedule ran dry — so they are reported, never asserted
+  /// equal across runs. The decision stream stays byte-identical no matter
+  /// what these count (see DESIGN.md "Persistent executor").
+  std::uint64_t steals = 0;
+  std::uint64_t failed_steals = 0;
+  std::size_t max_shard_depth = 0;
 
   double mean_groups() const {
     return probe_regions > 0

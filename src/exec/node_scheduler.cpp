@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cluster/block_manager_master.h"
+#include "exec/executor.h"
 #include "exec/lineage_resolver.h"
 #include "exec/node_partition.h"
 #include "exec/run_context.h"
@@ -20,6 +21,7 @@
 #include "util/arena.h"
 #include "util/check.h"
 #include "util/random.h"
+#include "util/ring_deque.h"
 #include "util/scoped_timer.h"
 
 namespace mrd {
@@ -30,6 +32,20 @@ namespace {
 /// kClose(s) — which waits for the stage wall and every serve of s — resets
 /// it for stage s + 3, whose acct-writing instructions depend on the close.
 constexpr std::size_t kAcctBuffers = 3;
+
+/// Instructions a worker claims from its shard per lock acquisition. Most
+/// instructions are tiny (an activity-flag check, one node's accounting), so
+/// per-instruction locking would swamp the work; 8 amortizes the lock to
+/// noise while keeping shards shallow enough that thieves stay fed
+/// (BM_StealLatency tracks the claim+steal round-trip this trades against —
+/// the former ready_.size()/workers+1 heuristic claimed up to 16 and starved
+/// peers right when the ready set was deepest).
+constexpr std::size_t kClaimBatch = 8;
+
+/// Test hook (set_event_forced_steal_for_test): claim one instruction at a
+/// time and hand every newly-ready instruction to *other* shards, so every
+/// execution is preceded by a steal — the most adversarial legal schedule.
+std::atomic<bool> g_forced_steal{false};
 
 struct Instr {
   enum class Op : std::uint8_t {
@@ -49,7 +65,8 @@ struct Instr {
   std::uint32_t group = 0;   // kProbe: group index within the region
   /// Journal position this instruction's node dereferences replay up to.
   std::size_t horizon = 0;
-  /// Remaining unsatisfied dependencies; decremented under the engine lock.
+  /// Dependency count accumulated at compile time; the runtime countdown
+  /// copies live in EventRun::deps_ (atomic, per run).
   std::uint32_t deps = 0;
   /// CSR range into the edge target array (instructions unblocked by this
   /// one completing).
@@ -124,6 +141,16 @@ class EventRun {
 
   RunMetrics run(const RunConfig& config);
 
+  ~EventRun() {
+    // A stale helper may still sit queued in the executor; detach it so the
+    // late invocation becomes a no-op instead of touching freed memory (the
+    // node itself stays alive through its self-reference).
+    for (auto& helper : helpers_) {
+      std::lock_guard<std::mutex> lk(helper->mu);
+      helper->engine = nullptr;
+    }
+  }
+
  private:
   // ---- Compilation -------------------------------------------------------
   void compile();
@@ -145,8 +172,18 @@ class EventRun {
   void exec_acct(const Instr& in);
   void exec_wall(const Instr& in);
   void exec_serve(const Instr& in);
-  void worker_loop(PhaseTimers* timers);
+  void worker_loop(std::size_t shard_index);
   void drain_serial(PhaseTimers* timers);
+  /// Grows the per-participant shard/helper arrays to `workers` (first
+  /// multi-worker run only; reused forever after).
+  void ensure_shards(std::size_t workers);
+  /// A helper joining the active run: passes the join gate, takes a shard
+  /// ticket, runs worker_loop, departs. Bounces harmlessly when no run is
+  /// active or every shard is taken (a stale invocation from the previous
+  /// run).
+  void helper_arrive();
+  /// Wakes up to `surplus` sleeping participants (batched: one lock).
+  void wake_workers(std::size_t surplus);
   void finalize();
   /// Replays the recorded non-gated journal appends (a pure function of the
   /// plan) so every run starts from the identical materialized journal.
@@ -208,15 +245,77 @@ class EventRun {
   std::atomic<std::uint64_t> background_read_{0};
   std::atomic<std::uint64_t> background_write_{0};
 
-  // Engine.
+  // Engine: one work-stealing shard per participant. The owner pushes and
+  // pops LIFO at the back of its ring; thieves lock the victim's mutex and
+  // steal FIFO from the front. Counters (steals / failed_steals /
+  // max_depth) and the PhaseTimers are owner-written only — no timer_mu_
+  // round-trips — and merged by the caller after the join gate closes.
+  struct alignas(64) Shard {
+    std::mutex mu;
+    RingDeque<std::uint32_t> deque;
+    PhaseTimers timers;
+    std::uint64_t steals = 0;
+    std::uint64_t failed_steals = 0;
+    std::size_t max_depth = 0;
+  };
+
+  /// A persistent executor task that contributes one worker to the active
+  /// run. Pooled with the engine: submitting it allocates nothing. `mu`
+  /// orders invocations against engine teardown (a stale queued helper must
+  /// not touch a freed engine); `self` keeps the node alive until the late
+  /// invocation drains even if the engine is gone by then.
+  struct HelperTask : Executor::Task {
+    std::mutex mu;
+    EventRun* engine = nullptr;
+    std::atomic<int> queued{0};
+    std::shared_ptr<HelperTask> self;
+
+    void run(unsigned /*worker*/) noexcept override {
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        if (engine != nullptr) engine->helper_arrive();
+      }
+      // Release the self-reference last: `queued` must be clear before a
+      // resubmission can write `self` again, and dropping `keep` may delete
+      // this node.
+      std::shared_ptr<HelperTask> keep = std::move(self);
+      queued.store(0);
+    }
+  };
+
+  static constexpr std::uint32_t kRunActiveBit = 0x80000000u;
+  static constexpr std::uint32_t kArrivedMask = 0x7fffffffu;
+
   std::size_t workers_ = 1;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<std::uint32_t> ready_;
-  std::size_t remaining_ = 0;
-  bool stop_ = false;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::shared_ptr<HelperTask>> helpers_;
+  /// Per-run dependency countdowns (initial_deps_ holds the compile-time
+  /// values). acq_rel decrements chain every producer's writes to whoever
+  /// pushes — and later executes — the dependent.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> deps_;
+  std::vector<std::uint32_t> ready_;  // single-worker drain only
+  std::atomic<std::size_t> remaining_{0};
+  std::atomic<bool> stop_{false};
+  /// Eventcount: ready-but-unclaimed instructions across all shards.
+  /// seq_cst pairs with sleepers_ for the missed-wakeup argument (a pusher
+  /// bumps ready_count_ before reading sleepers_; a sleeper registers under
+  /// sleep_mu_ and re-reads ready_count_ in the predicate).
+  std::atomic<std::uint64_t> ready_count_{0};
+  std::atomic<std::uint32_t> sleepers_{0};
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::mutex error_mu_;
   std::exception_ptr error_;
-  std::mutex timer_mu_;
+  /// Join gate: kRunActiveBit while a run accepts helpers; low bits count
+  /// arrived helpers. The caller closes the bit and waits for the count to
+  /// reach zero — the lock-free equivalent of joining spawned threads.
+  std::atomic<std::uint32_t> sync_{0};
+  /// Shard tickets for arriving helpers (the caller owns shard 0).
+  std::atomic<std::uint32_t> shard_ticket_{1};
+  /// Per-run steal accounting, summed from the shards after the join.
+  std::uint64_t run_steals_ = 0;
+  std::uint64_t run_failed_steals_ = 0;
+  std::size_t run_max_shard_depth_ = 0;
 };
 
 std::uint32_t EventRun::emit(Instr instr) {
@@ -692,8 +791,9 @@ void EventRun::execute(const Instr& in, PhaseTimers* timers) {
 }
 
 void EventRun::drain_serial(PhaseTimers* timers) {
-  // Single worker: no peers to feed or wait on, so the mutex and condvar
-  // buy nothing — drain the ready stack in place.
+  // Single worker: no peers to feed or wait on, so shards and the
+  // eventcount buy nothing — drain the ready stack in place.
+  std::size_t executed = 0;
   while (!ready_.empty()) {
     const std::uint32_t id = ready_.back();
     ready_.pop_back();
@@ -701,75 +801,168 @@ void EventRun::drain_serial(PhaseTimers* timers) {
     const Instr& done = instrs_[id];
     for (std::uint32_t e = done.edges_begin; e < done.edges_end; ++e) {
       const std::uint32_t to = edge_targets_[e];
-      if (--instrs_[to].deps == 0) ready_.push_back(to);
+      if (deps_[to].fetch_sub(1, std::memory_order_relaxed) == 1) {
+        ready_.push_back(to);
+      }
     }
-    --remaining_;
+    ++executed;
+  }
+  remaining_.fetch_sub(executed, std::memory_order_relaxed);
+}
+
+void EventRun::ensure_shards(std::size_t workers) {
+  while (shards_.size() < workers) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  while (helpers_.size() + 1 < workers) {
+    auto helper = std::make_shared<HelperTask>();
+    helper->engine = this;
+    helpers_.push_back(std::move(helper));
   }
 }
 
-void EventRun::worker_loop(PhaseTimers* timers) {
-  // Most instructions are tiny (an activity-flag check, one node's
-  // accounting); paying a mutex round-trip per instruction would swamp the
-  // work. Workers therefore claim a *slice* of the ready stack per lock
-  // acquisition and apply the whole slice's completions in one critical
-  // section. The cap keeps slices small enough that peers stay fed.
-  constexpr std::size_t kMaxClaim = 16;
-  PhaseTimers local;
-  PhaseTimers* local_timers = timers != nullptr ? &local : nullptr;
-  std::vector<std::uint32_t> batch;
-  batch.reserve(kMaxClaim);
-  std::unique_lock<std::mutex> lock(mu_);
-  while (true) {
-    cv_.wait(lock,
-             [&] { return !ready_.empty() || remaining_ == 0 || stop_; });
-    if (remaining_ == 0 || stop_) break;
-    if (ready_.empty()) continue;
-    std::size_t take = ready_.size() / workers_ + 1;
-    take = std::min(take, std::min(ready_.size(), kMaxClaim));
-    batch.assign(ready_.end() - static_cast<std::ptrdiff_t>(take),
-                 ready_.end());
-    ready_.resize(ready_.size() - take);
-    lock.unlock();
-    bool ok = true;
+void EventRun::wake_workers(std::size_t surplus) {
+  if (surplus == 0 || sleepers_.load() == 0) return;
+  std::lock_guard<std::mutex> lk(sleep_mu_);
+  const std::uint32_t asleep = sleepers_.load();
+  if (asleep == 0) return;
+  if (surplus > 1 && asleep > 1) {
+    sleep_cv_.notify_all();
+  } else {
+    sleep_cv_.notify_one();
+  }
+}
+
+void EventRun::helper_arrive() {
+  std::uint32_t gate = sync_.load();
+  do {
+    if ((gate & kRunActiveBit) == 0) return;  // between runs: bounce
+  } while (!sync_.compare_exchange_weak(gate, gate + 1));
+  const std::uint32_t ticket = shard_ticket_.fetch_add(1);
+  if (ticket < workers_) worker_loop(ticket);
+  const std::uint32_t prev = sync_.fetch_sub(1);
+  if (((prev - 1) & kArrivedMask) == 0) {
+    // Last one out wakes the caller waiting on the join gate.
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    sleep_cv_.notify_all();
+  }
+}
+
+void EventRun::worker_loop(std::size_t shard_index) {
+  Shard& my = *shards_[shard_index];
+  PhaseTimers* timers = config_->phase_timers != nullptr ? &my.timers : nullptr;
+  const bool forced_steal = g_forced_steal.load(std::memory_order_relaxed);
+  const std::size_t claim_cap = forced_steal ? 1 : kClaimBatch;
+  std::array<std::uint32_t, kClaimBatch> batch;
+
+  while (!stop_.load()) {
+    // Claim LIFO from our own shard — the freshest instructions, whose
+    // nodes' state this worker just touched.
+    std::size_t batch_n = 0;
+    {
+      std::lock_guard<std::mutex> lk(my.mu);
+      while (batch_n < claim_cap && !my.deque.empty()) {
+        batch[batch_n++] = my.deque.back();
+        my.deque.pop_back();
+      }
+    }
+    if (batch_n == 0) {
+      // Steal FIFO from a victim's front: the oldest, coldest work — the
+      // end the owner is furthest from.
+      for (std::size_t i = 1; i < workers_ && batch_n == 0; ++i) {
+        Shard& victim = *shards_[(shard_index + i) % workers_];
+        std::lock_guard<std::mutex> lk(victim.mu);
+        if (victim.deque.empty()) {
+          ++my.failed_steals;
+          continue;
+        }
+        std::size_t take =
+            std::min((victim.deque.size() + 1) / 2, claim_cap);
+        while (take-- > 0) {
+          batch[batch_n++] = victim.deque.front();
+          victim.deque.pop_front();
+        }
+        ++my.steals;
+      }
+    }
+    if (batch_n == 0) {
+      std::unique_lock<std::mutex> lk(sleep_mu_);
+      if (stop_.load()) break;
+      sleepers_.fetch_add(1);
+      sleep_cv_.wait(lk, [this] {
+        return stop_.load() || ready_count_.load() > 0;
+      });
+      sleepers_.fetch_sub(1);
+      continue;
+    }
+    ready_count_.fetch_sub(batch_n);
+
     try {
-      for (const std::uint32_t id : batch) {
-        execute(instrs_[id], local_timers);
+      for (std::size_t b = 0; b < batch_n; ++b) {
+        execute(instrs_[batch[b]], timers);
       }
     } catch (...) {
-      ok = false;
-      lock.lock();
-      if (!error_) error_ = std::current_exception();
-      stop_ = true;
-      cv_.notify_all();
+      {
+        std::lock_guard<std::mutex> lk(error_mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lk(sleep_mu_);
+        stop_.store(true);
+      }
+      sleep_cv_.notify_all();
+      break;
     }
-    if (!ok) break;
-    lock.lock();
-    remaining_ -= batch.size();
+
+    // Apply the batch's completions: acq_rel countdown, newly ready
+    // instructions pushed to our own back (hot) — or scattered across the
+    // other shards under the forced-steal schedule.
     std::size_t newly = 0;
-    for (const std::uint32_t id : batch) {
-      const Instr& done = instrs_[id];
-      for (std::uint32_t e = done.edges_begin; e < done.edges_end; ++e) {
-        const std::uint32_t to = edge_targets_[e];
-        if (--instrs_[to].deps == 0) {
-          ready_.push_back(to);
-          ++newly;
+    if (!forced_steal) {
+      std::lock_guard<std::mutex> lk(my.mu);
+      for (std::size_t b = 0; b < batch_n; ++b) {
+        const Instr& done = instrs_[batch[b]];
+        for (std::uint32_t e = done.edges_begin; e < done.edges_end; ++e) {
+          const std::uint32_t to = edge_targets_[e];
+          if (deps_[to].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            my.deque.push_back(to);
+            ++newly;
+          }
+        }
+      }
+      my.max_depth = std::max(my.max_depth, my.deque.size());
+    } else {
+      std::size_t rotor = 0;
+      for (std::size_t b = 0; b < batch_n; ++b) {
+        const Instr& done = instrs_[batch[b]];
+        for (std::uint32_t e = done.edges_begin; e < done.edges_end; ++e) {
+          const std::uint32_t to = edge_targets_[e];
+          if (deps_[to].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            Shard& target =
+                *shards_[(shard_index + 1 + rotor++ % (workers_ - 1)) %
+                         workers_];
+            std::lock_guard<std::mutex> lk(target.mu);
+            target.deque.push_back(to);
+            ++newly;
+          }
         }
       }
     }
-    if (remaining_ == 0) {
-      cv_.notify_all();
-    } else {
-      // This worker immediately consumes newly ready work itself; wake just
-      // enough peers for the surplus — notify_all here would stampede every
-      // sleeper on each batch.
-      for (std::size_t k = 1; k < newly; ++k) cv_.notify_one();
+    if (newly > 0) {
+      ready_count_.fetch_add(newly);  // seq_cst: precedes the sleepers_ read
+      // This worker consumes its next batch itself; wake peers only for the
+      // surplus (under forced steal it kept nothing, so wake for all).
+      wake_workers(forced_steal ? newly : newly - 1);
     }
-  }
-  if (lock.owns_lock()) lock.unlock();
-  if (timers != nullptr) {
-    std::lock_guard<std::mutex> guard(timer_mu_);
-    for (std::size_t i = 0; i < kNumSimPhases; ++i) {
-      timers->ms[i] += local.ms[i];
+    if (remaining_.fetch_sub(batch_n) == batch_n) {
+      // That was the last instruction anywhere: release every sleeper and
+      // the join gate.
+      {
+        std::lock_guard<std::mutex> lk(sleep_mu_);
+        stop_.store(true);
+      }
+      sleep_cv_.notify_all();
+      break;
     }
   }
 }
@@ -860,13 +1053,12 @@ void EventRun::reset_for_run() {
   metrics_.policy = config_->policy.name;
   background_read_.store(0, std::memory_order_relaxed);
   background_write_.store(0, std::memory_order_relaxed);
-  // Re-arm the instruction graph from the compile-time snapshot.
-  for (std::size_t i = 0; i < instrs_.size(); ++i) {
-    instrs_[i].deps = initial_deps_[i];
-  }
+  // The instruction graph re-arms in run(): deps_ is restored from the
+  // compile-time snapshot there (shared with the first-run path).
   ready_.clear();
-  remaining_ = 0;
-  stop_ = false;
+  remaining_.store(0, std::memory_order_relaxed);
+  ready_count_.store(0, std::memory_order_relaxed);
+  stop_.store(false, std::memory_order_relaxed);
   error_ = nullptr;
 }
 
@@ -879,13 +1071,14 @@ RunMetrics EventRun::run(const RunConfig& config) {
     // Pooled reuses skip it entirely (the kPartition phase then reads ~0).
     ScopedTimer timer(config_->phase_timers, SimPhase::kPartition);
     compile();
-    // Snapshot the dependency counters: executing a run consumes
-    // Instr::deps, and restoring this snapshot is all a later run needs to
+    // Snapshot the dependency counters: executing a run consumes the deps_
+    // countdowns, and restoring this snapshot is all a later run needs to
     // re-arm the graph.
     initial_deps_ = arena_->make_array<std::uint32_t>(instrs_.size());
     for (std::size_t i = 0; i < instrs_.size(); ++i) {
       initial_deps_[i] = instrs_[i].deps;
     }
+    deps_ = std::make_unique<std::atomic<std::uint32_t>[]>(instrs_.size());
     compiled_ = true;
   } else {
     reset_for_run();
@@ -897,36 +1090,113 @@ RunMetrics EventRun::run(const RunConfig& config) {
   append_pre_events();
 
   if (!instrs_.empty()) {
-    ready_.reserve(64);
-    remaining_ = instrs_.size();
     for (std::size_t i = 0; i < instrs_.size(); ++i) {
-      if (instrs_[i].deps == 0) {
-        ready_.push_back(static_cast<std::uint32_t>(i));
-      }
+      deps_[i].store(initial_deps_[i], std::memory_order_relaxed);
     }
-    MRD_CHECK(!ready_.empty());
-    // Pool size: never more threads than the hardware can actually run —
-    // oversubscribing a graph scheduler only adds context switches, it can't
-    // add overlap. (The structural stats above use the *requested* worker
-    // count so reported numbers stay machine-independent.)
-    const std::size_t hw =
-        std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
-    const std::size_t workers = std::min(
-        {std::max<std::size_t>(config_->node_jobs, 1), instrs_.size(), hw});
+    remaining_.store(instrs_.size(), std::memory_order_relaxed);
+    // Worker cap: the executor's configured width (MRD_EXECUTOR_THREADS,
+    // else hardware_concurrency) — oversubscribing a graph scheduler only
+    // adds context switches, it can't add overlap. (The structural stats
+    // above use the *requested* worker count so reported numbers stay
+    // machine-independent.)
+    const std::size_t workers =
+        std::min({std::max<std::size_t>(config_->node_jobs, 1),
+                  instrs_.size(), Executor::configured_width()});
     workers_ = workers;
     if (workers == 1) {
+      ready_.reserve(64);
+      for (std::size_t i = 0; i < instrs_.size(); ++i) {
+        if (initial_deps_[i] == 0) {
+          ready_.push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+      MRD_CHECK(!ready_.empty());
       drain_serial(config_->phase_timers);
     } else {
-      std::vector<std::thread> pool;
-      pool.reserve(workers - 1);
-      for (std::size_t w = 1; w < workers; ++w) {
-        pool.emplace_back([this] { worker_loop(config_->phase_timers); });
+      ensure_shards(workers);
+      std::size_t seeds = 0;
+      for (std::size_t w = 0; w < workers; ++w) {
+        Shard& shard = *shards_[w];
+        shard.deque.clear();
+        shard.timers = PhaseTimers{};
+        shard.steals = 0;
+        shard.failed_steals = 0;
+        shard.max_depth = 0;
       }
-      worker_loop(config_->phase_timers);
-      for (std::thread& t : pool) t.join();
+      // Seed the initial ready set round-robin so every participant starts
+      // with local work instead of a steal stampede.
+      for (std::size_t i = 0; i < instrs_.size(); ++i) {
+        if (initial_deps_[i] == 0) {
+          shards_[seeds % workers]->deque.push_back(
+              static_cast<std::uint32_t>(i));
+          ++seeds;
+        }
+      }
+      MRD_CHECK(seeds > 0);
+      ready_count_.store(seeds);
+      stop_.store(false);
+      shard_ticket_.store(1);
+      sync_.store(kRunActiveBit);
+
+      // Recruit helpers. The caller always participates and drains to
+      // completion on its own if no helper ever shows up, so queuing
+      // helpers behind a saturated executor can only delay speedup, never
+      // progress — that is what lets sweep-level and run-level parallelism
+      // compose without a deadlock.
+      std::vector<std::thread> spawned;
+      if (Executor::enabled()) {
+        Executor& executor = Executor::instance();
+        for (std::size_t w = 1; w < workers; ++w) {
+          HelperTask* helper = helpers_[w - 1].get();
+          if (helper->queued.exchange(1) == 0) {
+            helper->self = helpers_[w - 1];
+            executor.submit(helper);
+          }
+          // else: still queued from the previous run — it will join this
+          // one (or bounce off the gate) when the executor gets to it.
+        }
+      } else {
+        // MRD_NO_PERSISTENT_POOL=1: per-run spawns, same sharded engine.
+        spawned.reserve(workers - 1);
+        for (std::size_t w = 1; w < workers; ++w) {
+          spawned.emplace_back([this] { helper_arrive(); });
+        }
+      }
+      worker_loop(0);
+      // Close the join gate and wait for every arrived helper to depart;
+      // late invocations bounce off the cleared bit.
+      sync_.fetch_and(~kRunActiveBit);
+      {
+        std::unique_lock<std::mutex> lk(sleep_mu_);
+        sleep_cv_.wait(lk, [this] {
+          return (sync_.load() & kArrivedMask) == 0;
+        });
+      }
+      for (std::thread& t : spawned) t.join();
+
+      run_steals_ = 0;
+      run_failed_steals_ = 0;
+      run_max_shard_depth_ = 0;
+      for (std::size_t w = 0; w < workers; ++w) {
+        const Shard& shard = *shards_[w];
+        run_steals_ += shard.steals;
+        run_failed_steals_ += shard.failed_steals;
+        run_max_shard_depth_ =
+            std::max(run_max_shard_depth_, shard.max_depth);
+        if (config_->phase_timers != nullptr) {
+          for (std::size_t i = 0; i < kNumSimPhases; ++i) {
+            config_->phase_timers->ms[i] += shard.timers.ms[i];
+          }
+        }
+      }
+      if (config_->parallel_stats != nullptr) {
+        config_->parallel_stats->steals = run_steals_;
+        config_->parallel_stats->failed_steals = run_failed_steals_;
+        config_->parallel_stats->max_shard_depth = run_max_shard_depth_;
+      }
       if (error_) std::rethrow_exception(error_);
     }
-    MRD_CHECK(remaining_ == 0);
+    MRD_CHECK(remaining_.load() == 0);
   }
 
   finalize();
@@ -934,6 +1204,10 @@ RunMetrics EventRun::run(const RunConfig& config) {
 }
 
 }  // namespace
+
+void set_event_forced_steal_for_test(bool forced) {
+  g_forced_steal.store(forced);
+}
 
 RunMetrics run_plan_event(const ExecutionPlan& plan, const RunConfig& config) {
   // Pooled contexts cache the whole EventRun — compiled instruction graph,

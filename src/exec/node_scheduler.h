@@ -50,7 +50,16 @@ namespace mrd {
 
 /// Runs `plan` on the event scheduler with config.node_jobs workers
 /// (1 worker executes the whole instruction stream inline). Byte-identical
-/// to run_plan with node_jobs == 1 for every worker count.
+/// to run_plan with node_jobs == 1 for every worker count and any steal
+/// schedule.
 RunMetrics run_plan_event(const ExecutionPlan& plan, const RunConfig& config);
+
+/// Test hook: forces the engine's work-stealing shards into the most
+/// adversarial legal schedule — workers claim one instruction at a time and
+/// every newly ready instruction lands on *another* worker's shard, so every
+/// execution is preceded by a steal. Proves schedule-independence of the
+/// decision stream (fuzz_identity_test). Not thread-safe against concurrent
+/// runs; flip it only around whole runs.
+void set_event_forced_steal_for_test(bool forced);
 
 }  // namespace mrd

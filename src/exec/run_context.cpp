@@ -106,15 +106,14 @@ void RunContext::set_event_engine(std::shared_ptr<void> engine) {
 }
 
 void RunContext::teardown() {
-  // The event engine and the chunk maps hold arena-backed storage: every
-  // consumer is destroyed before the arena rewinds (slabs are retained, so
-  // the next key's structures recycle this key's memory).
+  // The event engine holds arena-backed storage: every consumer is
+  // destroyed before the arena rewinds (slabs are retained, so the next
+  // key's structures recycle this key's memory).
   event_engine_.reset();
   resolver_.reset();
   master_.reset();
   partitioner_.reset();
   setup_ = PolicySetup{};
-  chunk_cache.clear();
   arena_.reset();
   valid_ = false;
   fully_reused_ = false;

@@ -87,12 +87,6 @@ class RunContext {
   /// is always consistent with them).
   ClosurePartitioner& ensure_partitioner(const ExecutionPlan& plan);
 
-  /// Per-RDD node->chunk maps for the probe fan-out (arena-backed,
-  /// num_nodes entries each; nullptr = not built yet). The packing depends
-  /// only on key fields (plan, node count, placement, node_jobs), so built
-  /// maps stay valid across reuses.
-  std::vector<const std::uint32_t*> chunk_cache;
-
   // Per-stage scratch, sized/assigned by the runner before each use; pooled
   // so the buffers stop breathing across runs.
   std::vector<NodeAccounting> acct;

@@ -1,8 +1,11 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <deque>
+#include <functional>
 #include <utility>
 
 #include "dag/dag_analysis.h"
@@ -65,7 +68,86 @@ std::shared_ptr<const WorkloadRun> borrow(const WorkloadRun& run) {
                                             [](const WorkloadRun*) {});
 }
 
+/// Structural identity of a sweep point — the same inputs that make a
+/// pooled RunContext a key match. Points with equal keys are routed to the
+/// same executor worker so they land on the thread whose context ring (and
+/// arena slabs) last served them.
+std::uint64_t affinity_key(const SweepJob& job) {
+  std::uint64_t h = std::hash<const void*>{}(job.run.get());
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(std::hash<std::string>{}(job.policy.name));
+  std::uint64_t fraction_bits = 0;
+  static_assert(sizeof(fraction_bits) == sizeof(job.fraction), "");
+  std::memcpy(&fraction_bits, &job.fraction, sizeof(fraction_bits));
+  mix(fraction_bits);
+  mix(static_cast<std::uint64_t>(job.visibility));
+  mix(static_cast<std::uint64_t>(job.cluster.num_nodes));
+  return h;
+}
+
 }  // namespace
+
+namespace detail {
+
+/// One pooled sweep point: the executor task, the staged job, and the
+/// completion state tickets wait on. Slots live in their runner's `slots_`
+/// deque and are reused — job staging included — once they are done and no
+/// ticket references them, so steady-state dispatch performs no heap
+/// allocation.
+struct SweepSlot : Executor::Task {
+  SweepRunner* runner = nullptr;
+  SweepJob job;
+  std::size_t node_jobs = 1;  ///< effective intra-run fan-out
+  ExecMode exec_mode = ExecMode::kAuto;
+  std::uint64_t key = 0;
+  std::chrono::steady_clock::time_point queued_at;
+  /// Self-reference set at dispatch; execute_slot() adopts it so the slot
+  /// outlives runner teardown even if every ticket was dropped early.
+  std::shared_ptr<SweepSlot> self;
+
+  RunMetrics metrics;
+  std::exception_ptr error;
+  std::atomic<bool> done{false};
+  std::mutex mu;
+  std::condition_variable cv;
+
+  void run(unsigned /*worker*/) noexcept override {
+    runner->execute_slot(this);
+  }
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// SweepTicket
+
+SweepTicket::SweepTicket() = default;
+SweepTicket::~SweepTicket() = default;
+SweepTicket::SweepTicket(const SweepTicket& other) = default;
+SweepTicket::SweepTicket(SweepTicket&& other) noexcept = default;
+SweepTicket& SweepTicket::operator=(const SweepTicket& other) = default;
+SweepTicket& SweepTicket::operator=(SweepTicket&& other) noexcept = default;
+
+SweepTicket::SweepTicket(std::shared_ptr<detail::SweepSlot> slot)
+    : slot_(std::move(slot)) {}
+
+void SweepTicket::wait() const {
+  MRD_CHECK(slot_ != nullptr);
+  detail::SweepSlot* slot = slot_.get();
+  if (slot->done.load(std::memory_order_acquire)) return;
+  std::unique_lock<std::mutex> lk(slot->mu);
+  slot->cv.wait(lk, [slot] {
+    return slot->done.load(std::memory_order_acquire);
+  });
+}
+
+const RunMetrics& SweepTicket::get() const {
+  wait();
+  if (slot_->error) std::rethrow_exception(slot_->error);
+  return slot_->metrics;
+}
 
 WorkloadRun plan_workload(const WorkloadSpec& spec,
                           const WorkloadParams& params) {
@@ -131,12 +213,12 @@ std::vector<RunMetrics> run_sweep_parallel(const std::vector<SweepJob>& jobs,
                                            std::size_t threads,
                                            SweepStats* stats) {
   SweepRunner runner(threads);
-  std::vector<std::shared_future<RunMetrics>> futures;
-  futures.reserve(jobs.size());
-  for (const SweepJob& job : jobs) futures.push_back(runner.submit(job));
+  std::vector<SweepTicket> tickets;
+  tickets.reserve(jobs.size());
+  for (const SweepJob& job : jobs) tickets.push_back(runner.submit(job));
   std::vector<RunMetrics> results;
   results.reserve(jobs.size());
-  for (auto& future : futures) results.push_back(future.get());
+  for (auto& ticket : tickets) results.push_back(ticket.get());
   if (stats != nullptr) *stats = runner.stats();
   return results;
 }
@@ -146,65 +228,185 @@ SweepRunner::SweepRunner(std::size_t threads, std::size_t node_jobs,
     : threads_(std::max<std::size_t>(1, threads)),
       node_jobs_(std::max<std::size_t>(1, node_jobs)),
       exec_mode_(exec_mode),
-      pool_(threads_),
-      start_(Clock::now()) {}
+      use_executor_(threads > 1 && Executor::enabled()),
+      start_(Clock::now()) {
+  if (use_executor_) {
+    exec_base_ = Executor::instance().stats();
+  } else if (threads_ > 1) {
+    // Kill-switch fallback (MRD_NO_PERSISTENT_POOL=1): private per-runner
+    // workers, the pre-executor provisioning model.
+    fallback_workers_.reserve(threads_);
+    for (std::size_t i = 0; i < threads_; ++i) {
+      fallback_workers_.emplace_back([this] { fallback_loop(); });
+    }
+  }
+}
 
-std::shared_future<RunMetrics> SweepRunner::submit(SweepJob job) {
+SweepRunner::~SweepRunner() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return outstanding_ == 0; });
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : fallback_workers_) worker.join();
+}
+
+SweepTicket SweepRunner::submit(SweepJob job) {
   MRD_CHECK(job.run != nullptr);
-  // Intra-run fan-out only engages on a serial sweep: with multiple sweep
-  // threads the independent runs already fill the machine, and nested pools
-  // would oversubscribe it. (Either way the metrics are identical.)
   const std::size_t requested =
       job.node_jobs > 0 ? job.node_jobs : node_jobs_;
-  const std::size_t node_jobs = threads_ > 1 ? 1 : requested;
+  // Both levels queue on the shared executor, so they compose. Only the
+  // private-thread fallback forces intra-run fan-out off: without a shared
+  // pool, nesting would multiply thread counts. (Either way the metrics
+  // are identical.)
+  const std::size_t node_jobs =
+      (!use_executor_ && threads_ > 1) ? 1 : requested;
   // kAuto on the job inherits the runner's engine choice.
   const ExecMode exec_mode =
       job.exec_mode != ExecMode::kAuto ? job.exec_mode : exec_mode_;
-  const Clock::time_point submitted = Clock::now();
-  return pool_
-      .submit([this, job = std::move(job), node_jobs, exec_mode,
-               submitted]() -> RunMetrics {
-        const Clock::time_point t0 = Clock::now();
-        // Node-group accounting is only interesting (and only has a cost:
-        // the partitioner build) when this run actually fans out.
-        NodeParallelStats run_parallel;
-        NodeParallelStats* parallel =
-            node_jobs > 1 ? &run_parallel : nullptr;
-        RunConfig config;
-        config.cluster = job.cluster;
-        config.cluster.cache_bytes_per_node =
-            cache_bytes_per_node_for(*job.run, job.cluster, job.fraction);
-        config.policy = job.policy;
-        config.visibility = job.visibility;
-        config.node_jobs = node_jobs;
-        config.parallel_stats = parallel;
-        config.exec_mode = exec_mode;
-        if (!context_pool_disabled()) {
-          config.context = &pooled_context(job.run->plan, config);
-        }
-        alloc_stats::ThreadScope alloc_scope;
-        RunMetrics metrics = run_plan(job.run->plan, config);
-        const std::uint64_t allocs = alloc_scope.allocs();
-        const bool steady =
-            config.context != nullptr && config.context->fully_reused();
-        const double elapsed = ms_between(t0, Clock::now());
-        const double queued = ms_between(submitted, t0);
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          ++runs_done_;
-          aggregate_ms_ += elapsed;
-          queue_ms_ += queued;
-          run_ms_sumsq_ += elapsed * elapsed;
-          if (parallel != nullptr) node_parallel_.merge(run_parallel);
-          heap_allocs_ += allocs;
-          if (steady) {
-            ++steady_runs_;
-            steady_allocs_ += allocs;
-          }
-        }
-        return metrics;
-      })
-      .share();
+
+  std::shared_ptr<detail::SweepSlot> slot;
+  {
+    alloc_stats::ThreadScope dispatch_scope;
+    std::lock_guard<std::mutex> lk(mu_);
+    slot = acquire_slot_locked();
+    detail::SweepSlot* s = slot.get();
+    s->runner = this;
+    s->job = std::move(job);
+    s->node_jobs = node_jobs;
+    s->exec_mode = exec_mode;
+    s->key = affinity_key(s->job);
+    s->error = nullptr;
+    s->done.store(false, std::memory_order_relaxed);
+    s->queued_at = Clock::now();
+    ++outstanding_;
+    if (threads_ > 1) {
+      if (use_executor_ && inflight_ < threads_) {
+        dispatch_locked(slot);
+      } else {
+        backlog_.push_back(slot);
+      }
+    }
+    dispatch_allocs_ += dispatch_scope.allocs();
+  }
+  if (threads_ <= 1) {
+    slot->self = slot;
+    execute_slot(slot.get());
+  } else if (!use_executor_) {
+    cv_.notify_one();
+  }
+  return SweepTicket(std::move(slot));
+}
+
+std::shared_ptr<detail::SweepSlot> SweepRunner::acquire_slot_locked() {
+  // A slot is reusable once its run finished and every ticket for it is
+  // gone (slots_ holds the only reference). Tickets can only be copied
+  // from live tickets, so a use_count of 1 cannot concurrently grow.
+  for (auto& slot : slots_) {
+    if (slot.use_count() == 1 &&
+        slot->done.load(std::memory_order_acquire)) {
+      return slot;
+    }
+  }
+  slots_.push_back(std::make_shared<detail::SweepSlot>());
+  return slots_.back();
+}
+
+void SweepRunner::dispatch_locked(std::shared_ptr<detail::SweepSlot> slot) {
+  ++inflight_;
+  detail::SweepSlot* s = slot.get();
+  s->self = std::move(slot);
+  int hint = -1;
+  const auto it = affinity_.find(s->key);
+  if (it != affinity_.end()) hint = it->second;
+  Executor::instance().submit(s, hint);
+}
+
+void SweepRunner::execute_slot(detail::SweepSlot* slot) {
+  // Keep the slot alive past the runner bookkeeping below: the submitter
+  // may have dropped its ticket without waiting, and the runner (slots_
+  // included) may be destroyed the moment outstanding_ hits zero.
+  const std::shared_ptr<detail::SweepSlot> keep = std::move(slot->self);
+  const Clock::time_point t0 = Clock::now();
+  // Node-group accounting is only interesting (and only has a cost: the
+  // partitioner build) when this run actually fans out.
+  NodeParallelStats run_parallel;
+  NodeParallelStats* parallel = slot->node_jobs > 1 ? &run_parallel : nullptr;
+  std::uint64_t allocs = 0;
+  bool steady = false;
+  try {
+    RunConfig config;
+    config.cluster = slot->job.cluster;
+    config.cluster.cache_bytes_per_node = cache_bytes_per_node_for(
+        *slot->job.run, slot->job.cluster, slot->job.fraction);
+    config.policy = slot->job.policy;
+    config.visibility = slot->job.visibility;
+    config.node_jobs = slot->node_jobs;
+    config.parallel_stats = parallel;
+    config.exec_mode = slot->exec_mode;
+    if (!context_pool_disabled()) {
+      config.context = &pooled_context(slot->job.run->plan, config);
+    }
+    alloc_stats::ThreadScope alloc_scope;
+    slot->metrics = run_plan(slot->job.run->plan, config);
+    allocs = alloc_scope.allocs();
+    steady = config.context != nullptr && config.context->fully_reused();
+  } catch (...) {
+    slot->error = std::current_exception();
+  }
+  const double elapsed = ms_between(t0, Clock::now());
+  const double queued = ms_between(slot->queued_at, t0);
+  {
+    // Last touch of the runner; notifying under the lock keeps the
+    // destructor (which waits for outstanding_ == 0 on cv_) from freeing
+    // the runner mid-notify.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++runs_done_;
+    aggregate_ms_ += elapsed;
+    queue_ms_ += queued;
+    run_ms_sumsq_ += elapsed * elapsed;
+    if (parallel != nullptr) node_parallel_.merge(run_parallel);
+    heap_allocs_ += allocs;
+    if (steady) {
+      ++steady_runs_;
+      steady_allocs_ += allocs;
+    }
+    const int worker = Executor::current_worker();
+    if (worker >= 0) affinity_[slot->key] = worker;
+    if (use_executor_) {
+      --inflight_;
+      if (!stopping_ && !backlog_.empty()) {
+        std::shared_ptr<detail::SweepSlot> next =
+            std::move(backlog_.front());
+        backlog_.pop_front();
+        dispatch_locked(std::move(next));
+      }
+    }
+    --outstanding_;
+    cv_.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->done.store(true, std::memory_order_release);
+  }
+  slot->cv.notify_all();
+}
+
+void SweepRunner::fallback_loop() {
+  for (;;) {
+    std::shared_ptr<detail::SweepSlot> slot;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stopping_ || !backlog_.empty(); });
+      if (backlog_.empty()) return;  // stopping_
+      slot = std::move(backlog_.front());
+      backlog_.pop_front();
+    }
+    detail::SweepSlot* s = slot.get();
+    s->self = std::move(slot);
+    execute_slot(s);
+  }
 }
 
 PendingBest SweepRunner::submit_best(std::shared_ptr<const WorkloadRun> run,
@@ -231,6 +433,13 @@ SweepStats SweepRunner::stats() const {
   SweepStats stats;
   stats.threads = threads_;
   stats.wall_ms = ms_between(start_, Clock::now());
+  if (use_executor_) {
+    const ExecutorStats now = Executor::instance().stats();
+    stats.exec_tasks = now.executed - exec_base_.executed;
+    stats.exec_steals = now.steals - exec_base_.steals;
+    stats.exec_failed_steals = now.failed_steals - exec_base_.failed_steals;
+    stats.exec_max_deque_depth = now.max_deque_depth;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   stats.runs = runs_done_;
   stats.aggregate_ms = aggregate_ms_;
@@ -241,6 +450,7 @@ SweepStats SweepRunner::stats() const {
   stats.heap_allocs = heap_allocs_;
   stats.steady_runs = steady_runs_;
   stats.steady_allocs = steady_allocs_;
+  stats.dispatch_allocs = dispatch_allocs_;
   return stats;
 }
 
@@ -271,16 +481,16 @@ std::vector<SweepPoint> sweep_cache(const WorkloadRun& run,
   SweepRunner serial(1);
   if (runner == nullptr) runner = &serial;
   const std::shared_ptr<const WorkloadRun> shared = borrow(run);
-  std::vector<std::shared_future<RunMetrics>> futures;
-  futures.reserve(fractions.size());
+  std::vector<SweepTicket> tickets;
+  tickets.reserve(fractions.size());
   for (double f : fractions) {
-    futures.push_back(
+    tickets.push_back(
         runner->submit(SweepJob{shared, cluster, f, policy, visibility}));
   }
   std::vector<SweepPoint> points;
   points.reserve(fractions.size());
   for (std::size_t i = 0; i < fractions.size(); ++i) {
-    points.push_back(SweepPoint{fractions[i], futures[i].get()});
+    points.push_back(SweepPoint{fractions[i], tickets[i].get()});
   }
   return points;
 }

@@ -7,27 +7,38 @@
 // Every simulation run is independent and deterministic, so the sweep is
 // embarrassingly parallel: `run_sweep_parallel` (and the deferred
 // `SweepRunner` API the benches use) fans (workload, policy, cache-fraction)
-// points out across a ThreadPool and reassembles results in input order.
-// Results are guaranteed byte-identical to a serial sweep regardless of the
-// thread count — per-run state (policies, block managers, profiler, RNG) is
-// private to the run, and the only cross-run state (the ProfileStore) is
-// internally synchronized.
+// points out across the persistent work-stealing executor and reassembles
+// results in input order. Results are guaranteed byte-identical to a serial
+// sweep regardless of the thread count — per-run state (policies, block
+// managers, profiler, RNG) is private to the run, and the only cross-run
+// state (the ProfileStore) is internally synchronized.
+//
+// Dispatch is allocation-free in the steady state: each point runs in a
+// pooled slot (reused once its ticket is released), and sweep-level
+// (`--jobs`) and intra-run (`--node-jobs`) parallelism compose — a point's
+// engine helpers queue on the same executor, so the machine is shared
+// instead of oversubscribed. Points carry a worker-affinity hint derived
+// from their structural key, so a point re-runs on the worker whose
+// thread-local context ring (and arena slabs) last served that key.
 #pragma once
 
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdint>
-#include <future>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster_config.h"
 #include "dag/execution_plan.h"
 #include "exec/application_runner.h"
+#include "exec/executor.h"
 #include "metrics/run_metrics.h"
-#include "util/thread_pool.h"
 #include "workloads/workloads.h"
 
 namespace mrd {
@@ -84,8 +95,12 @@ struct SweepJob {
   PolicyConfig policy;
   DagVisibility visibility = DagVisibility::kRecurring;
   /// Intra-run node workers for this point; 0 = inherit the runner's
-  /// default. Ignored (forced to 1) whenever the sweep itself runs on more
-  /// than one thread — the outer, embarrassingly parallel level wins.
+  /// default. Composes with sweep-level parallelism: both layers queue on
+  /// the shared persistent executor, so `--jobs 4 --node-jobs 4` shares the
+  /// machine instead of oversubscribing it. Only when the executor is
+  /// disabled (MRD_NO_PERSISTENT_POOL=1) *and* the sweep runs on more than
+  /// one private thread is this forced to 1 — without a shared pool the two
+  /// layers would multiply thread counts.
   std::size_t node_jobs = 0;
   /// Engine for this point; kAuto inherits the runner's default.
   ExecMode exec_mode = ExecMode::kAuto;
@@ -114,6 +129,18 @@ struct SweepStats {
   /// asserts on) and the allocations they still performed.
   std::uint64_t steady_runs = 0;
   std::uint64_t steady_allocs = 0;
+  /// Submit-side allocations (slot acquisition + job staging). Zero in the
+  /// steady state: a released ticket's slot is reused by the next submit,
+  /// so the alloc gate covers dispatch as well as the runs themselves.
+  std::uint64_t dispatch_allocs = 0;
+  /// Executor activity since this runner was constructed (process-wide
+  /// deltas — concurrent runners share the pool, so attribute with care).
+  /// All zero when the runner executes inline or on private fallback
+  /// threads.
+  std::uint64_t exec_tasks = 0;
+  std::uint64_t exec_steals = 0;
+  std::uint64_t exec_failed_steals = 0;
+  std::size_t exec_max_deque_depth = 0;
   /// Effective parallel speedup: aggregate simulation time per elapsed
   /// second. 1.0 on a single thread by construction.
   double speedup() const {
@@ -129,6 +156,12 @@ struct SweepStats {
     return steady_runs > 0 ? static_cast<double>(steady_allocs) /
                                  static_cast<double>(steady_runs)
                            : 0.0;
+  }
+  /// Mean submit-side allocations per point (0 once the slot pool is warm).
+  double mean_dispatch_allocs() const {
+    return runs > 0 ? static_cast<double>(dispatch_allocs) /
+                          static_cast<double>(runs)
+                    : 0.0;
   }
   /// Population standard deviation of per-run wall clock: how uneven the
   /// sweep's points are (the tail run gates the whole sweep).
@@ -153,6 +186,40 @@ struct SweepPoint {
   RunMetrics metrics;
 };
 
+namespace detail {
+struct SweepSlot;
+}  // namespace detail
+
+/// Handle to one queued sweep point. Copyable (shared_future semantics);
+/// the underlying pooled slot is recycled by its runner once every ticket
+/// for it is gone, so dropping tickets promptly is what keeps dispatch
+/// allocation-free. Tickets must not outlive their SweepRunner, and get()
+/// must not be called from inside a task running on the same runner.
+class SweepTicket {
+ public:
+  SweepTicket();
+  ~SweepTicket();
+  SweepTicket(const SweepTicket& other);
+  SweepTicket(SweepTicket&& other) noexcept;
+  SweepTicket& operator=(const SweepTicket& other);
+  SweepTicket& operator=(SweepTicket&& other) noexcept;
+
+  bool valid() const { return slot_ != nullptr; }
+
+  /// Blocks until the point ran; rethrows the run's exception. The
+  /// reference stays valid while any ticket for the point is alive.
+  const RunMetrics& get() const;
+
+  /// Blocks until the point ran (does not rethrow).
+  void wait() const;
+
+ private:
+  friend class SweepRunner;
+  explicit SweepTicket(std::shared_ptr<detail::SweepSlot> slot);
+
+  std::shared_ptr<detail::SweepSlot> slot_;
+};
+
 /// Fig-4-style selection: runs baseline and candidate at every fraction and
 /// returns the pair at the fraction where candidate JCT / baseline JCT is
 /// smallest.
@@ -166,8 +233,8 @@ struct BestComparison {
 };
 
 /// A deferred best-of-fractions comparison: the underlying runs execute on
-/// the SweepRunner's pool; get() blocks for them and reduces on the calling
-/// thread (so pool workers never wait on each other).
+/// the SweepRunner's workers; get() blocks for them and reduces on the
+/// calling thread (so workers never wait on each other).
 class PendingBest {
  public:
   BestComparison get();
@@ -175,32 +242,40 @@ class PendingBest {
  private:
   friend class SweepRunner;
   std::vector<double> fractions_;
-  std::vector<std::shared_future<RunMetrics>> baseline_;
-  std::vector<std::shared_future<RunMetrics>> candidate_;
+  std::vector<SweepTicket> baseline_;
+  std::vector<SweepTicket> candidate_;
 };
 
 /// Deferred sweep executor: benches queue every experiment point up front
-/// (`submit` / `submit_best`), then collect in presentation order — the pool
-/// saturates across workloads, policies and fractions at once. A SweepRunner
-/// with 1 thread executes submissions inline and is the serial baseline the
-/// parallel results are guaranteed identical to.
+/// (`submit` / `submit_best`), then collect in presentation order — the
+/// shared executor saturates across workloads, policies and fractions at
+/// once. A SweepRunner with 1 thread executes submissions inline and is the
+/// serial baseline the parallel results are guaranteed identical to.
+///
+/// Points run in pooled slots dispatched to the process-wide Executor with
+/// a worker-affinity hint (same structural point → same worker → same
+/// thread-local RunContext ring); at most `threads` points are in flight at
+/// once, the rest wait in a backlog that completing slots drain. When the
+/// executor is disabled (MRD_NO_PERSISTENT_POOL=1) the runner falls back to
+/// `threads` private worker threads — the one configuration where
+/// node_jobs is forced to 1 (no shared pool to compose on).
 class SweepRunner {
  public:
   /// `node_jobs` is the default intra-run fan-out for jobs that do not set
-  /// their own (SweepJob::node_jobs == 0). The two levels never stack: with
-  /// more than one sweep thread every run executes with node_jobs = 1 —
-  /// cross-run parallelism already saturates the machine, and nesting would
-  /// oversubscribe it.
+  /// their own (SweepJob::node_jobs == 0).
   explicit SweepRunner(std::size_t threads = 1, std::size_t node_jobs = 1,
                        ExecMode exec_mode = ExecMode::kAuto);
+  ~SweepRunner();
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
 
   std::size_t threads() const { return threads_; }
   std::size_t node_jobs() const { return node_jobs_; }
   ExecMode exec_mode() const { return exec_mode_; }
 
-  /// Queues one run. The future resolves with its metrics (or rethrows the
+  /// Queues one run. The ticket resolves with its metrics (or rethrows the
   /// run's exception on get()).
-  std::shared_future<RunMetrics> submit(SweepJob job);
+  SweepTicket submit(SweepJob job);
 
   /// Queues baseline + candidate at every fraction.
   PendingBest submit_best(std::shared_ptr<const WorkloadRun> run,
@@ -216,12 +291,34 @@ class SweepRunner {
   SweepStats stats() const;
 
  private:
+  friend struct detail::SweepSlot;
+
+  std::shared_ptr<detail::SweepSlot> acquire_slot_locked();
+  void dispatch_locked(std::shared_ptr<detail::SweepSlot> slot);
+  void execute_slot(detail::SweepSlot* slot);
+  void fallback_loop();
+
   std::size_t threads_;
   std::size_t node_jobs_;
   ExecMode exec_mode_;
-  ThreadPool pool_;
+  bool use_executor_ = false;  ///< threads_ > 1 and Executor::enabled()
   std::chrono::steady_clock::time_point start_;
+  ExecutorStats exec_base_;  ///< pool counters at construction (for deltas)
+
   mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< backlog (fallback workers) + drain
+  /// Every slot this runner ever created; a slot is reusable when it is
+  /// done and only this deque still references it (use_count == 1).
+  std::deque<std::shared_ptr<detail::SweepSlot>> slots_;
+  std::deque<std::shared_ptr<detail::SweepSlot>> backlog_;
+  std::size_t inflight_ = 0;     ///< dispatched to the executor, not done
+  std::size_t outstanding_ = 0;  ///< submitted, not done (all modes)
+  bool stopping_ = false;
+  std::vector<std::thread> fallback_workers_;
+  /// Structural point key -> executor worker that last ran it (the
+  /// affinity hint that routes a point back to its warm context ring).
+  std::unordered_map<std::uint64_t, int> affinity_;
+
   std::size_t runs_done_ = 0;
   double aggregate_ms_ = 0.0;
   double queue_ms_ = 0.0;
@@ -230,6 +327,7 @@ class SweepRunner {
   std::uint64_t heap_allocs_ = 0;
   std::uint64_t steady_runs_ = 0;
   std::uint64_t steady_allocs_ = 0;
+  std::uint64_t dispatch_allocs_ = 0;
 };
 
 std::vector<SweepPoint> sweep_cache(const WorkloadRun& run,

@@ -1,0 +1,255 @@
+// Stress tests for the process-wide persistent work-stealing executor:
+// every submitted task runs exactly once (owner pops and steals combined),
+// hinted deques drain under contention via stealing, hints out of range
+// fall back to modulo targeting, nested submits don't deadlock, the
+// MRD_NO_PERSISTENT_POOL kill switch routes TaskGroup inline, and the
+// steady state spawns zero new threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.h"
+
+namespace mrd {
+namespace {
+
+/// Simple countdown latch (C++17 — no std::latch).
+class Latch {
+ public:
+  explicit Latch(int n) : remaining_(n) {}
+  void count_down() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--remaining_ == 0) cv_.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return remaining_ <= 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int remaining_;
+};
+
+struct CountTask final : Executor::Task {
+  std::atomic<int>* counter = nullptr;
+  std::atomic<int>* last_worker = nullptr;
+  Latch* latch = nullptr;
+  std::chrono::milliseconds delay{0};
+
+  void run(unsigned worker) noexcept override {
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+    if (last_worker) last_worker->store(static_cast<int>(worker));
+    if (counter) counter->fetch_add(1, std::memory_order_relaxed);
+    if (latch) latch->count_down();
+  }
+};
+
+/// Restores the environment-driven enable/disable state on scope exit so a
+/// failing test can't poison the rest of the binary.
+struct EnableGuard {
+  explicit EnableGuard(int mode) { Executor::set_disabled_for_test(mode); }
+  ~EnableGuard() { Executor::set_disabled_for_test(-1); }
+};
+
+TEST(Executor, ConfiguredWidthIsPositive) {
+  EXPECT_GE(Executor::configured_width(), 1u);
+}
+
+TEST(Executor, EveryTaskRunsExactlyOnce) {
+  EnableGuard guard(0);
+  Executor& exec = Executor::instance();
+  EXPECT_GE(exec.width(), 1u);
+  constexpr int kTasks = 256;
+  std::atomic<int> counter{0};
+  Latch latch(kTasks);
+  std::vector<CountTask> tasks(kTasks);
+  for (CountTask& t : tasks) {
+    t.counter = &counter;
+    t.latch = &latch;
+    exec.submit(&t);
+  }
+  latch.wait();
+  EXPECT_EQ(counter.load(), kTasks);
+  // The test body runs off-pool.
+  EXPECT_EQ(Executor::current_worker(), -1);
+}
+
+TEST(Executor, TasksRunOnPoolWorkers) {
+  EnableGuard guard(0);
+  Executor& exec = Executor::instance();
+  std::atomic<int> last_worker{-2};
+  Latch latch(1);
+  CountTask task;
+  task.last_worker = &last_worker;
+  task.latch = &latch;
+  exec.submit(&task);
+  latch.wait();
+  EXPECT_GE(last_worker.load(), 0);
+  EXPECT_LT(last_worker.load(),
+            static_cast<int>(exec.width()));
+}
+
+TEST(Executor, HintedBacklogDrainsThroughStealing) {
+  EnableGuard guard(0);
+  Executor& exec = Executor::instance();
+  if (exec.width() < 2) GTEST_SKIP() << "needs >= 2 workers to steal";
+  const ExecutorStats before = exec.stats();
+  // Pile slow tasks onto ONE deque: worker 0 can only run them serially,
+  // so the rest of the pool must steal to drain the backlog in time.
+  constexpr int kTasks = 64;
+  std::atomic<int> counter{0};
+  Latch latch(kTasks);
+  std::vector<CountTask> tasks(kTasks);
+  for (CountTask& t : tasks) {
+    t.counter = &counter;
+    t.latch = &latch;
+    t.delay = std::chrono::milliseconds(2);
+    exec.submit(&t, /*hint=*/0);
+  }
+  latch.wait();
+  const ExecutorStats after = exec.stats();
+  EXPECT_EQ(counter.load(), kTasks);
+  EXPECT_GT(after.steals, before.steals);
+  EXPECT_GE(after.max_deque_depth, 2u);
+  EXPECT_EQ(after.executed - before.executed,
+            static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(Executor, OutOfRangeHintFallsBackToModuloTargeting) {
+  EnableGuard guard(0);
+  Executor& exec = Executor::instance();
+  std::atomic<int> counter{0};
+  Latch latch(8);
+  std::vector<CountTask> tasks(8);
+  int hint = static_cast<int>(exec.width()) * 3 + 1;
+  for (CountTask& t : tasks) {
+    t.counter = &counter;
+    t.latch = &latch;
+    exec.submit(&t, hint);
+    hint += 7;
+  }
+  latch.wait();
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(Executor, TasksCanSubmitFromTasks) {
+  EnableGuard guard(0);
+  Executor& exec = Executor::instance();
+  std::atomic<int> counter{0};
+  Latch latch(1);
+  CountTask child;
+  child.counter = &counter;
+  child.latch = &latch;
+  struct ParentTask final : Executor::Task {
+    Executor* exec = nullptr;
+    CountTask* child = nullptr;
+    void run(unsigned) noexcept override { exec->submit(child); }
+  };
+  ParentTask parent;
+  parent.exec = &exec;
+  parent.child = &child;
+  exec.submit(&parent);
+  latch.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(Executor, SteadyStateSpawnsNoThreads) {
+  EnableGuard guard(0);
+  Executor& exec = Executor::instance();
+  // Warm up: the pool exists, its workers are counted.
+  {
+    Latch latch(1);
+    CountTask warm;
+    warm.latch = &latch;
+    exec.submit(&warm);
+    latch.wait();
+  }
+  const std::uint64_t spawned = exec.stats().threads_spawned;
+  EXPECT_EQ(spawned, static_cast<std::uint64_t>(exec.width()));
+  std::atomic<int> counter{0};
+  Latch latch(128);
+  std::vector<CountTask> tasks(128);
+  for (CountTask& t : tasks) {
+    t.counter = &counter;
+    t.latch = &latch;
+    exec.submit(&t);
+  }
+  latch.wait();
+  EXPECT_EQ(counter.load(), 128);
+  EXPECT_EQ(exec.stats().threads_spawned, spawned);
+}
+
+TEST(TaskGroup, RunsEveryJobAndWaits) {
+  EnableGuard guard(0);
+  std::atomic<int> counter{0};
+  TaskGroup group;
+  for (int i = 0; i < 200; ++i) {
+    group.submit([&counter] { ++counter; });
+  }
+  group.wait();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(TaskGroup, ExceptionsPropagateThroughWait) {
+  EnableGuard guard(0);
+  TaskGroup group(2);
+  group.submit([] { throw std::runtime_error("task failed"); });
+  group.submit([] {});
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(TaskGroup, MaxParallelOneRunsInlineOnCaller) {
+  EnableGuard guard(0);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  TaskGroup group(1);
+  group.submit([&ran_on] { ran_on = std::this_thread::get_id(); });
+  group.wait();
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(TaskGroup, KillSwitchRoutesJobsInline) {
+  EnableGuard guard(1);
+  EXPECT_FALSE(Executor::enabled());
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  std::atomic<int> counter{0};
+  TaskGroup group(8);
+  group.submit([&] {
+    ran_on = std::this_thread::get_id();
+    ++counter;
+  });
+  group.submit([&counter] { ++counter; });
+  group.wait();
+  EXPECT_EQ(ran_on, caller);
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(TaskGroup, SubmitBatchWakesEnoughWorkers) {
+  EnableGuard guard(0);
+  Executor& exec = Executor::instance();
+  constexpr int kTasks = 32;
+  std::atomic<int> counter{0};
+  Latch latch(kTasks);
+  std::vector<CountTask> tasks(kTasks);
+  std::vector<Executor::Task*> batch;
+  for (CountTask& t : tasks) {
+    t.counter = &counter;
+    t.latch = &latch;
+    batch.push_back(&t);
+  }
+  exec.submit_batch(batch.data(), batch.size());
+  latch.wait();
+  EXPECT_EQ(counter.load(), kTasks);
+}
+
+}  // namespace
+}  // namespace mrd

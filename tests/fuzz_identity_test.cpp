@@ -5,7 +5,8 @@
 // Pregel's vjoin) and fully coupled ones (single-partition hubs) — and
 // asserts that the closure-aware group-parallel runner reproduces the serial
 // oracle exactly: RunMetrics field for field, bench CSV byte for byte,
-// across node_jobs in {1, 2, 8} and across SweepRunner thread counts. Also
+// across node_jobs in {1, 2, 8}, across SweepRunner thread counts, under
+// forced-steal schedules, and with the persistent executor disabled. Also
 // checks the ClosurePartitioner's structural invariants on every generated
 // plan (each node in exactly one group, deterministic ordering) and that the
 // fan-out accounting stays consistent.
@@ -21,7 +22,9 @@
 #include "dag/dag_builder.h"
 #include "dag/dag_scheduler.h"
 #include "exec/application_runner.h"
+#include "exec/executor.h"
 #include "exec/node_partition.h"
+#include "exec/node_scheduler.h"
 #include "exec/run_context.h"
 #include "harness/experiment.h"
 #include "util/csv.h"
@@ -395,8 +398,9 @@ TEST(FuzzIdentity, SweepRunnerThreadCountsMatchSerialOracle) {
   SweepRunner serial(1);
   SweepRunner threaded(4);
   SweepRunner nested(1, 8);
-  std::vector<std::shared_future<RunMetrics>> from_serial, from_threaded,
-      from_nested;
+  SweepRunner composed(4, 2);
+  std::vector<SweepTicket> from_serial, from_threaded, from_nested,
+      from_composed;
   for (std::uint64_t seed = 0; seed < kSeeds; seed += 2) {
     const FuzzPoint point = make_point(seed);
     const SweepJob job{point.run, point.cluster, point.fraction, point.policy,
@@ -404,19 +408,106 @@ TEST(FuzzIdentity, SweepRunnerThreadCountsMatchSerialOracle) {
     from_serial.push_back(serial.submit(job));
     from_threaded.push_back(threaded.submit(job));
     from_nested.push_back(nested.submit(job));
+    from_composed.push_back(composed.submit(job));
   }
   for (std::size_t i = 0; i < from_serial.size(); ++i) {
     SCOPED_TRACE("job " + std::to_string(i));
     const RunMetrics oracle = from_serial[i].get();
     expect_identical(oracle, from_threaded[i].get());
     expect_identical(oracle, from_nested[i].get());
+    expect_identical(oracle, from_composed[i].get());
   }
-  // The nested runner fanned out intra-run; its aggregated accounting must
-  // reflect that. The threaded runner forces node_jobs to 1, so it reports
-  // no intra-run engagement.
+  // The nested and composed runners fanned out intra-run; their aggregated
+  // accounting must reflect that. The threaded runner only parallelized
+  // across sweep points (node_jobs 1), so it reports no intra-run
+  // engagement.
   EXPECT_TRUE(nested.stats().node_parallel.engaged);
+  EXPECT_TRUE(composed.stats().node_parallel.engaged);
   EXPECT_FALSE(threaded.stats().node_parallel.engaged);
   EXPECT_FALSE(serial.stats().node_parallel.engaged);
+}
+
+// ---------------------------------------------------------------------------
+// Differential identity under adversarial steal schedules
+// ---------------------------------------------------------------------------
+
+// Forces the event engine into a worst-case steal pattern: claim batches are
+// capped at one instruction and newly-ready work is scattered to *other*
+// shards, so nearly every instruction is executed by a thief. The results
+// must still match the serial oracle byte for byte — stealing reorders who
+// runs an instruction, never what it computes.
+TEST(FuzzIdentity, ForcedStealSchedulesMatchSerialOracle) {
+  set_event_forced_steal_for_test(true);
+  std::vector<RunMetrics> oracle_all, stolen_all;
+  for (std::uint64_t seed = 0; seed < kSeeds; seed += 2) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const FuzzPoint point = make_point(seed);
+    set_event_forced_steal_for_test(false);
+    const RunMetrics oracle = run_point(point, 1);
+    set_event_forced_steal_for_test(true);
+    for (const std::size_t workers : {2u, 8u}) {
+      SCOPED_TRACE("workers " + std::to_string(workers));
+      NodeParallelStats stats;
+      const RunMetrics stolen =
+          run_point(point, workers, &stats, ExecMode::kEvent);
+      expect_identical(oracle, stolen);
+      if (workers == 8u) {
+        oracle_all.push_back(oracle);
+        stolen_all.push_back(stolen);
+      }
+    }
+  }
+  set_event_forced_steal_for_test(false);
+  const std::string base = testing::TempDir() + "fuzz_steal_csv_";
+  const std::string bytes = csv_bytes_for(oracle_all, base + "oracle.csv");
+  EXPECT_FALSE(bytes.empty());
+  EXPECT_EQ(bytes, csv_bytes_for(stolen_all, base + "stolen.csv"));
+}
+
+// ---------------------------------------------------------------------------
+// Differential identity with the persistent pool disabled
+// ---------------------------------------------------------------------------
+
+// MRD_NO_PERSISTENT_POOL=1 swaps the shared executor for per-runner threads
+// (and forces node_jobs to 1 there); results must not change, only where
+// the work runs.
+TEST(FuzzIdentity, KillSwitchMatchesPersistentPoolResults) {
+  std::vector<RunMetrics> pooled, killed;
+  {
+    SweepRunner runner(4, 2);
+    for (std::uint64_t seed = 0; seed < kSeeds; seed += 4) {
+      const FuzzPoint point = make_point(seed);
+      pooled.push_back(
+          runner
+              .submit(SweepJob{point.run, point.cluster, point.fraction,
+                               point.policy, DagVisibility::kRecurring})
+              .get());
+    }
+    EXPECT_GT(runner.stats().exec_tasks, 0u);
+  }
+  Executor::set_disabled_for_test(1);
+  {
+    SweepRunner runner(4, 2);
+    for (std::uint64_t seed = 0; seed < kSeeds; seed += 4) {
+      const FuzzPoint point = make_point(seed);
+      killed.push_back(
+          runner
+              .submit(SweepJob{point.run, point.cluster, point.fraction,
+                               point.policy, DagVisibility::kRecurring})
+              .get());
+    }
+    EXPECT_EQ(runner.stats().exec_tasks, 0u);
+  }
+  Executor::set_disabled_for_test(-1);
+  ASSERT_EQ(pooled.size(), killed.size());
+  for (std::size_t i = 0; i < pooled.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    expect_identical(pooled[i], killed[i]);
+  }
+  const std::string base = testing::TempDir() + "fuzz_kill_csv_";
+  const std::string bytes = csv_bytes_for(pooled, base + "pooled.csv");
+  EXPECT_FALSE(bytes.empty());
+  EXPECT_EQ(bytes, csv_bytes_for(killed, base + "killed.csv"));
 }
 
 }  // namespace

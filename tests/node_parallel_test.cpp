@@ -3,8 +3,8 @@
 // (field for field, doubles included) and through the CSV bytes the bench
 // drivers emit. Also covers the closure-aware node partitioner
 // (ClosurePartitioner) that decides the probe-phase fan-out, the
-// node-closedness predicate built on top of it, and the SweepRunner rule
-// that outer sweep parallelism wins.
+// node-closedness predicate built on top of it, and the SweepRunner
+// composition of sweep-level and intra-run parallelism.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -429,7 +429,8 @@ TEST(NodeParallel, SweepRunnerNodeJobsMatchSerialResults) {
   expect_identical(baseline, nested.submit(job).get());
   EXPECT_EQ(nested.node_jobs(), 8u);
 
-  // Parallel sweep: node_jobs is forced to 1, results unchanged.
+  // Parallel sweep + intra-run fan-out: both levels queue on the shared
+  // executor and compose; results unchanged.
   SweepRunner outer(4, 8);
   expect_identical(baseline, outer.submit(job).get());
 
